@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation measures end-to-end delivery time of a fixed workload on
+//! OWN-256 while varying one microarchitectural knob, quantifying how much
+//! the choice matters:
+//!
+//! * **buffer depth** — credits per VC (backpressure headroom);
+//! * **packet length** — serialization vs per-packet overheads;
+//! * **virtual channel count** — per-hop multiplexing;
+//! * **injection rate** — distance from saturation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use noc_core::RouterConfig;
+use noc_topology::{Own, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+/// Deliver a fixed uniform workload on OWN-256; returns cycles needed.
+fn deliver(cfg: RouterConfig, rate: f64, plen: u16) -> u64 {
+    let mut net = Own::new_256().build(cfg);
+    let mut inj = BernoulliInjector::new(rate, plen, TrafficPattern::Uniform, 7);
+    inj.drive(&mut net, 400);
+    assert!(net.drain(200_000), "workload must drain");
+    net.now
+}
+
+fn ablate_buffer_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/buffer_depth");
+    g.sample_size(10);
+    for depth in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| deliver(RouterConfig::new(4, d), 0.03, 4))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_packet_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/packet_length");
+    g.sample_size(10);
+    for plen in [1u16, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(plen), &plen, |b, &p| {
+            // Same offered flit rate regardless of packet length.
+            b.iter(|| deliver(RouterConfig::default(), 0.03, p))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_vc_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/virtual_channels");
+    g.sample_size(10);
+    for vcs in [4u8, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(vcs), &vcs, |b, &v| {
+            b.iter(|| deliver(RouterConfig::new(v, 4), 0.03, 4))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/offered_load");
+    g.sample_size(10);
+    for load in [0.01f64, 0.03, 0.05] {
+        g.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &l| {
+            b.iter(|| deliver(RouterConfig::default(), l, 4))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_speculation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/speculative_vca");
+    g.sample_size(10);
+    for spec in [false, true] {
+        g.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &s| {
+            let cfg = if s {
+                RouterConfig::default().with_speculation()
+            } else {
+                RouterConfig::default()
+            };
+            b.iter(|| deliver(cfg, 0.03, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_buffer_depth,
+    ablate_packet_length,
+    ablate_vc_count,
+    ablate_load,
+    ablate_speculation
+);
+criterion_main!(benches);

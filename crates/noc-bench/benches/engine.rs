@@ -1,0 +1,63 @@
+//! Engine micro-benchmarks: simulation speed per topology, arbiter and
+//! traffic-pattern throughput. These track the simulator's own performance
+//! (cycles simulated per second), independent of any paper figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use noc_core::{Network, RouterConfig};
+use noc_topology::{paper_suite, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+fn loaded_network(topo: &dyn Topology, cycles: u64) -> (Network, BernoulliInjector) {
+    let mut net = topo.build(RouterConfig::default());
+    let mut inj = BernoulliInjector::new(0.03, 4, TrafficPattern::Uniform, 42);
+    inj.drive(&mut net, cycles);
+    (net, inj)
+}
+
+fn bench_cycle_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/cycles_per_sec");
+    g.sample_size(10);
+    for topo in paper_suite(256) {
+        let steps: u64 = 300;
+        g.throughput(Throughput::Elements(steps));
+        g.bench_with_input(BenchmarkId::from_parameter(topo.name()), &topo, |b, topo| {
+            let (mut net, mut inj) = loaded_network(topo.as_ref(), 500);
+            b.iter(|| {
+                inj.drive(&mut net, steps);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/build");
+    g.sample_size(10);
+    for topo in paper_suite(256) {
+        g.bench_with_input(BenchmarkId::from_parameter(topo.name()), &topo, |b, topo| {
+            b.iter(|| topo.build(RouterConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut g = c.benchmark_group("engine/pattern_dest");
+    for p in TrafficPattern::paper_suite() {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, p| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut s = 0u32;
+            b.iter(|| {
+                s = (s + 1) % 1024;
+                std::hint::black_box(p.dest(s, 1024, &mut rng))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_throughput, bench_network_construction, bench_patterns);
+criterion_main!(benches);

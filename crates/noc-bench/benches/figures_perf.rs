@@ -1,0 +1,69 @@
+//! Benches regenerating the performance figures: Figure 7a (throughput per
+//! pattern, 256 cores), Figures 7b/7c (latency-load curves) and Figure 8a
+//! (throughput at 1024 cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use noc_sim::experiments::{perf, Budget};
+use noc_sim::sweep::latency_vs_load;
+use noc_sim::SimConfig;
+use noc_traffic::TrafficPattern;
+
+fn tiny() -> Budget {
+    Budget { warmup: 150, measure: 500, drain: 0 }
+}
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a");
+    g.sample_size(10);
+    g.bench_function("throughput_5_patterns_5_topologies", |b| {
+        b.iter(|| {
+            let r = perf::fig7a(tiny());
+            assert_eq!(r.rows.len(), 5);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7bc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7bc");
+    g.sample_size(10);
+    for (fig, pattern) in
+        [("7b_uniform", TrafficPattern::Uniform), ("7c_bitrev", TrafficPattern::BitReversal)]
+    {
+        g.bench_function(fig, |b| {
+            b.iter(|| {
+                let r = perf::fig7bc(pattern, &[0.01, 0.04], tiny());
+                assert_eq!(r.rows.len(), 2);
+                r
+            })
+        });
+    }
+    // A single OWN latency-load curve, as a tighter-scoped series bench.
+    g.bench_function("own256_curve", |b| {
+        let topo = noc_topology::own(256);
+        let base = SimConfig { warmup: 150, measure: 500, drain: 1_500, ..Default::default() };
+        b.iter(|| {
+            latency_vs_load(topo.as_ref(), TrafficPattern::Uniform, &[0.01, 0.03, 0.05], base)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8a");
+    g.sample_size(10);
+    g.bench_function("throughput_1024", |b| {
+        let budget = Budget { warmup: 80, measure: 250, drain: 0 };
+        b.iter(|| {
+            let r = perf::fig8a(budget);
+            assert_eq!(r.rows.len(), 3);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7a, bench_fig7bc, bench_fig8a);
+criterion_main!(benches);

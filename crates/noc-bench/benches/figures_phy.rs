@@ -1,0 +1,51 @@
+//! Benches regenerating the PHY figures (Figure 3 link budget, Figure 4
+//! transceiver circuit characterization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use noc_phy::{ClassAbPa, ColpittOscillator, LinkBudget};
+use noc_sim::experiments::phy;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3/link_budget_sweep", |b| {
+        b.iter(|| {
+            let r = phy::fig3();
+            assert_eq!(r.rows.len(), 7);
+            r
+        })
+    });
+    c.bench_function("fig3/single_point", |b| {
+        let lb = LinkBudget::default();
+        b.iter(|| std::hint::black_box(lb.required_tx_power_dbm(50.0, 0.0)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/all_blocks", |b| {
+        b.iter(|| {
+            let rs = phy::fig4();
+            assert_eq!(rs.len(), 3);
+            rs
+        })
+    });
+    c.bench_function("fig4/pa_p1db_solve", |b| {
+        let pa = ClassAbPa::default();
+        b.iter(|| std::hint::black_box(pa.p1db_dbm()))
+    });
+    c.bench_function("fig4/oscillator_psd_trace", |b| {
+        let o = ColpittOscillator::default();
+        let f0 = o.frequency_hz();
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut f = f0 - 5e9;
+            while f < f0 + 5e9 {
+                acc += o.psd_dbc_hz(f);
+                f += 1e8;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4);
+criterion_main!(benches);

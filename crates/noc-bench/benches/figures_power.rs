@@ -1,0 +1,57 @@
+//! Benches regenerating the power figures: Figure 5 (wireless link power
+//! per configuration/scenario), Figure 6 (256-core breakdown) and Figure 8b
+//! (1024-core energy per packet). Each measured closure asserts the paper's
+//! ordering so a regression in the reproduced *shape* fails the bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use noc_sim::experiments::{power, Budget};
+
+fn tiny() -> Budget {
+    Budget { warmup: 200, measure: 800, drain: 3_000 }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("wireless_power_configs", |b| {
+        b.iter(|| {
+            let r = power::fig5(tiny());
+            let w = |name: &str| -> f64 { r.find(name).unwrap()[1].parse().unwrap() };
+            assert!(w("Configuration 1") > w("Configuration 4"), "paper ordering");
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("power_breakdown_256", |b| {
+        b.iter(|| {
+            let r = power::fig6(tiny());
+            let total = |n: &str| -> f64 { r.find(n).unwrap()[5].parse().unwrap() };
+            assert!(total("OptXB-256") < total("CMESH-256"), "paper ordering");
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8b");
+    g.sample_size(10);
+    g.bench_function("energy_per_packet_1024", |b| {
+        let budget = Budget { warmup: 100, measure: 400, drain: 1_500 };
+        b.iter(|| {
+            let r = power::fig8b(budget);
+            assert_eq!(r.rows.len(), 5);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig8b);
+criterion_main!(benches);

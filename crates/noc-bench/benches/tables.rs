@@ -1,0 +1,45 @@
+//! Benches regenerating Tables I–IV (static architecture/technology tables).
+//!
+//! These are cheap pure functions; benchmarking them documents that the
+//! table generators are allocation-light and pins their output shape via
+//! assertions inside the measured closure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use noc_power::Scenario;
+use noc_sim::experiments::tables;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1/wireless_connections", |b| {
+        b.iter(|| {
+            let t = tables::table1();
+            assert_eq!(t.rows.len(), 12);
+            t
+        })
+    });
+    c.bench_function("table2/own1024_channels", |b| {
+        b.iter(|| {
+            let t = tables::table2();
+            assert_eq!(t.rows.len(), 4);
+            t
+        })
+    });
+    c.bench_function("table3/band_plans", |b| {
+        b.iter(|| {
+            let i = tables::table3(Scenario::Ideal);
+            let c2 = tables::table3(Scenario::Conservative);
+            assert_eq!(i.rows.len() + c2.rows.len(), 32);
+            (i, c2)
+        })
+    });
+    c.bench_function("table4/configurations", |b| {
+        b.iter(|| {
+            let t = tables::table4();
+            assert_eq!(t.rows.len(), 4);
+            t
+        })
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

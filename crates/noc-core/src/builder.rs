@@ -1,0 +1,245 @@
+//! Construction of [`Network`] instances.
+//!
+//! Topology crates use [`NetworkBuilder`] to declare routers, attach cores,
+//! and wire channels and shared buses; the builder handles the bookkeeping
+//! (port numbering, credit initialization, arbiter sizing) that the engine
+//! relies on. All `add_*` methods return the ids the topology needs to build
+//! its routing tables.
+
+use crate::channel::{Bus, BusKind, Channel, LinkClass};
+use crate::config::RouterConfig;
+use crate::ids::{BusId, ChannelId, CoreId, PortId, RouterId};
+use crate::network::Network;
+use crate::nic::Nic;
+use crate::router::{OutTarget, Router, Upstream};
+use crate::routing::RoutingAlg;
+
+/// Builder for a [`Network`].
+pub struct NetworkBuilder {
+    config: RouterConfig,
+    routers: Vec<Router>,
+    channels: Vec<Channel>,
+    buses: Vec<Bus>,
+    /// Per-core `(router, local input port)`; filled by [`Self::attach_core`].
+    nic_at: Vec<Option<(RouterId, PortId)>>,
+}
+
+impl NetworkBuilder {
+    /// Start a network with `num_routers` routers and `num_cores` cores.
+    pub fn new(num_routers: usize, num_cores: usize, config: RouterConfig) -> Self {
+        NetworkBuilder {
+            config,
+            routers: (0..num_routers)
+                .map(|i| Router::new(i as RouterId, config.vcs, config.buf_depth, config.speculative))
+                .collect(),
+            channels: Vec::new(),
+            buses: Vec::new(),
+            nic_at: vec![None; num_cores],
+        }
+    }
+
+    /// Router configuration in use.
+    pub fn config(&self) -> RouterConfig {
+        self.config
+    }
+
+    /// Attach core `core` to `router`: creates the local injection input
+    /// port and ejection output port. Returns `(inject_in_port,
+    /// eject_out_port)`.
+    pub fn attach_core(&mut self, core: CoreId, router: RouterId) -> (PortId, PortId) {
+        assert!(
+            self.nic_at[core as usize].is_none(),
+            "core {core} attached twice"
+        );
+        let r = &mut self.routers[router as usize];
+        let in_port = r.add_in_port(Upstream::Inject(core));
+        let out_port = r.add_out_port(OutTarget::Eject(core), u32::MAX, 0);
+        self.nic_at[core as usize] = Some((router, in_port));
+        (in_port, out_port)
+    }
+
+    /// Add a unidirectional point-to-point channel from `src` to `dst`.
+    /// Returns `(channel, src_out_port, dst_in_port)`.
+    pub fn add_channel(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        latency: u32,
+        ser_cycles: u32,
+        class: LinkClass,
+    ) -> (ChannelId, PortId, PortId) {
+        let id = self.channels.len() as ChannelId;
+        let out_port =
+            self.routers[src as usize].add_out_port(OutTarget::Channel(id), self.config.buf_depth, 0);
+        let in_port = self.routers[dst as usize].add_in_port(Upstream::Channel(id));
+        self.channels.push(Channel::new(
+            (src, out_port),
+            (dst, in_port),
+            latency,
+            ser_cycles,
+            class,
+        ));
+        (id, out_port, in_port)
+    }
+
+    /// Add a pair of opposite channels between `a` and `b` (convenience for
+    /// bidirectional topology links). Returns `(a→b, b→a)` channel ids.
+    pub fn add_duplex(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        latency: u32,
+        ser_cycles: u32,
+        class: LinkClass,
+    ) -> (ChannelId, ChannelId) {
+        let (ab, _, _) = self.add_channel(a, b, latency, ser_cycles, class);
+        let (ba, _, _) = self.add_channel(b, a, latency, ser_cycles, class);
+        (ab, ba)
+    }
+
+    /// Add a shared bus. `writers` and `readers` are router lists; one
+    /// output port is created on every writer and one input port on every
+    /// reader. Returns `(bus, writer_out_ports, reader_in_ports)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_bus(
+        &mut self,
+        kind: BusKind,
+        writers: &[RouterId],
+        readers: &[RouterId],
+        latency: u32,
+        ser_cycles: u32,
+        token_pass_latency: u32,
+        class: LinkClass,
+    ) -> (BusId, Vec<PortId>, Vec<PortId>) {
+        let id = self.buses.len() as BusId;
+        let mut wep = Vec::with_capacity(writers.len());
+        let mut writer_ports = Vec::with_capacity(writers.len());
+        for (w, &r) in writers.iter().enumerate() {
+            let p = self.routers[r as usize].add_out_port(
+                OutTarget::Bus { bus: id, writer: w as u16 },
+                0, // credits live in the bus pool
+                0,
+            );
+            wep.push((r, p));
+            writer_ports.push(p);
+        }
+        let mut rep = Vec::with_capacity(readers.len());
+        let mut reader_ports = Vec::with_capacity(readers.len());
+        for (ri, &r) in readers.iter().enumerate() {
+            let p = self.routers[r as usize].add_in_port(Upstream::Bus {
+                bus: id,
+                reader: ri as u16,
+            });
+            rep.push((r, p));
+            reader_ports.push(p);
+        }
+        self.buses.push(Bus::new(
+            kind,
+            wep,
+            rep,
+            latency,
+            ser_cycles,
+            token_pass_latency,
+            class,
+            self.config.vcs,
+            self.config.buf_depth,
+        ));
+        (id, writer_ports, reader_ports)
+    }
+
+    /// Override the power-accounting radix of `router` (used when several
+    /// engine ports model wavelength groups of one physical port).
+    pub fn set_power_radix(&mut self, router: RouterId, radix: u16) {
+        self.routers[router as usize].power_radix = Some(radix);
+    }
+
+    /// Finish construction with the given routing algorithm.
+    ///
+    /// Panics if any core was never attached.
+    pub fn build(mut self, routing: Box<dyn RoutingAlg>) -> Network {
+        // Size SA output arbiters now that the port counts are final.
+        for r in &mut self.routers {
+            let n_in = r.num_in_ports().max(1);
+            for op in &mut r.out_ports {
+                op.sa_arb = crate::arbiter::RoundRobin::new(n_in);
+            }
+        }
+        let nics: Vec<Nic> = self
+            .nic_at
+            .iter()
+            .enumerate()
+            .map(|(core, spec)| {
+                let (router, in_port) =
+                    spec.unwrap_or_else(|| panic!("core {core} was never attached to a router"));
+                Nic::new(core as CoreId, router, in_port, self.config.vcs, self.config.buf_depth)
+            })
+            .collect();
+        Network::from_parts(self.routers, self.channels, self.buses, nics, routing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{RouteDecision, RoutingAlg};
+
+    struct Nowhere;
+    impl RoutingAlg for Nowhere {
+        fn route(&self, _router: RouterId, _dst: CoreId) -> RouteDecision {
+            RouteDecision::any_vc(0, 4)
+        }
+    }
+
+    #[test]
+    fn builds_two_router_network() {
+        let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        b.add_duplex(0, 1, 1, 1, LinkClass::Electrical { length_mm: 1.0 });
+        let net = b.build(Box::new(Nowhere));
+        assert_eq!(net.num_routers(), 2);
+        assert_eq!(net.num_cores(), 2);
+        assert_eq!(net.channels().len(), 2);
+        // Each router: core in + channel in = 2 inputs; eject + channel out.
+        assert_eq!(net.router(0).num_in_ports(), 2);
+        assert_eq!(net.router(0).num_out_ports(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never attached")]
+    fn unattached_core_panics() {
+        let b = NetworkBuilder::new(1, 1, RouterConfig::default());
+        let _ = b.build(Box::new(Nowhere));
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let mut b = NetworkBuilder::new(1, 1, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(0, 0);
+    }
+
+    #[test]
+    fn bus_ports_created_on_all_members() {
+        let mut b = NetworkBuilder::new(3, 3, RouterConfig::default());
+        for c in 0..3 {
+            b.attach_core(c, c);
+        }
+        let (bus, wp, rp) = b.add_bus(
+            BusKind::Mwsr,
+            &[0, 1],
+            &[2],
+            1,
+            1,
+            1,
+            LinkClass::Photonic,
+        );
+        assert_eq!(bus, 0);
+        assert_eq!(wp.len(), 2);
+        assert_eq!(rp.len(), 1);
+        let net = b.build(Box::new(Nowhere));
+        assert_eq!(net.buses().len(), 1);
+        assert_eq!(net.buses()[0].writers.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Packets and flits.
+//!
+//! A packet is the unit of injection and delivery; it is segmented into
+//! flits (flow-control digits) at the source network interface. Wormhole /
+//! virtual-channel flow control operates on flits: a head flit acquires the
+//! route and a virtual channel, body flits follow in order, and the tail flit
+//! releases the virtual channel.
+
+use crate::ids::{CoreId, Cycle};
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit of a multi-flit packet; releases the virtual channel.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a packet (performs RC/VCA).
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit closes a packet (releases the VC).
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+
+    /// Flit kind for position `seq` in a packet of `len` flits.
+    #[inline]
+    pub fn for_position(seq: u16, len: u16) -> FlitKind {
+        debug_assert!(len >= 1 && seq < len);
+        match (seq, len) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (s, l) if s + 1 == l => FlitKind::Tail,
+            _ => FlitKind::Body,
+        }
+    }
+}
+
+/// A single flit travelling through the network.
+///
+/// Flits are small `Copy` values moved between buffers; there is no shared
+/// ownership.
+#[derive(Debug, Clone, Copy)]
+pub struct Flit {
+    /// Id of the packet this flit belongs to (unique per simulation).
+    pub packet_id: u64,
+    /// Flit index within the packet (0 = head).
+    pub seq: u16,
+    /// Total number of flits in the packet.
+    pub packet_len: u16,
+    /// Head / body / tail marker.
+    pub kind: FlitKind,
+    /// Source core.
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Virtual channel the flit currently occupies (rewritten at each hop).
+    pub vc: u8,
+    /// Cycle the packet was created at the source NIC.
+    pub created_at: Cycle,
+    /// Cycle the packet's head flit left the NIC (0 until injection);
+    /// `injected_at - created_at` is the source-queue delay.
+    pub injected_at: Cycle,
+    /// Hops traversed so far (router-to-router traversals).
+    pub hops: u8,
+}
+
+/// A packet: the injection/delivery unit.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Unique id.
+    pub id: u64,
+    /// Source core.
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Number of flits.
+    pub len: u16,
+    /// Creation cycle (start of latency measurement).
+    pub created_at: Cycle,
+}
+
+impl Packet {
+    /// Produce the `seq`-th flit of this packet.
+    #[inline]
+    pub fn flit(&self, seq: u16) -> Flit {
+        Flit {
+            packet_id: self.id,
+            seq,
+            packet_len: self.len,
+            kind: FlitKind::for_position(seq, self.len),
+            src: self.src,
+            dst: self.dst,
+            vc: 0,
+            created_at: self.created_at,
+            injected_at: 0,
+            hops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let p = Packet { id: 1, src: 0, dst: 5, len: 1, created_at: 0 };
+        let f = p.flit(0);
+        assert_eq!(f.kind, FlitKind::HeadTail);
+        assert!(f.kind.is_head() && f.kind.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_packet_kinds() {
+        let p = Packet { id: 2, src: 1, dst: 2, len: 4, created_at: 10 };
+        assert_eq!(p.flit(0).kind, FlitKind::Head);
+        assert_eq!(p.flit(1).kind, FlitKind::Body);
+        assert_eq!(p.flit(2).kind, FlitKind::Body);
+        assert_eq!(p.flit(3).kind, FlitKind::Tail);
+        assert!(p.flit(0).kind.is_head());
+        assert!(!p.flit(1).kind.is_head());
+        assert!(p.flit(3).kind.is_tail());
+        assert!(!p.flit(2).kind.is_tail());
+    }
+
+    #[test]
+    fn flit_carries_packet_metadata() {
+        let p = Packet { id: 7, src: 3, dst: 9, len: 2, created_at: 42 };
+        let f = p.flit(1);
+        assert_eq!(f.packet_id, 7);
+        assert_eq!(f.src, 3);
+        assert_eq!(f.dst, 9);
+        assert_eq!(f.created_at, 42);
+        assert_eq!(f.packet_len, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn flit_kind_out_of_range_panics_in_debug() {
+        let _ = FlitKind::for_position(3, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! Integer id newtypes used throughout the engine.
+//!
+//! Everything in the simulator lives in flat vectors; these aliases document
+//! intent without adding wrapper-type friction on the hot path. Radices in
+//! the reproduced architectures reach 259 (OptXB at 1024 cores), so ports are
+//! 16-bit.
+
+/// A processing element (core). Cores are globally numbered `0..num_cores`.
+pub type CoreId = u32;
+
+/// A router. Routers are globally numbered `0..num_routers`.
+pub type RouterId = u32;
+
+/// A port index *within* one router. Input and output ports are numbered
+/// independently (all channels are unidirectional at the engine level).
+pub type PortId = u16;
+
+/// A virtual channel index within a port.
+pub type Vc = u8;
+
+/// A point-to-point channel.
+pub type ChannelId = u32;
+
+/// A shared-medium bus (photonic MWSR waveguide or wireless SWMR channel).
+pub type BusId = u32;
+
+/// Simulation time in cycles.
+pub type Cycle = u64;

@@ -1,0 +1,177 @@
+//! Global consistency checking.
+//!
+//! [`Network::check_invariants`] audits the cross-cutting invariants the
+//! engine's components maintain together. Tests call it after randomized
+//! runs; it is `O(network size)` and intended for test/debug use, not the
+//! per-cycle hot path.
+//!
+//! Checked invariants:
+//!
+//! 1. **Credit conservation (channels)** — for every point-to-point
+//!    channel: upstream credit counter + flits in downstream buffer +
+//!    flits in flight + credits in flight = buffer depth, per VC.
+//! 2. **Credit conservation (buses)** — same per (reader, VC) with the
+//!    shared pool.
+//! 3. **Holder/state symmetry** — an output VC's `holder` points at an
+//!    input VC that is `Active` on exactly that output VC, and vice versa.
+//! 4. **Bus ownership symmetry** — a bus `(reader, vc)` owner corresponds
+//!    to a writer whose router has an Active input VC targeting that
+//!    reader/VC (or flits still in flight/buffered for that packet).
+//! 5. **Buffer bounds** — no input VC buffer exceeds the configured depth.
+
+use crate::network::Network;
+use crate::router::{OutTarget, Upstream, VcState};
+
+impl Network {
+    /// Audit global invariants; panics with a description on violation.
+    ///
+    /// Call from tests after a simulation (any cycle boundary is a
+    /// consistent point).
+    pub fn check_invariants(&self) {
+        self.check_buffer_bounds();
+        self.check_channel_credit_conservation();
+        self.check_bus_credit_conservation();
+        self.check_holder_symmetry();
+    }
+
+    fn check_buffer_bounds(&self) {
+        for r in &self.routers {
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                for (vi, vc) in ip.vcs.iter().enumerate() {
+                    assert!(
+                        vc.buf.len() <= r.buf_depth as usize,
+                        "router {} in-port {pi} vc {vi}: {} flits > depth {}",
+                        r.id,
+                        vc.buf.len(),
+                        r.buf_depth
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_channel_credit_conservation(&self) {
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let (sr, sp) = ch.src;
+            let (dr, dp) = ch.dst;
+            let depth = self.routers[dr as usize].buf_depth;
+            let vcs = self.routers[dr as usize].in_ports[dp as usize].vcs.len();
+            for vc in 0..vcs {
+                let upstream =
+                    self.routers[sr as usize].out_ports[sp as usize].vcs[vc].credits as usize;
+                let buffered =
+                    self.routers[dr as usize].in_ports[dp as usize].vcs[vc].buf.len();
+                let in_flight =
+                    ch.in_flight.iter().filter(|(_, f)| f.vc as usize == vc).count();
+                let credits_flying =
+                    ch.credits_back.iter().filter(|&&(_, v)| v as usize == vc).count();
+                let total = upstream + buffered + in_flight + credits_flying;
+                assert_eq!(
+                    total, depth as usize,
+                    "channel {ci} vc {vc}: {upstream} upstream + {buffered} buffered + \
+                     {in_flight} flying + {credits_flying} credits != depth {depth}"
+                );
+            }
+        }
+    }
+
+    fn check_bus_credit_conservation(&self) {
+        for (bi, bus) in self.buses.iter().enumerate() {
+            for (ri, &(rr, rp)) in bus.readers.iter().enumerate() {
+                let depth = self.routers[rr as usize].buf_depth as usize;
+                let vcs = self.routers[rr as usize].in_ports[rp as usize].vcs.len();
+                for vc in 0..vcs {
+                    let pool = bus.credits[ri][vc] as usize;
+                    let buffered =
+                        self.routers[rr as usize].in_ports[rp as usize].vcs[vc].buf.len();
+                    let in_flight = bus
+                        .in_flight
+                        .iter()
+                        .filter(|&&(_, rd, f)| rd as usize == ri && f.vc as usize == vc)
+                        .count();
+                    let credits_flying = bus
+                        .credits_back
+                        .iter()
+                        .filter(|&&(_, rd, v)| rd as usize == ri && v as usize == vc)
+                        .count();
+                    let total = pool + buffered + in_flight + credits_flying;
+                    assert_eq!(
+                        total, depth,
+                        "bus {bi} reader {ri} vc {vc}: {pool} pool + {buffered} buffered + \
+                         {in_flight} flying + {credits_flying} credits != depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_holder_symmetry(&self) {
+        for r in &self.routers {
+            // Output holders point to matching Active input VCs.
+            for (opi, op) in r.out_ports.iter().enumerate() {
+                for (ovc, state) in op.vcs.iter().enumerate() {
+                    if let Some((pi, vi)) = state.holder {
+                        let ivc = &r.in_ports[pi as usize].vcs[vi as usize];
+                        match ivc.state {
+                            VcState::Active { out_port, out_vc, .. } => {
+                                assert_eq!(
+                                    (out_port as usize, out_vc as usize),
+                                    (opi, ovc),
+                                    "router {}: holder of out ({opi},{ovc}) is Active \
+                                     elsewhere",
+                                    r.id
+                                );
+                            }
+                            other => panic!(
+                                "router {}: out ({opi},{ovc}) held by in ({pi},{vi}) in \
+                                 state {other:?}",
+                                r.id
+                            ),
+                        }
+                    }
+                }
+            }
+            // Active input VCs are registered as holders.
+            for (pi, ip) in r.in_ports.iter().enumerate() {
+                for (vi, ivc) in ip.vcs.iter().enumerate() {
+                    if let VcState::Active { out_port, out_vc, reader } = ivc.state {
+                        let op = &r.out_ports[out_port as usize];
+                        assert_eq!(
+                            op.vcs[out_vc as usize].holder,
+                            Some((pi as u16, vi as u8)),
+                            "router {}: Active in ({pi},{vi}) not registered at out \
+                             ({out_port},{out_vc})",
+                            r.id
+                        );
+                        if let OutTarget::Bus { bus, writer } = op.target {
+                            assert_eq!(
+                                self.buses[bus as usize].vc_owner[reader as usize]
+                                    [out_vc as usize],
+                                Some(writer),
+                                "router {}: Active bus path lost its vc_owner claim",
+                                r.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // NIC credits for the local injection ports also conserve.
+        for nic in &self.nics {
+            let r = &self.routers[nic.router as usize];
+            let ip = &r.in_ports[nic.in_port as usize];
+            debug_assert!(matches!(ip.upstream, Upstream::Inject(_)));
+            for (vi, vc) in ip.vcs.iter().enumerate() {
+                let total = nic.credits[vi] as usize + vc.buf.len();
+                assert_eq!(
+                    total, r.buf_depth as usize,
+                    "nic {}: vc {vi} credits {} + buffered {} != depth {}",
+                    nic.core,
+                    nic.credits[vi],
+                    vc.buf.len(),
+                    r.buf_depth
+                );
+            }
+        }
+    }
+}

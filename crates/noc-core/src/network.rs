@@ -1,0 +1,494 @@
+//! The network: routers, channels, buses, NICs, and the per-cycle engine.
+//!
+//! [`Network::step`] advances one cycle through the following phases, in an
+//! order chosen so that no flit advances more than one pipeline stage per
+//! cycle (later stages run first; per-VC `stage_cycle` stamps enforce the
+//! rest):
+//!
+//! 1. **deliver** — channels/buses land flits whose flight time expired into
+//!    downstream input buffers; credits land at upstream ports/pools.
+//! 2. **SA + ST/LT** — switch allocation (separable, round-robin) and
+//!    traversal: winning flits leave input buffers, return a credit upstream
+//!    and enter their output channel/bus or eject to the destination NIC.
+//! 3. **VCA** — packets that have a route acquire an output virtual channel.
+//! 4. **RC** — head flits at the front of idle VCs compute their route.
+//! 5. **inject** — each NIC pushes at most one flit into its router's local
+//!    input port, subject to credits.
+//! 6. **end-of-cycle** — bus tokens advance toward requesting writers.
+
+use crate::channel::{Bus, Channel};
+use crate::flit::Packet;
+use crate::ids::{CoreId, Cycle};
+use crate::nic::Nic;
+use crate::router::{OutTarget, Router, Upstream, VcState};
+use crate::routing::RoutingAlg;
+use crate::stats::NetStats;
+
+/// A complete network instance plus its simulation state.
+pub struct Network {
+    /// Current cycle.
+    pub now: Cycle,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) buses: Vec<Bus>,
+    pub(crate) nics: Vec<Nic>,
+    /// Event counters and latency records.
+    pub stats: NetStats,
+    pub(crate) routing: Box<dyn RoutingAlg>,
+    next_packet_id: u64,
+    /// Scratch: SA candidates `(in_port, in_vc, out_port)` per router.
+    scratch_cand: Vec<(usize, usize, usize)>,
+}
+
+impl Network {
+    pub(crate) fn from_parts(
+        routers: Vec<Router>,
+        channels: Vec<Channel>,
+        buses: Vec<Bus>,
+        nics: Vec<Nic>,
+        routing: Box<dyn RoutingAlg>,
+    ) -> Self {
+        let stats = NetStats::new(routers.len(), channels.len(), buses.len(), nics.len());
+        Network {
+            now: 0,
+            routers,
+            channels,
+            buses,
+            nics,
+            stats,
+            routing,
+            next_packet_id: 0,
+            scratch_cand: Vec::new(),
+        }
+    }
+
+    /// Number of cores (NICs).
+    pub fn num_cores(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Access a router (for inspection in tests and power models).
+    pub fn router(&self, id: u32) -> &Router {
+        &self.routers[id as usize]
+    }
+
+    /// All channels (for power accounting: class per channel id).
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// All buses (for power accounting: class, discards).
+    pub fn buses(&self) -> &[Bus] {
+        &self.buses
+    }
+
+    /// Queue a packet of `len` flits from `src` to `dst` at the current
+    /// cycle. Returns its packet id.
+    pub fn inject_packet(&mut self, src: CoreId, dst: CoreId, len: u16) -> u64 {
+        assert!(src != dst, "self-addressed packets are not modelled");
+        assert!(len >= 1);
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let p = Packet { id, src, dst, len, created_at: self.now };
+        self.nics[src as usize].offer(p);
+        self.stats.packets_offered += 1;
+        id
+    }
+
+    /// Total packets queued at source NICs (offered but not yet injected).
+    pub fn source_backlog(&self) -> usize {
+        self.nics.iter().map(|n| n.backlog()).sum()
+    }
+
+    /// True when no flit exists anywhere in the system.
+    pub fn quiescent(&self) -> bool {
+        self.source_backlog() == 0
+            && self.stats.flits_in_network() == 0
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.deliver();
+        self.sa_st();
+        self.vca();
+        self.rc();
+        self.inject();
+        for b in &mut self.buses {
+            b.end_cycle(self.now);
+        }
+        self.stats.cycles = self.now;
+    }
+
+    /// Run `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run until quiescent or `max_cycles` more cycles elapse; returns true
+    /// if the network drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.quiescent()
+    }
+
+    // ---- phase 1: link delivery --------------------------------------
+
+    fn deliver(&mut self) {
+        let now = self.now;
+        let routers = &mut self.routers;
+        for ch in &mut self.channels {
+            while ch.in_flight.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, flit) = ch.in_flight.pop_front().unwrap();
+                let (r, p) = ch.dst;
+                let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+                vc.buf.push_back((now, flit));
+                debug_assert!(
+                    vc.buf.len() <= routers[r as usize].buf_depth as usize,
+                    "input buffer overflow at router {r} port {p} — credit protocol violated"
+                );
+                self.stats.buffer_writes[r as usize] += 1;
+            }
+            while ch.credits_back.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, vc) = ch.credits_back.pop_front().unwrap();
+                let (r, p) = ch.src;
+                routers[r as usize].out_ports[p as usize].vcs[vc as usize].credits += 1;
+            }
+        }
+        for bus in &mut self.buses {
+            while bus.in_flight.front().is_some_and(|&(t, _, _)| t <= now) {
+                let (_, reader, flit) = bus.in_flight.pop_front().unwrap();
+                let (r, p) = bus.readers[reader as usize];
+                let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+                vc.buf.push_back((now, flit));
+                debug_assert!(vc.buf.len() <= routers[r as usize].buf_depth as usize);
+                self.stats.buffer_writes[r as usize] += 1;
+            }
+            while bus.credits_back.front().is_some_and(|&(t, _, _)| t <= now) {
+                let (_, reader, vc) = bus.credits_back.pop_front().unwrap();
+                bus.credits[reader as usize][vc as usize] += 1;
+            }
+        }
+    }
+
+    // ---- phase 2: switch allocation + traversal ----------------------
+
+    fn sa_st(&mut self) {
+        let now = self.now;
+        let mut cand = std::mem::take(&mut self.scratch_cand);
+        for ri in 0..self.routers.len() {
+            cand.clear();
+            // SA stage 1: each input port nominates one eligible VC.
+            {
+                let (routers, buses) = (&mut self.routers, &mut self.buses);
+                let router = &mut routers[ri];
+                // Split so the closure can borrow out_ports immutably while
+                // the arbiter (inside in_ports) is used mutably.
+                let (in_ports, out_ports) = (&mut router.in_ports, &router.out_ports);
+                for (pi, ip) in in_ports.iter_mut().enumerate() {
+                    let crate::router::InPort { vcs, sa_vc_arb, .. } = ip;
+                    let nominee = sa_vc_arb.grant(|vi| {
+                        let vc = &vcs[vi];
+                        let VcState::Active { out_port, out_vc, reader } = vc.state else {
+                            return false;
+                        };
+                        if vc.stage_cycle >= now {
+                            return false;
+                        }
+                        let Some(&(arrived, _)) = vc.buf.front() else { return false };
+                        if arrived >= now {
+                            return false;
+                        }
+                        let op = &out_ports[out_port as usize];
+                        match op.target {
+                            OutTarget::Channel(_) => {
+                                op.busy_until <= now && op.vcs[out_vc as usize].credits > 0
+                            }
+                            OutTarget::Eject(_) => op.busy_until <= now,
+                            OutTarget::Bus { bus, writer } => {
+                                let b = &mut buses[bus as usize];
+                                // Only a writer that could actually make
+                                // progress (has downstream credits) requests
+                                // the token; a credit-blocked holder must
+                                // release it, otherwise the classic
+                                // token-credit cycle deadlocks the bus: the
+                                // blocked holder fills the reader, whose
+                                // drain waits on a packet whose flits sit at
+                                // another writer waiting for the token.
+                                let has_credit = b.credit(reader, out_vc) > 0;
+                                if has_credit {
+                                    b.wants[writer as usize] = true;
+                                }
+                                has_credit && b.can_transmit(writer as usize, now)
+                            }
+                        }
+                    });
+                    if let Some(vi) = nominee {
+                        let VcState::Active { out_port, .. } = vcs[vi].state else {
+                            unreachable!()
+                        };
+                        cand.push((pi, vi, out_port as usize));
+                    }
+                }
+            }
+            // SA stage 2: each output port grants one nominee; ST for winners.
+            let mut i = 0;
+            while i < cand.len() {
+                let op_idx = cand[i].2;
+                // Collect nominees for this output port (cand is small).
+                let mut requesters: Vec<usize> = Vec::new();
+                for &(pi, _, op) in cand.iter() {
+                    if op == op_idx {
+                        requesters.push(pi);
+                    }
+                }
+                let winner_port = {
+                    let arb = &mut self.routers[ri].out_ports[op_idx].sa_arb;
+                    arb.grant_among(&requesters).unwrap()
+                };
+                let (_, vi, _) = *cand
+                    .iter()
+                    .find(|&&(pi, _, op)| pi == winner_port && op == op_idx)
+                    .unwrap();
+                self.traverse(ri, winner_port, vi);
+                // Remove all candidates for this output port.
+                cand.retain(|&(_, _, op)| op != op_idx);
+                // Restart scan (indices shifted).
+                i = 0;
+            }
+        }
+        self.scratch_cand = cand;
+    }
+
+    /// Switch + link traversal for the winning `(in_port, in_vc)` at router
+    /// `ri`.
+    fn traverse(&mut self, ri: usize, pi: usize, vi: usize) {
+        let now = self.now;
+        let router = &mut self.routers[ri];
+        let ivc = &mut router.in_ports[pi].vcs[vi];
+        let VcState::Active { out_port, out_vc, reader } = ivc.state else { unreachable!() };
+        let (_, mut flit) = ivc.buf.pop_front().expect("SA granted an empty VC");
+        ivc.stage_cycle = now;
+        let is_tail = flit.kind.is_tail();
+        if is_tail {
+            ivc.state = VcState::Idle;
+        }
+        self.stats.router_traversals[ri] += 1;
+
+        // Return the freed buffer slot upstream.
+        match router.in_ports[pi].upstream {
+            Upstream::Channel(ch) => self.channels[ch as usize].send_credit(now, vi as u8),
+            Upstream::Bus { bus, reader } => {
+                self.buses[bus as usize].send_credit(now, reader, vi as u8)
+            }
+            Upstream::Inject(core) => {
+                self.nics[core as usize].credits[vi] += 1;
+            }
+        }
+
+        let op = &mut router.out_ports[out_port as usize];
+        flit.vc = out_vc;
+        match op.target {
+            OutTarget::Channel(ch) => {
+                flit.hops += 1;
+                op.vcs[out_vc as usize].credits -= 1;
+                op.busy_until = now + u64::from(self.channels[ch as usize].ser_cycles);
+                self.channels[ch as usize].send(now, flit);
+                self.stats.channel_flits[ch as usize] += 1;
+            }
+            OutTarget::Bus { bus, writer } => {
+                flit.hops += 1;
+                let b = &mut self.buses[bus as usize];
+                b.send(now, writer as usize, reader, flit);
+                self.stats.bus_flits[bus as usize] += 1;
+                if is_tail {
+                    b.vc_owner[reader as usize][out_vc as usize] = None;
+                }
+            }
+            OutTarget::Eject(core) => {
+                op.busy_until = now + 1;
+                self.stats.flits_ejected += 1;
+                self.stats.per_core_ejected[core as usize] += 1;
+                self.nics[core as usize].eject_flits += 1;
+                if flit.created_at >= self.stats.measure_from {
+                    self.stats.measured_flits_ejected += 1;
+                }
+                debug_assert_eq!(flit.dst, core, "flit ejected at wrong core");
+                if is_tail {
+                    // +1 for the ejection link traversal.
+                    self.stats.packet_delivered_full(
+                        core,
+                        flit.created_at,
+                        flit.injected_at,
+                        now + 1,
+                    );
+                }
+            }
+        }
+        if is_tail {
+            router.out_ports[out_port as usize].vcs[out_vc as usize].holder = None;
+        }
+    }
+
+    // ---- phase 3: VC allocation --------------------------------------
+
+    fn vca(&mut self) {
+        let now = self.now;
+        let (routers, buses) = (&mut self.routers, &mut self.buses);
+        for router in routers.iter_mut() {
+            router.vca_offset = router.vca_offset.wrapping_add(1);
+            let np = router.in_ports.len();
+            if np == 0 {
+                continue;
+            }
+            let start = router.vca_offset % np;
+            for k in 0..np {
+                let pi = (start + k) % np;
+                for vi in 0..router.in_ports[pi].vcs.len() {
+                    try_vc_alloc(router, buses, now, pi, vi, false);
+                }
+            }
+        }
+    }
+
+    // ---- phase 4: route computation ----------------------------------
+
+    fn rc(&mut self) {
+        let now = self.now;
+        let (routers, buses, routing) = (&mut self.routers, &mut self.buses, &self.routing);
+        for router in routers.iter_mut() {
+            let rid = router.id;
+            let speculative = router.speculative;
+            for pi in 0..router.in_ports.len() {
+                for vi in 0..router.in_ports[pi].vcs.len() {
+                    let ivc = &router.in_ports[pi].vcs[vi];
+                    if ivc.state != VcState::Idle || ivc.stage_cycle >= now {
+                        continue;
+                    }
+                    let Some(&(arrived, head)) = ivc.buf.front() else { continue };
+                    if arrived >= now {
+                        continue;
+                    }
+                    debug_assert!(
+                        head.kind.is_head(),
+                        "non-head flit {head:?} at the front of an idle VC"
+                    );
+                    let d = routing.route(rid, head.dst);
+                    debug_assert!(
+                        (d.out_port as usize) < router.out_ports.len(),
+                        "routing returned invalid port {} at router {rid}",
+                        d.out_port
+                    );
+                    let ivc = &mut router.in_ports[pi].vcs[vi];
+                    ivc.state = VcState::Routed {
+                        out_port: d.out_port,
+                        vc_lo: d.vc_lo,
+                        vc_hi: d.vc_hi,
+                        reader: d.bus_reader,
+                    };
+                    ivc.stage_cycle = now;
+                    if speculative {
+                        // Speculative VCA: claim an output VC in the same
+                        // cycle when one is free (stage_cycle stays `now`,
+                        // so SA fires next cycle — a 4-stage pipeline on
+                        // the uncontended path).
+                        try_vc_alloc(router, buses, now, pi, vi, true);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- phase 5: injection -------------------------------------------
+
+    fn inject(&mut self) {
+        let now = self.now;
+        for nic in &mut self.nics {
+            if let Some(flit) = nic.next_flit(now) {
+                let r = &mut self.routers[nic.router as usize];
+                let ivc = &mut r.in_ports[nic.in_port as usize].vcs[flit.vc as usize];
+                ivc.buf.push_back((now, flit));
+                debug_assert!(ivc.buf.len() <= r.buf_depth as usize);
+                self.stats.flits_injected += 1;
+                self.stats.buffer_writes[nic.router as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Attempt VC allocation for the Routed input VC `(pi, vi)` of `router`.
+///
+/// Scans the admissible output-VC range for one that is free both locally
+/// (no holder) and, for bus targets, at the bus level (no packet from any
+/// writer owns the reader VC). On success the input VC becomes Active with
+/// `stage_cycle = now`. `same_cycle` skips the one-stage-per-cycle guard —
+/// used by speculative RC+VCA, where both stages legitimately share a
+/// cycle. Returns whether allocation succeeded.
+fn try_vc_alloc(
+    router: &mut Router,
+    buses: &mut [Bus],
+    now: Cycle,
+    pi: usize,
+    vi: usize,
+    same_cycle: bool,
+) -> bool {
+    let ivc = &router.in_ports[pi].vcs[vi];
+    let VcState::Routed { out_port, vc_lo, vc_hi, reader } = ivc.state else {
+        return false;
+    };
+    if !same_cycle && ivc.stage_cycle >= now {
+        return false;
+    }
+    let target = router.out_ports[out_port as usize].target;
+    let mut granted: Option<u8> = None;
+    for ovc in vc_lo..=vc_hi {
+        let free_local =
+            router.out_ports[out_port as usize].vcs[ovc as usize].holder.is_none();
+        if !free_local {
+            continue;
+        }
+        let free_bus = match target {
+            OutTarget::Bus { bus, .. } => {
+                buses[bus as usize].vc_owner[reader as usize][ovc as usize].is_none()
+            }
+            _ => true,
+        };
+        if free_bus {
+            granted = Some(ovc);
+            break;
+        }
+    }
+    let Some(ovc) = granted else { return false };
+    router.out_ports[out_port as usize].vcs[ovc as usize].holder = Some((pi as u16, vi as u8));
+    if let OutTarget::Bus { bus, writer } = target {
+        buses[bus as usize].vc_owner[reader as usize][ovc as usize] = Some(writer);
+    }
+    let ivc = &mut router.in_ports[pi].vcs[vi];
+    ivc.state = VcState::Active { out_port, out_vc: ovc, reader };
+    ivc.stage_cycle = now;
+    true
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("now", &self.now)
+            .field("routers", &self.routers.len())
+            .field("channels", &self.channels.len())
+            .field("buses", &self.buses.len())
+            .field("cores", &self.nics.len())
+            .finish()
+    }
+}

@@ -1,0 +1,211 @@
+//! Virtual-channel router state.
+//!
+//! A router is pure state here; the pipeline stages that operate on it
+//! (RC, VCA, SA/ST) live in [`crate::network`] because they need simultaneous
+//! access to the channels and buses connecting routers. The model follows the
+//! canonical input-queued VC router:
+//!
+//! * every **input port** has `vcs` virtual channels, each a FIFO of flits
+//!   with a per-packet state machine (`Idle → Routed → Active`);
+//! * every **output port** tracks, per VC, which input VC currently owns it
+//!   and how many downstream credits remain;
+//! * switch allocation is separable: one round-robin arbiter per input port
+//!   picks a candidate VC, one per output port picks the winner.
+
+use std::collections::VecDeque;
+
+use crate::arbiter::RoundRobin;
+use crate::flit::Flit;
+use crate::ids::{BusId, ChannelId, CoreId, Cycle, PortId, RouterId};
+
+/// Per-packet progress of an input virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcState {
+    /// No packet in progress (buffer may hold the head of the next packet).
+    Idle,
+    /// Route computed; waiting for an output VC.
+    Routed { out_port: PortId, vc_lo: u8, vc_hi: u8, reader: u16 },
+    /// Output VC allocated; flits compete in switch allocation.
+    Active { out_port: PortId, out_vc: u8, reader: u16 },
+}
+
+/// An input virtual channel: FIFO of `(arrival_cycle, flit)` plus state.
+#[derive(Debug)]
+pub(crate) struct InVc {
+    pub buf: VecDeque<(Cycle, Flit)>,
+    pub state: VcState,
+    /// Cycle of the last pipeline-stage action; each stage takes ≥1 cycle.
+    pub stage_cycle: Cycle,
+}
+
+impl InVc {
+    fn new() -> Self {
+        InVc { buf: VecDeque::new(), state: VcState::Idle, stage_cycle: 0 }
+    }
+}
+
+/// Where credits for an input port are returned to.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Upstream {
+    /// Fed by a point-to-point channel.
+    Channel(ChannelId),
+    /// Fed by a shared bus as its `reader`-th reader endpoint.
+    Bus { bus: BusId, reader: u16 },
+    /// Fed by the injection side of a core's NIC.
+    Inject(CoreId),
+}
+
+/// An input port: VC buffers plus the upstream credit sink.
+#[derive(Debug)]
+pub(crate) struct InPort {
+    pub vcs: Vec<InVc>,
+    pub upstream: Upstream,
+    /// SA stage 1: arbiter over this port's VCs.
+    pub sa_vc_arb: RoundRobin,
+}
+
+/// What an output port drives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OutTarget {
+    /// A point-to-point channel.
+    Channel(ChannelId),
+    /// Writer number `writer` of a shared bus.
+    Bus { bus: BusId, writer: u16 },
+    /// Ejection to a core's NIC (infinite credits, 1 flit/cycle).
+    Eject(CoreId),
+}
+
+/// Per-output-VC bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutVc {
+    /// Input `(port, vc)` that holds this output VC, if any.
+    pub holder: Option<(PortId, u8)>,
+    /// Downstream buffer credits (point-to-point channels only; buses use
+    /// the shared pool on the bus itself).
+    pub credits: u32,
+}
+
+/// An output port.
+#[derive(Debug)]
+pub(crate) struct OutPort {
+    pub target: OutTarget,
+    pub vcs: Vec<OutVc>,
+    /// Cycle until which this transmitter is serializing the previous flit
+    /// (channels and ejection; buses track occupancy on the bus).
+    pub busy_until: Cycle,
+    /// SA stage 2: arbiter over input ports competing for this output.
+    pub sa_arb: RoundRobin,
+}
+
+/// A router: input and output port arrays. Ports are unidirectional; a
+/// "bidirectional" topology port is an (input, output) pair.
+#[derive(Debug)]
+pub struct Router {
+    pub id: RouterId,
+    pub(crate) in_ports: Vec<InPort>,
+    pub(crate) out_ports: Vec<OutPort>,
+    pub(crate) vcs: u8,
+    pub(crate) buf_depth: u32,
+    /// Speculative RC+VCA (see [`crate::RouterConfig::speculative`]).
+    pub(crate) speculative: bool,
+    /// Rotating offset for VCA input scan fairness.
+    pub(crate) vca_offset: usize,
+    /// Radix override for power accounting. Topologies that model one
+    /// physical port as several logical engine ports (e.g. wavelength
+    /// groups on one waveguide) set this to the physical port count.
+    pub(crate) power_radix: Option<u16>,
+}
+
+impl Router {
+    pub(crate) fn new(id: RouterId, vcs: u8, buf_depth: u32, speculative: bool) -> Self {
+        Router {
+            id,
+            in_ports: Vec::new(),
+            out_ports: Vec::new(),
+            vcs,
+            buf_depth,
+            speculative,
+            vca_offset: 0,
+            power_radix: None,
+        }
+    }
+
+    /// Number of input ports.
+    pub fn num_in_ports(&self) -> usize {
+        self.in_ports.len()
+    }
+
+    /// Number of output ports.
+    pub fn num_out_ports(&self) -> usize {
+        self.out_ports.len()
+    }
+
+    /// Router radix as counted in the paper: max(input, output) port count —
+    /// a bidirectional port contributes one to each.
+    pub fn radix(&self) -> usize {
+        self.in_ports.len().max(self.out_ports.len())
+    }
+
+    /// Radix used for power accounting: the physical port count when the
+    /// topology set an override (wavelength groups share one physical
+    /// port), otherwise the engine port count.
+    pub fn radix_for_power(&self) -> usize {
+        self.power_radix.map(usize::from).unwrap_or_else(|| self.radix())
+    }
+
+    pub(crate) fn add_in_port(&mut self, upstream: Upstream) -> PortId {
+        let id = self.in_ports.len() as PortId;
+        self.in_ports.push(InPort {
+            vcs: (0..self.vcs).map(|_| InVc::new()).collect(),
+            upstream,
+            sa_vc_arb: RoundRobin::new(self.vcs as usize),
+        });
+        id
+    }
+
+    pub(crate) fn add_out_port(&mut self, target: OutTarget, credits: u32, n_in_hint: usize) -> PortId {
+        let id = self.out_ports.len() as PortId;
+        self.out_ports.push(OutPort {
+            target,
+            vcs: (0..self.vcs).map(|_| OutVc { holder: None, credits }).collect(),
+            busy_until: 0,
+            sa_arb: RoundRobin::new(n_in_hint.max(1)),
+        });
+        id
+    }
+
+    /// Total flits buffered in this router (used by drain checks and tests).
+    pub fn buffered_flits(&self) -> usize {
+        self.in_ports.iter().flat_map(|p| p.vcs.iter()).map(|vc| vc.buf.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_number_sequentially() {
+        let mut r = Router::new(0, 4, 4, false);
+        assert_eq!(r.add_in_port(Upstream::Inject(0)), 0);
+        assert_eq!(r.add_in_port(Upstream::Inject(1)), 1);
+        assert_eq!(r.add_out_port(OutTarget::Eject(0), u32::MAX, 2), 0);
+        assert_eq!(r.num_in_ports(), 2);
+        assert_eq!(r.num_out_ports(), 1);
+        assert_eq!(r.radix(), 2);
+    }
+
+    #[test]
+    fn new_router_is_empty() {
+        let r = Router::new(3, 2, 8, false);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.radix(), 0);
+    }
+
+    #[test]
+    fn out_port_vcs_start_with_given_credits() {
+        let mut r = Router::new(0, 2, 4, false);
+        r.add_out_port(OutTarget::Channel(0), 4, 1);
+        assert!(r.out_ports[0].vcs.iter().all(|v| v.credits == 4 && v.holder.is_none()));
+    }
+}

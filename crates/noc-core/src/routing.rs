@@ -1,0 +1,98 @@
+//! Routing interface between the engine and topology crates.
+//!
+//! A topology supplies a [`RoutingAlg`]; the engine calls it once per packet
+//! per hop (at the RC pipeline stage of the head flit) to obtain the output
+//! port and the set of admissible virtual channels. Restricting the VC range
+//! per hop is how the reproduced architectures guarantee deadlock freedom
+//! (e.g. OWN-256 dedicates VCs 0–1 to photonic hops and VCs 2–3 to wireless
+//! hops; OWN-1024 dedicates one VC per inter-group direction class, §V-A).
+
+use crate::ids::{CoreId, PortId, RouterId};
+
+/// The outcome of route computation at one router for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output port to take.
+    pub out_port: PortId,
+    /// Lowest admissible virtual channel (inclusive).
+    pub vc_lo: u8,
+    /// Highest admissible virtual channel (inclusive).
+    pub vc_hi: u8,
+    /// For output ports that write to a shared bus: index of the reader
+    /// endpoint the flit is addressed to (ignored for point-to-point
+    /// channels and ejection ports; use 0).
+    pub bus_reader: u16,
+}
+
+impl RouteDecision {
+    /// Decision using every VC of the port.
+    pub fn any_vc(out_port: PortId, vcs: u8) -> Self {
+        RouteDecision { out_port, vc_lo: 0, vc_hi: vcs - 1, bus_reader: 0 }
+    }
+
+    /// Decision restricted to the VC range `[lo, hi]`.
+    pub fn vc_range(out_port: PortId, lo: u8, hi: u8) -> Self {
+        assert!(lo <= hi);
+        RouteDecision { out_port, vc_lo: lo, vc_hi: hi, bus_reader: 0 }
+    }
+
+    /// Attach a bus reader index to this decision.
+    pub fn to_reader(mut self, reader: u16) -> Self {
+        self.bus_reader = reader;
+        self
+    }
+}
+
+/// Deterministic routing function.
+///
+/// Implementations must be deadlock-free under the VC ranges they return and
+/// must eventually reach an ejection port for every `(router, dst)` pair
+/// reachable in the topology.
+pub trait RoutingAlg: Send + Sync {
+    /// Compute the next hop at `router` for a packet destined to core `dst`.
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision;
+}
+
+/// Routing by table lookup — handy for tests and tiny topologies.
+pub struct TableRouting {
+    /// `table[router][dst]` — the decision at each router per destination.
+    pub table: Vec<Vec<RouteDecision>>,
+}
+
+impl RoutingAlg for TableRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        self.table[router as usize][dst as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_vc_covers_full_range() {
+        let d = RouteDecision::any_vc(3, 4);
+        assert_eq!((d.vc_lo, d.vc_hi), (0, 3));
+        assert_eq!(d.out_port, 3);
+    }
+
+    #[test]
+    fn vc_range_and_reader() {
+        let d = RouteDecision::vc_range(1, 2, 3).to_reader(5);
+        assert_eq!((d.vc_lo, d.vc_hi, d.bus_reader), (2, 3, 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_vc_range_rejected() {
+        let _ = RouteDecision::vc_range(0, 3, 1);
+    }
+
+    #[test]
+    fn table_routing_lookup() {
+        let r = TableRouting {
+            table: vec![vec![RouteDecision::any_vc(7, 4)], vec![RouteDecision::any_vc(1, 4)]],
+        };
+        assert_eq!(r.route(1, 0).out_port, 1);
+    }
+}

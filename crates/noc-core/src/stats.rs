@@ -1,0 +1,238 @@
+//! Simulation statistics.
+//!
+//! The engine counts *events* (flit traversals, buffer accesses, packet
+//! deliveries); the power models in `noc-power` turn event counts into
+//! energy, and `noc-sim` turns deliveries into latency/throughput metrics.
+//! Counters are plain `u64`s — the simulator is single-threaded per network
+//! instance; parallelism happens across simulations (one per sweep point).
+
+use crate::ids::{ChannelId, CoreId, Cycle};
+
+/// A latency histogram with fixed-width buckets plus exact sum/max.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    /// Bucket width in cycles.
+    pub bucket_width: u64,
+    /// Bucket counts; the last bucket is the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl LatencyHist {
+    pub fn new(bucket_width: u64, n_buckets: usize) -> Self {
+        LatencyHist { bucket_width, buckets: vec![0; n_buckets], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, lat: u64) {
+        let idx = ((lat / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += lat;
+        self.max = self.max.max(lat);
+    }
+
+    /// Mean latency, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (upper edge of the bucket containing it).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+/// Event counters for one simulation.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Current simulation cycle (mirrors `Network::now`).
+    pub cycles: Cycle,
+    /// Packets injected into source queues.
+    pub packets_offered: u64,
+    /// Flits accepted into the network (left the NIC).
+    pub flits_injected: u64,
+    /// Flits delivered to destination NICs.
+    pub flits_ejected: u64,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+    /// Per-channel flit traversals (indexed by `ChannelId`).
+    pub channel_flits: Vec<u64>,
+    /// Per-bus flit traversals (indexed by `BusId`).
+    pub bus_flits: Vec<u64>,
+    /// Per-router: flits that traversed the crossbar (== buffer reads).
+    pub router_traversals: Vec<u64>,
+    /// Per-router: buffer writes (flit arrivals).
+    pub buffer_writes: Vec<u64>,
+    /// Packet latency distribution (only packets created at or after
+    /// `measure_from`).
+    pub latency: LatencyHist,
+    /// Source-queue delay distribution (creation → head-flit injection),
+    /// same window.
+    pub queue_delay: LatencyHist,
+    /// Network transit distribution (head-flit injection → tail ejection),
+    /// same window.
+    pub network_latency: LatencyHist,
+    /// Flits ejected whose packets were created at/after `measure_from`
+    /// (throughput numerator for the measurement window).
+    pub measured_flits_ejected: u64,
+    /// Cycle from which deliveries count toward `latency`.
+    pub measure_from: Cycle,
+    /// Cycle (exclusive) up to which packet creations count toward
+    /// `latency` — the end of the measurement window.
+    pub measure_until: Cycle,
+    /// Per-core delivered flits (for fairness checks).
+    pub per_core_ejected: Vec<u64>,
+}
+
+impl NetStats {
+    pub fn new(n_routers: usize, n_channels: usize, n_buses: usize, n_cores: usize) -> Self {
+        NetStats {
+            cycles: 0,
+            packets_offered: 0,
+            flits_injected: 0,
+            flits_ejected: 0,
+            packets_delivered: 0,
+            channel_flits: vec![0; n_channels],
+            bus_flits: vec![0; n_buses],
+            router_traversals: vec![0; n_routers],
+            buffer_writes: vec![0; n_routers],
+            latency: LatencyHist::new(8, 512),
+            queue_delay: LatencyHist::new(8, 512),
+            network_latency: LatencyHist::new(8, 512),
+            measured_flits_ejected: 0,
+            measure_from: 0,
+            measure_until: u64::MAX,
+            per_core_ejected: vec![0; n_cores],
+        }
+    }
+
+    /// Record a delivered packet with its injection time, splitting total
+    /// latency into source-queue delay and network transit.
+    pub(crate) fn packet_delivered_full(
+        &mut self,
+        dst: CoreId,
+        created_at: Cycle,
+        injected_at: Cycle,
+        now: Cycle,
+    ) {
+        self.packets_delivered += 1;
+        let _ = dst;
+        if created_at >= self.measure_from && created_at < self.measure_until {
+            self.latency.record(now - created_at);
+            self.queue_delay.record(injected_at.saturating_sub(created_at));
+            self.network_latency.record(now.saturating_sub(injected_at));
+        }
+    }
+
+    /// Flits in flight (injected but not yet ejected).
+    pub fn flits_in_network(&self) -> u64 {
+        self.flits_injected - self.flits_ejected
+    }
+
+    /// Accepted throughput in flits/core/cycle over `(from, to]` given a
+    /// snapshot of `measured_flits_ejected` taken at `from`.
+    pub fn throughput(&self, ejected_at_start: u64, cycles: u64, cores: usize) -> f64 {
+        if cycles == 0 || cores == 0 {
+            return 0.0;
+        }
+        (self.measured_flits_ejected - ejected_at_start) as f64 / (cycles as f64 * cores as f64)
+    }
+
+    /// Total wireless/photonic/electrical traversal helper: flits over one
+    /// channel id.
+    pub fn channel_traffic(&self, ch: ChannelId) -> u64 {
+        self.channel_flits[ch as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = LatencyHist::new(4, 8);
+        for l in [1u64, 3, 9, 27] {
+            h.record(l);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 40);
+        assert!((h.mean() - 10.0).abs() < 1e-9);
+        assert_eq!(h.max, 27);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = LatencyHist::new(1, 4);
+        h.record(1000);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = LatencyHist::new(2, 64);
+        for l in 0..100u64 {
+            h.record(l);
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!((40..=60).contains(&q50), "q50 = {q50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHist::new(8, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn measurement_window_filters_latency() {
+        let mut s = NetStats::new(1, 0, 0, 2);
+        s.measure_from = 100;
+        s.measure_until = 200;
+        s.packet_delivered_full(0, 50, 50, 120); // created before window: not recorded
+        s.packet_delivered_full(0, 110, 110, 130); // recorded
+        s.packet_delivered_full(0, 250, 250, 400); // created after window: not recorded
+        assert_eq!(s.latency.count, 1);
+        assert_eq!(s.packets_delivered, 3);
+    }
+
+    #[test]
+    fn latency_breakdown_sums_to_total() {
+        let mut s = NetStats::new(1, 0, 0, 2);
+        s.packet_delivered_full(0, 100, 130, 190);
+        assert_eq!(s.latency.sum, 90);
+        assert_eq!(s.queue_delay.sum, 30);
+        assert_eq!(s.network_latency.sum, 60);
+        assert_eq!(s.queue_delay.sum + s.network_latency.sum, s.latency.sum);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut s = NetStats::new(1, 0, 0, 4);
+        s.measured_flits_ejected = 400;
+        assert!((s.throughput(0, 100, 4) - 1.0).abs() < 1e-12);
+        assert!((s.throughput(200, 100, 4) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! End-to-end tests of the simulation engine on hand-built micro-networks.
+
+use noc_core::routing::TableRouting;
+use noc_core::{
+    BusKind, LinkClass, NetworkBuilder, RouteDecision, RouterConfig, RoutingAlg,
+};
+
+/// Two routers, one core each, duplex channel. Routing by table.
+fn two_router_net(latency: u32, ser: u32) -> noc_core::Network {
+    let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+    // Port layout per router: in0 = core inject, out0 = core eject,
+    // then channel ports.
+    b.attach_core(0, 0);
+    b.attach_core(1, 1);
+    let (_, out01, _) = b.add_channel(0, 1, latency, ser, LinkClass::Electrical { length_mm: 2.0 });
+    let (_, out10, _) = b.add_channel(1, 0, latency, ser, LinkClass::Electrical { length_mm: 2.0 });
+    let table = vec![
+        // router 0: dst 0 -> eject port 0; dst 1 -> channel out port
+        vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(out01, 4)],
+        // router 1: dst 0 -> channel; dst 1 -> eject
+        vec![RouteDecision::any_vc(out10, 4), RouteDecision::any_vc(0, 4)],
+    ];
+    b.build(Box::new(TableRouting { table }))
+}
+
+#[test]
+fn single_flit_packet_delivered_with_expected_latency() {
+    let mut net = two_router_net(1, 1);
+    net.inject_packet(0, 1, 1);
+    assert!(net.drain(100), "packet must drain");
+    assert_eq!(net.stats.packets_delivered, 1);
+    assert_eq!(net.stats.flits_ejected, 1);
+    // Pipeline: inject(1) -> BW -> RC -> VCA -> SA/ST -> fly(lat 1) ->
+    // BW -> RC -> VCA -> SA/ST -> eject(+1). Expect ~11 cycles, certainly
+    // within [8, 14].
+    let lat = net.stats.latency.mean();
+    assert!((8.0..=14.0).contains(&lat), "zero-load latency {lat}");
+}
+
+#[test]
+fn multi_flit_packet_arrives_in_order_and_complete() {
+    let mut net = two_router_net(2, 1);
+    net.inject_packet(0, 1, 4);
+    assert!(net.drain(200));
+    assert_eq!(net.stats.packets_delivered, 1);
+    assert_eq!(net.stats.flits_ejected, 4);
+    assert_eq!(net.stats.per_core_ejected[1], 4);
+    assert_eq!(net.stats.per_core_ejected[0], 0);
+}
+
+#[test]
+fn many_packets_both_directions_all_drain() {
+    let mut net = two_router_net(1, 1);
+    for i in 0..50 {
+        net.inject_packet(0, 1, 1 + (i % 4) as u16);
+        net.inject_packet(1, 0, 1 + ((i + 1) % 4) as u16);
+    }
+    assert!(net.drain(5000), "bidirectional load must drain");
+    assert_eq!(net.stats.packets_delivered, 100);
+    let offered: u64 = 100;
+    assert_eq!(net.stats.packets_offered, offered);
+    assert!(net.quiescent());
+}
+
+#[test]
+fn serialization_throttles_throughput() {
+    // With ser = 4 the channel accepts one flit per 4 cycles.
+    let mut fast = two_router_net(1, 1);
+    let mut slow = two_router_net(1, 4);
+    for net in [&mut fast, &mut slow] {
+        for _ in 0..64 {
+            net.inject_packet(0, 1, 1);
+        }
+        assert!(net.drain(5000));
+    }
+    assert_eq!(fast.stats.flits_ejected, 64);
+    assert_eq!(slow.stats.flits_ejected, 64);
+    assert!(
+        slow.now > fast.now + 100,
+        "serialized channel must take much longer ({} vs {})",
+        slow.now,
+        fast.now
+    );
+}
+
+#[test]
+fn credit_backpressure_never_overflows_buffers() {
+    // Tiny buffers force heavy backpressure; debug asserts in the engine
+    // check buffer bounds on every delivery.
+    let mut b = NetworkBuilder::new(2, 2, RouterConfig::new(2, 1));
+    b.attach_core(0, 0);
+    b.attach_core(1, 1);
+    let (_, out01, _) = b.add_channel(0, 1, 3, 2, LinkClass::Photonic);
+    let (_, out10, _) = b.add_channel(1, 0, 3, 2, LinkClass::Photonic);
+    let table = vec![
+        vec![RouteDecision::any_vc(0, 2), RouteDecision::any_vc(out01, 2)],
+        vec![RouteDecision::any_vc(out10, 2), RouteDecision::any_vc(0, 2)],
+    ];
+    let mut net = b.build(Box::new(TableRouting { table }));
+    for _ in 0..40 {
+        net.inject_packet(0, 1, 3);
+    }
+    assert!(net.drain(20_000));
+    assert_eq!(net.stats.packets_delivered, 40);
+}
+
+/// Three writers share an MWSR bus to one reader; all packets must arrive
+/// without interleaving corruption and the token must serialize access.
+#[test]
+fn mwsr_bus_delivers_from_all_writers() {
+    let mut b = NetworkBuilder::new(4, 4, RouterConfig::default());
+    for c in 0..4 {
+        b.attach_core(c, c);
+    }
+    let (_, wports, _) = b.add_bus(
+        BusKind::Mwsr,
+        &[0, 1, 2],
+        &[3],
+        2,
+        1,
+        1,
+        LinkClass::Photonic,
+    );
+    // Routers 0..2 route dst 3 to their bus writer port; router 3 ejects.
+    struct R {
+        wports: Vec<u16>,
+    }
+    impl RoutingAlg for R {
+        fn route(&self, router: u32, dst: u32) -> RouteDecision {
+            assert_eq!(dst, 3, "only core 3 is a destination in this test");
+            if router == 3 {
+                RouteDecision::any_vc(0, 4)
+            } else {
+                RouteDecision::any_vc(self.wports[router as usize], 4)
+            }
+        }
+    }
+    let mut net = b.build(Box::new(R { wports }));
+    for w in 0..3 {
+        for _ in 0..10 {
+            net.inject_packet(w, 3, 2);
+        }
+    }
+    assert!(net.drain(10_000), "MWSR bus traffic must drain");
+    assert_eq!(net.stats.packets_delivered, 30);
+    assert_eq!(net.stats.per_core_ejected[3], 60);
+    assert_eq!(net.buses()[0].discards, 0, "MWSR bus never discards");
+}
+
+/// SWMR multicast: one writer set, four readers; only the addressed reader
+/// forwards. Discards are counted at the other three.
+#[test]
+fn swmr_multicast_addresses_single_reader() {
+    let mut b = NetworkBuilder::new(5, 5, RouterConfig::default());
+    for c in 0..5 {
+        b.attach_core(c, c);
+    }
+    let (_, wports, _) = b.add_bus(
+        BusKind::SwmrMulticast,
+        &[0],
+        &[1, 2, 3, 4],
+        1,
+        1,
+        1,
+        LinkClass::Wireless { channel: 1, distance: noc_core::DistanceClass::C2C },
+    );
+    struct R {
+        wport: u16,
+    }
+    impl RoutingAlg for R {
+        fn route(&self, router: u32, dst: u32) -> RouteDecision {
+            if router == 0 {
+                // Reader index = dst - 1 (readers are routers 1..=4).
+                RouteDecision::any_vc(self.wport, 4).to_reader((dst - 1) as u16)
+            } else {
+                assert_eq!(router, dst, "flit must only surface at its destination");
+                RouteDecision::any_vc(0, 4)
+            }
+        }
+    }
+    let mut net = b.build(Box::new(R { wport: wports[0] }));
+    for dst in 1..5 {
+        for _ in 0..5 {
+            net.inject_packet(0, dst, 2);
+        }
+    }
+    assert!(net.drain(10_000));
+    assert_eq!(net.stats.packets_delivered, 20);
+    for dst in 1..5usize {
+        assert_eq!(net.stats.per_core_ejected[dst], 10);
+    }
+    // 40 flits crossed the bus, each discarded by 3 non-addressed readers.
+    assert_eq!(net.buses()[0].discards, 40 * 3);
+}
+
+#[test]
+fn throughput_counter_matches_hand_count() {
+    let mut net = two_router_net(1, 1);
+    net.stats.measure_from = 0;
+    for _ in 0..10 {
+        net.inject_packet(0, 1, 2);
+    }
+    assert!(net.drain(1000));
+    assert_eq!(net.stats.measured_flits_ejected, 20);
+    assert_eq!(net.stats.flits_injected, 20);
+}
+
+#[test]
+fn speculative_pipeline_saves_one_cycle_per_hop() {
+    let run = |speculative: bool| -> f64 {
+        let mut b = NetworkBuilder::new(
+            2,
+            2,
+            if speculative {
+                RouterConfig::default().with_speculation()
+            } else {
+                RouterConfig::default()
+            },
+        );
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        let (_, o01, _) = b.add_channel(0, 1, 1, 1, LinkClass::Photonic);
+        let (_, o10, _) = b.add_channel(1, 0, 1, 1, LinkClass::Photonic);
+        let table = vec![
+            vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(o01, 4)],
+            vec![RouteDecision::any_vc(o10, 4), RouteDecision::any_vc(0, 4)],
+        ];
+        let mut net = b.build(Box::new(TableRouting { table }));
+        net.inject_packet(0, 1, 1);
+        assert!(net.drain(200));
+        net.stats.latency.mean()
+    };
+    let base = run(false);
+    let spec = run(true);
+    // Two routers on the path -> two cycles saved.
+    assert!(
+        (base - spec - 2.0).abs() < 0.5,
+        "expected ~2 cycles saved: {base} vs {spec}"
+    );
+}
+
+#[test]
+fn speculative_network_drains_under_load() {
+    let mut b = NetworkBuilder::new(2, 2, RouterConfig::default().with_speculation());
+    b.attach_core(0, 0);
+    b.attach_core(1, 1);
+    let (_, o01, _) = b.add_channel(0, 1, 1, 1, LinkClass::Photonic);
+    let (_, o10, _) = b.add_channel(1, 0, 1, 1, LinkClass::Photonic);
+    let table = vec![
+        vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(o01, 4)],
+        vec![RouteDecision::any_vc(o10, 4), RouteDecision::any_vc(0, 4)],
+    ];
+    let mut net = b.build(Box::new(TableRouting { table }));
+    for i in 0..60 {
+        net.inject_packet(i % 2, (i + 1) % 2, 1 + (i % 4) as u16);
+    }
+    assert!(net.drain(10_000));
+    assert_eq!(net.stats.packets_delivered, 60);
+}
+
+#[test]
+fn hop_counts_recorded() {
+    let mut net = two_router_net(1, 1);
+    net.inject_packet(0, 1, 1);
+    net.drain(100);
+    // 1 channel hop; ejection does not count as a hop.
+    // (hops live on flits; verify indirectly through router traversals:
+    // 2 traversals — one at each router.)
+    assert_eq!(net.stats.router_traversals.iter().sum::<u64>(), 2);
+    assert_eq!(net.stats.channel_flits.iter().sum::<u64>(), 1);
+}

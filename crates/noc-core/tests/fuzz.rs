@@ -1,0 +1,214 @@
+//! Engine fuzz tests: randomized tree topologies with random link
+//! parameters and traffic.
+//!
+//! Tree routing is deadlock-free by construction (the channel dependence
+//! graph of up/down routing on a tree is acyclic), so *any* failure to
+//! drain here is an engine bug — credits, arbitration, token handling or
+//! pipeline state machines — rather than a topology problem.
+
+use proptest::prelude::*;
+
+use noc_core::routing::TableRouting;
+use noc_core::{LinkClass, NetworkBuilder, RouteDecision, RouterConfig};
+
+/// Build a random tree network: router i > 0 links to a parent < i, one
+/// core per router. Returns the network, with routing along tree paths.
+fn tree_network(
+    parents: &[usize],
+    latency: u32,
+    ser: u32,
+    vcs: u8,
+    depth: u32,
+) -> noc_core::Network {
+    let n = parents.len() + 1;
+    let mut b = NetworkBuilder::new(n, n, RouterConfig::new(vcs, depth));
+    for r in 0..n as u32 {
+        b.attach_core(r, r);
+    }
+    // up_port[i] = port toward parent; down_port[p][child] = port to child.
+    let mut up_port = vec![u16::MAX; n];
+    let mut down_port = vec![vec![]; n];
+    for (i, &p) in parents.iter().enumerate() {
+        let child = (i + 1) as u32;
+        let class = LinkClass::Electrical { length_mm: 1.0 };
+        let (_, op_up, _) = b.add_channel(child, p as u32, latency, ser, class);
+        up_port[child as usize] = op_up;
+        let (_, op_down, _) = b.add_channel(p as u32, child, latency, ser, class);
+        down_port[p].push((child, op_down));
+    }
+    // Routing tables along tree paths.
+    let parent_of = |r: usize| -> Option<usize> {
+        if r == 0 {
+            None
+        } else {
+            Some(parents[r - 1])
+        }
+    };
+    let path_to_root = |mut r: usize| -> Vec<usize> {
+        let mut p = vec![r];
+        while let Some(q) = parent_of(r) {
+            r = q;
+            p.push(r);
+        }
+        p
+    };
+    let mut table = vec![vec![RouteDecision::any_vc(0, vcs); n]; n];
+    #[allow(clippy::needless_range_loop)]
+    for src in 0..n {
+        let up_src = path_to_root(src);
+        for dst in 0..n {
+            if src == dst {
+                table[src][dst] = RouteDecision::any_vc(0, vcs); // eject port
+                continue;
+            }
+            let up_dst = path_to_root(dst);
+            // Next hop from src toward dst: if dst is in src's subtree,
+            // step down toward it; else step up.
+            let next = if up_dst.contains(&src) {
+                // dst is below src: the node just before src on dst's
+                // up-path.
+                let i = up_dst.iter().position(|&x| x == src).unwrap();
+                up_dst[i - 1]
+            } else {
+                up_src[1] // parent
+            };
+            let port = if parent_of(src) == Some(next) {
+                up_port[src]
+            } else {
+                down_port[src].iter().find(|&&(c, _)| c as usize == next).unwrap().1
+            };
+            table[src][dst] = RouteDecision::any_vc(port, vcs);
+        }
+    }
+    b.build(Box::new(TableRouting { table }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_trees_always_drain(
+        shape in prop::collection::vec(0usize..64, 1..12),
+        latency in 1u32..5,
+        ser in 1u32..4,
+        vcs in 1u8..5,
+        depth in 1u32..6,
+        packets in prop::collection::vec((0usize..12, 0usize..12, 1u16..5), 1..60),
+    ) {
+        // Normalize parents: router i+1 attaches to some router <= i.
+        let parents: Vec<usize> =
+            shape.iter().enumerate().map(|(i, &s)| s % (i + 1)).collect();
+        let n = parents.len() + 1;
+        let mut net = tree_network(&parents, latency, ser, vcs, depth);
+        let mut offered = 0;
+        for &(s, d, len) in &packets {
+            let (s, d) = (s % n, d % n);
+            if s != d {
+                net.inject_packet(s as u32, d as u32, len);
+                offered += 1;
+            }
+        }
+        prop_assert!(net.drain(200_000), "engine stuck on a tree topology");
+        net.check_invariants();
+        prop_assert_eq!(net.stats.packets_delivered, offered);
+        prop_assert_eq!(net.stats.flits_injected, net.stats.flits_ejected);
+    }
+
+    /// The same trees, but every parent link is an MWSR bus written by all
+    /// children of that parent (shared-medium fuzzing: tokens, shared
+    /// credit pools, vc ownership).
+    #[test]
+    fn random_bus_trees_always_drain(
+        shape in prop::collection::vec(0usize..64, 1..10),
+        token_pass in 0u32..4,
+        depth in 1u32..5,
+        packets in prop::collection::vec((0usize..10, 0usize..10, 1u16..4), 1..40),
+    ) {
+        let parents: Vec<usize> =
+            shape.iter().enumerate().map(|(i, &s)| s % (i + 1)).collect();
+        let n = parents.len() + 1;
+        let cfg = RouterConfig::new(4, depth);
+        let mut b = NetworkBuilder::new(n, n, cfg);
+        for r in 0..n as u32 {
+            b.attach_core(r, r);
+        }
+        // Children per parent.
+        let mut children: Vec<Vec<u32>> = vec![vec![]; n];
+        for (i, &p) in parents.iter().enumerate() {
+            children[p].push((i + 1) as u32);
+        }
+        // Upward: one MWSR bus per parent, written by all its children.
+        let mut up_port = vec![u16::MAX; n];
+        for (p, kids) in children.iter().enumerate() {
+            if kids.is_empty() {
+                continue;
+            }
+            let (_, wps, _) = b.add_bus(
+                noc_core::BusKind::Mwsr,
+                kids,
+                &[p as u32],
+                1,
+                1,
+                token_pass,
+                LinkClass::Photonic,
+            );
+            for (w, &k) in kids.iter().enumerate() {
+                up_port[k as usize] = wps[w];
+            }
+        }
+        // Downward: point-to-point channels.
+        let mut down_port = vec![vec![]; n];
+        for (i, &p) in parents.iter().enumerate() {
+            let child = (i + 1) as u32;
+            let (_, op, _) =
+                b.add_channel(p as u32, child, 1, 1, LinkClass::Electrical { length_mm: 1.0 });
+            down_port[p].push((child, op));
+        }
+        let parent_of = |r: usize| -> Option<usize> {
+            if r == 0 { None } else { Some(parents[r - 1]) }
+        };
+        let path_to_root = |mut r: usize| -> Vec<usize> {
+            let mut path = vec![r];
+            while let Some(q) = parent_of(r) {
+                r = q;
+                path.push(r);
+            }
+            path
+        };
+        let mut table = vec![vec![RouteDecision::any_vc(0, 4); n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for src in 0..n {
+            let up_src = path_to_root(src);
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let up_dst = path_to_root(dst);
+                let next = if up_dst.contains(&src) {
+                    let i = up_dst.iter().position(|&x| x == src).unwrap();
+                    up_dst[i - 1]
+                } else {
+                    up_src[1]
+                };
+                let port = if parent_of(src) == Some(next) {
+                    up_port[src]
+                } else {
+                    down_port[src].iter().find(|&&(c, _)| c as usize == next).unwrap().1
+                };
+                table[src][dst] = RouteDecision::any_vc(port, 4);
+            }
+        }
+        let mut net = b.build(Box::new(TableRouting { table }));
+        let mut offered = 0;
+        for &(s, d, len) in &packets {
+            let (s, d) = (s % n, d % n);
+            if s != d {
+                net.inject_packet(s as u32, d as u32, len);
+                offered += 1;
+            }
+        }
+        prop_assert!(net.drain(300_000), "engine stuck on a bus tree");
+        net.check_invariants();
+        prop_assert_eq!(net.stats.packets_delivered, offered);
+    }
+}

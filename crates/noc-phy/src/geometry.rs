@@ -1,0 +1,201 @@
+//! OWN-256 floorplan geometry (Fig. 1).
+//!
+//! Four 25×25 mm clusters tile a 50×50 mm 2.5-D substrate; quadrants are
+//! numbered 0 = NW, 1 = NE, 2 = SE, 3 = SW (the convention of
+//! `noc_topology::channels`). Each cluster is a 4×4 grid of 6.25 mm tiles.
+//!
+//! Antenna positions are derived from the Table I distance classes — the
+//! paper gives the distances (~60 / ~30 / ~10 mm) and the channel pairs,
+//! which pins each antenna to a corner region:
+//!
+//! * the **diagonal** antennas (A0, B1, B2, A3) sit on the cluster's outer
+//!   chip corner, realizing the ~60 mm corner-to-corner spans;
+//! * the **edge** antennas (B0, A1, A2, B3) sit near the outer end of the
+//!   shared horizontal edge, ~30 mm apart;
+//! * the **short-range** antennas (C0–C3) sit on adjacent corners across
+//!   the vertical cluster seam, ~10 mm apart;
+//! * the **D** antennas occupy the inner corners near the chip centre —
+//!   idle spares at 256 cores, the intra-group transceivers at 1024
+//!   (and the reason §III-A warns that putting *all* transceivers at the
+//!   centre would concentrate load and heat).
+
+/// Millimetre position on the substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x_mm: f64,
+    pub y_mm: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn distance_mm(&self, other: Point) -> f64 {
+        ((self.x_mm - other.x_mm).powi(2) + (self.y_mm - other.y_mm).powi(2)).sqrt()
+    }
+}
+
+/// The OWN-256 floorplan.
+#[derive(Debug, Clone, Copy)]
+pub struct Floorplan {
+    /// Cluster edge length (paper: 25 mm).
+    pub cluster_mm: f64,
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Floorplan { cluster_mm: 25.0 }
+    }
+}
+
+impl Floorplan {
+    /// Origin (NW corner) of a quadrant: 0 = NW, 1 = NE, 2 = SE, 3 = SW.
+    pub fn cluster_origin(&self, cluster: u32) -> Point {
+        let c = self.cluster_mm;
+        match cluster {
+            0 => Point { x_mm: 0.0, y_mm: 0.0 },
+            1 => Point { x_mm: c, y_mm: 0.0 },
+            2 => Point { x_mm: c, y_mm: c },
+            3 => Point { x_mm: 0.0, y_mm: c },
+            _ => panic!("cluster {cluster} out of range"),
+        }
+    }
+
+    /// Centre of tile `(tx, ty)` (0..4 each) of a cluster.
+    pub fn tile_center(&self, cluster: u32, tx: u32, ty: u32) -> Point {
+        assert!(tx < 4 && ty < 4);
+        let o = self.cluster_origin(cluster);
+        let pitch = self.cluster_mm / 4.0;
+        Point {
+            x_mm: o.x_mm + pitch * (tx as f64 + 0.5),
+            y_mm: o.y_mm + pitch * (ty as f64 + 0.5),
+        }
+    }
+
+    /// Tile hosting antenna `letter` of `cluster` (see module docs for the
+    /// derivation from Table I).
+    pub fn antenna_tile(&self, cluster: u32, letter: char) -> (u32, u32) {
+        match (letter, cluster) {
+            // Diagonal transceivers on the outer chip corners.
+            ('A', 0) => (0, 0),
+            ('B', 1) => (3, 0),
+            ('B', 2) => (3, 3),
+            ('A', 3) => (0, 3),
+            // Edge transceivers near the outer end of the shared edge.
+            ('B', 0) => (1, 0),
+            ('A', 1) => (2, 0),
+            ('A', 2) => (2, 3),
+            ('B', 3) => (1, 3),
+            // Short-range transceivers across the vertical seam.
+            ('C', 0) => (0, 3),
+            ('C', 1) => (3, 3),
+            ('C', 2) => (3, 0),
+            ('C', 3) => (0, 0),
+            // Spares / intra-group transceivers at the inner corners.
+            ('D', 0) => (3, 3),
+            ('D', 1) => (0, 3),
+            ('D', 2) => (0, 0),
+            ('D', 3) => (3, 0),
+            _ => panic!("antenna {letter}{cluster} undefined"),
+        }
+    }
+
+    /// Position of a corner antenna.
+    pub fn antenna(&self, cluster: u32, letter: char) -> Point {
+        let (tx, ty) = self.antenna_tile(cluster, letter);
+        self.tile_center(cluster, tx, ty)
+    }
+
+    /// Distance between two antennas, in mm.
+    pub fn antenna_distance_mm(&self, c1: u32, l1: char, c2: u32, l2: char) -> f64 {
+        self.antenna(c1, l1).distance_mm(self.antenna(c2, l2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_links_are_roughly_60mm() {
+        let f = Floorplan::default();
+        let d1 = f.antenna_distance_mm(3, 'A', 1, 'B');
+        let d2 = f.antenna_distance_mm(0, 'A', 2, 'B');
+        for d in [d1, d2] {
+            assert!((55.0..66.0).contains(&d), "diagonal span {d:.1} mm (paper ~60)");
+        }
+    }
+
+    #[test]
+    fn edge_links_are_roughly_30mm() {
+        let f = Floorplan::default();
+        let d1 = f.antenna_distance_mm(2, 'A', 3, 'B');
+        let d2 = f.antenna_distance_mm(1, 'A', 0, 'B');
+        for d in [d1, d2] {
+            assert!((25.0..36.0).contains(&d), "edge span {d:.1} mm (paper ~30)");
+        }
+    }
+
+    #[test]
+    fn short_links_are_roughly_10mm() {
+        let f = Floorplan::default();
+        let d1 = f.antenna_distance_mm(0, 'C', 3, 'C');
+        let d2 = f.antenna_distance_mm(1, 'C', 2, 'C');
+        for d in [d1, d2] {
+            assert!((4.0..12.0).contains(&d), "short span {d:.1} mm (paper ~10)");
+        }
+        assert!(d1 < 0.25 * f.antenna_distance_mm(3, 'A', 1, 'B'));
+    }
+
+    #[test]
+    fn class_ordering_diag_gt_edge_gt_sr() {
+        let f = Floorplan::default();
+        let diag = f.antenna_distance_mm(0, 'A', 2, 'B');
+        let edge = f.antenna_distance_mm(0, 'B', 1, 'A');
+        let sr = f.antenna_distance_mm(0, 'C', 3, 'C');
+        assert!(diag > edge && edge > sr, "{diag} > {edge} > {sr}");
+    }
+
+    #[test]
+    fn d_antennas_cluster_near_chip_center() {
+        let f = Floorplan::default();
+        for c in 0..4 {
+            let p = f.antenna(c, 'D');
+            let center = Point { x_mm: 25.0, y_mm: 25.0 };
+            assert!(
+                p.distance_mm(center) < 6.0,
+                "D{c} at ({:.1},{:.1}) should hug the centre",
+                p.x_mm,
+                p.y_mm
+            );
+        }
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let f = Floorplan::default();
+        assert_eq!(
+            f.antenna_distance_mm(0, 'A', 2, 'B'),
+            f.antenna_distance_mm(2, 'B', 0, 'A')
+        );
+    }
+
+    #[test]
+    fn tile_centers_inside_cluster() {
+        let f = Floorplan::default();
+        for c in 0..4 {
+            let o = f.cluster_origin(c);
+            for tx in 0..4 {
+                for ty in 0..4 {
+                    let p = f.tile_center(c, tx, ty);
+                    assert!(p.x_mm > o.x_mm && p.x_mm < o.x_mm + 25.0);
+                    assert!(p.y_mm > o.y_mm && p.y_mm < o.y_mm + 25.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_cluster_panics() {
+        let _ = Floorplan::default().cluster_origin(4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Wideband cascode LNA model (Figure 4c).
+//!
+//! The receiver front-end is a common-source–degenerated cascade-cascode
+//! LNA with ≈10 dB of gain around 90 GHz — "sufficient for 50 mm operation"
+//! (§IV-A). The gain response is a parabolic band-pass fit like the PA's,
+//! but wider; noise figure and DC power are carried for the transceiver
+//! energy roll-up.
+
+/// Cascode low-noise amplifier.
+#[derive(Debug, Clone, Copy)]
+pub struct Lna {
+    /// Peak gain in dB.
+    pub peak_gain_db: f64,
+    /// Centre frequency in GHz.
+    pub center_ghz: f64,
+    /// Gain roll-off in dB/GHz².
+    pub rolloff_db_per_ghz2: f64,
+    /// Noise figure in dB.
+    pub noise_figure_db: f64,
+    /// DC power in watts.
+    pub dc_power_w: f64,
+}
+
+impl Default for Lna {
+    fn default() -> Self {
+        Lna {
+            peak_gain_db: 10.0,
+            center_ghz: 90.0,
+            // Wideband: 3 dB bandwidth ≈ 35 GHz.
+            rolloff_db_per_ghz2: 3.0 / (17.5f64 * 17.5),
+            noise_figure_db: 6.5,
+            dc_power_w: 9e-3,
+        }
+    }
+}
+
+impl Lna {
+    /// Gain at `f_ghz` in dB.
+    pub fn gain_db(&self, f_ghz: f64) -> f64 {
+        self.peak_gain_db - self.rolloff_db_per_ghz2 * (f_ghz - self.center_ghz).powi(2)
+    }
+
+    /// 3-dB bandwidth in GHz.
+    pub fn bandwidth_3db_ghz(&self) -> f64 {
+        2.0 * (3.0 / self.rolloff_db_per_ghz2).sqrt()
+    }
+
+    /// Whether the front-end gain suffices for a receiver whose envelope
+    /// detector needs `required_db` of pre-detection gain.
+    pub fn sufficient_for(&self, required_db: f64) -> bool {
+        self.peak_gain_db >= required_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_db_gain_at_90_ghz() {
+        let l = Lna::default();
+        assert_eq!(l.gain_db(90.0), 10.0);
+    }
+
+    #[test]
+    fn wideband_response() {
+        let l = Lna::default();
+        let bw = l.bandwidth_3db_ghz();
+        assert!((30.0..=40.0).contains(&bw), "got {bw:.1} GHz");
+        // Covers the paper's 32 Gb/s OOK sidebands comfortably.
+        assert!(l.gain_db(74.0) > 7.0 - 1e-9);
+        assert!(l.gain_db(106.0) > 7.0 - 1e-9);
+    }
+
+    #[test]
+    fn gain_sufficient_for_50mm_operation() {
+        let l = Lna::default();
+        assert!(l.sufficient_for(10.0));
+        assert!(!l.sufficient_for(15.0));
+    }
+
+    #[test]
+    fn symmetric_rolloff() {
+        let l = Lna::default();
+        assert!((l.gain_db(80.0) - l.gain_db(100.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Class-AB power amplifier model (Figure 4b).
+//!
+//! The paper's transmitter uses a one-stage class-AB PA with 14 mW of DC
+//! dissipation at a 1 V supply, a peak gain of 3.5 dB centred at 90 GHz
+//! with ~20 GHz of bandwidth at the 2 dB gain level, a 1-dB compression
+//! point of ≈5 dBm and sufficient saturated power (7 dBm) for the worst-case
+//! 50 mm link (≥4 dBm required).
+//!
+//! Gain vs frequency is a parabolic band-pass fit; compression follows the
+//! Rapp model
+//!
+//! ```text
+//! P_out = G·P_in / (1 + (G·P_in / P_sat)^(2p))^(1/(2p))
+//! ```
+
+/// One-stage class-AB PA.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassAbPa {
+    /// Peak small-signal gain in dB.
+    pub peak_gain_db: f64,
+    /// Centre frequency in GHz.
+    pub center_ghz: f64,
+    /// Gain roll-off in dB/GHz² (parabolic band-pass fit).
+    pub rolloff_db_per_ghz2: f64,
+    /// Saturated output power in dBm.
+    pub psat_dbm: f64,
+    /// Rapp smoothness parameter.
+    pub rapp_p: f64,
+    /// DC power at 1 V supply in watts.
+    pub dc_power_w: f64,
+}
+
+impl Default for ClassAbPa {
+    fn default() -> Self {
+        ClassAbPa {
+            peak_gain_db: 3.5,
+            center_ghz: 90.0,
+            // 2 dB gain at ±10 GHz: 1.5 dB drop over 100 GHz².
+            rolloff_db_per_ghz2: 1.5 / 100.0,
+            psat_dbm: 7.0,
+            rapp_p: 1.5,
+            dc_power_w: 14e-3,
+        }
+    }
+}
+
+impl ClassAbPa {
+    /// Small-signal gain at `f_ghz` in dB.
+    pub fn gain_db(&self, f_ghz: f64) -> f64 {
+        self.peak_gain_db - self.rolloff_db_per_ghz2 * (f_ghz - self.center_ghz).powi(2)
+    }
+
+    /// Bandwidth (GHz) over which the gain stays above `level_db`.
+    pub fn bandwidth_ghz(&self, level_db: f64) -> f64 {
+        if level_db >= self.peak_gain_db {
+            return 0.0;
+        }
+        2.0 * ((self.peak_gain_db - level_db) / self.rolloff_db_per_ghz2).sqrt()
+    }
+
+    /// Large-signal output power (dBm) for input power `pin_dbm` at the
+    /// centre frequency (Rapp compression model).
+    pub fn pout_dbm(&self, pin_dbm: f64) -> f64 {
+        let g = 10f64.powf(self.peak_gain_db / 10.0);
+        let pin = 10f64.powf(pin_dbm / 10.0); // mW
+        let psat = 10f64.powf(self.psat_dbm / 10.0);
+        let lin = g * pin;
+        let pout = lin / (1.0 + (lin / psat).powf(2.0 * self.rapp_p)).powf(1.0 / (2.0 * self.rapp_p));
+        10.0 * pout.log10()
+    }
+
+    /// Output-referred 1-dB compression point in dBm (solved numerically).
+    pub fn p1db_dbm(&self) -> f64 {
+        // Scan input power for the point where gain has dropped by 1 dB.
+        let mut lo = -30.0;
+        let mut hi = 20.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let compression = (mid + self.peak_gain_db) - self.pout_dbm(mid);
+            if compression < 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.pout_dbm(0.5 * (lo + hi))
+    }
+
+    /// Drain efficiency at saturated output.
+    pub fn efficiency_at_psat(&self) -> f64 {
+        10f64.powf(self.psat_dbm / 10.0) * 1e-3 / self.dc_power_w
+    }
+
+    /// Can this PA drive a link that needs `p_req_dbm` of transmit power?
+    pub fn can_drive_dbm(&self, p_req_dbm: f64) -> bool {
+        self.psat_dbm >= p_req_dbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_gain_at_center() {
+        let pa = ClassAbPa::default();
+        assert_eq!(pa.gain_db(90.0), 3.5);
+        assert!(pa.gain_db(80.0) < 3.5);
+        assert!(pa.gain_db(100.0) < 3.5);
+    }
+
+    #[test]
+    fn bandwidth_is_20ghz_at_2db() {
+        let pa = ClassAbPa::default();
+        let bw = pa.bandwidth_ghz(2.0);
+        assert!((19.0..=21.0).contains(&bw), "paper: ~20 GHz; got {bw:.1}");
+    }
+
+    #[test]
+    fn p1db_matches_paper() {
+        let pa = ClassAbPa::default();
+        let p = pa.p1db_dbm();
+        assert!((4.0..=6.0).contains(&p), "paper: ≈5 dBm; got {p:.2}");
+    }
+
+    #[test]
+    fn small_signal_region_is_linear() {
+        let pa = ClassAbPa::default();
+        let g = pa.pout_dbm(-20.0) - (-20.0);
+        assert!((g - 3.5).abs() < 0.05, "small-signal gain {g:.2} dB");
+    }
+
+    #[test]
+    fn saturates_at_psat() {
+        let pa = ClassAbPa::default();
+        assert!(pa.pout_dbm(30.0) <= 7.01);
+        assert!(pa.pout_dbm(30.0) > 6.5);
+    }
+
+    #[test]
+    fn pout_monotone_in_pin() {
+        let pa = ClassAbPa::default();
+        let mut last = f64::NEG_INFINITY;
+        for pin in (-30..=20).map(f64::from) {
+            let p = pa.pout_dbm(pin);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn drives_the_worst_case_own_link() {
+        // ≥4 dBm needed for 50 mm at 0 dBi (Fig. 3); PA delivers 7 dBm.
+        let pa = ClassAbPa::default();
+        assert!(pa.can_drive_dbm(4.0));
+        assert!(!pa.can_drive_dbm(10.0));
+    }
+
+    #[test]
+    fn class_ab_efficiency_plausible() {
+        let pa = ClassAbPa::default();
+        let eta = pa.efficiency_at_psat();
+        assert!((0.2..0.6).contains(&eta), "class-AB efficiency {eta:.2}");
+    }
+}

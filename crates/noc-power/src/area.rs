@@ -1,0 +1,204 @@
+//! Area model (DSENT-style, 45 nm).
+//!
+//! §V says DSENT supplied "the area and power of the wired links and
+//! routers"; the paper reports no area table, but the radix argument it
+//! makes ("7168 modulators, 112 waveguides, 7.3 million photodetectors …
+//! prohibitive") is an area/integration argument. This model reproduces
+//! DSENT's decomposition at 45 nm so the comparison can be made explicit:
+//!
+//! * input buffers — SRAM bits = ports × VCs × depth × flit width;
+//! * crossbar — a radix × radix matrix of flit-wide wire tracks, so area
+//!   grows quadratically with radix (the OptXB killer);
+//! * allocators — small, linear in radix;
+//! * photonic rings — ~100 µm² each, but *count* is what matters for
+//!   trimming/thermal control;
+//! * wireless transceivers — PA + LNA + oscillator + on-chip antenna at
+//!   90 GHz ≈ 0.4 mm² per transceiver (§IV-A scale).
+
+use noc_core::{LinkClass, Network};
+
+/// Area coefficients at bulk 45 nm.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    /// SRAM cell area per buffer bit, mm².
+    pub sram_mm2_per_bit: f64,
+    /// Crossbar wire pitch, mm per bit-track.
+    pub xbar_track_mm: f64,
+    /// Allocator area per port, mm².
+    pub alloc_mm2_per_port: f64,
+    /// Ring resonator footprint (incl. heater), mm².
+    pub ring_mm2: f64,
+    /// Wireless transceiver (PA + LNA + VCO + ED + antenna), mm².
+    pub transceiver_mm2: f64,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Wavelengths per waveguide.
+    pub wavelengths: u32,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            sram_mm2_per_bit: 1.0e-6,
+            xbar_track_mm: 0.6e-3,
+            alloc_mm2_per_port: 0.002,
+            ring_mm2: 1.0e-4,
+            transceiver_mm2: 0.4,
+            flit_bits: 128,
+            wavelengths: 64,
+        }
+    }
+}
+
+/// Aggregated area of one architecture instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkArea {
+    /// All router buffers, mm².
+    pub buffers_mm2: f64,
+    /// All router crossbars, mm².
+    pub crossbars_mm2: f64,
+    /// All allocators, mm².
+    pub allocators_mm2: f64,
+    /// All wireless transceivers, mm².
+    pub transceivers_mm2: f64,
+    /// Ring resonator count (modulator banks + drop filters).
+    pub rings: u64,
+    /// Ring footprint, mm².
+    pub rings_mm2: f64,
+}
+
+impl NetworkArea {
+    /// Total silicon area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.buffers_mm2
+            + self.crossbars_mm2
+            + self.allocators_mm2
+            + self.transceivers_mm2
+            + self.rings_mm2
+    }
+}
+
+impl AreaModel {
+    /// Router area from its physical radix and VC configuration.
+    pub fn router_mm2(&self, radix: usize, vcs: u8, depth: u32) -> (f64, f64, f64) {
+        let bits =
+            radix as f64 * f64::from(vcs) * f64::from(depth) * f64::from(self.flit_bits);
+        let buffers = bits * self.sram_mm2_per_bit;
+        let side = radix as f64 * f64::from(self.flit_bits) * self.xbar_track_mm;
+        let crossbar = side * side;
+        let alloc = radix as f64 * self.alloc_mm2_per_port;
+        (buffers, crossbar, alloc)
+    }
+
+    /// Walk a built network and aggregate its area.
+    pub fn of(&self, net: &Network, vcs: u8, depth: u32) -> NetworkArea {
+        let mut a = NetworkArea {
+            buffers_mm2: 0.0,
+            crossbars_mm2: 0.0,
+            allocators_mm2: 0.0,
+            transceivers_mm2: 0.0,
+            rings: 0,
+            rings_mm2: 0.0,
+        };
+        for r in 0..net.num_routers() as u32 {
+            let radix = net.router(r).radix_for_power();
+            let (b, x, al) = self.router_mm2(radix, vcs, depth);
+            a.buffers_mm2 += b;
+            a.crossbars_mm2 += x;
+            a.allocators_mm2 += al;
+        }
+        // Wireless transceivers: one per wireless endpoint (TX or RX side
+        // of a channel; each writer/reader of a wireless bus).
+        for ch in net.channels() {
+            if matches!(ch.class, LinkClass::Wireless { .. }) {
+                a.transceivers_mm2 += 2.0 * self.transceiver_mm2;
+            }
+        }
+        for bus in net.buses() {
+            match bus.class {
+                LinkClass::Wireless { .. } => {
+                    a.transceivers_mm2 += self.transceiver_mm2
+                        * (bus.writers.len() + bus.readers.len()) as f64;
+                }
+                LinkClass::Photonic => {
+                    // Every writer carries a full modulator bank; the
+                    // reader a drop-filter bank.
+                    let rings =
+                        (bus.writers.len() + bus.readers.len()) as u64 * u64::from(self.wavelengths);
+                    a.rings += rings;
+                    a.rings_mm2 += rings as f64 * self.ring_mm2;
+                }
+                LinkClass::Electrical { .. } => {}
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::routing::TableRouting;
+    use noc_core::{BusKind, NetworkBuilder, RouteDecision, RouterConfig};
+
+    fn area() -> AreaModel {
+        AreaModel::default()
+    }
+
+    #[test]
+    fn crossbar_area_grows_quadratically() {
+        let m = area();
+        let (_, x8, _) = m.router_mm2(8, 4, 4);
+        let (_, x64, _) = m.router_mm2(64, 4, 4);
+        assert!((x64 / x8 - 64.0).abs() < 1.0, "8x radix → 64x area, got {}", x64 / x8);
+    }
+
+    #[test]
+    fn radix8_router_is_sub_mm2() {
+        let m = area();
+        let (b, x, al) = m.router_mm2(8, 4, 4);
+        let total = b + x + al;
+        assert!(total < 1.0, "a 45 nm radix-8 router is well under 1 mm², got {total:.3}");
+    }
+
+    #[test]
+    fn high_radix_crossbar_dominates() {
+        let m = area();
+        let (b, x, al) = m.router_mm2(67, 4, 4);
+        assert!(x > 10.0 * (b + al), "radix-67 crossbar dwarfs the rest");
+    }
+
+    #[test]
+    fn photonic_bus_rings_counted() {
+        let mut b = NetworkBuilder::new(3, 3, RouterConfig::default());
+        for c in 0..3 {
+            b.attach_core(c, c);
+        }
+        b.add_bus(BusKind::Mwsr, &[0, 1], &[2], 1, 1, 1, LinkClass::Photonic);
+        let table = vec![vec![RouteDecision::any_vc(0, 4)]; 3];
+        let net = b.build(Box::new(TableRouting { table }));
+        let a = area().of(&net, 4, 4);
+        // (2 writers + 1 reader) × 64 λ.
+        assert_eq!(a.rings, 3 * 64);
+        assert!(a.rings_mm2 > 0.0);
+        assert_eq!(a.transceivers_mm2, 0.0);
+    }
+
+    #[test]
+    fn wireless_channel_counts_two_transceivers() {
+        let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        b.add_channel(
+            0,
+            1,
+            1,
+            1,
+            LinkClass::Wireless { channel: 1, distance: noc_core::DistanceClass::SR },
+        );
+        let table = vec![vec![RouteDecision::any_vc(0, 4); 2]; 2];
+        let net = b.build(Box::new(TableRouting { table }));
+        let a = area().of(&net, 4, 4);
+        assert!((a.transceivers_mm2 - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! Network power aggregation: event counts × energy models → watts.
+//!
+//! [`PowerModel::price`] walks a simulated [`noc_core::Network`], multiplies
+//! every channel/bus flit count by the per-flit energy of its medium and
+//! every router traversal by the DSENT-style router energy, adds leakage
+//! over the simulated wall-clock time, and returns the per-component
+//! breakdown plotted in Figures 5, 6 and 8b.
+
+use noc_core::{LinkClass, Network};
+
+use crate::electrical::ElectricalModel;
+use crate::photonic::PhotonicModel;
+use crate::wireless::WirelessModel;
+
+/// Global parameters shared by the models.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerParams {
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Router clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        // Matches noc_topology::normalize (128-bit flits at 2 GHz).
+        PowerParams { flit_bits: 128, clock_hz: 2.0e9 }
+    }
+}
+
+/// The complete pricing model for one architecture.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    pub params: PowerParams,
+    pub electrical: ElectricalModel,
+    pub photonic: PhotonicModel,
+    pub wireless: WirelessModel,
+}
+
+impl PowerModel {
+    /// A model with default electrical/photonic coefficients and the given
+    /// wireless pricing.
+    pub fn new(wireless: WirelessModel) -> Self {
+        PowerModel {
+            params: PowerParams::default(),
+            electrical: ElectricalModel::default(),
+            photonic: PhotonicModel::default(),
+            wireless,
+        }
+    }
+
+    /// Price a simulated network over `cycles` cycles of activity.
+    pub fn price(&self, net: &Network, cycles: u64) -> NetworkPower {
+        assert!(cycles > 0, "cannot price a zero-length simulation");
+        let time_s = cycles as f64 / self.params.clock_hz;
+        let bits = f64::from(self.params.flit_bits);
+
+        let mut electrical_pj = 0.0;
+        let mut photonic_pj = 0.0;
+        let mut wireless_pj = 0.0;
+        for (ch, &flits) in net.channels().iter().zip(&net.stats.channel_flits) {
+            let f = flits as f64;
+            match ch.class {
+                LinkClass::Electrical { length_mm } => {
+                    electrical_pj += f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
+                }
+                LinkClass::Photonic => {
+                    photonic_pj += f * self.photonic.pj_per_flit(self.params.flit_bits);
+                }
+                LinkClass::Wireless { channel, distance } => {
+                    wireless_pj +=
+                        f * bits * self.wireless.energy_pj_per_bit(channel, distance);
+                }
+            }
+        }
+        for (bus, &flits) in net.buses().iter().zip(&net.stats.bus_flits) {
+            let f = flits as f64;
+            match bus.class {
+                LinkClass::Electrical { length_mm } => {
+                    electrical_pj += f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
+                }
+                LinkClass::Photonic => {
+                    photonic_pj += f * self.photonic.pj_per_flit(self.params.flit_bits);
+                }
+                LinkClass::Wireless { channel, distance } => {
+                    let e_bit = self.wireless.energy_pj_per_bit(channel, distance);
+                    wireless_pj += f * bits * e_bit;
+                    // Non-addressed multicast receivers demodulate and
+                    // discard: receiver-side energy only.
+                    wireless_pj +=
+                        bus.discards as f64 * bits * e_bit * self.wireless.rx_fraction();
+                }
+            }
+        }
+
+        let mut router_dyn_pj = 0.0;
+        let mut router_leak_mw = 0.0;
+        for r in 0..net.num_routers() as u32 {
+            let router = net.router(r);
+            let radix = router.radix_for_power();
+            router_dyn_pj += net.stats.router_traversals[r as usize] as f64
+                * self.electrical.router_pj_per_flit(radix);
+            router_leak_mw += self.electrical.router_leak_mw(radix, 4);
+        }
+
+        let to_w = |pj: f64| pj * 1e-12 / time_s;
+        NetworkPower {
+            electrical_w: to_w(electrical_pj),
+            photonic_w: to_w(photonic_pj),
+            wireless_w: to_w(wireless_pj),
+            router_dynamic_w: to_w(router_dyn_pj),
+            router_static_w: router_leak_mw * 1e-3,
+            flits_delivered: net.stats.flits_ejected,
+            packets_delivered: net.stats.packets_delivered,
+            cycles,
+            time_s,
+        }
+    }
+}
+
+/// Power breakdown of one simulation (watts).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkPower {
+    /// Electrical wire power.
+    pub electrical_w: f64,
+    /// Photonic link power.
+    pub photonic_w: f64,
+    /// Wireless link power (incl. multicast discard receive energy).
+    pub wireless_w: f64,
+    /// Router dynamic power (buffers, crossbar, allocators).
+    pub router_dynamic_w: f64,
+    /// Router leakage.
+    pub router_static_w: f64,
+    /// Flits delivered over the priced interval.
+    pub flits_delivered: u64,
+    /// Packets delivered over the priced interval.
+    pub packets_delivered: u64,
+    /// Priced interval in cycles.
+    pub cycles: u64,
+    /// Priced interval in seconds.
+    pub time_s: f64,
+}
+
+impl NetworkPower {
+    /// Total network power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.electrical_w
+            + self.photonic_w
+            + self.wireless_w
+            + self.router_dynamic_w
+            + self.router_static_w
+    }
+
+    /// Link power only (no routers), as plotted in Figure 5.
+    pub fn link_w(&self) -> f64 {
+        self.electrical_w + self.photonic_w + self.wireless_w
+    }
+
+    /// Average energy per delivered packet in nanojoules (Figure 8b's
+    /// "average power consumed per packet" metric).
+    pub fn nj_per_packet(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.total_w() * self.time_s * 1e9 / self.packets_delivered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::WinocConfig;
+    use crate::wireless::Scenario;
+    use noc_core::routing::TableRouting;
+    use noc_core::{
+        DistanceClass, LinkClass, NetworkBuilder, RouteDecision, RouterConfig,
+    };
+
+    fn model() -> PowerModel {
+        PowerModel::new(WirelessModel::own(Scenario::Ideal, WinocConfig::Config4))
+    }
+
+    fn wireless_pair_net() -> Network {
+        let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        let cl = LinkClass::Wireless { channel: 1, distance: DistanceClass::C2C };
+        let (_, o01, _) = b.add_channel(0, 1, 1, 1, cl);
+        let (_, o10, _) = b.add_channel(1, 0, 1, 1, cl);
+        let table = vec![
+            vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(o01, 4)],
+            vec![RouteDecision::any_vc(o10, 4), RouteDecision::any_vc(0, 4)],
+        ];
+        b.build(Box::new(TableRouting { table }))
+    }
+
+    #[test]
+    fn idle_network_has_only_leakage() {
+        let mut net = wireless_pair_net();
+        net.run(100);
+        let p = model().price(&net, 100);
+        assert_eq!(p.link_w(), 0.0);
+        assert_eq!(p.router_dynamic_w, 0.0);
+        assert!(p.router_static_w > 0.0);
+    }
+
+    #[test]
+    fn wireless_energy_counted_per_bit() {
+        let mut net = wireless_pair_net();
+        for _ in 0..10 {
+            net.inject_packet(0, 1, 4);
+        }
+        assert!(net.drain(10_000));
+        let cycles = net.now;
+        let p = model().price(&net, cycles);
+        // 40 flits × 128 bits × e(band 1, C2C, cfg4: CMOS base 0.1 × LD 1).
+        let expected_pj = 40.0 * 128.0 * 0.1;
+        let got_pj = p.wireless_w * p.time_s * 1e12;
+        assert!((got_pj - expected_pj).abs() < 1e-6, "got {got_pj}, want {expected_pj}");
+        assert!(p.total_w() > p.wireless_w);
+    }
+
+    #[test]
+    fn energy_per_packet_sane() {
+        let mut net = wireless_pair_net();
+        for _ in 0..5 {
+            net.inject_packet(0, 1, 2);
+        }
+        net.drain(10_000);
+        let p = model().price(&net, net.now);
+        assert!(p.nj_per_packet() > 0.0);
+        assert_eq!(p.packets_delivered, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_cycles_rejected() {
+        let net = wireless_pair_net();
+        let _ = model().price(&net, 0);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let mut net = wireless_pair_net();
+        net.inject_packet(0, 1, 1);
+        net.drain(1000);
+        let p1 = model().price(&net, 1000);
+        let p2 = model().price(&net, 2000);
+        // Same events over twice the time → half the dynamic power.
+        assert!((p1.wireless_w / p2.wireless_w - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Table IV: the four wireless NoC implementation configurations.
+//!
+//! Each configuration assigns a transceiver technology to every distance
+//! class; the simulation of §V-B (our Figure 5 reproduction) compares their
+//! wireless link power. The paper's finding: configurations that put SiGe
+//! on the long (C2C) links — 1 and 3 — pay heavily, because the LD factor
+//! of the long links is 1.0; configurations 2 and 4, which keep the long
+//! links on CMOS, cut wireless power by roughly half to four-fifths.
+
+use noc_core::DistanceClass;
+
+use crate::wireless::Technology;
+
+/// A Table IV configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WinocConfig {
+    /// SiGe long range, CMOS medium, CMOS short.
+    Config1,
+    /// CMOS long range, BiCMOS medium, SiGe short.
+    Config2,
+    /// SiGe long range, BiCMOS medium, CMOS short.
+    Config3,
+    /// CMOS long and medium range, BiCMOS short.
+    Config4,
+}
+
+impl WinocConfig {
+    /// All four configurations in table order.
+    pub fn all() -> [WinocConfig; 4] {
+        [
+            WinocConfig::Config1,
+            WinocConfig::Config2,
+            WinocConfig::Config3,
+            WinocConfig::Config4,
+        ]
+    }
+
+    /// Technology assigned to a distance class.
+    pub fn tech_for(self, d: DistanceClass) -> Technology {
+        use DistanceClass::*;
+        use Technology::*;
+        match (self, d) {
+            (WinocConfig::Config1, C2C) => SiGeHbt,
+            (WinocConfig::Config1, E2E) => Cmos,
+            (WinocConfig::Config1, SR) => Cmos,
+            (WinocConfig::Config2, C2C) => Cmos,
+            (WinocConfig::Config2, E2E) => BiCmos,
+            (WinocConfig::Config2, SR) => SiGeHbt,
+            (WinocConfig::Config3, C2C) => SiGeHbt,
+            (WinocConfig::Config3, E2E) => BiCmos,
+            (WinocConfig::Config3, SR) => Cmos,
+            (WinocConfig::Config4, C2C) => Cmos,
+            (WinocConfig::Config4, E2E) => Cmos,
+            (WinocConfig::Config4, SR) => BiCmos,
+        }
+    }
+
+    /// 1-based configuration number.
+    pub fn number(self) -> u8 {
+        match self {
+            WinocConfig::Config1 => 1,
+            WinocConfig::Config2 => 2,
+            WinocConfig::Config3 => 3,
+            WinocConfig::Config4 => 4,
+        }
+    }
+
+    /// Display name ("Configuration 1" …).
+    pub fn name(self) -> String {
+        format!("Configuration {}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DistanceClass::*;
+    use Technology::*;
+
+    #[test]
+    fn table_iv_rows() {
+        let c1 = WinocConfig::Config1;
+        assert_eq!(
+            (c1.tech_for(C2C), c1.tech_for(E2E), c1.tech_for(SR)),
+            (SiGeHbt, Cmos, Cmos)
+        );
+        let c2 = WinocConfig::Config2;
+        assert_eq!(
+            (c2.tech_for(C2C), c2.tech_for(E2E), c2.tech_for(SR)),
+            (Cmos, BiCmos, SiGeHbt)
+        );
+        let c3 = WinocConfig::Config3;
+        assert_eq!(
+            (c3.tech_for(C2C), c3.tech_for(E2E), c3.tech_for(SR)),
+            (SiGeHbt, BiCmos, Cmos)
+        );
+        let c4 = WinocConfig::Config4;
+        assert_eq!(
+            (c4.tech_for(C2C), c4.tech_for(E2E), c4.tech_for(SR)),
+            (Cmos, Cmos, BiCmos)
+        );
+    }
+
+    #[test]
+    fn numbering_and_order() {
+        let nums: Vec<u8> = WinocConfig::all().iter().map(|c| c.number()).collect();
+        assert_eq!(nums, vec![1, 2, 3, 4]);
+        assert_eq!(WinocConfig::Config3.name(), "Configuration 3");
+    }
+
+    #[test]
+    fn sige_on_long_range_only_in_1_and_3() {
+        for c in WinocConfig::all() {
+            let sige_long = c.tech_for(C2C) == SiGeHbt;
+            assert_eq!(
+                sige_long,
+                matches!(c, WinocConfig::Config1 | WinocConfig::Config3)
+            );
+        }
+    }
+}

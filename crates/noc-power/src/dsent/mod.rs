@@ -1,0 +1,30 @@
+//! Mini-DSENT: a technology-parameter-driven router/wire energy model.
+//!
+//! The paper prices electrical routers and links with DSENT v0.91 [23] at a
+//! bulk 45 nm LVT node. DSENT's defining feature — unlike fixed-coefficient
+//! models — is that every energy number is *derived* from technology
+//! parameters (supply, capacitances, leakage currents) through standard
+//! CMOS equations (`E = α·C·V²`, repeated-wire optimization, SRAM bitline
+//! models). This module rebuilds that derivation chain:
+//!
+//! * [`tech`] — technology nodes (bulk 45 nm LVT as in the paper, plus
+//!   32 nm and 22 nm for scaling studies), with unit capacitances, supply
+//!   voltage and leakage currents;
+//! * [`components`] — the router building blocks: SRAM input buffers,
+//!   matrix crossbar, separable allocator, and optimally-repeated global
+//!   wires;
+//! * [`router`] — the assembled virtual-channel router: per-flit dynamic
+//!   energy, leakage, and the calibration bridge to the coarse
+//!   [`crate::ElectricalModel`] coefficients used by the fast pricing path.
+//!
+//! The coarse model's defaults are validated against this derivation in
+//! tests: at 45 nm they agree within small factors, so Figures 6/8b are
+//! insensitive to which one prices the run.
+
+pub mod components;
+pub mod router;
+pub mod tech;
+
+pub use components::{Allocator, Crossbar, RepeatedWire, SramBuffer};
+pub use router::DsentRouter;
+pub use tech::TechNode;

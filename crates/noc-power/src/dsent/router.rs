@@ -1,0 +1,173 @@
+//! The assembled virtual-channel router, DSENT-style.
+
+use super::components::{Allocator, Crossbar, SramBuffer};
+use super::tech::TechNode;
+use crate::electrical::ElectricalModel;
+
+/// A DSENT-style router instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DsentRouter {
+    /// Port count (radix).
+    pub radix: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+    /// Buffer depth per VC, flits.
+    pub depth: u32,
+    /// Flit width, bits.
+    pub flit_bits: u32,
+    /// Technology node.
+    pub tech: TechNode,
+}
+
+impl DsentRouter {
+    /// The paper's configuration: 4 VCs, depth 4, 128-bit flits, 45 nm LVT.
+    pub fn paper(radix: u32) -> Self {
+        DsentRouter { radix, vcs: 4, depth: 4, flit_bits: 128, tech: TechNode::bulk45_lvt() }
+    }
+
+    fn buffer(&self) -> SramBuffer {
+        SramBuffer { words: self.vcs * self.depth, width: self.flit_bits }
+    }
+
+    fn crossbar(&self) -> Crossbar {
+        Crossbar { radix: self.radix, width: self.flit_bits }
+    }
+
+    fn allocators(&self) -> (Allocator, Allocator) {
+        // VC allocator: one arbiter per output VC over input VCs;
+        // switch allocator: per-input arbiter over VCs + per-output over
+        // inputs.
+        let vca = Allocator { requesters: self.radix * self.vcs, width: self.vcs };
+        let sa = Allocator { requesters: 2 * self.radix, width: self.radix.max(self.vcs) };
+        (vca, sa)
+    }
+
+    /// Dynamic energy of one flit traversing the router, pJ:
+    /// buffer write + buffer read + crossbar traversal + its share of
+    /// allocation.
+    pub fn flit_pj(&self) -> f64 {
+        let b = self.buffer();
+        let (vca, sa) = self.allocators();
+        // Head flits pay VCA; amortize over a 4-flit packet.
+        let alloc = sa.alloc_pj(&self.tech) + vca.alloc_pj(&self.tech) / 4.0;
+        b.write_pj(&self.tech)
+            + b.read_pj(&self.tech)
+            + self.crossbar().traversal_pj(&self.tech)
+            + alloc
+    }
+
+    /// Total leakage, mW: one buffer array per port, the crossbar, both
+    /// allocators.
+    pub fn leak_mw(&self) -> f64 {
+        let b = self.buffer();
+        let (vca, sa) = self.allocators();
+        f64::from(self.radix) * b.leak_mw(&self.tech)
+            + self.crossbar().leak_mw(&self.tech)
+            + vca.leak_mw(&self.tech)
+            + sa.leak_mw(&self.tech)
+    }
+
+    /// Router area, mm² (crossbar-dominated at high radix).
+    pub fn area_mm2(&self) -> f64 {
+        // Buffers: ~0.5 µm² per bitcell at 45 nm, scaled by pitch².
+        let cell_um2 = (self.tech.track_pitch_um / 0.6) * (self.tech.track_pitch_um / 0.6) * 0.5;
+        let buffer_mm2 = f64::from(self.radix * self.vcs * self.depth * self.flit_bits)
+            * cell_um2
+            * 1e-6
+            * 6.0;
+        buffer_mm2 + self.crossbar().area_mm2(&self.tech)
+    }
+
+    /// Derive the coarse [`ElectricalModel`] coefficients from this
+    /// derivation (least-squares-free: read the components directly).
+    /// `wire_mm` is the reference link length for the wire coefficient.
+    pub fn calibrate(&self) -> ElectricalModel {
+        let b = self.buffer();
+        let (vca, sa) = self.allocators();
+        let xbar_total = self.crossbar().traversal_pj(&self.tech);
+        let wire = super::components::RepeatedWire { width: self.flit_bits, length_mm: 1.0 };
+        ElectricalModel {
+            buf_write_pj: b.write_pj(&self.tech),
+            buf_read_pj: b.read_pj(&self.tech),
+            xbar_pj_per_port: xbar_total / f64::from(self.radix),
+            arb_pj: sa.alloc_pj(&self.tech) + vca.alloc_pj(&self.tech) / 4.0,
+            leak_mw_per_port_vc: self.leak_mw() / f64::from(self.radix * self.vcs),
+            wire_pj_per_bit_mm: wire.pj_per_bit_mm(&self.tech),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_router_energy_in_dsent_range() {
+        let r = DsentRouter::paper(8);
+        let e = r.flit_pj();
+        // DSENT 45 nm radix-8: a few pJ per flit.
+        assert!((1.5..8.0).contains(&e), "got {e:.2} pJ/flit");
+        let l = r.leak_mw();
+        assert!((0.2..4.0).contains(&l), "got {l:.2} mW");
+    }
+
+    #[test]
+    fn optxb_radix_explodes_energy_and_area() {
+        let r8 = DsentRouter::paper(8);
+        let r67 = DsentRouter::paper(67);
+        let r259 = DsentRouter::paper(259);
+        assert!(r67.flit_pj() > 2.0 * r8.flit_pj());
+        assert!(r259.flit_pj() > 2.5 * r67.flit_pj());
+        assert!(r259.area_mm2() > 100.0 * r8.area_mm2());
+    }
+
+    #[test]
+    fn newer_nodes_cut_dynamic_energy() {
+        let mut r = DsentRouter::paper(8);
+        let e45 = r.flit_pj();
+        r.tech = TechNode::bulk22_lvt();
+        let e22 = r.flit_pj();
+        assert!(e22 < 0.7 * e45, "{e45:.2} -> {e22:.2}");
+    }
+
+    #[test]
+    fn calibration_agrees_with_coarse_default_coefficients() {
+        // The fast pricing path (ElectricalModel::default) should sit
+        // within small factors of the first-principles derivation at the
+        // paper's node — otherwise Figures 6/8b would depend on which
+        // model priced them.
+        let derived = DsentRouter::paper(8).calibrate();
+        let coarse = ElectricalModel::default();
+        let close = |a: f64, b: f64, factor: f64| a / b < factor && b / a < factor;
+        assert!(
+            close(derived.wire_pj_per_bit_mm, coarse.wire_pj_per_bit_mm, 2.5),
+            "wire: derived {:.3} vs coarse {:.3}",
+            derived.wire_pj_per_bit_mm,
+            coarse.wire_pj_per_bit_mm
+        );
+        let derived_r8 = derived.router_pj_per_flit(8);
+        let coarse_r8 = coarse.router_pj_per_flit(8);
+        assert!(
+            close(derived_r8, coarse_r8, 3.0),
+            "radix-8 router: derived {derived_r8:.2} vs coarse {coarse_r8:.2} pJ"
+        );
+        let derived_leak = derived.router_leak_mw(8, 4);
+        let coarse_leak = coarse.router_leak_mw(8, 4);
+        assert!(
+            close(derived_leak, coarse_leak, 4.0),
+            "leakage: derived {derived_leak:.2} vs coarse {coarse_leak:.2} mW"
+        );
+    }
+
+    #[test]
+    fn calibrated_model_prices_like_the_derivation() {
+        let r = DsentRouter::paper(20);
+        let m = r.calibrate();
+        let direct = r.flit_pj();
+        let via_coefficients = m.router_pj_per_flit(20);
+        assert!(
+            (direct - via_coefficients).abs() / direct < 0.05,
+            "{direct:.2} vs {via_coefficients:.2}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Technology nodes.
+//!
+//! Parameter values follow the ITRS-derived numbers DSENT ships for bulk
+//! CMOS: unit gate/wire capacitances, supply voltage, and subthreshold
+//! leakage per transistor-width. LVT (low threshold voltage) devices — the
+//! paper's choice — are fast but leaky; the leakage figures reflect that.
+
+/// A bulk-CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Display name.
+    pub name: &'static str,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Minimum-size inverter input capacitance, femtofarads.
+    pub cap_inv_ff: f64,
+    /// Global wire capacitance per millimetre, femtofarads.
+    pub cap_wire_ff_per_mm: f64,
+    /// SRAM bitcell capacitance contribution per cell on a bitline, fF.
+    pub cap_bitcell_ff: f64,
+    /// Subthreshold + gate leakage per minimum-size device, nanoamps.
+    pub leak_na_per_gate: f64,
+    /// Typical operating frequency, Hz (for leakage-energy amortization).
+    pub freq_hz: f64,
+    /// Minimum metal track pitch for crossbar wiring, micrometres.
+    pub track_pitch_um: f64,
+}
+
+impl TechNode {
+    /// Bulk 45 nm LVT — the node the paper evaluates with (DSENT's
+    /// `Bulk45LVT` model).
+    pub fn bulk45_lvt() -> Self {
+        TechNode {
+            name: "Bulk45LVT",
+            vdd: 1.0,
+            cap_inv_ff: 1.8,
+            cap_wire_ff_per_mm: 250.0,
+            cap_bitcell_ff: 0.7,
+            leak_na_per_gate: 120.0,
+            freq_hz: 2.0e9,
+            track_pitch_um: 0.6,
+        }
+    }
+
+    /// Bulk 32 nm LVT.
+    pub fn bulk32_lvt() -> Self {
+        TechNode {
+            name: "Bulk32LVT",
+            vdd: 0.9,
+            cap_inv_ff: 1.2,
+            cap_wire_ff_per_mm: 220.0,
+            cap_bitcell_ff: 0.5,
+            leak_na_per_gate: 160.0,
+            freq_hz: 2.5e9,
+            track_pitch_um: 0.45,
+        }
+    }
+
+    /// Bulk 22 nm LVT.
+    pub fn bulk22_lvt() -> Self {
+        TechNode {
+            name: "Bulk22LVT",
+            vdd: 0.8,
+            cap_inv_ff: 0.8,
+            cap_wire_ff_per_mm: 200.0,
+            cap_bitcell_ff: 0.35,
+            leak_na_per_gate: 210.0,
+            freq_hz: 3.0e9,
+            track_pitch_um: 0.32,
+        }
+    }
+
+    /// Dynamic switching energy of a capacitance `c_ff` (fF) at full swing,
+    /// in picojoules: `E = C·V²` (the α activity factor is applied by the
+    /// component models).
+    #[inline]
+    pub fn dyn_pj(&self, c_ff: f64) -> f64 {
+        c_ff * 1e-15 * self.vdd * self.vdd * 1e12
+    }
+
+    /// Static power of `gates` minimum-size devices, in milliwatts:
+    /// `P = I_leak · V`.
+    #[inline]
+    pub fn leak_mw(&self, gates: f64) -> f64 {
+        gates * self.leak_na_per_gate * 1e-9 * self.vdd * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_scale_sensibly() {
+        let n45 = TechNode::bulk45_lvt();
+        let n32 = TechNode::bulk32_lvt();
+        let n22 = TechNode::bulk22_lvt();
+        // Supply and capacitance shrink with the node...
+        assert!(n45.vdd > n32.vdd && n32.vdd > n22.vdd);
+        assert!(n45.cap_inv_ff > n32.cap_inv_ff && n32.cap_inv_ff > n22.cap_inv_ff);
+        // ...while LVT leakage per gate grows.
+        assert!(n45.leak_na_per_gate < n22.leak_na_per_gate);
+    }
+
+    #[test]
+    fn dynamic_energy_is_cv2() {
+        let t = TechNode::bulk45_lvt();
+        // 1000 fF at 1.0 V = 1 pJ.
+        assert!((t.dyn_pj(1000.0) - 1.0).abs() < 1e-12);
+        // Scaling V by 0.8 scales energy by 0.64.
+        let t22 = TechNode::bulk22_lvt();
+        assert!((t22.dyn_pj(1000.0) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_power_linear_in_gates() {
+        let t = TechNode::bulk45_lvt();
+        let one = t.leak_mw(1.0);
+        assert!((t.leak_mw(1000.0) / one - 1000.0).abs() < 1e-9);
+        // A 10k-gate block at 45 nm LVT leaks ~1 mW: the right ballpark.
+        let p = t.leak_mw(10_000.0);
+        assert!((0.5..5.0).contains(&p), "got {p} mW");
+    }
+}

@@ -1,0 +1,168 @@
+//! Photonic insertion-loss and laser-power budget.
+//!
+//! §I and §V-B argue that OptXB's single global crossbar, while cheapest in
+//! link energy, is "quite challenging to integrate … while mitigating
+//! thermal and process variations for more than a million components" and
+//! suffers "insertion losses [that] tend to increase with either a long
+//! snake-like waveguide or with a multi-hop network". This module makes the
+//! argument quantitative with a standard silicon-photonics loss stack:
+//!
+//! ```text
+//! P_laser/λ = sensitivity + total loss + margin      (optical, dBm)
+//! loss      = 2×coupler + L·waveguide + rings-passed×through + drop
+//!             + log2(splits)×3 dB star-split share
+//! ```
+//!
+//! Converted to electrical wall-plug power with a laser efficiency, the
+//! budget shows why OWN's 16-tile cluster waveguides are benign while a
+//! 64-router snake with thousands of resonances per waveguide is not.
+
+/// Per-component losses (typical published silicon-photonics values).
+#[derive(Debug, Clone, Copy)]
+pub struct LossModel {
+    /// Fiber-to-chip (or laser-to-chip) coupler loss per crossing, dB.
+    pub coupler_db: f64,
+    /// Waveguide propagation loss, dB/cm.
+    pub waveguide_db_per_cm: f64,
+    /// Through-loss of each non-resonant ring the light passes, dB.
+    pub ring_through_db: f64,
+    /// Drop loss at the destination ring filter, dB.
+    pub ring_drop_db: f64,
+    /// Receiver sensitivity, dBm (optical, for the target data rate).
+    pub sensitivity_dbm: f64,
+    /// System margin, dB.
+    pub margin_db: f64,
+    /// Laser wall-plug efficiency (electrical → optical).
+    pub laser_efficiency: f64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel {
+            coupler_db: 1.0,
+            waveguide_db_per_cm: 1.0,
+            ring_through_db: 0.02,
+            ring_drop_db: 1.5,
+            sensitivity_dbm: -17.0,
+            margin_db: 3.0,
+            laser_efficiency: 0.1,
+        }
+    }
+}
+
+/// The loss/laser budget of one waveguide.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveguideBudget {
+    /// Total worst-case insertion loss, dB.
+    pub loss_db: f64,
+    /// Required optical laser power per wavelength, dBm.
+    pub laser_dbm_per_lambda: f64,
+    /// Electrical wall-plug power for the waveguide's wavelengths, W.
+    pub wallplug_w: f64,
+}
+
+impl LossModel {
+    /// Budget for a waveguide of `length_cm`, passing `rings_through`
+    /// non-resonant rings worst case, carrying `wavelengths` λ, and fed
+    /// through a star splitter of `splits` branches.
+    pub fn waveguide(
+        &self,
+        length_cm: f64,
+        rings_through: u32,
+        wavelengths: u32,
+        splits: u32,
+    ) -> WaveguideBudget {
+        assert!(length_cm >= 0.0 && wavelengths >= 1 && splits >= 1);
+        let split_db = 10.0 * f64::from(splits).log10(); // ideal 1:N split
+        let loss_db = 2.0 * self.coupler_db
+            + self.waveguide_db_per_cm * length_cm
+            + self.ring_through_db * f64::from(rings_through)
+            + self.ring_drop_db
+            + split_db;
+        let laser_dbm = self.sensitivity_dbm + loss_db + self.margin_db;
+        let per_lambda_w = 10f64.powf(laser_dbm / 10.0) * 1e-3;
+        WaveguideBudget {
+            loss_db,
+            laser_dbm_per_lambda: laser_dbm,
+            wallplug_w: per_lambda_w * f64::from(wavelengths) / self.laser_efficiency,
+        }
+    }
+
+    /// OWN intra-cluster home waveguide: snakes a 25 mm cluster (~4 cm with
+    /// turns), passes the other 15 tiles' modulator banks, 64 λ, 16-way
+    /// star split of the pump (§III-A).
+    pub fn own_cluster_waveguide(&self) -> WaveguideBudget {
+        // 15 writer banks × 64 rings each = 960 potential resonances; a
+        // wavelength passes the banks of the non-transmitting writers.
+        self.waveguide(4.0, 15 * 64, 64, 16)
+    }
+
+    /// OptXB home waveguide at 256 cores: a snake visiting all 64 routers
+    /// across the 50 mm die (~12 cm with turns), 63 writer banks of 64
+    /// rings, 64 λ, 64-way split.
+    pub fn optxb_waveguide_256(&self) -> WaveguideBudget {
+        self.waveguide(12.0, 63 * 64, 64, 64)
+    }
+
+    /// OptXB home waveguide at 1024 cores (255 writer banks, ~25 cm snake).
+    pub fn optxb_waveguide_1024(&self) -> WaveguideBudget {
+        self.waveguide(25.0, 255 * 64, 64, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_cluster_budget_is_practical() {
+        let m = LossModel::default();
+        let b = m.own_cluster_waveguide();
+        // Tens of dB of loss, single-digit watts for all 16 waveguides.
+        assert!(b.loss_db < 40.0, "loss {:.1} dB", b.loss_db);
+        assert!(
+            b.laser_dbm_per_lambda < 30.0,
+            "laser {:.1} dBm/λ is fabricable",
+            b.laser_dbm_per_lambda
+        );
+    }
+
+    #[test]
+    fn optxb_snake_loss_is_prohibitive_at_scale() {
+        let m = LossModel::default();
+        let own = m.own_cluster_waveguide();
+        let oxb256 = m.optxb_waveguide_256();
+        let oxb1024 = m.optxb_waveguide_1024();
+        assert!(oxb256.loss_db > own.loss_db + 25.0, "{:.1} vs {:.1} dB", oxb256.loss_db, own.loss_db);
+        assert!(oxb1024.loss_db > oxb256.loss_db + 100.0);
+        // The 1024-core snake needs absurd per-λ laser power — the
+        // quantitative form of the paper's scalability objection.
+        assert!(oxb1024.laser_dbm_per_lambda > 100.0);
+    }
+
+    #[test]
+    fn loss_components_additive() {
+        let m = LossModel::default();
+        let short = m.waveguide(1.0, 0, 1, 1);
+        let long = m.waveguide(2.0, 0, 1, 1);
+        assert!((long.loss_db - short.loss_db - 1.0).abs() < 1e-9, "1 dB/cm");
+        let ringy = m.waveguide(1.0, 100, 1, 1);
+        assert!((ringy.loss_db - short.loss_db - 2.0).abs() < 1e-9, "0.02 dB/ring");
+    }
+
+    #[test]
+    fn wallplug_scales_with_wavelengths_and_efficiency() {
+        let m = LossModel::default();
+        let one = m.waveguide(1.0, 0, 1, 1);
+        let sixtyfour = m.waveguide(1.0, 0, 64, 1);
+        assert!((sixtyfour.wallplug_w / one.wallplug_w - 64.0).abs() < 1e-9);
+        let better = LossModel { laser_efficiency: 0.2, ..m };
+        assert!((better.waveguide(1.0, 0, 1, 1).wallplug_w / one.wallplug_w - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_wavelengths_rejected() {
+        let _ = LossModel::default().waveguide(1.0, 0, 0, 1);
+    }
+}

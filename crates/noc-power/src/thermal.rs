@@ -1,0 +1,144 @@
+//! Ring-resonator thermal sensitivity and trimming power.
+//!
+//! §I's case against the monolithic photonic crossbar is thermal:
+//! "mitigating thermal and parametric variations with exceedingly large
+//! number of components for kilo-core architectures is difficult". This
+//! module supplies the standard silicon-ring numbers behind that claim:
+//!
+//! * a ring's resonance shifts by ~10 GHz/K (silicon's thermo-optic
+//!   coefficient at 1550 nm);
+//! * its Lorentzian passband has a full width of `f₀/Q` — ~12.5 GHz at
+//!   Q = 15,000 — so a few kelvin of drift detunes the link;
+//! * holding a ring on channel against a *residual* temperature error
+//!   `ΔT` costs heater power ≈ `ΔT · P_heater_per_K` (~0.1 mW/K for
+//!   typical integrated heaters). Band-level common-mode compensation
+//!   absorbs the bulk of the die gradient; what remains per ring is the
+//!   local mismatch, typically 1–2 K.
+//!
+//! [`ThermalModel::network_tuning_w`] turns a network's ring count and an
+//! assumed on-die temperature spread into watts of trimming power — the
+//! number the paper's power figures exclude but its scalability argument
+//! hinges on.
+
+/// Thermal model of a ring resonator bank.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalModel {
+    /// Resonance drift, GHz per kelvin (silicon ≈ 10 GHz/K at 1550 nm).
+    pub drift_ghz_per_k: f64,
+    /// Loaded quality factor of the rings.
+    pub q: f64,
+    /// Optical carrier frequency, GHz (1550 nm ≈ 193,400 GHz).
+    pub carrier_ghz: f64,
+    /// Heater power to shift one ring by one kelvin-equivalent, mW/K.
+    pub heater_mw_per_k: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            drift_ghz_per_k: 10.0,
+            q: 15_000.0,
+            carrier_ghz: 193_400.0,
+            heater_mw_per_k: 0.1,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Full width at half maximum of the ring passband, GHz.
+    pub fn linewidth_ghz(&self) -> f64 {
+        self.carrier_ghz / self.q
+    }
+
+    /// Power transmission of a Lorentzian ring detuned by `delta_ghz` from
+    /// resonance (1.0 on resonance).
+    pub fn transmission(&self, delta_ghz: f64) -> f64 {
+        let half = self.linewidth_ghz() / 2.0;
+        1.0 / (1.0 + (delta_ghz / half).powi(2))
+    }
+
+    /// Temperature error (K) at which the through-loss penalty reaches
+    /// `penalty_db`: how much drift a link tolerates before trimming must
+    /// intervene.
+    pub fn tolerance_k(&self, penalty_db: f64) -> f64 {
+        assert!(penalty_db > 0.0);
+        // transmission = 10^(-penalty/10) => delta = half*sqrt(1/t - 1).
+        let t = 10f64.powf(-penalty_db / 10.0);
+        let half = self.linewidth_ghz() / 2.0;
+        half * (1.0 / t - 1.0).sqrt() / self.drift_ghz_per_k
+    }
+
+    /// Trimming power for one ring held against a temperature error of
+    /// `dt_k`, milliwatts.
+    pub fn ring_tuning_mw(&self, dt_k: f64) -> f64 {
+        dt_k.abs() * self.heater_mw_per_k
+    }
+
+    /// Total trimming power (watts) for `rings` rings under a *residual*
+    /// (post-common-mode-compensation) temperature spread of `spread_k`
+    /// kelvin, assuming errors uniformly distributed in `[0, spread]`
+    /// (mean spread/2).
+    pub fn network_tuning_w(&self, rings: u64, spread_k: f64) -> f64 {
+        rings as f64 * self.ring_tuning_mw(spread_k / 2.0) * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linewidth_matches_q() {
+        let m = ThermalModel::default();
+        let lw = m.linewidth_ghz();
+        assert!((12.0..14.0).contains(&lw), "got {lw:.1} GHz");
+    }
+
+    #[test]
+    fn transmission_lorentzian_shape() {
+        let m = ThermalModel::default();
+        assert_eq!(m.transmission(0.0), 1.0);
+        let half = m.linewidth_ghz() / 2.0;
+        assert!((m.transmission(half) - 0.5).abs() < 1e-12, "half power at half width");
+        assert!(m.transmission(10.0 * half) < 0.02);
+    }
+
+    #[test]
+    fn rings_tolerate_under_a_kelvin() {
+        // The crux of the paper's thermal argument: at Q = 15k a ring only
+        // tolerates ~1 K before a 1 dB penalty — every ring needs active
+        // trimming on a real die with multi-kelvin gradients.
+        let m = ThermalModel::default();
+        let tol = m.tolerance_k(1.0);
+        assert!(tol < 1.0, "1 dB tolerance is sub-kelvin, got {tol:.2} K");
+    }
+
+    #[test]
+    fn optxb_trimming_dwarfs_own() {
+        // 2 K of residual mismatch after band-level compensation.
+        let m = ThermalModel::default();
+        // Ring counts from the area model: OWN-256 ~82k, OptXB-256 ~262k,
+        // OptXB-1024 ~4.2M.
+        let own = m.network_tuning_w(81_920, 2.0);
+        let oxb256 = m.network_tuning_w(262_144, 2.0);
+        let oxb1024 = m.network_tuning_w(4_194_304, 2.0);
+        assert!(oxb256 > 3.0 * own);
+        // At 1024 cores the trimming power alone rivals the entire
+        // network's link power — the paper's "prohibitive" in watts.
+        assert!(oxb1024 > 100.0, "got {oxb1024:.1} W");
+        assert!((5.0..15.0).contains(&own), "OWN stays single-digit watts: {own:.1}");
+    }
+
+    #[test]
+    fn tuning_linear_in_rings_and_spread() {
+        let m = ThermalModel::default();
+        assert!((m.network_tuning_w(2000, 10.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12);
+        assert!((m.network_tuning_w(1000, 20.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_penalty_rejected() {
+        let _ = ThermalModel::default().tolerance_k(0.0);
+    }
+}

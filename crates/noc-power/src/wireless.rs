@@ -1,0 +1,331 @@
+//! Wireless link energy: the Table III band plan.
+//!
+//! §IV-B develops two scenarios for the 16 OWN wireless channels:
+//!
+//! * **Ideal** — 32 GHz of bandwidth per channel with 8 GHz guard bands
+//!   (40 GHz band spacing starting at 100 GHz, reaching 700 GHz), and
+//!   efficiency ramps of +0.05 / +0.07 / +0.10 pJ/bit per band step for
+//!   CMOS / BiCMOS / SiGe-HBT.
+//! * **Conservative** — 16 GHz per channel with 4 GHz guards (20 GHz
+//!   spacing, reaching 400 GHz), ramps +0.05 / +0.06 / +0.07 pJ/bit.
+//!
+//! Base efficiencies are 0.1 pJ/bit for CMOS and 0.5 pJ/bit for SiGe HBT
+//! transceivers (BiCMOS in between at 0.3 pJ/bit, mixing CMOS logic with
+//! HBT front-ends), degrading linearly with the band index because silicon
+//! parasitics grow with carrier frequency. Technology follows frequency:
+//! CMOS up to ~220 GHz, BiCMOS to ~300 GHz, SiGe-HBT-only circuitry beyond
+//! (§IV-B "we consider ∼300 GHz as a limit beyond which to use SiGe
+//! HBT-only circuitry").
+//!
+//! The link-distance (LD) factor scales radiated power with the physical
+//! span of the channel: 1.0 for corner-to-corner (~60 mm), 0.5 edge-to-edge
+//! (~30 mm), 0.15 short-range (~10 mm) — the knob that makes OWN's
+//! channel-allocation-aware power optimization possible.
+
+use noc_core::DistanceClass;
+
+use crate::configs::WinocConfig;
+
+/// Transceiver device technology (Table III columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// 65 nm-class RF CMOS: cheapest, band-limited.
+    Cmos,
+    /// SiGe BiCMOS: CMOS logic with selective HBT front-ends.
+    BiCmos,
+    /// SiGe-HBT-only mm-wave/THz circuitry: fastest, most power-hungry.
+    SiGeHbt,
+}
+
+impl Technology {
+    /// Base transceiver efficiency in pJ/bit (§IV-B).
+    pub fn base_pj_per_bit(self) -> f64 {
+        match self {
+            Technology::Cmos => 0.1,
+            Technology::BiCmos => 0.3,
+            Technology::SiGeHbt => 0.5,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technology::Cmos => "CMOS",
+            Technology::BiCmos => "BiCMOS",
+            Technology::SiGeHbt => "SiGe",
+        }
+    }
+}
+
+/// Band-plan scenario (Table III halves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// 32 GHz channels, 8 GHz guards.
+    Ideal,
+    /// 16 GHz channels, 4 GHz guards.
+    Conservative,
+}
+
+impl Scenario {
+    /// Channel bandwidth in GHz.
+    pub fn bandwidth_ghz(self) -> f64 {
+        match self {
+            Scenario::Ideal => 32.0,
+            Scenario::Conservative => 16.0,
+        }
+    }
+
+    /// Guard band between adjacent channels in GHz.
+    pub fn guard_ghz(self) -> f64 {
+        match self {
+            Scenario::Ideal => 8.0,
+            Scenario::Conservative => 4.0,
+        }
+    }
+
+    /// Band spacing (bandwidth + guard).
+    pub fn spacing_ghz(self) -> f64 {
+        self.bandwidth_ghz() + self.guard_ghz()
+    }
+
+    /// Centre frequency of 1-based band `i` (first band at 100 GHz).
+    pub fn center_ghz(self, band: u8) -> f64 {
+        100.0 + self.spacing_ghz() * f64::from(band - 1)
+    }
+
+    /// Efficiency ramp in pJ/bit per band step for a technology (§IV-B).
+    pub fn ramp_pj_per_band(self, tech: Technology) -> f64 {
+        match (self, tech) {
+            (Scenario::Ideal, Technology::Cmos) => 0.05,
+            (Scenario::Ideal, Technology::BiCmos) => 0.07,
+            (Scenario::Ideal, Technology::SiGeHbt) => 0.10,
+            (Scenario::Conservative, Technology::Cmos) => 0.05,
+            (Scenario::Conservative, Technology::BiCmos) => 0.06,
+            (Scenario::Conservative, Technology::SiGeHbt) => 0.07,
+        }
+    }
+
+    /// Technology required at a given carrier frequency: CMOS to 220 GHz,
+    /// BiCMOS to 300 GHz, SiGe HBT beyond.
+    pub fn tech_for_frequency(self, f_ghz: f64) -> Technology {
+        if f_ghz <= 220.0 {
+            Technology::Cmos
+        } else if f_ghz <= 300.0 {
+            Technology::BiCmos
+        } else {
+            Technology::SiGeHbt
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Ideal => "ideal (32 GHz)",
+            Scenario::Conservative => "conservative (16 GHz)",
+        }
+    }
+}
+
+/// One row of Table III: a wireless band under a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirelessBand {
+    /// 1-based band index (links 1–12 inter-cluster, 13–16 reconfiguration
+    /// at 256 cores / intra-group at 1024).
+    pub index: u8,
+    /// Centre frequency in GHz.
+    pub center_ghz: f64,
+    /// Bandwidth in GHz.
+    pub bandwidth_ghz: f64,
+    /// Default technology at this frequency.
+    pub tech: Technology,
+    /// Transceiver efficiency in pJ/bit before distance scaling.
+    pub energy_pj_per_bit: f64,
+}
+
+/// Generate the 16-band Table III plan for a scenario.
+pub fn band_plan(scenario: Scenario) -> Vec<WirelessBand> {
+    (1..=16u8)
+        .map(|i| {
+            let f = scenario.center_ghz(i);
+            let tech = scenario.tech_for_frequency(f);
+            let e = tech.base_pj_per_bit()
+                + scenario.ramp_pj_per_band(tech) * f64::from(i - 1);
+            WirelessBand {
+                index: i,
+                center_ghz: f,
+                bandwidth_ghz: scenario.bandwidth_ghz(),
+                tech,
+                energy_pj_per_bit: e,
+            }
+        })
+        .collect()
+}
+
+/// The wireless link-energy model used when pricing a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WirelessModel {
+    /// Band-plan scenario.
+    pub scenario: Scenario,
+    /// Table IV configuration overriding the technology per distance class
+    /// (OWN's design knob); `None` prices each band at its plan technology.
+    pub config: Option<WinocConfig>,
+    /// Whether transmit power is scaled by the link-distance factor.
+    /// True for OWN (its channel allocation enables per-distance tuning);
+    /// false for the wireless-CMESH baseline, whose transceivers are not
+    /// distance-optimized.
+    pub distance_aware: bool,
+}
+
+impl WirelessModel {
+    /// OWN's model: a Table IV configuration with LD scaling.
+    pub fn own(scenario: Scenario, config: WinocConfig) -> Self {
+        WirelessModel { scenario, config: Some(config), distance_aware: true }
+    }
+
+    /// Baseline model (wireless-CMESH): plan technology, no LD scaling.
+    pub fn baseline(scenario: Scenario) -> Self {
+        WirelessModel { scenario, config: None, distance_aware: false }
+    }
+
+    /// Energy per bit for the link carried on `channel` over the given
+    /// distance class, in pJ.
+    ///
+    /// Without a configuration, the link is priced at its own band's plan
+    /// technology. Under a Table IV configuration, the link is *reassigned*
+    /// to the lowest available band of the technology chosen for its
+    /// distance class — the four links of a class take that technology's
+    /// bands in order, wrapping around via space-division multiplexing when
+    /// the technology has fewer bands than links (§V-B: CMOS has only four
+    /// bands in the ideal scenario, so CMOS-heavy configurations reuse
+    /// frequencies on non-intersecting paths).
+    pub fn energy_pj_per_bit(&self, channel: u8, distance: DistanceClass) -> f64 {
+        assert!((1..=16).contains(&channel), "band index {channel} out of range");
+        let (tech, band) = match self.config {
+            Some(cfg) => {
+                let tech = cfg.tech_for(distance);
+                // Position of this link within its 4-link distance-class
+                // group (channels 1-4, 5-8, 9-12, 13-16).
+                let pos = usize::from((channel - 1) % 4);
+                let bands: Vec<u8> = band_plan(self.scenario)
+                    .iter()
+                    .filter(|b| b.tech == tech)
+                    .map(|b| b.index)
+                    .collect();
+                (tech, bands[pos % bands.len()])
+            }
+            None => (
+                self.scenario.tech_for_frequency(self.scenario.center_ghz(channel)),
+                channel,
+            ),
+        };
+        let e = tech.base_pj_per_bit()
+            + self.scenario.ramp_pj_per_band(tech) * f64::from(band - 1);
+        let ld = if self.distance_aware { distance.ld_factor() } else { 1.0 };
+        e * ld
+    }
+
+    /// Receiver-side share of the link energy (used to price multicast
+    /// discards: non-addressed SWMR receivers still demodulate and inspect
+    /// the packet before dropping it, §III-B).
+    pub fn rx_fraction(&self) -> f64 {
+        0.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_plan_spans_100_to_700_ghz() {
+        let plan = band_plan(Scenario::Ideal);
+        assert_eq!(plan.len(), 16);
+        assert_eq!(plan[0].center_ghz, 100.0);
+        assert_eq!(plan[15].center_ghz, 700.0);
+        assert!(plan.iter().all(|b| b.bandwidth_ghz == 32.0));
+    }
+
+    #[test]
+    fn conservative_plan_spans_100_to_400_ghz() {
+        let plan = band_plan(Scenario::Conservative);
+        assert_eq!(plan[15].center_ghz, 400.0);
+        assert!(plan.iter().all(|b| b.bandwidth_ghz == 16.0));
+    }
+
+    #[test]
+    fn ideal_has_exactly_four_cmos_bands() {
+        // §V-B: "Table III shows only four channels with CMOS".
+        let plan = band_plan(Scenario::Ideal);
+        let cmos = plan.iter().filter(|b| b.tech == Technology::Cmos).count();
+        assert_eq!(cmos, 4, "bands at 100/140/180/220 GHz");
+    }
+
+    #[test]
+    fn conservative_has_more_cmos_bands() {
+        let plan = band_plan(Scenario::Conservative);
+        let cmos = plan.iter().filter(|b| b.tech == Technology::Cmos).count();
+        assert_eq!(cmos, 7, "100..220 GHz in 20 GHz steps");
+    }
+
+    #[test]
+    fn energy_increases_with_band_within_a_technology() {
+        for sc in [Scenario::Ideal, Scenario::Conservative] {
+            let plan = band_plan(sc);
+            for w in plan.windows(2) {
+                if w[0].tech == w[1].tech {
+                    assert!(w[1].energy_pj_per_bit > w[0].energy_pj_per_bit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_efficiencies_match_paper() {
+        assert_eq!(Technology::Cmos.base_pj_per_bit(), 0.1);
+        assert_eq!(Technology::SiGeHbt.base_pj_per_bit(), 0.5);
+        let plan = band_plan(Scenario::Ideal);
+        assert_eq!(plan[0].energy_pj_per_bit, 0.1, "band 1 is base CMOS");
+    }
+
+    #[test]
+    fn guard_bands_match_scenarios() {
+        assert_eq!(Scenario::Ideal.guard_ghz(), 8.0);
+        assert_eq!(Scenario::Conservative.guard_ghz(), 4.0);
+        assert_eq!(Scenario::Ideal.spacing_ghz(), 40.0);
+        assert_eq!(Scenario::Conservative.spacing_ghz(), 20.0);
+    }
+
+    #[test]
+    fn ld_factor_scales_energy_when_distance_aware() {
+        let m = WirelessModel::own(Scenario::Ideal, WinocConfig::Config4);
+        let c2c = m.energy_pj_per_bit(1, DistanceClass::C2C);
+        let e2e = m.energy_pj_per_bit(1, DistanceClass::E2E);
+        let sr = m.energy_pj_per_bit(1, DistanceClass::SR);
+        // Config 4: CMOS for C2C and E2E, BiCMOS for SR.
+        assert!((e2e / c2c - 0.5).abs() < 1e-12);
+        assert!(sr < c2c, "SR gets the 0.15 LD factor");
+    }
+
+    #[test]
+    fn baseline_ignores_distance() {
+        let m = WirelessModel::baseline(Scenario::Ideal);
+        let a = m.energy_pj_per_bit(3, DistanceClass::C2C);
+        let b = m.energy_pj_per_bit(3, DistanceClass::SR);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn high_bands_are_expensive_hbt() {
+        let m = WirelessModel::baseline(Scenario::Ideal);
+        let e16 = m.energy_pj_per_bit(16, DistanceClass::C2C);
+        // Band 16: SiGe 0.5 + 0.10 × 15 = 2.0 pJ/bit.
+        assert!((e16 - 2.0).abs() < 1e-12, "got {e16}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn band_zero_rejected() {
+        let m = WirelessModel::baseline(Scenario::Ideal);
+        let _ = m.energy_pj_per_bit(0, DistanceClass::SR);
+    }
+}

@@ -1,0 +1,17 @@
+use noc_core::RouterConfig;
+use noc_topology::{Topology, own, OptXb, PClos};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+fn main() {
+    for topo in [own(256), Box::new(OptXb::new(256)) as Box<dyn Topology>, Box::new(PClos::new(256))] {
+        let mut net = topo.build(RouterConfig::default());
+        let mut inj = BernoulliInjector::new(0.04, 4, TrafficPattern::Uniform, 7);
+        inj.drive(&mut net, 5000);
+        let ok = net.drain(200_000);
+        let bus: u64 = net.stats.bus_flits.iter().sum();
+        let ch: u64 = net.stats.channel_flits.iter().sum();
+        let ej = net.stats.flits_ejected;
+        println!("{}: drained={} ejected={} bus_hops/flit={:.3} chan_hops/flit={:.3} offered={} delivered={}",
+            topo.name(), ok, ej, bus as f64/ej as f64, ch as f64/ej as f64,
+            net.stats.packets_offered, net.stats.packets_delivered);
+    }
+}

@@ -1,0 +1,97 @@
+//! Load-distribution analysis.
+//!
+//! §III-A justifies OWN's corner antenna placement: "If all the wireless
+//! transceivers were located in close proximity (center of the cluster),
+//! then all inter-cluster traffic will be directed to the center which
+//! could lead to load and thermal imbalance. Therefore, by isolating the
+//! four transceivers to the four corners, we balance the load imbalance as
+//! well as the thermal impact within the cluster."
+//!
+//! These metrics quantify that argument from the simulator's per-router
+//! traversal counts: the hotspot factor (max/mean load) and the Gini
+//! coefficient of the load distribution. Since switching activity is the
+//! dominant dynamic-power term, the same numbers proxy for the thermal
+//! imbalance the paper worries about.
+
+use noc_core::Network;
+
+/// Load-distribution summary over the routers of a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadDistribution {
+    /// Mean flit traversals per router.
+    pub mean: f64,
+    /// Maximum traversals at any router.
+    pub max: u64,
+    /// Hotspot factor: max / mean (1.0 = perfectly balanced).
+    pub hotspot_factor: f64,
+    /// Gini coefficient of the per-router load (0 = equal, → 1 = one
+    /// router does everything).
+    pub gini: f64,
+}
+
+/// Compute the load distribution of a finished simulation.
+pub fn router_load(net: &Network) -> LoadDistribution {
+    distribution(&net.stats.router_traversals)
+}
+
+/// Distribution statistics over raw per-entity counts.
+pub fn distribution(counts: &[u64]) -> LoadDistribution {
+    assert!(!counts.is_empty());
+    let n = counts.len() as f64;
+    let total: u64 = counts.iter().sum();
+    let mean = total as f64 / n;
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let hotspot_factor = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    // Gini from the sorted values: G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n.
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 =
+            sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+        (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+    };
+    LoadDistribution { mean, max, hotspot_factor, gini }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_load_is_balanced() {
+        let d = distribution(&[100, 100, 100, 100]);
+        assert_eq!(d.hotspot_factor, 1.0);
+        assert!(d.gini.abs() < 1e-12);
+        assert_eq!(d.max, 100);
+    }
+
+    #[test]
+    fn single_hotspot_detected() {
+        let d = distribution(&[0, 0, 0, 400]);
+        assert_eq!(d.hotspot_factor, 4.0);
+        assert!(d.gini > 0.7, "gini {}", d.gini);
+    }
+
+    #[test]
+    fn gini_orders_inequality() {
+        let even = distribution(&[10, 10, 10, 10]).gini;
+        let mild = distribution(&[5, 10, 10, 15]).gini;
+        let harsh = distribution(&[1, 1, 1, 37]).gini;
+        assert!(even < mild && mild < harsh);
+    }
+
+    #[test]
+    fn zero_load_is_degenerate_but_defined() {
+        let d = distribution(&[0, 0]);
+        assert_eq!(d.gini, 0.0);
+        assert_eq!(d.hotspot_factor, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_counts_rejected() {
+        let _ = distribution(&[]);
+    }
+}

@@ -1,0 +1,150 @@
+//! `own-experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! own-experiments [--quick|--full] [--csv] <experiment>...
+//! own-experiments all            # everything, in paper order
+//! own-experiments table1 table2 table3 table4
+//! own-experiments fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b
+//! ```
+//!
+//! `--quick` (default) uses short simulation windows suitable for smoke
+//! runs; `--full` uses report-quality windows (minutes of wall clock).
+//! `--csv` and `--json` switch the output format.
+
+use noc_power::Scenario;
+use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
+use noc_sim::{Report, SimSpec};
+use noc_traffic::TrafficPattern;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--spec file.json]... <experiment|all>...");
+        eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
+        eprintln!("extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal (or: extras)");
+        std::process::exit(2);
+    }
+    let mut budget = Budget::quick();
+    let mut csv = false;
+    let mut json = false;
+    let mut chart = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut spec_files: Vec<String> = Vec::new();
+    let mut args_iter = args.iter().peekable();
+    while let Some(a) = args_iter.next() {
+        if a == "--spec" {
+            let Some(f) = args_iter.next() else {
+                eprintln!("--spec requires a file path");
+                std::process::exit(2);
+            };
+            spec_files.push(f.clone());
+            continue;
+        }
+        match a.as_str() {
+            "--quick" => budget = Budget::quick(),
+            "--full" => budget = Budget::full(),
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--chart" => chart = true,
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7a",
+            "fig7b", "fig7c", "fig8a", "fig8b", "extras",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    if let Some(i) = wanted.iter().position(|w| w == "extras") {
+        wanted.splice(
+            i..=i,
+            ["area", "loss", "sdm", "reconfig", "bursty", "breakdown", "placement", "nodes", "thermal"].map(String::from),
+        );
+    }
+
+    let emit = |r: &Report| {
+        if json {
+            println!("{}", r.to_json());
+        } else if csv {
+            println!("# {}", r.title);
+            print!("{}", r.to_csv());
+        } else {
+            println!("{r}");
+        }
+    };
+
+    for f in &spec_files {
+        let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+            eprintln!("cannot read {f}: {e}");
+            std::process::exit(2);
+        });
+        let spec = SimSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{f}: {e}");
+            std::process::exit(2);
+        });
+        match spec.run() {
+            Ok(r) => emit(&r),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for w in &wanted {
+        match w.as_str() {
+            "table1" => emit(&tables::table1()),
+            "table2" => emit(&tables::table2()),
+            "table3" => {
+                emit(&tables::table3(Scenario::Ideal));
+                emit(&tables::table3(Scenario::Conservative));
+            }
+            "table4" => emit(&tables::table4()),
+            "fig3" => emit(&phy::fig3()),
+            "fig4" => phy::fig4().iter().for_each(emit),
+            "fig5" => emit(&power::fig5(budget)),
+            "fig6" => emit(&power::fig6(budget)),
+            "fig7a" => emit(&perf::fig7a(budget)),
+            "fig7b" => {
+                let r = perf::fig7bc(TrafficPattern::Uniform, &perf::default_loads(), budget);
+                if chart {
+                    println!("{}", noc_sim::chart::render_latency_report(&r));
+                } else {
+                    emit(&r);
+                }
+            }
+            "fig7c" => {
+                let r = perf::fig7bc(TrafficPattern::BitReversal, &perf::default_loads(), budget);
+                if chart {
+                    println!("{}", noc_sim::chart::render_latency_report(&r));
+                } else {
+                    emit(&r);
+                }
+            }
+            "fig8a" => emit(&perf::fig8a(budget)),
+            "fig8b" => emit(&power::fig8b(budget)),
+            "area" => {
+                emit(&extensions::area(256));
+                emit(&extensions::area(1024));
+            }
+            "loss" => emit(&extensions::loss()),
+            "sdm" => emit(&extensions::sdm()),
+            "reconfig" => emit(&extensions::reconfig(budget)),
+            "bursty" => emit(&extensions::bursty(budget)),
+            "breakdown" => emit(&extensions::breakdown(budget)),
+            "placement" => emit(&extensions::placement(budget)),
+            "nodes" => emit(&extensions::nodes(budget)),
+            "thermal" => {
+                emit(&extensions::thermal(256));
+                emit(&extensions::thermal(1024));
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

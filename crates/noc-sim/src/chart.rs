@@ -1,0 +1,177 @@
+//! Terminal charts for latency-load curves (Figures 7b/7c in ASCII).
+//!
+//! A tiny scatter renderer: each series gets a glyph, axes are linear or
+//! log-y (latency curves hockey-stick at saturation, so log-y is the
+//! default for them). Pure string output — tests assert on placement.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartOptions {
+    /// Plot width in columns (data area).
+    pub width: usize,
+    /// Plot height in rows (data area).
+    pub height: usize,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions { width: 60, height: 16, log_y: true }
+    }
+}
+
+const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+/// Render series as an ASCII chart with a legend.
+pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], opts: ChartOptions) -> String {
+    assert!(!series.is_empty(), "nothing to plot");
+    assert!(opts.width >= 8 && opts.height >= 4);
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "series contain no points");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let ty = |y: f64| -> f64 {
+        if opts.log_y {
+            y.max(1e-9).ln()
+        } else {
+            y
+        }
+    };
+    let (gy_min, gy_max) = (ty(y_min), ty(y_max));
+    let mut grid = vec![vec![' '; opts.width]; opts.height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (opts.width - 1) as f64).round() as usize;
+            let cy = ((ty(y) - gy_min) / (gy_max - gy_min) * (opts.height - 1) as f64).round()
+                as usize;
+            let row = opts.height - 1 - cy.min(opts.height - 1);
+            grid[row][cx.min(opts.width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{y_label} [{:.3} .. {:.3}]{}\n",
+        y_min,
+        y_max,
+        if opts.log_y { " (log scale)" } else { "" }
+    ));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(opts.width));
+    out.push('\n');
+    out.push_str(&format!(" {x_label} [{x_min:.3} .. {x_max:.3}]\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+/// Render a latency-load report (as produced by
+/// [`crate::experiments::perf::fig7bc`]) as a chart: first column is the
+/// offered load, each further column a topology's latency.
+pub fn render_latency_report(report: &crate::report::Report) -> String {
+    let series: Vec<Series> = report
+        .header
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(col, name)| Series {
+            name: name.clone(),
+            points: report
+                .rows
+                .iter()
+                .map(|row| {
+                    (
+                        row[0].parse::<f64>().expect("load column"),
+                        row[col].parse::<f64>().expect("latency cell"),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    render(&report.title, "offered load (flits/core/cycle)", "latency (cycles)", &series, ChartOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series { name: "flat".into(), points: vec![(0.0, 10.0), (1.0, 10.0)] },
+            Series { name: "rising".into(), points: vec![(0.0, 10.0), (1.0, 100.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let out = render("Demo", "x", "y", &demo_series(), ChartOptions::default());
+        assert!(out.starts_with("Demo\n"));
+        assert!(out.contains("o flat"));
+        assert!(out.contains("* rising"));
+        assert!(out.contains("(log scale)"));
+        assert!(out.contains("[0.000 .. 1.000]"));
+    }
+
+    #[test]
+    fn rising_series_reaches_top_row() {
+        let out = render("D", "x", "y", &demo_series(), ChartOptions { log_y: false, ..Default::default() });
+        // The '*' at (1.0, 100.0) lands on the first grid row.
+        let first_grid_row = out.lines().nth(2).unwrap();
+        assert!(first_grid_row.contains('*'), "top row: {first_grid_row:?}");
+        // The flat series sits on the bottom row.
+        let rows: Vec<&str> = out.lines().collect();
+        let bottom = rows[2 + 16 - 1];
+        assert!(bottom.contains('o'), "bottom row: {bottom:?}");
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = vec![Series { name: "dot".into(), points: vec![(0.5, 5.0)] }];
+        let out = render("One", "x", "y", &s, ChartOptions::default());
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        let _ = render("E", "x", "y", &[], ChartOptions::default());
+    }
+
+    #[test]
+    fn latency_report_round_trip() {
+        let mut r = crate::report::Report::new("L", &["load", "A", "B"]);
+        r.row(vec!["0.01".into(), "20".into(), "30".into()]);
+        r.row(vec!["0.05".into(), "25".into(), "300".into()]);
+        let chart = render_latency_report(&r);
+        assert!(chart.contains("o A"));
+        assert!(chart.contains("* B"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Experiment runners: one function per table and figure of the paper.
+//!
+//! | paper artifact | runner | content |
+//! |---|---|---|
+//! | Table I   | [`tables::table1`] | wireless connection classes and channel pairs |
+//! | Table II  | [`tables::table2`] | 1024-core intra/inter-group channel map |
+//! | Table III | [`tables::table3`] | 16-band plan × {ideal, conservative} with pJ/bit |
+//! | Table IV  | [`tables::table4`] | configurations 1–4 |
+//! | Fig. 3    | [`phy::fig3`]      | required TX power vs distance and directivity |
+//! | Fig. 4    | [`phy::fig4`]      | oscillator PSD/phase noise, PA gain/P1dB, LNA gain |
+//! | Fig. 5    | [`power::fig5`]    | avg wireless link power, configs × scenarios |
+//! | Fig. 6    | [`power::fig6`]    | total power breakdown per topology, 256 cores |
+//! | Fig. 7a   | [`perf::fig7a`]    | throughput per pattern per topology, 256 cores |
+//! | Fig. 7b/c | [`perf::fig7bc`]   | latency vs load (UN, BR), 256 cores |
+//! | Fig. 8a   | [`perf::fig8a`]    | throughput per pattern, 1024 cores |
+//! | Fig. 8b   | [`power::fig8b`]   | power per packet per topology, 1024 cores |
+//!
+//! Beyond the paper's artifacts, [`extensions`] quantifies its qualitative
+//! claims (area/ring counts, photonic loss, SDM interference) and its
+//! declared future work (reconfiguration bands, bursty traffic).
+//!
+//! Every runner takes a [`Budget`] so the same code serves quick CI checks
+//! and full regeneration runs.
+
+pub mod extensions;
+pub mod perf;
+pub mod phy;
+pub mod power;
+pub mod tables;
+
+use crate::sim::SimConfig;
+
+/// Cycle budget for simulation-backed experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Drain budget.
+    pub drain: u64,
+}
+
+impl Budget {
+    /// Fast budget for tests and smoke runs (minutes for the full set).
+    pub fn quick() -> Self {
+        Budget { warmup: 500, measure: 2_000, drain: 6_000 }
+    }
+
+    /// Full budget for report-quality numbers.
+    pub fn full() -> Self {
+        Budget { warmup: 5_000, measure: 20_000, drain: 60_000 }
+    }
+
+    /// Lift into a [`SimConfig`] at the given load and pattern defaults.
+    pub fn config(&self) -> SimConfig {
+        SimConfig { warmup: self.warmup, measure: self.measure, drain: self.drain, ..Default::default() }
+    }
+}

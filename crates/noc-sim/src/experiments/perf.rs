@@ -1,0 +1,126 @@
+//! Figures 7 and 8a: throughput and latency experiments.
+
+use rayon::prelude::*;
+
+use noc_topology::paper_suite;
+use noc_traffic::TrafficPattern;
+
+use crate::experiments::Budget;
+use crate::report::Report;
+use crate::sim::SimConfig;
+use crate::sweep::{latency_vs_load, saturation_throughput};
+
+/// Figure 7a: saturation throughput for each synthetic pattern on each
+/// 256-core topology (flits/core/cycle).
+pub fn fig7a(budget: Budget) -> Report {
+    throughput_table(256, &TrafficPattern::paper_suite(), budget, "Figure 7a — throughput, 256 cores (flits/core/cycle)")
+}
+
+/// Figure 8a: saturation throughput at 1024 cores for a selection of traces
+/// (the paper compares "a select few synthetic traces" at this scale).
+pub fn fig8a(budget: Budget) -> Report {
+    let patterns = [
+        TrafficPattern::Uniform,
+        TrafficPattern::BitReversal,
+        TrafficPattern::PerfectShuffle,
+    ];
+    throughput_table(1024, &patterns, budget, "Figure 8a — throughput, 1024 cores (flits/core/cycle)")
+}
+
+fn throughput_table(
+    cores: u32,
+    patterns: &[TrafficPattern],
+    budget: Budget,
+    title: &str,
+) -> Report {
+    let names: Vec<String> = paper_suite(cores).iter().map(|t| t.name()).collect();
+    let mut header: Vec<&str> = vec!["pattern"];
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    header.extend(name_refs.iter());
+    let mut r = Report::new(title, &header);
+    // One cell per (pattern, topology): all independent — parallelize.
+    let cells: Vec<Vec<f64>> = patterns
+        .par_iter()
+        .map(|&pat| {
+            paper_suite(cores)
+                .par_iter()
+                .map(|topo| saturation_throughput(topo.as_ref(), pat, budget.config()))
+                .collect()
+        })
+        .collect();
+    for (pat, row) in patterns.iter().zip(cells) {
+        let mut cells = vec![pat.name().to_string()];
+        cells.extend(row.iter().map(|t| format!("{t:.4}")));
+        r.row(cells);
+    }
+    r
+}
+
+/// Figures 7b/7c: average latency vs offered load for every 256-core
+/// topology under one pattern (7b: uniform; 7c: bit reversal).
+pub fn fig7bc(pattern: TrafficPattern, loads: &[f64], budget: Budget) -> Report {
+    let suite = paper_suite(256);
+    let names: Vec<String> = suite.iter().map(|t| t.name()).collect();
+    let mut header: Vec<String> = vec!["offered load".to_string()];
+    header.extend(names);
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let fig = if pattern == TrafficPattern::Uniform { "7b" } else { "7c" };
+    let mut r = Report::new(
+        format!("Figure {fig} — latency vs load, {}, 256 cores (cycles)", pattern.name()),
+        &header_refs,
+    );
+    let base = SimConfig { pattern, ..budget.config() };
+    let curves: Vec<Vec<crate::sweep::LoadPoint>> = suite
+        .par_iter()
+        .map(|topo| latency_vs_load(topo.as_ref(), pattern, loads, base))
+        .collect();
+    for (i, &load) in loads.iter().enumerate() {
+        let mut row = vec![format!("{load:.3}")];
+        for curve in &curves {
+            row.push(format!("{:.1}", curve[i].avg_latency));
+        }
+        r.row(row);
+    }
+    r
+}
+
+/// Default load sweep for Figures 7b/7c: up to the normalized-bisection
+/// saturation point (~0.0625 flits/core/cycle under uniform traffic).
+pub fn default_loads() -> Vec<f64> {
+    vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_all_cells_positive() {
+        let r = fig7a(Budget { warmup: 300, measure: 800, drain: 0 });
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0 && v <= 1.0, "throughput {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7b_latency_monotone_headroom() {
+        // At well-below-saturation loads latency should be finite and the
+        // highest load should not be *faster* than the lowest.
+        let r = fig7bc(
+            TrafficPattern::Uniform,
+            &[0.01, 0.05],
+            Budget { warmup: 300, measure: 1_000, drain: 4_000 },
+        );
+        assert_eq!(r.rows.len(), 2);
+        for col in 1..r.header.len() {
+            let low: f64 = r.rows[0][col].parse().unwrap();
+            let high: f64 = r.rows[1][col].parse().unwrap();
+            assert!(low > 0.0);
+            assert!(high >= 0.8 * low, "latency collapsed at load: {low} -> {high}");
+        }
+    }
+}

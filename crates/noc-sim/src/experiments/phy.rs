@@ -1,0 +1,93 @@
+//! Figures 3 and 4: wireless physical-layer characterization.
+
+use noc_phy::{ClassAbPa, ColpittOscillator, LinkBudget, Lna};
+
+use crate::report::Report;
+
+/// Figure 3: link budget — required TX power (dBm) vs distance for several
+/// antenna directivities at 32 Gb/s, 90 GHz.
+pub fn fig3() -> Report {
+    let lb = LinkBudget::default();
+    let dirs = [0.0, 5.0, 10.0];
+    let mut r = Report::new(
+        "Figure 3 — link budget at 32 Gb/s, 90 GHz",
+        &["distance (mm)", "P_tx @ 0 dBi (dBm)", "P_tx @ 5 dBi (dBm)", "P_tx @ 10 dBi (dBm)"],
+    );
+    for d in [5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
+        let mut row = vec![format!("{d:.0}")];
+        for g in dirs {
+            row.push(format!("{:.1}", lb.required_tx_power_dbm(d, g)));
+        }
+        r.row(row);
+    }
+    r
+}
+
+/// Figure 4: transceiver circuit blocks — oscillator PSD/phase noise,
+/// PA gain and compression, LNA gain.
+pub fn fig4() -> Vec<Report> {
+    let osc = ColpittOscillator::default();
+    let mut a = Report::new(
+        "Figure 4a — Colpitt oscillator (90 GHz)",
+        &["quantity", "value"],
+    );
+    a.row(vec!["oscillation frequency (GHz)".into(), format!("{:.1}", osc.frequency_hz() / 1e9)]);
+    a.row(vec![
+        "phase noise @ 1 MHz (dBc/Hz)".into(),
+        format!("{:.1}", osc.phase_noise_dbc_hz(1e6)),
+    ]);
+    a.row(vec![
+        "phase noise @ 10 MHz (dBc/Hz)".into(),
+        format!("{:.1}", osc.phase_noise_dbc_hz(10e6)),
+    ]);
+    a.row(vec!["DC power (mW)".into(), format!("{:.1}", osc.dc_power_w * 1e3)]);
+
+    let pa = ClassAbPa::default();
+    let mut b = Report::new(
+        "Figure 4b — class-AB PA",
+        &["quantity", "value"],
+    );
+    b.row(vec!["peak gain (dB)".into(), format!("{:.1}", pa.gain_db(90.0))]);
+    b.row(vec!["bandwidth @ 2 dB gain (GHz)".into(), format!("{:.1}", pa.bandwidth_ghz(2.0))]);
+    b.row(vec!["P1dB (dBm)".into(), format!("{:.1}", pa.p1db_dbm())]);
+    b.row(vec!["saturated output (dBm)".into(), format!("{:.1}", pa.psat_dbm)]);
+    b.row(vec!["DC power (mW)".into(), format!("{:.1}", pa.dc_power_w * 1e3)]);
+
+    let lna = Lna::default();
+    let mut c = Report::new(
+        "Figure 4c — wideband cascode LNA",
+        &["frequency (GHz)", "gain (dB)"],
+    );
+    for f in [70.0, 80.0, 90.0, 100.0, 110.0] {
+        c.row(vec![format!("{f:.0}"), format!("{:.1}", lna.gain_db(f))]);
+    }
+    vec![a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_anchor_row() {
+        let r = fig3();
+        let row50 = r.find("50").unwrap();
+        let p: f64 = row50[1].parse().unwrap();
+        assert!((3.5..=5.0).contains(&p), "50 mm @ 0 dBi should need ≈4 dBm, got {p}");
+        // 10 dBi at both ends: 20 dB less.
+        let p10: f64 = row50[3].parse().unwrap();
+        assert!((p - p10 - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fig4_anchors() {
+        let reports = fig4();
+        assert_eq!(reports.len(), 3);
+        let pn: f64 = reports[0].find("phase noise @ 1 MHz (dBc/Hz)").unwrap()[1].parse().unwrap();
+        assert!((-89.0..=-83.0).contains(&pn));
+        let p1db: f64 = reports[1].find("P1dB (dBm)").unwrap()[1].parse().unwrap();
+        assert!((4.0..=6.0).contains(&p1db));
+        let g: f64 = reports[2].find("90").unwrap()[1].parse().unwrap();
+        assert_eq!(g, 10.0);
+    }
+}

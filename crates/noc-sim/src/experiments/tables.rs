@@ -1,0 +1,138 @@
+//! Tables I–IV: static architecture and technology tables.
+
+use noc_power::{band_plan, Scenario, WinocConfig};
+use noc_topology::channels::ChannelAllocation;
+use noc_core::DistanceClass;
+
+use crate::report::Report;
+
+/// Table I: wireless connections in the OWN architecture.
+pub fn table1() -> Report {
+    let mut r = Report::new(
+        "Table I — OWN wireless connections (C2C / E2E / SR)",
+        &["channel", "class", "distance (mm)", "LD factor", "TX", "RX"],
+    );
+    let alloc = ChannelAllocation::table_i();
+    for l in &alloc.links {
+        r.row(vec![
+            l.channel.to_string(),
+            format!("{:?}", l.distance),
+            format!("{:.0}", l.distance.distance_mm()),
+            format!("{:.2}", l.distance.ld_factor()),
+            format!("{:?}{}", l.tx, l.src),
+            format!("{:?}{}", l.rx, l.dst),
+        ]);
+    }
+    r
+}
+
+/// Table II: OWN-1024 wireless channels with group 0 as the source, plus
+/// the intra-group channels.
+pub fn table2() -> Report {
+    let mut r = Report::new(
+        "Table II — OWN-1024 channels (group 0 as source)",
+        &["channel", "kind", "writers", "readers", "class"],
+    );
+    let alloc = ChannelAllocation::table_i();
+    for l in alloc.links.iter().filter(|l| l.src == 0) {
+        r.row(vec![
+            l.channel.to_string(),
+            format!("inter-group 0->{}", l.dst),
+            format!("{:?} of clusters 0-3, group 0", l.tx),
+            format!("{:?} of clusters 0-3, group {}", l.rx, l.dst),
+            format!("{:?}", l.distance),
+        ]);
+    }
+    for l in ChannelAllocation::intra_group_links().iter().filter(|l| l.src == 0) {
+        r.row(vec![
+            l.channel.to_string(),
+            "intra-group 0".to_string(),
+            "D of clusters 0-3, group 0".to_string(),
+            "D of clusters 0-3, group 0".to_string(),
+            format!("{:?}", l.distance),
+        ]);
+    }
+    r
+}
+
+/// Table III: the 16-band plan under one scenario.
+pub fn table3(scenario: Scenario) -> Report {
+    let mut r = Report::new(
+        format!("Table III — wireless band plan, {} scenario", scenario.name()),
+        &["link", "centre (GHz)", "BW (GHz)", "technology", "pJ/bit", "role"],
+    );
+    for b in band_plan(scenario) {
+        let role = match b.index {
+            1..=4 => "inter-cluster C2C",
+            5..=8 => "inter-cluster E2E",
+            9..=12 => "inter-cluster SR",
+            _ => "reconfig (256) / intra-group (1024)",
+        };
+        r.row(vec![
+            b.index.to_string(),
+            format!("{:.0}", b.center_ghz),
+            format!("{:.0}", b.bandwidth_ghz),
+            b.tech.name().to_string(),
+            format!("{:.2}", b.energy_pj_per_bit),
+            role.to_string(),
+        ]);
+    }
+    r
+}
+
+/// Table IV: the four wireless implementation configurations.
+pub fn table4() -> Report {
+    let mut r = Report::new(
+        "Table IV — WiNoC implementation configurations",
+        &["configuration", "C2C (long)", "E2E (medium)", "SR (short)"],
+    );
+    for c in WinocConfig::all() {
+        r.row(vec![
+            c.name(),
+            c.tech_for(DistanceClass::C2C).name().to_string(),
+            c.tech_for(DistanceClass::E2E).name().to_string(),
+            c.tech_for(DistanceClass::SR).name().to_string(),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_12_channels() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.find("1").unwrap()[1], "C2C");
+        assert_eq!(t.find("9").unwrap()[1], "SR");
+    }
+
+    #[test]
+    fn table2_lists_group0_channels() {
+        let t = table2();
+        // 3 inter-group (0->1, 0->2, 0->3) + 1 intra-group.
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.rows.iter().any(|r| r[1] == "intra-group 0"));
+    }
+
+    #[test]
+    fn table3_band1_is_cmos_base() {
+        let t = table3(Scenario::Ideal);
+        assert_eq!(t.rows.len(), 16);
+        let b1 = t.find("1").unwrap();
+        assert_eq!(b1[3], "CMOS");
+        assert_eq!(b1[4], "0.10");
+    }
+
+    #[test]
+    fn table4_matches_paper() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 4);
+        let c1 = t.find("Configuration 1").unwrap();
+        assert_eq!(&c1[1..], &["SiGe", "CMOS", "CMOS"]);
+        let c4 = t.find("Configuration 4").unwrap();
+        assert_eq!(&c4[1..], &["CMOS", "CMOS", "BiCMOS"]);
+    }
+}

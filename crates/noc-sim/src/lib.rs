@@ -1,0 +1,33 @@
+//! # noc-sim — simulation driver and experiment runners
+//!
+//! Ties the workspace together: builds a topology, drives it with synthetic
+//! traffic under the paper's methodology (§V-A: warm-up, measurement
+//! window, drain), extracts latency/throughput metrics, prices the run with
+//! the `noc-power` models, and regenerates every table and figure of the
+//! paper through [`experiments`].
+//!
+//! ```no_run
+//! use noc_sim::{Simulation, SimConfig};
+//! use noc_topology::Own;
+//! use noc_traffic::TrafficPattern;
+//!
+//! let cfg = SimConfig { rate: 0.04, pattern: TrafficPattern::Uniform, ..Default::default() };
+//! let result = Simulation::new(&Own::new_256(), cfg).run();
+//! println!("avg latency {:.1} cycles, throughput {:.3} flits/core/cycle",
+//!          result.avg_latency, result.throughput);
+//! ```
+
+pub mod analysis;
+pub mod chart;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod sim;
+pub mod spec;
+pub mod sweep;
+
+pub use metrics::SimResult;
+pub use report::Report;
+pub use sim::{SimConfig, Simulation};
+pub use spec::SimSpec;
+pub use sweep::{latency_vs_load, replicate, saturation_throughput, LoadPoint, Replicated};

@@ -1,0 +1,104 @@
+//! Metrics extracted from a finished simulation.
+
+use noc_core::Network;
+
+use crate::sim::SimConfig;
+
+/// The result of one simulation run, including the network itself so the
+/// power models can price the recorded activity.
+pub struct SimResult {
+    /// Topology display name.
+    pub name: String,
+    /// Average packet latency over the measurement window, in cycles.
+    pub avg_latency: f64,
+    /// Approximate median latency.
+    pub p50_latency: u64,
+    /// Approximate 99th-percentile latency.
+    pub p99_latency: u64,
+    /// Maximum observed latency.
+    pub max_latency: u64,
+    /// Average source-queue delay (creation → injection), cycles.
+    pub avg_queue_delay: f64,
+    /// Average network transit (injection → ejection), cycles.
+    pub avg_network_latency: f64,
+    /// Accepted throughput over the window, flits/core/cycle.
+    pub throughput: f64,
+    /// Packets whose latency was measured.
+    pub packets_measured: u64,
+    /// Offered load (from the config).
+    pub offered: f64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// The simulated network with its cumulative statistics (input to
+    /// `noc_power::PowerModel::price`).
+    pub net: Network,
+    /// The configuration that produced this result.
+    pub cfg: SimConfig,
+}
+
+impl SimResult {
+    pub(crate) fn collect(name: String, net: Network, cfg: SimConfig, throughput: f64) -> Self {
+        let lat = &net.stats.latency;
+        SimResult {
+            name,
+            avg_latency: lat.mean(),
+            p50_latency: lat.quantile(0.5),
+            p99_latency: lat.quantile(0.99),
+            max_latency: lat.max,
+            avg_queue_delay: net.stats.queue_delay.mean(),
+            avg_network_latency: net.stats.network_latency.mean(),
+            throughput,
+            packets_measured: lat.count,
+            offered: cfg.rate,
+            cycles: net.now,
+            net,
+            cfg,
+        }
+    }
+
+    /// Fraction of offered load that was accepted (≈1 below saturation).
+    pub fn acceptance(&self) -> f64 {
+        if self.offered == 0.0 {
+            return 1.0;
+        }
+        self.throughput / self.offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use noc_topology::CMesh;
+
+    #[test]
+    fn percentiles_ordered() {
+        let cfg = SimConfig { rate: 0.03, warmup: 200, measure: 1_000, drain: 4_000, ..Default::default() };
+        let r = Simulation::new(&CMesh::new(64), cfg).run();
+        assert!(r.p50_latency as f64 <= r.p99_latency as f64 + f64::EPSILON);
+        assert!(r.p99_latency <= r.max_latency + r.net.stats.latency.bucket_width);
+        assert!(r.avg_latency >= 1.0);
+    }
+
+    #[test]
+    fn latency_decomposes_into_queue_plus_network() {
+        let cfg = SimConfig { rate: 0.03, warmup: 200, measure: 1_000, drain: 4_000, ..Default::default() };
+        let r = Simulation::new(&CMesh::new(64), cfg).run();
+        let sum = r.avg_queue_delay + r.avg_network_latency;
+        assert!(
+            (sum - r.avg_latency).abs() < 1.0,
+            "queue {} + network {} should equal total {}",
+            r.avg_queue_delay,
+            r.avg_network_latency,
+            r.avg_latency
+        );
+        assert!(r.avg_network_latency > r.avg_queue_delay, "low load: transit dominates");
+    }
+
+    #[test]
+    fn acceptance_near_one_below_saturation() {
+        let cfg = SimConfig { rate: 0.02, warmup: 300, measure: 1_500, drain: 5_000, ..Default::default() };
+        let r = Simulation::new(&CMesh::new(64), cfg).run();
+        assert!((0.8..=1.2).contains(&r.acceptance()), "acceptance {}", r.acceptance());
+    }
+}

@@ -1,0 +1,164 @@
+//! Tabular report formatting for the experiment runners.
+//!
+//! Every experiment produces a [`Report`]: a titled table of string cells.
+//! Keeping results structured (instead of printing directly) lets the test
+//! suite assert on the regenerated numbers and lets callers export CSV.
+
+/// A titled table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Report {
+    /// Title, e.g. "Table III (ideal scenario)".
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells (each the same length as `header`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with the given title and columns.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Find the row whose first cell equals `key`.
+    pub fn find(&self, key: &str) -> Option<&Vec<String>> {
+        self.rows.iter().find(|r| r[0] == key)
+    }
+
+    /// Parse cell `(row, col)` as f64 (panics on malformed cells — reports
+    /// are produced by our own code).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("cell ({row},{col}) of '{}' is not numeric: {:?}", self.title, self.rows[row][col]))
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON object (`{title, header, rows}`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parse a report back from [`Report::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Render as CSV (RFC-4180-lite: quotes around cells with commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Demo", &["name", "value"]);
+        r.row(vec!["alpha".into(), "1.5".into()]);
+        r.row(vec!["beta,x".into(), "2.0".into()]);
+        r
+    }
+
+    #[test]
+    fn text_rendering_aligned() {
+        let t = sample().to_text();
+        assert!(t.contains("## Demo"));
+        assert!(t.contains("alpha"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let c = sample().to_csv();
+        assert!(c.contains("\"beta,x\""));
+        assert!(c.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn find_and_parse() {
+        let r = sample();
+        assert_eq!(r.find("alpha").unwrap()[1], "1.5");
+        assert!(r.find("gamma").is_none());
+        assert_eq!(r.cell_f64(0, 1), 1.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let j = r.to_json();
+        assert!(j.contains("\"title\""));
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back, r);
+        assert!(Report::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut r = Report::new("Bad", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Single-simulation driver implementing the paper's methodology.
+//!
+//! A run is: **warm-up** (traffic flows, nothing measured) → **measurement
+//! window** (latency recorded for packets created in the window; accepted
+//! throughput counted at the ejectors) → **drain** (injection stops, the
+//! window's packets finish; bounded). Seeds are explicit, so every result
+//! is reproducible.
+
+use noc_core::{Network, RouterConfig};
+use noc_topology::Topology;
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+use crate::metrics::SimResult;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Offered load in flits/core/cycle.
+    pub rate: f64,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Packet length in flits.
+    pub packet_len: u16,
+    /// Warm-up cycles (not measured).
+    pub warmup: u64,
+    /// Measurement-window cycles.
+    pub measure: u64,
+    /// Maximum drain cycles after the window (injection continues during
+    /// drain so the network stays in steady state, but measurement stops).
+    pub drain: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Router microarchitecture.
+    pub router: RouterConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rate: 0.05,
+            pattern: TrafficPattern::Uniform,
+            packet_len: 4,
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 30_000,
+            seed: 0x0517_2018, // IPDPS 2018
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    net: Network,
+    injector: BernoulliInjector,
+    cfg: SimConfig,
+    name: String,
+    cores: usize,
+}
+
+impl Simulation {
+    /// Build the topology and attach the injector.
+    pub fn new(topo: &dyn Topology, cfg: SimConfig) -> Self {
+        let net = topo.build(cfg.router);
+        let injector = BernoulliInjector::new(cfg.rate, cfg.packet_len, cfg.pattern, cfg.seed);
+        let cores = net.num_cores();
+        Simulation { net, injector, cfg, name: topo.name(), cores }
+    }
+
+    /// Run warm-up, measurement and drain; return the metrics.
+    pub fn run(mut self) -> SimResult {
+        let cfg = self.cfg;
+        // Warm-up.
+        self.injector.drive(&mut self.net, cfg.warmup);
+        // Measurement window.
+        let window_start = self.net.now;
+        self.net.stats.measure_from = window_start;
+        self.net.stats.measure_until = window_start + cfg.measure;
+        let ejected_at_start = self.net.stats.flits_ejected;
+        self.injector.drive(&mut self.net, cfg.measure);
+        let ejected_at_end = self.net.stats.flits_ejected;
+        // Drain: keep offering traffic (steady state) until the window's
+        // packets are delivered or the budget runs out.
+        let offered_in_window = self.net.stats.latency.count; // delivered so far
+        let _ = offered_in_window;
+        let mut drained = 0;
+        while drained < cfg.drain && self.window_packets_outstanding() {
+            self.injector.offer(&mut self.net);
+            self.net.step();
+            drained += 1;
+        }
+        let throughput =
+            (ejected_at_end - ejected_at_start) as f64 / (cfg.measure as f64 * self.cores as f64);
+        SimResult::collect(self.name, self.net, cfg, throughput)
+    }
+
+    /// Heuristic: outstanding window packets exist while the in-network flit
+    /// count stays high and latency samples keep arriving. We simply bound
+    /// drain by watching whether the latency count still grows.
+    fn window_packets_outstanding(&self) -> bool {
+        // When saturated the source backlog never empties; rely on the
+        // drain budget. Before saturation, stop early once quiescent.
+        !self.net.quiescent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::CMesh;
+
+    #[test]
+    fn low_load_run_produces_metrics() {
+        let cfg = SimConfig {
+            rate: 0.02,
+            warmup: 200,
+            measure: 1_000,
+            drain: 5_000,
+            ..Default::default()
+        };
+        let r = Simulation::new(&CMesh::new(64), cfg).run();
+        assert!(r.avg_latency > 5.0, "latency {}", r.avg_latency);
+        assert!(r.throughput > 0.0);
+        assert!(r.packets_measured > 0);
+        // At low load, accepted ≈ offered.
+        assert!((r.throughput - 0.02).abs() < 0.01, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig { rate: 0.03, warmup: 100, measure: 500, drain: 2_000, ..Default::default() };
+        let a = Simulation::new(&CMesh::new(64), cfg).run();
+        let b = Simulation::new(&CMesh::new(64), cfg).run();
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn saturating_load_caps_throughput() {
+        let cfg = SimConfig {
+            rate: 1.0,
+            warmup: 500,
+            measure: 2_000,
+            drain: 0,
+            ..Default::default()
+        };
+        let r = Simulation::new(&CMesh::new(64), cfg).run();
+        // Accepted throughput must be well below the offered 1.0.
+        assert!(r.throughput < 0.8, "throughput {}", r.throughput);
+        assert!(r.throughput > 0.05);
+    }
+}

@@ -1,0 +1,294 @@
+//! Declarative experiment specifications (JSON).
+//!
+//! A [`SimSpec`] describes a complete experiment — topology, traffic,
+//! load, windows, replication seeds — and can be parsed from JSON, so
+//! custom studies run from a file instead of code:
+//!
+//! ```json
+//! {
+//!   "topology": "own-256",
+//!   "pattern": "uniform",
+//!   "rate": 0.03,
+//!   "packet_len": 4,
+//!   "warmup": 2000, "measure": 10000, "drain": 30000,
+//!   "seeds": [1, 2, 3, 4]
+//! }
+//! ```
+//!
+//! Topologies: `cmesh-N`, `wcmesh-N`, `optxb-N`, `pclos-N`, `own-256`,
+//! `own-1024`, `own-256-center`, `own-256-diag-spares`. Patterns:
+//! `uniform`, `bitrev`, `transpose`, `shuffle`, `neighbor`,
+//! `bitcomplement`, `hotspot:<core>:<fraction>`, `permutation:<seed>`.
+//!
+//! ```
+//! use noc_sim::SimSpec;
+//! let spec = SimSpec::from_json(
+//!     r#"{"topology": "own-256", "pattern": "bitrev", "rate": 0.02}"#,
+//! ).unwrap();
+//! assert_eq!(spec.topology().unwrap().num_cores(), 256);
+//! ```
+
+use noc_core::RouterConfig;
+use noc_topology::{
+    AntennaPlacement, CMesh, OptXb, Own256, Own1024, Own256Reconfig, PClos, ReconfigPolicy,
+    Topology, WirelessCMesh,
+};
+use noc_traffic::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Report;
+use crate::sim::SimConfig;
+use crate::sweep::replicate;
+
+/// A declarative experiment.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SimSpec {
+    /// Topology name (see module docs).
+    pub topology: String,
+    /// Pattern name (see module docs).
+    pub pattern: String,
+    /// Offered load, flits/core/cycle.
+    pub rate: f64,
+    #[serde(default = "default_packet_len")]
+    pub packet_len: u16,
+    #[serde(default = "default_warmup")]
+    pub warmup: u64,
+    #[serde(default = "default_measure")]
+    pub measure: u64,
+    #[serde(default = "default_drain")]
+    pub drain: u64,
+    /// Replication seeds (at least one).
+    #[serde(default = "default_seeds")]
+    pub seeds: Vec<u64>,
+    /// Virtual channels per port.
+    #[serde(default = "default_vcs")]
+    pub vcs: u8,
+    /// Buffer depth per VC.
+    #[serde(default = "default_depth")]
+    pub buf_depth: u32,
+    /// Speculative RC+VCA pipeline.
+    #[serde(default)]
+    pub speculative: bool,
+}
+
+fn default_packet_len() -> u16 {
+    4
+}
+fn default_warmup() -> u64 {
+    2_000
+}
+fn default_measure() -> u64 {
+    10_000
+}
+fn default_drain() -> u64 {
+    30_000
+}
+fn default_seeds() -> Vec<u64> {
+    vec![0x0517_2018]
+}
+fn default_vcs() -> u8 {
+    4
+}
+fn default_depth() -> u32 {
+    4
+}
+
+impl SimSpec {
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Resolve the topology by name.
+    pub fn topology(&self) -> Result<Box<dyn Topology>, String> {
+        let t = self.topology.to_ascii_lowercase();
+        if let Some(n) = t.strip_prefix("cmesh-") {
+            let cores: u32 = n.parse().map_err(|_| format!("bad core count in {t}"))?;
+            return Ok(Box::new(CMesh::new(cores)));
+        }
+        if let Some(n) = t.strip_prefix("wcmesh-") {
+            let cores: u32 = n.parse().map_err(|_| format!("bad core count in {t}"))?;
+            return Ok(Box::new(WirelessCMesh::new(cores)));
+        }
+        if let Some(n) = t.strip_prefix("optxb-") {
+            let cores: u32 = n.parse().map_err(|_| format!("bad core count in {t}"))?;
+            return Ok(Box::new(OptXb::new(cores)));
+        }
+        if let Some(n) = t.strip_prefix("pclos-") {
+            let cores: u32 = n.parse().map_err(|_| format!("bad core count in {t}"))?;
+            return Ok(Box::new(PClos::new(cores)));
+        }
+        match t.as_str() {
+            "own-256" => Ok(Box::new(Own256::new())),
+            "own-1024" => Ok(Box::new(Own1024::new())),
+            "own-256-center" => {
+                Ok(Box::new(Own256::with_placement(AntennaPlacement::Center)))
+            }
+            "own-256-diag-spares" => {
+                Ok(Box::new(Own256Reconfig::new(ReconfigPolicy::Diagonal)))
+            }
+            other => Err(format!("unknown topology {other:?}")),
+        }
+    }
+
+    /// Resolve the traffic pattern by name.
+    pub fn traffic(&self) -> Result<TrafficPattern, String> {
+        let p = self.pattern.to_ascii_lowercase();
+        let parts: Vec<&str> = p.split(':').collect();
+        match parts[0] {
+            "uniform" | "un" => Ok(TrafficPattern::Uniform),
+            "bitrev" | "br" => Ok(TrafficPattern::BitReversal),
+            "transpose" | "mt" => Ok(TrafficPattern::Transpose),
+            "shuffle" | "ps" => Ok(TrafficPattern::PerfectShuffle),
+            "neighbor" | "nbr" => Ok(TrafficPattern::Neighbor),
+            "bitcomplement" | "bc" => Ok(TrafficPattern::BitComplement),
+            "hotspot" if parts.len() == 3 => {
+                let target = parts[1].parse().map_err(|_| "bad hotspot core".to_string())?;
+                let fraction =
+                    parts[2].parse().map_err(|_| "bad hotspot fraction".to_string())?;
+                Ok(TrafficPattern::Hotspot { target, fraction })
+            }
+            "permutation" if parts.len() == 2 => {
+                let seed = parts[1].parse().map_err(|_| "bad permutation seed".to_string())?;
+                Ok(TrafficPattern::Permutation { seed })
+            }
+            other => Err(format!("unknown pattern {other:?}")),
+        }
+    }
+
+    /// Run the experiment (replicated across seeds) and report.
+    pub fn run(&self) -> Result<Report, String> {
+        if self.seeds.is_empty() {
+            return Err("at least one seed is required".into());
+        }
+        let topo = self.topology()?;
+        let pattern = self.traffic()?;
+        let mut router = RouterConfig::new(self.vcs, self.buf_depth);
+        if self.speculative {
+            router = router.with_speculation();
+        }
+        let base = SimConfig {
+            rate: self.rate,
+            pattern,
+            packet_len: self.packet_len,
+            warmup: self.warmup,
+            measure: self.measure,
+            drain: self.drain,
+            router,
+            ..Default::default()
+        };
+        let (lat, thr) = replicate(topo.as_ref(), base, &self.seeds);
+        let mut r = Report::new(
+            format!(
+                "Custom experiment — {} / {} @ {} flits/core/cycle ({} seeds)",
+                topo.name(),
+                self.pattern,
+                self.rate,
+                self.seeds.len()
+            ),
+            &["metric", "mean", "stddev", "ci95"],
+        );
+        r.row(vec![
+            "latency (cycles)".into(),
+            format!("{:.2}", lat.mean),
+            format!("{:.2}", lat.stddev),
+            format!("±{:.2}", lat.ci95),
+        ]);
+        r.row(vec![
+            "throughput (flits/core/cycle)".into(),
+            format!("{:.5}", thr.mean),
+            format!("{:.5}", thr.stddev),
+            format!("±{:.5}", thr.ci95),
+        ]);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_spec_with_defaults() {
+        let s = SimSpec::from_json(
+            r#"{"topology": "cmesh-64", "pattern": "uniform", "rate": 0.02}"#,
+        )
+        .unwrap();
+        assert_eq!(s.packet_len, 4);
+        assert_eq!(s.seeds.len(), 1);
+        assert!(!s.speculative);
+        assert_eq!(s.topology().unwrap().num_cores(), 64);
+    }
+
+    #[test]
+    fn resolves_all_topology_names() {
+        for (name, cores) in [
+            ("cmesh-256", 256),
+            ("wcmesh-256", 256),
+            ("optxb-64", 64),
+            ("pclos-256", 256),
+            ("own-256", 256),
+            ("own-1024", 1024),
+            ("own-256-center", 256),
+            ("own-256-diag-spares", 256),
+        ] {
+            let s = SimSpec::from_json(&format!(
+                r#"{{"topology": "{name}", "pattern": "un", "rate": 0.01}}"#
+            ))
+            .unwrap();
+            assert_eq!(s.topology().unwrap().num_cores(), cores, "{name}");
+        }
+    }
+
+    #[test]
+    fn resolves_parameterized_patterns() {
+        let mk = |p: &str| {
+            SimSpec::from_json(&format!(
+                r#"{{"topology": "cmesh-64", "pattern": "{p}", "rate": 0.01}}"#
+            ))
+            .unwrap()
+            .traffic()
+        };
+        assert_eq!(mk("bitrev").unwrap(), TrafficPattern::BitReversal);
+        assert_eq!(
+            mk("hotspot:7:0.5").unwrap(),
+            TrafficPattern::Hotspot { target: 7, fraction: 0.5 }
+        );
+        assert_eq!(mk("permutation:99").unwrap(), TrafficPattern::Permutation { seed: 99 });
+        assert!(mk("nope").is_err());
+        assert!(mk("hotspot:bad").is_err());
+    }
+
+    #[test]
+    fn unknown_topology_is_an_error() {
+        let s = SimSpec::from_json(
+            r#"{"topology": "hypercube-64", "pattern": "un", "rate": 0.01}"#,
+        )
+        .unwrap();
+        assert!(s.topology().is_err());
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let s = SimSpec::from_json(
+            r#"{"topology": "cmesh-64", "pattern": "uniform", "rate": 0.02,
+                "warmup": 200, "measure": 800, "drain": 3000, "seeds": [1, 2]}"#,
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let lat: f64 = r.rows[0][1].parse().unwrap();
+        assert!(lat > 5.0);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let s = SimSpec::from_json(
+            r#"{"topology": "own-256", "pattern": "bc", "rate": 0.02, "speculative": true}"#,
+        )
+        .unwrap();
+        let j = serde_json::to_string(&s).unwrap();
+        let back = SimSpec::from_json(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

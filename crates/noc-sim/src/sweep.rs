@@ -1,0 +1,185 @@
+//! Load sweeps and saturation analysis (Figures 7b, 7c).
+//!
+//! Sweep points are independent simulations, so they run in parallel with
+//! rayon — the natural data-parallel decomposition for a single-threaded
+//! cycle-accurate simulator.
+
+use rayon::prelude::*;
+
+use noc_topology::Topology;
+use noc_traffic::TrafficPattern;
+
+use crate::sim::{SimConfig, Simulation};
+
+/// One point of a latency-load curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load in flits/core/cycle.
+    pub offered: f64,
+    /// Average packet latency in cycles.
+    pub avg_latency: f64,
+    /// Accepted throughput in flits/core/cycle.
+    pub accepted: f64,
+}
+
+/// Latency vs offered load for one topology and pattern; points run in
+/// parallel.
+pub fn latency_vs_load(
+    topo: &dyn Topology,
+    pattern: TrafficPattern,
+    loads: &[f64],
+    base: SimConfig,
+) -> Vec<LoadPoint> {
+    loads
+        .par_iter()
+        .map(|&rate| {
+            let cfg = SimConfig { rate, pattern, ..base };
+            let r = Simulation::new(topo, cfg).run();
+            LoadPoint { offered: rate, avg_latency: r.avg_latency, accepted: r.throughput }
+        })
+        .collect()
+}
+
+/// Saturation throughput: accepted flits/core/cycle when the offered load
+/// far exceeds capacity (the metric of Figures 7a and 8a).
+pub fn saturation_throughput(topo: &dyn Topology, pattern: TrafficPattern, base: SimConfig) -> f64 {
+    let cfg = SimConfig { rate: 1.0, pattern, drain: 0, ..base };
+    Simulation::new(topo, cfg).run().throughput
+}
+
+/// Multi-seed replication statistics for one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replicated {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev: f64,
+    /// Half-width of the ~95% confidence interval (1.96·σ/√n).
+    pub ci95: f64,
+    /// Number of replications.
+    pub n: usize,
+}
+
+impl Replicated {
+    /// Summarize a set of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty());
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        Replicated { mean, stddev, ci95: 1.96 * stddev / (n as f64).sqrt(), n }
+    }
+
+    /// Whether another replication's mean lies inside this one's CI.
+    pub fn consistent_with(&self, other: f64) -> bool {
+        (other - self.mean).abs() <= self.ci95.max(1e-12)
+    }
+}
+
+/// Replicate a simulation across seeds and summarize latency and
+/// throughput (seeds run in parallel). This is how report-quality numbers
+/// should be produced: a single seed's latency can swing several percent
+/// near saturation.
+pub fn replicate(
+    topo: &dyn Topology,
+    base: SimConfig,
+    seeds: &[u64],
+) -> (Replicated, Replicated) {
+    assert!(!seeds.is_empty());
+    let results: Vec<(f64, f64)> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let cfg = SimConfig { seed, ..base };
+            let r = Simulation::new(topo, cfg).run();
+            (r.avg_latency, r.throughput)
+        })
+        .collect();
+    let lat: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let thr: Vec<f64> = results.iter().map(|r| r.1).collect();
+    (Replicated::from_samples(&lat), Replicated::from_samples(&thr))
+}
+
+/// Find the saturation *point*: the lowest offered load whose average
+/// latency exceeds `factor` times the zero-load latency. Returns the load
+/// and the zero-load latency.
+pub fn saturation_point(
+    topo: &dyn Topology,
+    pattern: TrafficPattern,
+    loads: &[f64],
+    factor: f64,
+    base: SimConfig,
+) -> (f64, f64) {
+    let pts = latency_vs_load(topo, pattern, loads, base);
+    let zero_load = pts.first().map(|p| p.avg_latency).unwrap_or(0.0);
+    for p in &pts {
+        if p.avg_latency > factor * zero_load {
+            return (p.offered, zero_load);
+        }
+    }
+    (loads.last().copied().unwrap_or(0.0), zero_load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::CMesh;
+
+    fn quick() -> SimConfig {
+        SimConfig { warmup: 200, measure: 800, drain: 3_000, ..Default::default() }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let topo = CMesh::new(64);
+        let pts = latency_vs_load(&topo, TrafficPattern::Uniform, &[0.01, 0.30], quick());
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].avg_latency > pts[0].avg_latency,
+            "latency must grow toward saturation: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_throughput_positive_and_bounded() {
+        let t = saturation_throughput(&CMesh::new(64), TrafficPattern::Uniform, quick());
+        assert!(t > 0.02 && t < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn replicated_statistics_sane() {
+        let s = Replicated::from_samples(&[10.0, 12.0, 11.0, 9.0, 13.0]);
+        assert!((s.mean - 11.0).abs() < 1e-12);
+        assert!(s.stddev > 1.0 && s.stddev < 2.0);
+        assert!(s.ci95 > 0.0);
+        assert!(s.consistent_with(11.5));
+        assert!(!s.consistent_with(20.0));
+        let single = Replicated::from_samples(&[5.0]);
+        assert_eq!(single.stddev, 0.0);
+    }
+
+    #[test]
+    fn replication_across_seeds_is_tight_below_saturation() {
+        let topo = CMesh::new(64);
+        let base = SimConfig { rate: 0.02, ..quick() };
+        let (lat, thr) = replicate(&topo, base, &[1, 2, 3, 4]);
+        assert_eq!(lat.n, 4);
+        // Below saturation, seeds agree within a few percent.
+        assert!(lat.ci95 < 0.15 * lat.mean, "latency CI too wide: {lat:?}");
+        assert!(thr.ci95 < 0.15 * thr.mean, "throughput CI too wide: {thr:?}");
+    }
+
+    #[test]
+    fn saturation_point_detected() {
+        let loads = [0.01, 0.05, 0.10, 0.20, 0.40, 0.80];
+        let (sat, zero) =
+            saturation_point(&CMesh::new(64), TrafficPattern::Uniform, &loads, 3.0, quick());
+        assert!(zero > 0.0);
+        assert!(loads.contains(&sat));
+        assert!(sat > 0.01, "64-core CMESH does not saturate at 1%");
+    }
+}

@@ -1,0 +1,242 @@
+//! OWN wireless channel allocation — Tables I and II of the paper.
+//!
+//! Each cluster places four wireless transceivers on its four corners,
+//! lettered A–D (Fig. 1b). Inter-cluster connectivity at 256 cores uses 12
+//! point-to-point channels in three distance classes (Table I):
+//!
+//! | class | distance | pairs (TX → RX) |
+//! |-------|----------|------------------|
+//! | C2C (diagonal) | ~60 mm | A3→B1, B1→A3, A0→B2, B2→A0 |
+//! | E2E (edge)     | ~30 mm | A2→B3, B3→A2, A1→B0, B0→A1 |
+//! | SR (short)     | ~10 mm | C0→C3, C3→C0, C1→C2, C2→C1 |
+//!
+//! Channels 13–16 are reconfiguration spares at 256 cores; at 1024 cores
+//! they become the four intra-group channels, and the twelve inter-cluster
+//! channels are promoted to inter-*group* SWMR multicast channels with the
+//! same letter/distance assignment at group granularity (Table II: e.g. A0
+//! of group 0 transmits to the A antennas of all four clusters of group 1).
+//!
+//! The geometric convention: quadrants are numbered 0 = NW, 1 = NE, 2 = SE,
+//! 3 = SW, so pairs (0,2) and (1,3) are diagonal, (0,1) and (3,2) are
+//! horizontal edges, and (0,3) and (1,2) are vertical edges whose corner
+//! antennas sit ~10 mm apart (the short-range class).
+
+use noc_core::DistanceClass;
+
+/// Corner antenna letter within a cluster (Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Antenna {
+    /// Corner antenna A (by convention tile (0,0) of the 4×4 tile grid).
+    A,
+    /// Corner antenna B (tile (3,0)).
+    B,
+    /// Corner antenna C (tile (0,3)).
+    C,
+    /// Corner antenna D (tile (3,3)); unused spare at 256 cores, carries
+    /// intra-group traffic at 1024 cores.
+    D,
+}
+
+impl Antenna {
+    /// Tile index (0..16) hosting this antenna within the 4×4 tile grid of a
+    /// cluster.
+    pub fn tile(self) -> u32 {
+        match self {
+            Antenna::A => 0,  // (0,0)
+            Antenna::B => 3,  // (3,0)
+            Antenna::C => 12, // (0,3)
+            Antenna::D => 15, // (3,3)
+        }
+    }
+}
+
+/// One directed wireless channel of the OWN allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirelessLink {
+    /// Band index, 1-based as in Table III (1–16).
+    pub channel: u8,
+    /// Source quadrant (cluster at 256 cores, group at 1024).
+    pub src: u32,
+    /// Destination quadrant.
+    pub dst: u32,
+    /// Transmitting corner antenna (in the source quadrant).
+    pub tx: Antenna,
+    /// Receiving corner antenna (in the destination quadrant).
+    pub rx: Antenna,
+    /// Distance class (selects the link-distance power factor).
+    pub distance: DistanceClass,
+}
+
+/// The complete OWN channel allocation.
+#[derive(Debug, Clone)]
+pub struct ChannelAllocation {
+    /// The 12 inter-quadrant channels of Table I, in band order 1..=12:
+    /// bands 1–4 diagonal (C2C), 5–8 edge (E2E), 9–12 short-range (SR).
+    pub links: Vec<WirelessLink>,
+}
+
+impl ChannelAllocation {
+    /// The Table I allocation.
+    pub fn table_i() -> Self {
+        use Antenna::*;
+        use DistanceClass::*;
+        let links = vec![
+            // Diagonal / corner-to-corner, ~60 mm.
+            WirelessLink { channel: 1, src: 3, dst: 1, tx: A, rx: B, distance: C2C },
+            WirelessLink { channel: 2, src: 1, dst: 3, tx: B, rx: A, distance: C2C },
+            WirelessLink { channel: 3, src: 0, dst: 2, tx: A, rx: B, distance: C2C },
+            WirelessLink { channel: 4, src: 2, dst: 0, tx: B, rx: A, distance: C2C },
+            // Edge-to-edge, ~30 mm.
+            WirelessLink { channel: 5, src: 2, dst: 3, tx: A, rx: B, distance: E2E },
+            WirelessLink { channel: 6, src: 3, dst: 2, tx: B, rx: A, distance: E2E },
+            WirelessLink { channel: 7, src: 1, dst: 0, tx: A, rx: B, distance: E2E },
+            WirelessLink { channel: 8, src: 0, dst: 1, tx: B, rx: A, distance: E2E },
+            // Short range, ~10 mm.
+            WirelessLink { channel: 9, src: 0, dst: 3, tx: C, rx: C, distance: SR },
+            WirelessLink { channel: 10, src: 3, dst: 0, tx: C, rx: C, distance: SR },
+            WirelessLink { channel: 11, src: 1, dst: 2, tx: C, rx: C, distance: SR },
+            WirelessLink { channel: 12, src: 2, dst: 1, tx: C, rx: C, distance: SR },
+        ];
+        ChannelAllocation { links }
+    }
+
+    /// The intra-group channels added at 1024 cores (bands 13–16, one per
+    /// group, carried by the D corner antennas). Their span is comparable to
+    /// an edge link, hence the E2E distance class.
+    pub fn intra_group_links() -> Vec<WirelessLink> {
+        (0..4)
+            .map(|g| WirelessLink {
+                channel: 13 + g as u8,
+                src: g,
+                dst: g,
+                tx: Antenna::D,
+                rx: Antenna::D,
+                distance: DistanceClass::E2E,
+            })
+            .collect()
+    }
+
+    /// The directed channel connecting quadrant `src` to quadrant `dst`.
+    pub fn link(&self, src: u32, dst: u32) -> &WirelessLink {
+        self.links
+            .iter()
+            .find(|l| l.src == src && l.dst == dst)
+            .unwrap_or_else(|| panic!("no channel allocated for {src} -> {dst}"))
+    }
+
+    /// Space-division multiplexing frequency-reuse groups (§V-B): channel
+    /// pairs whose signal paths do not intersect and may therefore share a
+    /// band: `B3→A2 / B0→A1` (the opposite horizontal edges) and
+    /// `C0→C3 / C1→C2` (the opposite vertical short-range edges), plus the
+    /// reverse directions. Returns pairs of band indices.
+    pub fn sdm_reuse_pairs() -> Vec<(u8, u8)> {
+        vec![
+            (5, 7),   // A2→B3 edge reuses with A1→B0 edge (south vs north)
+            (6, 8),   // reverse directions
+            (9, 11),  // C0→C3 reuses with C1→C2 (west vs east)
+            (10, 12), // reverse directions
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_channels_every_ordered_pair_once() {
+        let a = ChannelAllocation::table_i();
+        assert_eq!(a.links.len(), 12);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s == d {
+                    continue;
+                }
+                let l = a.link(s, d);
+                assert_eq!((l.src, l.dst), (s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn band_indices_unique_and_in_range() {
+        let a = ChannelAllocation::table_i();
+        let mut seen = std::collections::HashSet::new();
+        for l in &a.links {
+            assert!((1..=12).contains(&l.channel));
+            assert!(seen.insert(l.channel), "duplicate band {}", l.channel);
+        }
+    }
+
+    #[test]
+    fn distance_classes_match_table_i() {
+        let a = ChannelAllocation::table_i();
+        // Diagonal pairs.
+        assert_eq!(a.link(3, 1).distance, DistanceClass::C2C);
+        assert_eq!(a.link(0, 2).distance, DistanceClass::C2C);
+        // Edges.
+        assert_eq!(a.link(2, 3).distance, DistanceClass::E2E);
+        assert_eq!(a.link(0, 1).distance, DistanceClass::E2E);
+        // Short range.
+        assert_eq!(a.link(0, 3).distance, DistanceClass::SR);
+        assert_eq!(a.link(1, 2).distance, DistanceClass::SR);
+    }
+
+    #[test]
+    fn antenna_letters_match_table_i() {
+        let a = ChannelAllocation::table_i();
+        let l = a.link(3, 1);
+        assert_eq!((l.tx, l.rx), (Antenna::A, Antenna::B)); // A3 -> B1
+        let l = a.link(0, 1);
+        assert_eq!((l.tx, l.rx), (Antenna::B, Antenna::A)); // B0 -> A1
+        let l = a.link(1, 2);
+        assert_eq!((l.tx, l.rx), (Antenna::C, Antenna::C)); // C1 -> C2
+    }
+
+    #[test]
+    fn reverse_channels_swap_antennas() {
+        let a = ChannelAllocation::table_i();
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s == d {
+                    continue;
+                }
+                let fwd = a.link(s, d);
+                let rev = a.link(d, s);
+                assert_eq!(fwd.tx, rev.rx, "{s}->{d}");
+                assert_eq!(fwd.rx, rev.tx, "{s}->{d}");
+                assert_eq!(fwd.distance, rev.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn corner_tiles_are_distinct_corners() {
+        let tiles: Vec<u32> =
+            [Antenna::A, Antenna::B, Antenna::C, Antenna::D].iter().map(|a| a.tile()).collect();
+        assert_eq!(tiles, vec![0, 3, 12, 15]);
+    }
+
+    #[test]
+    fn intra_group_channels_are_bands_13_to_16() {
+        let ls = ChannelAllocation::intra_group_links();
+        assert_eq!(ls.len(), 4);
+        for (i, l) in ls.iter().enumerate() {
+            assert_eq!(l.channel, 13 + i as u8);
+            assert_eq!(l.tx, Antenna::D);
+        }
+    }
+
+    #[test]
+    fn sdm_pairs_share_distance_class() {
+        let a = ChannelAllocation::table_i();
+        for (x, y) in ChannelAllocation::sdm_reuse_pairs() {
+            let lx = a.links.iter().find(|l| l.channel == x).unwrap();
+            let ly = a.links.iter().find(|l| l.channel == y).unwrap();
+            assert_eq!(lx.distance, ly.distance);
+            // Reuse requires disjoint quadrant pairs.
+            assert_ne!((lx.src, lx.dst), (ly.src, ly.dst));
+            assert!(lx.src != ly.src && lx.dst != ly.dst);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! CMESH: concentrated 2-D mesh — the pure-electrical baseline (§V-A).
+//!
+//! 4 cores per router, radix 8 (4 core ports + N/S/E/W), XY dimension-order
+//! routing (deadlock-free without VC restrictions), maximum diameter
+//! `2(√n − 1)` router hops where `n` is the router count. Links are
+//! electrical with length equal to the router pitch on the die; their
+//! serialization factor comes from the bisection normalization
+//! ([`crate::normalize::ser::cmesh`]).
+
+use noc_core::{
+    CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig, RouterId,
+    RoutingAlg,
+};
+
+use crate::normalize::{latency, ser};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+/// Concentrated mesh topology.
+#[derive(Debug, Clone)]
+pub struct CMesh {
+    cores: u32,
+    side: u32,
+    /// Die edge length in millimetres (sets electrical link length).
+    pub die_mm: f64,
+}
+
+impl CMesh {
+    /// A CMESH for `cores` cores (must be `4·k²`). 256 cores → 8×8 routers
+    /// on a 50 mm die; 1024 cores → 16×16 routers on a 100 mm substrate
+    /// (four 2.5-D–integrated chips, as in the OWN floor plan).
+    pub fn new(cores: u32) -> Self {
+        let routers = cores / CONC;
+        let side = (routers as f64).sqrt() as u32;
+        assert_eq!(side * side * CONC, cores, "cores must be 4·k²");
+        let die_mm = match cores {
+            256 => 50.0,
+            1024 => 100.0,
+            _ => 50.0 * (cores as f64 / 256.0).sqrt(),
+        };
+        CMesh { cores, side, die_mm }
+    }
+
+    /// Routers per side of the grid.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Electrical hop length in millimetres (router pitch).
+    pub fn pitch_mm(&self) -> f64 {
+        self.die_mm / f64::from(self.side)
+    }
+}
+
+struct CMeshRouting {
+    side: u32,
+    vcs: u8,
+    /// `dir_port[router][dir]` — output port toward E/W/S/N.
+    dir_port: Vec<[PortId; 4]>,
+}
+
+impl RoutingAlg for CMeshRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if dr == router {
+            return RouteDecision::any_vc((dst % CONC) as PortId, self.vcs);
+        }
+        let (x, y) = (router % self.side, router / self.side);
+        let (dx, dy) = (dr % self.side, dr / self.side);
+        // XY dimension-order routing.
+        let dir = if x < dx {
+            EAST
+        } else if x > dx {
+            WEST
+        } else if y < dy {
+            SOUTH
+        } else {
+            NORTH
+        };
+        RouteDecision::any_vc(self.dir_port[router as usize][dir], self.vcs)
+    }
+}
+
+impl Topology for CMesh {
+    fn name(&self) -> String {
+        format!("CMESH-{}", self.cores)
+    }
+
+    fn num_cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        2 * (self.side - 1)
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // side rows × 2 directions, divided by the serialization factor.
+        f64::from(2 * self.side) / f64::from(ser::cmesh(self.cores))
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        let routers = (self.cores / CONC) as usize;
+        let mut b = NetworkBuilder::new(routers, self.cores as usize, cfg);
+        // Cores first so that eject port == local core index.
+        for r in 0..routers as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        let class = LinkClass::Electrical { length_mm: self.pitch_mm() };
+        let sc = ser::cmesh(self.cores);
+        let mut dir_port = vec![[PortId::MAX; 4]; routers];
+        for y in 0..self.side {
+            for x in 0..self.side {
+                let r = y * self.side + x;
+                if x + 1 < self.side {
+                    let e = r + 1;
+                    let (_, op, _) = b.add_channel(r, e, latency::ELECTRICAL, sc, class);
+                    dir_port[r as usize][EAST] = op;
+                    let (_, op, _) = b.add_channel(e, r, latency::ELECTRICAL, sc, class);
+                    dir_port[e as usize][WEST] = op;
+                }
+                if y + 1 < self.side {
+                    let s = r + self.side;
+                    let (_, op, _) = b.add_channel(r, s, latency::ELECTRICAL, sc, class);
+                    dir_port[r as usize][SOUTH] = op;
+                    let (_, op, _) = b.add_channel(s, r, latency::ELECTRICAL, sc, class);
+                    dir_port[s as usize][NORTH] = op;
+                }
+            }
+        }
+        b.build(Box::new(CMeshRouting { side: self.side, vcs: cfg.vcs, dir_port }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_for_paper_sizes() {
+        let c = CMesh::new(256);
+        assert_eq!(c.side(), 8);
+        assert_eq!(c.diameter_hops(), 14);
+        let c = CMesh::new(1024);
+        assert_eq!(c.side(), 16);
+        assert_eq!(c.diameter_hops(), 30);
+    }
+
+    #[test]
+    fn radix_is_8_as_in_the_paper() {
+        let net = CMesh::new(256).build(RouterConfig::default());
+        // Interior router: 4 core inject + 4 direction inputs = 8.
+        let interior = 8 + 1; // router (1,1)
+        assert_eq!(net.router(interior).num_in_ports(), 8);
+        assert_eq!(net.router(interior).num_out_ports(), 8);
+        // Corner router: 4 cores + 2 directions.
+        assert_eq!(net.router(0).radix(), 6);
+    }
+
+    #[test]
+    fn bisection_matches_normalization_target() {
+        assert_eq!(CMesh::new(256).bisection_flits_per_cycle(), 8.0);
+        assert_eq!(CMesh::new(1024).bisection_flits_per_cycle(), 8.0);
+    }
+
+    #[test]
+    fn single_packet_crosses_the_mesh() {
+        let mut net = CMesh::new(256).build(RouterConfig::default());
+        // Core 0 (router 0, NW corner) to core 255 (router 63, SE corner).
+        net.inject_packet(0, 255, 4);
+        assert!(net.drain(2000), "corner-to-corner packet must drain");
+        assert_eq!(net.stats.packets_delivered, 1);
+        assert_eq!(net.stats.per_core_ejected[255], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4·k²")]
+    fn non_square_core_count_rejected() {
+        let _ = CMesh::new(200);
+    }
+}

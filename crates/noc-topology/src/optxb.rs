@@ -1,0 +1,136 @@
+//! OptXB: the all-photonic crossbar baseline (Corona-like, §V-A).
+//!
+//! Every concentrated router (4 cores) owns a *home* waveguide that snakes
+//! through all other routers: a multiple-writer single-reader bus arbitrated
+//! by a circulating token. Any router reaches any other in exactly one hop
+//! (maximum diameter 1), at the cost of `n−1` write ports per router — the
+//! radix the paper quotes as 67 for 64 routers (63 crossbar + 4 cores) —
+//! and a token round-trip that "consumes a few extra cycles".
+
+use noc_core::{
+    BusKind, CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig,
+    RouterId, RoutingAlg,
+};
+
+use crate::normalize::{latency, ser, token};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+
+/// Single-stage photonic crossbar.
+#[derive(Debug, Clone)]
+pub struct OptXb {
+    cores: u32,
+}
+
+impl OptXb {
+    /// OptXB for `cores` cores (any multiple of 4).
+    pub fn new(cores: u32) -> Self {
+        assert_eq!(cores % CONC, 0);
+        OptXb { cores }
+    }
+
+    fn routers(&self) -> u32 {
+        self.cores / CONC
+    }
+}
+
+struct OptXbRouting {
+    vcs: u8,
+    /// `wport[src][dst]` — src's write port onto dst's home waveguide.
+    wport: Vec<Vec<PortId>>,
+}
+
+impl RoutingAlg for OptXbRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if dr == router {
+            RouteDecision::any_vc((dst % CONC) as PortId, self.vcs)
+        } else {
+            RouteDecision::any_vc(self.wport[router as usize][dr as usize], self.vcs)
+        }
+    }
+}
+
+impl Topology for OptXb {
+    fn name(&self) -> String {
+        format!("OptXB-{}", self.cores)
+    }
+
+    fn num_cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        1
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // Capacity n/ser flits/cycle, half of which crosses the bisection
+        // under uniform traffic (see normalize.rs).
+        f64::from(self.cores / 4) / f64::from(ser::optxb(self.cores)) / 2.0
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        let n = self.routers() as usize;
+        let mut b = NetworkBuilder::new(n, self.cores as usize, cfg);
+        for r in 0..n as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        let mut wport = vec![vec![PortId::MAX; n]; n];
+        for home in 0..n as u32 {
+            let writers: Vec<u32> = (0..n as u32).filter(|&r| r != home).collect();
+            let (_, wps, _) = b.add_bus(
+                BusKind::Mwsr,
+                &writers,
+                &[home],
+                latency::PHOTONIC,
+                ser::optxb(self.cores),
+                token::OPTXB,
+                LinkClass::Photonic,
+            );
+            for (w, &src) in writers.iter().enumerate() {
+                wport[src as usize][home as usize] = wps[w];
+            }
+        }
+        b.build(Box::new(OptXbRouting { vcs: cfg.vcs, wport }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_is_67_at_256_cores() {
+        let net = OptXb::new(256).build(RouterConfig::default());
+        // Outputs: 4 eject + 63 writers = 67; inputs: 4 inject + 1 home = 5.
+        assert_eq!(net.router(0).num_out_ports(), 67);
+        assert_eq!(net.router(0).num_in_ports(), 5);
+        assert_eq!(net.router(0).radix(), 67);
+    }
+
+    #[test]
+    fn one_hop_any_to_any() {
+        let mut net = OptXb::new(256).build(RouterConfig::default());
+        net.inject_packet(0, 255, 4);
+        net.inject_packet(255, 0, 4);
+        assert!(net.drain(1000));
+        assert_eq!(net.stats.packets_delivered, 2);
+        // Exactly one bus traversal per flit: 8 flits → 8 bus traversals.
+        assert_eq!(net.stats.bus_flits.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn all_writers_share_home_waveguide() {
+        let mut net = OptXb::new(64).build(RouterConfig::default());
+        // Everyone sends to core 0 (router 0): token must serialize all.
+        for src in 4..64 {
+            net.inject_packet(src, 0, 1);
+        }
+        assert!(net.drain(10_000));
+        assert_eq!(net.stats.per_core_ejected[0], 60);
+    }
+}

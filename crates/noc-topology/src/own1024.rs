@@ -1,0 +1,338 @@
+//! OWN-1024: the kilo-core OWN architecture (Fig. 2, §III-B).
+//!
+//! Four *groups*, each a full 256-core OWN block (4 clusters × 16 tiles ×
+//! 4 cores). Intra-cluster communication stays on the photonic MWSR
+//! waveguides. The 16 wireless bands are allocated as:
+//!
+//! * **Bands 1–12** — inter-group SWMR multicast channels: for the ordered
+//!   group pair (gs, gd) the Table I letter assignment is applied at group
+//!   granularity — the transceivers with the TX letter in *all four*
+//!   clusters of gs share the channel (a token circulates among them, the
+//!   dotted path in Fig. 2), and a transmission is received by the RX-letter
+//!   transceivers of all four clusters of gd; only the addressed cluster
+//!   forwards, the rest discard (costing receiver power).
+//! * **Bands 13–16** — one intra-group SWMR channel per group, carried by
+//!   the D corner transceivers of its four clusters, connecting the clusters
+//!   of a group to each other.
+//!
+//! Routing is at most three hops, as at 256 cores: photonic to the
+//! transmitting corner tile of the *source* cluster, one wireless (multicast)
+//! hop, photonic to the destination tile.
+//!
+//! **Virtual channels and deadlock freedom.** The paper partitions VCs by
+//! inter-group direction (VC0 intra-group, VC1 vertical, VC2 horizontal,
+//! VC3 diagonal). As at 256 cores, we instead make the three hop classes
+//! ride disjoint media — corner *transit* wavelength groups → wireless
+//! channels → home waveguides (terminal) — which renders the dependence
+//! graph acyclic by construction and lets every hop use all four VCs; see
+//! `own256` and DESIGN.md.
+
+use noc_core::{
+    BusKind, CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig,
+    RouterId, RoutingAlg,
+};
+
+use crate::channels::{Antenna, ChannelAllocation};
+use crate::normalize::{latency, ser, token};
+use crate::own256::{build_cluster_waveguides, corner_index, TILES};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+/// Clusters per group.
+const CLUSTERS: u32 = 4;
+/// Groups.
+const GROUPS: u32 = 4;
+/// Routers (tiles) per group.
+const GROUP_TILES: u32 = CLUSTERS * TILES; // 64
+/// Total routers.
+const ROUTERS: u32 = GROUPS * GROUP_TILES; // 256
+
+/// The 1024-core OWN architecture.
+#[derive(Debug, Clone)]
+pub struct Own1024 {
+    alloc: ChannelAllocation,
+}
+
+impl Default for Own1024 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Own1024 {
+    /// OWN-1024 with the Table I / Table II channel allocation.
+    pub fn new() -> Self {
+        Own1024 { alloc: ChannelAllocation::table_i() }
+    }
+
+    /// The inter-group allocation in use (Table I letters applied to
+    /// groups).
+    pub fn allocation(&self) -> &ChannelAllocation {
+        &self.alloc
+    }
+}
+
+/// Router id of the `letter` corner tile of cluster `c` in group `g`.
+fn corner(g: u32, c: u32, letter: Antenna) -> RouterId {
+    g * GROUP_TILES + c * TILES + letter.tile()
+}
+
+struct Own1024Routing {
+    vcs: u8,
+    /// `phot_port[router][t_local]` — write port onto the home waveguide of
+    /// tile `t_local` in the same cluster.
+    phot_port: Vec<[PortId; TILES as usize]>,
+    /// `transit_port[router][k]` — write port onto corner `k`'s transit
+    /// wavelength group in the same cluster.
+    transit_port: Vec<[PortId; 4]>,
+    /// `inter[gs][gd]` — per source cluster: `(tx_router, out_port)` for the
+    /// inter-group channel gs → gd. Reader index = destination cluster.
+    inter: Vec<[[(RouterId, PortId); CLUSTERS as usize]; GROUPS as usize]>,
+    /// `intra[g]` — per cluster: `(tx_router, out_port)` for the group's
+    /// intra-group channel. Reader index = destination cluster.
+    intra: Vec<[(RouterId, PortId); CLUSTERS as usize]>,
+}
+
+impl RoutingAlg for Own1024Routing {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if dr == router {
+            return RouteDecision::any_vc((dst % CONC) as PortId, self.vcs);
+        }
+        let (g, rest) = (router / GROUP_TILES, router % GROUP_TILES);
+        let c = rest / TILES;
+        let (gd, restd) = (dr / GROUP_TILES, dr % GROUP_TILES);
+        let (cd, td) = (restd / TILES, restd % TILES);
+        if g == gd && c == cd {
+            // Terminal photonic hop on the destination tile's home
+            // waveguide.
+            let p = self.phot_port[router as usize][td as usize];
+            return RouteDecision::any_vc(p, self.vcs);
+        }
+        // Which wireless channel does this packet need, and who transmits?
+        let (tx_router, tx_port) = if g == gd {
+            self.intra[g as usize][c as usize]
+        } else {
+            self.inter[g as usize][gd as usize][c as usize]
+        };
+        if router == tx_router {
+            // Wireless (multicast) hop, addressed to the destination
+            // cluster's reader.
+            return RouteDecision::any_vc(tx_port, self.vcs).to_reader(cd as u16);
+        }
+        // Photonic hop toward the transmitter corner on its transit
+        // wavelength group.
+        let k = corner_index(tx_router % TILES).expect("transmitters sit on corners");
+        let p = self.transit_port[router as usize][k];
+        RouteDecision::any_vc(p, self.vcs)
+    }
+}
+
+impl Topology for Own1024 {
+    fn name(&self) -> String {
+        "OWN-1024".to_string()
+    }
+
+    fn num_cores(&self) -> u32 {
+        1024
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        3
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // 8 inter-group channels cross either bisection, 1 flit/cycle each.
+        8.0 / f64::from(ser::OWN_WIRELESS)
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        assert!(cfg.vcs >= 4, "OWN needs 4 VCs");
+        let mut b = NetworkBuilder::new(ROUTERS as usize, 1024, cfg);
+        for r in 0..ROUTERS {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        // Intra-cluster photonic waveguides: 16 clusters globally.
+        let mut phot_port = vec![[PortId::MAX; TILES as usize]; ROUTERS as usize];
+        let mut transit_port = vec![[PortId::MAX; 4]; ROUTERS as usize];
+        build_cluster_waveguides(&mut b, GROUPS * CLUSTERS, &mut phot_port, &mut transit_port);
+
+        // Inter-group SWMR multicast channels (bands 1–12).
+        let nil = (RouterId::MAX, PortId::MAX);
+        let mut inter = vec![[[nil; CLUSTERS as usize]; GROUPS as usize]; GROUPS as usize];
+        for l in &self.alloc.links {
+            let (gs, gd) = (l.src, l.dst);
+            let writers: Vec<RouterId> = (0..CLUSTERS).map(|c| corner(gs, c, l.tx)).collect();
+            let readers: Vec<RouterId> = (0..CLUSTERS).map(|c| corner(gd, c, l.rx)).collect();
+            let class = LinkClass::Wireless { channel: l.channel, distance: l.distance };
+            let (_, wps, _) = b.add_bus(
+                BusKind::SwmrMulticast,
+                &writers,
+                &readers,
+                latency::WIRELESS,
+                ser::OWN_WIRELESS,
+                token::OWN_WIRELESS,
+                class,
+            );
+            for cc in 0..CLUSTERS as usize {
+                inter[gs as usize][gd as usize][cc] = (writers[cc], wps[cc]);
+            }
+        }
+        // Intra-group channels on the D corners (bands 13–16).
+        let mut intra = vec![[nil; CLUSTERS as usize]; GROUPS as usize];
+        for l in ChannelAllocation::intra_group_links() {
+            let g = l.src;
+            let members: Vec<RouterId> = (0..CLUSTERS).map(|c| corner(g, c, Antenna::D)).collect();
+            let class = LinkClass::Wireless { channel: l.channel, distance: l.distance };
+            let (_, wps, _) = b.add_bus(
+                BusKind::SwmrMulticast,
+                &members,
+                &members,
+                latency::WIRELESS,
+                ser::OWN_WIRELESS,
+                token::OWN_WIRELESS,
+                class,
+            );
+            for cc in 0..CLUSTERS as usize {
+                intra[g as usize][cc] = (members[cc], wps[cc]);
+            }
+        }
+        // Physical radix for power accounting (paper: up to 22 = 15
+        // photonic + 3 wireless + 4 cores on corners).
+        for r in 0..ROUTERS {
+            let is_corner = corner_index(r % TILES).is_some();
+            b.set_power_radix(r, if is_corner { 22 } else { 19 });
+        }
+        b.build(Box::new(Own1024Routing { vcs: cfg.vcs, phot_port, transit_port, inter, intra }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Own1024::new().build(RouterConfig::default())
+    }
+
+    /// Core id from (group, cluster, tile, pe).
+    fn core(g: u32, c: u32, t: u32, p: u32) -> u32 {
+        ((g * GROUP_TILES + c * TILES + t) * CONC) + p
+    }
+
+    #[test]
+    fn structure_counts() {
+        let n = net();
+        assert_eq!(n.num_routers(), 256);
+        assert_eq!(n.num_cores(), 1024);
+        // 256 home waveguides + 64 corner transit groups + 12 inter-group
+        // + 4 intra-group wireless buses.
+        assert_eq!(n.buses().len(), 256 + 64 + 12 + 4);
+        assert_eq!(n.channels().len(), 0, "all OWN-1024 media are shared buses");
+    }
+
+    #[test]
+    fn corner_radix_matches_paper() {
+        let n = net();
+        // Tile A of cluster 0, group 0 (router 0): outputs = 4 eject + 15
+        // photonic + inter-group TX writer(s); inputs = 4 inject + 1 home
+        // photonic + wireless reader(s). Total wireless ports ≤ 3 as the
+        // paper's radix 22 (15 photonic + 3 wireless + 4 cores) suggests.
+        let r = n.router(0);
+        assert_eq!(r.radix_for_power(), 22);
+        assert_eq!(n.router(5).radix_for_power(), 19);
+    }
+
+    #[test]
+    fn intra_cluster_photonic_only() {
+        let mut n = net();
+        n.inject_packet(core(2, 1, 3, 0), core(2, 1, 9, 2), 2);
+        assert!(n.drain(1000));
+        assert_eq!(n.stats.packets_delivered, 1);
+        let wireless: u64 = n
+            .buses()
+            .iter()
+            .zip(&n.stats.bus_flits)
+            .filter(|(b, _)| matches!(b.class, LinkClass::Wireless { .. }))
+            .map(|(_, &f)| f)
+            .sum();
+        assert_eq!(wireless, 0);
+    }
+
+    #[test]
+    fn intra_group_uses_d_channel() {
+        let mut n = net();
+        // Group 1, cluster 0 -> cluster 2.
+        n.inject_packet(core(1, 0, 5, 0), core(1, 2, 7, 1), 2);
+        assert!(n.drain(2000));
+        assert_eq!(n.stats.packets_delivered, 1);
+        let wireless_flits: u64 = n
+            .buses()
+            .iter()
+            .zip(&n.stats.bus_flits)
+            .filter_map(|(b, &f)| match b.class {
+                LinkClass::Wireless { channel, .. } if (13..=16).contains(&channel) => Some(f),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(wireless_flits, 2, "intra-group traffic must ride bands 13-16");
+        // Multicast discards at the 3 non-addressed readers.
+        let discards: u64 = n.buses().iter().map(|b| b.discards).sum();
+        assert_eq!(discards, 2 * 3);
+    }
+
+    #[test]
+    fn inter_group_multicast_delivery() {
+        let mut n = net();
+        // Group 0 cluster 2 tile 9 -> group 2 cluster 3 tile 4. Channel
+        // (0,2) is diagonal with TX letter A: photonic to A tile of
+        // cluster 2, multicast to B tiles of group 2, forwarded in
+        // cluster 3.
+        n.inject_packet(core(0, 2, 9, 0), core(2, 3, 4, 3), 4);
+        assert!(n.drain(2000));
+        assert_eq!(n.stats.packets_delivered, 1);
+        let inter_flits: u64 = n
+            .buses()
+            .iter()
+            .zip(&n.stats.bus_flits)
+            .filter_map(|(b, &f)| match b.class {
+                LinkClass::Wireless { channel, .. } if (1..=12).contains(&channel) => Some(f),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(inter_flits, 4);
+    }
+
+    #[test]
+    fn all_group_pairs_reachable() {
+        let mut n = net();
+        let mut expected = 0;
+        for gs in 0..4 {
+            for gd in 0..4 {
+                for (cs, cd) in [(0u32, 3u32), (2, 1)] {
+                    if gs == gd && cs == cd {
+                        continue;
+                    }
+                    n.inject_packet(core(gs, cs, 6, 0), core(gd, cd, 11, 2), 2);
+                    expected += 1;
+                }
+            }
+        }
+        assert!(n.drain(20_000), "all group-pair traffic must drain");
+        assert_eq!(n.stats.packets_delivered, expected);
+    }
+
+    #[test]
+    fn token_shared_among_four_transmitters() {
+        let mut n = net();
+        // All four clusters of group 0 transmit to group 1 simultaneously:
+        // the single (0,1) channel must serialize them via its token.
+        for c in 0..4 {
+            n.inject_packet(core(0, c, Antenna::B.tile(), 0), core(1, c, 5, 0), 2);
+        }
+        assert!(n.drain(5000));
+        assert_eq!(n.stats.packets_delivered, 4);
+    }
+}

@@ -1,0 +1,428 @@
+//! OWN-256: the paper's 256-core optical-wireless NoC (Fig. 1, §III-A).
+//!
+//! Four 25×25 mm clusters, each with 16 tiles of 4 cores. Inside a cluster
+//! every tile owns a *home* photonic waveguide that the other 15 tiles write
+//! to (MWSR with a circulating token; 16 waveguides and 16 tokens per
+//! cluster, 64 wavelengths from an off-chip laser). Between clusters, the
+//! 12 wireless channels of Table I connect corner transceivers (see
+//! [`crate::channels`]).
+//!
+//! Routing takes at most three hops: photonic to the source cluster's
+//! transmitting corner tile, one wireless hop, photonic to the destination
+//! tile (§V-A).
+//!
+//! **Corner transit waveguides.** All inter-cluster traffic funnels through
+//! the three transmitting corner tiles of its cluster, so each corner tile's
+//! home waveguide provisions a *second wavelength group* dedicated to that
+//! transit traffic (the 64 DWDM wavelengths comfortably cover two 128-bit
+//! flit-wide groups). The engine models the group as a separate MWSR bus;
+//! the physical radix stays at the paper's 20/19 (one waveguide port), which
+//! is what the power model is told via the power-radix override.
+//!
+//! **Deadlock freedom.** The three hop classes ride *disjoint* media —
+//! transit waveguides → wireless channels → home waveguides — and home
+//! waveguides carry only terminal traffic (their holders wait on nothing
+//! but ejection), so the channel-dependence graph is acyclic by
+//! construction and every hop can use all four VCs. This realizes the
+//! paper's "2 VCs photonic + 2 VCs wireless" intent (§V-A) with a stronger,
+//! provable discipline; see DESIGN.md.
+
+use noc_core::{
+    BusKind, CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig,
+    RouterId, RoutingAlg,
+};
+
+use crate::channels::ChannelAllocation;
+use crate::normalize::{latency, ser, token};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+/// Tiles per cluster.
+pub const TILES: u32 = 16;
+/// Clusters.
+pub const CLUSTERS: u32 = 4;
+
+/// Where a cluster's four wireless transceivers sit (§III-A discusses the
+/// trade-off: corner isolation balances load and heat; a central
+/// concentration would be geometrically convenient but thermally hostile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AntennaPlacement {
+    /// The paper's choice: tiles 0/3/12/15 (the four corners).
+    Corners,
+    /// The §III-A counterfactual: tiles 5/6/9/10 (the four centre tiles).
+    Center,
+}
+
+impl AntennaPlacement {
+    /// Tile-local ids hosting antennas A, B, C, D (in slot order).
+    pub fn tiles(self) -> [u32; 4] {
+        match self {
+            AntennaPlacement::Corners => [0, 3, 12, 15],
+            AntennaPlacement::Center => [5, 6, 9, 10],
+        }
+    }
+
+    /// Antenna slot (0..4) of a tile-local id, if it hosts one.
+    pub fn slot_of(self, tile_local: u32) -> Option<usize> {
+        self.tiles().iter().position(|&t| t == tile_local)
+    }
+
+    /// Tile of antenna `letter` under this placement.
+    pub fn tile(self, letter: crate::channels::Antenna) -> u32 {
+        use crate::channels::Antenna::*;
+        let slot = match letter {
+            A => 0,
+            B => 1,
+            C => 2,
+            D => 3,
+        };
+        self.tiles()[slot]
+    }
+}
+
+/// The 256-core OWN architecture.
+#[derive(Debug, Clone)]
+pub struct Own256 {
+    alloc: ChannelAllocation,
+    placement: AntennaPlacement,
+}
+
+impl Default for Own256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Own256 {
+    /// OWN with the Table I channel allocation and corner transceivers.
+    pub fn new() -> Self {
+        Own256 { alloc: ChannelAllocation::table_i(), placement: AntennaPlacement::Corners }
+    }
+
+    /// OWN with an explicit antenna placement (for the §III-A placement
+    /// study).
+    pub fn with_placement(placement: AntennaPlacement) -> Self {
+        Own256 { alloc: ChannelAllocation::table_i(), placement }
+    }
+
+    /// The wireless channel allocation in use.
+    pub fn allocation(&self) -> &ChannelAllocation {
+        &self.alloc
+    }
+
+    /// The antenna placement in use.
+    pub fn placement(&self) -> AntennaPlacement {
+        self.placement
+    }
+}
+
+pub(crate) struct Own256Routing {
+    pub vcs: u8,
+    /// `phot_port[router][t_local]` — write port onto the home waveguide of
+    /// tile `t_local` in the same cluster (MAX on the diagonal).
+    pub phot_port: Vec<[PortId; TILES as usize]>,
+    /// `transit_port[router][k]` — write port onto the transit wavelength
+    /// group of antenna slot `k` in the same cluster.
+    pub transit_port: Vec<[PortId; 4]>,
+    /// `wtx[c][d]` — `(tx_router, out_port)` for the wireless channel c → d.
+    pub wtx: Vec<[(RouterId, PortId); CLUSTERS as usize]>,
+    /// Antenna placement (maps transmitter tiles to transit slots).
+    pub placement: AntennaPlacement,
+}
+
+/// Corner index (0..4) of a tile-local id, if it is a corner (the default
+/// placement's antenna slots).
+pub(crate) fn corner_index(tile_local: u32) -> Option<usize> {
+    AntennaPlacement::Corners.slot_of(tile_local)
+}
+
+impl RoutingAlg for Own256Routing {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if dr == router {
+            return RouteDecision::any_vc((dst % CONC) as PortId, self.vcs);
+        }
+        let (c, _t) = (router / TILES, router % TILES);
+        let (cd, td) = (dr / TILES, dr % TILES);
+        if c == cd {
+            // Terminal photonic hop on the destination tile's home
+            // waveguide (holders wait only on ejection).
+            let p = self.phot_port[router as usize][td as usize];
+            return RouteDecision::any_vc(p, self.vcs);
+        }
+        let (tx_router, tx_port) = self.wtx[c as usize][cd as usize];
+        if router == tx_router {
+            // The wireless hop.
+            return RouteDecision::any_vc(tx_port, self.vcs);
+        }
+        // Photonic hop toward the transmitter on its dedicated transit
+        // wavelength group.
+        let k = self
+            .placement
+            .slot_of(tx_router % TILES)
+            .expect("transmitters sit on antenna tiles");
+        let p = self.transit_port[router as usize][k];
+        RouteDecision::any_vc(p, self.vcs)
+    }
+}
+
+/// Build the intra-cluster photonic MWSR crossbars for `clusters` clusters
+/// of 16 tiles each, filling `phot_port` (home waveguides) and
+/// `transit_port` (the corner tiles' transit wavelength groups). Shared
+/// with OWN-1024.
+pub(crate) fn build_cluster_waveguides(
+    b: &mut NetworkBuilder,
+    clusters: u32,
+    phot_port: &mut [[PortId; TILES as usize]],
+    transit_port: &mut [[PortId; 4]],
+) {
+    build_cluster_waveguides_with(b, clusters, phot_port, transit_port, AntennaPlacement::Corners)
+}
+
+/// As [`build_cluster_waveguides`], with an explicit antenna placement
+/// deciding which tiles receive a transit wavelength group.
+pub(crate) fn build_cluster_waveguides_with(
+    b: &mut NetworkBuilder,
+    clusters: u32,
+    phot_port: &mut [[PortId; TILES as usize]],
+    transit_port: &mut [[PortId; 4]],
+    placement: AntennaPlacement,
+) {
+    for c in 0..clusters {
+        for home_local in 0..TILES {
+            let home = c * TILES + home_local;
+            let writers: Vec<u32> =
+                (0..TILES).filter(|&t| t != home_local).map(|t| c * TILES + t).collect();
+            let (_, wps, _) = b.add_bus(
+                BusKind::Mwsr,
+                &writers,
+                &[home],
+                latency::PHOTONIC,
+                ser::OWN_PHOTONIC,
+                token::OWN_PHOTONIC,
+                LinkClass::Photonic,
+            );
+            for (w, &src) in writers.iter().enumerate() {
+                phot_port[src as usize][home_local as usize] = wps[w];
+            }
+            // Second wavelength group on antenna tiles: transit traffic
+            // toward the wireless transmitters.
+            if let Some(k) = placement.slot_of(home_local) {
+                let (_, wps, _) = b.add_bus(
+                    BusKind::Mwsr,
+                    &writers,
+                    &[home],
+                    latency::PHOTONIC,
+                    ser::OWN_PHOTONIC,
+                    token::OWN_PHOTONIC,
+                    LinkClass::Photonic,
+                );
+                for (w, &src) in writers.iter().enumerate() {
+                    transit_port[src as usize][k] = wps[w];
+                }
+            }
+        }
+    }
+}
+
+impl Topology for Own256 {
+    fn name(&self) -> String {
+        "OWN-256".to_string()
+    }
+
+    fn num_cores(&self) -> u32 {
+        256
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        3
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // 8 wireless channels cross the bisection (4 diagonal + 4 edge).
+        8.0 / f64::from(ser::OWN_WIRELESS)
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        assert!(cfg.vcs >= 4, "OWN needs 4 VCs (2 photonic + 2 wireless)");
+        let routers = (CLUSTERS * TILES) as usize;
+        let mut b = NetworkBuilder::new(routers, 256, cfg);
+        for r in 0..routers as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        let mut phot_port = vec![[PortId::MAX; TILES as usize]; routers];
+        let mut transit_port = vec![[PortId::MAX; 4]; routers];
+        build_cluster_waveguides_with(
+            &mut b,
+            CLUSTERS,
+            &mut phot_port,
+            &mut transit_port,
+            self.placement,
+        );
+        // Inter-cluster wireless point-to-point channels (Table I).
+        let mut wtx = vec![[(RouterId::MAX, PortId::MAX); CLUSTERS as usize]; CLUSTERS as usize];
+        for l in &self.alloc.links {
+            let tx_router = l.src * TILES + self.placement.tile(l.tx);
+            let rx_router = l.dst * TILES + self.placement.tile(l.rx);
+            let class = LinkClass::Wireless { channel: l.channel, distance: l.distance };
+            let (_, op, _) =
+                b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
+            wtx[l.src as usize][l.dst as usize] = (tx_router, op);
+        }
+        // Physical radix for power accounting: the transit wavelength group
+        // shares the corner tile's waveguide port, so corners stay at the
+        // paper's radix 20 (15 photonic + 1 wireless + 4 cores) and plain
+        // tiles at 19.
+        for r in 0..routers as u32 {
+            let hosts_antenna = self.placement.slot_of(r % TILES).is_some();
+            b.set_power_radix(r, if hosts_antenna { 20 } else { 19 });
+        }
+        b.build(Box::new(Own256Routing {
+            vcs: cfg.vcs,
+            phot_port,
+            transit_port,
+            wtx,
+            placement: self.placement,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::DistanceClass;
+
+    fn net() -> Network {
+        Own256::new().build(RouterConfig::default())
+    }
+
+    #[test]
+    fn radix_matches_paper() {
+        let net = net();
+        // The power model sees the paper's physical radix: 20 for wireless
+        // corner tiles (15 photonic + 1 wireless + 4 cores), 19 for plain
+        // tiles. (Engine port counts are higher because the corner transit
+        // wavelength groups are modelled as separate buses.)
+        assert_eq!(net.router(0).radix_for_power(), 20);
+        assert_eq!(net.router(5).radix_for_power(), 19);
+        // Engine ports: corner tile 0 = 4 eject + 15 home + 3 transit +
+        // 1 wireless TX = 23; plain tile = 4 + 15 + 4 transit = 23.
+        assert_eq!(net.router(0).num_out_ports(), 23);
+        assert_eq!(net.router(5).num_out_ports(), 23);
+    }
+
+    #[test]
+    fn intra_cluster_is_one_photonic_hop() {
+        let mut n = net();
+        // Core 0 (cluster 0 tile 0) to core 20 (cluster 0 tile 5).
+        n.inject_packet(0, 20, 4);
+        assert!(n.drain(1000));
+        assert_eq!(n.stats.packets_delivered, 1);
+        assert_eq!(n.stats.bus_flits.iter().sum::<u64>(), 4, "one bus hop per flit");
+        let wireless: u64 = n.stats.channel_flits.iter().sum();
+        assert_eq!(wireless, 0);
+    }
+
+    #[test]
+    fn inter_cluster_takes_three_hops() {
+        let mut n = net();
+        // Core 4 (cluster 0, tile 1) to core 1*64 + 5*4 = 84 (cluster 1,
+        // tile 5): photonic -> wireless B0->A1 -> photonic.
+        n.inject_packet(4, 84, 2);
+        assert!(n.drain(1000));
+        assert_eq!(n.stats.packets_delivered, 1);
+        assert_eq!(n.stats.bus_flits.iter().sum::<u64>(), 4, "two photonic hops per flit");
+        assert_eq!(n.stats.channel_flits.iter().sum::<u64>(), 2, "one wireless hop per flit");
+    }
+
+    #[test]
+    fn source_at_transmitter_skips_first_photonic_hop() {
+        let mut n = net();
+        // Cluster 0's TX toward cluster 1 is antenna B0 = tile 3, router 3,
+        // cores 12..16. Send from core 12 to cluster 1.
+        n.inject_packet(12, 64, 1);
+        assert!(n.drain(1000));
+        // one wireless + one photonic (inside cluster 1, tile 0 = A1 RX...
+        // destination router is 16 (tile 0 of cluster 1) == RX tile, so the
+        // flit ejects right after the wireless hop.
+        assert_eq!(n.stats.channel_flits.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn wireless_channels_have_table_i_classes() {
+        let n = net();
+        let mut c2c = 0;
+        let mut e2e = 0;
+        let mut sr = 0;
+        for ch in n.channels() {
+            if let LinkClass::Wireless { distance, .. } = ch.class {
+                match distance {
+                    DistanceClass::C2C => c2c += 1,
+                    DistanceClass::E2E => e2e += 1,
+                    DistanceClass::SR => sr += 1,
+                }
+            }
+        }
+        assert_eq!((c2c, e2e, sr), (4, 4, 4));
+    }
+
+    #[test]
+    fn every_cluster_pair_reachable() {
+        let mut n = net();
+        for c in 0..4u32 {
+            for d in 0..4u32 {
+                if c == d {
+                    continue;
+                }
+                // tile 7, core 2 of cluster c -> tile 9, core 1 of cluster d.
+                n.inject_packet(c * 64 + 7 * 4 + 2, d * 64 + 9 * 4 + 1, 2);
+            }
+        }
+        assert!(n.drain(5000));
+        assert_eq!(n.stats.packets_delivered, 12);
+    }
+
+    #[test]
+    fn bisection_is_normalized_target() {
+        assert_eq!(Own256::new().bisection_flits_per_cycle(), 8.0);
+    }
+
+    #[test]
+    fn placements_host_four_distinct_antenna_tiles() {
+        for p in [AntennaPlacement::Corners, AntennaPlacement::Center] {
+            let tiles = p.tiles();
+            let set: std::collections::HashSet<u32> = tiles.iter().copied().collect();
+            assert_eq!(set.len(), 4);
+            for (slot, &t) in tiles.iter().enumerate() {
+                assert_eq!(p.slot_of(t), Some(slot));
+            }
+            assert_eq!(p.slot_of(1), None);
+        }
+    }
+
+    #[test]
+    fn center_placement_delivers_all_traffic() {
+        let topo = Own256::with_placement(AntennaPlacement::Center);
+        let mut n = topo.build(RouterConfig::default());
+        for c in 0..4u32 {
+            for d in 0..4u32 {
+                if c != d {
+                    n.inject_packet(c * 64 + 7 * 4, d * 64 + 9 * 4 + 1, 2);
+                }
+            }
+        }
+        assert!(n.drain(10_000));
+        assert_eq!(n.stats.packets_delivered, 12);
+    }
+
+    #[test]
+    fn center_placement_hosts_antennas_on_center_tiles() {
+        let topo = Own256::with_placement(AntennaPlacement::Center);
+        let n = topo.build(RouterConfig::default());
+        // Centre tiles carry the wireless radix; corners do not.
+        assert_eq!(n.router(5).radix_for_power(), 20);
+        assert_eq!(n.router(0).radix_for_power(), 19);
+    }
+}

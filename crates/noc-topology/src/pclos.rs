@@ -1,0 +1,200 @@
+//! p-Clos: the photonic Clos baseline (Joshi et al., §V-A).
+//!
+//! "For the p-Clos architecture, we assumed that the maximum number of hops
+//! is two i.e. all concentrated nodes are connected to one level of switches
+//! before they are connected back to the router. We implement MWSR with
+//! token arbitration."
+//!
+//! Our realization: `N` concentrated node routers and `M` middle switches
+//! (M sized to the normalized bisection; see [`PClos::middles`]). Each middle switch reads one MWSR *up* waveguide written by all
+//! node routers; each node router reads one MWSR *down* waveguide written by
+//! all middle switches. A packet takes exactly two hops: node → middle →
+//! node, with the middle chosen deterministically by `(src + dst) mod M`
+//! (spreads load across middles while keeping routing deterministic). The
+//! up→down channel ordering makes the dependence graph acyclic, so no VC
+//! restriction is needed.
+
+use noc_core::{
+    BusKind, CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig,
+    RouterId, RoutingAlg,
+};
+
+use crate::normalize::{latency, ser, token};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+
+/// Photonic Clos topology.
+#[derive(Debug, Clone)]
+pub struct PClos {
+    cores: u32,
+}
+
+impl PClos {
+    /// p-Clos for `cores` cores: 256 → 64 nodes + 16 middles; 1024 → 256
+    /// nodes + 16 (larger-radix) middles.
+    pub fn new(cores: u32) -> Self {
+        assert_eq!(cores % (CONC * 8), 0, "cores must be a multiple of 32");
+        PClos { cores }
+    }
+
+    /// Node router count.
+    pub fn nodes(&self) -> u32 {
+        self.cores / CONC
+    }
+
+    /// Middle switch count: sized so the middle stage's capacity (one
+    /// flit/cycle per up-bus) matches twice the normalized bisection of 8
+    /// flits/cycle — 16 middles at every scale. At 1024 cores the middles
+    /// become radix-256 switches, which is where the paper's "p-Clos also
+    /// adds power due to the increase in the number of routers" shows up.
+    pub fn middles(&self) -> u32 {
+        16.min(self.nodes() / 4).max(1)
+    }
+}
+
+struct PClosRouting {
+    nodes: u32,
+    middles: u32,
+    vcs: u8,
+    /// `up_port[node][m]` — node's write port onto middle m's up-bus.
+    up_port: Vec<Vec<PortId>>,
+    /// `down_port[m][node]` — middle m's write port onto node's down-bus.
+    down_port: Vec<Vec<PortId>>,
+}
+
+impl RoutingAlg for PClosRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if router >= self.nodes {
+            // At a middle switch: go down to the destination node.
+            let m = (router - self.nodes) as usize;
+            return RouteDecision::any_vc(self.down_port[m][dr as usize], self.vcs);
+        }
+        if dr == router {
+            return RouteDecision::any_vc((dst % CONC) as PortId, self.vcs);
+        }
+        let m = ((router + dr) % self.middles) as usize;
+        RouteDecision::any_vc(self.up_port[router as usize][m], self.vcs)
+    }
+}
+
+impl Topology for PClos {
+    fn name(&self) -> String {
+        format!("p-Clos-{}", self.cores)
+    }
+
+    fn num_cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        2
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // The middle stage carries *all* traffic through `middles()`
+        // buses; about half of uniform traffic crosses the chip bisection,
+        // so the effective bisection capacity is half the stage capacity
+        // (16/2 = 8 flits/cycle at 256 cores, on the common target).
+        f64::from(self.middles()) / 2.0 / f64::from(ser::pclos(self.cores))
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        let n = self.nodes() as usize;
+        let m = self.middles() as usize;
+        let mut b = NetworkBuilder::new(n + m, self.cores as usize, cfg);
+        for r in 0..n as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        // Up waveguides: all nodes write, middle reads.
+        let mut up_port = vec![vec![PortId::MAX; m]; n];
+        for mid in 0..m as u32 {
+            let (_, wps, _) = b.add_bus(
+                BusKind::Mwsr,
+                &nodes,
+                &[n as u32 + mid],
+                latency::PHOTONIC,
+                ser::pclos(self.cores),
+                token::PCLOS,
+                LinkClass::Photonic,
+            );
+            for (w, &src) in nodes.iter().enumerate() {
+                up_port[src as usize][mid as usize] = wps[w];
+            }
+        }
+        // Down waveguides: all middles write, node reads.
+        let middles: Vec<u32> = (0..m as u32).map(|i| n as u32 + i).collect();
+        let mut down_port = vec![vec![PortId::MAX; n]; m];
+        for node in 0..n as u32 {
+            let (_, wps, _) = b.add_bus(
+                BusKind::Mwsr,
+                &middles,
+                &[node],
+                latency::PHOTONIC,
+                ser::pclos(self.cores),
+                token::PCLOS,
+                LinkClass::Photonic,
+            );
+            for (w, _) in middles.iter().enumerate() {
+                down_port[w][node as usize] = wps[w];
+            }
+        }
+        b.build(Box::new(PClosRouting {
+            nodes: n as u32,
+            middles: m as u32,
+            vcs: cfg.vcs,
+            up_port,
+            down_port,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let p = PClos::new(256);
+        assert_eq!(p.nodes(), 64);
+        assert_eq!(p.middles(), 16);
+        assert_eq!(p.diameter_hops(), 2);
+        assert_eq!(PClos::new(1024).middles(), 16);
+    }
+
+    #[test]
+    fn exactly_two_hops() {
+        let mut net = PClos::new(256).build(RouterConfig::default());
+        net.inject_packet(0, 200, 4);
+        assert!(net.drain(1000));
+        assert_eq!(net.stats.packets_delivered, 1);
+        // 4 flits × 2 bus hops each.
+        assert_eq!(net.stats.bus_flits.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn node_and_middle_radices() {
+        let net = PClos::new(256).build(RouterConfig::default());
+        // Node: out = 4 eject + 16 up-writes = 20; in = 4 inject + 1 down.
+        assert_eq!(net.router(0).num_out_ports(), 20);
+        assert_eq!(net.router(0).num_in_ports(), 5);
+        // Middle: out = 64 down-writes; in = 1 up-read.
+        assert_eq!(net.router(64).num_out_ports(), 64);
+        assert_eq!(net.router(64).num_in_ports(), 1);
+    }
+
+    #[test]
+    fn all_pairs_sample_delivers() {
+        let mut net = PClos::new(64).build(RouterConfig::default());
+        for s in (0..64).step_by(7) {
+            let d = (s + 33) % 64;
+            net.inject_packet(s, d, 2);
+        }
+        assert!(net.drain(5000));
+        assert_eq!(net.stats.packets_delivered, 10);
+    }
+}

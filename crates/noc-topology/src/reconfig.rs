@@ -1,0 +1,387 @@
+//! Reconfiguration channels: OWN-256 with bands 13–16 in service.
+//!
+//! Table III reserves links 13–16 as "reconfiguration channels that could
+//! adaptively be utilized to improve performance" (§IV). This module
+//! implements that extension: the four spare transceiver pairs are assigned
+//! to reinforce chosen cluster pairs, giving those pairs two parallel
+//! wireless channels. Packets alternate deterministically between the
+//! primary and spare channel (by source-tile parity), which halves the
+//! per-channel load on the reinforced pairs.
+//!
+//! Two static policies are provided plus a profile-driven one:
+//!
+//! * [`ReconfigPolicy::Diagonal`] — reinforce the four diagonal (C2C)
+//!   channels, the longest and most expensive links.
+//! * [`ReconfigPolicy::Pairs`] — reinforce an explicit list of ordered
+//!   cluster pairs (at most four), e.g. chosen from a profiling run.
+//! * [`profile_hot_pairs`] — measure per-pair wireless traffic of a
+//!   finished simulation and return the four busiest ordered pairs, closing
+//!   the adaptive loop the paper sketches: profile → reassign → rerun.
+//!
+//! The spare channel of a reinforced pair rides the otherwise-idle **D
+//! corner transceivers** (unused at 256 cores, §III-A), so reinforced
+//! traffic gains a second independent path end to end: its own transit
+//! waveguide into the D corner, its own wireless band, and the D corner's
+//! egress at the destination — not merely a second frequency on the same
+//! funnel.
+
+use noc_core::{
+    CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig, RouterId,
+    RoutingAlg,
+};
+
+use crate::channels::ChannelAllocation;
+use crate::normalize::{latency, ser};
+use crate::own256::{build_cluster_waveguides, corner_index, Own256Routing, CLUSTERS, TILES};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+
+/// How the four spare bands (13–16) are deployed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigPolicy {
+    /// Spares stay dark (plain OWN-256).
+    None,
+    /// Reinforce the four diagonal (C2C) channels.
+    Diagonal,
+    /// Reinforce up to four explicit ordered cluster pairs.
+    Pairs(Vec<(u32, u32)>),
+    /// Fault tolerance: the listed pairs' *primary* transceivers have
+    /// failed; all of their traffic fails over to the spare band on the D
+    /// corners. Up to four failed pairs can be covered.
+    Failover(Vec<(u32, u32)>),
+}
+
+impl ReconfigPolicy {
+    /// The ordered cluster pairs that receive a spare channel.
+    pub fn reinforced_pairs(&self) -> Vec<(u32, u32)> {
+        match self {
+            ReconfigPolicy::None => Vec::new(),
+            ReconfigPolicy::Diagonal => vec![(3, 1), (1, 3), (0, 2), (2, 0)],
+            ReconfigPolicy::Pairs(ps) | ReconfigPolicy::Failover(ps) => {
+                assert!(ps.len() <= 4, "only four spare bands exist");
+                ps.clone()
+            }
+        }
+    }
+
+    /// Whether the reinforced pairs' primaries are out of service.
+    pub fn primaries_failed(&self) -> bool {
+        matches!(self, ReconfigPolicy::Failover(_))
+    }
+}
+
+/// OWN-256 with the reconfiguration bands deployed under a policy.
+#[derive(Debug, Clone)]
+pub struct Own256Reconfig {
+    alloc: ChannelAllocation,
+    policy: ReconfigPolicy,
+}
+
+impl Own256Reconfig {
+    /// OWN-256 with the given spare-band policy.
+    pub fn new(policy: ReconfigPolicy) -> Self {
+        Own256Reconfig { alloc: ChannelAllocation::table_i(), policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ReconfigPolicy {
+        &self.policy
+    }
+}
+
+struct ReconfigRouting {
+    base: Own256Routing,
+    /// `spare[c][d]` — spare wireless out port at the **D corner** of
+    /// cluster `c` for the reinforced pair c → d.
+    spare: Vec<[Option<PortId>; CLUSTERS as usize]>,
+    /// Failover mode: route *all* reinforced-pair traffic via the spare
+    /// (the primary transceiver is dead).
+    failover: bool,
+}
+
+/// Tile-local index of the D corner.
+const D_TILE: u32 = 15;
+/// Corner index of D in the transit-waveguide table.
+const D_CORNER: usize = 3;
+
+impl RoutingAlg for ReconfigRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        let (c, t) = (router / TILES, router % TILES);
+        let cd = (dr / TILES) % CLUSTERS;
+        if dr != router && c != cd {
+            if let Some(spare_port) = self.spare[c as usize][cd as usize] {
+                // Load-balance mode: split by destination-tile parity.
+                // Failover mode: the primary is dead — everything takes
+                // the spare path via the D corner.
+                if self.failover || (dr % TILES) % 2 == 1 {
+                    if t == D_TILE {
+                        // At the D corner: the spare wireless hop.
+                        return RouteDecision::any_vc(spare_port, self.base.vcs);
+                    }
+                    // Photonic transit hop toward the D corner.
+                    let p = self.base.transit_port[router as usize][D_CORNER];
+                    return RouteDecision::any_vc(p, self.base.vcs);
+                }
+            }
+        }
+        self.base.route(router, dst)
+    }
+}
+
+impl Topology for Own256Reconfig {
+    fn name(&self) -> String {
+        match &self.policy {
+            ReconfigPolicy::None => "OWN-256+spares-off".to_string(),
+            ReconfigPolicy::Diagonal => "OWN-256+diag-spares".to_string(),
+            ReconfigPolicy::Pairs(_) => "OWN-256+profiled-spares".to_string(),
+            ReconfigPolicy::Failover(_) => "OWN-256+failover".to_string(),
+        }
+    }
+
+    fn num_cores(&self) -> u32 {
+        256
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        3
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        // Spares on diagonal pairs add up to 4 crossing channels.
+        let extra = self
+            .policy
+            .reinforced_pairs()
+            .iter()
+            .filter(|&&(s, d)| {
+                // Crossing pairs of the vertical bisection (0,3 | 1,2 split).
+                let left = |c: u32| c == 0 || c == 3;
+                left(s) != left(d)
+            })
+            .count();
+        8.0 + extra as f64
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        assert!(cfg.vcs >= 4);
+        let routers = (CLUSTERS * TILES) as usize;
+        let mut b = NetworkBuilder::new(routers, 256, cfg);
+        for r in 0..routers as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        let mut phot_port = vec![[PortId::MAX; TILES as usize]; routers];
+        let mut transit_port = vec![[PortId::MAX; 4]; routers];
+        build_cluster_waveguides(&mut b, CLUSTERS, &mut phot_port, &mut transit_port);
+        let mut wtx =
+            vec![[(RouterId::MAX, PortId::MAX); CLUSTERS as usize]; CLUSTERS as usize];
+        for l in &self.alloc.links {
+            let tx_router = l.src * TILES + l.tx.tile();
+            let rx_router = l.dst * TILES + l.rx.tile();
+            let class = LinkClass::Wireless { channel: l.channel, distance: l.distance };
+            let (_, op, _) =
+                b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
+            wtx[l.src as usize][l.dst as usize] = (tx_router, op);
+        }
+        // Spare channels on bands 13-16, carried by the idle D corners of
+        // the reinforced pair's clusters.
+        let mut spare = vec![[None; CLUSTERS as usize]; CLUSTERS as usize];
+        for (i, &(s, d)) in self.policy.reinforced_pairs().iter().enumerate() {
+            let l = self.alloc.link(s, d);
+            let tx_router = s * TILES + D_TILE;
+            let rx_router = d * TILES + D_TILE;
+            let class =
+                LinkClass::Wireless { channel: 13 + i as u8, distance: l.distance };
+            let (_, op, _) =
+                b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
+            spare[s as usize][d as usize] = Some(op);
+        }
+        for r in 0..routers as u32 {
+            let is_corner = corner_index(r % TILES).is_some();
+            b.set_power_radix(r, if is_corner { 20 } else { 19 });
+        }
+        b.build(Box::new(ReconfigRouting {
+            base: Own256Routing {
+                vcs: cfg.vcs,
+                phot_port,
+                transit_port,
+                wtx,
+                placement: crate::own256::AntennaPlacement::Corners,
+            },
+            spare,
+            failover: self.policy.primaries_failed(),
+        }))
+    }
+}
+
+/// Profile a finished simulation: per ordered cluster pair, the wireless
+/// flit count; returns the four busiest pairs (for
+/// [`ReconfigPolicy::Pairs`]).
+pub fn profile_hot_pairs(net: &Network) -> Vec<(u32, u32)> {
+    let alloc = ChannelAllocation::table_i();
+    let mut loads: Vec<((u32, u32), u64)> = Vec::new();
+    for (ch, &flits) in net.channels().iter().zip(&net.stats.channel_flits) {
+        if let LinkClass::Wireless { channel, .. } = ch.class {
+            if let Some(l) = alloc.links.iter().find(|l| l.channel == channel) {
+                loads.push(((l.src, l.dst), flits));
+            }
+        }
+    }
+    loads.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+    loads.into_iter().take(4).map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+    #[test]
+    fn policies_enumerate_pairs() {
+        assert!(ReconfigPolicy::None.reinforced_pairs().is_empty());
+        assert_eq!(ReconfigPolicy::Diagonal.reinforced_pairs().len(), 4);
+        let p = ReconfigPolicy::Pairs(vec![(0, 1), (1, 0)]);
+        assert_eq!(p.reinforced_pairs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "four spare bands")]
+    fn more_than_four_pairs_rejected() {
+        let _ = ReconfigPolicy::Pairs(vec![(0, 1); 5]).reinforced_pairs();
+    }
+
+    #[test]
+    fn spare_channels_materialize_on_bands_13_16() {
+        let net = Own256Reconfig::new(ReconfigPolicy::Diagonal).build(RouterConfig::default());
+        let spares: Vec<u8> = net
+            .channels()
+            .iter()
+            .filter_map(|c| match c.class {
+                LinkClass::Wireless { channel, .. } if channel >= 13 => Some(channel),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spares.len(), 4);
+        assert!(spares.iter().all(|&c| (13..=16).contains(&c)));
+    }
+
+    #[test]
+    fn traffic_splits_between_primary_and_spare() {
+        let mut net =
+            Own256Reconfig::new(ReconfigPolicy::Diagonal).build(RouterConfig::default());
+        // Saturating diagonal traffic: cluster 0 -> cluster 2 only.
+        for t in 0..16u32 {
+            for rep in 0..4 {
+                let dst_tile = (t + rep) % 16;
+                net.inject_packet(t * 4, 2 * 64 + dst_tile * 4 + 1, 2);
+            }
+        }
+        assert!(net.drain(50_000));
+        let (mut primary, mut spare) = (0u64, 0u64);
+        for (ch, &f) in net.channels().iter().zip(&net.stats.channel_flits) {
+            if let LinkClass::Wireless { channel, .. } = ch.class {
+                match channel {
+                    3 => primary += f,  // band 3 = 0 -> 2 diagonal primary
+                    15 => spare += f,   // third spare = (0,2) in Diagonal order
+                    _ => {}
+                }
+            }
+        }
+        assert!(primary > 0 && spare > 0, "primary {primary}, spare {spare}");
+        // The parity split is roughly even.
+        let ratio = primary as f64 / spare as f64;
+        assert!((0.5..2.0).contains(&ratio), "split ratio {ratio}");
+    }
+
+    #[test]
+    fn reconfig_improves_diagonal_saturation() {
+        // Diagonal-heavy traffic: transpose-like cluster pattern where
+        // clusters exchange with their diagonal counterpart.
+        let run = |topo: &dyn Topology| -> u64 {
+            let mut net = topo.build(RouterConfig::default());
+            let mut rng_seed = 5;
+            let mut inj =
+                BernoulliInjector::new(0.05, 2, TrafficPattern::Transpose, rng_seed);
+            rng_seed += 1;
+            let _ = rng_seed;
+            inj.drive(&mut net, 1_500);
+            assert!(net.drain(300_000));
+            net.now
+        };
+        let plain = run(&Own256Reconfig::new(ReconfigPolicy::None));
+        let diag = run(&Own256Reconfig::new(ReconfigPolicy::Diagonal));
+        assert!(
+            diag <= plain,
+            "spare diagonal channels must not slow delivery: {diag} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn profiling_finds_hot_pairs() {
+        let mut net =
+            Own256Reconfig::new(ReconfigPolicy::None).build(RouterConfig::default());
+        // Hammer 1 -> 3 (and lightly 0 -> 1).
+        for i in 0..40 {
+            net.inject_packet(64 + (i % 64), 3 * 64 + (i % 64), 2);
+        }
+        net.inject_packet(0, 64, 2);
+        assert!(net.drain(50_000));
+        let hot = profile_hot_pairs(&net);
+        assert_eq!(hot[0], (1, 3), "hottest pair must rank first: {hot:?}");
+    }
+
+    #[test]
+    fn failover_carries_all_pair_traffic_on_spare() {
+        // Primary channel (1,3) has failed; every 1->3 packet must ride
+        // band 13 (the first spare) and none may touch band 2 (the
+        // primary for 1->3).
+        let topo = Own256Reconfig::new(ReconfigPolicy::Failover(vec![(1, 3)]));
+        let mut net = topo.build(RouterConfig::default());
+        for t in 0..16u32 {
+            net.inject_packet(64 + t * 4, 3 * 64 + t * 4 + 1, 2);
+        }
+        assert!(net.drain(50_000));
+        assert_eq!(net.stats.packets_delivered, 16);
+        let mut by_band = std::collections::HashMap::new();
+        for (ch, &f) in net.channels().iter().zip(&net.stats.channel_flits) {
+            if let LinkClass::Wireless { channel, .. } = ch.class {
+                *by_band.entry(channel).or_insert(0u64) += f;
+            }
+        }
+        assert_eq!(by_band.get(&2).copied().unwrap_or(0), 0, "dead primary must stay dark");
+        assert_eq!(by_band.get(&13).copied().unwrap_or(0), 32, "all flits on the spare");
+    }
+
+    #[test]
+    fn failover_preserves_connectivity_under_uniform_traffic() {
+        use noc_traffic::{BernoulliInjector, TrafficPattern};
+        // Two failed primaries covered by spares: the network stays fully
+        // connected and delivers everything.
+        let topo =
+            Own256Reconfig::new(ReconfigPolicy::Failover(vec![(0, 2), (2, 0)]));
+        let mut net = topo.build(RouterConfig::default());
+        let mut inj = BernoulliInjector::new(0.03, 3, TrafficPattern::Uniform, 21);
+        inj.drive(&mut net, 800);
+        assert!(net.drain(300_000));
+        assert_eq!(net.stats.packets_offered, net.stats.packets_delivered);
+    }
+
+    #[test]
+    fn all_policies_drain_uniform_traffic() {
+        for policy in [
+            ReconfigPolicy::None,
+            ReconfigPolicy::Diagonal,
+            ReconfigPolicy::Pairs(vec![(0, 1), (2, 3)]),
+            ReconfigPolicy::Failover(vec![(3, 1)]),
+        ] {
+            let topo = Own256Reconfig::new(policy);
+            let mut net = topo.build(RouterConfig::default());
+            let mut inj = BernoulliInjector::new(0.04, 3, TrafficPattern::Uniform, 11);
+            inj.drive(&mut net, 800);
+            assert!(net.drain(200_000), "{} stuck", topo.name());
+            assert_eq!(net.stats.packets_offered, net.stats.packets_delivered);
+        }
+    }
+}

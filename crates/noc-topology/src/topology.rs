@@ -1,0 +1,54 @@
+//! The [`Topology`] trait: what every architecture under evaluation provides.
+
+use noc_core::{Network, RouterConfig};
+
+/// OWN scale selector (the paper evaluates exactly these two sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnScale {
+    /// 256 cores: 4 clusters × 16 tiles × 4 cores (Fig. 1).
+    Cores256,
+    /// 1024 cores: 4 groups of the 256-core block (Fig. 2).
+    Cores1024,
+}
+
+impl OwnScale {
+    /// Total cores.
+    pub fn cores(self) -> u32 {
+        match self {
+            OwnScale::Cores256 => 256,
+            OwnScale::Cores1024 => 1024,
+        }
+    }
+}
+
+/// An architecture that can be instantiated as a simulatable network.
+pub trait Topology: Send + Sync {
+    /// Display name (as used in the paper's figures).
+    fn name(&self) -> String;
+
+    /// Total processing cores.
+    fn num_cores(&self) -> u32;
+
+    /// Build the network: routers, channels/buses and routing.
+    fn build(&self, cfg: RouterConfig) -> Network;
+
+    /// Network diameter in router-to-router hops (worst case, as quoted in
+    /// §V-A; used by tests to bound observed hop counts).
+    fn diameter_hops(&self) -> u32;
+
+    /// Bisection capacity in flits per cycle after normalization (see
+    /// [`crate::normalize`]); every topology in a comparison should report
+    /// (approximately) the same value.
+    fn bisection_flits_per_cycle(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_core_counts() {
+        assert_eq!(OwnScale::Cores256.cores(), 256);
+        assert_eq!(OwnScale::Cores1024.cores(), 1024);
+    }
+}

@@ -1,0 +1,239 @@
+//! Wireless-CMESH: the hybrid wireless-wired baseline (§V-A, WCube-like).
+//!
+//! "Each wireless cluster has 4 routers connected by an electrical crossbar,
+//! and one router is a wireless router; 16 of the wireless clusters make up
+//! the 256-core chip. Wireless routing is implemented as XY DOR … the radix
+//! of the wireless-CMESH is 11 (3 electrical, 4 wireless x-y and 4 cores)."
+//!
+//! Concretely: routers are grouped into 4-router *subnets*; within a subnet
+//! every router pair is joined by a short electrical link (full crossbar);
+//! router 0 of each subnet carries a wireless transceiver with four
+//! point-to-point mm-wave links to the neighbouring subnets' wireless
+//! routers, routed XY over the subnet grid. Packets take: electrical hop to
+//! the local wireless router → wireless XY hops → electrical hop to the
+//! destination router (maximum `√n` hops for `n` routers).
+//!
+//! Deadlock freedom: the intra-subnet hops use VCs 0–1 and the wireless XY
+//! hops use VCs 2–3; XY DOR is cycle-free on the wireless grid, and the
+//! first/last electrical hops use disjoint channel sets (into vs out of the
+//! wireless router), so the channel dependence graph is acyclic.
+
+use noc_core::{
+    CoreId, DistanceClass, LinkClass, Network, NetworkBuilder, PortId, RouteDecision,
+    RouterConfig, RouterId, RoutingAlg,
+};
+
+use crate::normalize::{latency, ser};
+use crate::topology::Topology;
+
+const CONC: u32 = 4;
+/// Routers per subnet.
+const SUBNET: u32 = 4;
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+/// The wireless-CMESH topology.
+#[derive(Debug, Clone)]
+pub struct WirelessCMesh {
+    cores: u32,
+    /// Subnets per side of the wireless grid.
+    grid: u32,
+}
+
+impl WirelessCMesh {
+    /// Build for `cores` cores: 256 → 4×4 subnets of 4 routers; 1024 → 8×8.
+    pub fn new(cores: u32) -> Self {
+        let subnets = cores / (CONC * SUBNET);
+        let grid = (subnets as f64).sqrt() as u32;
+        assert_eq!(grid * grid * CONC * SUBNET, cores, "cores must be 16·k²");
+        WirelessCMesh { cores, grid }
+    }
+
+    /// Side of the subnet grid.
+    pub fn grid(&self) -> u32 {
+        self.grid
+    }
+}
+
+struct WcmeshRouting {
+    grid: u32,
+    vcs: u8,
+    /// `xbar_port[router][k]` — output port to router `k` of the same
+    /// subnet (`PortId::MAX` on the diagonal).
+    xbar_port: Vec<[PortId; SUBNET as usize]>,
+    /// `wdir_port[subnet][dir]` — wireless output port at the subnet's
+    /// wireless router toward E/W/S/N.
+    wdir_port: Vec<[PortId; 4]>,
+}
+
+impl RoutingAlg for WcmeshRouting {
+    fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision {
+        let dr = dst / CONC;
+        if dr == router {
+            return RouteDecision::any_vc((dst % CONC) as PortId, self.vcs);
+        }
+        let s = router / SUBNET;
+        let ds = dr / SUBNET;
+        if s == ds {
+            // Intra-subnet electrical crossbar hop (VC class 0–1).
+            let p = self.xbar_port[router as usize][(dr % SUBNET) as usize];
+            return RouteDecision::vc_range(p, 0, 1);
+        }
+        let k = router % SUBNET;
+        if k != 0 {
+            // Electrical hop to the subnet's wireless router.
+            let p = self.xbar_port[router as usize][0];
+            return RouteDecision::vc_range(p, 0, 1);
+        }
+        // At the wireless router: XY DOR over the subnet grid (VCs 2–3).
+        let (x, y) = (s % self.grid, s / self.grid);
+        let (dx, dy) = (ds % self.grid, ds / self.grid);
+        let dir = if x < dx {
+            EAST
+        } else if x > dx {
+            WEST
+        } else if y < dy {
+            SOUTH
+        } else {
+            NORTH
+        };
+        RouteDecision::vc_range(self.wdir_port[s as usize][dir], 2, 3)
+    }
+}
+
+impl Topology for WirelessCMesh {
+    fn name(&self) -> String {
+        format!("wireless-CMESH-{}", self.cores)
+    }
+
+    fn num_cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn diameter_hops(&self) -> u32 {
+        // electrical + (2·(grid−1)) wireless + electrical.
+        2 * (self.grid - 1) + 2
+    }
+
+    fn bisection_flits_per_cycle(&self) -> f64 {
+        f64::from(2 * self.grid) / f64::from(ser::wcmesh_wireless(self.cores))
+    }
+
+    fn build(&self, cfg: RouterConfig) -> Network {
+        let subnets = (self.grid * self.grid) as usize;
+        let routers = subnets * SUBNET as usize;
+        let mut b = NetworkBuilder::new(routers, self.cores as usize, cfg);
+        for r in 0..routers as u32 {
+            for p in 0..CONC {
+                b.attach_core(r * CONC + p, r);
+            }
+        }
+        // Intra-subnet full electrical crossbar (short links ~3 mm).
+        let eclass = LinkClass::Electrical { length_mm: 3.0 };
+        let mut xbar_port = vec![[PortId::MAX; SUBNET as usize]; routers];
+        for s in 0..subnets as u32 {
+            for a in 0..SUBNET {
+                for bb in (a + 1)..SUBNET {
+                    let (ra, rb) = (s * SUBNET + a, s * SUBNET + bb);
+                    let (_, op, _) =
+                        b.add_channel(ra, rb, latency::ELECTRICAL, ser::WCMESH_ELECTRICAL, eclass);
+                    xbar_port[ra as usize][bb as usize] = op;
+                    let (_, op, _) =
+                        b.add_channel(rb, ra, latency::ELECTRICAL, ser::WCMESH_ELECTRICAL, eclass);
+                    xbar_port[rb as usize][a as usize] = op;
+                }
+            }
+        }
+        // Wireless grid among the subnets' wireless routers (router 0 of
+        // each subnet). Neighbour links are short-range mm-wave. The grid
+        // has 2·grid·(grid−1) duplex links; with spatial reuse across a
+        // ≥2-subnet separation, twelve bands cover them (bands cycle with
+        // position and direction), so the allocation spans the full
+        // Table III spectrum like the paper's WCube-style baselines.
+        let mut wdir_port = vec![[PortId::MAX; 4]; subnets];
+        let ws = ser::wcmesh_wireless(self.cores);
+        let wr = |s: u32| s * SUBNET; // wireless router of subnet s
+        for y in 0..self.grid {
+            for x in 0..self.grid {
+                let s = y * self.grid + x;
+                let band = |k: u32| ((s * 4 + k) % 12 + 1) as u8;
+                if x + 1 < self.grid {
+                    let e = s + 1;
+                    let cl = LinkClass::Wireless { channel: band(0), distance: DistanceClass::SR };
+                    let (_, op, _) =
+                        b.add_channel(wr(s), wr(e), latency::WIRELESS, ws, cl);
+                    wdir_port[s as usize][EAST] = op;
+                    let cl = LinkClass::Wireless { channel: band(1), distance: DistanceClass::SR };
+                    let (_, op, _) =
+                        b.add_channel(wr(e), wr(s), latency::WIRELESS, ws, cl);
+                    wdir_port[e as usize][WEST] = op;
+                }
+                if y + 1 < self.grid {
+                    let so = s + self.grid;
+                    let cl = LinkClass::Wireless { channel: band(2), distance: DistanceClass::SR };
+                    let (_, op, _) =
+                        b.add_channel(wr(s), wr(so), latency::WIRELESS, ws, cl);
+                    wdir_port[s as usize][SOUTH] = op;
+                    let cl = LinkClass::Wireless { channel: band(3), distance: DistanceClass::SR };
+                    let (_, op, _) =
+                        b.add_channel(wr(so), wr(s), latency::WIRELESS, ws, cl);
+                    wdir_port[so as usize][NORTH] = op;
+                }
+            }
+        }
+        b.build(Box::new(WcmeshRouting { grid: self.grid, vcs: cfg.vcs, xbar_port, wdir_port }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let w = WirelessCMesh::new(256);
+        assert_eq!(w.grid(), 4);
+        // Paper: maximum hop count √n where n = 64 routers → 8.
+        assert_eq!(w.diameter_hops(), 8);
+    }
+
+    #[test]
+    fn wireless_router_radix_is_11() {
+        let net = WirelessCMesh::new(256).build(RouterConfig::default());
+        // Interior wireless router: 4 cores + 3 crossbar + 4 wireless = 11.
+        // Subnet (1,1) = subnet 5, wireless router = 20.
+        assert_eq!(net.router(20).num_in_ports(), 11);
+        assert_eq!(net.router(20).num_out_ports(), 11);
+        // Non-wireless router: 4 cores + 3 crossbar = 7.
+        assert_eq!(net.router(21).radix(), 7);
+    }
+
+    #[test]
+    fn cross_chip_packet_delivered() {
+        let mut net = WirelessCMesh::new(256).build(RouterConfig::default());
+        // Core 5 (router 1, subnet 0) to core 251 (router 62, subnet 15).
+        net.inject_packet(5, 251, 4);
+        assert!(net.drain(2000));
+        assert_eq!(net.stats.packets_delivered, 1);
+        assert_eq!(net.stats.per_core_ejected[251], 4);
+    }
+
+    #[test]
+    fn intra_subnet_stays_electrical() {
+        let mut net = WirelessCMesh::new(256).build(RouterConfig::default());
+        // Core 1 (router 0) to core 13 (router 3), same subnet 0.
+        net.inject_packet(1, 13, 2);
+        assert!(net.drain(500));
+        let wireless: u64 = net
+            .channels()
+            .iter()
+            .zip(&net.stats.channel_flits)
+            .filter(|(c, _)| matches!(c.class, LinkClass::Wireless { .. }))
+            .map(|(_, &n)| n)
+            .sum();
+        assert_eq!(wireless, 0, "intra-subnet traffic must not use wireless");
+        assert_eq!(net.stats.packets_delivered, 1);
+    }
+}

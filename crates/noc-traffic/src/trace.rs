@@ -1,0 +1,341 @@
+//! Trace-driven traffic — the paper's stated future work ("In the future,
+//! we will evaluate with real workloads", §V).
+//!
+//! A [`Trace`] is a time-ordered list of packet injections that can be
+//! loaded from a simple text format (one `cycle src dst len` record per
+//! line, `#` comments), saved back, or *generated* to mimic application
+//! behaviour that Bernoulli injection cannot express:
+//!
+//! * [`Trace::bursty`] — a two-state Markov-modulated (on/off) process per
+//!   core: bursts of back-to-back packets separated by idle periods, the
+//!   canonical model for message-passing phases;
+//! * [`Trace::phased`] — alternating program phases, each driving a
+//!   different spatial pattern (e.g. neighbor exchanges between transpose
+//!   steps, an FFT-like structure).
+//!
+//! [`TraceInjector`] replays a trace into a [`noc_core::Network`] with the
+//! same `offer`/`drive` interface as the Bernoulli injector.
+
+use noc_core::Network;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::pattern::TrafficPattern;
+
+/// One packet injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Injection cycle (relative to replay start).
+    pub cycle: u64,
+    /// Source core.
+    pub src: u32,
+    /// Destination core.
+    pub dst: u32,
+    /// Packet length in flits.
+    pub len: u16,
+}
+
+/// A time-ordered injection trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Build from events (sorted by cycle internally).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.cycle);
+        Trace { events }
+    }
+
+    /// The events, in cycle order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Last injection cycle (0 for an empty trace).
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.cycle)
+    }
+
+    /// Total flits.
+    pub fn flits(&self) -> u64 {
+        self.events.iter().map(|e| u64::from(e.len)).sum()
+    }
+
+    /// Parse the text format: whitespace-separated `cycle src dst len`
+    /// records, one per line; blank lines and `#` comments ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields, got {}", no + 1, fields.len()));
+            }
+            let parse = |i: usize| -> Result<u64, String> {
+                fields[i]
+                    .parse()
+                    .map_err(|e| format!("line {}: field {} ({:?}): {e}", no + 1, i + 1, fields[i]))
+            };
+            events.push(TraceEvent {
+                cycle: parse(0)?,
+                src: parse(1)? as u32,
+                dst: parse(2)? as u32,
+                len: parse(3)? as u16,
+            });
+        }
+        Ok(Trace::from_events(events))
+    }
+
+    /// Serialize to the text format parsed by [`Trace::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# cycle src dst len\n");
+        for e in &self.events {
+            out.push_str(&format!("{} {} {} {}\n", e.cycle, e.src, e.dst, e.len));
+        }
+        out
+    }
+
+    /// Generate a Markov-modulated (on/off) burst trace.
+    ///
+    /// Each of `cores` cores flips between OFF and ON states with the given
+    /// per-cycle transition probabilities; while ON it injects one
+    /// `packet_len`-flit packet per cycle to destinations drawn from
+    /// `pattern`. Mean offered load ≈ `p_on/(p_on+p_off) · packet_len`
+    /// flits/core/cycle, but concentrated in bursts.
+    pub fn bursty(
+        cores: u32,
+        cycles: u64,
+        p_on: f64,
+        p_off: f64,
+        packet_len: u16,
+        pattern: TrafficPattern,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut on = vec![false; cores as usize];
+        let mut events = Vec::new();
+        for cycle in 0..cycles {
+            for src in 0..cores {
+                let state = &mut on[src as usize];
+                if *state {
+                    if rng.gen_bool(p_off) {
+                        *state = false;
+                    }
+                } else if rng.gen_bool(p_on) {
+                    *state = true;
+                }
+                if *state {
+                    let dst = pattern.dest(src, cores, &mut rng);
+                    events.push(TraceEvent { cycle, src, dst, len: packet_len });
+                }
+            }
+        }
+        Trace::from_events(events)
+    }
+
+    /// Generate a phased trace: the program alternates between `phases`,
+    /// each `(pattern, rate)` lasting `phase_cycles`, mimicking
+    /// compute/communicate program structure.
+    pub fn phased(
+        cores: u32,
+        phases: &[(TrafficPattern, f64)],
+        phase_cycles: u64,
+        packet_len: u16,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for (pi, &(pattern, rate)) in phases.iter().enumerate() {
+            let base = pi as u64 * phase_cycles;
+            let p_inject = (rate / f64::from(packet_len)).min(1.0);
+            for cycle in base..base + phase_cycles {
+                for src in 0..cores {
+                    if rng.gen_bool(p_inject) {
+                        let dst = pattern.dest(src, cores, &mut rng);
+                        events.push(TraceEvent { cycle, src, dst, len: packet_len });
+                    }
+                }
+            }
+        }
+        Trace::from_events(events)
+    }
+}
+
+/// Replays a [`Trace`] into a network.
+#[derive(Debug)]
+pub struct TraceInjector {
+    trace: Trace,
+    next: usize,
+    /// Cycle offset: trace cycle 0 maps to this network cycle.
+    start: Option<u64>,
+}
+
+impl TraceInjector {
+    /// Injector starting at the network's current cycle on first `offer`.
+    pub fn new(trace: Trace) -> Self {
+        TraceInjector { trace, next: 0, start: None }
+    }
+
+    /// Events not yet injected.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+
+    /// Offer this cycle's events.
+    pub fn offer(&mut self, net: &mut Network) {
+        let start = *self.start.get_or_insert(net.now);
+        let rel = net.now - start;
+        while let Some(e) = self.trace.events().get(self.next) {
+            if e.cycle > rel {
+                break;
+            }
+            net.inject_packet(e.src, e.dst, e.len);
+            self.next += 1;
+        }
+    }
+
+    /// Drive the network until the trace is exhausted, then `drain`.
+    /// Returns true if the network fully drained.
+    pub fn replay(&mut self, net: &mut Network, max_drain: u64) -> bool {
+        while self.remaining() > 0 {
+            self.offer(net);
+            net.step();
+        }
+        net.drain(max_drain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::routing::TableRouting;
+    use noc_core::{LinkClass, NetworkBuilder, RouteDecision, RouterConfig};
+
+    fn tiny_net() -> Network {
+        let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        let (_, o01, _) = b.add_channel(0, 1, 1, 1, LinkClass::Photonic);
+        let (_, o10, _) = b.add_channel(1, 0, 1, 1, LinkClass::Photonic);
+        let table = vec![
+            vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(o01, 4)],
+            vec![RouteDecision::any_vc(o10, 4), RouteDecision::any_vc(0, 4)],
+        ];
+        b.build(Box::new(TableRouting { table }))
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "# demo\n0 0 1 4\n5 1 0 2\n\n7 0 1 1\n";
+        let t = Trace::parse(text).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.horizon(), 7);
+        assert_eq!(t.flits(), 7);
+        let t2 = Trace::parse(&t.to_text()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Trace::parse("1 2 3").is_err());
+        assert!(Trace::parse("a b c d").is_err());
+        assert!(Trace::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_sorted_by_cycle() {
+        let t = Trace::from_events(vec![
+            TraceEvent { cycle: 9, src: 0, dst: 1, len: 1 },
+            TraceEvent { cycle: 2, src: 1, dst: 0, len: 1 },
+        ]);
+        assert_eq!(t.events()[0].cycle, 2);
+    }
+
+    #[test]
+    fn replay_delivers_every_event() {
+        let t = Trace::parse("0 0 1 2\n3 1 0 2\n10 0 1 1\n").unwrap();
+        let mut net = tiny_net();
+        let mut inj = TraceInjector::new(t);
+        assert!(inj.replay(&mut net, 10_000));
+        assert_eq!(net.stats.packets_delivered, 3);
+        assert_eq!(net.stats.flits_ejected, 5);
+    }
+
+    #[test]
+    fn replay_offsets_from_current_cycle() {
+        let t = Trace::parse("0 0 1 1\n").unwrap();
+        let mut net = tiny_net();
+        net.run(100);
+        let mut inj = TraceInjector::new(t);
+        assert!(inj.replay(&mut net, 1_000));
+        assert_eq!(net.stats.packets_delivered, 1);
+    }
+
+    #[test]
+    fn bursty_trace_is_bursty() {
+        let t = Trace::bursty(16, 2_000, 0.01, 0.2, 2, TrafficPattern::Uniform, 3);
+        assert!(!t.is_empty());
+        // Mean duty cycle ≈ 0.01/(0.21) ≈ 4.8%: expect roughly
+        // 16 × 2000 × 0.048 ≈ 1500 packets, loosely.
+        let n = t.len() as f64;
+        assert!((500.0..3_000.0).contains(&n), "got {n}");
+        // Burstiness: consecutive events from one core at consecutive
+        // cycles must exist.
+        let mut consecutive = false;
+        for w in t.events().windows(8) {
+            for a in w {
+                if w.iter().any(|b| b.src == a.src && b.cycle == a.cycle + 1) {
+                    consecutive = true;
+                }
+            }
+        }
+        assert!(consecutive, "no back-to-back bursts found");
+    }
+
+    #[test]
+    fn bursty_deterministic_per_seed() {
+        let a = Trace::bursty(8, 500, 0.05, 0.3, 2, TrafficPattern::Uniform, 9);
+        let b = Trace::bursty(8, 500, 0.05, 0.3, 2, TrafficPattern::Uniform, 9);
+        assert_eq!(a, b);
+        let c = Trace::bursty(8, 500, 0.05, 0.3, 2, TrafficPattern::Uniform, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phased_trace_switches_patterns() {
+        let t = Trace::phased(
+            16,
+            &[(TrafficPattern::Neighbor, 0.2), (TrafficPattern::Transpose, 0.2)],
+            500,
+            1,
+            4,
+        );
+        let phase1: Vec<&TraceEvent> = t.events().iter().filter(|e| e.cycle < 500).collect();
+        let phase2: Vec<&TraceEvent> = t.events().iter().filter(|e| e.cycle >= 500).collect();
+        assert!(!phase1.is_empty() && !phase2.is_empty());
+        // Phase 1 is neighbor: dst is in the same 4-wide row.
+        for e in &phase1 {
+            assert_eq!(e.dst / 4, e.src / 4, "neighbor stays in-row");
+        }
+        // Phase 2 transpose has cross-row traffic.
+        assert!(phase2.iter().any(|e| e.dst / 4 != e.src / 4));
+    }
+}

@@ -1,0 +1,60 @@
+//! Kilo-core scaling study: OWN-256 vs OWN-1024 (§III-B, Figure 8).
+//!
+//! Shows how the architecture scales from 256 to 1024 cores with the same
+//! 16-channel wireless spectrum: point-to-point channels become SWMR
+//! multicast buses, radix grows from 20 to 22, and multicast discards start
+//! costing receiver energy.
+//!
+//! ```text
+//! cargo run --release --example kilocore_scaling
+//! ```
+
+use own_noc::core::LinkClass;
+use own_noc::power::{PowerModel, Scenario, WinocConfig, WirelessModel};
+use own_noc::sim::{SimConfig, Simulation};
+use own_noc::topology::{Own, Topology};
+use own_noc::traffic::TrafficPattern;
+
+fn main() {
+    for scale in ["256", "1024"] {
+        let topo: Box<dyn Topology> = match scale {
+            "256" => Box::new(Own::new_256()),
+            _ => Box::new(Own::new_1024()),
+        };
+        // Load scaled to keep the shared 16-channel spectrum unsaturated.
+        let rate = if scale == "256" { 0.03 } else { 0.008 };
+        let cfg = SimConfig {
+            rate,
+            pattern: TrafficPattern::Uniform,
+            warmup: 1_000,
+            measure: 4_000,
+            drain: 20_000,
+            ..Default::default()
+        };
+        let result = Simulation::new(topo.as_ref(), cfg).run();
+        let model = PowerModel::new(WirelessModel::own(Scenario::Ideal, WinocConfig::Config4));
+        let p = model.price(&result.net, result.cycles);
+
+        let net = &result.net;
+        let max_radix =
+            (0..net.num_routers() as u32).map(|r| net.router(r).radix()).max().unwrap();
+        let wireless_buses = net
+            .buses()
+            .iter()
+            .filter(|b| matches!(b.class, LinkClass::Wireless { .. }))
+            .count();
+        let discards: u64 = net.buses().iter().map(|b| b.discards).sum();
+
+        println!("OWN-{scale} @ {rate} flits/core/cycle:");
+        println!("  routers              : {}", net.num_routers());
+        println!("  max radix            : {max_radix} (paper: 20 at 256, 22 at 1024)");
+        println!("  wireless media       : {} point-to-point + {} multicast buses",
+                 net.channels().iter().filter(|c| matches!(c.class, LinkClass::Wireless{..})).count(),
+                 wireless_buses);
+        println!("  multicast discards   : {discards} flit-receptions");
+        println!("  avg latency          : {:.1} cycles (≤3 hops by design)", result.avg_latency);
+        println!("  throughput           : {:.4} flits/core/cycle", result.throughput);
+        println!("  total power          : {:.3} W ({:.2} nJ/packet)", p.total_w(), p.nj_per_packet());
+        println!();
+    }
+}

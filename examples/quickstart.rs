@@ -1,0 +1,49 @@
+//! Quickstart: build OWN-256, drive it with uniform traffic, report
+//! latency, throughput and the power breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use own_noc::power::{PowerModel, Scenario, WinocConfig, WirelessModel};
+use own_noc::sim::{SimConfig, Simulation};
+use own_noc::topology::Own;
+use own_noc::traffic::TrafficPattern;
+
+fn main() {
+    // 1. The paper's 256-core OWN: 4 photonic clusters + 12 wireless
+    //    channels (Table I allocation).
+    let topology = Own::new_256();
+
+    // 2. Simulate uniform random traffic at 3% injection (flits/core/cycle),
+    //    4-flit packets, with warm-up / measurement / drain phases.
+    let cfg = SimConfig {
+        rate: 0.03,
+        pattern: TrafficPattern::Uniform,
+        packet_len: 4,
+        warmup: 1_000,
+        measure: 5_000,
+        drain: 20_000,
+        ..Default::default()
+    };
+    let result = Simulation::new(&topology, cfg).run();
+
+    println!("OWN-256, uniform random @ {} flits/core/cycle", cfg.rate);
+    println!("  packets measured : {}", result.packets_measured);
+    println!("  avg latency      : {:.1} cycles", result.avg_latency);
+    println!("  p99 latency      : {} cycles", result.p99_latency);
+    println!("  throughput       : {:.4} flits/core/cycle", result.throughput);
+    println!("  acceptance       : {:.1} %", result.acceptance() * 100.0);
+
+    // 3. Price the run: Table IV configuration 4 (CMOS long+medium range,
+    //    BiCMOS short) under the ideal 32 GHz scenario — the paper's best
+    //    configuration.
+    let model = PowerModel::new(WirelessModel::own(Scenario::Ideal, WinocConfig::Config4));
+    let power = model.price(&result.net, result.cycles);
+    println!("power breakdown (configuration 4, ideal scenario):");
+    println!("  photonic  : {:.3} W", power.photonic_w);
+    println!("  wireless  : {:.3} W", power.wireless_w);
+    println!("  routers   : {:.3} W", power.router_dynamic_w + power.router_static_w);
+    println!("  total     : {:.3} W", power.total_w());
+    println!("  energy    : {:.2} nJ/packet", power.nj_per_packet());
+}

