@@ -30,7 +30,9 @@ impl NetworkBuilder {
         NetworkBuilder {
             config,
             routers: (0..num_routers)
-                .map(|i| Router::new(i as RouterId, config.vcs, config.buf_depth, config.speculative))
+                .map(|i| {
+                    Router::new(i as RouterId, config.vcs, config.buf_depth, config.speculative)
+                })
                 .collect(),
             channels: Vec::new(),
             buses: Vec::new(),
@@ -47,10 +49,7 @@ impl NetworkBuilder {
     /// port and ejection output port. Returns `(inject_in_port,
     /// eject_out_port)`.
     pub fn attach_core(&mut self, core: CoreId, router: RouterId) -> (PortId, PortId) {
-        assert!(
-            self.nic_at[core as usize].is_none(),
-            "core {core} attached twice"
-        );
+        assert!(self.nic_at[core as usize].is_none(), "core {core} attached twice");
         let r = &mut self.routers[router as usize];
         let in_port = r.add_in_port(Upstream::Inject(core));
         let out_port = r.add_out_port(OutTarget::Eject(core), u32::MAX, 0);
@@ -69,8 +68,11 @@ impl NetworkBuilder {
         class: LinkClass,
     ) -> (ChannelId, PortId, PortId) {
         let id = self.channels.len() as ChannelId;
-        let out_port =
-            self.routers[src as usize].add_out_port(OutTarget::Channel(id), self.config.buf_depth, 0);
+        let out_port = self.routers[src as usize].add_out_port(
+            OutTarget::Channel(id),
+            self.config.buf_depth,
+            0,
+        );
         let in_port = self.routers[dst as usize].add_in_port(Upstream::Channel(id));
         self.channels.push(Channel::new(
             (src, out_port),
@@ -126,10 +128,8 @@ impl NetworkBuilder {
         let mut rep = Vec::with_capacity(readers.len());
         let mut reader_ports = Vec::with_capacity(readers.len());
         for (ri, &r) in readers.iter().enumerate() {
-            let p = self.routers[r as usize].add_in_port(Upstream::Bus {
-                bus: id,
-                reader: ri as u16,
-            });
+            let p =
+                self.routers[r as usize].add_in_port(Upstream::Bus { bus: id, reader: ri as u16 });
             rep.push((r, p));
             reader_ports.push(p);
         }
@@ -226,15 +226,7 @@ mod tests {
         for c in 0..3 {
             b.attach_core(c, c);
         }
-        let (bus, wp, rp) = b.add_bus(
-            BusKind::Mwsr,
-            &[0, 1],
-            &[2],
-            1,
-            1,
-            1,
-            LinkClass::Photonic,
-        );
+        let (bus, wp, rp) = b.add_bus(BusKind::Mwsr, &[0, 1], &[2], 1, 1, 1, LinkClass::Photonic);
         assert_eq!(bus, 0);
         assert_eq!(wp.len(), 2);
         assert_eq!(rp.len(), 1);

@@ -169,11 +169,18 @@ pub struct Bus {
     pub(crate) vc_owner: Vec<Vec<Option<u16>>>,
     /// Token-request flags collected during switch allocation this cycle.
     pub(crate) wants: Vec<bool>,
+    /// First cycle at which each writer started requesting the token in its
+    /// current (uninterrupted) request streak — source of the token-wait
+    /// duration reported on grant.
+    pub(crate) want_since: Vec<Option<Cycle>>,
     /// Set when the holder transmitted this cycle.
     pub(crate) used_this_cycle: bool,
     /// Set when the holder transmitted a tail flit this cycle (pipelined
     /// token release).
     pub(crate) released_this_cycle: bool,
+    /// Busy state last reported to the observer (edge detection for
+    /// `BusBusy`/`BusIdle` events); maintained only while one is attached.
+    pub(crate) obs_busy: bool,
     /// Flits discarded by non-addressed multicast receivers (for RX power).
     pub discards: u64,
 }
@@ -212,8 +219,10 @@ impl Bus {
             in_flight: VecDeque::new(),
             credits_back: VecDeque::new(),
             wants: vec![false; n],
+            want_since: vec![None; n],
             used_this_cycle: false,
             released_this_cycle: false,
+            obs_busy: false,
             discards: 0,
         }
     }
@@ -228,6 +237,12 @@ impl Bus {
     #[inline]
     pub(crate) fn credit(&self, reader: u16, vc: u8) -> u32 {
         self.credits[reader as usize][vc as usize]
+    }
+
+    /// Whether the medium is occupied by a transmission at cycle `now`.
+    #[inline]
+    pub fn is_busy(&self, now: Cycle) -> bool {
+        self.busy_until > now
     }
 
     /// Transmit `flit` from writer `w` to `reader` at `now`.
@@ -257,7 +272,21 @@ impl Bus {
     /// End-of-cycle: advance the token and reset per-cycle flags. A tail
     /// transmission releases the token in the same cycle (pipelined
     /// handoff); otherwise the token moves only when the holder is idle.
-    pub(crate) fn end_cycle(&mut self, now: Cycle) {
+    ///
+    /// Returns the token handoff performed this cycle, if any, with the
+    /// grantee's accumulated wait — consumed by the observability layer.
+    /// Token movement itself is unaffected by whether anyone listens.
+    pub(crate) fn end_cycle(&mut self, now: Cycle) -> Option<TokenHandoff> {
+        // Track uninterrupted request streaks: a writer that requested this
+        // cycle keeps (or starts) its streak; one that did not forfeits it.
+        for (w, &wanted) in self.wants.iter().enumerate() {
+            if wanted {
+                self.want_since[w].get_or_insert(now);
+            } else {
+                self.want_since[w] = None;
+            }
+        }
+        let prev_holder = self.token.holder();
         let wants = std::mem::take(&mut self.wants);
         if self.released_this_cycle {
             self.token.release(now, |w| wants[w]);
@@ -268,7 +297,23 @@ impl Bus {
         self.wants.iter_mut().for_each(|w| *w = false);
         self.used_this_cycle = false;
         self.released_this_cycle = false;
+        let holder = self.token.holder();
+        if holder != prev_holder {
+            let waited = now - self.want_since[holder].take().unwrap_or(now);
+            Some(TokenHandoff { writer: holder as u16, waited })
+        } else {
+            None
+        }
     }
+}
+
+/// A completed token handoff: the grantee and how long it had been asking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenHandoff {
+    /// Writer index (within the bus) that received the token.
+    pub writer: u16,
+    /// Cycles the grantee spent requesting before the grant.
+    pub waited: Cycle,
 }
 
 #[cfg(test)]
@@ -369,5 +414,69 @@ mod tests {
         b.end_cycle(0);
         assert!(b.can_transmit(2, 1));
         assert!(!b.can_transmit(0, 1));
+    }
+
+    #[test]
+    fn token_handoff_reports_wait_duration() {
+        let mut b = Bus::new(
+            BusKind::Mwsr,
+            vec![(0, 0), (1, 0), (2, 0)],
+            vec![(3, 0)],
+            1,
+            1,
+            0,
+            LinkClass::Photonic,
+            4,
+            4,
+        );
+        // Writer 2 requests while holder 0 keeps transmitting for 3 cycles.
+        for now in 0..3 {
+            b.wants[0] = true;
+            b.wants[2] = true;
+            b.used_this_cycle = true;
+            assert_eq!(b.end_cycle(now), None, "token must not move while used");
+        }
+        // Holder goes idle: token moves to writer 2, which waited since 0.
+        b.wants[2] = true;
+        let h = b.end_cycle(3).expect("handoff expected");
+        assert_eq!(h.writer, 2);
+        assert_eq!(h.waited, 3);
+    }
+
+    #[test]
+    fn interrupted_request_streak_resets_wait() {
+        let mut b = Bus::new(
+            BusKind::Mwsr,
+            vec![(0, 0), (1, 0)],
+            vec![(2, 0)],
+            1,
+            1,
+            0,
+            LinkClass::Photonic,
+            4,
+            4,
+        );
+        // Writer 1 asks at cycle 0 while the holder transmits, then stops
+        // asking at cycle 1, then asks again at cycle 2 with the holder idle.
+        b.wants[0] = true;
+        b.wants[1] = true;
+        b.used_this_cycle = true;
+        assert_eq!(b.end_cycle(0), None);
+        assert_eq!(b.end_cycle(1), None);
+        b.wants[1] = true;
+        let h = b.end_cycle(2).expect("handoff expected");
+        assert_eq!(h.writer, 1);
+        assert_eq!(h.waited, 0, "streak was interrupted at cycle 1");
+    }
+
+    #[test]
+    fn is_busy_follows_serialization() {
+        let mut b =
+            Bus::new(BusKind::Mwsr, vec![(0, 0)], vec![(1, 0)], 1, 3, 0, LinkClass::Photonic, 4, 4);
+        assert!(!b.is_busy(0));
+        b.send(0, 0, 0, flit());
+        assert!(b.is_busy(0));
+        assert!(b.is_busy(2));
+        assert!(!b.is_busy(3));
     }
 }

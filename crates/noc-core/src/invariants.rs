@@ -59,10 +59,8 @@ impl Network {
             for vc in 0..vcs {
                 let upstream =
                     self.routers[sr as usize].out_ports[sp as usize].vcs[vc].credits as usize;
-                let buffered =
-                    self.routers[dr as usize].in_ports[dp as usize].vcs[vc].buf.len();
-                let in_flight =
-                    ch.in_flight.iter().filter(|(_, f)| f.vc as usize == vc).count();
+                let buffered = self.routers[dr as usize].in_ports[dp as usize].vcs[vc].buf.len();
+                let in_flight = ch.in_flight.iter().filter(|(_, f)| f.vc as usize == vc).count();
                 let credits_flying =
                     ch.credits_back.iter().filter(|&&(_, v)| v as usize == vc).count();
                 let total = upstream + buffered + in_flight + credits_flying;
@@ -145,8 +143,7 @@ impl Network {
                         );
                         if let OutTarget::Bus { bus, writer } = op.target {
                             assert_eq!(
-                                self.buses[bus as usize].vc_owner[reader as usize]
-                                    [out_vc as usize],
+                                self.buses[bus as usize].vc_owner[reader as usize][out_vc as usize],
                                 Some(writer),
                                 "router {}: Active bus path lost its vc_owner claim",
                                 r.id
@@ -164,7 +161,8 @@ impl Network {
             for (vi, vc) in ip.vcs.iter().enumerate() {
                 let total = nic.credits[vi] as usize + vc.buf.len();
                 assert_eq!(
-                    total, r.buf_depth as usize,
+                    total,
+                    r.buf_depth as usize,
                     "nic {}: vc {vi} credits {} + buffered {} != depth {}",
                     nic.core,
                     nic.credits[vi],

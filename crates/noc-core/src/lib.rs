@@ -54,6 +54,7 @@ pub mod ids;
 pub mod invariants;
 pub mod network;
 pub mod nic;
+pub mod obs;
 pub mod router;
 pub mod routing;
 pub mod stats;
@@ -65,5 +66,6 @@ pub use config::RouterConfig;
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
 pub use network::Network;
+pub use obs::{CountingObserver, EventKind, NocEvent, NullObserver, Observer};
 pub use routing::{RouteDecision, RoutingAlg};
 pub use stats::NetStats;

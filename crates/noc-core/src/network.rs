@@ -18,8 +18,9 @@
 
 use crate::channel::{Bus, Channel};
 use crate::flit::Packet;
-use crate::ids::{CoreId, Cycle};
+use crate::ids::{BusId, CoreId, Cycle};
 use crate::nic::Nic;
+use crate::obs::{NocEvent, Observer};
 use crate::router::{OutTarget, Router, Upstream, VcState};
 use crate::routing::RoutingAlg;
 use crate::stats::NetStats;
@@ -38,6 +39,10 @@ pub struct Network {
     next_packet_id: u64,
     /// Scratch: SA candidates `(in_port, in_vc, out_port)` per router.
     scratch_cand: Vec<(usize, usize, usize)>,
+    /// Attached event observer, if any. Event emission sites check this
+    /// `Option` once and otherwise cost nothing; presence or absence of an
+    /// observer never changes simulation behaviour or statistics.
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl Network {
@@ -59,7 +64,31 @@ impl Network {
             routing,
             next_packet_id: 0,
             scratch_cand: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attach an event observer (replacing any previous one). Events start
+    /// flowing from the next emission site onward.
+    pub fn set_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observer = Some(obs);
+        // Seed busy-edge detection from the current medium state so the
+        // first reported transition is a real one.
+        let now = self.now;
+        for b in &mut self.buses {
+            b.obs_busy = b.is_busy(now);
+        }
+    }
+
+    /// Detach and return the observer; downcast it back to its concrete
+    /// type with [`Observer::into_any`].
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is currently attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// Number of cores (NICs).
@@ -97,6 +126,9 @@ impl Network {
         let p = Packet { id, src, dst, len, created_at: self.now };
         self.nics[src as usize].offer(p);
         self.stats.packets_offered += 1;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(&NocEvent::PacketOffered { at: self.now, packet: id, src, dst, len });
+        }
         id
     }
 
@@ -105,10 +137,14 @@ impl Network {
         self.nics.iter().map(|n| n.backlog()).sum()
     }
 
+    /// Deepest single source queue (hotspot indicator for sampling).
+    pub fn max_source_backlog(&self) -> usize {
+        self.nics.iter().map(|n| n.backlog()).max().unwrap_or(0)
+    }
+
     /// True when no flit exists anywhere in the system.
     pub fn quiescent(&self) -> bool {
-        self.source_backlog() == 0
-            && self.stats.flits_in_network() == 0
+        self.source_backlog() == 0 && self.stats.flits_in_network() == 0
     }
 
     /// Advance one cycle.
@@ -119,8 +155,36 @@ impl Network {
         self.vca();
         self.rc();
         self.inject();
-        for b in &mut self.buses {
-            b.end_cycle(self.now);
+        let now = self.now;
+        if self.observer.is_none() {
+            for b in &mut self.buses {
+                b.end_cycle(now);
+            }
+        } else {
+            for bi in 0..self.buses.len() {
+                let b = &mut self.buses[bi];
+                let handoff = b.end_cycle(now);
+                // Busy/idle edge detection (wireless channel occupancy).
+                let busy = b.is_busy(now);
+                let edge = (b.obs_busy != busy).then_some(if busy {
+                    NocEvent::BusBusy { at: now, bus: bi as BusId, until: b.busy_until }
+                } else {
+                    NocEvent::BusIdle { at: now, bus: bi as BusId }
+                });
+                b.obs_busy = busy;
+                let obs = self.observer.as_deref_mut().unwrap();
+                if let Some(h) = handoff {
+                    obs.on_event(&NocEvent::TokenGranted {
+                        at: now,
+                        bus: bi as BusId,
+                        writer: h.writer,
+                        waited: h.waited,
+                    });
+                }
+                if let Some(ev) = edge {
+                    obs.on_event(&ev);
+                }
+            }
         }
         self.stats.cycles = self.now;
     }
@@ -258,10 +322,8 @@ impl Network {
                     let arb = &mut self.routers[ri].out_ports[op_idx].sa_arb;
                     arb.grant_among(&requesters).unwrap()
                 };
-                let (_, vi, _) = *cand
-                    .iter()
-                    .find(|&&(pi, _, op)| pi == winner_port && op == op_idx)
-                    .unwrap();
+                let (_, vi, _) =
+                    *cand.iter().find(|&&(pi, _, op)| pi == winner_port && op == op_idx).unwrap();
                 self.traverse(ri, winner_port, vi);
                 // Remove all candidates for this output port.
                 cand.retain(|&(_, _, op)| op != op_idx);
@@ -305,8 +367,18 @@ impl Network {
                 flit.hops += 1;
                 op.vcs[out_vc as usize].credits -= 1;
                 op.busy_until = now + u64::from(self.channels[ch as usize].ser_cycles);
+                let arrives = now + u64::from(self.channels[ch as usize].latency);
                 self.channels[ch as usize].send(now, flit);
                 self.stats.channel_flits[ch as usize] += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::FlitChannel {
+                        at: now,
+                        channel: ch,
+                        packet: flit.packet_id,
+                        seq: flit.seq,
+                        arrives,
+                    });
+                }
             }
             OutTarget::Bus { bus, writer } => {
                 flit.hops += 1;
@@ -315,6 +387,18 @@ impl Network {
                 self.stats.bus_flits[bus as usize] += 1;
                 if is_tail {
                     b.vc_owner[reader as usize][out_vc as usize] = None;
+                }
+                let busy_until = b.busy_until;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::FlitBus {
+                        at: now,
+                        bus,
+                        writer,
+                        reader,
+                        packet: flit.packet_id,
+                        seq: flit.seq,
+                        busy_until,
+                    });
                 }
             }
             OutTarget::Eject(core) => {
@@ -334,6 +418,22 @@ impl Network {
                         flit.injected_at,
                         now + 1,
                     );
+                }
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::FlitEjected {
+                        at: now,
+                        core,
+                        packet: flit.packet_id,
+                        seq: flit.seq,
+                    });
+                    if is_tail {
+                        obs.on_event(&NocEvent::PacketDelivered {
+                            at: now + 1,
+                            packet: flit.packet_id,
+                            dst: core,
+                            latency: now + 1 - flit.created_at,
+                        });
+                    }
                 }
             }
         }
@@ -423,6 +523,15 @@ impl Network {
                 debug_assert!(ivc.buf.len() <= r.buf_depth as usize);
                 self.stats.flits_injected += 1;
                 self.stats.buffer_writes[nic.router as usize] += 1;
+                if flit.kind.is_head() {
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_event(&NocEvent::PacketInjected {
+                            at: now,
+                            packet: flit.packet_id,
+                            src: nic.core,
+                        });
+                    }
+                }
             }
         }
     }
@@ -454,8 +563,7 @@ fn try_vc_alloc(
     let target = router.out_ports[out_port as usize].target;
     let mut granted: Option<u8> = None;
     for ovc in vc_lo..=vc_hi {
-        let free_local =
-            router.out_ports[out_port as usize].vcs[ovc as usize].holder.is_none();
+        let free_local = router.out_ports[out_port as usize].vcs[ovc as usize].holder.is_none();
         if !free_local {
             continue;
         }

@@ -36,7 +36,13 @@ pub struct Nic {
 }
 
 impl Nic {
-    pub(crate) fn new(core: CoreId, router: RouterId, in_port: PortId, vcs: u8, buf_depth: u32) -> Self {
+    pub(crate) fn new(
+        core: CoreId,
+        router: RouterId,
+        in_port: PortId,
+        vcs: u8,
+        buf_depth: u32,
+    ) -> Self {
         Nic {
             core,
             router,

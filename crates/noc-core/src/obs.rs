@@ -1,0 +1,232 @@
+//! Observability: cycle-stamped lifecycle events emitted by the engine.
+//!
+//! The engine can report every interesting thing that happens to a flit or
+//! a shared medium — packet offered/injected/delivered, flit traversal per
+//! channel and per bus, token grants (with how long the writer waited) and
+//! bus busy/idle transitions — to a single attached [`Observer`].
+//!
+//! Design constraints:
+//!
+//! * **Zero cost when disabled.** Every emission site checks
+//!   `Network::observer` (an `Option`) once; with no observer attached the
+//!   engine does no extra allocation, no formatting, and touches no extra
+//!   cache lines. Attaching or not attaching an observer never changes
+//!   simulation results — events are derived from state the engine computes
+//!   anyway.
+//! * **No interpretation in the engine.** Events carry raw ids and cycles;
+//!   turning them into Chrome traces, JSONL, or time series is the consumer's
+//!   job (see the `obs` module of the `noc-sim` crate).
+//!
+//! Observers are attached with [`crate::Network::set_observer`] and
+//! recovered — concrete type and all — with
+//! [`crate::Network::take_observer`] plus [`Observer::into_any`] downcasting.
+
+use std::any::Any;
+
+use crate::ids::{BusId, ChannelId, CoreId, Cycle};
+
+/// One engine lifecycle event. Every variant carries `at`, the cycle at
+/// which it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocEvent {
+    /// A packet entered its source NIC queue.
+    PacketOffered { at: Cycle, packet: u64, src: CoreId, dst: CoreId, len: u16 },
+    /// A packet's head flit left the NIC and entered the network.
+    PacketInjected { at: Cycle, packet: u64, src: CoreId },
+    /// A flit started traversing a point-to-point channel; it lands in the
+    /// downstream buffer at `arrives`.
+    FlitChannel { at: Cycle, channel: ChannelId, packet: u64, seq: u16, arrives: Cycle },
+    /// A flit was transmitted on a shared bus by `writer` toward `reader`;
+    /// the medium is occupied until `busy_until` (serialization).
+    FlitBus {
+        at: Cycle,
+        bus: BusId,
+        writer: u16,
+        reader: u16,
+        packet: u64,
+        seq: u16,
+        busy_until: Cycle,
+    },
+    /// A flit was ejected at its destination core.
+    FlitEjected { at: Cycle, core: CoreId, packet: u64, seq: u16 },
+    /// A packet's tail flit was delivered; `latency` is creation → delivery.
+    PacketDelivered { at: Cycle, packet: u64, dst: CoreId, latency: Cycle },
+    /// The bus token moved to `writer`, which had been requesting it for
+    /// `waited` cycles (0 when granted on the first requesting cycle).
+    TokenGranted { at: Cycle, bus: BusId, writer: u16, waited: Cycle },
+    /// The bus medium went from idle to transmitting; busy until `until`.
+    BusBusy { at: Cycle, bus: BusId, until: Cycle },
+    /// The bus medium finished its last transmission and is now idle.
+    BusIdle { at: Cycle, bus: BusId },
+}
+
+/// Discriminant of a [`NocEvent`], for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    PacketOffered,
+    PacketInjected,
+    FlitChannel,
+    FlitBus,
+    FlitEjected,
+    PacketDelivered,
+    TokenGranted,
+    BusBusy,
+    BusIdle,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order (indexable by `as usize`).
+    pub const ALL: [EventKind; 9] = [
+        EventKind::PacketOffered,
+        EventKind::PacketInjected,
+        EventKind::FlitChannel,
+        EventKind::FlitBus,
+        EventKind::FlitEjected,
+        EventKind::PacketDelivered,
+        EventKind::TokenGranted,
+        EventKind::BusBusy,
+        EventKind::BusIdle,
+    ];
+
+    /// Stable display name (also the JSONL `kind` tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PacketOffered => "packet_offered",
+            EventKind::PacketInjected => "packet_injected",
+            EventKind::FlitChannel => "flit_channel",
+            EventKind::FlitBus => "flit_bus",
+            EventKind::FlitEjected => "flit_ejected",
+            EventKind::PacketDelivered => "packet_delivered",
+            EventKind::TokenGranted => "token_granted",
+            EventKind::BusBusy => "bus_busy",
+            EventKind::BusIdle => "bus_idle",
+        }
+    }
+}
+
+impl NocEvent {
+    /// The event's kind (discriminant).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            NocEvent::PacketOffered { .. } => EventKind::PacketOffered,
+            NocEvent::PacketInjected { .. } => EventKind::PacketInjected,
+            NocEvent::FlitChannel { .. } => EventKind::FlitChannel,
+            NocEvent::FlitBus { .. } => EventKind::FlitBus,
+            NocEvent::FlitEjected { .. } => EventKind::FlitEjected,
+            NocEvent::PacketDelivered { .. } => EventKind::PacketDelivered,
+            NocEvent::TokenGranted { .. } => EventKind::TokenGranted,
+            NocEvent::BusBusy { .. } => EventKind::BusBusy,
+            NocEvent::BusIdle { .. } => EventKind::BusIdle,
+        }
+    }
+
+    /// The cycle at which the event occurred.
+    pub fn at(&self) -> Cycle {
+        match *self {
+            NocEvent::PacketOffered { at, .. }
+            | NocEvent::PacketInjected { at, .. }
+            | NocEvent::FlitChannel { at, .. }
+            | NocEvent::FlitBus { at, .. }
+            | NocEvent::FlitEjected { at, .. }
+            | NocEvent::PacketDelivered { at, .. }
+            | NocEvent::TokenGranted { at, .. }
+            | NocEvent::BusBusy { at, .. }
+            | NocEvent::BusIdle { at, .. } => at,
+        }
+    }
+}
+
+/// Consumer of engine events.
+///
+/// `Send` because networks move across rayon worker threads during sweeps.
+pub trait Observer: Send {
+    /// Called once per event, in cycle order.
+    fn on_event(&mut self, ev: &NocEvent);
+
+    /// Recover the concrete observer after [`crate::Network::take_observer`]:
+    /// `obs.into_any().downcast::<MyObserver>()`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// An observer that discards every event — for measuring observation
+/// overhead and for parity tests (attached vs. unattached runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _ev: &NocEvent) {}
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Counts events per [`EventKind`] without storing them.
+#[derive(Debug, Default, Clone)]
+pub struct CountingObserver {
+    counts: [u64; EventKind::ALL.len()],
+}
+
+impl CountingObserver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events seen of one kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Observer for CountingObserver {
+    fn on_event(&mut self, ev: &NocEvent) {
+        self.counts[ev.kind() as usize] += 1;
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_all() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn counting_observer_counts_by_kind() {
+        let mut c = CountingObserver::new();
+        c.on_event(&NocEvent::PacketOffered { at: 1, packet: 0, src: 0, dst: 1, len: 4 });
+        c.on_event(&NocEvent::PacketOffered { at: 2, packet: 1, src: 0, dst: 2, len: 4 });
+        c.on_event(&NocEvent::TokenGranted { at: 3, bus: 0, writer: 1, waited: 2 });
+        assert_eq!(c.count(EventKind::PacketOffered), 2);
+        assert_eq!(c.count(EventKind::TokenGranted), 1);
+        assert_eq!(c.count(EventKind::FlitBus), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = NocEvent::FlitChannel { at: 7, channel: 3, packet: 9, seq: 1, arrives: 10 };
+        assert_eq!(ev.kind(), EventKind::FlitChannel);
+        assert_eq!(ev.at(), 7);
+    }
+
+    #[test]
+    fn observer_downcasts_back() {
+        let mut c: Box<dyn Observer> = Box::new(CountingObserver::new());
+        c.on_event(&NocEvent::BusIdle { at: 4, bus: 0 });
+        let c = c.into_any().downcast::<CountingObserver>().unwrap();
+        assert_eq!(c.total(), 1);
+    }
+}

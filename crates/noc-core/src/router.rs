@@ -163,7 +163,12 @@ impl Router {
         id
     }
 
-    pub(crate) fn add_out_port(&mut self, target: OutTarget, credits: u32, n_in_hint: usize) -> PortId {
+    pub(crate) fn add_out_port(
+        &mut self,
+        target: OutTarget,
+        credits: u32,
+        n_in_hint: usize,
+    ) -> PortId {
         let id = self.out_ports.len() as PortId;
         self.out_ports.push(OutPort {
             target,

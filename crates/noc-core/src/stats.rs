@@ -21,7 +21,13 @@ pub struct LatencyHist {
 }
 
 impl LatencyHist {
+    /// A histogram of `n_buckets` buckets of `bucket_width` cycles each.
+    ///
+    /// Both must be at least 1: `record` divides by the width and indexes
+    /// the bucket vector, so zero would panic far from the constructor.
     pub fn new(bucket_width: u64, n_buckets: usize) -> Self {
+        assert!(bucket_width >= 1, "LatencyHist bucket_width must be >= 1, got 0");
+        assert!(n_buckets >= 1, "LatencyHist needs at least one bucket, got 0");
         LatencyHist { bucket_width, buckets: vec![0; n_buckets], count: 0, sum: 0, max: 0 }
     }
 
@@ -100,6 +106,9 @@ pub struct NetStats {
     pub measure_until: Cycle,
     /// Per-core delivered flits (for fairness checks).
     pub per_core_ejected: Vec<u64>,
+    /// Per-destination delivered *packets* (fairness across receivers:
+    /// a skewed distribution under a symmetric pattern flags starvation).
+    pub per_core_packets: Vec<u64>,
 }
 
 impl NetStats {
@@ -121,6 +130,7 @@ impl NetStats {
             measure_from: 0,
             measure_until: u64::MAX,
             per_core_ejected: vec![0; n_cores],
+            per_core_packets: vec![0; n_cores],
         }
     }
 
@@ -134,7 +144,7 @@ impl NetStats {
         now: Cycle,
     ) {
         self.packets_delivered += 1;
-        let _ = dst;
+        self.per_core_packets[dst as usize] += 1;
         if created_at >= self.measure_from && created_at < self.measure_until {
             self.latency.record(now - created_at);
             self.queue_delay.record(injected_at.saturating_sub(created_at));
@@ -226,6 +236,28 @@ mod tests {
         assert_eq!(s.queue_delay.sum, 30);
         assert_eq!(s.network_latency.sum, 60);
         assert_eq!(s.queue_delay.sum + s.network_latency.sum, s.latency.sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_width must be >= 1")]
+    fn zero_bucket_width_rejected() {
+        let _ = LatencyHist::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_bucket_count_rejected() {
+        let _ = LatencyHist::new(8, 0);
+    }
+
+    #[test]
+    fn per_destination_packets_counted() {
+        let mut s = NetStats::new(1, 0, 0, 4);
+        s.packet_delivered_full(2, 0, 0, 10);
+        s.packet_delivered_full(2, 5, 5, 20);
+        s.packet_delivered_full(3, 1, 1, 9);
+        assert_eq!(s.per_core_packets, vec![0, 0, 2, 1]);
+        assert_eq!(s.packets_delivered, 3);
     }
 
     #[test]

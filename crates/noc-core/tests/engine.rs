@@ -1,9 +1,7 @@
 //! End-to-end tests of the simulation engine on hand-built micro-networks.
 
 use noc_core::routing::TableRouting;
-use noc_core::{
-    BusKind, LinkClass, NetworkBuilder, RouteDecision, RouterConfig, RoutingAlg,
-};
+use noc_core::{BusKind, LinkClass, NetworkBuilder, RouteDecision, RouterConfig, RoutingAlg};
 
 /// Two routers, one core each, duplex channel. Routing by table.
 fn two_router_net(latency: u32, ser: u32) -> noc_core::Network {
@@ -112,15 +110,7 @@ fn mwsr_bus_delivers_from_all_writers() {
     for c in 0..4 {
         b.attach_core(c, c);
     }
-    let (_, wports, _) = b.add_bus(
-        BusKind::Mwsr,
-        &[0, 1, 2],
-        &[3],
-        2,
-        1,
-        1,
-        LinkClass::Photonic,
-    );
+    let (_, wports, _) = b.add_bus(BusKind::Mwsr, &[0, 1, 2], &[3], 2, 1, 1, LinkClass::Photonic);
     // Routers 0..2 route dst 3 to their bus writer port; router 3 ejects.
     struct R {
         wports: Vec<u16>,
@@ -233,10 +223,7 @@ fn speculative_pipeline_saves_one_cycle_per_hop() {
     let base = run(false);
     let spec = run(true);
     // Two routers on the path -> two cycles saved.
-    assert!(
-        (base - spec - 2.0).abs() < 0.5,
-        "expected ~2 cycles saved: {base} vs {spec}"
-    );
+    assert!((base - spec - 2.0).abs() < 0.5, "expected ~2 cycles saved: {base} vs {spec}");
 }
 
 #[test]

@@ -64,10 +64,7 @@ impl Floorplan {
         assert!(tx < 4 && ty < 4);
         let o = self.cluster_origin(cluster);
         let pitch = self.cluster_mm / 4.0;
-        Point {
-            x_mm: o.x_mm + pitch * (tx as f64 + 0.5),
-            y_mm: o.y_mm + pitch * (ty as f64 + 0.5),
-        }
+        Point { x_mm: o.x_mm + pitch * (tx as f64 + 0.5), y_mm: o.y_mm + pitch * (ty as f64 + 0.5) }
     }
 
     /// Tile hosting antenna `letter` of `cluster` (see module docs for the
@@ -172,10 +169,7 @@ mod tests {
     #[test]
     fn distance_symmetry() {
         let f = Floorplan::default();
-        assert_eq!(
-            f.antenna_distance_mm(0, 'A', 2, 'B'),
-            f.antenna_distance_mm(2, 'B', 0, 'A')
-        );
+        assert_eq!(f.antenna_distance_mm(0, 'A', 2, 'B'), f.antenna_distance_mm(2, 'B', 0, 'A'));
     }
 
     #[test]

@@ -113,12 +113,8 @@ pub fn sir_with_rejection(
 /// The reuse pairs §V-B proposes: `B3→A2 / B0→A1` and `C0→C3 / C1→C2`
 /// (with reverse directions), as `(link a, link b)` tuples.
 pub fn own_reuse_pairs() -> Vec<(SdmLink, SdmLink)> {
-    let l = |tc, ta, rc, ra| SdmLink {
-        tx_cluster: tc,
-        tx_antenna: ta,
-        rx_cluster: rc,
-        rx_antenna: ra,
-    };
+    let l =
+        |tc, ta, rc, ra| SdmLink { tx_cluster: tc, tx_antenna: ta, rx_cluster: rc, rx_antenna: ra };
     vec![
         // Edge channels on opposite horizontal edges.
         (l(2, 'A', 3, 'B'), l(1, 'A', 0, 'B')),
@@ -203,11 +199,7 @@ mod tests {
         let (fp, lb) = setup();
         let (a, b) = own_reuse_pairs()[0];
         let iso = sir_isotropic(&fp, &lb, a, b);
-        assert!(
-            !iso.feasible(),
-            "isotropic edge reuse should fail ({:.1} dB)",
-            iso.worst_db()
-        );
+        assert!(!iso.feasible(), "isotropic edge reuse should fail ({:.1} dB)", iso.worst_db());
         let directive = sir(&fp, &lb, a, b);
         assert!(directive.feasible(), "got {:.1} dB", directive.worst_db());
     }
@@ -222,14 +214,10 @@ mod tests {
         let (a, b) = own_reuse_pairs()[2]; // C0->C3 / C1->C2
         let scaled = sir(&fp, &lb, a, b).worst_db();
         let sr_mm = fp.antenna_distance_mm(0, 'C', 3, 'C');
-        let power_gap =
-            lb.required_tx_power_dbm(60.0, 0.0) - lb.required_tx_power_dbm(sr_mm, 0.0);
+        let power_gap = lb.required_tx_power_dbm(60.0, 0.0) - lb.required_tx_power_dbm(sr_mm, 0.0);
         let blasted = scaled - power_gap;
         assert!(power_gap > 15.0, "C2C vs SR budget gap {power_gap:.1} dB");
-        assert!(
-            blasted < MIN_SIR_DB,
-            "full-power aggressor must break the reuse: {blasted:.1} dB"
-        );
+        assert!(blasted < MIN_SIR_DB, "full-power aggressor must break the reuse: {blasted:.1} dB");
     }
 
     #[test]

@@ -66,8 +66,7 @@ impl LinkBudget {
     /// Required transmit power in dBm for a link of `distance_mm` with the
     /// given per-antenna directivity (applied at both ends).
     pub fn required_tx_power_dbm(&self, distance_mm: f64, antenna_dbi: f64) -> f64 {
-        self.sensitivity_dbm() + self.path_loss_db(distance_mm) - 2.0 * antenna_dbi
-            + self.margin_db
+        self.sensitivity_dbm() + self.path_loss_db(distance_mm) - 2.0 * antenna_dbi + self.margin_db
     }
 
     /// Required transmit power in milliwatts.
@@ -108,10 +107,7 @@ mod tests {
     fn paper_anchor_4dbm_at_50mm_isotropic() {
         let lb = LinkBudget::default();
         let p = lb.required_tx_power_dbm(50.0, 0.0);
-        assert!(
-            (3.5..=5.0).contains(&p),
-            "paper: ≥4 dBm for 50 mm at 0 dBi; got {p:.2} dBm"
-        );
+        assert!((3.5..=5.0).contains(&p), "paper: ≥4 dBm for 50 mm at 0 dBi; got {p:.2} dBm");
     }
 
     #[test]

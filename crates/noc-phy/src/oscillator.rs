@@ -69,8 +69,7 @@ impl ColpittOscillator {
 
     /// Oscillation frequency in Hz.
     pub fn frequency_hz(&self) -> f64 {
-        1.0 / (2.0 * std::f64::consts::PI
-            * (self.inductance_h * self.tank_capacitance_f()).sqrt())
+        1.0 / (2.0 * std::f64::consts::PI * (self.inductance_h * self.tank_capacitance_f()).sqrt())
     }
 
     /// Leeson phase noise at offset `df_hz`, in dBc/Hz.
@@ -112,10 +111,7 @@ mod tests {
     fn phase_noise_anchor_minus_86_dbc_at_1mhz() {
         let o = ColpittOscillator::default();
         let pn = o.phase_noise_dbc_hz(1e6);
-        assert!(
-            (-89.0..=-83.0).contains(&pn),
-            "paper: ≈−86 dBc/Hz at 1 MHz; got {pn:.1}"
-        );
+        assert!((-89.0..=-83.0).contains(&pn), "paper: ≈−86 dBc/Hz at 1 MHz; got {pn:.1}");
     }
 
     #[test]

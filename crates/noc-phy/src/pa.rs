@@ -65,7 +65,8 @@ impl ClassAbPa {
         let pin = 10f64.powf(pin_dbm / 10.0); // mW
         let psat = 10f64.powf(self.psat_dbm / 10.0);
         let lin = g * pin;
-        let pout = lin / (1.0 + (lin / psat).powf(2.0 * self.rapp_p)).powf(1.0 / (2.0 * self.rapp_p));
+        let pout =
+            lin / (1.0 + (lin / psat).powf(2.0 * self.rapp_p)).powf(1.0 / (2.0 * self.rapp_p));
         10.0 * pout.log10()
     }
 

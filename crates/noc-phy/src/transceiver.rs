@@ -46,7 +46,9 @@ impl OokTransceiver {
     /// PA with the data, so the PA burns DC only on mark bits (×0.5 on
     /// average); oscillator, LNA and detector run continuously.
     pub fn dc_power_w(&self) -> f64 {
-        self.oscillator.dc_power_w + 0.5 * self.pa.dc_power_w + self.lna.dc_power_w
+        self.oscillator.dc_power_w
+            + 0.5 * self.pa.dc_power_w
+            + self.lna.dc_power_w
             + self.detector_dc_w
     }
 
@@ -79,8 +81,8 @@ impl OokTransceiver {
     /// CMOS band 1 under `scenario` — how far today's 65 nm CMOS sits from
     /// the projected base efficiency.
     pub fn projection_gap(&self, scenario: Scenario) -> f64 {
-        let projected = Technology::Cmos.base_pj_per_bit()
-            + scenario.ramp_pj_per_band(Technology::Cmos) * 0.0;
+        let projected =
+            Technology::Cmos.base_pj_per_bit() + scenario.ramp_pj_per_band(Technology::Cmos) * 0.0;
         self.energy_pj_per_bit() / projected
     }
 }

@@ -81,8 +81,7 @@ impl NetworkArea {
 impl AreaModel {
     /// Router area from its physical radix and VC configuration.
     pub fn router_mm2(&self, radix: usize, vcs: u8, depth: u32) -> (f64, f64, f64) {
-        let bits =
-            radix as f64 * f64::from(vcs) * f64::from(depth) * f64::from(self.flit_bits);
+        let bits = radix as f64 * f64::from(vcs) * f64::from(depth) * f64::from(self.flit_bits);
         let buffers = bits * self.sram_mm2_per_bit;
         let side = radix as f64 * f64::from(self.flit_bits) * self.xbar_track_mm;
         let crossbar = side * side;
@@ -117,14 +116,14 @@ impl AreaModel {
         for bus in net.buses() {
             match bus.class {
                 LinkClass::Wireless { .. } => {
-                    a.transceivers_mm2 += self.transceiver_mm2
-                        * (bus.writers.len() + bus.readers.len()) as f64;
+                    a.transceivers_mm2 +=
+                        self.transceiver_mm2 * (bus.writers.len() + bus.readers.len()) as f64;
                 }
                 LinkClass::Photonic => {
                     // Every writer carries a full modulator bank; the
                     // reader a drop-filter bank.
-                    let rings =
-                        (bus.writers.len() + bus.readers.len()) as u64 * u64::from(self.wavelengths);
+                    let rings = (bus.writers.len() + bus.readers.len()) as u64
+                        * u64::from(self.wavelengths);
                     a.rings += rings;
                     a.rings_mm2 += rings as f64 * self.ring_mm2;
                 }

@@ -62,14 +62,14 @@ impl PowerModel {
             let f = flits as f64;
             match ch.class {
                 LinkClass::Electrical { length_mm } => {
-                    electrical_pj += f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
+                    electrical_pj +=
+                        f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
                 }
                 LinkClass::Photonic => {
                     photonic_pj += f * self.photonic.pj_per_flit(self.params.flit_bits);
                 }
                 LinkClass::Wireless { channel, distance } => {
-                    wireless_pj +=
-                        f * bits * self.wireless.energy_pj_per_bit(channel, distance);
+                    wireless_pj += f * bits * self.wireless.energy_pj_per_bit(channel, distance);
                 }
             }
         }
@@ -77,7 +77,8 @@ impl PowerModel {
             let f = flits as f64;
             match bus.class {
                 LinkClass::Electrical { length_mm } => {
-                    electrical_pj += f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
+                    electrical_pj +=
+                        f * self.electrical.wire_pj_per_flit(length_mm, self.params.flit_bits);
                 }
                 LinkClass::Photonic => {
                     photonic_pj += f * self.photonic.pj_per_flit(self.params.flit_bits);
@@ -87,8 +88,7 @@ impl PowerModel {
                     wireless_pj += f * bits * e_bit;
                     // Non-addressed multicast receivers demodulate and
                     // discard: receiver-side energy only.
-                    wireless_pj +=
-                        bus.discards as f64 * bits * e_bit * self.wireless.rx_fraction();
+                    wireless_pj += bus.discards as f64 * bits * e_bit * self.wireless.rx_fraction();
                 }
             }
         }
@@ -172,9 +172,7 @@ mod tests {
     use crate::configs::WinocConfig;
     use crate::wireless::Scenario;
     use noc_core::routing::TableRouting;
-    use noc_core::{
-        DistanceClass, LinkClass, NetworkBuilder, RouteDecision, RouterConfig,
-    };
+    use noc_core::{DistanceClass, LinkClass, NetworkBuilder, RouteDecision, RouterConfig};
 
     fn model() -> PowerModel {
         PowerModel::new(WirelessModel::own(Scenario::Ideal, WinocConfig::Config4))

@@ -27,12 +27,7 @@ pub enum WinocConfig {
 impl WinocConfig {
     /// All four configurations in table order.
     pub fn all() -> [WinocConfig; 4] {
-        [
-            WinocConfig::Config1,
-            WinocConfig::Config2,
-            WinocConfig::Config3,
-            WinocConfig::Config4,
-        ]
+        [WinocConfig::Config1, WinocConfig::Config2, WinocConfig::Config3, WinocConfig::Config4]
     }
 
     /// Technology assigned to a distance class.
@@ -80,25 +75,13 @@ mod tests {
     #[test]
     fn table_iv_rows() {
         let c1 = WinocConfig::Config1;
-        assert_eq!(
-            (c1.tech_for(C2C), c1.tech_for(E2E), c1.tech_for(SR)),
-            (SiGeHbt, Cmos, Cmos)
-        );
+        assert_eq!((c1.tech_for(C2C), c1.tech_for(E2E), c1.tech_for(SR)), (SiGeHbt, Cmos, Cmos));
         let c2 = WinocConfig::Config2;
-        assert_eq!(
-            (c2.tech_for(C2C), c2.tech_for(E2E), c2.tech_for(SR)),
-            (Cmos, BiCmos, SiGeHbt)
-        );
+        assert_eq!((c2.tech_for(C2C), c2.tech_for(E2E), c2.tech_for(SR)), (Cmos, BiCmos, SiGeHbt));
         let c3 = WinocConfig::Config3;
-        assert_eq!(
-            (c3.tech_for(C2C), c3.tech_for(E2E), c3.tech_for(SR)),
-            (SiGeHbt, BiCmos, Cmos)
-        );
+        assert_eq!((c3.tech_for(C2C), c3.tech_for(E2E), c3.tech_for(SR)), (SiGeHbt, BiCmos, Cmos));
         let c4 = WinocConfig::Config4;
-        assert_eq!(
-            (c4.tech_for(C2C), c4.tech_for(E2E), c4.tech_for(SR)),
-            (Cmos, Cmos, BiCmos)
-        );
+        assert_eq!((c4.tech_for(C2C), c4.tech_for(E2E), c4.tech_for(SR)), (Cmos, Cmos, BiCmos));
     }
 
     #[test]
@@ -112,10 +95,7 @@ mod tests {
     fn sige_on_long_range_only_in_1_and_3() {
         for c in WinocConfig::all() {
             let sige_long = c.tech_for(C2C) == SiGeHbt;
-            assert_eq!(
-                sige_long,
-                matches!(c, WinocConfig::Config1 | WinocConfig::Config3)
-            );
+            assert_eq!(sige_long, matches!(c, WinocConfig::Config1 | WinocConfig::Config3));
         }
     }
 }

@@ -160,10 +160,7 @@ mod tests {
         let small = Crossbar { radix: 8, width: 128 };
         let big = Crossbar { radix: 64, width: 128 };
         let (es, eb) = (small.traversal_pj(&t45()), big.traversal_pj(&t45()));
-        assert!(
-            eb / es > 5.0,
-            "traversal energy grows with matrix side: {es:.2} -> {eb:.2}"
-        );
+        assert!(eb / es > 5.0, "traversal energy grows with matrix side: {es:.2} -> {eb:.2}");
         // Area grows quadratically.
         assert!(big.area_mm2(&t45()) / small.area_mm2(&t45()) > 60.0);
     }

@@ -71,10 +71,8 @@ impl DsentRouter {
     pub fn area_mm2(&self) -> f64 {
         // Buffers: ~0.5 µm² per bitcell at 45 nm, scaled by pitch².
         let cell_um2 = (self.tech.track_pitch_um / 0.6) * (self.tech.track_pitch_um / 0.6) * 0.5;
-        let buffer_mm2 = f64::from(self.radix * self.vcs * self.depth * self.flit_bits)
-            * cell_um2
-            * 1e-6
-            * 6.0;
+        let buffer_mm2 =
+            f64::from(self.radix * self.vcs * self.depth * self.flit_bits) * cell_um2 * 1e-6 * 6.0;
         buffer_mm2 + self.crossbar().area_mm2(&self.tech)
     }
 

@@ -43,11 +43,11 @@ pub mod thermal;
 pub mod wireless;
 
 pub use area::{AreaModel, NetworkArea};
-pub use dsent::{DsentRouter, TechNode};
 pub use budget::{NetworkPower, PowerModel, PowerParams};
-pub use photonic_loss::{LossModel, WaveguideBudget};
-pub use thermal::ThermalModel;
 pub use configs::WinocConfig;
+pub use dsent::{DsentRouter, TechNode};
 pub use electrical::ElectricalModel;
 pub use photonic::PhotonicModel;
+pub use photonic_loss::{LossModel, WaveguideBudget};
+pub use thermal::ThermalModel;
 pub use wireless::{band_plan, Scenario, Technology, WirelessBand, WirelessModel};

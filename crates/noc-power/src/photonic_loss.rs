@@ -133,7 +133,12 @@ mod tests {
         let own = m.own_cluster_waveguide();
         let oxb256 = m.optxb_waveguide_256();
         let oxb1024 = m.optxb_waveguide_1024();
-        assert!(oxb256.loss_db > own.loss_db + 25.0, "{:.1} vs {:.1} dB", oxb256.loss_db, own.loss_db);
+        assert!(
+            oxb256.loss_db > own.loss_db + 25.0,
+            "{:.1} vs {:.1} dB",
+            oxb256.loss_db,
+            own.loss_db
+        );
         assert!(oxb1024.loss_db > oxb256.loss_db + 100.0);
         // The 1024-core snake needs absurd per-λ laser power — the
         // quantitative form of the paper's scalability objection.

@@ -132,8 +132,12 @@ mod tests {
     #[test]
     fn tuning_linear_in_rings_and_spread() {
         let m = ThermalModel::default();
-        assert!((m.network_tuning_w(2000, 10.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12);
-        assert!((m.network_tuning_w(1000, 20.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12);
+        assert!(
+            (m.network_tuning_w(2000, 10.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12
+        );
+        assert!(
+            (m.network_tuning_w(1000, 20.0) / m.network_tuning_w(1000, 10.0) - 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

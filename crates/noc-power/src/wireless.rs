@@ -148,8 +148,7 @@ pub fn band_plan(scenario: Scenario) -> Vec<WirelessBand> {
         .map(|i| {
             let f = scenario.center_ghz(i);
             let tech = scenario.tech_for_frequency(f);
-            let e = tech.base_pj_per_bit()
-                + scenario.ramp_pj_per_band(tech) * f64::from(i - 1);
+            let e = tech.base_pj_per_bit() + scenario.ramp_pj_per_band(tech) * f64::from(i - 1);
             WirelessBand {
                 index: i,
                 center_ghz: f,
@@ -213,13 +212,9 @@ impl WirelessModel {
                     .collect();
                 (tech, bands[pos % bands.len()])
             }
-            None => (
-                self.scenario.tech_for_frequency(self.scenario.center_ghz(channel)),
-                channel,
-            ),
+            None => (self.scenario.tech_for_frequency(self.scenario.center_ghz(channel)), channel),
         };
-        let e = tech.base_pj_per_bit()
-            + self.scenario.ramp_pj_per_band(tech) * f64::from(band - 1);
+        let e = tech.base_pj_per_bit() + self.scenario.ramp_pj_per_band(tech) * f64::from(band - 1);
         let ld = if self.distance_aware { distance.ld_factor() } else { 1.0 };
         e * ld
     }

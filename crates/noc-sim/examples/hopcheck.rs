@@ -1,8 +1,10 @@
 use noc_core::RouterConfig;
-use noc_topology::{Topology, own, OptXb, PClos};
+use noc_topology::{own, OptXb, PClos, Topology};
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 fn main() {
-    for topo in [own(256), Box::new(OptXb::new(256)) as Box<dyn Topology>, Box::new(PClos::new(256))] {
+    for topo in
+        [own(256), Box::new(OptXb::new(256)) as Box<dyn Topology>, Box::new(PClos::new(256))]
+    {
         let mut net = topo.build(RouterConfig::default());
         let mut inj = BernoulliInjector::new(0.04, 4, TrafficPattern::Uniform, 7);
         inj.drive(&mut net, 5000);

@@ -10,45 +10,119 @@
 //! `--quick` (default) uses short simulation windows suitable for smoke
 //! runs; `--full` uses report-quality windows (minutes of wall clock).
 //! `--csv` and `--json` switch the output format.
+//!
+//! Observability flags:
+//!
+//! * `--trace <file>` — run one traced OWN-256 simulation and write its
+//!   event trace in Chrome trace format (load into `chrome://tracing` or
+//!   Perfetto). `<file>.jsonl` receives the same events as JSONL.
+//! * `--sample-interval <n>` — sample network state every `n` cycles in
+//!   every simulation-backed experiment; load sweeps use the series for
+//!   saturation-onset detection (`*` markers on fig7b/fig7c cells).
+//! * `--progress` — per-point sweep progress and per-experiment wall-clock
+//!   timings on stderr.
+//!
+//! Unknown experiment names and unreadable `--spec` files are diagnosed
+//! before anything runs, and exit with status 2.
+
+use std::time::Instant;
 
 use noc_power::Scenario;
 use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
-use noc_sim::{Report, SimSpec};
+use noc_sim::obs::{write_chrome_trace, write_jsonl, RingRecorder};
+use noc_sim::{Report, SimConfig, SimSpec, Simulation};
+use noc_topology::Own256;
 use noc_traffic::TrafficPattern;
+
+/// Experiment names accepted on the command line (besides `all`/`extras`).
+const KNOWN: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8a",
+    "fig8b",
+    "area",
+    "loss",
+    "sdm",
+    "reconfig",
+    "bursty",
+    "breakdown",
+    "placement",
+    "nodes",
+    "thermal",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--spec file.json]... <experiment|all>...");
-        eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
-        eprintln!("extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal (or: extras)");
+        usage();
         std::process::exit(2);
     }
     let mut budget = Budget::quick();
     let mut csv = false;
     let mut json = false;
     let mut chart = false;
+    let mut progress = false;
+    let mut trace_file: Option<String> = None;
+    let mut sample_interval: u64 = 0;
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
-        if a == "--spec" {
-            let Some(f) = args_iter.next() else {
-                eprintln!("--spec requires a file path");
-                std::process::exit(2);
-            };
-            spec_files.push(f.clone());
-            continue;
-        }
         match a.as_str() {
+            "--spec" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("--spec requires a file path");
+                    std::process::exit(2);
+                };
+                spec_files.push(f.clone());
+            }
+            "--trace" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("--trace requires an output file path");
+                    std::process::exit(2);
+                };
+                trace_file = Some(f.clone());
+            }
+            "--sample-interval" => {
+                let Some(n) = args_iter.next() else {
+                    eprintln!("--sample-interval requires a cycle count");
+                    std::process::exit(2);
+                };
+                sample_interval = n.parse().unwrap_or_else(|_| {
+                    eprintln!("--sample-interval: not a cycle count: {n}");
+                    std::process::exit(2);
+                });
+                if sample_interval == 0 {
+                    eprintln!("--sample-interval must be >= 1");
+                    std::process::exit(2);
+                }
+            }
             "--quick" => budget = Budget::quick(),
             "--full" => budget = Budget::full(),
             "--csv" => csv = true,
             "--json" => json = true,
             "--chart" => chart = true,
+            "--progress" => progress = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                std::process::exit(2);
+            }
             other => wanted.push(other.to_string()),
         }
     }
+    budget.sample_every = sample_interval;
+    noc_sim::sweep::set_progress(progress);
+
     if wanted.iter().any(|w| w == "all") {
         wanted = [
             "table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7a",
@@ -61,8 +135,33 @@ fn main() {
     if let Some(i) = wanted.iter().position(|w| w == "extras") {
         wanted.splice(
             i..=i,
-            ["area", "loss", "sdm", "reconfig", "bursty", "breakdown", "placement", "nodes", "thermal"].map(String::from),
+            [
+                "area",
+                "loss",
+                "sdm",
+                "reconfig",
+                "bursty",
+                "breakdown",
+                "placement",
+                "nodes",
+                "thermal",
+            ]
+            .map(String::from),
         );
+    }
+    // Validate every requested name up front so a typo late in the list
+    // cannot waste a long run and still exit zero-output-but-successful.
+    let unknown: Vec<&String> = wanted.iter().filter(|w| !KNOWN.contains(&w.as_str())).collect();
+    if !unknown.is_empty() {
+        for w in unknown {
+            eprintln!("unknown experiment: {w}");
+        }
+        eprintln!("known experiments: {}", KNOWN.join(" "));
+        std::process::exit(2);
+    }
+    if wanted.is_empty() && spec_files.is_empty() && trace_file.is_none() {
+        usage();
+        std::process::exit(2);
     }
 
     let emit = |r: &Report| {
@@ -75,6 +174,10 @@ fn main() {
             println!("{r}");
         }
     };
+
+    if let Some(path) = &trace_file {
+        run_traced(path, budget, sample_interval);
+    }
 
     for f in &spec_files {
         let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
@@ -95,6 +198,7 @@ fn main() {
     }
 
     for w in &wanted {
+        let t0 = Instant::now();
         match w.as_str() {
             "table1" => emit(&tables::table1()),
             "table2" => emit(&tables::table2()),
@@ -141,10 +245,77 @@ fn main() {
                 emit(&extensions::thermal(256));
                 emit(&extensions::thermal(1024));
             }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+            other => unreachable!("validated above: {other}"),
+        }
+        if progress {
+            eprintln!("[exp] {w} finished in {:.1}s", t0.elapsed().as_secs_f64());
         }
     }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--progress] \
+         [--trace out.json] [--sample-interval n] [--spec file.json]... <experiment|all>..."
+    );
+    eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
+    eprintln!(
+        "extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal (or: extras)"
+    );
+}
+
+/// Run one fully-observed OWN-256 simulation and export its event trace:
+/// Chrome trace format to `path`, JSONL to `path.jsonl`. The run keeps the
+/// newest million events (photonic token grants, channel/bus traversals,
+/// packet lifecycles) and reports sampling/fairness summaries on stderr.
+fn run_traced(path: &str, budget: Budget, sample_interval: u64) {
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: budget.warmup,
+        measure: budget.measure,
+        drain: budget.drain,
+        sample_every: if sample_interval > 0 { sample_interval } else { 100 },
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(&Own256::new(), cfg);
+    sim.attach_observer(Box::new(RingRecorder::new(1 << 20)));
+    let mut result = sim.run();
+    let Some(rec) = RingRecorder::take_from(&mut result.net) else {
+        eprintln!("--trace: recorder lost (internal error)");
+        std::process::exit(1);
+    };
+    let events = rec.into_events();
+    if let Err(e) = write_chrome_trace(std::path::Path::new(path), &events) {
+        eprintln!("--trace: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    let jsonl_path = format!("{path}.jsonl");
+    if let Err(e) = write_jsonl(std::path::Path::new(&jsonl_path), &events) {
+        eprintln!("--trace: cannot write {jsonl_path}: {e}");
+        std::process::exit(2);
+    }
+    let fairness = result.delivery_fairness();
+    eprintln!(
+        "[trace] {}: {} events -> {path} (+ {jsonl_path}); {:.0} kcycles/s, {:.0} kevents/s",
+        result.name,
+        events.len(),
+        result.profile.cycles_per_sec / 1e3,
+        result.profile.events_per_sec / 1e3,
+    );
+    if let Some(series) = &result.series {
+        eprintln!(
+            "[trace] sampled every {} cycles: {} samples, warmup converged at {}, {}",
+            series.interval,
+            series.samples.len(),
+            series.convergence_cycle().map_or("n/a".to_string(), |c| format!("cycle {c}")),
+            series
+                .saturation_onset()
+                .map_or("no saturation".to_string(), |c| format!("saturation onset at cycle {c}")),
+        );
+    }
+    eprintln!(
+        "[trace] delivery fairness: gini {:.3}, hotspot factor {:.2}",
+        fairness.gini, fairness.hotspot_factor,
+    );
 }

@@ -31,11 +31,16 @@ impl Default for ChartOptions {
 const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@', '%', '&'];
 
 /// Render series as an ASCII chart with a legend.
-pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], opts: ChartOptions) -> String {
+pub fn render(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    opts: ChartOptions,
+) -> String {
     assert!(!series.is_empty(), "nothing to plot");
     assert!(opts.width >= 8 && opts.height >= 4);
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     assert!(!all.is_empty(), "series contain no points");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -64,8 +69,8 @@ pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], opts
         let glyph = GLYPHS[si % GLYPHS.len()];
         for &(x, y) in &s.points {
             let cx = ((x - x_min) / (x_max - x_min) * (opts.width - 1) as f64).round() as usize;
-            let cy = ((ty(y) - gy_min) / (gy_max - gy_min) * (opts.height - 1) as f64).round()
-                as usize;
+            let cy =
+                ((ty(y) - gy_min) / (gy_max - gy_min) * (opts.height - 1) as f64).round() as usize;
             let row = opts.height - 1 - cy.min(opts.height - 1);
             grid[row][cx.min(opts.width - 1)] = glyph;
         }
@@ -110,13 +115,20 @@ pub fn render_latency_report(report: &crate::report::Report) -> String {
                 .map(|row| {
                     (
                         row[0].parse::<f64>().expect("load column"),
-                        row[col].parse::<f64>().expect("latency cell"),
+                        // Strip the saturation marker fig7bc may append.
+                        row[col].trim_end_matches('*').parse::<f64>().expect("latency cell"),
                     )
                 })
                 .collect(),
         })
         .collect();
-    render(&report.title, "offered load (flits/core/cycle)", "latency (cycles)", &series, ChartOptions::default())
+    render(
+        &report.title,
+        "offered load (flits/core/cycle)",
+        "latency (cycles)",
+        &series,
+        ChartOptions::default(),
+    )
 }
 
 #[cfg(test)]
@@ -142,7 +154,13 @@ mod tests {
 
     #[test]
     fn rising_series_reaches_top_row() {
-        let out = render("D", "x", "y", &demo_series(), ChartOptions { log_y: false, ..Default::default() });
+        let out = render(
+            "D",
+            "x",
+            "y",
+            &demo_series(),
+            ChartOptions { log_y: false, ..Default::default() },
+        );
         // The '*' at (1.0, 100.0) lands on the first grid row.
         let first_grid_row = out.lines().nth(2).unwrap();
         assert!(first_grid_row.contains('*'), "top row: {first_grid_row:?}");

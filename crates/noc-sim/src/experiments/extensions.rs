@@ -18,10 +18,12 @@
 use noc_core::RouterConfig;
 use noc_phy::{validate_own_reuse, Floorplan, LinkBudget};
 use noc_power::{
-    AreaModel, DsentRouter, LossModel, PowerModel, Scenario, TechNode, ThermalModel,
-    WinocConfig, WirelessModel,
+    AreaModel, DsentRouter, LossModel, PowerModel, Scenario, TechNode, ThermalModel, WinocConfig,
+    WirelessModel,
 };
-use noc_topology::{own, paper_suite, AntennaPlacement, Own256, Own256Reconfig, ReconfigPolicy, Topology};
+use noc_topology::{
+    own, paper_suite, AntennaPlacement, Own256, Own256Reconfig, ReconfigPolicy, Topology,
+};
 use noc_traffic::{Trace, TraceInjector, TrafficPattern};
 
 use crate::experiments::power::POWER_LOAD;
@@ -33,7 +35,15 @@ use crate::sim::{SimConfig, Simulation};
 pub fn area(cores: u32) -> Report {
     let mut r = Report::new(
         format!("Extension — silicon area, {cores} cores (mm²)"),
-        &["architecture", "buffers", "crossbars", "transceivers", "rings (count)", "rings mm²", "total"],
+        &[
+            "architecture",
+            "buffers",
+            "crossbars",
+            "transceivers",
+            "rings (count)",
+            "rings mm²",
+            "total",
+        ],
     );
     let model = AreaModel::default();
     for topo in paper_suite(cores) {
@@ -90,8 +100,14 @@ pub fn sdm() -> Report {
         r.row(vec![
             format!(
                 "{}{}→{}{} / {}{}→{}{}",
-                a.tx_antenna, a.tx_cluster, a.rx_antenna, a.rx_cluster,
-                b.tx_antenna, b.tx_cluster, b.rx_antenna, b.rx_cluster
+                a.tx_antenna,
+                a.tx_cluster,
+                a.rx_antenna,
+                a.rx_cluster,
+                b.tx_antenna,
+                b.tx_cluster,
+                b.rx_antenna,
+                b.rx_cluster
             ),
             format!("{:.1}", report.worst_db()),
             if report.feasible() { "yes" } else { "no" }.to_string(),
@@ -140,14 +156,10 @@ pub fn reconfig(budget: Budget) -> Report {
             }
             net.step();
         }
-        let accepted = (net.stats.flits_ejected - ejected_at_start) as f64
-            / (budget.measure as f64 * 256.0);
+        let accepted =
+            (net.stats.flits_ejected - ejected_at_start) as f64 / (budget.measure as f64 * 256.0);
         let lat_snapshot = net.stats.latency.mean();
-        r.row(vec![
-            topo.name(),
-            format!("{accepted:.4}"),
-            format!("{lat_snapshot:.1}"),
-        ]);
+        r.row(vec![topo.name(), format!("{accepted:.4}"), format!("{lat_snapshot:.1}")]);
     }
     r
 }
@@ -205,8 +217,8 @@ pub fn nodes(budget: Budget) -> Report {
     let cmesh = Simulation::new(&noc_topology::CMesh::new(256), cfg).run();
     let own_r = Simulation::new(own(256).as_ref(), cfg).run();
     for tech in [TechNode::bulk45_lvt(), TechNode::bulk32_lvt(), TechNode::bulk22_lvt()] {
-        let electrical = DsentRouter { radix: 8, vcs: 4, depth: 4, flit_bits: 128, tech }
-            .calibrate();
+        let electrical =
+            DsentRouter { radix: 8, vcs: 4, depth: 4, flit_bits: 128, tech }.calibrate();
         let mut cm_model = PowerModel::new(WirelessModel::baseline(Scenario::Ideal));
         cm_model.electrical = electrical;
         let mut own_model =
@@ -417,9 +429,7 @@ mod tests {
     fn own_saving_largest_at_the_papers_node() {
         let r = nodes(Budget::quick());
         assert_eq!(r.rows.len(), 3);
-        let saving = |row: usize| -> f64 {
-            r.rows[row][3].trim_end_matches('%').parse().unwrap()
-        };
+        let saving = |row: usize| -> f64 { r.rows[row][3].trim_end_matches('%').parse().unwrap() };
         // At 45 nm (the paper's node) the saving clears the >30% headline.
         assert!(saving(0) > 30.0, "45 nm saving {}%", saving(0));
         // The advantage narrows monotonically as CMOS scales while the

@@ -39,21 +39,30 @@ pub struct Budget {
     pub measure: u64,
     /// Drain budget.
     pub drain: u64,
+    /// State-sampling interval in cycles (0 = off); see
+    /// [`SimConfig::sample_every`].
+    pub sample_every: u64,
 }
 
 impl Budget {
     /// Fast budget for tests and smoke runs (minutes for the full set).
     pub fn quick() -> Self {
-        Budget { warmup: 500, measure: 2_000, drain: 6_000 }
+        Budget { warmup: 500, measure: 2_000, drain: 6_000, sample_every: 0 }
     }
 
     /// Full budget for report-quality numbers.
     pub fn full() -> Self {
-        Budget { warmup: 5_000, measure: 20_000, drain: 60_000 }
+        Budget { warmup: 5_000, measure: 20_000, drain: 60_000, sample_every: 0 }
     }
 
     /// Lift into a [`SimConfig`] at the given load and pattern defaults.
     pub fn config(&self) -> SimConfig {
-        SimConfig { warmup: self.warmup, measure: self.measure, drain: self.drain, ..Default::default() }
+        SimConfig {
+            warmup: self.warmup,
+            measure: self.measure,
+            drain: self.drain,
+            sample_every: self.sample_every,
+            ..Default::default()
+        }
     }
 }

@@ -13,18 +13,25 @@ use crate::sweep::{latency_vs_load, saturation_throughput};
 /// Figure 7a: saturation throughput for each synthetic pattern on each
 /// 256-core topology (flits/core/cycle).
 pub fn fig7a(budget: Budget) -> Report {
-    throughput_table(256, &TrafficPattern::paper_suite(), budget, "Figure 7a — throughput, 256 cores (flits/core/cycle)")
+    throughput_table(
+        256,
+        &TrafficPattern::paper_suite(),
+        budget,
+        "Figure 7a — throughput, 256 cores (flits/core/cycle)",
+    )
 }
 
 /// Figure 8a: saturation throughput at 1024 cores for a selection of traces
 /// (the paper compares "a select few synthetic traces" at this scale).
 pub fn fig8a(budget: Budget) -> Report {
-    let patterns = [
-        TrafficPattern::Uniform,
-        TrafficPattern::BitReversal,
-        TrafficPattern::PerfectShuffle,
-    ];
-    throughput_table(1024, &patterns, budget, "Figure 8a — throughput, 1024 cores (flits/core/cycle)")
+    let patterns =
+        [TrafficPattern::Uniform, TrafficPattern::BitReversal, TrafficPattern::PerfectShuffle];
+    throughput_table(
+        1024,
+        &patterns,
+        budget,
+        "Figure 8a — throughput, 1024 cores (flits/core/cycle)",
+    )
 }
 
 fn throughput_table(
@@ -70,14 +77,14 @@ pub fn fig7bc(pattern: TrafficPattern, loads: &[f64], budget: Budget) -> Report 
         &header_refs,
     );
     let base = SimConfig { pattern, ..budget.config() };
-    let curves: Vec<Vec<crate::sweep::LoadPoint>> = suite
-        .par_iter()
-        .map(|topo| latency_vs_load(topo.as_ref(), pattern, loads, base))
-        .collect();
+    let curves: Vec<Vec<crate::sweep::LoadPoint>> =
+        suite.par_iter().map(|topo| latency_vs_load(topo.as_ref(), pattern, loads, base)).collect();
     for (i, &load) in loads.iter().enumerate() {
         let mut row = vec![format!("{load:.3}")];
         for curve in &curves {
-            row.push(format!("{:.1}", curve[i].avg_latency));
+            // A trailing `*` marks a saturated point (see LoadPoint::saturated).
+            let mark = if curve[i].saturated { "*" } else { "" };
+            row.push(format!("{:.1}{mark}", curve[i].avg_latency));
         }
         r.row(row);
     }
@@ -96,7 +103,7 @@ mod tests {
 
     #[test]
     fn fig7a_all_cells_positive() {
-        let r = fig7a(Budget { warmup: 300, measure: 800, drain: 0 });
+        let r = fig7a(Budget { warmup: 300, measure: 800, drain: 0, sample_every: 0 });
         assert_eq!(r.rows.len(), 5);
         for row in &r.rows {
             for cell in &row[1..] {
@@ -113,12 +120,13 @@ mod tests {
         let r = fig7bc(
             TrafficPattern::Uniform,
             &[0.01, 0.05],
-            Budget { warmup: 300, measure: 1_000, drain: 4_000 },
+            Budget { warmup: 300, measure: 1_000, drain: 4_000, sample_every: 0 },
         );
         assert_eq!(r.rows.len(), 2);
         for col in 1..r.header.len() {
-            let low: f64 = r.rows[0][col].parse().unwrap();
-            let high: f64 = r.rows[1][col].parse().unwrap();
+            // Cells may carry a trailing `*` saturation marker.
+            let low: f64 = r.rows[0][col].trim_end_matches('*').parse().unwrap();
+            let high: f64 = r.rows[1][col].trim_end_matches('*').parse().unwrap();
             assert!(low > 0.0);
             assert!(high >= 0.8 * low, "latency collapsed at load: {low} -> {high}");
         }

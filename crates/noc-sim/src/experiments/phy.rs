@@ -27,10 +27,7 @@ pub fn fig3() -> Report {
 /// PA gain and compression, LNA gain.
 pub fn fig4() -> Vec<Report> {
     let osc = ColpittOscillator::default();
-    let mut a = Report::new(
-        "Figure 4a — Colpitt oscillator (90 GHz)",
-        &["quantity", "value"],
-    );
+    let mut a = Report::new("Figure 4a — Colpitt oscillator (90 GHz)", &["quantity", "value"]);
     a.row(vec!["oscillation frequency (GHz)".into(), format!("{:.1}", osc.frequency_hz() / 1e9)]);
     a.row(vec![
         "phase noise @ 1 MHz (dBc/Hz)".into(),
@@ -43,10 +40,7 @@ pub fn fig4() -> Vec<Report> {
     a.row(vec!["DC power (mW)".into(), format!("{:.1}", osc.dc_power_w * 1e3)]);
 
     let pa = ClassAbPa::default();
-    let mut b = Report::new(
-        "Figure 4b — class-AB PA",
-        &["quantity", "value"],
-    );
+    let mut b = Report::new("Figure 4b — class-AB PA", &["quantity", "value"]);
     b.row(vec!["peak gain (dB)".into(), format!("{:.1}", pa.gain_db(90.0))]);
     b.row(vec!["bandwidth @ 2 dB gain (GHz)".into(), format!("{:.1}", pa.bandwidth_ghz(2.0))]);
     b.row(vec!["P1dB (dBm)".into(), format!("{:.1}", pa.p1db_dbm())]);
@@ -54,10 +48,7 @@ pub fn fig4() -> Vec<Report> {
     b.row(vec!["DC power (mW)".into(), format!("{:.1}", pa.dc_power_w * 1e3)]);
 
     let lna = Lna::default();
-    let mut c = Report::new(
-        "Figure 4c — wideband cascode LNA",
-        &["frequency (GHz)", "gain (dB)"],
-    );
+    let mut c = Report::new("Figure 4c — wideband cascode LNA", &["frequency (GHz)", "gain (dB)"]);
     for f in [70.0, 80.0, 90.0, 100.0, 110.0] {
         c.row(vec![format!("{f:.0}"), format!("{:.1}", lna.gain_db(f))]);
     }

@@ -1,7 +1,7 @@
 //! Figures 5, 6 and 8b: power experiments.
 
 use noc_power::{NetworkPower, PowerModel, Scenario, WinocConfig, WirelessModel};
-use noc_topology::{paper_suite, own, Topology};
+use noc_topology::{own, paper_suite, Topology};
 use noc_traffic::TrafficPattern;
 
 use crate::experiments::Budget;
@@ -62,9 +62,13 @@ pub fn fig5(budget: Budget) -> Report {
 }
 
 /// Price one topology's uniform-traffic run (used by fig6/fig8b).
-fn breakdown(topo: &dyn Topology, budget: Budget, scenario: Scenario, config: WinocConfig, rate: f64)
-    -> (String, NetworkPower)
-{
+fn breakdown(
+    topo: &dyn Topology,
+    budget: Budget,
+    scenario: Scenario,
+    config: WinocConfig,
+    rate: f64,
+) -> (String, NetworkPower) {
     let result = run_uniform(topo, budget, rate);
     let model = model_for(&result.name, scenario, config);
     let p = model.price(&result.net, result.cycles);
@@ -84,7 +88,8 @@ pub fn fig6(budget: Budget) -> Report {
         if topo.name().starts_with("OWN") {
             continue;
         }
-        let (name, p) = breakdown(topo.as_ref(), budget, scenario, WinocConfig::Config4, POWER_LOAD);
+        let (name, p) =
+            breakdown(topo.as_ref(), budget, scenario, WinocConfig::Config4, POWER_LOAD);
         r.row(power_row(name, p));
     }
     // OWN under each configuration: one simulation, four pricings.
@@ -138,9 +143,7 @@ mod tests {
         // §V-B: configs 1 and 3 (SiGe on long range) consume significantly
         // more; config 4 is cheapest under scenario 1.
         let r = fig5(Budget::quick());
-        let w = |cfg: &str, col: usize| -> f64 {
-            r.find(cfg).unwrap()[col].parse().unwrap()
-        };
+        let w = |cfg: &str, col: usize| -> f64 { r.find(cfg).unwrap()[col].parse().unwrap() };
         for col in [1, 2] {
             assert!(w("Configuration 1", col) > w("Configuration 2", col));
             assert!(w("Configuration 1", col) > w("Configuration 4", col));

@@ -1,8 +1,8 @@
 //! Tables I–IV: static architecture and technology tables.
 
+use noc_core::DistanceClass;
 use noc_power::{band_plan, Scenario, WinocConfig};
 use noc_topology::channels::ChannelAllocation;
-use noc_core::DistanceClass;
 
 use crate::report::Report;
 

@@ -21,12 +21,14 @@ pub mod analysis;
 pub mod chart;
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 pub mod sim;
 pub mod spec;
 pub mod sweep;
 
-pub use metrics::SimResult;
+pub use metrics::{EngineProfile, SimResult};
+pub use obs::{RingRecorder, Sample, SampleSeries};
 pub use report::Report;
 pub use sim::{SimConfig, Simulation};
 pub use spec::SimSpec;

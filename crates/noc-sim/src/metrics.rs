@@ -2,7 +2,27 @@
 
 use noc_core::Network;
 
+use crate::analysis::{distribution, LoadDistribution};
+use crate::obs::SampleSeries;
 use crate::sim::SimConfig;
+
+/// Wall-clock engine profile of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineProfile {
+    /// Wall-clock seconds spent in the warm-up phase.
+    pub warmup_secs: f64,
+    /// Wall-clock seconds spent in the measurement window.
+    pub measure_secs: f64,
+    /// Wall-clock seconds spent draining.
+    pub drain_secs: f64,
+    /// Total wall-clock seconds (sum of the phases).
+    pub total_secs: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Engine events (buffer writes + crossbar traversals) per wall-clock
+    /// second — the engine's useful-work rate, load-independent-ish.
+    pub events_per_sec: f64,
+}
 
 /// The result of one simulation run, including the network itself so the
 /// power models can price the recorded activity.
@@ -34,10 +54,22 @@ pub struct SimResult {
     pub net: Network,
     /// The configuration that produced this result.
     pub cfg: SimConfig,
+    /// Wall-clock engine profile (always collected; costs three clock
+    /// reads per run).
+    pub profile: EngineProfile,
+    /// Periodic state samples, when `cfg.sample_every > 0`.
+    pub series: Option<SampleSeries>,
 }
 
 impl SimResult {
-    pub(crate) fn collect(name: String, net: Network, cfg: SimConfig, throughput: f64) -> Self {
+    pub(crate) fn collect(
+        name: String,
+        net: Network,
+        cfg: SimConfig,
+        throughput: f64,
+        profile: EngineProfile,
+        series: Option<SampleSeries>,
+    ) -> Self {
         let lat = &net.stats.latency;
         SimResult {
             name,
@@ -53,6 +85,8 @@ impl SimResult {
             cycles: net.now,
             net,
             cfg,
+            profile,
+            series,
         }
     }
 
@@ -62,6 +96,23 @@ impl SimResult {
             return 1.0;
         }
         self.throughput / self.offered
+    }
+
+    /// Distribution of delivered packets across destination cores — a
+    /// receiver-side fairness metric (`gini` near 0 under symmetric
+    /// traffic; a high `hotspot_factor` flags starved or flooded cores).
+    pub fn delivery_fairness(&self) -> LoadDistribution {
+        distribution(&self.net.stats.per_core_packets)
+    }
+
+    /// Whether the run saturated: the time series says the source backlog
+    /// grew without bound, or (without sampling) less than 90% of the
+    /// offered load was accepted.
+    pub fn saturated(&self) -> bool {
+        match &self.series {
+            Some(series) => series.saturated() || self.acceptance() < 0.90,
+            None => self.acceptance() < 0.90,
+        }
     }
 }
 
@@ -73,7 +124,13 @@ mod tests {
 
     #[test]
     fn percentiles_ordered() {
-        let cfg = SimConfig { rate: 0.03, warmup: 200, measure: 1_000, drain: 4_000, ..Default::default() };
+        let cfg = SimConfig {
+            rate: 0.03,
+            warmup: 200,
+            measure: 1_000,
+            drain: 4_000,
+            ..Default::default()
+        };
         let r = Simulation::new(&CMesh::new(64), cfg).run();
         assert!(r.p50_latency as f64 <= r.p99_latency as f64 + f64::EPSILON);
         assert!(r.p99_latency <= r.max_latency + r.net.stats.latency.bucket_width);
@@ -82,7 +139,13 @@ mod tests {
 
     #[test]
     fn latency_decomposes_into_queue_plus_network() {
-        let cfg = SimConfig { rate: 0.03, warmup: 200, measure: 1_000, drain: 4_000, ..Default::default() };
+        let cfg = SimConfig {
+            rate: 0.03,
+            warmup: 200,
+            measure: 1_000,
+            drain: 4_000,
+            ..Default::default()
+        };
         let r = Simulation::new(&CMesh::new(64), cfg).run();
         let sum = r.avg_queue_delay + r.avg_network_latency;
         assert!(
@@ -97,7 +160,13 @@ mod tests {
 
     #[test]
     fn acceptance_near_one_below_saturation() {
-        let cfg = SimConfig { rate: 0.02, warmup: 300, measure: 1_500, drain: 5_000, ..Default::default() };
+        let cfg = SimConfig {
+            rate: 0.02,
+            warmup: 300,
+            measure: 1_500,
+            drain: 5_000,
+            ..Default::default()
+        };
         let r = Simulation::new(&CMesh::new(64), cfg).run();
         assert!((0.8..=1.2).contains(&r.acceptance()), "acceptance {}", r.acceptance());
     }

@@ -1,0 +1,293 @@
+//! Event export: Chrome trace format and JSONL.
+//!
+//! Both exporters emit JSON by hand — every field is a number or a fixed
+//! ASCII name, so no serialization framework is required and the output is
+//! byte-stable across runs.
+//!
+//! The Chrome trace (load into `chrome://tracing` or
+//! <https://ui.perfetto.dev>) maps one simulation cycle to one microsecond
+//! and groups events into synthetic processes:
+//!
+//! | pid | rows (`tid`) | content |
+//! |---|---|---|
+//! | 1 | source core | packet offered/injected/ejected/delivered (instants) |
+//! | 2 | channel id | flit flight spans (send → arrival) |
+//! | 3 | bus id | flit serialization spans on the shared medium |
+//! | 4 | bus id | token-wait spans, grant instants, busy/idle edges |
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use noc_core::obs::NocEvent;
+
+const PID_PACKETS: u32 = 1;
+const PID_CHANNELS: u32 = 2;
+const PID_BUSES: u32 = 3;
+const PID_TOKENS: u32 = 4;
+
+/// Render events as a complete Chrome-trace JSON document.
+pub fn chrome_trace(events: &[NocEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in [
+        (PID_PACKETS, "packets"),
+        (PID_CHANNELS, "channels"),
+        (PID_BUSES, "buses"),
+        (PID_TOKENS, "tokens"),
+    ] {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        chrome_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn chrome_event(out: &mut String, ev: &NocEvent) {
+    match *ev {
+        NocEvent::PacketOffered { at, packet, src, dst, len } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"offer\",\"cat\":\"packet\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{src},\
+                 \"args\":{{\"packet\":{packet},\"dst\":{dst},\"len\":{len}}}}}"
+            );
+        }
+        NocEvent::PacketInjected { at, packet, src } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"inject\",\"cat\":\"packet\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{src},\
+                 \"args\":{{\"packet\":{packet}}}}}"
+            );
+        }
+        NocEvent::FlitChannel { at, channel, packet, seq, arrives } => {
+            let dur = arrives - at;
+            let _ = write!(
+                out,
+                "{{\"name\":\"flit\",\"cat\":\"channel\",\"ph\":\"X\",\
+                 \"ts\":{at},\"dur\":{dur},\"pid\":{PID_CHANNELS},\"tid\":{channel},\
+                 \"args\":{{\"packet\":{packet},\"seq\":{seq}}}}}"
+            );
+        }
+        NocEvent::FlitBus { at, bus, writer, reader, packet, seq, busy_until } => {
+            let dur = busy_until - at;
+            let _ = write!(
+                out,
+                "{{\"name\":\"flit\",\"cat\":\"bus\",\"ph\":\"X\",\
+                 \"ts\":{at},\"dur\":{dur},\"pid\":{PID_BUSES},\"tid\":{bus},\
+                 \"args\":{{\"packet\":{packet},\"seq\":{seq},\
+                 \"writer\":{writer},\"reader\":{reader}}}}}"
+            );
+        }
+        NocEvent::FlitEjected { at, core, packet, seq } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"eject\",\"cat\":\"packet\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{core},\
+                 \"args\":{{\"packet\":{packet},\"seq\":{seq}}}}}"
+            );
+        }
+        NocEvent::PacketDelivered { at, packet, dst, latency } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"deliver\",\"cat\":\"packet\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{dst},\
+                 \"args\":{{\"packet\":{packet},\"latency\":{latency}}}}}"
+            );
+        }
+        NocEvent::TokenGranted { at, bus, writer, waited } => {
+            // Render the wait itself as a span ending at the grant, so
+            // arbitration pressure is visible as solid bars.
+            let ts = at - waited;
+            let _ = write!(
+                out,
+                "{{\"name\":\"token-wait\",\"cat\":\"token\",\"ph\":\"X\",\
+                 \"ts\":{ts},\"dur\":{waited},\"pid\":{PID_TOKENS},\"tid\":{bus},\
+                 \"args\":{{\"writer\":{writer},\"waited\":{waited}}}}}"
+            );
+        }
+        NocEvent::BusBusy { at, bus, until } => {
+            let dur = until - at;
+            let _ = write!(
+                out,
+                "{{\"name\":\"busy\",\"cat\":\"medium\",\"ph\":\"X\",\
+                 \"ts\":{at},\"dur\":{dur},\"pid\":{PID_TOKENS},\"tid\":{bus},\
+                 \"args\":{{}}}}"
+            );
+        }
+        NocEvent::BusIdle { at, bus } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"idle\",\"cat\":\"medium\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_TOKENS},\"tid\":{bus},\"args\":{{}}}}"
+            );
+        }
+    }
+}
+
+/// Render events as JSONL: one self-describing JSON object per line, in
+/// event order. Suited to `jq`-style post-processing.
+pub fn jsonl(events: &[NocEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for ev in events {
+        jsonl_event(&mut out, ev);
+        out.push('\n');
+    }
+    out
+}
+
+fn jsonl_event(out: &mut String, ev: &NocEvent) {
+    let kind = ev.kind().name();
+    match *ev {
+        NocEvent::PacketOffered { at, packet, src, dst, len } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"packet\":{packet},\
+                 \"src\":{src},\"dst\":{dst},\"len\":{len}}}"
+            );
+        }
+        NocEvent::PacketInjected { at, packet, src } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"packet\":{packet},\"src\":{src}}}"
+            );
+        }
+        NocEvent::FlitChannel { at, channel, packet, seq, arrives } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"channel\":{channel},\
+                 \"packet\":{packet},\"seq\":{seq},\"arrives\":{arrives}}}"
+            );
+        }
+        NocEvent::FlitBus { at, bus, writer, reader, packet, seq, busy_until } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"bus\":{bus},\"writer\":{writer},\
+                 \"reader\":{reader},\"packet\":{packet},\"seq\":{seq},\
+                 \"busy_until\":{busy_until}}}"
+            );
+        }
+        NocEvent::FlitEjected { at, core, packet, seq } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"core\":{core},\
+                 \"packet\":{packet},\"seq\":{seq}}}"
+            );
+        }
+        NocEvent::PacketDelivered { at, packet, dst, latency } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"packet\":{packet},\
+                 \"dst\":{dst},\"latency\":{latency}}}"
+            );
+        }
+        NocEvent::TokenGranted { at, bus, writer, waited } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"bus\":{bus},\
+                 \"writer\":{writer},\"waited\":{waited}}}"
+            );
+        }
+        NocEvent::BusBusy { at, bus, until } => {
+            let _ =
+                write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"bus\":{bus},\"until\":{until}}}");
+        }
+        NocEvent::BusIdle { at, bus } => {
+            let _ = write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"bus\":{bus}}}");
+        }
+    }
+}
+
+/// Write a Chrome trace for `events` to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[NocEvent]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace(events))
+}
+
+/// Write JSONL for `events` to `path`.
+pub fn write_jsonl(path: &Path, events: &[NocEvent]) -> io::Result<()> {
+    std::fs::write(path, jsonl(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<NocEvent> {
+        vec![
+            NocEvent::PacketOffered { at: 0, packet: 7, src: 1, dst: 2, len: 4 },
+            NocEvent::PacketInjected { at: 2, packet: 7, src: 1 },
+            NocEvent::FlitChannel { at: 5, channel: 3, packet: 7, seq: 0, arrives: 9 },
+            NocEvent::FlitBus {
+                at: 6,
+                bus: 0,
+                writer: 2,
+                reader: 0,
+                packet: 7,
+                seq: 0,
+                busy_until: 8,
+            },
+            NocEvent::TokenGranted { at: 6, bus: 0, writer: 2, waited: 4 },
+            NocEvent::BusBusy { at: 6, bus: 0, until: 8 },
+            NocEvent::BusIdle { at: 8, bus: 0 },
+            NocEvent::FlitEjected { at: 12, core: 2, packet: 7, seq: 3 },
+            NocEvent::PacketDelivered { at: 13, packet: 7, dst: 2, latency: 13 },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_rows() {
+        let s = chrome_trace(&sample_events());
+        let v: serde_json::Value = s.parse().expect("chrome trace must parse as JSON");
+        let evs = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+        // 4 process metadata records + 9 events.
+        assert_eq!(evs.len(), 13);
+        let token_wait = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("token-wait"))
+            .expect("token-wait span present");
+        assert_eq!(
+            token_wait.get("ts").and_then(|t| t.as_u64()),
+            Some(2),
+            "grant at 6 minus wait 4"
+        );
+        assert_eq!(token_wait.get("dur").and_then(|t| t.as_u64()), Some(4));
+        assert!(evs.iter().any(|e| e.get("cat").and_then(|c| c.as_str()) == Some("channel")));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_tag_kind() {
+        let s = jsonl(&sample_events());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 9);
+        for line in &lines {
+            let v: serde_json::Value = line.parse().expect("each JSONL line parses");
+            assert!(v.get("kind").and_then(|k| k.as_str()).is_some());
+            assert!(v.get("at").and_then(|a| a.as_u64()).is_some());
+        }
+        assert!(lines[4].contains("\"kind\":\"token_granted\""));
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let s = chrome_trace(&[]);
+        let v: serde_json::Value = s.parse().unwrap();
+        assert_eq!(v.get("traceEvents").and_then(|e| e.as_array()).map(|a| a.len()), Some(4));
+        assert_eq!(jsonl(&[]), "");
+    }
+}

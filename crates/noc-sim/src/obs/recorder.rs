@@ -1,0 +1,120 @@
+//! Bounded ring-buffer event recorder.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use noc_core::obs::{NocEvent, Observer};
+use noc_core::Network;
+
+/// An [`Observer`] that keeps the most recent `capacity` events in a ring
+/// buffer. When full, the oldest event is evicted and counted in
+/// [`RingRecorder::dropped`] — long runs keep the interesting tail instead
+/// of an unbounded allocation.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<NocEvent>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder holding at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "RingRecorder capacity must be >= 1");
+        RingRecorder { capacity, buf: VecDeque::with_capacity(capacity.min(1 << 16)), dropped: 0 }
+    }
+
+    /// Detach the observer from `net` and downcast it back to a recorder.
+    /// Returns `None` when no observer is attached or it is a different
+    /// concrete type (the observer is consumed either way).
+    pub fn take_from(net: &mut Network) -> Option<Box<RingRecorder>> {
+        net.take_observer()?.into_any().downcast::<RingRecorder>().ok()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room (total seen = `len() + dropped()`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &NocEvent> {
+        self.buf.iter()
+    }
+
+    /// Copy the retained events out, oldest first.
+    pub fn to_vec(&self) -> Vec<NocEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Consume the recorder, yielding the retained events oldest first.
+    pub fn into_events(self) -> Vec<NocEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl Observer for RingRecorder {
+    fn on_event(&mut self, ev: &NocEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> NocEvent {
+        NocEvent::PacketOffered { at, packet: at, src: 0, dst: 1, len: 1 }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_events() {
+        let mut r = RingRecorder::new(4);
+        for i in 0..10 {
+            r.on_event(&ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let kept: Vec<u64> = r.iter().map(|e| e.at()).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "newest events survive, oldest first");
+        assert_eq!(r.into_events().len(), 4);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = RingRecorder::new(8);
+        for i in 0..5 {
+            r.on_event(&ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_vec().first().unwrap().at(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = RingRecorder::new(0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Periodic time-series sampling of network state.
+//!
+//! A [`SampleSeries`] is fed a [`Network`] reference every `interval`
+//! cycles (the simulation driver does this when
+//! [`crate::SimConfig::sample_every`] is nonzero) and derives per-interval
+//! deltas from the engine's cumulative counters: injection/ejection rates,
+//! channel and bus utilization, queue depths. Two detectors run over the
+//! finished series:
+//!
+//! * [`SampleSeries::convergence_cycle`] — when the in-flight flit
+//!   population stops drifting (the network has warmed up); useful for
+//!   checking that a configured warm-up window was long enough.
+//! * [`SampleSeries::saturation_onset`] — when source queues start growing
+//!   without bound (offered load exceeds capacity); drives the per-point
+//!   saturation annotations on load sweeps.
+
+use noc_core::Network;
+
+/// State captured at one sample point. Rates and utilizations cover the
+/// interval since the previous sample (or cycle 0 for the first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Flits in flight inside the network.
+    pub in_flight: u64,
+    /// Packets queued at source NICs (network-wide).
+    pub backlog: u64,
+    /// Deepest single source queue.
+    pub max_nic_backlog: u64,
+    /// Flits injected during the interval.
+    pub injected: u64,
+    /// Flits ejected during the interval.
+    pub ejected: u64,
+    /// Fraction of channel-cycles spent transmitting during the interval
+    /// (serialization-weighted; 1.0 = every channel always busy).
+    pub channel_util: f64,
+    /// Same for shared buses.
+    pub bus_util: f64,
+    /// Buses whose medium was occupied at the sample instant.
+    pub busy_buses: u64,
+}
+
+/// A growing series of [`Sample`]s plus the cursor state needed to turn
+/// cumulative engine counters into per-interval deltas.
+#[derive(Debug, Clone)]
+pub struct SampleSeries {
+    /// Nominal sampling interval in cycles.
+    pub interval: u64,
+    /// Samples in capture order.
+    pub samples: Vec<Sample>,
+    cores: usize,
+    prev_cycle: u64,
+    prev_injected: u64,
+    prev_ejected: u64,
+    prev_channel_work: u64,
+    prev_bus_work: u64,
+}
+
+impl SampleSeries {
+    /// A series sampling every `interval` cycles (`interval >= 1`).
+    pub fn new(interval: u64) -> Self {
+        assert!(interval >= 1, "sample interval must be >= 1 cycle");
+        SampleSeries {
+            interval,
+            samples: Vec::new(),
+            cores: 0,
+            prev_cycle: 0,
+            prev_injected: 0,
+            prev_ejected: 0,
+            prev_channel_work: 0,
+            prev_bus_work: 0,
+        }
+    }
+
+    /// Capture one sample at the network's current cycle. Idempotent per
+    /// cycle: a repeated call at the same cycle is ignored, so the driver
+    /// can unconditionally take a final sample at the end of a run.
+    pub fn record(&mut self, net: &Network) {
+        let now = net.now;
+        if self.samples.last().is_some_and(|s| s.cycle == now) {
+            return;
+        }
+        self.cores = net.num_cores();
+        let span = now.saturating_sub(self.prev_cycle).max(1);
+        // Serialization-weighted cumulative work per medium class.
+        let channel_work: u64 = net
+            .channels()
+            .iter()
+            .zip(&net.stats.channel_flits)
+            .map(|(c, &f)| f * u64::from(c.ser_cycles))
+            .sum();
+        let bus_work: u64 = net
+            .buses()
+            .iter()
+            .zip(&net.stats.bus_flits)
+            .map(|(b, &f)| f * u64::from(b.ser_cycles))
+            .sum();
+        let n_channels = net.channels().len() as u64;
+        let n_buses = net.buses().len() as u64;
+        let util = |work: u64, prev: u64, n: u64| {
+            if n == 0 {
+                0.0
+            } else {
+                (work - prev) as f64 / (span * n) as f64
+            }
+        };
+        self.samples.push(Sample {
+            cycle: now,
+            in_flight: net.stats.flits_in_network(),
+            backlog: net.source_backlog() as u64,
+            max_nic_backlog: net.max_source_backlog() as u64,
+            injected: net.stats.flits_injected - self.prev_injected,
+            ejected: net.stats.flits_ejected - self.prev_ejected,
+            channel_util: util(channel_work, self.prev_channel_work, n_channels),
+            bus_util: util(bus_work, self.prev_bus_work, n_buses),
+            busy_buses: net.buses().iter().filter(|b| b.is_busy(now)).count() as u64,
+        });
+        self.prev_cycle = now;
+        self.prev_injected = net.stats.flits_injected;
+        self.prev_ejected = net.stats.flits_ejected;
+        self.prev_channel_work = channel_work;
+        self.prev_bus_work = bus_work;
+    }
+
+    /// First cycle at which the in-flight flit population stopped drifting:
+    /// consecutive 3-sample means within 10% (or ±2 flits) of each other.
+    /// `None` when the series is too short or never settles.
+    pub fn convergence_cycle(&self) -> Option<u64> {
+        const WINDOW: usize = 3;
+        if self.samples.len() < WINDOW + 1 {
+            return None;
+        }
+        let mean = |i: usize| {
+            self.samples[i..i + WINDOW].iter().map(|s| s.in_flight as f64).sum::<f64>()
+                / WINDOW as f64
+        };
+        for i in 1..=self.samples.len() - WINDOW {
+            let prev = mean(i - 1);
+            let cur = mean(i);
+            if (cur - prev).abs() <= (0.10 * prev).max(2.0) {
+                return Some(self.samples[i + WINDOW - 1].cycle);
+            }
+        }
+        None
+    }
+
+    /// Start of unbounded source-queue growth, or `None` when the network
+    /// keeps up with the offered load. Returns the cycle of the earliest
+    /// sample of the final monotone-growth stretch, provided the backlog
+    /// grew by at least `max(cores/8, 8)` packets over that stretch.
+    pub fn saturation_onset(&self) -> Option<u64> {
+        let s = &self.samples;
+        if s.len() < 2 {
+            return None;
+        }
+        let mut j = s.len() - 1;
+        while j > 0 && s[j - 1].backlog <= s[j].backlog {
+            j -= 1;
+        }
+        let growth = s[s.len() - 1].backlog.saturating_sub(s[j].backlog);
+        let threshold = (self.cores as u64 / 8).max(8);
+        (growth >= threshold).then(|| s[j].cycle)
+    }
+
+    /// Whether the run saturated (see [`SampleSeries::saturation_onset`]).
+    pub fn saturated(&self) -> bool {
+        self.saturation_onset().is_some()
+    }
+
+    /// Render the series as CSV (header + one row per sample).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "cycle,in_flight,backlog,max_nic_backlog,injected,ejected,channel_util,bus_util,busy_buses\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.4},{:.4},{}\n",
+                s.cycle,
+                s.in_flight,
+                s.backlog,
+                s.max_nic_backlog,
+                s.injected,
+                s.ejected,
+                s.channel_util,
+                s.bus_util,
+                s.busy_buses,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(interval: u64, in_flight: &[u64], backlog: &[u64]) -> SampleSeries {
+        assert_eq!(in_flight.len(), backlog.len());
+        let mut s = SampleSeries::new(interval);
+        s.cores = 64;
+        for (i, (&f, &b)) in in_flight.iter().zip(backlog).enumerate() {
+            s.samples.push(Sample {
+                cycle: (i as u64 + 1) * interval,
+                in_flight: f,
+                backlog: b,
+                max_nic_backlog: b,
+                injected: 0,
+                ejected: 0,
+                channel_util: 0.0,
+                bus_util: 0.0,
+                busy_buses: 0,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn convergence_found_once_population_settles() {
+        let s = synthetic(100, &[10, 40, 80, 120, 124, 126, 125, 124, 126], &[0; 9]);
+        let c = s.convergence_cycle().expect("series settles");
+        // The ramp (10→120) keeps window means apart; settling begins
+        // within the plateau.
+        assert!((400..=800).contains(&c), "converged at {c}");
+    }
+
+    #[test]
+    fn convergence_none_when_still_ramping() {
+        let s = synthetic(50, &[10, 30, 60, 100, 150, 220], &[0; 6]);
+        assert_eq!(s.convergence_cycle(), None);
+    }
+
+    #[test]
+    fn saturation_detected_on_monotone_backlog_growth() {
+        let s = synthetic(100, &[0; 8], &[0, 2, 1, 10, 40, 90, 160, 250]);
+        // Growth stretch starts at the sample with backlog 1 (index 2).
+        assert_eq!(s.saturation_onset(), Some(300));
+        assert!(s.saturated());
+    }
+
+    #[test]
+    fn no_saturation_when_backlog_bounded() {
+        let s = synthetic(100, &[0; 6], &[3, 5, 2, 6, 4, 5]);
+        assert_eq!(s.saturation_onset(), None);
+        assert!(!s.saturated());
+    }
+
+    #[test]
+    fn record_is_idempotent_per_cycle() {
+        use noc_topology::Topology;
+        let net = noc_topology::CMesh::new(64).build(noc_core::RouterConfig::default());
+        let mut s = SampleSeries::new(10);
+        s.record(&net);
+        s.record(&net);
+        assert_eq!(s.samples.len(), 1, "same-cycle re-record ignored");
+        assert_eq!(s.samples[0].cycle, 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = synthetic(10, &[1, 2], &[0, 0]);
+        let csv = s.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("cycle,"));
+    }
+}

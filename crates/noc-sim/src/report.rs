@@ -37,12 +37,15 @@ impl Report {
     }
 
     /// Parse cell `(row, col)` as f64 (panics on malformed cells — reports
-    /// are produced by our own code).
+    /// are produced by our own code). Tolerates a trailing `*` saturation
+    /// marker on latency cells.
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
-        self.rows[row][col]
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) of '{}' is not numeric: {:?}", self.title, self.rows[row][col]))
+        self.rows[row][col].trim().trim_end_matches('*').parse().unwrap_or_else(|_| {
+            panic!(
+                "cell ({row},{col}) of '{}' is not numeric: {:?}",
+                self.title, self.rows[row][col]
+            )
+        })
     }
 
     /// Render as an aligned text table.

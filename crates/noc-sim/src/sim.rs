@@ -6,11 +6,15 @@
 //! window's packets finish; bounded). Seeds are explicit, so every result
 //! is reproducible.
 
+use std::time::Instant;
+
+use noc_core::obs::Observer;
 use noc_core::{Network, RouterConfig};
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
-use crate::metrics::SimResult;
+use crate::metrics::{EngineProfile, SimResult};
+use crate::obs::SampleSeries;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +36,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Router microarchitecture.
     pub router: RouterConfig,
+    /// Capture a state [`Sample`](crate::obs::Sample) every this many
+    /// cycles (0 = sampling off). Sampling reads counters the engine
+    /// maintains anyway, so it never changes simulation results.
+    pub sample_every: u64,
 }
 
 impl Default for SimConfig {
@@ -45,6 +53,7 @@ impl Default for SimConfig {
             drain: 30_000,
             seed: 0x0517_2018, // IPDPS 2018
             router: RouterConfig::default(),
+            sample_every: 0,
         }
     }
 }
@@ -67,31 +76,89 @@ impl Simulation {
         Simulation { net, injector, cfg, name: topo.name(), cores }
     }
 
+    /// Attach an engine event observer (e.g. a
+    /// [`RingRecorder`](crate::obs::RingRecorder)); recover it from
+    /// `SimResult::net` after the run via `Network::take_observer`.
+    pub fn attach_observer(&mut self, obs: Box<dyn Observer>) {
+        self.net.set_observer(obs);
+    }
+
+    /// Builder-style [`Simulation::attach_observer`].
+    pub fn with_observer(mut self, obs: Box<dyn Observer>) -> Self {
+        self.attach_observer(obs);
+        self
+    }
+
     /// Run warm-up, measurement and drain; return the metrics.
     pub fn run(mut self) -> SimResult {
         let cfg = self.cfg;
+        let mut series = (cfg.sample_every > 0).then(|| SampleSeries::new(cfg.sample_every));
         // Warm-up.
-        self.injector.drive(&mut self.net, cfg.warmup);
+        let t0 = Instant::now();
+        self.run_cycles(cfg.warmup, &mut series);
+        let warmup_secs = t0.elapsed().as_secs_f64();
         // Measurement window.
         let window_start = self.net.now;
         self.net.stats.measure_from = window_start;
         self.net.stats.measure_until = window_start + cfg.measure;
         let ejected_at_start = self.net.stats.flits_ejected;
-        self.injector.drive(&mut self.net, cfg.measure);
+        let t1 = Instant::now();
+        self.run_cycles(cfg.measure, &mut series);
+        let measure_secs = t1.elapsed().as_secs_f64();
         let ejected_at_end = self.net.stats.flits_ejected;
         // Drain: keep offering traffic (steady state) until the window's
         // packets are delivered or the budget runs out.
-        let offered_in_window = self.net.stats.latency.count; // delivered so far
-        let _ = offered_in_window;
+        let t2 = Instant::now();
         let mut drained = 0;
         while drained < cfg.drain && self.window_packets_outstanding() {
             self.injector.offer(&mut self.net);
             self.net.step();
             drained += 1;
+            if let Some(s) = series.as_mut() {
+                if self.net.now.is_multiple_of(s.interval) {
+                    s.record(&self.net);
+                }
+            }
+        }
+        let drain_secs = t2.elapsed().as_secs_f64();
+        if let Some(s) = series.as_mut() {
+            // Close the series exactly at the final cycle, even when the
+            // run length is not a multiple of the interval.
+            s.record(&self.net);
         }
         let throughput =
             (ejected_at_end - ejected_at_start) as f64 / (cfg.measure as f64 * self.cores as f64);
-        SimResult::collect(self.name, self.net, cfg, throughput)
+        let total_secs = warmup_secs + measure_secs + drain_secs;
+        let events: u64 = self.net.stats.buffer_writes.iter().sum::<u64>()
+            + self.net.stats.router_traversals.iter().sum::<u64>();
+        let profile = EngineProfile {
+            warmup_secs,
+            measure_secs,
+            drain_secs,
+            total_secs,
+            cycles_per_sec: if total_secs > 0.0 { self.net.now as f64 / total_secs } else { 0.0 },
+            events_per_sec: if total_secs > 0.0 { events as f64 / total_secs } else { 0.0 },
+        };
+        SimResult::collect(self.name, self.net, cfg, throughput, profile, series)
+    }
+
+    /// Advance `n` cycles, offering traffic each cycle and sampling on
+    /// interval boundaries. Without sampling this is exactly
+    /// `BernoulliInjector::drive`; with sampling the per-cycle sequence is
+    /// identical (offer, then step), so results match bit for bit.
+    fn run_cycles(&mut self, n: u64, series: &mut Option<SampleSeries>) {
+        match series {
+            None => self.injector.drive(&mut self.net, n),
+            Some(s) => {
+                for _ in 0..n {
+                    self.injector.offer(&mut self.net);
+                    self.net.step();
+                    if self.net.now.is_multiple_of(s.interval) {
+                        s.record(&self.net);
+                    }
+                }
+            }
+        }
     }
 
     /// Heuristic: outstanding window packets exist while the in-network flit
@@ -128,7 +195,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SimConfig { rate: 0.03, warmup: 100, measure: 500, drain: 2_000, ..Default::default() };
+        let cfg =
+            SimConfig { rate: 0.03, warmup: 100, measure: 500, drain: 2_000, ..Default::default() };
         let a = Simulation::new(&CMesh::new(64), cfg).run();
         let b = Simulation::new(&CMesh::new(64), cfg).run();
         assert_eq!(a.avg_latency, b.avg_latency);
@@ -137,13 +205,8 @@ mod tests {
 
     #[test]
     fn saturating_load_caps_throughput() {
-        let cfg = SimConfig {
-            rate: 1.0,
-            warmup: 500,
-            measure: 2_000,
-            drain: 0,
-            ..Default::default()
-        };
+        let cfg =
+            SimConfig { rate: 1.0, warmup: 500, measure: 2_000, drain: 0, ..Default::default() };
         let r = Simulation::new(&CMesh::new(64), cfg).run();
         // Accepted throughput must be well below the offered 1.0.
         assert!(r.throughput < 0.8, "throughput {}", r.throughput);

@@ -30,7 +30,7 @@
 
 use noc_core::RouterConfig;
 use noc_topology::{
-    AntennaPlacement, CMesh, OptXb, Own256, Own1024, Own256Reconfig, PClos, ReconfigPolicy,
+    AntennaPlacement, CMesh, OptXb, Own1024, Own256, Own256Reconfig, PClos, ReconfigPolicy,
     Topology, WirelessCMesh,
 };
 use noc_traffic::TrafficPattern;
@@ -121,12 +121,8 @@ impl SimSpec {
         match t.as_str() {
             "own-256" => Ok(Box::new(Own256::new())),
             "own-1024" => Ok(Box::new(Own1024::new())),
-            "own-256-center" => {
-                Ok(Box::new(Own256::with_placement(AntennaPlacement::Center)))
-            }
-            "own-256-diag-spares" => {
-                Ok(Box::new(Own256Reconfig::new(ReconfigPolicy::Diagonal)))
-            }
+            "own-256-center" => Ok(Box::new(Own256::with_placement(AntennaPlacement::Center))),
+            "own-256-diag-spares" => Ok(Box::new(Own256Reconfig::new(ReconfigPolicy::Diagonal))),
             other => Err(format!("unknown topology {other:?}")),
         }
     }
@@ -144,8 +140,7 @@ impl SimSpec {
             "bitcomplement" | "bc" => Ok(TrafficPattern::BitComplement),
             "hotspot" if parts.len() == 3 => {
                 let target = parts[1].parse().map_err(|_| "bad hotspot core".to_string())?;
-                let fraction =
-                    parts[2].parse().map_err(|_| "bad hotspot fraction".to_string())?;
+                let fraction = parts[2].parse().map_err(|_| "bad hotspot fraction".to_string())?;
                 Ok(TrafficPattern::Hotspot { target, fraction })
             }
             "permutation" if parts.len() == 2 => {
@@ -210,10 +205,9 @@ mod tests {
 
     #[test]
     fn parses_minimal_spec_with_defaults() {
-        let s = SimSpec::from_json(
-            r#"{"topology": "cmesh-64", "pattern": "uniform", "rate": 0.02}"#,
-        )
-        .unwrap();
+        let s =
+            SimSpec::from_json(r#"{"topology": "cmesh-64", "pattern": "uniform", "rate": 0.02}"#)
+                .unwrap();
         assert_eq!(s.packet_len, 4);
         assert_eq!(s.seeds.len(), 1);
         assert!(!s.speculative);
@@ -261,10 +255,9 @@ mod tests {
 
     #[test]
     fn unknown_topology_is_an_error() {
-        let s = SimSpec::from_json(
-            r#"{"topology": "hypercube-64", "pattern": "un", "rate": 0.01}"#,
-        )
-        .unwrap();
+        let s =
+            SimSpec::from_json(r#"{"topology": "hypercube-64", "pattern": "un", "rate": 0.01}"#)
+                .unwrap();
         assert!(s.topology().is_err());
     }
 

@@ -4,12 +4,27 @@
 //! rayon — the natural data-parallel decomposition for a single-threaded
 //! cycle-accurate simulator.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use rayon::prelude::*;
 
 use noc_topology::Topology;
 use noc_traffic::TrafficPattern;
 
 use crate::sim::{SimConfig, Simulation};
+
+/// Global switch for sweep progress reporting on stderr (the
+/// `own-experiments --progress` flag). Off by default; sweeps are silent.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable per-point progress lines on stderr for all sweeps.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
 
 /// One point of a latency-load curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +35,12 @@ pub struct LoadPoint {
     pub avg_latency: f64,
     /// Accepted throughput in flits/core/cycle.
     pub accepted: f64,
+    /// Whether the network saturated at this load (backlog growth when
+    /// sampling is on, else acceptance < 90%).
+    pub saturated: bool,
+    /// Cycle at which source queues started growing without bound
+    /// (requires `SimConfig::sample_every > 0`; `None` otherwise).
+    pub sat_onset: Option<u64>,
 }
 
 /// Latency vs offered load for one topology and pattern; points run in
@@ -30,12 +51,35 @@ pub fn latency_vs_load(
     loads: &[f64],
     base: SimConfig,
 ) -> Vec<LoadPoint> {
+    let done = AtomicUsize::new(0);
     loads
         .par_iter()
         .map(|&rate| {
             let cfg = SimConfig { rate, pattern, ..base };
             let r = Simulation::new(topo, cfg).run();
-            LoadPoint { offered: rate, avg_latency: r.avg_latency, accepted: r.throughput }
+            let point = LoadPoint {
+                offered: rate,
+                avg_latency: r.avg_latency,
+                accepted: r.throughput,
+                saturated: r.saturated(),
+                sat_onset: r.series.as_ref().and_then(|s| s.saturation_onset()),
+            };
+            if progress_enabled() {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[sweep] {} {}/{}: load {:.3} -> latency {:.1} cy, accepted {:.3}{} \
+                     ({:.0} kcycles/s)",
+                    r.name,
+                    n,
+                    loads.len(),
+                    rate,
+                    r.avg_latency,
+                    r.throughput,
+                    if point.saturated { " [saturated]" } else { "" },
+                    r.profile.cycles_per_sec / 1e3,
+                );
+            }
+            point
         })
         .collect()
 }
@@ -44,7 +88,16 @@ pub fn latency_vs_load(
 /// far exceeds capacity (the metric of Figures 7a and 8a).
 pub fn saturation_throughput(topo: &dyn Topology, pattern: TrafficPattern, base: SimConfig) -> f64 {
     let cfg = SimConfig { rate: 1.0, pattern, drain: 0, ..base };
-    Simulation::new(topo, cfg).run().throughput
+    let r = Simulation::new(topo, cfg).run();
+    if progress_enabled() {
+        eprintln!(
+            "[sweep] {} saturation throughput {:.4} ({:.0} kcycles/s)",
+            r.name,
+            r.throughput,
+            r.profile.cycles_per_sec / 1e3,
+        );
+    }
+    r.throughput
 }
 
 /// Multi-seed replication statistics for one metric.
@@ -85,17 +138,25 @@ impl Replicated {
 /// throughput (seeds run in parallel). This is how report-quality numbers
 /// should be produced: a single seed's latency can swing several percent
 /// near saturation.
-pub fn replicate(
-    topo: &dyn Topology,
-    base: SimConfig,
-    seeds: &[u64],
-) -> (Replicated, Replicated) {
+pub fn replicate(topo: &dyn Topology, base: SimConfig, seeds: &[u64]) -> (Replicated, Replicated) {
     assert!(!seeds.is_empty());
+    let done = AtomicUsize::new(0);
     let results: Vec<(f64, f64)> = seeds
         .par_iter()
         .map(|&seed| {
             let cfg = SimConfig { seed, ..base };
             let r = Simulation::new(topo, cfg).run();
+            if progress_enabled() {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[replicate] {} seed {}/{}: latency {:.1} cy, accepted {:.3}",
+                    r.name,
+                    n,
+                    seeds.len(),
+                    r.avg_latency,
+                    r.throughput,
+                );
+            }
             (r.avg_latency, r.throughput)
         })
         .collect();

@@ -34,8 +34,8 @@ pub mod channels;
 pub mod cmesh;
 pub mod normalize;
 pub mod optxb;
-pub mod own256;
 pub mod own1024;
+pub mod own256;
 pub mod pclos;
 pub mod reconfig;
 pub mod topology;
@@ -44,8 +44,8 @@ pub mod wcmesh;
 pub use channels::{ChannelAllocation, WirelessLink};
 pub use cmesh::CMesh;
 pub use optxb::OptXb;
-pub use own256::{AntennaPlacement, Own256};
 pub use own1024::Own1024;
+pub use own256::{AntennaPlacement, Own256};
 pub use pclos::PClos;
 pub use reconfig::{profile_hot_pairs, Own256Reconfig, ReconfigPolicy};
 pub use topology::{OwnScale, Topology};

@@ -157,10 +157,8 @@ impl RoutingAlg for Own256Routing {
         }
         // Photonic hop toward the transmitter on its dedicated transit
         // wavelength group.
-        let k = self
-            .placement
-            .slot_of(tx_router % TILES)
-            .expect("transmitters sit on antenna tiles");
+        let k =
+            self.placement.slot_of(tx_router % TILES).expect("transmitters sit on antenna tiles");
         let p = self.transit_port[router as usize][k];
         RouteDecision::any_vc(p, self.vcs)
     }

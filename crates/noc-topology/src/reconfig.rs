@@ -175,8 +175,7 @@ impl Topology for Own256Reconfig {
         let mut phot_port = vec![[PortId::MAX; TILES as usize]; routers];
         let mut transit_port = vec![[PortId::MAX; 4]; routers];
         build_cluster_waveguides(&mut b, CLUSTERS, &mut phot_port, &mut transit_port);
-        let mut wtx =
-            vec![[(RouterId::MAX, PortId::MAX); CLUSTERS as usize]; CLUSTERS as usize];
+        let mut wtx = vec![[(RouterId::MAX, PortId::MAX); CLUSTERS as usize]; CLUSTERS as usize];
         for l in &self.alloc.links {
             let tx_router = l.src * TILES + l.tx.tile();
             let rx_router = l.dst * TILES + l.rx.tile();
@@ -192,8 +191,7 @@ impl Topology for Own256Reconfig {
             let l = self.alloc.link(s, d);
             let tx_router = s * TILES + D_TILE;
             let rx_router = d * TILES + D_TILE;
-            let class =
-                LinkClass::Wireless { channel: 13 + i as u8, distance: l.distance };
+            let class = LinkClass::Wireless { channel: 13 + i as u8, distance: l.distance };
             let (_, op, _) =
                 b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
             spare[s as usize][d as usize] = Some(op);
@@ -269,8 +267,7 @@ mod tests {
 
     #[test]
     fn traffic_splits_between_primary_and_spare() {
-        let mut net =
-            Own256Reconfig::new(ReconfigPolicy::Diagonal).build(RouterConfig::default());
+        let mut net = Own256Reconfig::new(ReconfigPolicy::Diagonal).build(RouterConfig::default());
         // Saturating diagonal traffic: cluster 0 -> cluster 2 only.
         for t in 0..16u32 {
             for rep in 0..4 {
@@ -283,8 +280,8 @@ mod tests {
         for (ch, &f) in net.channels().iter().zip(&net.stats.channel_flits) {
             if let LinkClass::Wireless { channel, .. } = ch.class {
                 match channel {
-                    3 => primary += f,  // band 3 = 0 -> 2 diagonal primary
-                    15 => spare += f,   // third spare = (0,2) in Diagonal order
+                    3 => primary += f, // band 3 = 0 -> 2 diagonal primary
+                    15 => spare += f,  // third spare = (0,2) in Diagonal order
                     _ => {}
                 }
             }
@@ -302,8 +299,7 @@ mod tests {
         let run = |topo: &dyn Topology| -> u64 {
             let mut net = topo.build(RouterConfig::default());
             let mut rng_seed = 5;
-            let mut inj =
-                BernoulliInjector::new(0.05, 2, TrafficPattern::Transpose, rng_seed);
+            let mut inj = BernoulliInjector::new(0.05, 2, TrafficPattern::Transpose, rng_seed);
             rng_seed += 1;
             let _ = rng_seed;
             inj.drive(&mut net, 1_500);
@@ -312,16 +308,12 @@ mod tests {
         };
         let plain = run(&Own256Reconfig::new(ReconfigPolicy::None));
         let diag = run(&Own256Reconfig::new(ReconfigPolicy::Diagonal));
-        assert!(
-            diag <= plain,
-            "spare diagonal channels must not slow delivery: {diag} vs {plain}"
-        );
+        assert!(diag <= plain, "spare diagonal channels must not slow delivery: {diag} vs {plain}");
     }
 
     #[test]
     fn profiling_finds_hot_pairs() {
-        let mut net =
-            Own256Reconfig::new(ReconfigPolicy::None).build(RouterConfig::default());
+        let mut net = Own256Reconfig::new(ReconfigPolicy::None).build(RouterConfig::default());
         // Hammer 1 -> 3 (and lightly 0 -> 1).
         for i in 0..40 {
             net.inject_packet(64 + (i % 64), 3 * 64 + (i % 64), 2);
@@ -359,8 +351,7 @@ mod tests {
         use noc_traffic::{BernoulliInjector, TrafficPattern};
         // Two failed primaries covered by spares: the network stays fully
         // connected and delivers everything.
-        let topo =
-            Own256Reconfig::new(ReconfigPolicy::Failover(vec![(0, 2), (2, 0)]));
+        let topo = Own256Reconfig::new(ReconfigPolicy::Failover(vec![(0, 2), (2, 0)]));
         let mut net = topo.build(RouterConfig::default());
         let mut inj = BernoulliInjector::new(0.03, 3, TrafficPattern::Uniform, 21);
         inj.drive(&mut net, 800);

@@ -19,8 +19,8 @@
 //! wireless router), so the channel dependence graph is acyclic.
 
 use noc_core::{
-    CoreId, DistanceClass, LinkClass, Network, NetworkBuilder, PortId, RouteDecision,
-    RouterConfig, RouterId, RoutingAlg,
+    CoreId, DistanceClass, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig,
+    RouterId, RoutingAlg,
 };
 
 use crate::normalize::{latency, ser};
@@ -162,23 +162,19 @@ impl Topology for WirelessCMesh {
                 if x + 1 < self.grid {
                     let e = s + 1;
                     let cl = LinkClass::Wireless { channel: band(0), distance: DistanceClass::SR };
-                    let (_, op, _) =
-                        b.add_channel(wr(s), wr(e), latency::WIRELESS, ws, cl);
+                    let (_, op, _) = b.add_channel(wr(s), wr(e), latency::WIRELESS, ws, cl);
                     wdir_port[s as usize][EAST] = op;
                     let cl = LinkClass::Wireless { channel: band(1), distance: DistanceClass::SR };
-                    let (_, op, _) =
-                        b.add_channel(wr(e), wr(s), latency::WIRELESS, ws, cl);
+                    let (_, op, _) = b.add_channel(wr(e), wr(s), latency::WIRELESS, ws, cl);
                     wdir_port[e as usize][WEST] = op;
                 }
                 if y + 1 < self.grid {
                     let so = s + self.grid;
                     let cl = LinkClass::Wireless { channel: band(2), distance: DistanceClass::SR };
-                    let (_, op, _) =
-                        b.add_channel(wr(s), wr(so), latency::WIRELESS, ws, cl);
+                    let (_, op, _) = b.add_channel(wr(s), wr(so), latency::WIRELESS, ws, cl);
                     wdir_port[s as usize][SOUTH] = op;
                     let cl = LinkClass::Wireless { channel: band(3), distance: DistanceClass::SR };
-                    let (_, op, _) =
-                        b.add_channel(wr(so), wr(s), latency::WIRELESS, ws, cl);
+                    let (_, op, _) = b.add_channel(wr(so), wr(s), latency::WIRELESS, ws, cl);
                     wdir_port[so as usize][NORTH] = op;
                 }
             }

@@ -25,7 +25,8 @@ fn soak(topo: &dyn Topology, pattern: TrafficPattern, rate: f64, cycles: u64) {
         net.source_backlog(),
     );
     assert_eq!(
-        net.stats.packets_delivered, offered,
+        net.stats.packets_delivered,
+        offered,
         "{}: every offered packet must be delivered",
         topo.name()
     );
@@ -65,12 +66,7 @@ fn all_topologies_survive_overload_burst() {
 #[test]
 fn hotspot_traffic_drains_everywhere() {
     for topo in paper_suite(256) {
-        soak(
-            topo.as_ref(),
-            TrafficPattern::Hotspot { target: 37, fraction: 0.5 },
-            0.05,
-            1_000,
-        );
+        soak(topo.as_ref(), TrafficPattern::Hotspot { target: 37, fraction: 0.5 }, 0.05, 1_000);
     }
 }
 
@@ -87,8 +83,7 @@ fn per_core_delivery_matches_pattern_for_permutations() {
     // addressed to it — count flits per destination.
     let topo = noc_topology::own(256);
     let mut net = topo.build(RouterConfig::default());
-    let mut inj =
-        BernoulliInjector::new(0.05, 2, TrafficPattern::BitReversal, 42);
+    let mut inj = BernoulliInjector::new(0.05, 2, TrafficPattern::BitReversal, 42);
     inj.drive(&mut net, 2_000);
     assert!(net.drain(100_000));
     let total: u64 = net.stats.per_core_ejected.iter().sum();

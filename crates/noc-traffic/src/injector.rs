@@ -35,7 +35,13 @@ impl BernoulliInjector {
         assert!(packet_len >= 1);
         assert!(rate >= 0.0);
         let p_inject = (rate / f64::from(packet_len)).min(1.0);
-        BernoulliInjector { rate, packet_len, pattern, rng: ChaCha8Rng::seed_from_u64(seed), p_inject }
+        BernoulliInjector {
+            rate,
+            packet_len,
+            pattern,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            p_inject,
+        }
     }
 
     /// Offer this cycle's packets to the network's source queues.

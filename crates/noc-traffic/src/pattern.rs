@@ -253,9 +253,7 @@ mod tests {
     fn hotspot_concentrates_traffic() {
         let mut r = rng();
         let p = TrafficPattern::Hotspot { target: 3, fraction: 0.8 };
-        let hits = (0..1000)
-            .filter(|_| p.dest(7, 64, &mut r) == 3)
-            .count();
+        let hits = (0..1000).filter(|_| p.dest(7, 64, &mut r) == 3).count();
         assert!(hits > 700, "expected ~800 hotspot hits, got {hits}");
     }
 

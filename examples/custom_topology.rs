@@ -51,20 +51,11 @@ fn main() {
     let mut ring_port = vec![0u16; 4];
     for r in 0..4u32 {
         let next = (r + 1) % 4;
-        let (_, op, _) =
-            b.add_channel(r, next, 1, 1, LinkClass::Electrical { length_mm: 2.5 });
+        let (_, op, _) = b.add_channel(r, next, 1, 1, LinkClass::Electrical { length_mm: 2.5 });
         ring_port[r as usize] = op;
     }
     // Photonic express bus into router 0.
-    let (_, wports, _) = b.add_bus(
-        BusKind::Mwsr,
-        &[1, 2, 3],
-        &[0],
-        2,
-        1,
-        1,
-        LinkClass::Photonic,
-    );
+    let (_, wports, _) = b.add_bus(BusKind::Mwsr, &[1, 2, 3], &[0], 2, 1, 1, LinkClass::Photonic);
     let mut express_port = vec![u16::MAX; 4];
     for (w, &r) in [1u32, 2, 3].iter().enumerate() {
         express_port[r as usize] = wports[w];

@@ -36,25 +36,27 @@ fn main() {
         let p = model.price(&result.net, result.cycles);
 
         let net = &result.net;
-        let max_radix =
-            (0..net.num_routers() as u32).map(|r| net.router(r).radix()).max().unwrap();
-        let wireless_buses = net
-            .buses()
-            .iter()
-            .filter(|b| matches!(b.class, LinkClass::Wireless { .. }))
-            .count();
+        let max_radix = (0..net.num_routers() as u32).map(|r| net.router(r).radix()).max().unwrap();
+        let wireless_buses =
+            net.buses().iter().filter(|b| matches!(b.class, LinkClass::Wireless { .. })).count();
         let discards: u64 = net.buses().iter().map(|b| b.discards).sum();
 
         println!("OWN-{scale} @ {rate} flits/core/cycle:");
         println!("  routers              : {}", net.num_routers());
         println!("  max radix            : {max_radix} (paper: 20 at 256, 22 at 1024)");
-        println!("  wireless media       : {} point-to-point + {} multicast buses",
-                 net.channels().iter().filter(|c| matches!(c.class, LinkClass::Wireless{..})).count(),
-                 wireless_buses);
+        println!(
+            "  wireless media       : {} point-to-point + {} multicast buses",
+            net.channels().iter().filter(|c| matches!(c.class, LinkClass::Wireless { .. })).count(),
+            wireless_buses
+        );
         println!("  multicast discards   : {discards} flit-receptions");
         println!("  avg latency          : {:.1} cycles (≤3 hops by design)", result.avg_latency);
         println!("  throughput           : {:.4} flits/core/cycle", result.throughput);
-        println!("  total power          : {:.3} W ({:.2} nJ/packet)", p.total_w(), p.nj_per_packet());
+        println!(
+            "  total power          : {:.3} W ({:.2} nJ/packet)",
+            p.total_w(),
+            p.nj_per_packet()
+        );
         println!();
     }
 }

@@ -11,8 +11,8 @@
 
 use own_noc::power::{Scenario, WinocConfig};
 use own_noc::sim::experiments::power::model_for;
-use own_noc::sim::{SimConfig, Simulation};
 use own_noc::sim::sweep::saturation_throughput;
+use own_noc::sim::{SimConfig, Simulation};
 use own_noc::topology::paper_suite;
 use own_noc::traffic::TrafficPattern;
 

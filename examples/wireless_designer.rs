@@ -53,10 +53,7 @@ fn main() {
             trx.energy_pj_per_bit_at(d, 0.0)
         );
     }
-    println!(
-        "  gap to the Table III CMOS projection: {:.1}x",
-        trx.projection_gap(Scenario::Ideal)
-    );
+    println!("  gap to the Table III CMOS projection: {:.1}x", trx.projection_gap(Scenario::Ideal));
 
     // --- Table III band plans -------------------------------------------
     for scenario in [Scenario::Ideal, Scenario::Conservative] {

@@ -31,20 +31,12 @@ fn every_topology_simulates_and_prices() {
 fn flit_conservation_after_drain() {
     for topo in paper_suite(256) {
         let mut net = topo.build(Default::default());
-        let mut inj = own_noc::traffic::BernoulliInjector::new(
-            0.05,
-            3,
-            TrafficPattern::Transpose,
-            2024,
-        );
+        let mut inj =
+            own_noc::traffic::BernoulliInjector::new(0.05, 3, TrafficPattern::Transpose, 2024);
         inj.drive(&mut net, 1_000);
         assert!(net.drain(300_000), "{} failed to drain", topo.name());
         assert_eq!(net.stats.flits_injected, net.stats.flits_ejected, "{}", topo.name());
-        assert_eq!(
-            net.stats.packets_offered, net.stats.packets_delivered,
-            "{}",
-            topo.name()
-        );
+        assert_eq!(net.stats.packets_offered, net.stats.packets_delivered, "{}", topo.name());
         // Per-core totals must sum to the global count.
         let sum: u64 = net.stats.per_core_ejected.iter().sum();
         assert_eq!(sum, net.stats.flits_ejected);
@@ -72,7 +64,7 @@ fn phy_figures_regenerate_with_anchors() {
 
 #[test]
 fn fig5_report_regenerates() {
-    let r = xpower::fig5(Budget { warmup: 200, measure: 1_000, drain: 4_000 });
+    let r = xpower::fig5(Budget { warmup: 200, measure: 1_000, drain: 4_000, sample_every: 0 });
     assert_eq!(r.rows.len(), 4);
     // All wireless powers positive.
     for row in &r.rows {

@@ -45,10 +45,7 @@ fn own_saturation_competitive_at_256() {
     // be within 15% of every baseline and ahead of or equal to CMESH-class
     // networks modulo noise.
     for (name, t) in [("CMESH", cm_t), ("wireless-CMESH", wc_t), ("p-Clos", pc_t)] {
-        assert!(
-            own_t > 0.85 * t,
-            "OWN throughput {own_t:.4} too far below {name} {t:.4}"
-        );
+        assert!(own_t > 0.85 * t, "OWN throughput {own_t:.4} too far below {name} {t:.4}");
     }
 }
 
@@ -100,9 +97,7 @@ fn config_savings_in_paper_range() {
     let cfg = SimConfig { rate: 0.03, pattern: TrafficPattern::Uniform, ..base() };
     let r = Simulation::new(own(256).as_ref(), cfg).run();
     let wireless = |scenario, config| {
-        PowerModel::new(WirelessModel::own(scenario, config))
-            .price(&r.net, r.cycles)
-            .wireless_w
+        PowerModel::new(WirelessModel::own(scenario, config)).price(&r.net, r.cycles).wireless_w
     };
     for scenario in [Scenario::Ideal, Scenario::Conservative] {
         let c1 = wireless(scenario, WinocConfig::Config1);
