@@ -10,7 +10,7 @@ use noc_sim::SimConfig;
 use noc_traffic::TrafficPattern;
 
 fn tiny() -> Budget {
-    Budget { warmup: 150, measure: 500, drain: 0 }
+    Budget { warmup: 150, measure: 500, drain: 0, sample_every: 0 }
 }
 
 fn bench_fig7a(c: &mut Criterion) {
@@ -55,7 +55,7 @@ fn bench_fig8a(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8a");
     g.sample_size(10);
     g.bench_function("throughput_1024", |b| {
-        let budget = Budget { warmup: 80, measure: 250, drain: 0 };
+        let budget = Budget { warmup: 80, measure: 250, drain: 0, sample_every: 0 };
         b.iter(|| {
             let r = perf::fig8a(budget);
             assert_eq!(r.rows.len(), 3);

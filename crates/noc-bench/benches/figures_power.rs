@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use noc_sim::experiments::{power, Budget};
 
 fn tiny() -> Budget {
-    Budget { warmup: 200, measure: 800, drain: 3_000 }
+    Budget { warmup: 200, measure: 800, drain: 3_000, sample_every: 0 }
 }
 
 fn bench_fig5(c: &mut Criterion) {
@@ -43,7 +43,7 @@ fn bench_fig8b(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8b");
     g.sample_size(10);
     g.bench_function("energy_per_packet_1024", |b| {
-        let budget = Budget { warmup: 100, measure: 400, drain: 1_500 };
+        let budget = Budget { warmup: 100, measure: 400, drain: 1_500, sample_every: 0 };
         b.iter(|| {
             let r = power::fig8b(budget);
             assert_eq!(r.rows.len(), 5);

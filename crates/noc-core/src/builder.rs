@@ -171,7 +171,14 @@ impl NetworkBuilder {
             .map(|(core, spec)| {
                 let (router, in_port) =
                     spec.unwrap_or_else(|| panic!("core {core} was never attached to a router"));
-                Nic::new(core as CoreId, router, in_port, self.config.vcs, self.config.buf_depth)
+                Nic::new(
+                    core as CoreId,
+                    router,
+                    in_port,
+                    self.config.vcs,
+                    self.config.buf_depth,
+                    self.config.src_queue_cap,
+                )
             })
             .collect();
         Network::from_parts(self.routers, self.channels, self.buses, nics, routing)

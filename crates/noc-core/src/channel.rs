@@ -277,6 +277,16 @@ impl Bus {
     /// grantee's accumulated wait — consumed by the observability layer.
     /// Token movement itself is unaffected by whether anyone listens.
     pub(crate) fn end_cycle(&mut self, now: Cycle) -> Option<TokenHandoff> {
+        self.end_cycle_frozen(now, false)
+    }
+
+    /// [`Bus::end_cycle`] with an optional **frozen token**: while `frozen`
+    /// (a scheduled token-ring fault, see `crate::fault`), the token stays
+    /// with its current holder — the holder may keep transmitting, but the
+    /// ring performs no advance, release, or handoff. Request streaks and
+    /// per-cycle flags are still maintained so arbitration resumes cleanly
+    /// when the ring thaws.
+    pub(crate) fn end_cycle_frozen(&mut self, now: Cycle, frozen: bool) -> Option<TokenHandoff> {
         // Track uninterrupted request streaks: a writer that requested this
         // cycle keeps (or starts) its streak; one that did not forfeits it.
         for (w, &wanted) in self.wants.iter().enumerate() {
@@ -285,6 +295,12 @@ impl Bus {
             } else {
                 self.want_since[w] = None;
             }
+        }
+        if frozen {
+            self.wants.iter_mut().for_each(|w| *w = false);
+            self.used_this_cycle = false;
+            self.released_this_cycle = false;
+            return None;
         }
         let prev_holder = self.token.holder();
         let wants = std::mem::take(&mut self.wants);
@@ -414,6 +430,31 @@ mod tests {
         b.end_cycle(0);
         assert!(b.can_transmit(2, 1));
         assert!(!b.can_transmit(0, 1));
+    }
+
+    #[test]
+    fn frozen_token_does_not_move() {
+        let mut b = Bus::new(
+            BusKind::Mwsr,
+            vec![(0, 0), (1, 0), (2, 0)],
+            vec![(3, 0)],
+            1,
+            1,
+            0,
+            LinkClass::Photonic,
+            4,
+            4,
+        );
+        b.wants[2] = true;
+        assert_eq!(b.end_cycle_frozen(0, true), None);
+        assert!(b.can_transmit(0, 1), "holder keeps the token while frozen");
+        assert!(!b.can_transmit(2, 1));
+        // Thaw: the still-requesting writer gets the token, with its wait
+        // streak preserved across the freeze.
+        b.wants[2] = true;
+        let h = b.end_cycle_frozen(1, false).expect("handoff after thaw");
+        assert_eq!(h.writer, 2);
+        assert_eq!(h.waited, 1);
     }
 
     #[test]

@@ -18,25 +18,37 @@ pub struct RouterConfig {
     /// one cycle per hop at low load, degrades gracefully to the baseline
     /// pipeline under contention).
     pub speculative: bool,
+    /// Capacity of the NIC source queue in packets (`None` = unbounded,
+    /// the classic open-loop setup). When bounded, offers arriving at a
+    /// full queue are rejected and counted as backpressure drops in
+    /// `NetStats::offers_rejected`.
+    pub src_queue_cap: Option<u32>,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { vcs: 4, buf_depth: 4, speculative: false }
+        RouterConfig { vcs: 4, buf_depth: 4, speculative: false, src_queue_cap: None }
     }
 }
 
 impl RouterConfig {
-    /// Convenience constructor (speculation off).
+    /// Convenience constructor (speculation off, unbounded source queues).
     pub fn new(vcs: u8, buf_depth: u32) -> Self {
         assert!(vcs >= 1, "at least one virtual channel is required");
         assert!(buf_depth >= 1, "buffers must hold at least one flit");
-        RouterConfig { vcs, buf_depth, speculative: false }
+        RouterConfig { vcs, buf_depth, speculative: false, src_queue_cap: None }
     }
 
     /// Enable speculative VC allocation.
     pub fn with_speculation(mut self) -> Self {
         self.speculative = true;
+        self
+    }
+
+    /// Bound each NIC source queue to `cap` packets.
+    pub fn with_src_queue_cap(mut self, cap: u32) -> Self {
+        assert!(cap >= 1, "source queue capacity must be >= 1");
+        self.src_queue_cap = Some(cap);
         self
     }
 }
@@ -51,7 +63,9 @@ mod tests {
         assert_eq!(c.vcs, 4);
         assert_eq!(c.buf_depth, 4);
         assert!(!c.speculative);
+        assert!(c.src_queue_cap.is_none(), "source queues are unbounded by default");
         assert!(RouterConfig::default().with_speculation().speculative);
+        assert_eq!(RouterConfig::default().with_src_queue_cap(8).src_queue_cap, Some(8));
     }
 
     #[test]

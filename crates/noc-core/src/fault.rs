@@ -1,0 +1,472 @@
+//! Runtime fault injection and link-level error processes.
+//!
+//! The resilience model has two ingredients, both deterministic under a
+//! fixed seed:
+//!
+//! * A [`FaultSchedule`] of cycle-stamped transient or permanent failures
+//!   of channels, buses, and bus token rings. While a channel or bus fault
+//!   is active, every flit whose delivery is attempted on that medium is
+//!   corrupted; a frozen token ring simply stops circulating its token
+//!   (the holder keeps it, nobody else can acquire it).
+//! * A seeded per-link **bit-error process**: each delivery attempt on a
+//!   link with a nonzero BER corrupts the flit with probability
+//!   `1 − (1 − BER)^flit_bits`.
+//!
+//! Corruption is detected at the reader (a CRC model — detection is
+//! assumed perfect), NACKed, and the flit is retransmitted by the writer:
+//! the engine re-arms the flit at the *front* of the medium's FIFO with a
+//! new arrival time one NACK round trip (plus exponential backoff) later,
+//! which models a stop-and-wait link-level retransmission — later flits on
+//! the medium queue behind the retransmission, so flit order within a
+//! packet is preserved and the wormhole protocol never observes a gap.
+//!
+//! Retries are bounded by [`FaultConfig::retry_limit`]. A flit that
+//! exhausts its budget is delivered anyway but **poisoned**: it flows
+//! through the network normally (keeping flow control intact — no hangs,
+//! no stuck virtual channels) and the destination discards the whole
+//! packet at ejection, counted in
+//! [`crate::NetStats::packets_dropped_corrupt`]. A permanently dead link
+//! thus degrades to "every packet crossing it is dropped at the
+//! destination" until routing fails traffic over to a spare path.
+//!
+//! Failure *detection* is modelled with a configurable delay: at
+//! `fault_cycle + detect_delay` the engine notifies the routing algorithm
+//! through [`crate::routing::RoutingAlg::fault_notice`]; a routing
+//! implementation that reacts (e.g. spare-band failover, see
+//! `noc-topology::reconfig`) returns `true`, which the engine reports as a
+//! [`crate::NocEvent::FailoverActivated`] event.
+//!
+//! With an empty schedule and all-zero BERs the context draws no random
+//! numbers and never perturbs a delivery, so an attached-but-inert fault
+//! context produces bit-identical results to a run without one.
+
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::ids::{BusId, ChannelId, Cycle};
+
+/// The entity a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A point-to-point channel: flits delivered while the fault is active
+    /// are corrupted.
+    Channel(ChannelId),
+    /// A shared bus medium: same corruption semantics as a channel.
+    Bus(BusId),
+    /// The token ring of a bus: the token freezes in place while the fault
+    /// is active (the holder may keep transmitting; nobody else can start).
+    TokenRing(BusId),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the fault becomes active.
+    pub at: Cycle,
+    /// What fails.
+    pub target: FaultTarget,
+    /// Fault duration in cycles; `None` is a permanent failure.
+    pub duration: Option<u64>,
+}
+
+impl FaultEvent {
+    /// A permanent failure of `target` starting at `at`.
+    pub fn permanent(at: Cycle, target: FaultTarget) -> Self {
+        FaultEvent { at, target, duration: None }
+    }
+
+    /// A transient failure of `target` over `[at, at + duration)`.
+    pub fn transient(at: Cycle, target: FaultTarget, duration: u64) -> Self {
+        assert!(duration >= 1, "transient faults last at least one cycle");
+        FaultEvent { at, target, duration: Some(duration) }
+    }
+
+    /// The cycle the fault clears (`u64::MAX` for permanent faults).
+    pub fn until(&self) -> Cycle {
+        self.duration.map_or(Cycle::MAX, |d| self.at.saturating_add(d))
+    }
+}
+
+/// A deterministic, cycle-ordered list of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults ever fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault; events may be pushed in any order.
+    pub fn push(&mut self, ev: FaultEvent) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Builder-style [`FaultSchedule::push`].
+    pub fn with(mut self, ev: FaultEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Configuration of the resilience model attached to a
+/// [`crate::Network`] via [`crate::Network::attach_faults`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Scheduled link/bus/token failures.
+    pub schedule: FaultSchedule,
+    /// Per-channel bit error rate, indexed by [`ChannelId`]. Missing
+    /// entries (short vector) mean BER 0.
+    pub channel_ber: Vec<f64>,
+    /// Per-bus bit error rate, indexed by [`BusId`].
+    pub bus_ber: Vec<f64>,
+    /// Bits per flit, the exposure of one delivery to the bit-error
+    /// process (flit error rate = `1 − (1 − BER)^flit_bits`).
+    pub flit_bits: u32,
+    /// Link-level retransmissions allowed per flit per hop before the flit
+    /// is poisoned and its packet dropped at the destination.
+    pub retry_limit: u8,
+    /// Maximum exponent of the exponential backoff: retry `k` waits
+    /// `rtt << min(k − 1, backoff_cap)` cycles on top of the NACK round
+    /// trip.
+    pub backoff_cap: u8,
+    /// Cycles between a fault firing and routing being notified through
+    /// [`crate::routing::RoutingAlg::fault_notice`].
+    pub detect_delay: u64,
+    /// Seed of the error process (independent of the traffic seed).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            schedule: FaultSchedule::new(),
+            channel_ber: Vec::new(),
+            bus_ber: Vec::new(),
+            flit_bits: 128,
+            retry_limit: 4,
+            backoff_cap: 4,
+            detect_delay: 100,
+            seed: 0xFA_017,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Flit error probability for a given bit error rate.
+    pub fn flit_error_rate(&self, ber: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&ber), "BER must be a probability, got {ber}");
+        if ber == 0.0 {
+            0.0
+        } else {
+            1.0 - (1.0 - ber).powi(self.flit_bits as i32)
+        }
+    }
+}
+
+/// Live fault state owned by the network once a [`FaultConfig`] is
+/// attached.
+#[derive(Debug)]
+pub(crate) struct FaultCtx {
+    pub cfg: FaultConfig,
+    /// Schedule sorted by activation cycle; `next_event` indexes the first
+    /// not-yet-activated entry.
+    sorted: Vec<FaultEvent>,
+    next_event: usize,
+    /// Per-channel / per-bus cycle (exclusive) until which the medium is
+    /// faulted; 0 = healthy, `u64::MAX` = permanently dead.
+    channel_down_until: Vec<Cycle>,
+    bus_down_until: Vec<Cycle>,
+    token_down_until: Vec<Cycle>,
+    /// Per-channel / per-bus flit error probability (precomputed from BER).
+    channel_fer: Vec<f64>,
+    bus_fer: Vec<f64>,
+    /// Pending `fault_notice` deliveries: `(due, target, up)`.
+    notices: Vec<(Cycle, FaultTarget, bool)>,
+    /// Pending transient-fault clear times (for `LinkRecovered` events).
+    recoveries: Vec<(Cycle, FaultTarget)>,
+    /// Packet ids poisoned by exhausted retries, discarded at ejection.
+    pub poisoned: std::collections::HashSet<u64>,
+    /// First cycle at which any fault became active (anchor for the
+    /// post-fault latency histogram).
+    pub first_fault_at: Option<Cycle>,
+    rng: ChaCha8Rng,
+}
+
+impl FaultCtx {
+    pub fn new(cfg: FaultConfig, n_channels: usize, n_buses: usize) -> Self {
+        let mut sorted = cfg.schedule.events().to_vec();
+        sorted.sort_by_key(|e| e.at);
+        let fer = |v: &[f64], n: usize| -> Vec<f64> {
+            (0..n).map(|i| cfg.flit_error_rate(v.get(i).copied().unwrap_or(0.0))).collect()
+        };
+        let channel_fer = fer(&cfg.channel_ber, n_channels);
+        let bus_fer = fer(&cfg.bus_ber, n_buses);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        FaultCtx {
+            sorted,
+            next_event: 0,
+            channel_down_until: vec![0; n_channels],
+            bus_down_until: vec![0; n_buses],
+            token_down_until: vec![0; n_buses],
+            channel_fer,
+            bus_fer,
+            notices: Vec::new(),
+            recoveries: Vec::new(),
+            poisoned: std::collections::HashSet::new(),
+            first_fault_at: None,
+            rng,
+            cfg,
+        }
+    }
+
+    /// Activate faults due at `now` and clear nothing (clearing is implicit
+    /// in the `down_until` comparison). Returns newly-activated events and
+    /// queues detection notices; the caller emits observer events.
+    pub fn activate_due(&mut self, now: Cycle) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while self.next_event < self.sorted.len() && self.sorted[self.next_event].at <= now {
+            let ev = self.sorted[self.next_event];
+            self.next_event += 1;
+            let until = ev.until();
+            let slot = match ev.target {
+                FaultTarget::Channel(c) => &mut self.channel_down_until[c as usize],
+                FaultTarget::Bus(b) => &mut self.bus_down_until[b as usize],
+                FaultTarget::TokenRing(b) => &mut self.token_down_until[b as usize],
+            };
+            *slot = (*slot).max(until);
+            self.first_fault_at.get_or_insert(now);
+            self.notices.push((now + self.cfg.detect_delay, ev.target, false));
+            if until != Cycle::MAX {
+                self.recoveries.push((until, ev.target));
+                // Recovery notice fires one detect_delay after the clear.
+                self.notices.push((until + self.cfg.detect_delay, ev.target, true));
+            }
+            fired.push(ev);
+        }
+        fired
+    }
+
+    /// Transient faults whose windows have ended by `now` and whose medium
+    /// is actually healthy again (an overlapping fault may still hold it
+    /// down). Each recovery is reported once.
+    pub fn recovered_due(&mut self, now: Cycle) -> Vec<FaultTarget> {
+        let mut out = Vec::new();
+        let (downs_c, downs_b, downs_t) =
+            (&self.channel_down_until, &self.bus_down_until, &self.token_down_until);
+        self.recoveries.retain(|&(at, target)| {
+            if at > now {
+                return true;
+            }
+            let down_until = match target {
+                FaultTarget::Channel(c) => downs_c[c as usize],
+                FaultTarget::Bus(b) => downs_b[b as usize],
+                FaultTarget::TokenRing(b) => downs_t[b as usize],
+            };
+            if down_until <= now {
+                out.push(target);
+            }
+            // Past-due entries leave the queue either way; a superseding
+            // fault has its own recovery entry.
+            false
+        });
+        out
+    }
+
+    /// Detection notices due at `now`, in queue order.
+    pub fn due_notices(&mut self, now: Cycle) -> Vec<(FaultTarget, bool)> {
+        let mut due = Vec::new();
+        self.notices.retain(|&(at, target, up)| {
+            if at <= now {
+                due.push((at, target, up));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(at, _, _)| at);
+        due.into_iter().map(|(_, t, u)| (t, u)).collect()
+    }
+
+    /// Whether the schedule machinery has nothing left to do (no pending
+    /// activations, recoveries, or notices). The BER process is separate.
+    pub fn idle(&self) -> bool {
+        self.next_event >= self.sorted.len()
+            && self.notices.is_empty()
+            && self.recoveries.is_empty()
+    }
+
+    #[inline]
+    pub fn channel_faulted(&self, ch: usize, now: Cycle) -> bool {
+        now < self.channel_down_until[ch]
+    }
+
+    #[inline]
+    pub fn bus_faulted(&self, bus: usize, now: Cycle) -> bool {
+        now < self.bus_down_until[bus]
+    }
+
+    #[inline]
+    pub fn token_frozen(&self, bus: usize, now: Cycle) -> bool {
+        now < self.token_down_until[bus]
+    }
+
+    /// Whether a delivery attempt on channel `ch` at `now` is corrupted:
+    /// always while the channel is faulted, else by the Bernoulli error
+    /// process. Draws randomness only when the channel's FER is nonzero.
+    #[inline]
+    pub fn corrupts_channel(&mut self, ch: usize, now: Cycle) -> bool {
+        if self.channel_faulted(ch, now) {
+            return true;
+        }
+        let p = self.channel_fer[ch];
+        p > 0.0 && self.bernoulli(p)
+    }
+
+    /// [`FaultCtx::corrupts_channel`] for buses.
+    #[inline]
+    pub fn corrupts_bus(&mut self, bus: usize, now: Cycle) -> bool {
+        if self.bus_faulted(bus, now) {
+            return true;
+        }
+        let p = self.bus_fer[bus];
+        p > 0.0 && self.bernoulli(p)
+    }
+
+    #[inline]
+    fn bernoulli(&mut self, p: f64) -> bool {
+        // 53-bit uniform draw; ChaCha8 keeps this reproducible across
+        // platforms (no float RNG-distribution dependency).
+        let u = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Backoff delay added to the NACK round trip for retry number
+    /// `retry` (1-based): `rtt << min(retry − 1, backoff_cap)`.
+    #[inline]
+    pub fn retry_delay(&self, rtt: u64, retry: u8) -> u64 {
+        let shift = retry.saturating_sub(1).min(self.cfg.backoff_cap);
+        rtt << shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_activates_in_order() {
+        let sched = FaultSchedule::new()
+            .with(FaultEvent::permanent(50, FaultTarget::Channel(1)))
+            .with(FaultEvent::transient(10, FaultTarget::Bus(0), 5));
+        let mut ctx = FaultCtx::new(FaultConfig { schedule: sched, ..Default::default() }, 2, 1);
+        assert!(ctx.activate_due(5).is_empty());
+        let fired = ctx.activate_due(10);
+        assert_eq!(fired.len(), 1);
+        assert!(ctx.bus_faulted(0, 10));
+        assert!(!ctx.bus_faulted(0, 15), "transient fault cleared");
+        let fired = ctx.activate_due(50);
+        assert_eq!(fired.len(), 1);
+        assert!(ctx.channel_faulted(1, u64::MAX - 1), "permanent fault never clears");
+    }
+
+    #[test]
+    fn detection_notices_fire_after_delay() {
+        let sched = FaultSchedule::new().with(FaultEvent::permanent(10, FaultTarget::Channel(0)));
+        let cfg = FaultConfig { schedule: sched, detect_delay: 25, ..Default::default() };
+        let mut ctx = FaultCtx::new(cfg, 1, 0);
+        ctx.activate_due(10);
+        assert!(ctx.due_notices(34).is_empty());
+        let due = ctx.due_notices(35);
+        assert_eq!(due, vec![(FaultTarget::Channel(0), false)]);
+        assert!(ctx.due_notices(36).is_empty(), "notices fire once");
+    }
+
+    #[test]
+    fn transient_fault_queues_recovery_notice() {
+        let sched =
+            FaultSchedule::new().with(FaultEvent::transient(10, FaultTarget::Channel(0), 20));
+        let cfg = FaultConfig { schedule: sched, detect_delay: 5, ..Default::default() };
+        let mut ctx = FaultCtx::new(cfg, 1, 0);
+        ctx.activate_due(10);
+        assert_eq!(ctx.due_notices(15), vec![(FaultTarget::Channel(0), false)]);
+        assert_eq!(ctx.due_notices(35), vec![(FaultTarget::Channel(0), true)]);
+    }
+
+    #[test]
+    fn flit_error_rate_scales_with_bits() {
+        let cfg = FaultConfig { flit_bits: 128, ..Default::default() };
+        assert_eq!(cfg.flit_error_rate(0.0), 0.0);
+        let fer = cfg.flit_error_rate(1e-3);
+        assert!((fer - (1.0 - 0.999f64.powi(128))).abs() < 1e-12);
+        assert!(fer > 0.1 && fer < 0.13, "128 bits at 1e-3 ≈ 0.12, got {fer}");
+    }
+
+    #[test]
+    fn zero_ber_never_corrupts_and_draws_no_rng() {
+        let mut ctx = FaultCtx::new(FaultConfig::default(), 4, 2);
+        let before = ctx.rng.clone();
+        for now in 0..1000 {
+            assert!(!ctx.corrupts_channel(2, now));
+            assert!(!ctx.corrupts_bus(1, now));
+        }
+        assert_eq!(ctx.rng.next_u64(), {
+            let mut b = before;
+            b.next_u64()
+        });
+    }
+
+    #[test]
+    fn corruption_rate_tracks_fer() {
+        let cfg = FaultConfig { channel_ber: vec![1e-3], flit_bits: 128, ..Default::default() };
+        let fer = cfg.flit_error_rate(1e-3);
+        let mut ctx = FaultCtx::new(cfg, 1, 0);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| ctx.corrupts_channel(0, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - fer).abs() < 0.02, "measured {rate}, expected {fer}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let ctx = FaultCtx::new(FaultConfig { backoff_cap: 3, ..Default::default() }, 0, 0);
+        assert_eq!(ctx.retry_delay(10, 1), 10);
+        assert_eq!(ctx.retry_delay(10, 2), 20);
+        assert_eq!(ctx.retry_delay(10, 3), 40);
+        assert_eq!(ctx.retry_delay(10, 4), 80);
+        assert_eq!(ctx.retry_delay(10, 5), 80, "capped at backoff_cap");
+    }
+
+    #[test]
+    fn faulted_medium_always_corrupts() {
+        let sched =
+            FaultSchedule::new().with(FaultEvent::transient(0, FaultTarget::Channel(0), 10));
+        let mut ctx = FaultCtx::new(FaultConfig { schedule: sched, ..Default::default() }, 1, 0);
+        ctx.activate_due(0);
+        assert!(ctx.corrupts_channel(0, 5));
+        assert!(!ctx.corrupts_channel(0, 10), "cleared at window end");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_duration_transient_rejected() {
+        let _ = FaultEvent::transient(0, FaultTarget::Channel(0), 0);
+    }
+}

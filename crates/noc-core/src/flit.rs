@@ -74,6 +74,13 @@ pub struct Flit {
     pub injected_at: Cycle,
     /// Hops traversed so far (router-to-router traversals).
     pub hops: u8,
+    /// Link-level retransmissions of this flit on the link it is currently
+    /// crossing (reset at each hop; see `noc_core::fault`).
+    pub retries: u8,
+    /// Set when the flit exhausted its retry budget on a faulty link: it
+    /// keeps flowing (preserving flow control) but the destination discards
+    /// its packet instead of counting a delivery.
+    pub poisoned: bool,
 }
 
 /// A packet: the injection/delivery unit.
@@ -106,6 +113,8 @@ impl Packet {
             created_at: self.created_at,
             injected_at: 0,
             hops: 0,
+            retries: 0,
+            poisoned: false,
         }
     }
 }

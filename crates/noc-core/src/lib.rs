@@ -49,6 +49,7 @@ pub mod arbiter;
 pub mod builder;
 pub mod channel;
 pub mod config;
+pub mod fault;
 pub mod flit;
 pub mod ids;
 pub mod invariants;
@@ -63,6 +64,7 @@ pub mod token;
 pub use builder::NetworkBuilder;
 pub use channel::{Bus, BusKind, Channel, DistanceClass, LinkClass};
 pub use config::RouterConfig;
+pub use fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
 pub use network::Network;

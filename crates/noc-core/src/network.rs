@@ -17,8 +17,9 @@
 //! 6. **end-of-cycle** — bus tokens advance toward requesting writers.
 
 use crate::channel::{Bus, Channel};
+use crate::fault::{FaultConfig, FaultCtx, FaultTarget};
 use crate::flit::Packet;
-use crate::ids::{BusId, CoreId, Cycle};
+use crate::ids::{BusId, ChannelId, CoreId, Cycle};
 use crate::nic::Nic;
 use crate::obs::{NocEvent, Observer};
 use crate::router::{OutTarget, Router, Upstream, VcState};
@@ -43,6 +44,11 @@ pub struct Network {
     /// `Option` once and otherwise cost nothing; presence or absence of an
     /// observer never changes simulation behaviour or statistics.
     observer: Option<Box<dyn Observer>>,
+    /// Fault-injection state, if a [`FaultConfig`] is attached. `None` (the
+    /// default) costs one branch per phase; an attached-but-inert config
+    /// (empty schedule, zero BER) draws no randomness and perturbs nothing,
+    /// so results stay bit-identical to an unattached run.
+    fault: Option<Box<FaultCtx>>,
 }
 
 impl Network {
@@ -65,7 +71,25 @@ impl Network {
             next_packet_id: 0,
             scratch_cand: Vec::new(),
             observer: None,
+            fault: None,
         }
+    }
+
+    /// Attach a fault-injection configuration (replacing any previous one).
+    /// Scheduled faults fire on the cycles given in the schedule; the BER
+    /// process applies from the next delivery onward.
+    pub fn attach_faults(&mut self, cfg: FaultConfig) {
+        self.fault = Some(Box::new(FaultCtx::new(cfg, self.channels.len(), self.buses.len())));
+    }
+
+    /// Whether a fault configuration is attached.
+    pub fn has_faults(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The attached fault configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_deref().map(|c| &c.cfg)
     }
 
     /// Attach an event observer (replacing any previous one). Events start
@@ -117,19 +141,34 @@ impl Network {
     }
 
     /// Queue a packet of `len` flits from `src` to `dst` at the current
-    /// cycle. Returns its packet id.
+    /// cycle. Returns its packet id. With a bounded source queue
+    /// ([`crate::RouterConfig::src_queue_cap`]) a full queue rejects the
+    /// offer — counted in `NetStats::offers_rejected`, the returned id then
+    /// unused; use [`Network::try_inject_packet`] to observe rejection.
     pub fn inject_packet(&mut self, src: CoreId, dst: CoreId, len: u16) -> u64 {
+        let id = self.next_packet_id;
+        let _ = self.try_inject_packet(src, dst, len);
+        id
+    }
+
+    /// Queue a packet, or return `None` when the bounded source queue at
+    /// `src` is full (a backpressure drop, counted in
+    /// `NetStats::offers_rejected`).
+    pub fn try_inject_packet(&mut self, src: CoreId, dst: CoreId, len: u16) -> Option<u64> {
         assert!(src != dst, "self-addressed packets are not modelled");
         assert!(len >= 1);
         let id = self.next_packet_id;
         self.next_packet_id += 1;
         let p = Packet { id, src, dst, len, created_at: self.now };
-        self.nics[src as usize].offer(p);
+        if !self.nics[src as usize].offer(p) {
+            self.stats.offers_rejected += 1;
+            return None;
+        }
         self.stats.packets_offered += 1;
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_event(&NocEvent::PacketOffered { at: self.now, packet: id, src, dst, len });
         }
-        id
+        Some(id)
     }
 
     /// Total packets queued at source NICs (offered but not yet injected).
@@ -150,6 +189,9 @@ impl Network {
     /// Advance one cycle.
     pub fn step(&mut self) {
         self.now += 1;
+        if self.fault.is_some() {
+            self.fault_tick();
+        }
         self.deliver();
         self.sa_st();
         self.vca();
@@ -157,13 +199,23 @@ impl Network {
         self.inject();
         let now = self.now;
         if self.observer.is_none() {
-            for b in &mut self.buses {
-                b.end_cycle(now);
+            match self.fault.as_deref() {
+                None => {
+                    for b in &mut self.buses {
+                        b.end_cycle(now);
+                    }
+                }
+                Some(ctx) => {
+                    for (bi, b) in self.buses.iter_mut().enumerate() {
+                        b.end_cycle_frozen(now, ctx.token_frozen(bi, now));
+                    }
+                }
             }
         } else {
             for bi in 0..self.buses.len() {
+                let frozen = self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now));
                 let b = &mut self.buses[bi];
-                let handoff = b.end_cycle(now);
+                let handoff = b.end_cycle_frozen(now, frozen);
                 // Busy/idle edge detection (wireless channel occupancy).
                 let busy = b.is_busy(now);
                 let edge = (b.obs_busy != busy).then_some(if busy {
@@ -208,13 +260,121 @@ impl Network {
         self.quiescent()
     }
 
+    // ---- phase 0: fault schedule -------------------------------------
+
+    /// Activate scheduled faults due this cycle, report recoveries, and
+    /// deliver delayed detection notices to the routing algorithm.
+    fn fault_tick(&mut self) {
+        let now = self.now;
+        let Some(ctx) = self.fault.as_deref_mut() else { return };
+        if ctx.idle() {
+            return;
+        }
+        for ev in ctx.activate_due(now) {
+            self.stats.first_fault_at.get_or_insert(now);
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_event(&NocEvent::LinkFailed {
+                    at: now,
+                    target: ev.target,
+                    until: ev.until(),
+                });
+            }
+        }
+        for target in ctx.recovered_due(now) {
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_event(&NocEvent::LinkRecovered { at: now, target });
+            }
+        }
+        for (target, up) in ctx.due_notices(now) {
+            if self.routing.fault_notice(target, up) {
+                self.stats.failovers += 1;
+                self.stats.first_failover_at.get_or_insert(now);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::FailoverActivated { at: now, target, up });
+                }
+            }
+        }
+    }
+
     // ---- phase 1: link delivery --------------------------------------
+
+    /// Fault check at the reader of a medium (CRC model), shared by the
+    /// channel and bus delivery loops. Mutates the front in-flight entry:
+    /// on a corruption within budget the arrival time is re-armed to the
+    /// retransmission's arrival (stop-and-wait: later flits on the medium
+    /// queue behind it) and the caller must stop delivering from this
+    /// medium; on an exhausted budget the flit is poisoned and delivered
+    /// anyway. Returns `true` when delivery from this medium must stop.
+    #[allow(clippy::too_many_arguments)] // internal hot-path helper; splat of disjoint &mut fields
+    fn fault_check(
+        ctx: &mut FaultCtx,
+        stats: &mut NetStats,
+        observer: &mut Option<Box<dyn Observer>>,
+        target: FaultTarget,
+        arrival: &mut Cycle,
+        flit: &mut crate::flit::Flit,
+        rtt: u64,
+        now: Cycle,
+    ) -> bool {
+        let corrupted = !flit.poisoned
+            && match target {
+                FaultTarget::Channel(c) => ctx.corrupts_channel(c as usize, now),
+                FaultTarget::Bus(b) => ctx.corrupts_bus(b as usize, now),
+                FaultTarget::TokenRing(_) => false,
+            };
+        if !corrupted {
+            return false;
+        }
+        stats.flits_corrupted += 1;
+        flit.retries += 1;
+        let retry = flit.retries;
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_event(&NocEvent::FlitCorrupted {
+                at: now,
+                target,
+                packet: flit.packet_id,
+                seq: flit.seq,
+                retry,
+            });
+        }
+        if retry > ctx.cfg.retry_limit {
+            // Budget exhausted: deliver the flit poisoned so flow control
+            // stays intact; the destination drops the whole packet.
+            flit.poisoned = true;
+            ctx.poisoned.insert(flit.packet_id);
+            return false;
+        }
+        // NACK + retransmission: the flit re-arrives one round trip (plus
+        // exponential backoff) later; the medium FIFO blocks behind it.
+        let resend_at = now + ctx.retry_delay(rtt, retry);
+        *arrival = resend_at;
+        stats.flit_retransmits += 1;
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_event(&NocEvent::RetransmitScheduled {
+                at: now,
+                target,
+                packet: flit.packet_id,
+                seq: flit.seq,
+                resend_at,
+            });
+        }
+        true
+    }
 
     fn deliver(&mut self) {
         let now = self.now;
-        let routers = &mut self.routers;
-        for ch in &mut self.channels {
+        let Network { routers, channels, buses, stats, fault, observer, .. } = self;
+        for (ci, ch) in channels.iter_mut().enumerate() {
             while ch.in_flight.front().is_some_and(|&(t, _)| t <= now) {
+                if let Some(ctx) = fault.as_deref_mut() {
+                    let rtt = 2 * u64::from(ch.latency) + u64::from(ch.ser_cycles);
+                    let front = ch.in_flight.front_mut().unwrap();
+                    let (arrival, flit) = (&mut front.0, &mut front.1);
+                    let target = FaultTarget::Channel(ci as ChannelId);
+                    if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now) {
+                        break;
+                    }
+                }
                 let (_, flit) = ch.in_flight.pop_front().unwrap();
                 let (r, p) = ch.dst;
                 let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
@@ -223,7 +383,7 @@ impl Network {
                     vc.buf.len() <= routers[r as usize].buf_depth as usize,
                     "input buffer overflow at router {r} port {p} — credit protocol violated"
                 );
-                self.stats.buffer_writes[r as usize] += 1;
+                stats.buffer_writes[r as usize] += 1;
             }
             while ch.credits_back.front().is_some_and(|&(t, _)| t <= now) {
                 let (_, vc) = ch.credits_back.pop_front().unwrap();
@@ -231,14 +391,23 @@ impl Network {
                 routers[r as usize].out_ports[p as usize].vcs[vc as usize].credits += 1;
             }
         }
-        for bus in &mut self.buses {
+        for (bi, bus) in buses.iter_mut().enumerate() {
             while bus.in_flight.front().is_some_and(|&(t, _, _)| t <= now) {
+                if let Some(ctx) = fault.as_deref_mut() {
+                    let rtt = 2 * u64::from(bus.latency) + u64::from(bus.ser_cycles);
+                    let front = bus.in_flight.front_mut().unwrap();
+                    let (arrival, flit) = (&mut front.0, &mut front.2);
+                    let target = FaultTarget::Bus(bi as BusId);
+                    if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now) {
+                        break;
+                    }
+                }
                 let (_, reader, flit) = bus.in_flight.pop_front().unwrap();
                 let (r, p) = bus.readers[reader as usize];
                 let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
                 vc.buf.push_back((now, flit));
                 debug_assert!(vc.buf.len() <= routers[r as usize].buf_depth as usize);
-                self.stats.buffer_writes[r as usize] += 1;
+                stats.buffer_writes[r as usize] += 1;
             }
             while bus.credits_back.front().is_some_and(|&(t, _, _)| t <= now) {
                 let (_, reader, vc) = bus.credits_back.pop_front().unwrap();
@@ -362,6 +531,8 @@ impl Network {
 
         let op = &mut router.out_ports[out_port as usize];
         flit.vc = out_vc;
+        // The link-level retry budget is per hop; poisoning persists.
+        flit.retries = 0;
         match op.target {
             OutTarget::Channel(ch) => {
                 flit.hops += 1;
@@ -410,7 +581,18 @@ impl Network {
                     self.stats.measured_flits_ejected += 1;
                 }
                 debug_assert_eq!(flit.dst, core, "flit ejected at wrong core");
-                if is_tail {
+                // A packet any of whose flits was poisoned (exhausted link
+                // retries) fails the destination CRC: discarded, not
+                // delivered.
+                let dropped = is_tail
+                    && self
+                        .fault
+                        .as_deref_mut()
+                        .is_some_and(|ctx| ctx.poisoned.remove(&flit.packet_id));
+                if dropped {
+                    self.stats.packets_dropped_corrupt += 1;
+                }
+                if is_tail && !dropped {
                     // +1 for the ejection link traversal.
                     self.stats.packet_delivered_full(
                         core,
@@ -426,7 +608,7 @@ impl Network {
                         packet: flit.packet_id,
                         seq: flit.seq,
                     });
-                    if is_tail {
+                    if is_tail && !dropped {
                         obs.on_event(&NocEvent::PacketDelivered {
                             at: now + 1,
                             packet: flit.packet_id,

@@ -1,11 +1,13 @@
 //! Network interfaces: per-core injection and ejection.
 //!
-//! Each core has a NIC that owns an unbounded source queue of packets,
-//! segments the packet at the head into flits, and streams them into the
-//! attached router's local input port — at most one flit per cycle, subject
-//! to credits, never interleaving two packets on one virtual channel.
-//! Ejection reassembles packets (flits of one packet arrive in order on one
-//! VC) and reports delivery when the tail flit arrives.
+//! Each core has a NIC that owns a source queue of packets (unbounded by
+//! default, optionally capacity-bounded — see
+//! [`crate::RouterConfig::src_queue_cap`]), segments the packet at the head
+//! into flits, and streams them into the attached router's local input
+//! port — at most one flit per cycle, subject to credits, never
+//! interleaving two packets on one virtual channel. Ejection reassembles
+//! packets (flits of one packet arrive in order on one VC) and reports
+//! delivery when the tail flit arrives.
 
 use std::collections::VecDeque;
 
@@ -22,6 +24,9 @@ pub struct Nic {
     pub in_port: PortId,
     /// Source queue of packets awaiting injection.
     pub(crate) queue: VecDeque<Packet>,
+    /// Maximum packets the source queue holds (`None` = unbounded). The
+    /// packet being streamed does not count against the bound.
+    pub(crate) capacity: Option<u32>,
     /// Credits for each VC of the router's local input port.
     pub(crate) credits: Vec<u32>,
     /// Packet currently being streamed: `(packet, next_seq, vc,
@@ -42,12 +47,14 @@ impl Nic {
         in_port: PortId,
         vcs: u8,
         buf_depth: u32,
+        capacity: Option<u32>,
     ) -> Self {
         Nic {
             core,
             router,
             in_port,
             queue: VecDeque::new(),
+            capacity,
             credits: vec![buf_depth; vcs as usize],
             streaming: None,
             vc_arb: RoundRobin::new(vcs as usize),
@@ -55,9 +62,15 @@ impl Nic {
         }
     }
 
-    /// Queue a packet for injection.
-    pub fn offer(&mut self, p: Packet) {
+    /// Queue a packet for injection. Returns `false` (rejecting the
+    /// packet) when a bounded queue is at capacity — the caller accounts
+    /// the backpressure drop.
+    pub fn offer(&mut self, p: Packet) -> bool {
+        if self.capacity.is_some_and(|cap| self.queue.len() >= cap as usize) {
+            return false;
+        }
         self.queue.push_back(p);
+        true
     }
 
     /// Packets waiting (including the one being streamed).
@@ -102,7 +115,7 @@ mod tests {
     use super::*;
 
     fn nic() -> Nic {
-        Nic::new(0, 0, 0, 2, 2)
+        Nic::new(0, 0, 0, 2, 2, None)
     }
 
     #[test]
@@ -153,6 +166,29 @@ mod tests {
         assert_eq!(n.backlog(), 1, "half-sent packet still counts");
         let _ = n.next_flit(0).unwrap();
         assert_eq!(n.backlog(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let mut n = Nic::new(0, 0, 0, 2, 2, Some(2));
+        let p = |id| Packet { id, src: 0, dst: 1, len: 2, created_at: 0 };
+        assert!(n.offer(p(1)));
+        assert!(n.offer(p(2)));
+        assert!(!n.offer(p(3)), "third packet exceeds capacity 2");
+        // Streaming the head packet frees a slot (streamed packet does not
+        // count against the bound).
+        let _ = n.next_flit(0).unwrap();
+        assert!(n.offer(p(4)));
+        assert!(!n.offer(p(5)));
+    }
+
+    #[test]
+    fn unbounded_queue_never_rejects() {
+        let mut n = nic();
+        for id in 0..1000 {
+            assert!(n.offer(Packet { id, src: 0, dst: 1, len: 1, created_at: 0 }));
+        }
+        assert_eq!(n.backlog(), 1000);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::any::Any;
 
+use crate::fault::FaultTarget;
 use crate::ids::{BusId, ChannelId, CoreId, Cycle};
 
 /// One engine lifecycle event. Every variant carries `at`, the cycle at
@@ -58,6 +59,25 @@ pub enum NocEvent {
     BusBusy { at: Cycle, bus: BusId, until: Cycle },
     /// The bus medium finished its last transmission and is now idle.
     BusIdle { at: Cycle, bus: BusId },
+    /// A flit arrived corrupted at the reader of a link (CRC mismatch);
+    /// `retry` is how many retransmissions this flit has now consumed on
+    /// this link (1 on the first corruption).
+    FlitCorrupted { at: Cycle, target: FaultTarget, packet: u64, seq: u16, retry: u8 },
+    /// The reader NACKed a corrupted flit and the writer scheduled a
+    /// retransmission that redelivers at `resend_at` (NACK round trip plus
+    /// exponential backoff).
+    RetransmitScheduled { at: Cycle, target: FaultTarget, packet: u64, seq: u16, resend_at: Cycle },
+    /// A scheduled fault became active: the link/bus corrupts every flit
+    /// (or the token ring froze) until `until` (`u64::MAX` = permanent).
+    LinkFailed { at: Cycle, target: FaultTarget, until: Cycle },
+    /// A transient fault's window ended; the medium is healthy again.
+    LinkRecovered { at: Cycle, target: FaultTarget },
+    /// The routing algorithm reacted to a fault notification (delivered
+    /// `detect_delay` cycles after the fault) by re-routing around
+    /// `target` — e.g. OWN spare-band failover. `up` distinguishes
+    /// engaging the spare (false = target went down) from reverting to the
+    /// primary after recovery (true).
+    FailoverActivated { at: Cycle, target: FaultTarget, up: bool },
 }
 
 /// Discriminant of a [`NocEvent`], for counting and filtering.
@@ -72,11 +92,16 @@ pub enum EventKind {
     TokenGranted,
     BusBusy,
     BusIdle,
+    FlitCorrupted,
+    RetransmitScheduled,
+    LinkFailed,
+    LinkRecovered,
+    FailoverActivated,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (indexable by `as usize`).
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::PacketOffered,
         EventKind::PacketInjected,
         EventKind::FlitChannel,
@@ -86,6 +111,11 @@ impl EventKind {
         EventKind::TokenGranted,
         EventKind::BusBusy,
         EventKind::BusIdle,
+        EventKind::FlitCorrupted,
+        EventKind::RetransmitScheduled,
+        EventKind::LinkFailed,
+        EventKind::LinkRecovered,
+        EventKind::FailoverActivated,
     ];
 
     /// Stable display name (also the JSONL `kind` tag).
@@ -100,6 +130,11 @@ impl EventKind {
             EventKind::TokenGranted => "token_granted",
             EventKind::BusBusy => "bus_busy",
             EventKind::BusIdle => "bus_idle",
+            EventKind::FlitCorrupted => "flit_corrupted",
+            EventKind::RetransmitScheduled => "retransmit_scheduled",
+            EventKind::LinkFailed => "link_failed",
+            EventKind::LinkRecovered => "link_recovered",
+            EventKind::FailoverActivated => "failover_activated",
         }
     }
 }
@@ -117,6 +152,11 @@ impl NocEvent {
             NocEvent::TokenGranted { .. } => EventKind::TokenGranted,
             NocEvent::BusBusy { .. } => EventKind::BusBusy,
             NocEvent::BusIdle { .. } => EventKind::BusIdle,
+            NocEvent::FlitCorrupted { .. } => EventKind::FlitCorrupted,
+            NocEvent::RetransmitScheduled { .. } => EventKind::RetransmitScheduled,
+            NocEvent::LinkFailed { .. } => EventKind::LinkFailed,
+            NocEvent::LinkRecovered { .. } => EventKind::LinkRecovered,
+            NocEvent::FailoverActivated { .. } => EventKind::FailoverActivated,
         }
     }
 
@@ -131,7 +171,12 @@ impl NocEvent {
             | NocEvent::PacketDelivered { at, .. }
             | NocEvent::TokenGranted { at, .. }
             | NocEvent::BusBusy { at, .. }
-            | NocEvent::BusIdle { at, .. } => at,
+            | NocEvent::BusIdle { at, .. }
+            | NocEvent::FlitCorrupted { at, .. }
+            | NocEvent::RetransmitScheduled { at, .. }
+            | NocEvent::LinkFailed { at, .. }
+            | NocEvent::LinkRecovered { at, .. }
+            | NocEvent::FailoverActivated { at, .. } => at,
         }
     }
 }

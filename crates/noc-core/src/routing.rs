@@ -7,6 +7,7 @@
 //! (e.g. OWN-256 dedicates VCs 0–1 to photonic hops and VCs 2–3 to wireless
 //! hops; OWN-1024 dedicates one VC per inter-group direction class, §V-A).
 
+use crate::fault::FaultTarget;
 use crate::ids::{CoreId, PortId, RouterId};
 
 /// The outcome of route computation at one router for one packet.
@@ -51,6 +52,18 @@ impl RouteDecision {
 pub trait RoutingAlg: Send + Sync {
     /// Compute the next hop at `router` for a packet destined to core `dst`.
     fn route(&self, router: RouterId, dst: CoreId) -> RouteDecision;
+
+    /// Fault notification, delivered by the engine `detect_delay` cycles
+    /// after a scheduled fault fires (`up == false`) or clears
+    /// (`up == true`) — see `noc_core::fault`. Return `true` when the
+    /// notification changed routing (e.g. traffic switched to a spare
+    /// band); the engine then reports a
+    /// [`crate::NocEvent::FailoverActivated`] event. The default ignores
+    /// faults and keeps routing unchanged.
+    fn fault_notice(&mut self, target: FaultTarget, up: bool) -> bool {
+        let _ = (target, up);
+        false
+    }
 }
 
 /// Routing by table lookup — handy for tests and tiny topologies.

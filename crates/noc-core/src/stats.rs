@@ -9,7 +9,7 @@
 use crate::ids::{ChannelId, CoreId, Cycle};
 
 /// A latency histogram with fixed-width buckets plus exact sum/max.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHist {
     /// Bucket width in cycles.
     pub bucket_width: u64,
@@ -67,7 +67,7 @@ impl LatencyHist {
 }
 
 /// Event counters for one simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetStats {
     /// Current simulation cycle (mirrors `Network::now`).
     pub cycles: Cycle,
@@ -109,6 +109,28 @@ pub struct NetStats {
     /// Per-destination delivered *packets* (fairness across receivers:
     /// a skewed distribution under a symmetric pattern flags starvation).
     pub per_core_packets: Vec<u64>,
+    /// Flit deliveries that arrived corrupted (CRC mismatch at the reader).
+    pub flits_corrupted: u64,
+    /// Link-level retransmissions scheduled (NACK + writer resend).
+    pub flit_retransmits: u64,
+    /// Packets discarded at the destination because a flit exhausted its
+    /// retry budget on a faulty link (see `noc_core::fault`).
+    pub packets_dropped_corrupt: u64,
+    /// Packets rejected at a bounded source NIC queue (backpressure drops;
+    /// 0 when the queue is unbounded).
+    pub offers_rejected: u64,
+    /// Failover (and failback) route changes performed by the routing
+    /// algorithm in response to fault notifications.
+    pub failovers: u64,
+    /// Cycle the first scheduled fault became active, if any.
+    pub first_fault_at: Option<Cycle>,
+    /// Cycle of the first failover route change, if any;
+    /// `first_failover_at - first_fault_at` is the time-to-failover.
+    pub first_failover_at: Option<Cycle>,
+    /// Latency distribution of packets *created at or after the first
+    /// fault* (and inside the measurement window) — isolates post-fault
+    /// degradation from the healthy-network baseline.
+    pub post_fault_latency: LatencyHist,
 }
 
 impl NetStats {
@@ -131,6 +153,14 @@ impl NetStats {
             measure_until: u64::MAX,
             per_core_ejected: vec![0; n_cores],
             per_core_packets: vec![0; n_cores],
+            flits_corrupted: 0,
+            flit_retransmits: 0,
+            packets_dropped_corrupt: 0,
+            offers_rejected: 0,
+            failovers: 0,
+            first_fault_at: None,
+            first_failover_at: None,
+            post_fault_latency: LatencyHist::new(8, 512),
         }
     }
 
@@ -149,6 +179,21 @@ impl NetStats {
             self.latency.record(now - created_at);
             self.queue_delay.record(injected_at.saturating_sub(created_at));
             self.network_latency.record(now.saturating_sub(injected_at));
+            if self.first_fault_at.is_some_and(|f| created_at >= f) {
+                self.post_fault_latency.record(now - created_at);
+            }
+        }
+    }
+
+    /// Fraction of terminally-resolved packets that were delivered intact:
+    /// `delivered / (delivered + dropped_corrupt + offers_rejected)`.
+    /// 1.0 on a healthy network (or before anything resolves).
+    pub fn delivered_fraction(&self) -> f64 {
+        let resolved = self.packets_delivered + self.packets_dropped_corrupt + self.offers_rejected;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.packets_delivered as f64 / resolved as f64
         }
     }
 

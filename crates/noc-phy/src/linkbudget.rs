@@ -14,9 +14,27 @@
 //! multipath. The defaults are calibrated to the paper's quoted point: at
 //! 32 Gb/s, 90 GHz, isotropic antennas (0 dBi), a 50 mm link requires
 //! ≥4 dBm of transmit power.
+//!
+//! The same budget also yields a physically-grounded **bit error rate**:
+//! non-coherent OOK envelope detection has `BER ≈ ½·exp(−SNR/4)` (SNR in
+//! linear units), so the SNR surplus of a link over the detector's
+//! requirement maps margin dB → BER. [`LinkBudget::ber_for_class`] turns a
+//! wireless distance class into the BER the resilience model in
+//! `noc-core::fault` consumes.
+
+use noc_core::DistanceClass;
 
 /// Speed of light (m/s).
 const C: f64 = 2.998e8;
+
+/// BER of non-coherent OOK envelope detection at the given SNR (dB):
+/// `½·exp(−snr_linear/4)`, the classic approximation for an envelope
+/// detector with an optimal threshold. Clamped to the physical ½ maximum
+/// as SNR → −∞.
+pub fn ook_ber_from_snr_db(snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    (0.5 * (-snr / 4.0).exp()).min(0.5)
+}
 
 /// Link-budget model for an on-chip mm-wave OOK link.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +99,38 @@ impl LinkBudget {
     pub fn ld_factor(&self, distance_mm: f64, antenna_dbi: f64) -> f64 {
         self.required_tx_power_mw(distance_mm, antenna_dbi)
             / self.required_tx_power_mw(60.0, antenna_dbi)
+    }
+
+    /// SNR margin (dB) a link of `distance_mm` achieves over the detector's
+    /// requirement when driven at `tx_power_dbm`. Positive margin means the
+    /// received SNR exceeds `snr_required_db`; the implementation margin
+    /// `margin_db` is treated as consumed by real-world impairments and does
+    /// not count towards the surplus.
+    pub fn snr_margin_db(&self, distance_mm: f64, antenna_dbi: f64, tx_power_dbm: f64) -> f64 {
+        tx_power_dbm - self.required_tx_power_dbm(distance_mm, antenna_dbi)
+    }
+
+    /// BER achieved with the given SNR surplus (dB) over the requirement:
+    /// the envelope detector then sees `snr_required_db + margin_db` of SNR.
+    pub fn ber_with_margin(&self, margin_db: f64) -> f64 {
+        ook_ber_from_snr_db(self.snr_required_db + margin_db)
+    }
+
+    /// BER of a link of `distance_mm` driven at `tx_power_dbm` with the
+    /// given per-antenna directivity: the link-budget surplus (or deficit)
+    /// shifts the detector SNR away from `snr_required_db`, and the OOK
+    /// envelope-detection curve maps that SNR to a bit error rate.
+    pub fn ber_at(&self, distance_mm: f64, antenna_dbi: f64, tx_power_dbm: f64) -> f64 {
+        self.ber_with_margin(self.snr_margin_db(distance_mm, antenna_dbi, tx_power_dbm))
+    }
+
+    /// BER of a wireless link in the given Table I distance class. The
+    /// transmitter is assumed sized for the worst-case 60 mm diagonal
+    /// (`tx_margin_db` above the C2C requirement), so shorter classes
+    /// enjoy the full path-loss difference as extra SNR.
+    pub fn ber_for_class(&self, class: DistanceClass, antenna_dbi: f64, tx_margin_db: f64) -> f64 {
+        let tx = self.required_tx_power_dbm(60.0, antenna_dbi) + tx_margin_db;
+        self.ber_at(class.distance_mm(), antenna_dbi, tx)
     }
 
     /// The Figure 3 sweep: required TX power (dBm) at each distance (mm)
@@ -172,5 +222,65 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_distance_rejected() {
         let _ = LinkBudget::default().path_loss_db(0.0);
+    }
+
+    #[test]
+    fn ook_ber_curve_anchors() {
+        // Deep negative SNR saturates at the coin-flip bound.
+        assert!(ook_ber_from_snr_db(-60.0) > 0.4999);
+        assert_eq!(ook_ber_from_snr_db(f64::NEG_INFINITY), 0.5);
+        // 14 dB SNR (the default requirement) lands near 1e-3 — the usual
+        // uncoded OOK design point.
+        let at_req = ook_ber_from_snr_db(14.0);
+        assert!((1e-4..1e-2).contains(&at_req), "got {at_req:e}");
+        // Monotone decreasing in SNR.
+        let mut last = 0.6;
+        for snr in [-10.0, 0.0, 6.0, 10.0, 14.0, 18.0, 22.0] {
+            let ber = ook_ber_from_snr_db(snr);
+            assert!(ber < last, "BER must fall with SNR");
+            last = ber;
+        }
+    }
+
+    #[test]
+    fn margin_buys_orders_of_magnitude() {
+        let lb = LinkBudget::default();
+        let b0 = lb.ber_with_margin(0.0);
+        let b5 = lb.ber_with_margin(5.0);
+        assert!(b5 < b0 / 100.0, "5 dB of margin wins >2 decades: {b0:e} -> {b5:e}");
+        // A deficit degrades towards 0.5.
+        assert!(lb.ber_with_margin(-14.0) > 0.05);
+    }
+
+    #[test]
+    fn ber_at_required_power_equals_zero_margin_ber() {
+        let lb = LinkBudget::default();
+        let tx = lb.required_tx_power_dbm(50.0, 0.0);
+        let diff = lb.ber_at(50.0, 0.0, tx) - lb.ber_with_margin(0.0);
+        assert!(diff.abs() < 1e-15);
+        assert!(lb.snr_margin_db(50.0, 0.0, tx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_distance_classes_have_lower_ber() {
+        let lb = LinkBudget::default();
+        let c2c = lb.ber_for_class(DistanceClass::C2C, 0.0, 0.0);
+        let e2e = lb.ber_for_class(DistanceClass::E2E, 0.0, 0.0);
+        let sr = lb.ber_for_class(DistanceClass::SR, 0.0, 0.0);
+        // TX sized exactly for C2C: the diagonal runs at the zero-margin
+        // design BER, shorter spans are cleaner by the path-loss delta.
+        assert!((c2c - lb.ber_with_margin(0.0)).abs() < 1e-15);
+        assert!(e2e < c2c && sr < e2e, "c2c {c2c:e} e2e {e2e:e} sr {sr:e}");
+        assert!(sr < 1e-9, "10 mm link has ~15.6 dB of surplus: {sr:e}");
+    }
+
+    #[test]
+    fn tx_margin_improves_every_class() {
+        let lb = LinkBudget::default();
+        for class in [DistanceClass::C2C, DistanceClass::E2E, DistanceClass::SR] {
+            let base = lb.ber_for_class(class, 0.0, 0.0);
+            let boosted = lb.ber_for_class(class, 0.0, 3.0);
+            assert!(boosted < base, "{class:?}: {base:e} -> {boosted:e}");
+        }
     }
 }

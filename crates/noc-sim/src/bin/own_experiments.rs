@@ -22,12 +22,22 @@
 //! * `--progress` — per-point sweep progress and per-experiment wall-clock
 //!   timings on stderr.
 //!
+//! Resilience flags (consumed by the `resilience` experiment):
+//!
+//! * `--faults <spec>` — fault schedule, e.g. `band:3@5000` (permanent) or
+//!   `band:3@5000+2000, token:0@8000+500` (transient, comma-separated);
+//!   targets are `band:<n>`, `ch:<id>`, `bus:<id>`, `token:<id>`.
+//! * `--ber <rate>` — uniform wireless bit error rate (default: derived
+//!   per distance class from the noc-phy link budget).
+//! * `--retry-limit <n>` — link-level retransmission budget per flit hop.
+//!
 //! Unknown experiment names and unreadable `--spec` files are diagnosed
 //! before anything runs, and exit with status 2.
 
 use std::time::Instant;
 
 use noc_power::Scenario;
+use noc_sim::experiments::resilience::{self, ResilienceOpts};
 use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
 use noc_sim::obs::{write_chrome_trace, write_jsonl, RingRecorder};
 use noc_sim::{Report, SimConfig, SimSpec, Simulation};
@@ -58,6 +68,7 @@ const KNOWN: &[&str] = &[
     "placement",
     "nodes",
     "thermal",
+    "resilience",
 ];
 
 fn main() {
@@ -73,6 +84,7 @@ fn main() {
     let mut progress = false;
     let mut trace_file: Option<String> = None;
     let mut sample_interval: u64 = 0;
+    let mut resilience_opts = ResilienceOpts::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
@@ -105,6 +117,38 @@ fn main() {
                     eprintln!("--sample-interval must be >= 1");
                     std::process::exit(2);
                 }
+            }
+            "--faults" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--faults requires a schedule spec (e.g. band:3@5000)");
+                    std::process::exit(2);
+                };
+                resilience_opts.faults = Some(s.clone());
+            }
+            "--ber" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--ber requires a bit error rate");
+                    std::process::exit(2);
+                };
+                let rate: f64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--ber: not a rate: {s}");
+                    std::process::exit(2);
+                });
+                if !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--ber must be a probability in [0, 1], got {rate}");
+                    std::process::exit(2);
+                }
+                resilience_opts.ber = Some(rate);
+            }
+            "--retry-limit" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--retry-limit requires a count");
+                    std::process::exit(2);
+                };
+                resilience_opts.retry_limit = Some(s.parse().unwrap_or_else(|_| {
+                    eprintln!("--retry-limit: not a count: {s}");
+                    std::process::exit(2);
+                }));
             }
             "--quick" => budget = Budget::quick(),
             "--full" => budget = Budget::full(),
@@ -145,6 +189,7 @@ fn main() {
                 "placement",
                 "nodes",
                 "thermal",
+                "resilience",
             ]
             .map(String::from),
         );
@@ -162,6 +207,12 @@ fn main() {
     if wanted.is_empty() && spec_files.is_empty() && trace_file.is_none() {
         usage();
         std::process::exit(2);
+    }
+    if let Some(spec) = &resilience_opts.faults {
+        if let Err(e) = resilience::validate_fault_spec(spec) {
+            eprintln!("--faults: {e}");
+            std::process::exit(2);
+        }
     }
 
     let emit = |r: &Report| {
@@ -245,6 +296,10 @@ fn main() {
                 emit(&extensions::thermal(256));
                 emit(&extensions::thermal(1024));
             }
+            "resilience" => {
+                emit(&resilience::resilience(budget, &resilience_opts));
+                emit(&resilience::resilience_sweep(budget, &resilience_opts));
+            }
             other => unreachable!("validated above: {other}"),
         }
         if progress {
@@ -256,11 +311,13 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--progress] \
-         [--trace out.json] [--sample-interval n] [--spec file.json]... <experiment|all>..."
+         [--trace out.json] [--sample-interval n] [--spec file.json]... \
+         [--faults spec] [--ber rate] [--retry-limit n] <experiment|all>..."
     );
     eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
     eprintln!(
-        "extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal (or: extras)"
+        "extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal \
+         resilience (or: extras)"
     );
 }
 

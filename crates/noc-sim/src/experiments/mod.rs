@@ -17,7 +17,10 @@
 //!
 //! Beyond the paper's artifacts, [`extensions`] quantifies its qualitative
 //! claims (area/ring counts, photonic loss, SDM interference) and its
-//! declared future work (reconfiguration bands, bursty traffic).
+//! declared future work (reconfiguration bands, bursty traffic), and
+//! [`resilience`] exercises the fault model: scheduled link/bus/token
+//! failures, link-budget-derived bit error rates, and runtime spare-band
+//! failover.
 //!
 //! Every runner takes a [`Budget`] so the same code serves quick CI checks
 //! and full regeneration runs.
@@ -26,6 +29,7 @@ pub mod extensions;
 pub mod perf;
 pub mod phy;
 pub mod power;
+pub mod resilience;
 pub mod tables;
 
 use crate::sim::SimConfig;

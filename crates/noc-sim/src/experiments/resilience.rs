@@ -1,0 +1,439 @@
+//! Resilience experiments: scheduled faults, link error processes, and
+//! runtime spare-band failover on OWN-256.
+//!
+//! The fault model lives in `noc_core::fault` (poison-and-flush retransmit
+//! protocol, frozen token rings, detection-delayed routing notices); the
+//! per-distance-class bit error rates come from the `noc-phy` link budget
+//! (OOK envelope-detection curve), and the failover reaction is
+//! `noc_topology`'s [`ReconfigPolicy::Protect`] — traffic switches onto
+//! spare bands 13–16 once the primary's failure is detected.
+//!
+//! Fault schedules can be written by hand in a compact spec syntax (see
+//! [`parse_fault_spec`]):
+//!
+//! ```text
+//! band:3@5000            permanently kill wireless band 3 at cycle 5000
+//! band:3@5000+2000       … for 2000 cycles only (transient)
+//! ch:17@100, bus:0@9000  channel/bus by raw id, comma-separated
+//! token:2@400+100        freeze bus 2's token ring for 100 cycles
+//! ```
+
+use noc_core::{
+    DistanceClass, FaultConfig, FaultEvent, FaultSchedule, FaultTarget, LinkClass, Network,
+};
+use noc_phy::LinkBudget;
+use noc_topology::{Own256Reconfig, ReconfigPolicy};
+use noc_traffic::TrafficPattern;
+
+use crate::experiments::Budget;
+use crate::metrics::SimResult;
+use crate::report::Report;
+use crate::sim::Simulation;
+
+/// Antenna directivity assumed for the derived BERs, dBi per end.
+const ANTENNA_DBI: f64 = 0.0;
+/// TX power margin over the worst-case (60 mm) requirement, dB. Two dB of
+/// headroom puts the diagonal links at a realistic ~1e-5 BER and the short
+/// links effectively error-free.
+const TX_MARGIN_DB: f64 = 2.0;
+
+/// User overrides for the resilience runs, from the CLI.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOpts {
+    /// Fault schedule spec (see [`parse_fault_spec`]); `None` = the
+    /// built-in kill-the-diagonal scenario.
+    pub faults: Option<String>,
+    /// Uniform wireless BER override; `None` = derive per distance class
+    /// from the `noc-phy` link budget.
+    pub ber: Option<f64>,
+    /// Retry budget override per link-level transfer.
+    pub retry_limit: Option<u8>,
+}
+
+/// Resolve a Table III wireless band to its channel id in `net`.
+fn band_channel(net: &Network, band: u8) -> Result<u32, String> {
+    net.channels()
+        .iter()
+        .position(|c| matches!(c.class, LinkClass::Wireless { channel, .. } if channel == band))
+        .map(|i| i as u32)
+        .ok_or_else(|| format!("no wireless band {band} in this topology"))
+}
+
+/// Parse a comma-separated fault-schedule spec against a built network.
+///
+/// Each element is `<target>@<cycle>` (permanent) or
+/// `<target>@<cycle>+<duration>` (transient), with `<target>` one of
+/// `band:<n>` (wireless band, Table III numbering), `ch:<id>` (raw channel
+/// id), `bus:<id>` (shared medium), or `token:<id>` (freeze that bus's
+/// token ring without killing the medium).
+pub fn parse_fault_spec(spec: &str, net: &Network) -> Result<FaultSchedule, String> {
+    let mut sched = FaultSchedule::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (target_s, when) = part.split_once('@').ok_or_else(|| {
+            format!("missing '@' in {part:?} (expected <target>@<cycle>[+<dur>])")
+        })?;
+        let (kind, id_s) = target_s
+            .split_once(':')
+            .ok_or_else(|| format!("bad target {target_s:?} (expected band:/ch:/bus:/token:)"))?;
+        let id: u32 =
+            id_s.trim().parse().map_err(|_| format!("bad target id in {part:?}: {id_s:?}"))?;
+        let target = match kind.trim() {
+            "band" => {
+                let band =
+                    u8::try_from(id).map_err(|_| format!("band out of range in {part:?}"))?;
+                FaultTarget::Channel(band_channel(net, band)?)
+            }
+            "ch" => {
+                if id as usize >= net.channels().len() {
+                    return Err(format!("channel {id} out of range in {part:?}"));
+                }
+                FaultTarget::Channel(id)
+            }
+            "bus" => {
+                if id as usize >= net.buses().len() {
+                    return Err(format!("bus {id} out of range in {part:?}"));
+                }
+                FaultTarget::Bus(id)
+            }
+            "token" => {
+                if id as usize >= net.buses().len() {
+                    return Err(format!("bus {id} out of range in {part:?}"));
+                }
+                FaultTarget::TokenRing(id)
+            }
+            other => return Err(format!("unknown target kind {other:?} in {part:?}")),
+        };
+        let (at_s, dur_s) = match when.split_once('+') {
+            Some((a, d)) => (a, Some(d)),
+            None => (when, None),
+        };
+        let at: u64 = at_s.trim().parse().map_err(|_| format!("bad cycle in {part:?}"))?;
+        match dur_s {
+            None => {
+                sched.push(FaultEvent::permanent(at, target));
+            }
+            Some(d) => {
+                let dur: u64 = d.trim().parse().map_err(|_| format!("bad duration in {part:?}"))?;
+                if dur == 0 {
+                    return Err(format!("zero duration in {part:?}"));
+                }
+                sched.push(FaultEvent::transient(at, target, dur));
+            }
+        }
+    }
+    if sched.is_empty() {
+        return Err("empty fault spec".to_string());
+    }
+    Ok(sched)
+}
+
+/// Check a `--faults` spec against the OWN-256 reconfig topology without
+/// running anything, so the CLI can reject a typo up front instead of
+/// panicking mid-run.
+pub fn validate_fault_spec(spec: &str) -> Result<(), String> {
+    use noc_core::RouterConfig;
+    use noc_topology::Topology;
+    let net = Own256Reconfig::new(ReconfigPolicy::None).build(RouterConfig::default());
+    parse_fault_spec(spec, &net).map(|_| ())
+}
+
+/// Per-channel BERs: wireless links get the link-budget-derived (or
+/// overridden) rate; wired links are assumed clean.
+fn channel_bers(net: &Network, ber_override: Option<f64>) -> Vec<f64> {
+    let lb = LinkBudget::default();
+    let class_ber = |d: DistanceClass| {
+        ber_override.unwrap_or_else(|| lb.ber_for_class(d, ANTENNA_DBI, TX_MARGIN_DB))
+    };
+    net.channels()
+        .iter()
+        .map(|c| match c.class {
+            LinkClass::Wireless { distance, .. } => class_ber(distance),
+            _ => 0.0,
+        })
+        .collect()
+}
+
+/// Build, optionally fault, and run one OWN-256 resilience simulation.
+fn run(
+    policy: ReconfigPolicy,
+    budget: Budget,
+    opts: &ResilienceOpts,
+    with_ber: bool,
+    schedule: Option<&dyn Fn(&Network) -> FaultSchedule>,
+) -> SimResult {
+    let mut cfg = budget.config();
+    cfg.rate = 0.04;
+    cfg.pattern = TrafficPattern::Uniform;
+    let mut sim = Simulation::new(&Own256Reconfig::new(policy), cfg);
+    if with_ber || schedule.is_some() {
+        let net = sim.network();
+        let fault = FaultConfig {
+            schedule: schedule.map(|f| f(net)).unwrap_or_default(),
+            channel_ber: if with_ber { channel_bers(net, opts.ber) } else { Vec::new() },
+            retry_limit: opts.retry_limit.unwrap_or(FaultConfig::default().retry_limit),
+            ..Default::default()
+        };
+        sim.attach_faults(fault);
+    }
+    sim.run()
+}
+
+fn result_row(scenario: &str, r: &SimResult) -> Vec<String> {
+    vec![
+        scenario.to_string(),
+        format!("{:.1}", r.avg_latency),
+        format!("{:.4}", r.throughput),
+        format!("{:.4}", r.delivered_fraction),
+        format!("{}", r.flit_retransmits),
+        format!("{}", r.packets_dropped_corrupt),
+        format!("{}", r.failovers),
+        r.time_to_failover.map_or("-".to_string(), |t| t.to_string()),
+    ]
+}
+
+const COLUMNS: &[&str] = &[
+    "scenario",
+    "avg latency",
+    "throughput",
+    "delivered",
+    "retransmits",
+    "dropped",
+    "failovers",
+    "detect (cyc)",
+];
+
+/// The resilience experiment: OWN-256 under link errors and a mid-run
+/// diagonal-band failure, with and without spare-band protection.
+pub fn resilience(budget: Budget, opts: &ResilienceOpts) -> Report {
+    let mut r = Report::new(
+        "Extension — resilience: link errors and C2C band failure, OWN-256 uniform 0.04",
+        COLUMNS,
+    );
+    // The fault fires a quarter into the measurement window.
+    let fault_at = budget.warmup + budget.measure / 4;
+    let protect = ReconfigPolicy::Protect(vec![(0, 2)]);
+
+    let default_sched = move |net: &Network| {
+        let primary = band_channel(net, 3).expect("OWN-256 has band 3");
+        FaultSchedule::new().with(FaultEvent::permanent(fault_at, FaultTarget::Channel(primary)))
+    };
+    let transient_sched = move |net: &Network| {
+        let primary = band_channel(net, 3).expect("OWN-256 has band 3");
+        FaultSchedule::new().with(FaultEvent::transient(
+            fault_at,
+            FaultTarget::Channel(primary),
+            budget.measure / 4,
+        ))
+    };
+    let custom = opts.faults.clone();
+    let custom_sched = custom.as_deref().map(|s| {
+        move |net: &Network| parse_fault_spec(s, net).unwrap_or_else(|e| panic!("--faults: {e}"))
+    });
+
+    r.row(result_row("no faults", &run(protect.clone(), budget, opts, false, None)));
+    r.row(result_row("link BER only", &run(protect.clone(), budget, opts, true, None)));
+    match &custom_sched {
+        None => {
+            r.row(result_row(
+                "transient C2C outage + failover",
+                &run(protect.clone(), budget, opts, true, Some(&transient_sched)),
+            ));
+            r.row(result_row(
+                "permanent C2C failure + failover",
+                &run(protect, budget, opts, true, Some(&default_sched)),
+            ));
+            r.row(result_row(
+                "permanent C2C failure, no spare",
+                &run(ReconfigPolicy::None, budget, opts, true, Some(&default_sched)),
+            ));
+        }
+        Some(sched) => {
+            r.row(result_row(
+                "scheduled faults + failover",
+                &run(protect, budget, opts, true, Some(sched)),
+            ));
+            r.row(result_row(
+                "scheduled faults, no spare",
+                &run(ReconfigPolicy::None, budget, opts, true, Some(sched)),
+            ));
+        }
+    }
+    r
+}
+
+/// Sweep fault count and wireless BER against delivery metrics. All four
+/// spare bands protect the four C2C/E2E primaries that the sweep kills.
+pub fn resilience_sweep(budget: Budget, opts: &ResilienceOpts) -> Report {
+    let mut r = Report::new(
+        "Extension — resilience sweep: faults x BER, OWN-256 uniform 0.04 (protected)",
+        &[
+            "faults",
+            "wireless BER",
+            "avg latency",
+            "post-fault latency",
+            "throughput",
+            "delivered",
+            "dropped",
+            "failovers",
+            "detect (cyc)",
+        ],
+    );
+    // Protected pairs and their primary bands, killed in order.
+    let pairs = [(0u32, 2u32), (2, 0), (1, 3)];
+    let bands = [3u8, 4, 2];
+    let fault_at = budget.warmup + budget.measure / 4;
+    for n_faults in 0..=pairs.len() {
+        for &ber in &[0.0, 1e-5, 1e-4] {
+            let sched = move |net: &Network| {
+                let mut s = FaultSchedule::new();
+                for &band in &bands[..n_faults] {
+                    let ch = band_channel(net, band).expect("primary band");
+                    // Stagger kills 200 cycles apart to spread detection.
+                    s.push(FaultEvent::permanent(
+                        fault_at + 200 * (band as u64 % 4),
+                        FaultTarget::Channel(ch),
+                    ));
+                }
+                s
+            };
+            let sweep_opts = ResilienceOpts { ber: Some(ber), ..opts.clone() };
+            let res = run(
+                ReconfigPolicy::Protect(pairs.to_vec()),
+                budget,
+                &sweep_opts,
+                ber > 0.0,
+                (n_faults > 0).then_some(&sched as &dyn Fn(&Network) -> FaultSchedule),
+            );
+            r.row(vec![
+                format!("{n_faults}"),
+                format!("{ber:.0e}"),
+                format!("{:.1}", res.avg_latency),
+                format!("{:.1}", res.avg_post_fault_latency),
+                format!("{:.4}", res.throughput),
+                format!("{:.4}", res.delivered_fraction),
+                format!("{}", res.packets_dropped_corrupt),
+                format!("{}", res.failovers),
+                res.time_to_failover.map_or("-".to_string(), |t| t.to_string()),
+            ]);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::RouterConfig;
+    use noc_topology::Topology;
+
+    fn own256() -> Network {
+        Own256Reconfig::new(ReconfigPolicy::Protect(vec![(0, 2)])).build(RouterConfig::default())
+    }
+
+    #[test]
+    fn validate_matches_parse() {
+        assert!(validate_fault_spec("band:3@5000+2000, bus:0@100").is_ok());
+        assert!(validate_fault_spec("band:99@1").is_err());
+        assert!(validate_fault_spec("").is_err());
+    }
+
+    #[test]
+    fn spec_parses_bands_channels_buses_tokens() {
+        let net = own256();
+        let s = parse_fault_spec("band:3@5000, ch:0@100+50, bus:0@9000, token:1@400+100", &net)
+            .unwrap();
+        assert_eq!(s.len(), 4);
+        let evs = s.events();
+        assert_eq!(evs[0].at, 5000);
+        assert!(matches!(evs[0].target, FaultTarget::Channel(_)));
+        assert_eq!(evs[1].duration, Some(50));
+        assert!(matches!(evs[2].target, FaultTarget::Bus(0)));
+        assert!(matches!(evs[3].target, FaultTarget::TokenRing(1)));
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        let net = own256();
+        for bad in [
+            "",
+            "band:3",
+            "3@100",
+            "band:99@100",
+            "ch:100000@5",
+            "bus:999@5",
+            "gizmo:1@5",
+            "band:3@x",
+            "band:3@5+0",
+            "band:3@5+y",
+        ] {
+            assert!(parse_fault_spec(bad, &net).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn derived_bers_follow_distance_classes() {
+        let net = own256();
+        let bers = channel_bers(&net, None);
+        let lb = LinkBudget::default();
+        let mut seen_wireless = 0;
+        for (ch, &ber) in net.channels().iter().zip(&bers) {
+            match ch.class {
+                LinkClass::Wireless { distance, .. } => {
+                    seen_wireless += 1;
+                    assert_eq!(ber, lb.ber_for_class(distance, ANTENNA_DBI, TX_MARGIN_DB));
+                    assert!(ber > 0.0 && ber < 1e-3, "physically plausible BER, got {ber:e}");
+                }
+                _ => assert_eq!(ber, 0.0, "wired links are clean"),
+            }
+        }
+        assert!(seen_wireless >= 13, "12 primaries + the spare");
+        let overridden = channel_bers(&net, Some(1e-7));
+        assert!(overridden.iter().all(|&b| b == 0.0 || b == 1e-7));
+    }
+
+    #[test]
+    fn resilience_report_shows_failover_and_degradation() {
+        let budget = Budget { warmup: 300, measure: 1_600, drain: 8_000, sample_every: 0 };
+        let r = resilience(budget, &ResilienceOpts::default());
+        assert_eq!(r.rows.len(), 5);
+        // Clean run delivers everything.
+        assert_eq!(r.cell_f64(0, 3), 1.0, "no-fault delivered fraction");
+        let protected = r.find("permanent C2C failure + failover").expect("row");
+        assert_eq!(protected[6], "1", "exactly one failover: {protected:?}");
+        assert_ne!(protected[7], "-", "detection latency recorded");
+        // Unprotected loses strictly more than protected.
+        let p_dropped: u64 = protected[5].parse().unwrap();
+        let u_dropped: u64 =
+            r.find("permanent C2C failure, no spare").expect("row")[5].parse().unwrap();
+        assert!(u_dropped > p_dropped, "no-spare run must drop more: {u_dropped} vs {p_dropped}");
+    }
+
+    #[test]
+    fn custom_fault_spec_drives_the_report() {
+        let budget = Budget { warmup: 200, measure: 800, drain: 4_000, sample_every: 0 };
+        let opts = ResilienceOpts {
+            faults: Some("band:3@400".to_string()),
+            ber: Some(0.0),
+            retry_limit: Some(2),
+        };
+        let r = resilience(budget, &opts);
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.find("scheduled faults + failover").is_some());
+    }
+
+    #[test]
+    fn sweep_degrades_monotonically_in_faults_at_zero_ber() {
+        let budget = Budget { warmup: 200, measure: 1_000, drain: 5_000, sample_every: 0 };
+        let r = resilience_sweep(budget, &ResilienceOpts::default());
+        assert_eq!(r.rows.len(), 12, "4 fault counts x 3 BERs");
+        // Zero-fault zero-BER row is clean.
+        assert_eq!(r.cell_f64(0, 5), 1.0);
+        assert_eq!(r.rows[0][7], "0");
+        // Every faulted protected run still failed over.
+        for row in r.rows.iter().filter(|row| row[0] != "0") {
+            let faults: u64 = row[0].parse().unwrap();
+            let failovers: u64 = row[7].parse().unwrap();
+            assert_eq!(failovers, faults, "each killed band fails over once: {row:?}");
+        }
+    }
+}

@@ -59,6 +59,24 @@ pub struct SimResult {
     pub profile: EngineProfile,
     /// Periodic state samples, when `cfg.sample_every > 0`.
     pub series: Option<SampleSeries>,
+    /// Fraction of resolved packets that were delivered intact (1.0 when
+    /// no fault model is attached or it never fired).
+    pub delivered_fraction: f64,
+    /// Flits flagged corrupt by the link error process or a dead medium.
+    pub flits_corrupted: u64,
+    /// Link-level retransmissions performed.
+    pub flit_retransmits: u64,
+    /// Packets dropped after exhausting their retry budget.
+    pub packets_dropped_corrupt: u64,
+    /// Packets rejected at full bounded source queues.
+    pub offers_rejected: u64,
+    /// Routing reconfigurations triggered by fault detection.
+    pub failovers: u64,
+    /// Cycles from the first fault firing to the first routing failover
+    /// (the detection latency actually observed), when both happened.
+    pub time_to_failover: Option<u64>,
+    /// Mean latency of packets created at or after the first fault.
+    pub avg_post_fault_latency: f64,
 }
 
 impl SimResult {
@@ -71,6 +89,11 @@ impl SimResult {
         series: Option<SampleSeries>,
     ) -> Self {
         let lat = &net.stats.latency;
+        let s = &net.stats;
+        let time_to_failover = match (s.first_fault_at, s.first_failover_at) {
+            (Some(fault), Some(failover)) => Some(failover.saturating_sub(fault)),
+            _ => None,
+        };
         SimResult {
             name,
             avg_latency: lat.mean(),
@@ -83,6 +106,14 @@ impl SimResult {
             packets_measured: lat.count,
             offered: cfg.rate,
             cycles: net.now,
+            delivered_fraction: s.delivered_fraction(),
+            flits_corrupted: s.flits_corrupted,
+            flit_retransmits: s.flit_retransmits,
+            packets_dropped_corrupt: s.packets_dropped_corrupt,
+            offers_rejected: s.offers_rejected,
+            failovers: s.failovers,
+            time_to_failover,
+            avg_post_fault_latency: s.post_fault_latency.mean(),
             net,
             cfg,
             profile,

@@ -14,17 +14,29 @@
 //! | 2 | channel id | flit flight spans (send → arrival) |
 //! | 3 | bus id | flit serialization spans on the shared medium |
 //! | 4 | bus id | token-wait spans, grant instants, busy/idle edges |
+//! | 5 | faulted medium id | outage spans, corruption/retransmit/failover |
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 use noc_core::obs::NocEvent;
+use noc_core::FaultTarget;
 
 const PID_PACKETS: u32 = 1;
 const PID_CHANNELS: u32 = 2;
 const PID_BUSES: u32 = 3;
 const PID_TOKENS: u32 = 4;
+const PID_FAULTS: u32 = 5;
+
+/// `(kind, id)` rendering of a fault target for JSON output.
+fn target_parts(target: FaultTarget) -> (&'static str, u32) {
+    match target {
+        FaultTarget::Channel(c) => ("channel", c),
+        FaultTarget::Bus(b) => ("bus", b),
+        FaultTarget::TokenRing(b) => ("token", b),
+    }
+}
 
 /// Render events as a complete Chrome-trace JSON document.
 pub fn chrome_trace(events: &[NocEvent]) -> String {
@@ -36,6 +48,7 @@ pub fn chrome_trace(events: &[NocEvent]) -> String {
         (PID_CHANNELS, "channels"),
         (PID_BUSES, "buses"),
         (PID_TOKENS, "tokens"),
+        (PID_FAULTS, "faults"),
     ] {
         if !first {
             out.push(',');
@@ -138,6 +151,64 @@ fn chrome_event(out: &mut String, ev: &NocEvent) {
                  \"ts\":{at},\"pid\":{PID_TOKENS},\"tid\":{bus},\"args\":{{}}}}"
             );
         }
+        NocEvent::FlitCorrupted { at, target, packet, seq, retry } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"name\":\"corrupt\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\",\"packet\":{packet},\
+                 \"seq\":{seq},\"retry\":{retry}}}}}"
+            );
+        }
+        NocEvent::RetransmitScheduled { at, target, packet, seq, resend_at } => {
+            let (tk, tid) = target_parts(target);
+            let dur = resend_at - at;
+            let _ = write!(
+                out,
+                "{{\"name\":\"retransmit\",\"cat\":\"fault\",\"ph\":\"X\",\
+                 \"ts\":{at},\"dur\":{dur},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\",\"packet\":{packet},\"seq\":{seq}}}}}"
+            );
+        }
+        NocEvent::LinkFailed { at, target, until } => {
+            let (tk, tid) = target_parts(target);
+            if until == u64::MAX {
+                // Permanent fault: an instant, since the span never ends.
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"fail\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                     \"args\":{{\"medium\":\"{tk}\",\"permanent\":true}}}}"
+                );
+            } else {
+                let dur = until - at;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"outage\",\"cat\":\"fault\",\"ph\":\"X\",\
+                     \"ts\":{at},\"dur\":{dur},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                     \"args\":{{\"medium\":\"{tk}\"}}}}"
+                );
+            }
+        }
+        NocEvent::LinkRecovered { at, target } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"name\":\"recover\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\"}}}}"
+            );
+        }
+        NocEvent::FailoverActivated { at, target, up } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"name\":\"failover\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\",\"up\":{up}}}}}"
+            );
+        }
     }
 }
 
@@ -211,6 +282,50 @@ fn jsonl_event(out: &mut String, ev: &NocEvent) {
         NocEvent::BusIdle { at, bus } => {
             let _ = write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"bus\":{bus}}}");
         }
+        NocEvent::FlitCorrupted { at, target, packet, seq, retry } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                 \"packet\":{packet},\"seq\":{seq},\"retry\":{retry}}}"
+            );
+        }
+        NocEvent::RetransmitScheduled { at, target, packet, seq, resend_at } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                 \"packet\":{packet},\"seq\":{seq},\"resend_at\":{resend_at}}}"
+            );
+        }
+        NocEvent::LinkFailed { at, target, until } => {
+            let (tk, tid) = target_parts(target);
+            if until == u64::MAX {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                     \"permanent\":true}}"
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                     \"until\":{until}}}"
+                );
+            }
+        }
+        NocEvent::LinkRecovered { at, target } => {
+            let (tk, tid) = target_parts(target);
+            let _ =
+                write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid}}}");
+        }
+        NocEvent::FailoverActivated { at, target, up } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\"up\":{up}}}"
+            );
+        }
     }
 }
 
@@ -247,6 +362,23 @@ mod tests {
             NocEvent::BusIdle { at: 8, bus: 0 },
             NocEvent::FlitEjected { at: 12, core: 2, packet: 7, seq: 3 },
             NocEvent::PacketDelivered { at: 13, packet: 7, dst: 2, latency: 13 },
+            NocEvent::LinkFailed { at: 14, target: FaultTarget::Channel(3), until: 40 },
+            NocEvent::FlitCorrupted {
+                at: 15,
+                target: FaultTarget::Channel(3),
+                packet: 8,
+                seq: 0,
+                retry: 1,
+            },
+            NocEvent::RetransmitScheduled {
+                at: 15,
+                target: FaultTarget::Channel(3),
+                packet: 8,
+                seq: 0,
+                resend_at: 25,
+            },
+            NocEvent::FailoverActivated { at: 20, target: FaultTarget::Channel(3), up: false },
+            NocEvent::LinkRecovered { at: 40, target: FaultTarget::Channel(3) },
         ]
     }
 
@@ -255,8 +387,8 @@ mod tests {
         let s = chrome_trace(&sample_events());
         let v: serde_json::Value = s.parse().expect("chrome trace must parse as JSON");
         let evs = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
-        // 4 process metadata records + 9 events.
-        assert_eq!(evs.len(), 13);
+        // 5 process metadata records + 14 events.
+        assert_eq!(evs.len(), 19);
         let token_wait = evs
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("token-wait"))
@@ -268,26 +400,53 @@ mod tests {
         );
         assert_eq!(token_wait.get("dur").and_then(|t| t.as_u64()), Some(4));
         assert!(evs.iter().any(|e| e.get("cat").and_then(|c| c.as_str()) == Some("channel")));
+        // The transient outage renders as a 26-cycle span in the fault row.
+        let outage = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("outage"))
+            .expect("outage span present");
+        assert_eq!(outage.get("dur").and_then(|t| t.as_u64()), Some(26));
+        assert_eq!(outage.get("pid").and_then(|t| t.as_u64()), Some(PID_FAULTS as u64));
     }
 
     #[test]
     fn jsonl_lines_parse_and_tag_kind() {
         let s = jsonl(&sample_events());
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 9);
+        assert_eq!(lines.len(), 14);
         for line in &lines {
             let v: serde_json::Value = line.parse().expect("each JSONL line parses");
             assert!(v.get("kind").and_then(|k| k.as_str()).is_some());
             assert!(v.get("at").and_then(|a| a.as_u64()).is_some());
         }
         assert!(lines[4].contains("\"kind\":\"token_granted\""));
+        assert!(lines[10].contains("\"kind\":\"flit_corrupted\""));
+        assert!(lines[12].contains("\"kind\":\"failover_activated\""));
+    }
+
+    #[test]
+    fn permanent_failure_renders_as_instant() {
+        let evs = [NocEvent::LinkFailed { at: 5, target: FaultTarget::Bus(2), until: u64::MAX }];
+        let s = chrome_trace(&evs);
+        let v: serde_json::Value = s.parse().unwrap();
+        let fail = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("fail"))
+            .expect("permanent failure instant");
+        assert_eq!(fail["ph"].as_str(), Some("i"));
+        assert_eq!(fail["args"]["permanent"].as_bool(), Some(true));
+        let l = jsonl(&evs);
+        assert!(l.contains("\"permanent\":true"), "{l}");
+        assert!(!l.contains("18446744073709551615"), "no u64::MAX leaking into JSON");
     }
 
     #[test]
     fn empty_trace_still_valid() {
         let s = chrome_trace(&[]);
         let v: serde_json::Value = s.parse().unwrap();
-        assert_eq!(v.get("traceEvents").and_then(|e| e.as_array()).map(|a| a.len()), Some(4));
+        assert_eq!(v.get("traceEvents").and_then(|e| e.as_array()).map(|a| a.len()), Some(5));
         assert_eq!(jsonl(&[]), "");
     }
 }

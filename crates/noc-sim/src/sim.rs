@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use noc_core::obs::Observer;
-use noc_core::{Network, RouterConfig};
+use noc_core::{FaultConfig, Network, RouterConfig};
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
@@ -87,6 +87,25 @@ impl Simulation {
     pub fn with_observer(mut self, obs: Box<dyn Observer>) -> Self {
         self.attach_observer(obs);
         self
+    }
+
+    /// Attach a fault model (scheduled failures + link error process); see
+    /// `noc_core::fault`. With an empty schedule and zero BER the model is
+    /// inert and results are bit-identical to a run without it.
+    pub fn attach_faults(&mut self, cfg: FaultConfig) {
+        self.net.attach_faults(cfg);
+    }
+
+    /// Builder-style [`Simulation::attach_faults`].
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.attach_faults(cfg);
+        self
+    }
+
+    /// The underlying network, e.g. to resolve wireless bands to channel
+    /// ids when building a [`noc_core::FaultSchedule`].
+    pub fn network(&self) -> &Network {
+        &self.net
     }
 
     /// Run warm-up, measurement and drain; return the metrics.

@@ -8,12 +8,18 @@
 //! primary and spare channel (by source-tile parity), which halves the
 //! per-channel load on the reinforced pairs.
 //!
-//! Two static policies are provided plus a profile-driven one:
+//! Two static policies are provided plus a profile-driven one and a
+//! runtime-protection one:
 //!
 //! * [`ReconfigPolicy::Diagonal`] — reinforce the four diagonal (C2C)
 //!   channels, the longest and most expensive links.
 //! * [`ReconfigPolicy::Pairs`] — reinforce an explicit list of ordered
 //!   cluster pairs (at most four), e.g. chosen from a profiling run.
+//! * [`ReconfigPolicy::Protect`] — hold the spare of each listed pair
+//!   **dark** until the engine's fault-detection machinery reports the
+//!   pair's primary transceiver dead (see `noc_core::fault`); the pair's
+//!   traffic then fails over onto the spare at runtime, and back again if
+//!   the primary recovers.
 //! * [`profile_hot_pairs`] — measure per-pair wireless traffic of a
 //!   finished simulation and return the four busiest ordered pairs, closing
 //!   the adaptive loop the paper sketches: profile → reassign → rerun.
@@ -26,8 +32,8 @@
 //! funnel.
 
 use noc_core::{
-    CoreId, LinkClass, Network, NetworkBuilder, PortId, RouteDecision, RouterConfig, RouterId,
-    RoutingAlg,
+    ChannelId, CoreId, FaultTarget, LinkClass, Network, NetworkBuilder, PortId, RouteDecision,
+    RouterConfig, RouterId, RoutingAlg,
 };
 
 use crate::channels::ChannelAllocation;
@@ -50,6 +56,12 @@ pub enum ReconfigPolicy {
     /// failed; all of their traffic fails over to the spare band on the D
     /// corners. Up to four failed pairs can be covered.
     Failover(Vec<(u32, u32)>),
+    /// Runtime fault tolerance: the listed pairs get a dark standby spare.
+    /// Traffic stays on the primary until a scheduled fault on it is
+    /// *detected* (`RoutingAlg::fault_notice`, one `detect_delay` after the
+    /// fault fires), switches to the spare band, and switches back when the
+    /// primary's recovery is detected. Up to four pairs can be protected.
+    Protect(Vec<(u32, u32)>),
 }
 
 impl ReconfigPolicy {
@@ -58,7 +70,9 @@ impl ReconfigPolicy {
         match self {
             ReconfigPolicy::None => Vec::new(),
             ReconfigPolicy::Diagonal => vec![(3, 1), (1, 3), (0, 2), (2, 0)],
-            ReconfigPolicy::Pairs(ps) | ReconfigPolicy::Failover(ps) => {
+            ReconfigPolicy::Pairs(ps)
+            | ReconfigPolicy::Failover(ps)
+            | ReconfigPolicy::Protect(ps) => {
                 assert!(ps.len() <= 4, "only four spare bands exist");
                 ps.clone()
             }
@@ -68,6 +82,11 @@ impl ReconfigPolicy {
     /// Whether the reinforced pairs' primaries are out of service.
     pub fn primaries_failed(&self) -> bool {
         matches!(self, ReconfigPolicy::Failover(_))
+    }
+
+    /// Whether the spares are dark standby awaiting runtime fault notices.
+    pub fn runtime_protect(&self) -> bool {
+        matches!(self, ReconfigPolicy::Protect(_))
     }
 }
 
@@ -98,6 +117,13 @@ struct ReconfigRouting {
     /// Failover mode: route *all* reinforced-pair traffic via the spare
     /// (the primary transceiver is dead).
     failover: bool,
+    /// Runtime-protection mode: spares are dark standby, activated per
+    /// pair by `fault_notice` when the primary's failure is detected.
+    protect: bool,
+    /// Primary wireless channel of each protected pair, `(channel, s, d)`.
+    primaries: Vec<(ChannelId, u32, u32)>,
+    /// `failed[c][d]` — the pair's primary is currently known-dead.
+    failed: Vec<[bool; CLUSTERS as usize]>,
 }
 
 /// Tile-local index of the D corner.
@@ -114,8 +140,16 @@ impl RoutingAlg for ReconfigRouting {
             if let Some(spare_port) = self.spare[c as usize][cd as usize] {
                 // Load-balance mode: split by destination-tile parity.
                 // Failover mode: the primary is dead — everything takes
-                // the spare path via the D corner.
-                if self.failover || (dr % TILES) % 2 == 1 {
+                // the spare path via the D corner. Protect mode: spare
+                // only once the primary's failure has been detected.
+                let take_spare = if self.failover {
+                    true
+                } else if self.protect {
+                    self.failed[c as usize][cd as usize]
+                } else {
+                    (dr % TILES) % 2 == 1
+                };
+                if take_spare {
                     if t == D_TILE {
                         // At the D corner: the spare wireless hop.
                         return RouteDecision::any_vc(spare_port, self.base.vcs);
@@ -128,6 +162,23 @@ impl RoutingAlg for ReconfigRouting {
         }
         self.base.route(router, dst)
     }
+
+    fn fault_notice(&mut self, target: FaultTarget, up: bool) -> bool {
+        if !self.protect {
+            return false;
+        }
+        let FaultTarget::Channel(ch) = target else { return false };
+        let Some(&(_, s, d)) = self.primaries.iter().find(|&&(c, _, _)| c == ch) else {
+            return false;
+        };
+        let slot = &mut self.failed[s as usize][d as usize];
+        let want = !up;
+        if *slot == want {
+            return false;
+        }
+        *slot = want;
+        true
+    }
 }
 
 impl Topology for Own256Reconfig {
@@ -137,6 +188,7 @@ impl Topology for Own256Reconfig {
             ReconfigPolicy::Diagonal => "OWN-256+diag-spares".to_string(),
             ReconfigPolicy::Pairs(_) => "OWN-256+profiled-spares".to_string(),
             ReconfigPolicy::Failover(_) => "OWN-256+failover".to_string(),
+            ReconfigPolicy::Protect(_) => "OWN-256+protect".to_string(),
         }
     }
 
@@ -149,6 +201,10 @@ impl Topology for Own256Reconfig {
     }
 
     fn bisection_flits_per_cycle(&self) -> f64 {
+        // Dark standby spares add no steady-state capacity.
+        if self.policy.runtime_protect() {
+            return 8.0;
+        }
         // Spares on diagonal pairs add up to 4 crossing channels.
         let extra = self
             .policy
@@ -176,13 +232,15 @@ impl Topology for Own256Reconfig {
         let mut transit_port = vec![[PortId::MAX; 4]; routers];
         build_cluster_waveguides(&mut b, CLUSTERS, &mut phot_port, &mut transit_port);
         let mut wtx = vec![[(RouterId::MAX, PortId::MAX); CLUSTERS as usize]; CLUSTERS as usize];
+        let mut primary_cid = vec![[ChannelId::MAX; CLUSTERS as usize]; CLUSTERS as usize];
         for l in &self.alloc.links {
             let tx_router = l.src * TILES + l.tx.tile();
             let rx_router = l.dst * TILES + l.rx.tile();
             let class = LinkClass::Wireless { channel: l.channel, distance: l.distance };
-            let (_, op, _) =
+            let (cid, op, _) =
                 b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
             wtx[l.src as usize][l.dst as usize] = (tx_router, op);
+            primary_cid[l.src as usize][l.dst as usize] = cid;
         }
         // Spare channels on bands 13-16, carried by the idle D corners of
         // the reinforced pair's clusters.
@@ -200,6 +258,12 @@ impl Topology for Own256Reconfig {
             let is_corner = corner_index(r % TILES).is_some();
             b.set_power_radix(r, if is_corner { 20 } else { 19 });
         }
+        let primaries = self
+            .policy
+            .reinforced_pairs()
+            .iter()
+            .map(|&(s, d)| (primary_cid[s as usize][d as usize], s, d))
+            .collect();
         b.build(Box::new(ReconfigRouting {
             base: Own256Routing {
                 vcs: cfg.vcs,
@@ -210,6 +274,9 @@ impl Topology for Own256Reconfig {
             },
             spare,
             failover: self.policy.primaries_failed(),
+            protect: self.policy.runtime_protect(),
+            primaries,
+            failed: vec![[false; CLUSTERS as usize]; CLUSTERS as usize],
         }))
     }
 }
@@ -298,10 +365,7 @@ mod tests {
         // clusters exchange with their diagonal counterpart.
         let run = |topo: &dyn Topology| -> u64 {
             let mut net = topo.build(RouterConfig::default());
-            let mut rng_seed = 5;
-            let mut inj = BernoulliInjector::new(0.05, 2, TrafficPattern::Transpose, rng_seed);
-            rng_seed += 1;
-            let _ = rng_seed;
+            let mut inj = BernoulliInjector::new(0.05, 2, TrafficPattern::Transpose, 5);
             inj.drive(&mut net, 1_500);
             assert!(net.drain(300_000));
             net.now
@@ -359,6 +423,114 @@ mod tests {
         assert_eq!(net.stats.packets_offered, net.stats.packets_delivered);
     }
 
+    /// The `ChannelId` of the primary wireless channel carrying `band`.
+    fn band_channel(net: &noc_core::Network, band: u8) -> noc_core::ChannelId {
+        net.channels()
+            .iter()
+            .position(|c| matches!(c.class, LinkClass::Wireless { channel, .. } if channel == band))
+            .expect("band not found") as noc_core::ChannelId
+    }
+
+    /// Per-band wireless flit counts of a finished run.
+    fn flits_by_band(net: &noc_core::Network) -> std::collections::HashMap<u8, u64> {
+        let mut by_band = std::collections::HashMap::new();
+        for (ch, &f) in net.channels().iter().zip(&net.stats.channel_flits) {
+            if let LinkClass::Wireless { channel, .. } = ch.class {
+                *by_band.entry(channel).or_insert(0u64) += f;
+            }
+        }
+        by_band
+    }
+
+    #[test]
+    fn protect_spares_stay_dark_without_faults() {
+        let topo = Own256Reconfig::new(ReconfigPolicy::Protect(vec![(0, 2)]));
+        let mut net = topo.build(RouterConfig::default());
+        for t in 0..16u32 {
+            net.inject_packet(t * 4, 2 * 64 + t * 4 + 1, 2);
+        }
+        assert!(net.drain(50_000));
+        let by_band = flits_by_band(&net);
+        assert_eq!(by_band.get(&13).copied().unwrap_or(0), 0, "standby spare must stay dark");
+        assert_eq!(by_band.get(&3).copied().unwrap_or(0), 32, "primary carries everything");
+    }
+
+    #[test]
+    fn protect_fails_over_to_spare_after_detection() {
+        use noc_core::{FaultConfig, FaultEvent, FaultSchedule};
+        let topo = Own256Reconfig::new(ReconfigPolicy::Protect(vec![(0, 2)]));
+        let mut net = topo.build(RouterConfig::default());
+        // Kill the 0 -> 2 primary (band 3) permanently at cycle 200.
+        let primary = band_channel(&net, 3);
+        net.attach_faults(FaultConfig {
+            schedule: FaultSchedule::new()
+                .with(FaultEvent::permanent(200, FaultTarget::Channel(primary))),
+            detect_delay: 50,
+            ..Default::default()
+        });
+        // Steady 0 -> 2 stream: one packet every 25 cycles for 2000 cycles.
+        let mut sent = 0u64;
+        for cycle in 0..2_000u64 {
+            if cycle % 25 == 0 {
+                let t = (sent % 16) as u32;
+                net.inject_packet(t * 4, 2 * 64 + t * 4 + 1, 2);
+                sent += 1;
+            }
+            net.step();
+        }
+        assert!(net.drain(50_000));
+        assert_eq!(net.stats.failovers, 1, "one detected failover");
+        assert_eq!(net.stats.first_failover_at, Some(250), "fault at 200 + 50 detect delay");
+        let by_band = flits_by_band(&net);
+        assert!(by_band.get(&13).copied().unwrap_or(0) > 0, "spare carries post-failover traffic");
+        // Packets committed to the dead primary before detection exhaust
+        // their retries and are dropped; everything after rides the spare.
+        assert_eq!(
+            net.stats.packets_delivered + net.stats.packets_dropped_corrupt,
+            sent,
+            "every packet is accounted for"
+        );
+        assert!(net.stats.packets_dropped_corrupt > 0, "pre-detection packets die on the primary");
+        assert!(net.stats.delivered_fraction() < 1.0);
+        assert!(
+            net.stats.packets_delivered > net.stats.packets_dropped_corrupt,
+            "most packets survive the failover"
+        );
+    }
+
+    #[test]
+    fn protect_switches_back_when_primary_recovers() {
+        use noc_core::{FaultConfig, FaultEvent, FaultSchedule};
+        let topo = Own256Reconfig::new(ReconfigPolicy::Protect(vec![(0, 2)]));
+        let mut net = topo.build(RouterConfig::default());
+        let primary = band_channel(&net, 3);
+        // Transient outage: down at 100 for 300 cycles, detection 20.
+        net.attach_faults(FaultConfig {
+            schedule: FaultSchedule::new().with(FaultEvent::transient(
+                100,
+                FaultTarget::Channel(primary),
+                300,
+            )),
+            detect_delay: 20,
+            ..Default::default()
+        });
+        // Quiet network: let the fault fire, be detected, clear, and be
+        // re-detected, then send fresh traffic — it must use the primary.
+        while net.now < 500 {
+            net.step();
+        }
+        assert_eq!(net.stats.failovers, 2, "failover out and back");
+        let before = flits_by_band(&net).get(&3).copied().unwrap_or(0);
+        for t in 0..16u32 {
+            net.inject_packet(t * 4, 2 * 64 + t * 4 + 1, 2);
+        }
+        assert!(net.drain(50_000));
+        let by_band = flits_by_band(&net);
+        assert_eq!(by_band.get(&3).copied().unwrap_or(0) - before, 32, "traffic back on primary");
+        assert_eq!(net.stats.packets_delivered, 16);
+        assert_eq!(net.stats.delivered_fraction(), 1.0);
+    }
+
     #[test]
     fn all_policies_drain_uniform_traffic() {
         for policy in [
@@ -366,6 +538,7 @@ mod tests {
             ReconfigPolicy::Diagonal,
             ReconfigPolicy::Pairs(vec![(0, 1), (2, 3)]),
             ReconfigPolicy::Failover(vec![(3, 1)]),
+            ReconfigPolicy::Protect(vec![(0, 2), (2, 0)]),
         ] {
             let topo = Own256Reconfig::new(policy);
             let mut net = topo.build(RouterConfig::default());
