@@ -31,6 +31,17 @@ impl RoundRobin {
         self.n == 0
     }
 
+    /// The index holding grant priority (checkpoint state).
+    pub(crate) fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Restore the grant-priority index captured by [`RoundRobin::cursor`].
+    pub(crate) fn set_cursor(&mut self, next: usize) {
+        assert!(self.n == 0 || next < self.n, "arbiter cursor {next} out of range (n={})", self.n);
+        self.next = next;
+    }
+
     /// Grant among the requesters for which `req(i)` is true.
     ///
     /// Returns the granted index and rotates priority so the grantee has

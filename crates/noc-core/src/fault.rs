@@ -141,7 +141,10 @@ pub struct FaultConfig {
     /// process (flit error rate = `1 − (1 − BER)^flit_bits`).
     pub flit_bits: u32,
     /// Link-level retransmissions allowed per flit per hop before the flit
-    /// is poisoned and its packet dropped at the destination.
+    /// is poisoned and its packet dropped at the destination. `u8::MAX`
+    /// means unbounded: the retry counter saturates and the flit retries
+    /// forever (a permanently dead medium then livelocks — which is what
+    /// the progress watchdog exists to report).
     pub retry_limit: u8,
     /// Maximum exponent of the exponential backoff: retry `k` waits
     /// `rtt << min(k − 1, backoff_cap)` cycles on top of the NACK round
@@ -189,24 +192,29 @@ pub(crate) struct FaultCtx {
     /// Schedule sorted by activation cycle; `next_event` indexes the first
     /// not-yet-activated entry.
     sorted: Vec<FaultEvent>,
-    next_event: usize,
+    pub(crate) next_event: usize,
     /// Per-channel / per-bus cycle (exclusive) until which the medium is
     /// faulted; 0 = healthy, `u64::MAX` = permanently dead.
-    channel_down_until: Vec<Cycle>,
-    bus_down_until: Vec<Cycle>,
-    token_down_until: Vec<Cycle>,
+    pub(crate) channel_down_until: Vec<Cycle>,
+    pub(crate) bus_down_until: Vec<Cycle>,
+    pub(crate) token_down_until: Vec<Cycle>,
     /// Per-channel / per-bus flit error probability (precomputed from BER).
     channel_fer: Vec<f64>,
     bus_fer: Vec<f64>,
     /// Pending `fault_notice` deliveries: `(due, target, up)`.
-    notices: Vec<(Cycle, FaultTarget, bool)>,
+    pub(crate) notices: Vec<(Cycle, FaultTarget, bool)>,
     /// Pending transient-fault clear times (for `LinkRecovered` events).
-    recoveries: Vec<(Cycle, FaultTarget)>,
+    pub(crate) recoveries: Vec<(Cycle, FaultTarget)>,
     /// Packet ids poisoned by exhausted retries, discarded at ejection.
     pub poisoned: std::collections::HashSet<u64>,
     /// First cycle at which any fault became active (anchor for the
     /// post-fault latency histogram).
     pub first_fault_at: Option<Cycle>,
+    /// Draws taken from `rng` so far. The error process is a pure function
+    /// of `(cfg.seed, rng_draws)`, so a checkpoint stores the count and
+    /// restore replays it ([`FaultCtx::replay_rng`]) instead of serializing
+    /// generator internals.
+    pub(crate) rng_draws: u64,
     rng: ChaCha8Rng,
 }
 
@@ -232,9 +240,22 @@ impl FaultCtx {
             recoveries: Vec::new(),
             poisoned: std::collections::HashSet::new(),
             first_fault_at: None,
+            rng_draws: 0,
             rng,
             cfg,
         }
+    }
+
+    /// Reposition the error-process RNG at draw number `draws` by reseeding
+    /// from `cfg.seed` and discarding that many draws (restore path of a
+    /// checkpoint). Cost is one `next_u64` per historical corruption test
+    /// on a nonzero-FER medium — negligible against re-simulating.
+    pub(crate) fn replay_rng(&mut self, draws: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        for _ in 0..draws {
+            self.rng.next_u64();
+        }
+        self.rng_draws = draws;
     }
 
     /// Activate faults due at `now` and clear nothing (clearing is implicit
@@ -305,6 +326,11 @@ impl FaultCtx {
         due.into_iter().map(|(_, t, u)| (t, u)).collect()
     }
 
+    /// Number of events in the sorted schedule (bounds `next_event`).
+    pub(crate) fn schedule_len(&self) -> usize {
+        self.sorted.len()
+    }
+
     /// Whether the schedule machinery has nothing left to do (no pending
     /// activations, recoveries, or notices). The BER process is separate.
     pub fn idle(&self) -> bool {
@@ -354,6 +380,7 @@ impl FaultCtx {
     fn bernoulli(&mut self, p: f64) -> bool {
         // 53-bit uniform draw; ChaCha8 keeps this reproducible across
         // platforms (no float RNG-distribution dependency).
+        self.rng_draws += 1;
         let u = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < p
     }

@@ -15,8 +15,10 @@
 //! 3. **Holder/state symmetry** — an output VC's `holder` points at an
 //!    input VC that is `Active` on exactly that output VC, and vice versa.
 //! 4. **Bus ownership symmetry** — a bus `(reader, vc)` owner corresponds
-//!    to a writer whose router has an Active input VC targeting that
-//!    reader/VC (or flits still in flight/buffered for that packet).
+//!    to a writer whose router has an Active input VC targeting exactly
+//!    that reader/VC (claims are taken at VC allocation and released the
+//!    cycle the tail flit enters the bus, so no claim may outlive its
+//!    transmission).
 //! 5. **Buffer bounds** — no input VC buffer exceeds the configured depth.
 
 use crate::network::Network;
@@ -32,6 +34,7 @@ impl Network {
         self.check_channel_credit_conservation();
         self.check_bus_credit_conservation();
         self.check_holder_symmetry();
+        self.check_bus_ownership_symmetry();
     }
 
     fn check_buffer_bounds(&self) {
@@ -98,6 +101,58 @@ impl Network {
                         "bus {bi} reader {ri} vc {vc}: {pool} pool + {buffered} buffered + \
                          {in_flight} flying + {credits_flying} credits != depth {depth}"
                     );
+                }
+            }
+        }
+    }
+
+    /// Invariant 4, reverse direction: every claimed bus `(reader, vc)`
+    /// slot is backed by a live transmission. A claim is taken at VC
+    /// allocation and released the cycle the tail flit enters the bus, so
+    /// whenever a claim exists, the claiming writer's router must hold an
+    /// `Active` input VC addressing exactly that bus/reader/VC. (The
+    /// forward direction — every Active bus path has its claim — is part
+    /// of `check_holder_symmetry`.) A claim with no matching Active VC is
+    /// leaked ownership: it blocks that reader/VC pair for every writer,
+    /// forever.
+    fn check_bus_ownership_symmetry(&self) {
+        for (bi, bus) in self.buses.iter().enumerate() {
+            for (ri, owners) in bus.vc_owner.iter().enumerate() {
+                for (vc, owner) in owners.iter().enumerate() {
+                    let Some(w) = *owner else { continue };
+                    let (wr, wp) = bus.writers[w as usize];
+                    let op = &self.routers[wr as usize].out_ports[wp as usize];
+                    match op.target {
+                        OutTarget::Bus { bus: b, writer } => assert!(
+                            b as usize == bi && writer == w,
+                            "bus {bi} reader {ri} vc {vc}: claimed by writer {w}, but \
+                             router {wr} port {wp} targets bus {b} as writer {writer}"
+                        ),
+                        ref other => panic!(
+                            "bus {bi} reader {ri} vc {vc}: claimed by writer {w}, but \
+                             router {wr} port {wp} targets {other:?}, not the bus"
+                        ),
+                    }
+                    let Some((pi, vi)) = op.vcs[vc].holder else {
+                        panic!(
+                            "bus {bi} reader {ri} vc {vc}: claimed by writer {w} \
+                             (router {wr} port {wp}) but that output VC has no holder \
+                             — leaked bus ownership"
+                        )
+                    };
+                    let ivc = &self.routers[wr as usize].in_ports[pi as usize].vcs[vi as usize];
+                    match ivc.state {
+                        VcState::Active { out_port, out_vc, reader } => assert!(
+                            out_port == wp && out_vc as usize == vc && reader as usize == ri,
+                            "bus {bi} reader {ri} vc {vc}: claim by writer {w} backed by \
+                             in ({pi},{vi}) which is Active on out ({out_port},{out_vc}) \
+                             to reader {reader} instead"
+                        ),
+                        other => panic!(
+                            "bus {bi} reader {ri} vc {vc}: claim by writer {w} backed by \
+                             in ({pi},{vi}) in state {other:?}, not Active"
+                        ),
+                    }
                 }
             }
         }

@@ -58,8 +58,10 @@ pub mod nic;
 pub mod obs;
 pub mod router;
 pub mod routing;
+pub mod snapshot;
 pub mod stats;
 pub mod token;
+pub mod watchdog;
 
 pub use builder::NetworkBuilder;
 pub use channel::{Bus, BusKind, Channel, DistanceClass, LinkClass};
@@ -70,4 +72,6 @@ pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
 pub use network::Network;
 pub use obs::{CountingObserver, EventKind, NocEvent, NullObserver, Observer};
 pub use routing::{RouteDecision, RoutingAlg};
+pub use snapshot::{NetworkSnapshot, SnapshotError};
 pub use stats::NetStats;
+pub use watchdog::{StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL};

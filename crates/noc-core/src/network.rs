@@ -37,7 +37,7 @@ pub struct Network {
     /// Event counters and latency records.
     pub stats: NetStats,
     pub(crate) routing: Box<dyn RoutingAlg>,
-    next_packet_id: u64,
+    pub(crate) next_packet_id: u64,
     /// Scratch: SA candidates `(in_port, in_vc, out_port)` per router.
     scratch_cand: Vec<(usize, usize, usize)>,
     /// Attached event observer, if any. Event emission sites check this
@@ -48,7 +48,11 @@ pub struct Network {
     /// default) costs one branch per phase; an attached-but-inert config
     /// (empty schedule, zero BER) draws no randomness and perturbs nothing,
     /// so results stay bit-identical to an unattached run.
-    fault: Option<Box<FaultCtx>>,
+    pub(crate) fault: Option<Box<FaultCtx>>,
+    /// When non-zero, [`Network::check_invariants`] runs every this many
+    /// cycles at the end of [`Network::step`] (in-run auditing; see
+    /// [`Network::set_audit_interval`]).
+    audit_every: u64,
 }
 
 impl Network {
@@ -72,7 +76,21 @@ impl Network {
             scratch_cand: Vec::new(),
             observer: None,
             fault: None,
+            audit_every: 0,
         }
+    }
+
+    /// Run the full invariant audit every `every` cycles at the end of
+    /// [`Network::step`] (0 — the default — disables it). Auditing is
+    /// read-only: it panics on a violated invariant and otherwise changes
+    /// nothing, so an audited run is bit-identical to an unaudited one.
+    pub fn set_audit_interval(&mut self, every: u64) {
+        self.audit_every = every;
+    }
+
+    /// The configured in-run audit interval (0 when disabled).
+    pub fn audit_interval(&self) -> u64 {
+        self.audit_every
     }
 
     /// Attach a fault-injection configuration (replacing any previous one).
@@ -239,6 +257,9 @@ impl Network {
             }
         }
         self.stats.cycles = self.now;
+        if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
+            self.check_invariants();
+        }
     }
 
     /// Run `n` cycles.
@@ -249,15 +270,13 @@ impl Network {
     }
 
     /// Run until quiescent or `max_cycles` more cycles elapse; returns true
-    /// if the network drained.
+    /// if the network drained. Boolean shorthand for [`Network::try_drain`],
+    /// which additionally yields a structured [`crate::StallReport`] on
+    /// failure — prefer it where the diagnosis matters (it also gives up
+    /// early once the watchdog proves a live/deadlock, instead of burning
+    /// the rest of the budget).
     pub fn drain(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if self.quiescent() {
-                return true;
-            }
-            self.step();
-        }
-        self.quiescent()
+        self.try_drain(max_cycles).is_ok()
     }
 
     // ---- phase 0: fault schedule -------------------------------------
@@ -326,7 +345,10 @@ impl Network {
             return false;
         }
         stats.flits_corrupted += 1;
-        flit.retries += 1;
+        // Saturating: with `retry_limit == u8::MAX` a flit on a dead
+        // medium retries forever (the counter must not overflow), and the
+        // budget check below can then never exhaust.
+        flit.retries = flit.retries.saturating_add(1);
         let retry = flit.retries;
         if let Some(obs) = observer.as_deref_mut() {
             obs.on_event(&NocEvent::FlitCorrupted {

@@ -64,6 +64,22 @@ pub trait RoutingAlg: Send + Sync {
         let _ = (target, up);
         false
     }
+
+    /// Mutable routing state for a checkpoint, as an opaque word list.
+    ///
+    /// Stateless algorithms (the default) return an empty vector. Stateful
+    /// ones (e.g. failover tables flipped by [`RoutingAlg::fault_notice`])
+    /// must encode *all* state that influences future [`RoutingAlg::route`]
+    /// calls, and [`RoutingAlg::load_state`] must restore it exactly —
+    /// checkpoint/restore bit-identity depends on it.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`RoutingAlg::save_state`].
+    fn load_state(&mut self, state: &[u64]) {
+        let _ = state;
+    }
 }
 
 /// Routing by table lookup — handy for tests and tiny topologies.

@@ -1,0 +1,641 @@
+//! Checkpoint/restore of the full engine state.
+//!
+//! [`Network::snapshot`] captures every piece of *dynamic* state — VC
+//! buffers and their pipeline stage machines, arbiter cursors, flits and
+//! credits in flight on channels and buses, token positions, bus VC
+//! ownership and request streaks, NIC source queues and streaming
+//! positions, the fault schedule position, and the statistics counters —
+//! as plain owned data. [`Network::restore`] writes that state back onto a
+//! freshly built network of the *same topology* (same builder calls, same
+//! routing construction, same [`crate::FaultConfig`] attached).
+//!
+//! The contract is **bit-identity**: a run that is snapshotted at cycle
+//! `c`, restored onto a fresh network, and stepped to cycle `e` produces a
+//! [`crate::NetStats`] equal (`==`) to an uninterrupted run to `e`. Two
+//! design rules make this hold without serializing RNG internals or
+//! `dyn`-object guts:
+//!
+//! * **RNG state is a replay count.** The fault error process is a pure
+//!   function of `(seed, draw_number)`, so the snapshot stores
+//!   `rng_draws` and restore reseeds and discards that many draws
+//!   (`FaultCtx::replay_rng`). Traffic injectors follow the same pattern
+//!   one layer up (see `noc-traffic`).
+//! * **Routing state is an opaque word list.** Stateful routing (spare
+//!   failover tables) round-trips through
+//!   [`crate::routing::RoutingAlg::save_state`] /
+//!   [`crate::routing::RoutingAlg::load_state`]; stateless routing stores
+//!   nothing.
+//!
+//! Static configuration (topology shape, latencies, buffer depths, fault
+//! *config*, audit interval, observers) is deliberately **not** captured:
+//! the restore target is expected to be rebuilt from the same
+//! configuration, and [`Network::restore`] validates the shapes match
+//! before touching anything, returning a [`SnapshotError`] on mismatch.
+//!
+//! Snapshots must be taken at a cycle boundary (between [`Network::step`]
+//! calls); per-cycle scratch state (bus request flags, SA candidates) is
+//! empty there and therefore not part of the snapshot.
+
+use std::collections::VecDeque;
+
+use crate::fault::FaultTarget;
+use crate::flit::{Flit, Packet};
+use crate::ids::{Cycle, PortId};
+use crate::network::Network;
+use crate::router::VcState;
+use crate::stats::NetStats;
+
+/// Pipeline state of one input VC, in snapshot (all-public) form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcStateSnap {
+    /// No packet in progress.
+    Idle,
+    /// Route computed; waiting for an output VC.
+    Routed { out_port: PortId, vc_lo: u8, vc_hi: u8, reader: u16 },
+    /// Output VC allocated.
+    Active { out_port: PortId, out_vc: u8, reader: u16 },
+}
+
+impl From<VcState> for VcStateSnap {
+    fn from(s: VcState) -> Self {
+        match s {
+            VcState::Idle => VcStateSnap::Idle,
+            VcState::Routed { out_port, vc_lo, vc_hi, reader } => {
+                VcStateSnap::Routed { out_port, vc_lo, vc_hi, reader }
+            }
+            VcState::Active { out_port, out_vc, reader } => {
+                VcStateSnap::Active { out_port, out_vc, reader }
+            }
+        }
+    }
+}
+
+impl From<VcStateSnap> for VcState {
+    fn from(s: VcStateSnap) -> Self {
+        match s {
+            VcStateSnap::Idle => VcState::Idle,
+            VcStateSnap::Routed { out_port, vc_lo, vc_hi, reader } => {
+                VcState::Routed { out_port, vc_lo, vc_hi, reader }
+            }
+            VcStateSnap::Active { out_port, out_vc, reader } => {
+                VcState::Active { out_port, out_vc, reader }
+            }
+        }
+    }
+}
+
+/// One input VC: buffered flits with arrival stamps, state, stage stamp.
+#[derive(Debug, Clone)]
+pub struct InVcSnap {
+    pub buf: Vec<(Cycle, Flit)>,
+    pub state: VcStateSnap,
+    pub stage_cycle: Cycle,
+}
+
+/// One input port: its VCs plus the SA-stage-1 arbiter cursor.
+#[derive(Debug, Clone)]
+pub struct InPortSnap {
+    pub vcs: Vec<InVcSnap>,
+    pub sa_vc_cursor: usize,
+}
+
+/// One output VC: holder and downstream credits.
+#[derive(Debug, Clone, Copy)]
+pub struct OutVcSnap {
+    pub holder: Option<(PortId, u8)>,
+    pub credits: u32,
+}
+
+/// One output port: per-VC state, serialization occupancy, SA-stage-2
+/// arbiter cursor.
+#[derive(Debug, Clone)]
+pub struct OutPortSnap {
+    pub vcs: Vec<OutVcSnap>,
+    pub busy_until: Cycle,
+    pub sa_cursor: usize,
+}
+
+/// One router's dynamic state.
+#[derive(Debug, Clone)]
+pub struct RouterSnap {
+    pub in_ports: Vec<InPortSnap>,
+    pub out_ports: Vec<OutPortSnap>,
+    pub vca_offset: usize,
+}
+
+/// One point-to-point channel: flits and credits in flight.
+#[derive(Debug, Clone)]
+pub struct ChannelSnap {
+    pub in_flight: Vec<(Cycle, Flit)>,
+    pub credits_back: Vec<(Cycle, u8)>,
+}
+
+/// One shared bus: token, occupancy, credit pool, in-flight traffic,
+/// VC ownership, and request streaks.
+#[derive(Debug, Clone)]
+pub struct BusSnap {
+    pub token_holder: usize,
+    pub token_available_at: Cycle,
+    pub busy_until: Cycle,
+    pub credits: Vec<Vec<u32>>,
+    pub in_flight: Vec<(Cycle, u16, Flit)>,
+    pub credits_back: Vec<(Cycle, u16, u8)>,
+    pub vc_owner: Vec<Vec<Option<u16>>>,
+    pub want_since: Vec<Option<Cycle>>,
+    pub discards: u64,
+}
+
+/// One NIC: source queue, streaming position, credits, VC arbiter cursor.
+#[derive(Debug, Clone)]
+pub struct NicSnap {
+    pub queue: Vec<Packet>,
+    pub credits: Vec<u32>,
+    /// `(packet, next_seq, vc, head_injection_cycle)`.
+    pub streaming: Option<(Packet, u16, u8, u64)>,
+    pub vc_cursor: usize,
+    pub eject_flits: u64,
+}
+
+/// Fault-injection state: schedule position, down-windows, pending
+/// notices, poisoned packets, and the RNG replay count.
+#[derive(Debug, Clone)]
+pub struct FaultSnap {
+    /// Index of the first not-yet-activated schedule entry.
+    pub next_event: usize,
+    pub channel_down_until: Vec<Cycle>,
+    pub bus_down_until: Vec<Cycle>,
+    pub token_down_until: Vec<Cycle>,
+    pub notices: Vec<(Cycle, FaultTarget, bool)>,
+    pub recoveries: Vec<(Cycle, FaultTarget)>,
+    /// Poisoned packet ids, sorted for deterministic encoding.
+    pub poisoned: Vec<u64>,
+    pub first_fault_at: Option<Cycle>,
+    /// Error-process draws taken so far; restore replays this many.
+    pub rng_draws: u64,
+    /// Validation fingerprint: the attached config must have the same
+    /// schedule length and seed.
+    pub schedule_len: usize,
+    pub seed: u64,
+}
+
+/// A complete dynamic-state snapshot of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    pub now: Cycle,
+    pub next_packet_id: u64,
+    pub routers: Vec<RouterSnap>,
+    pub channels: Vec<ChannelSnap>,
+    pub buses: Vec<BusSnap>,
+    pub nics: Vec<NicSnap>,
+    pub fault: Option<FaultSnap>,
+    /// Opaque routing state ([`crate::routing::RoutingAlg::save_state`]).
+    pub routing: Vec<u64>,
+    pub stats: NetStats,
+}
+
+/// Restore failed: the snapshot does not fit the target network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(SnapshotError(format!($($arg)*)));
+        }
+    };
+}
+
+impl Network {
+    /// Capture the complete dynamic state at the current cycle boundary.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        let routers = self
+            .routers
+            .iter()
+            .map(|r| RouterSnap {
+                in_ports: r
+                    .in_ports
+                    .iter()
+                    .map(|ip| InPortSnap {
+                        vcs: ip
+                            .vcs
+                            .iter()
+                            .map(|vc| InVcSnap {
+                                buf: vc.buf.iter().copied().collect(),
+                                state: vc.state.into(),
+                                stage_cycle: vc.stage_cycle,
+                            })
+                            .collect(),
+                        sa_vc_cursor: ip.sa_vc_arb.cursor(),
+                    })
+                    .collect(),
+                out_ports: r
+                    .out_ports
+                    .iter()
+                    .map(|op| OutPortSnap {
+                        vcs: op
+                            .vcs
+                            .iter()
+                            .map(|v| OutVcSnap { holder: v.holder, credits: v.credits })
+                            .collect(),
+                        busy_until: op.busy_until,
+                        sa_cursor: op.sa_arb.cursor(),
+                    })
+                    .collect(),
+                vca_offset: r.vca_offset,
+            })
+            .collect();
+        let channels = self
+            .channels
+            .iter()
+            .map(|c| ChannelSnap {
+                in_flight: c.in_flight.iter().copied().collect(),
+                credits_back: c.credits_back.iter().copied().collect(),
+            })
+            .collect();
+        let buses = self
+            .buses
+            .iter()
+            .map(|b| {
+                // Per-cycle scratch must be clear at a cycle boundary.
+                debug_assert!(!b.used_this_cycle && !b.released_this_cycle);
+                debug_assert!(b.wants.iter().all(|&w| !w));
+                let (token_holder, token_available_at) = b.token.save();
+                BusSnap {
+                    token_holder,
+                    token_available_at,
+                    busy_until: b.busy_until,
+                    credits: b.credits.clone(),
+                    in_flight: b.in_flight.iter().copied().collect(),
+                    credits_back: b.credits_back.iter().copied().collect(),
+                    vc_owner: b.vc_owner.clone(),
+                    want_since: b.want_since.clone(),
+                    discards: b.discards,
+                }
+            })
+            .collect();
+        let nics = self
+            .nics
+            .iter()
+            .map(|n| NicSnap {
+                queue: n.queue.iter().copied().collect(),
+                credits: n.credits.clone(),
+                streaming: n.streaming,
+                vc_cursor: n.vc_arb.cursor(),
+                eject_flits: n.eject_flits,
+            })
+            .collect();
+        let fault = self.fault.as_deref().map(|ctx| {
+            let mut poisoned: Vec<u64> = ctx.poisoned.iter().copied().collect();
+            poisoned.sort_unstable();
+            FaultSnap {
+                next_event: ctx.next_event,
+                channel_down_until: ctx.channel_down_until.clone(),
+                bus_down_until: ctx.bus_down_until.clone(),
+                token_down_until: ctx.token_down_until.clone(),
+                notices: ctx.notices.clone(),
+                recoveries: ctx.recoveries.clone(),
+                poisoned,
+                first_fault_at: ctx.first_fault_at,
+                rng_draws: ctx.rng_draws,
+                schedule_len: ctx.schedule_len(),
+                seed: ctx.cfg.seed,
+            }
+        });
+        NetworkSnapshot {
+            now: self.now,
+            next_packet_id: self.next_packet_id,
+            routers,
+            channels,
+            buses,
+            nics,
+            fault,
+            routing: self.routing.save_state(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Write `snap` onto this network, which must have been built with the
+    /// same topology and configuration. Validates all shapes before
+    /// mutating anything, so a failed restore leaves the network untouched.
+    pub fn restore(&mut self, snap: &NetworkSnapshot) -> Result<(), SnapshotError> {
+        self.validate_shape(snap)?;
+
+        self.now = snap.now;
+        self.next_packet_id = snap.next_packet_id;
+        self.stats = snap.stats.clone();
+        self.routing.load_state(&snap.routing);
+
+        for (r, rs) in self.routers.iter_mut().zip(&snap.routers) {
+            r.vca_offset = rs.vca_offset;
+            for (ip, ips) in r.in_ports.iter_mut().zip(&rs.in_ports) {
+                ip.sa_vc_arb.set_cursor(ips.sa_vc_cursor);
+                for (vc, vcs) in ip.vcs.iter_mut().zip(&ips.vcs) {
+                    vc.buf = VecDeque::from(vcs.buf.clone());
+                    vc.state = vcs.state.into();
+                    vc.stage_cycle = vcs.stage_cycle;
+                }
+            }
+            for (op, ops) in r.out_ports.iter_mut().zip(&rs.out_ports) {
+                op.busy_until = ops.busy_until;
+                op.sa_arb.set_cursor(ops.sa_cursor);
+                for (v, vs) in op.vcs.iter_mut().zip(&ops.vcs) {
+                    v.holder = vs.holder;
+                    v.credits = vs.credits;
+                }
+            }
+        }
+        for (c, cs) in self.channels.iter_mut().zip(&snap.channels) {
+            c.in_flight = VecDeque::from(cs.in_flight.clone());
+            c.credits_back = VecDeque::from(cs.credits_back.clone());
+        }
+        for (b, bs) in self.buses.iter_mut().zip(&snap.buses) {
+            b.token.load(bs.token_holder, bs.token_available_at);
+            b.busy_until = bs.busy_until;
+            b.credits = bs.credits.clone();
+            b.in_flight = VecDeque::from(bs.in_flight.clone());
+            b.credits_back = VecDeque::from(bs.credits_back.clone());
+            b.vc_owner = bs.vc_owner.clone();
+            b.want_since = bs.want_since.clone();
+            b.discards = bs.discards;
+            b.wants.iter_mut().for_each(|w| *w = false);
+            b.used_this_cycle = false;
+            b.released_this_cycle = false;
+        }
+        for (n, ns) in self.nics.iter_mut().zip(&snap.nics) {
+            n.queue = VecDeque::from(ns.queue.clone());
+            n.credits = ns.credits.clone();
+            n.streaming = ns.streaming;
+            n.vc_arb.set_cursor(ns.vc_cursor);
+            n.eject_flits = ns.eject_flits;
+        }
+        if let Some(fs) = &snap.fault {
+            let ctx = self.fault.as_deref_mut().expect("validated above");
+            ctx.next_event = fs.next_event;
+            ctx.channel_down_until = fs.channel_down_until.clone();
+            ctx.bus_down_until = fs.bus_down_until.clone();
+            ctx.token_down_until = fs.token_down_until.clone();
+            ctx.notices = fs.notices.clone();
+            ctx.recoveries = fs.recoveries.clone();
+            ctx.poisoned = fs.poisoned.iter().copied().collect();
+            ctx.first_fault_at = fs.first_fault_at;
+            ctx.replay_rng(fs.rng_draws);
+        }
+        // Reseed observer edge detection from the restored medium state.
+        if self.has_observer() {
+            let now = self.now;
+            for b in &mut self.buses {
+                b.obs_busy = b.is_busy(now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that `snap` structurally fits this network.
+    fn validate_shape(&self, snap: &NetworkSnapshot) -> Result<(), SnapshotError> {
+        ensure!(
+            snap.routers.len() == self.routers.len(),
+            "router count {} != {}",
+            snap.routers.len(),
+            self.routers.len()
+        );
+        ensure!(
+            snap.channels.len() == self.channels.len(),
+            "channel count {} != {}",
+            snap.channels.len(),
+            self.channels.len()
+        );
+        ensure!(
+            snap.buses.len() == self.buses.len(),
+            "bus count {} != {}",
+            snap.buses.len(),
+            self.buses.len()
+        );
+        ensure!(
+            snap.nics.len() == self.nics.len(),
+            "core count {} != {}",
+            snap.nics.len(),
+            self.nics.len()
+        );
+        for (ri, (r, rs)) in self.routers.iter().zip(&snap.routers).enumerate() {
+            ensure!(
+                rs.in_ports.len() == r.in_ports.len(),
+                "router {ri}: in-port count {} != {}",
+                rs.in_ports.len(),
+                r.in_ports.len()
+            );
+            ensure!(
+                rs.out_ports.len() == r.out_ports.len(),
+                "router {ri}: out-port count {} != {}",
+                rs.out_ports.len(),
+                r.out_ports.len()
+            );
+            for (pi, (ip, ips)) in r.in_ports.iter().zip(&rs.in_ports).enumerate() {
+                ensure!(
+                    ips.vcs.len() == ip.vcs.len(),
+                    "router {ri} in-port {pi}: VC count {} != {}",
+                    ips.vcs.len(),
+                    ip.vcs.len()
+                );
+            }
+            for (pi, (op, ops)) in r.out_ports.iter().zip(&rs.out_ports).enumerate() {
+                ensure!(
+                    ops.vcs.len() == op.vcs.len(),
+                    "router {ri} out-port {pi}: VC count {} != {}",
+                    ops.vcs.len(),
+                    op.vcs.len()
+                );
+            }
+        }
+        for (bi, (b, bs)) in self.buses.iter().zip(&snap.buses).enumerate() {
+            ensure!(
+                bs.token_holder < b.token.writers(),
+                "bus {bi}: token holder {} out of range ({} writers)",
+                bs.token_holder,
+                b.token.writers()
+            );
+            ensure!(
+                bs.credits.len() == b.readers.len() && bs.vc_owner.len() == b.readers.len(),
+                "bus {bi}: reader count mismatch"
+            );
+            ensure!(
+                bs.want_since.len() == b.writers.len(),
+                "bus {bi}: writer count {} != {}",
+                bs.want_since.len(),
+                b.writers.len()
+            );
+        }
+        match (&snap.fault, self.fault.as_deref()) {
+            (None, None) => {}
+            (Some(fs), Some(ctx)) => {
+                ensure!(
+                    fs.schedule_len == ctx.schedule_len(),
+                    "fault schedule length {} != {}",
+                    fs.schedule_len,
+                    ctx.schedule_len()
+                );
+                ensure!(
+                    fs.seed == ctx.cfg.seed,
+                    "fault seed {:#x} != {:#x}",
+                    fs.seed,
+                    ctx.cfg.seed
+                );
+                ensure!(
+                    fs.channel_down_until.len() == self.channels.len()
+                        && fs.bus_down_until.len() == self.buses.len()
+                        && fs.token_down_until.len() == self.buses.len(),
+                    "fault state sized for a different topology"
+                );
+            }
+            (Some(_), None) => {
+                return Err(SnapshotError(
+                    "snapshot has fault state but no FaultConfig is attached".into(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError(
+                    "network has a FaultConfig but the snapshot has no fault state".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultEvent, FaultSchedule};
+    use crate::routing::{RouteDecision, TableRouting};
+    use crate::{LinkClass, NetworkBuilder, RouterConfig};
+
+    /// Two routers, one channel each way, four VCs.
+    fn build_net() -> Network {
+        let mut b = NetworkBuilder::new(2, 2, RouterConfig::default());
+        b.attach_core(0, 0);
+        b.attach_core(1, 1);
+        let (_, o01, _) = b.add_channel(0, 1, 2, 1, LinkClass::Photonic);
+        let (_, o10, _) = b.add_channel(1, 0, 2, 1, LinkClass::Photonic);
+        let table = vec![
+            vec![RouteDecision::any_vc(0, 4), RouteDecision::any_vc(o01, 4)],
+            vec![RouteDecision::any_vc(o10, 4), RouteDecision::any_vc(0, 4)],
+        ];
+        b.build(Box::new(TableRouting { table }))
+    }
+
+    fn inject_traffic(net: &mut Network, upto: u64) {
+        // Deterministic traffic: alternating directions, varying lengths.
+        for i in 0..upto {
+            let (src, dst) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+            net.inject_packet(src, dst, 1 + (i % 5) as u16);
+            net.step();
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_mid_flight() {
+        // Reference: uninterrupted run.
+        let mut reference = build_net();
+        inject_traffic(&mut reference, 40);
+        reference.run(200);
+
+        // Interrupted run: snapshot mid-flight, restore onto a fresh net.
+        let mut first = build_net();
+        inject_traffic(&mut first, 40);
+        first.run(3); // flits still in flight
+        let snap = first.snapshot();
+        drop(first);
+
+        let mut resumed = build_net();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.now, 43);
+        resumed.run(197);
+
+        assert_eq!(resumed.stats, reference.stats);
+        assert_eq!(resumed.next_packet_id, reference.next_packet_id);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_fault_state() {
+        let cfg = FaultConfig {
+            schedule: FaultSchedule::new().with(FaultEvent::transient(
+                5,
+                crate::FaultTarget::Channel(0),
+                10,
+            )),
+            channel_ber: vec![0.0, 1e-4],
+            ..Default::default()
+        };
+        let build = || {
+            let mut n = build_net();
+            n.attach_faults(cfg.clone());
+            n
+        };
+
+        // Uninterrupted reference: inject for 40 cycles, drain.
+        let mut reference = build();
+        inject_traffic(&mut reference, 40);
+        assert!(reference.drain(10_000));
+
+        // Interrupted run: same injected prefix, snapshot mid-fault-window,
+        // restore onto a fresh net, drain.
+        let mut first = build();
+        inject_traffic(&mut first, 40);
+        first.run(2);
+        let snap = first.snapshot();
+        assert!(snap.fault.is_some());
+        let mut resumed = build();
+        resumed.restore(&snap).unwrap();
+        assert!(resumed.drain(10_000));
+        assert_eq!(resumed.stats, reference.stats);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_topology() {
+        let net = build_net();
+        let snap = net.snapshot();
+        let mut other = {
+            let mut b = NetworkBuilder::new(1, 1, RouterConfig::default());
+            b.attach_core(0, 0);
+            let table = vec![vec![RouteDecision::any_vc(0, 4)]];
+            b.build(Box::new(TableRouting { table }))
+        };
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.0.contains("router count"), "got: {err}");
+    }
+
+    #[test]
+    fn restore_rejects_missing_fault_config() {
+        let mut net = build_net();
+        net.attach_faults(FaultConfig::default());
+        let snap = net.snapshot();
+        let mut fresh = build_net(); // no faults attached
+        let err = fresh.restore(&snap).unwrap_err();
+        assert!(err.0.contains("FaultConfig"), "got: {err}");
+    }
+
+    #[test]
+    fn snapshot_preserves_source_backlog_and_streaming() {
+        let mut net = build_net();
+        // Flood one NIC so packets queue and one streams partially.
+        for _ in 0..10 {
+            net.inject_packet(0, 1, 5);
+        }
+        net.run(3);
+        let backlog = net.source_backlog();
+        assert!(backlog > 0, "test needs a backlog");
+        let snap = net.snapshot();
+        let mut resumed = build_net();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.source_backlog(), backlog);
+        assert!(resumed.drain(100_000));
+        assert_eq!(resumed.stats.packets_delivered, 10);
+    }
+}

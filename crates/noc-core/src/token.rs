@@ -44,6 +44,23 @@ impl TokenRing {
         self.holder
     }
 
+    /// Cycle at which the current holder may first use the token.
+    pub fn available_at(&self) -> Cycle {
+        self.available_at
+    }
+
+    /// Dynamic state for a checkpoint: `(holder, available_at)`.
+    pub(crate) fn save(&self) -> (usize, Cycle) {
+        (self.holder, self.available_at)
+    }
+
+    /// Restore dynamic state captured by [`TokenRing::save`].
+    pub(crate) fn load(&mut self, holder: usize, available_at: Cycle) {
+        assert!(holder < self.n, "token holder {holder} out of range (n={})", self.n);
+        self.holder = holder;
+        self.available_at = available_at;
+    }
+
     /// Whether writer `w` holds a *usable* token at cycle `now`.
     #[inline]
     pub fn holds(&self, w: usize, now: Cycle) -> bool {

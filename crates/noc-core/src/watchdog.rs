@@ -1,0 +1,444 @@
+//! Progress watchdog: livelock/deadlock detection with a structured
+//! diagnosis instead of a bare timeout.
+//!
+//! Deadlock freedom is a load-bearing claim of the reproduced
+//! architectures (the OWN VC partitioning argues it structurally, §V-A),
+//! so long runs *verify* it at runtime: the [`Watchdog`] samples a cheap
+//! monotone progress counter — flits injected + ejected + crossbar
+//! traversals, see [`Network::progress_counter`] — once per interval, and
+//! declares a stall after two consecutive intervals without movement while
+//! flits remain in the system. Token circulation and link-level
+//! retransmissions are deliberately *not* progress: a token orbiting
+//! writers that can never transmit, or a flit bouncing off a dead link,
+//! is exactly the livelock the watchdog exists to catch.
+//!
+//! On a stall, [`Network::stall_report`] captures a [`StallReport`]: every
+//! occupied virtual channel with its pipeline state and what it waits on,
+//! token holders, bus VC ownership, and credit-starved output VCs. The
+//! report is plain data (for the `noc-sim` exporters) and pretty-prints
+//! through `Display` for assertion messages — see [`Network::try_drain`].
+//!
+//! The default interval (4096 cycles, two-interval hysteresis) comfortably
+//! exceeds every legitimate quiet period of the engine: the longest gap
+//! with zero flit movement on a live network is one maximally-backed-off
+//! retransmission (`rtt << backoff_cap`, a few hundred cycles at the
+//! default cap) or one in-flight traversal of the longest channel. A
+//! configuration with a pathological backoff cap *should* trip the
+//! watchdog — waiting 2⁴⁰ cycles for a resend is a livelock in every
+//! practical sense.
+
+use std::fmt;
+
+use crate::ids::{BusId, Cycle, PortId, RouterId};
+use crate::network::Network;
+use crate::router::{OutTarget, VcState};
+
+/// Default progress-check interval in cycles.
+pub const DEFAULT_WATCHDOG_INTERVAL: u64 = 4096;
+
+/// Consecutive zero-progress intervals required to declare a stall.
+const HYSTERESIS: u32 = 2;
+
+/// Interval-based zero-progress detector.
+///
+/// Drive it with [`Watchdog::poll`] once per cycle (cheap: one comparison
+/// off the interval boundary); it reads the progress counter only once per
+/// interval.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    interval: u64,
+    next_check: Cycle,
+    last_progress: u64,
+    /// Last cycle at which the counter was observed to move.
+    progressed_at: Cycle,
+    stalled_intervals: u32,
+}
+
+impl Watchdog {
+    /// A watchdog checking progress every `interval` cycles (≥ 1), armed
+    /// from cycle `now` with baseline counter value `progress`.
+    pub fn new(interval: u64, now: Cycle, progress: u64) -> Self {
+        assert!(interval >= 1, "watchdog interval must be >= 1");
+        Watchdog {
+            interval,
+            next_check: now + interval,
+            last_progress: progress,
+            progressed_at: now,
+            stalled_intervals: 0,
+        }
+    }
+
+    /// The configured check interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Last cycle at which progress was observed.
+    pub fn progressed_at(&self) -> Cycle {
+        self.progressed_at
+    }
+
+    /// Whether the next [`Watchdog::poll`] at `now` will actually sample —
+    /// lets callers skip computing the progress counter off-interval.
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_check
+    }
+
+    /// Record the progress counter at `now`; returns `true` once the
+    /// counter has sat still for the hysteresis window. The caller is
+    /// responsible for ignoring the verdict on a quiescent network (an
+    /// idle network makes no progress and is not stalled).
+    pub fn poll(&mut self, now: Cycle, progress: u64) -> bool {
+        if now < self.next_check {
+            return false;
+        }
+        self.next_check = now + self.interval;
+        if progress != self.last_progress {
+            self.last_progress = progress;
+            self.progressed_at = now;
+            self.stalled_intervals = 0;
+        } else {
+            self.stalled_intervals += 1;
+        }
+        self.stalled_intervals >= HYSTERESIS
+    }
+}
+
+/// One occupied input virtual channel at the moment of a stall.
+#[derive(Debug, Clone)]
+pub struct StalledVc {
+    pub router: RouterId,
+    pub in_port: PortId,
+    pub vc: u8,
+    /// Flits sitting in the VC buffer.
+    pub buffered: usize,
+    /// Packet id of the flit at the buffer head, if any.
+    pub head_packet: Option<u64>,
+    /// Pipeline state name: `"idle"`, `"routed"`, or `"active"`.
+    pub state: &'static str,
+    /// Output port the packet holds or requests (Routed/Active).
+    pub out_port: Option<PortId>,
+    /// Output VC held (Active only).
+    pub out_vc: Option<u8>,
+    /// Downstream credits on the held output VC (Active, channel targets).
+    pub out_credits: Option<u32>,
+    /// Cycle of this VC's last pipeline-stage action.
+    pub last_moved: Cycle,
+}
+
+/// Token state of one bus at the moment of a stall.
+#[derive(Debug, Clone)]
+pub struct TokenState {
+    pub bus: BusId,
+    pub holder: usize,
+    /// Cycle from which the holder may use the token.
+    pub available_at: Cycle,
+    /// Whether a scheduled fault currently freezes this ring.
+    pub frozen: bool,
+}
+
+/// One claimed bus (reader, VC) slot at the moment of a stall.
+#[derive(Debug, Clone)]
+pub struct BusOwner {
+    pub bus: BusId,
+    pub reader: u16,
+    pub vc: u8,
+    pub writer: u16,
+}
+
+/// Structured diagnostic captured when the watchdog declares a stall (or
+/// a drain budget runs out with flits still in the system).
+///
+/// All fields are plain data so exporters can serialize them;
+/// `Display` renders the multi-line report used in assertion messages.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Cycle the stall was declared.
+    pub at: Cycle,
+    /// Last cycle with observed progress (equals `at` when the drain
+    /// budget expired on a still-moving network).
+    pub progressed_at: Cycle,
+    /// `true` when the drain budget ran out rather than the watchdog
+    /// firing — the network may still be making (slow) progress.
+    pub budget_exhausted: bool,
+    /// Packets offered but not yet delivered or dropped.
+    pub undelivered_packets: u64,
+    /// Flits injected but not ejected.
+    pub flits_in_network: u64,
+    /// Packets queued (or streaming) at source NICs.
+    pub source_backlog: u64,
+    /// Retransmissions performed so far (a large number with zero
+    /// progress points at a dead medium).
+    pub flit_retransmits: u64,
+    /// Every input VC holding at least one flit.
+    pub stalled_vcs: Vec<StalledVc>,
+    /// Token state of every bus.
+    pub tokens: Vec<TokenState>,
+    /// Every claimed bus (reader, VC) ownership slot.
+    pub bus_owners: Vec<BusOwner>,
+}
+
+impl StallReport {
+    /// One-line summary (full detail comes from `Display`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} at cycle {} ({} undelivered packets, {} flits in network, \
+             {} backlogged, {} stalled VCs, last progress at cycle {})",
+            if self.budget_exhausted { "drain budget exhausted" } else { "stall" },
+            self.at,
+            self.undelivered_packets,
+            self.flits_in_network,
+            self.source_backlog,
+            self.stalled_vcs.len(),
+            self.progressed_at,
+        )
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        writeln!(f, "  retransmits so far: {}", self.flit_retransmits)?;
+        const MAX_LINES: usize = 64;
+        writeln!(f, "  stalled VCs:")?;
+        for v in self.stalled_vcs.iter().take(MAX_LINES) {
+            write!(
+                f,
+                "    router {} in-port {} vc {}: {} [{} buffered",
+                v.router, v.in_port, v.vc, v.state, v.buffered
+            )?;
+            if let Some(p) = v.head_packet {
+                write!(f, ", head pkt {p}")?;
+            }
+            if let Some(op) = v.out_port {
+                write!(f, " -> out port {op}")?;
+                if let Some(ovc) = v.out_vc {
+                    write!(f, " vc {ovc}")?;
+                }
+                if let Some(c) = v.out_credits {
+                    write!(f, " ({c} credits)")?;
+                }
+            }
+            writeln!(f, ", last moved cycle {}]", v.last_moved)?;
+        }
+        if self.stalled_vcs.len() > MAX_LINES {
+            writeln!(f, "    ... and {} more", self.stalled_vcs.len() - MAX_LINES)?;
+        }
+        if !self.tokens.is_empty() {
+            writeln!(f, "  tokens:")?;
+            for t in self.tokens.iter().take(MAX_LINES) {
+                writeln!(
+                    f,
+                    "    bus {}: held by writer {} (usable from cycle {}){}",
+                    t.bus,
+                    t.holder,
+                    t.available_at,
+                    if t.frozen { " [FROZEN]" } else { "" }
+                )?;
+            }
+            if self.tokens.len() > MAX_LINES {
+                writeln!(f, "    ... and {} more", self.tokens.len() - MAX_LINES)?;
+            }
+        }
+        if !self.bus_owners.is_empty() {
+            writeln!(f, "  bus VC owners:")?;
+            for o in self.bus_owners.iter().take(MAX_LINES) {
+                writeln!(
+                    f,
+                    "    bus {} reader {} vc {} <- writer {}",
+                    o.bus, o.reader, o.vc, o.writer
+                )?;
+            }
+            if self.bus_owners.len() > MAX_LINES {
+                writeln!(f, "    ... and {} more", self.bus_owners.len() - MAX_LINES)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Network {
+    /// Monotone progress counter for the watchdog: flits injected +
+    /// ejected + crossbar traversals. Token passes and retransmissions are
+    /// intentionally excluded — both can spin forever without a flit
+    /// moving, which is precisely a livelock.
+    pub fn progress_counter(&self) -> u64 {
+        self.stats.flits_injected
+            + self.stats.flits_ejected
+            + self.stats.router_traversals.iter().sum::<u64>()
+    }
+
+    /// Capture the structured stall diagnostic: every occupied VC with its
+    /// pipeline state, token holders, bus ownership, and credit state.
+    pub fn stall_report(&self, progressed_at: Cycle, budget_exhausted: bool) -> Box<StallReport> {
+        let mut stalled_vcs = Vec::new();
+        for router in &self.routers {
+            for (pi, ip) in router.in_ports.iter().enumerate() {
+                for (vi, ivc) in ip.vcs.iter().enumerate() {
+                    if ivc.buf.is_empty() && ivc.state == VcState::Idle {
+                        continue;
+                    }
+                    let (state, out_port, out_vc) = match ivc.state {
+                        VcState::Idle => ("idle", None, None),
+                        VcState::Routed { out_port, .. } => ("routed", Some(out_port), None),
+                        VcState::Active { out_port, out_vc, .. } => {
+                            ("active", Some(out_port), Some(out_vc))
+                        }
+                    };
+                    let out_credits = match (out_port, out_vc) {
+                        (Some(op), Some(ovc)) => {
+                            let o = &router.out_ports[op as usize];
+                            match o.target {
+                                OutTarget::Channel(_) => Some(o.vcs[ovc as usize].credits),
+                                OutTarget::Bus { bus, .. } => {
+                                    let VcState::Active { reader, .. } = ivc.state else {
+                                        unreachable!()
+                                    };
+                                    Some(self.buses[bus as usize].credit(reader, ovc))
+                                }
+                                OutTarget::Eject(_) => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    stalled_vcs.push(StalledVc {
+                        router: router.id,
+                        in_port: pi as PortId,
+                        vc: vi as u8,
+                        buffered: ivc.buf.len(),
+                        head_packet: ivc.buf.front().map(|&(_, f)| f.packet_id),
+                        state,
+                        out_port,
+                        out_vc,
+                        out_credits,
+                        last_moved: ivc.stage_cycle,
+                    });
+                }
+            }
+        }
+        let now = self.now;
+        let tokens = self
+            .buses
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                let (holder, available_at) = b.token.save();
+                TokenState {
+                    bus: bi as BusId,
+                    holder,
+                    available_at,
+                    frozen: self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now)),
+                }
+            })
+            .collect();
+        let mut bus_owners = Vec::new();
+        for (bi, b) in self.buses.iter().enumerate() {
+            for (reader, vcs) in b.vc_owner.iter().enumerate() {
+                for (vc, owner) in vcs.iter().enumerate() {
+                    if let Some(writer) = owner {
+                        bus_owners.push(BusOwner {
+                            bus: bi as BusId,
+                            reader: reader as u16,
+                            vc: vc as u8,
+                            writer: *writer,
+                        });
+                    }
+                }
+            }
+        }
+        let s = &self.stats;
+        Box::new(StallReport {
+            at: now,
+            progressed_at,
+            budget_exhausted,
+            undelivered_packets: s
+                .packets_offered
+                .saturating_sub(s.packets_delivered + s.packets_dropped_corrupt),
+            flits_in_network: s.flits_in_network(),
+            source_backlog: self.source_backlog() as u64,
+            flit_retransmits: s.flit_retransmits,
+            stalled_vcs,
+            tokens,
+            bus_owners,
+        })
+    }
+
+    /// Drain with diagnosis: run until quiescent, returning the cycles it
+    /// took, or fail with a [`StallReport`] — either because the watchdog
+    /// saw no flit movement for two intervals (livelock/deadlock) or
+    /// because `max_cycles` elapsed first (budget exhaustion; the report's
+    /// `budget_exhausted` flag distinguishes the two).
+    ///
+    /// [`Network::drain`] is the boolean shorthand for call sites that
+    /// only assert success.
+    pub fn try_drain(&mut self, max_cycles: u64) -> Result<u64, Box<StallReport>> {
+        self.try_drain_with(max_cycles, DEFAULT_WATCHDOG_INTERVAL)
+    }
+
+    /// [`Network::try_drain`] with an explicit watchdog interval, for runs
+    /// whose legitimate quiet periods (e.g. very long retransmission
+    /// backoffs that should *not* count as stalls) exceed the default.
+    pub fn try_drain_with(
+        &mut self,
+        max_cycles: u64,
+        interval: u64,
+    ) -> Result<u64, Box<StallReport>> {
+        let start = self.now;
+        let mut dog = Watchdog::new(interval, self.now, self.progress_counter());
+        for _ in 0..max_cycles {
+            if self.quiescent() {
+                return Ok(self.now - start);
+            }
+            self.step();
+            if dog.due(self.now) && dog.poll(self.now, self.progress_counter()) && !self.quiescent()
+            {
+                return Err(self.stall_report(dog.progressed_at(), false));
+            }
+        }
+        if self.quiescent() {
+            Ok(self.now - start)
+        } else {
+            Err(self.stall_report(dog.progressed_at(), true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_fires_only_after_hysteresis() {
+        let mut w = Watchdog::new(10, 0, 100);
+        assert!(!w.poll(5, 100), "before the first interval boundary");
+        assert!(!w.poll(10, 100), "first stalled interval: hysteresis");
+        assert!(w.poll(20, 100), "second stalled interval: stall");
+    }
+
+    #[test]
+    fn progress_resets_the_stall_count() {
+        let mut w = Watchdog::new(10, 0, 0);
+        assert!(!w.poll(10, 0));
+        assert!(!w.poll(20, 5), "progress clears the count");
+        assert_eq!(w.progressed_at(), 20);
+        assert!(!w.poll(30, 5));
+        assert!(w.poll(40, 5));
+        assert_eq!(w.progressed_at(), 20, "stall window anchored at last movement");
+    }
+
+    #[test]
+    fn off_boundary_polls_are_free() {
+        let mut w = Watchdog::new(100, 0, 0);
+        for now in 1..100 {
+            assert!(!w.poll(now, 0));
+        }
+        assert!(!w.poll(100, 0));
+        assert!(w.poll(200, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be >= 1")]
+    fn zero_interval_rejected() {
+        let _ = Watchdog::new(0, 0, 0);
+    }
+}

@@ -31,18 +31,45 @@
 //!   per distance class from the noc-phy link budget).
 //! * `--retry-limit <n>` — link-level retransmission budget per flit hop.
 //!
+//! Run-durability flags (consumed by `own256`/`own1024` and `--trace`):
+//!
+//! * `--checkpoint-every <n>` — write a checkpoint every `n` cycles
+//!   (requires `--checkpoint-dir`).
+//! * `--checkpoint-dir <dir>` — directory for checkpoint files.
+//! * `--resume` — resume from the newest checkpoint in
+//!   `--checkpoint-dir` (starts fresh when the directory has none).
+//! * `--audit <n>` — run the full invariant audit every `n` cycles and
+//!   abort on the first violation (debug aid; slows the run).
+//!
+//! The progress watchdog is always armed on these runs; a declared
+//! livelock/deadlock prints the structured stall report on stderr and
+//! exits with status 3 so CI can fail the job.
+//!
 //! Unknown experiment names and unreadable `--spec` files are diagnosed
 //! before anything runs, and exit with status 2.
 
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 use noc_power::Scenario;
 use noc_sim::experiments::resilience::{self, ResilienceOpts};
 use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
-use noc_sim::obs::{write_chrome_trace, write_jsonl, RingRecorder};
-use noc_sim::{Report, SimConfig, SimSpec, Simulation};
-use noc_topology::Own256;
+use noc_sim::obs::{
+    stall_report_json, write_chrome_trace_with_stall, write_jsonl_with_stall, RingRecorder,
+};
+use noc_sim::{Report, SimConfig, SimResult, SimSpec, Simulation};
+use noc_topology::{Own256, Topology};
 use noc_traffic::TrafficPattern;
+
+/// Checkpoint/resume/audit options shared by the long-run commands.
+#[derive(Default)]
+struct DurabilityOpts {
+    checkpoint_every: u64,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    audit_every: u64,
+}
 
 /// Experiment names accepted on the command line (besides `all`/`extras`).
 const KNOWN: &[&str] = &[
@@ -69,6 +96,8 @@ const KNOWN: &[&str] = &[
     "nodes",
     "thermal",
     "resilience",
+    "own256",
+    "own1024",
 ];
 
 fn main() {
@@ -85,6 +114,7 @@ fn main() {
     let mut trace_file: Option<String> = None;
     let mut sample_interval: u64 = 0;
     let mut resilience_opts = ResilienceOpts::default();
+    let mut durability = DurabilityOpts::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
@@ -150,6 +180,38 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--checkpoint-every" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--checkpoint-every requires a cycle count");
+                    std::process::exit(2);
+                };
+                durability.checkpoint_every = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--checkpoint-every: not a cycle count: {s}");
+                    std::process::exit(2);
+                });
+                if durability.checkpoint_every == 0 {
+                    eprintln!("--checkpoint-every must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--checkpoint-dir" => {
+                let Some(d) = args_iter.next() else {
+                    eprintln!("--checkpoint-dir requires a directory path");
+                    std::process::exit(2);
+                };
+                durability.checkpoint_dir = Some(d.clone());
+            }
+            "--resume" => durability.resume = true,
+            "--audit" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--audit requires a cycle count");
+                    std::process::exit(2);
+                };
+                durability.audit_every = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--audit: not a cycle count: {s}");
+                    std::process::exit(2);
+                });
+            }
             "--quick" => budget = Budget::quick(),
             "--full" => budget = Budget::full(),
             "--csv" => csv = true,
@@ -214,6 +276,11 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if (durability.checkpoint_every > 0 || durability.resume) && durability.checkpoint_dir.is_none()
+    {
+        eprintln!("--checkpoint-every/--resume require --checkpoint-dir");
+        std::process::exit(2);
+    }
 
     let emit = |r: &Report| {
         if json {
@@ -227,7 +294,7 @@ fn main() {
     };
 
     if let Some(path) = &trace_file {
-        run_traced(path, budget, sample_interval);
+        run_traced(path, budget, sample_interval, &durability);
     }
 
     for f in &spec_files {
@@ -300,6 +367,8 @@ fn main() {
                 emit(&resilience::resilience(budget, &resilience_opts));
                 emit(&resilience::resilience_sweep(budget, &resilience_opts));
             }
+            "own256" => run_own(256, budget, sample_interval, &durability),
+            "own1024" => run_own(1024, budget, sample_interval, &durability),
             other => unreachable!("validated above: {other}"),
         }
         if progress {
@@ -312,12 +381,83 @@ fn usage() {
     eprintln!(
         "usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--progress] \
          [--trace out.json] [--sample-interval n] [--spec file.json]... \
-         [--faults spec] [--ber rate] [--retry-limit n] <experiment|all>..."
+         [--faults spec] [--ber rate] [--retry-limit n] \
+         [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] <experiment|all>..."
     );
     eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
     eprintln!(
         "extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal \
          resilience (or: extras)"
+    );
+    eprintln!("long runs:   own256 own1024 (honor checkpoint/resume/audit flags)");
+}
+
+/// Build a simulation honoring the durability flags: resume from the
+/// newest checkpoint when asked (falling back to a fresh run if the
+/// directory holds none), then arm checkpointing and auditing.
+fn build_sim(topo: &dyn Topology, cfg: SimConfig, opts: &DurabilityOpts) -> Simulation {
+    let mut sim = if opts.resume {
+        let dir = Path::new(opts.checkpoint_dir.as_deref().expect("validated at parse"));
+        match Simulation::resume(topo, cfg, dir) {
+            Ok(sim) => sim,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                eprintln!("[resume] no checkpoint in {}: starting fresh", dir.display());
+                Simulation::new(topo, cfg)
+            }
+            Err(e) => {
+                eprintln!("--resume: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Simulation::new(topo, cfg)
+    };
+    if opts.checkpoint_every > 0 {
+        let dir = opts.checkpoint_dir.as_deref().expect("validated at parse");
+        sim.set_checkpointing(opts.checkpoint_every, dir);
+    }
+    if opts.audit_every > 0 {
+        sim.set_audit_interval(opts.audit_every);
+    }
+    sim
+}
+
+/// When the watchdog declared a stall, print the structured report —
+/// human form and one JSONL line — and exit 3 so CI fails the job.
+fn exit_on_stall(result: &SimResult) {
+    let Some(stall) = &result.stall else { return };
+    eprintln!("[watchdog] {} made no progress — stall report:", result.name);
+    eprintln!("{stall}");
+    eprintln!("{}", stall_report_json(stall));
+    std::process::exit(3);
+}
+
+/// Run one long OWN simulation (the checkpoint/resume workhorse) and
+/// print a one-line summary; exits 3 on a watchdog stall.
+fn run_own(cores: u32, budget: Budget, sample_interval: u64, opts: &DurabilityOpts) {
+    let topo = noc_topology::own(cores);
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: budget.warmup,
+        measure: budget.measure,
+        drain: budget.drain,
+        sample_every: sample_interval,
+        ..Default::default()
+    };
+    let result = build_sim(topo.as_ref(), cfg, opts).run();
+    exit_on_stall(&result);
+    let resumed =
+        result.resumed_from.map_or(String::new(), |c| format!(" (resumed from cycle {c})"));
+    println!(
+        "{}: {} cycles{resumed}, avg latency {:.1}, throughput {:.4} flits/core/cycle, \
+         delivered {:.3}, {:.0} kcycles/s",
+        result.name,
+        result.cycles,
+        result.avg_latency,
+        result.throughput,
+        result.delivered_fraction,
+        result.profile.cycles_per_sec / 1e3,
     );
 }
 
@@ -325,7 +465,8 @@ fn usage() {
 /// Chrome trace format to `path`, JSONL to `path.jsonl`. The run keeps the
 /// newest million events (photonic token grants, channel/bus traversals,
 /// packet lifecycles) and reports sampling/fairness summaries on stderr.
-fn run_traced(path: &str, budget: Budget, sample_interval: u64) {
+/// A watchdog stall is embedded in both exports, then exits 3.
+fn run_traced(path: &str, budget: Budget, sample_interval: u64, opts: &DurabilityOpts) {
     let cfg = SimConfig {
         rate: 0.04,
         pattern: TrafficPattern::Uniform,
@@ -335,7 +476,7 @@ fn run_traced(path: &str, budget: Budget, sample_interval: u64) {
         sample_every: if sample_interval > 0 { sample_interval } else { 100 },
         ..Default::default()
     };
-    let mut sim = Simulation::new(&Own256::new(), cfg);
+    let mut sim = build_sim(&Own256::new(), cfg, opts);
     sim.attach_observer(Box::new(RingRecorder::new(1 << 20)));
     let mut result = sim.run();
     let Some(rec) = RingRecorder::take_from(&mut result.net) else {
@@ -343,12 +484,13 @@ fn run_traced(path: &str, budget: Budget, sample_interval: u64) {
         std::process::exit(1);
     };
     let events = rec.into_events();
-    if let Err(e) = write_chrome_trace(std::path::Path::new(path), &events) {
+    let stall = result.stall.as_deref();
+    if let Err(e) = write_chrome_trace_with_stall(std::path::Path::new(path), &events, stall) {
         eprintln!("--trace: cannot write {path}: {e}");
         std::process::exit(2);
     }
     let jsonl_path = format!("{path}.jsonl");
-    if let Err(e) = write_jsonl(std::path::Path::new(&jsonl_path), &events) {
+    if let Err(e) = write_jsonl_with_stall(std::path::Path::new(&jsonl_path), &events, stall) {
         eprintln!("--trace: cannot write {jsonl_path}: {e}");
         std::process::exit(2);
     }
@@ -375,4 +517,5 @@ fn run_traced(path: &str, budget: Budget, sample_interval: u64) {
         "[trace] delivery fairness: gini {:.3}, hotspot factor {:.2}",
         fairness.gini, fairness.hotspot_factor,
     );
+    exit_on_stall(&result);
 }

@@ -19,6 +19,7 @@
 
 pub mod analysis;
 pub mod chart;
+pub mod checkpoint;
 pub mod experiments;
 pub mod metrics;
 pub mod obs;
@@ -27,6 +28,7 @@ pub mod sim;
 pub mod spec;
 pub mod sweep;
 
+pub use checkpoint::{latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint};
 pub use metrics::{EngineProfile, SimResult};
 pub use obs::{RingRecorder, Sample, SampleSeries};
 pub use report::Report;

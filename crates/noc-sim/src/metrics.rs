@@ -1,6 +1,6 @@
 //! Metrics extracted from a finished simulation.
 
-use noc_core::Network;
+use noc_core::{Network, StallReport};
 
 use crate::analysis::{distribution, LoadDistribution};
 use crate::obs::SampleSeries;
@@ -17,7 +17,11 @@ pub struct EngineProfile {
     pub drain_secs: f64,
     /// Total wall-clock seconds (sum of the phases).
     pub total_secs: f64,
-    /// Simulated cycles per wall-clock second.
+    /// Cycles actually simulated by this process — less than the final
+    /// cycle count when the run was resumed from a checkpoint.
+    pub cycles_run: u64,
+    /// Simulated cycles per wall-clock second (over the cycles this
+    /// process actually ran, so resumed runs report honest rates).
     pub cycles_per_sec: f64,
     /// Engine events (buffer writes + crossbar traversals) per wall-clock
     /// second — the engine's useful-work rate, load-independent-ish.
@@ -77,6 +81,11 @@ pub struct SimResult {
     pub time_to_failover: Option<u64>,
     /// Mean latency of packets created at or after the first fault.
     pub avg_post_fault_latency: f64,
+    /// Structured diagnostic captured when the progress watchdog declared
+    /// a livelock/deadlock; `None` for a run that completed normally.
+    pub stall: Option<Box<StallReport>>,
+    /// Cycle this run was resumed from (checkpoint restore), if it was.
+    pub resumed_from: Option<u64>,
 }
 
 impl SimResult {
@@ -114,6 +123,8 @@ impl SimResult {
             failovers: s.failovers,
             time_to_failover,
             avg_post_fault_latency: s.post_fault_latency.mean(),
+            stall: None,
+            resumed_from: None,
             net,
             cfg,
             profile,

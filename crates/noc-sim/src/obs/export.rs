@@ -15,19 +15,25 @@
 //! | 3 | bus id | flit serialization spans on the shared medium |
 //! | 4 | bus id | token-wait spans, grant instants, busy/idle edges |
 //! | 5 | faulted medium id | outage spans, corruption/retransmit/failover |
+//! | 6 | router id | watchdog stall diagnostics (only when a stall fired) |
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 use noc_core::obs::NocEvent;
-use noc_core::FaultTarget;
+use noc_core::{FaultTarget, StallReport};
 
 const PID_PACKETS: u32 = 1;
 const PID_CHANNELS: u32 = 2;
 const PID_BUSES: u32 = 3;
 const PID_TOKENS: u32 = 4;
 const PID_FAULTS: u32 = 5;
+const PID_WATCHDOG: u32 = 6;
+
+/// Stalled-VC instants rendered into a Chrome trace before the per-router
+/// detail is truncated (the stall summary instant reports the full count).
+const MAX_STALL_INSTANTS: usize = 256;
 
 /// `(kind, id)` rendering of a fault target for JSON output.
 fn target_parts(target: FaultTarget) -> (&'static str, u32) {
@@ -40,16 +46,28 @@ fn target_parts(target: FaultTarget) -> (&'static str, u32) {
 
 /// Render events as a complete Chrome-trace JSON document.
 pub fn chrome_trace(events: &[NocEvent]) -> String {
+    chrome_trace_with_stall(events, None)
+}
+
+/// [`chrome_trace`], appending a watchdog stall diagnostic when one was
+/// captured: a `stall` instant carrying the summary counters plus one
+/// instant per stalled VC (row = router id, capped at
+/// [`MAX_STALL_INSTANTS`]) and per frozen-or-held token.
+pub fn chrome_trace_with_stall(events: &[NocEvent], stall: Option<&StallReport>) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 512);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
-    for (pid, name) in [
+    let mut pids = vec![
         (PID_PACKETS, "packets"),
         (PID_CHANNELS, "channels"),
         (PID_BUSES, "buses"),
         (PID_TOKENS, "tokens"),
         (PID_FAULTS, "faults"),
-    ] {
+    ];
+    if stall.is_some() {
+        pids.push((PID_WATCHDOG, "watchdog"));
+    }
+    for (pid, name) in pids {
         if !first {
             out.push(',');
         }
@@ -67,8 +85,51 @@ pub fn chrome_trace(events: &[NocEvent]) -> String {
         first = false;
         chrome_event(&mut out, ev);
     }
+    if let Some(r) = stall {
+        chrome_stall(&mut out, r);
+    }
     out.push_str("]}");
     out
+}
+
+/// Append the stall diagnostic to a non-empty Chrome event list.
+fn chrome_stall(out: &mut String, r: &StallReport) {
+    let _ = write!(
+        out,
+        ",{{\"name\":\"stall\",\"cat\":\"watchdog\",\"ph\":\"i\",\"s\":\"g\",\
+         \"ts\":{},\"pid\":{PID_WATCHDOG},\"tid\":0,\
+         \"args\":{{\"budget_exhausted\":{},\"progressed_at\":{},\
+         \"undelivered_packets\":{},\"flits_in_network\":{},\"source_backlog\":{},\
+         \"flit_retransmits\":{},\"stalled_vcs\":{},\"bus_owners\":{}}}}}",
+        r.at,
+        r.budget_exhausted,
+        r.progressed_at,
+        r.undelivered_packets,
+        r.flits_in_network,
+        r.source_backlog,
+        r.flit_retransmits,
+        r.stalled_vcs.len(),
+        r.bus_owners.len(),
+    );
+    for v in r.stalled_vcs.iter().take(MAX_STALL_INSTANTS) {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"stalled-vc\",\"cat\":\"watchdog\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{PID_WATCHDOG},\"tid\":{},\
+             \"args\":{{\"in_port\":{},\"vc\":{},\"state\":\"{}\",\"buffered\":{},\
+             \"last_moved\":{}}}}}",
+            r.at, v.router, v.in_port, v.vc, v.state, v.buffered, v.last_moved,
+        );
+    }
+    for t in r.tokens.iter().take(MAX_STALL_INSTANTS) {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"token-at-stall\",\"cat\":\"watchdog\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{PID_TOKENS},\"tid\":{},\
+             \"args\":{{\"holder\":{},\"available_at\":{},\"frozen\":{}}}}}",
+            r.at, t.bus, t.holder, t.available_at, t.frozen,
+        );
+    }
 }
 
 fn chrome_event(out: &mut String, ev: &NocEvent) {
@@ -215,12 +276,93 @@ fn chrome_event(out: &mut String, ev: &NocEvent) {
 /// Render events as JSONL: one self-describing JSON object per line, in
 /// event order. Suited to `jq`-style post-processing.
 pub fn jsonl(events: &[NocEvent]) -> String {
+    jsonl_with_stall(events, None)
+}
+
+/// [`jsonl`], appending the watchdog stall diagnostic (when one was
+/// captured) as a final `"kind":"stall"` line — see [`stall_report_json`].
+pub fn jsonl_with_stall(events: &[NocEvent], stall: Option<&StallReport>) -> String {
     let mut out = String::with_capacity(events.len() * 80);
     for ev in events {
         jsonl_event(&mut out, ev);
         out.push('\n');
     }
+    if let Some(r) = stall {
+        out.push_str(&stall_report_json(r));
+        out.push('\n');
+    }
     out
+}
+
+/// One [`StallReport`] as a single-line JSON object (`"kind":"stall"`),
+/// complete: every stalled VC, token state, and claimed bus-ownership slot.
+pub fn stall_report_json(r: &StallReport) -> String {
+    let mut out = String::with_capacity(128 + r.stalled_vcs.len() * 96);
+    let _ = write!(
+        out,
+        "{{\"kind\":\"stall\",\"at\":{},\"progressed_at\":{},\"budget_exhausted\":{},\
+         \"undelivered_packets\":{},\"flits_in_network\":{},\"source_backlog\":{},\
+         \"flit_retransmits\":{},\"stalled_vcs\":[",
+        r.at,
+        r.progressed_at,
+        r.budget_exhausted,
+        r.undelivered_packets,
+        r.flits_in_network,
+        r.source_backlog,
+        r.flit_retransmits,
+    );
+    for (i, v) in r.stalled_vcs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"router\":{},\"in_port\":{},\"vc\":{},\"buffered\":{},\"head_packet\":",
+            v.router, v.in_port, v.vc, v.buffered,
+        );
+        push_opt(&mut out, v.head_packet.map(u128::from));
+        let _ = write!(out, ",\"state\":\"{}\",\"out_port\":", v.state);
+        push_opt(&mut out, v.out_port.map(u128::from));
+        out.push_str(",\"out_vc\":");
+        push_opt(&mut out, v.out_vc.map(u128::from));
+        out.push_str(",\"out_credits\":");
+        push_opt(&mut out, v.out_credits.map(u128::from));
+        let _ = write!(out, ",\"last_moved\":{}}}", v.last_moved);
+    }
+    out.push_str("],\"tokens\":[");
+    for (i, t) in r.tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"bus\":{},\"holder\":{},\"available_at\":{},\"frozen\":{}}}",
+            t.bus, t.holder, t.available_at, t.frozen,
+        );
+    }
+    out.push_str("],\"bus_owners\":[");
+    for (i, o) in r.bus_owners.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"bus\":{},\"reader\":{},\"vc\":{},\"writer\":{}}}",
+            o.bus, o.reader, o.vc, o.writer,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `null` or the integer, for optional fields in hand-written JSON.
+fn push_opt(out: &mut String, v: Option<u128>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
 }
 
 fn jsonl_event(out: &mut String, ev: &NocEvent) {
@@ -334,9 +476,27 @@ pub fn write_chrome_trace(path: &Path, events: &[NocEvent]) -> io::Result<()> {
     std::fs::write(path, chrome_trace(events))
 }
 
+/// Write a Chrome trace including the stall diagnostic, when one fired.
+pub fn write_chrome_trace_with_stall(
+    path: &Path,
+    events: &[NocEvent],
+    stall: Option<&StallReport>,
+) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_with_stall(events, stall))
+}
+
 /// Write JSONL for `events` to `path`.
 pub fn write_jsonl(path: &Path, events: &[NocEvent]) -> io::Result<()> {
     std::fs::write(path, jsonl(events))
+}
+
+/// Write JSONL including the stall diagnostic line, when one fired.
+pub fn write_jsonl_with_stall(
+    path: &Path,
+    events: &[NocEvent],
+    stall: Option<&StallReport>,
+) -> io::Result<()> {
+    std::fs::write(path, jsonl_with_stall(events, stall))
 }
 
 #[cfg(test)]
@@ -448,5 +608,100 @@ mod tests {
         let v: serde_json::Value = s.parse().unwrap();
         assert_eq!(v.get("traceEvents").and_then(|e| e.as_array()).map(|a| a.len()), Some(5));
         assert_eq!(jsonl(&[]), "");
+    }
+
+    fn sample_stall() -> StallReport {
+        use noc_core::watchdog::{BusOwner, StalledVc, TokenState};
+        StallReport {
+            at: 8192,
+            progressed_at: 4096,
+            budget_exhausted: false,
+            undelivered_packets: 3,
+            flits_in_network: 9,
+            source_backlog: 2,
+            flit_retransmits: 57,
+            stalled_vcs: vec![StalledVc {
+                router: 4,
+                in_port: 1,
+                vc: 2,
+                buffered: 3,
+                head_packet: Some(77),
+                state: "active",
+                out_port: Some(5),
+                out_vc: Some(0),
+                out_credits: Some(0),
+                last_moved: 4090,
+            }],
+            tokens: vec![TokenState { bus: 0, holder: 3, available_at: 4100, frozen: true }],
+            bus_owners: vec![BusOwner { bus: 0, reader: 1, vc: 0, writer: 3 }],
+        }
+    }
+
+    #[test]
+    fn stall_report_json_is_one_complete_line() {
+        let r = sample_stall();
+        let line = stall_report_json(&r);
+        assert!(!line.contains('\n'));
+        let v: serde_json::Value = line.parse().expect("stall line parses");
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("stall"));
+        assert_eq!(v.get("at").and_then(|a| a.as_u64()), Some(8192));
+        assert_eq!(v.get("budget_exhausted").and_then(|b| b.as_bool()), Some(false));
+        let vcs = v.get("stalled_vcs").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(vcs.len(), 1);
+        assert_eq!(vcs[0].get("head_packet").and_then(|p| p.as_u64()), Some(77));
+        assert_eq!(vcs[0].get("state").and_then(|s| s.as_str()), Some("active"));
+        assert_eq!(vcs[0].get("out_credits").and_then(|c| c.as_u64()), Some(0));
+        let tokens = v.get("tokens").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(tokens[0].get("frozen").and_then(|f| f.as_bool()), Some(true));
+        assert_eq!(v.get("bus_owners").and_then(|a| a.as_array()).map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn stall_null_fields_render_as_null() {
+        let mut r = sample_stall();
+        r.stalled_vcs[0].head_packet = None;
+        r.stalled_vcs[0].out_port = None;
+        r.stalled_vcs[0].out_vc = None;
+        r.stalled_vcs[0].out_credits = None;
+        let line = stall_report_json(&r);
+        let v: serde_json::Value = line.parse().unwrap();
+        let vc = &v.get("stalled_vcs").and_then(|a| a.as_array()).unwrap()[0];
+        assert!(vc.get("head_packet").is_some_and(|p| p.as_u64().is_none()));
+        assert!(vc.get("out_port").is_some_and(|p| p.as_u64().is_none()));
+    }
+
+    #[test]
+    fn jsonl_with_stall_appends_one_line() {
+        let events = sample_events();
+        let r = sample_stall();
+        let s = jsonl_with_stall(&events, Some(&r));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 15, "14 events + 1 stall line");
+        assert!(lines[14].starts_with("{\"kind\":\"stall\""));
+        // Without a stall, byte-identical to plain jsonl.
+        assert_eq!(jsonl_with_stall(&events, None), jsonl(&events));
+    }
+
+    #[test]
+    fn chrome_trace_with_stall_adds_watchdog_process() {
+        let events = sample_events();
+        let r = sample_stall();
+        let s = chrome_trace_with_stall(&events, Some(&r));
+        let v: serde_json::Value = s.parse().expect("trace with stall parses");
+        let evs = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // 6 metadata + 14 events + 1 stall + 1 stalled VC + 1 token.
+        assert_eq!(evs.len(), 23);
+        let stall = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall"))
+            .expect("stall instant present");
+        assert_eq!(stall.get("pid").and_then(|p| p.as_u64()), Some(PID_WATCHDOG as u64));
+        assert_eq!(
+            stall.get("args").and_then(|a| a.get("stalled_vcs")).and_then(|n| n.as_u64()),
+            Some(1)
+        );
+        assert!(evs.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("stalled-vc")));
+        // Without a stall, byte-identical to the plain trace.
+        assert_eq!(chrome_trace_with_stall(&events, None), chrome_trace(&events));
     }
 }

@@ -5,14 +5,35 @@
 //! throughput counted at the ejectors) → **drain** (injection stops, the
 //! window's packets finish; bounded). Seeds are explicit, so every result
 //! is reproducible.
+//!
+//! Long runs get three durability features, all off the per-cycle hot path:
+//!
+//! * **Checkpointing** ([`Simulation::set_checkpointing`]): every N cycles
+//!   the full engine state is written atomically to a directory (see
+//!   [`crate::checkpoint`]); [`Simulation::resume`] picks the run back up
+//!   from the newest checkpoint with bit-identical final statistics.
+//! * **Progress watchdog** (on by default): a stalled network — no flit
+//!   movement for two watchdog intervals — aborts the run with a
+//!   structured [`StallReport`] in [`SimResult::stall`] instead of
+//!   spinning out the cycle budget.
+//! * **Invariant auditing** ([`Simulation::set_audit_interval`]): the
+//!   engine's full invariant sweep runs every N cycles and panics on the
+//!   first violation, pinning corruption to a narrow cycle range.
+//!
+//! Phase boundaries are *absolute* cycles (`warmup`, `warmup + measure`,
+//! `warmup + measure + drain`), so a resumed run applies the same window
+//! transitions at the same cycles as the uninterrupted run it continues.
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use noc_core::obs::Observer;
-use noc_core::{FaultConfig, Network, RouterConfig};
+use noc_core::{FaultConfig, Network, RouterConfig, StallReport, Watchdog};
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::metrics::{EngineProfile, SimResult};
 use crate::obs::SampleSeries;
 
@@ -65,6 +86,15 @@ pub struct Simulation {
     cfg: SimConfig,
     name: String,
     cores: usize,
+    /// Write a checkpoint every this many cycles (0 = off).
+    checkpoint_every: u64,
+    checkpoint_dir: Option<PathBuf>,
+    /// Watchdog check interval in cycles (0 = watchdog off).
+    watchdog_interval: u64,
+    /// A checkpoint read by [`Simulation::resume`], applied at the start
+    /// of [`Simulation::run`] — *after* the caller has attached the same
+    /// fault model the checkpointed run had.
+    pending_resume: Option<Checkpoint>,
 }
 
 impl Simulation {
@@ -73,7 +103,104 @@ impl Simulation {
         let net = topo.build(cfg.router);
         let injector = BernoulliInjector::new(cfg.rate, cfg.packet_len, cfg.pattern, cfg.seed);
         let cores = net.num_cores();
-        Simulation { net, injector, cfg, name: topo.name(), cores }
+        Simulation {
+            net,
+            injector,
+            cfg,
+            name: topo.name(),
+            cores,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            watchdog_interval: noc_core::DEFAULT_WATCHDOG_INTERVAL,
+            pending_resume: None,
+        }
+    }
+
+    /// Resume from the newest checkpoint in `dir`: validates the topology
+    /// name and traffic seed against `topo`/`cfg` before anything is
+    /// restored. Fault models are **not** stored in checkpoints — attach
+    /// the same [`FaultConfig`] (via [`Simulation::with_faults`]) the
+    /// original run had before calling [`Simulation::run`]; the restore
+    /// itself happens at the start of `run` and verifies the fault
+    /// fingerprint (schedule length and seed).
+    pub fn resume(topo: &dyn Topology, cfg: SimConfig, dir: &Path) -> io::Result<Self> {
+        let Some(path) = checkpoint::latest_checkpoint(dir)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no checkpoint found in {}", dir.display()),
+            ));
+        };
+        Self::resume_from_checkpoint(topo, cfg, checkpoint::read_checkpoint(&path)?)
+    }
+
+    /// [`Simulation::resume`] from an explicit, already-read checkpoint
+    /// (e.g. a specific mid-run file rather than the newest one).
+    pub fn resume_from_checkpoint(
+        topo: &dyn Topology,
+        cfg: SimConfig,
+        ckpt: Checkpoint,
+    ) -> io::Result<Self> {
+        let mut sim = Simulation::new(topo, cfg);
+        let mismatch = |what: &str, have: &str, want: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint {what} mismatch: checkpoint has {have}, run has {want}"),
+            )
+        };
+        if ckpt.topology != sim.name {
+            return Err(mismatch("topology", &ckpt.topology, &sim.name));
+        }
+        if ckpt.seed != cfg.seed {
+            return Err(mismatch("seed", &ckpt.seed.to_string(), &cfg.seed.to_string()));
+        }
+        let horizon = cfg.warmup + cfg.measure + cfg.drain;
+        if ckpt.cycle > horizon {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint cycle {} is past the run horizon {horizon}", ckpt.cycle),
+            ));
+        }
+        sim.pending_resume = Some(ckpt);
+        Ok(sim)
+    }
+
+    /// Write a checkpoint into `dir` every `every` cycles (0 disables).
+    pub fn set_checkpointing(&mut self, every: u64, dir: impl Into<PathBuf>) {
+        self.checkpoint_every = every;
+        self.checkpoint_dir = Some(dir.into());
+    }
+
+    /// Builder-style [`Simulation::set_checkpointing`].
+    pub fn with_checkpointing(mut self, every: u64, dir: impl Into<PathBuf>) -> Self {
+        self.set_checkpointing(every, dir);
+        self
+    }
+
+    /// Set the progress-watchdog interval in cycles; 0 disables the
+    /// watchdog. Defaults to
+    /// [`noc_core::DEFAULT_WATCHDOG_INTERVAL`]. The watchdog only reads
+    /// counters, so it never changes simulation results — it only decides
+    /// whether a stalled run is cut short.
+    pub fn set_watchdog_interval(&mut self, interval: u64) {
+        self.watchdog_interval = interval;
+    }
+
+    /// Builder-style [`Simulation::set_watchdog_interval`].
+    pub fn with_watchdog_interval(mut self, interval: u64) -> Self {
+        self.set_watchdog_interval(interval);
+        self
+    }
+
+    /// Run the engine's invariant audit every `every` cycles (0 = off);
+    /// see `noc_core::invariants`. Auditing panics on the first violation.
+    pub fn set_audit_interval(&mut self, every: u64) {
+        self.net.set_audit_interval(every);
+    }
+
+    /// Builder-style [`Simulation::set_audit_interval`].
+    pub fn with_audit_interval(mut self, every: u64) -> Self {
+        self.set_audit_interval(every);
+        self
     }
 
     /// Attach an engine event observer (e.g. a
@@ -109,75 +236,197 @@ impl Simulation {
     }
 
     /// Run warm-up, measurement and drain; return the metrics.
+    ///
+    /// Phase boundaries are absolute cycles, so a resumed run re-enters
+    /// the phase its checkpoint was taken in and finishes with statistics
+    /// equal to the uninterrupted run's.
+    ///
+    /// # Panics
+    ///
+    /// When a pending resume checkpoint does not fit the built network —
+    /// wrong shape or a missing/mismatched fault model. (Topology name and
+    /// seed were already validated by [`Simulation::resume`].)
     pub fn run(mut self) -> SimResult {
         let cfg = self.cfg;
+        let w_end = cfg.warmup;
+        let m_end = cfg.warmup + cfg.measure;
+        let run_end = m_end + cfg.drain;
+
+        // `flits_ejected` at the window edges; `None` until the edge is
+        // crossed. Checkpoints carry these so throughput accounting
+        // survives an interruption anywhere in the run.
+        let mut window_start: Option<u64> = None;
+        let mut window_end: Option<u64> = None;
+        let mut resumed_from = None;
+        if let Some(ckpt) = self.pending_resume.take() {
+            self.net.restore(&ckpt.snapshot).unwrap_or_else(|e| {
+                panic!("cannot resume from checkpoint at cycle {}: {e}", ckpt.cycle)
+            });
+            self.injector.skip_cycles(ckpt.injector_offers, self.cores as u32);
+            window_start = ckpt.ejected_window_start;
+            window_end = ckpt.ejected_window_end;
+            resumed_from = Some(ckpt.cycle);
+        }
+        let start_cycle = self.net.now;
+
         let mut series = (cfg.sample_every > 0).then(|| SampleSeries::new(cfg.sample_every));
+        let mut dog = (self.watchdog_interval > 0).then(|| {
+            Watchdog::new(self.watchdog_interval, self.net.now, self.net.progress_counter())
+        });
+        let mut stall: Option<Box<StallReport>> = None;
+
         // Warm-up.
         let t0 = Instant::now();
-        self.run_cycles(cfg.warmup, &mut series);
+        self.run_phase(w_end, &mut series, &mut dog, &mut stall, (window_start, window_end));
         let warmup_secs = t0.elapsed().as_secs_f64();
+        // Open the measurement window exactly at the warm-up boundary. A
+        // resume past the boundary already carries `window_start`.
+        if stall.is_none() && window_start.is_none() {
+            debug_assert_eq!(self.net.now, w_end);
+            self.net.stats.measure_from = w_end;
+            self.net.stats.measure_until = m_end;
+            window_start = Some(self.net.stats.flits_ejected);
+        }
+
         // Measurement window.
-        let window_start = self.net.now;
-        self.net.stats.measure_from = window_start;
-        self.net.stats.measure_until = window_start + cfg.measure;
-        let ejected_at_start = self.net.stats.flits_ejected;
         let t1 = Instant::now();
-        self.run_cycles(cfg.measure, &mut series);
+        self.run_phase(m_end, &mut series, &mut dog, &mut stall, (window_start, window_end));
         let measure_secs = t1.elapsed().as_secs_f64();
-        let ejected_at_end = self.net.stats.flits_ejected;
+        if stall.is_none() && window_end.is_none() {
+            window_end = Some(self.net.stats.flits_ejected);
+        }
+
         // Drain: keep offering traffic (steady state) until the window's
         // packets are delivered or the budget runs out.
         let t2 = Instant::now();
-        let mut drained = 0;
-        while drained < cfg.drain && self.window_packets_outstanding() {
-            self.injector.offer(&mut self.net);
-            self.net.step();
-            drained += 1;
-            if let Some(s) = series.as_mut() {
-                if self.net.now.is_multiple_of(s.interval) {
-                    s.record(&self.net);
-                }
-            }
-        }
+        self.run_drain(run_end, &mut series, &mut dog, &mut stall, (window_start, window_end));
         let drain_secs = t2.elapsed().as_secs_f64();
         if let Some(s) = series.as_mut() {
             // Close the series exactly at the final cycle, even when the
             // run length is not a multiple of the interval.
             s.record(&self.net);
         }
+
+        let ejected_start = window_start.unwrap_or(self.net.stats.flits_ejected);
+        let ejected_end = window_end.unwrap_or(self.net.stats.flits_ejected);
         let throughput =
-            (ejected_at_end - ejected_at_start) as f64 / (cfg.measure as f64 * self.cores as f64);
+            (ejected_end - ejected_start) as f64 / (cfg.measure as f64 * self.cores as f64);
         let total_secs = warmup_secs + measure_secs + drain_secs;
         let events: u64 = self.net.stats.buffer_writes.iter().sum::<u64>()
             + self.net.stats.router_traversals.iter().sum::<u64>();
+        let cycles_run = self.net.now - start_cycle;
         let profile = EngineProfile {
             warmup_secs,
             measure_secs,
             drain_secs,
             total_secs,
-            cycles_per_sec: if total_secs > 0.0 { self.net.now as f64 / total_secs } else { 0.0 },
+            cycles_run,
+            cycles_per_sec: if total_secs > 0.0 { cycles_run as f64 / total_secs } else { 0.0 },
             events_per_sec: if total_secs > 0.0 { events as f64 / total_secs } else { 0.0 },
         };
-        SimResult::collect(self.name, self.net, cfg, throughput, profile, series)
+        let mut result = SimResult::collect(self.name, self.net, cfg, throughput, profile, series);
+        result.stall = stall;
+        result.resumed_from = resumed_from;
+        result
     }
 
-    /// Advance `n` cycles, offering traffic each cycle and sampling on
-    /// interval boundaries. Without sampling this is exactly
-    /// `BernoulliInjector::drive`; with sampling the per-cycle sequence is
-    /// identical (offer, then step), so results match bit for bit.
-    fn run_cycles(&mut self, n: u64, series: &mut Option<SampleSeries>) {
-        match series {
-            None => self.injector.drive(&mut self.net, n),
-            Some(s) => {
-                for _ in 0..n {
-                    self.injector.offer(&mut self.net);
-                    self.net.step();
-                    if self.net.now.is_multiple_of(s.interval) {
-                        s.record(&self.net);
-                    }
+    /// Advance to absolute cycle `until`, offering traffic each cycle;
+    /// stops early on a watchdog stall. The per-cycle sequence (offer,
+    /// step, sample) matches `BernoulliInjector::drive`, so results are
+    /// bit-identical whether sampling, checkpointing or the watchdog are
+    /// on or off.
+    fn run_phase(
+        &mut self,
+        until: u64,
+        series: &mut Option<SampleSeries>,
+        dog: &mut Option<Watchdog>,
+        stall: &mut Option<Box<StallReport>>,
+        window: (Option<u64>, Option<u64>),
+    ) {
+        if stall.is_some() {
+            return;
+        }
+        while self.net.now < until {
+            self.injector.offer(&mut self.net);
+            self.net.step();
+            if let Some(s) = series.as_mut() {
+                if self.net.now.is_multiple_of(s.interval) {
+                    s.record(&self.net);
+                }
+            }
+            if self.post_step(dog, stall, window) {
+                return;
+            }
+        }
+    }
+
+    /// The drain phase: like [`Simulation::run_phase`] but stops as soon
+    /// as the network is quiescent.
+    fn run_drain(
+        &mut self,
+        until: u64,
+        series: &mut Option<SampleSeries>,
+        dog: &mut Option<Watchdog>,
+        stall: &mut Option<Box<StallReport>>,
+        window: (Option<u64>, Option<u64>),
+    ) {
+        if stall.is_some() {
+            return;
+        }
+        while self.net.now < until && self.window_packets_outstanding() {
+            self.injector.offer(&mut self.net);
+            self.net.step();
+            if let Some(s) = series.as_mut() {
+                if self.net.now.is_multiple_of(s.interval) {
+                    s.record(&self.net);
+                }
+            }
+            if self.post_step(dog, stall, window) {
+                return;
+            }
+        }
+    }
+
+    /// Per-cycle bookkeeping after `step`: periodic checkpoint write and
+    /// watchdog poll. Returns `true` when the run should stop (stall).
+    fn post_step(
+        &mut self,
+        dog: &mut Option<Watchdog>,
+        stall: &mut Option<Box<StallReport>>,
+        window: (Option<u64>, Option<u64>),
+    ) -> bool {
+        if self.checkpoint_every > 0 && self.net.now.is_multiple_of(self.checkpoint_every) {
+            if let Some(dir) = &self.checkpoint_dir {
+                let ckpt = Checkpoint {
+                    topology: self.name.clone(),
+                    seed: self.cfg.seed,
+                    cycle: self.net.now,
+                    injector_offers: self.injector.offers(),
+                    ejected_window_start: window.0,
+                    ejected_window_end: window.1,
+                    snapshot: self.net.snapshot(),
+                };
+                if let Err(e) = checkpoint::write_checkpoint(dir, &ckpt) {
+                    // A failed checkpoint write must not kill a long run;
+                    // the run stays correct, only durability suffers.
+                    eprintln!(
+                        "[checkpoint] cycle {}: write to {} failed: {e}",
+                        self.net.now,
+                        dir.display()
+                    );
                 }
             }
         }
+        if let Some(d) = dog.as_mut() {
+            if d.due(self.net.now)
+                && d.poll(self.net.now, self.net.progress_counter())
+                && !self.net.quiescent()
+            {
+                *stall = Some(self.net.stall_report(d.progressed_at(), false));
+                return true;
+            }
+        }
+        false
     }
 
     /// Heuristic: outstanding window packets exist while the in-network flit
@@ -208,6 +457,9 @@ mod tests {
         assert!(r.avg_latency > 5.0, "latency {}", r.avg_latency);
         assert!(r.throughput > 0.0);
         assert!(r.packets_measured > 0);
+        assert!(r.stall.is_none());
+        assert!(r.resumed_from.is_none());
+        assert_eq!(r.profile.cycles_run, r.cycles);
         // At low load, accepted ≈ offered.
         assert!((r.throughput - 0.02).abs() < 0.01, "throughput {}", r.throughput);
     }
@@ -223,6 +475,19 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_and_audit_do_not_change_results() {
+        let cfg =
+            SimConfig { rate: 0.03, warmup: 100, measure: 500, drain: 2_000, ..Default::default() };
+        let plain = Simulation::new(&CMesh::new(64), cfg).with_watchdog_interval(0).run();
+        let guarded = Simulation::new(&CMesh::new(64), cfg)
+            .with_watchdog_interval(64)
+            .with_audit_interval(50)
+            .run();
+        assert_eq!(plain.net.stats, guarded.net.stats);
+        assert!(guarded.stall.is_none());
+    }
+
+    #[test]
     fn saturating_load_caps_throughput() {
         let cfg =
             SimConfig { rate: 1.0, warmup: 500, measure: 2_000, drain: 0, ..Default::default() };
@@ -230,5 +495,30 @@ mod tests {
         // Accepted throughput must be well below the offered 1.0.
         assert!(r.throughput < 0.8, "throughput {}", r.throughput);
         assert!(r.throughput > 0.05);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_topology_and_seed() {
+        let cfg = SimConfig { warmup: 50, measure: 100, drain: 100, ..Default::default() };
+        let sim = Simulation::new(&CMesh::new(64), cfg);
+        let ckpt = Checkpoint {
+            topology: "SOMETHING-ELSE".into(),
+            seed: cfg.seed,
+            cycle: 10,
+            injector_offers: 10,
+            ejected_window_start: None,
+            ejected_window_end: None,
+            snapshot: sim.network().snapshot(),
+        };
+        let Err(err) = Simulation::resume_from_checkpoint(&CMesh::new(64), cfg, ckpt.clone())
+        else {
+            panic!("wrong topology accepted")
+        };
+        assert!(err.to_string().contains("topology"), "got: {err}");
+        let ckpt2 = Checkpoint { topology: "CMESH-64".into(), seed: cfg.seed + 1, ..ckpt };
+        let Err(err) = Simulation::resume_from_checkpoint(&CMesh::new(64), cfg, ckpt2) else {
+            panic!("wrong seed accepted")
+        };
+        assert!(err.to_string().contains("seed"), "got: {err}");
     }
 }

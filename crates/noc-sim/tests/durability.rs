@@ -1,0 +1,218 @@
+//! Run-durability integration tests: checkpoint/restore bit-identity on
+//! the paper's OWN topologies (with and without an active fault model)
+//! and end-to-end watchdog stall detection.
+//!
+//! The checkpoint contract under test: a run interrupted at any cycle and
+//! resumed from its checkpoint finishes with `NetStats` *equal* (derive
+//! `PartialEq`, every counter and histogram bucket) to the uninterrupted
+//! run with the same seed.
+
+use std::path::PathBuf;
+
+use noc_core::{
+    FaultConfig, FaultEvent, FaultSchedule, FaultTarget, LinkClass, NetStats, RouterConfig,
+};
+use noc_sim::checkpoint::checkpoint_file_name;
+use noc_sim::obs::{chrome_trace_with_stall, jsonl_with_stall, stall_report_json};
+use noc_sim::{read_checkpoint, SimConfig, Simulation};
+use noc_topology::reconfig::{Own256Reconfig, ReconfigPolicy};
+use noc_topology::Topology;
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+/// Fresh scratch directory for one test's checkpoints.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run to completion, checkpointing every `every` cycles, then re-run
+/// from the checkpoint at `resume_at` and assert stats equality with an
+/// uninterrupted reference run. `faults` is attached to every run.
+fn roundtrip(
+    topo: &dyn Topology,
+    cfg: SimConfig,
+    every: u64,
+    resume_at: u64,
+    faults: Option<&FaultConfig>,
+    dir: PathBuf,
+) -> NetStats {
+    let build = |ckpt: Option<&PathBuf>| {
+        let mut sim = match ckpt {
+            Some(path) => {
+                let ckpt = read_checkpoint(path).expect("checkpoint readable");
+                Simulation::resume_from_checkpoint(topo, cfg, ckpt).expect("checkpoint fits run")
+            }
+            None => Simulation::new(topo, cfg),
+        };
+        if let Some(f) = faults {
+            sim.attach_faults(f.clone());
+        }
+        sim
+    };
+
+    let reference = build(None).run();
+    assert!(reference.packets_measured > 0, "reference run must measure traffic");
+    assert!(reference.stall.is_none(), "reference run must not stall");
+
+    let mut checkpointed = build(None);
+    checkpointed.set_checkpointing(every, &dir);
+    let first = checkpointed.run();
+    assert_eq!(first.net.stats, reference.net.stats, "checkpoint writes must not perturb the run");
+
+    let path = dir.join(checkpoint_file_name(resume_at));
+    assert!(path.exists(), "expected a checkpoint at cycle {resume_at} in {}", dir.display());
+    let resumed = build(Some(&path)).run();
+    assert_eq!(resumed.resumed_from, Some(resume_at));
+    assert_eq!(
+        resumed.net.stats, reference.net.stats,
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+    assert!(resumed.profile.cycles_run < reference.profile.cycles_run);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    reference.net.stats
+}
+
+#[test]
+fn own256_resume_mid_measure_is_bit_identical() {
+    let topo = noc_topology::own(256);
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: 200,
+        measure: 1_000,
+        drain: 3_000,
+        ..Default::default()
+    };
+    // Checkpoints land at 700 (mid-measure), 1400, ... — resume from the
+    // mid-measure one so the open latency window crosses the interruption.
+    let dir = scratch("own256");
+    roundtrip(topo.as_ref(), cfg, 700, 700, None, dir);
+}
+
+#[test]
+fn own256_resume_with_active_fault_schedule_is_bit_identical() {
+    let topo = noc_topology::own(256);
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: 200,
+        measure: 1_000,
+        drain: 3_000,
+        ..Default::default()
+    };
+    let n_channels = topo.build(RouterConfig::default()).channels().len();
+    // A transient channel fault straddling the resume point plus a uniform
+    // BER process: the RNG draw count and retransmit state must survive
+    // the checkpoint for the replay to stay bit-identical.
+    let faults = FaultConfig {
+        schedule: FaultSchedule::new()
+            .with(FaultEvent::transient(500, FaultTarget::Channel(0), 600))
+            .with(FaultEvent::transient(900, FaultTarget::TokenRing(0), 150)),
+        channel_ber: vec![1e-4; n_channels],
+        ..Default::default()
+    };
+    let dir = scratch("own256-faults");
+    let stats = roundtrip(topo.as_ref(), cfg, 700, 700, Some(&faults), dir);
+    assert!(stats.flits_corrupted > 0, "the BER process must actually fire");
+}
+
+#[test]
+fn own1024_resume_is_bit_identical() {
+    let topo = noc_topology::own(1024);
+    let cfg = SimConfig {
+        rate: 0.03,
+        pattern: TrafficPattern::Uniform,
+        warmup: 100,
+        measure: 300,
+        drain: 1_000,
+        ..Default::default()
+    };
+    let dir = scratch("own1024");
+    roundtrip(topo.as_ref(), cfg, 250, 250, None, dir);
+}
+
+/// The channel id carrying wireless band 3 (the 0 -> 2 diagonal).
+fn band3(net: &noc_core::Network) -> noc_core::ChannelId {
+    net.channels()
+        .iter()
+        .position(|c| matches!(c.class, LinkClass::Wireless { channel: 3, .. }))
+        .expect("band 3 missing") as noc_core::ChannelId
+}
+
+#[test]
+fn watchdog_fires_on_permanent_fault_with_spares_disabled() {
+    // Spares off: a permanently dead diagonal band has no failover path,
+    // so its flits retransmit forever — the livelock the watchdog exists
+    // to catch. The retry budget is effectively unbounded to keep the
+    // poison/drop path from quietly resolving the jam.
+    let topo = Own256Reconfig::new(ReconfigPolicy::None);
+    let mut net = topo.build(RouterConfig::default());
+    let primary = band3(&net);
+    net.attach_faults(FaultConfig {
+        schedule: FaultSchedule::new()
+            .with(FaultEvent::permanent(100, FaultTarget::Channel(primary))),
+        retry_limit: u8::MAX,
+        backoff_cap: 2,
+        ..Default::default()
+    });
+    let mut inj = BernoulliInjector::new(0.05, 3, TrafficPattern::Uniform, 0xD06);
+    inj.drive(&mut net, 1_500);
+
+    let stall = net.try_drain(600_000).expect_err("dead band with spares off must stall");
+    assert!(!stall.budget_exhausted, "the watchdog, not the budget, must end the drain");
+    assert!(stall.at > stall.progressed_at, "zero-progress interval must be recorded");
+    assert!(stall.flits_in_network > 0);
+    assert!(stall.undelivered_packets > 0);
+    assert!(stall.flit_retransmits > 0, "the jam is a retransmit livelock");
+}
+
+#[test]
+fn simulation_stall_flows_into_exporters() {
+    // Freeze every token ring: inter-cluster traffic wedges, the drain
+    // phase makes no progress, and the run must end with a structured
+    // stall report instead of burning the whole drain budget.
+    let topo = noc_topology::own(256);
+    let mut sim = Simulation::new(
+        topo.as_ref(),
+        SimConfig {
+            rate: 0.04,
+            pattern: TrafficPattern::Uniform,
+            warmup: 100,
+            measure: 200,
+            drain: 50_000,
+            ..Default::default()
+        },
+    );
+    let n_buses = sim.network().buses().len();
+    assert!(n_buses > 0);
+    let schedule = (0..n_buses).fold(FaultSchedule::new(), |s, b| {
+        s.with(FaultEvent::permanent(50, FaultTarget::TokenRing(b as noc_core::BusId)))
+    });
+    sim.attach_faults(FaultConfig { schedule, ..Default::default() });
+    sim.set_watchdog_interval(256);
+
+    let result = sim.run();
+    let stall = result.stall.as_deref().expect("frozen rings must trip the watchdog");
+    assert!(!stall.budget_exhausted);
+    assert!(stall.tokens.iter().all(|t| t.frozen), "every ring is frozen");
+    assert!(
+        result.cycles < 100 + 200 + 50_000,
+        "the watchdog must cut the run short, not exhaust the drain budget"
+    );
+
+    // The structured report flows into both exporters and stays parseable.
+    let line = stall_report_json(stall);
+    let v: serde_json::Value = line.parse().expect("stall JSONL line parses");
+    assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("stall"));
+    assert_eq!(v.get("at").and_then(|a| a.as_u64()), Some(stall.at));
+
+    let jsonl = jsonl_with_stall(&[], Some(stall));
+    assert_eq!(jsonl.lines().count(), 1, "empty event list still gets the stall line");
+
+    let trace = chrome_trace_with_stall(&[], Some(stall));
+    let v: serde_json::Value = trace.parse().expect("chrome trace with stall parses");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+    assert!(events.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall")));
+}

@@ -14,16 +14,9 @@ fn soak(topo: &dyn Topology, pattern: TrafficPattern, rate: f64, cycles: u64) {
     inj.drive(&mut net, cycles);
     let offered = net.stats.packets_offered;
     assert!(offered > 0, "{}: no traffic offered", topo.name());
-    assert!(
-        net.drain(600_000),
-        "{} deadlocked or lost flits on {} (delivered {}/{} packets, {} flits in network, {} backlog)",
-        topo.name(),
-        pattern.name(),
-        net.stats.packets_delivered,
-        offered,
-        net.stats.flits_in_network(),
-        net.source_backlog(),
-    );
+    if let Err(stall) = net.try_drain(600_000) {
+        panic!("{} failed to drain on {}:\n{stall}", topo.name(), pattern.name());
+    }
     assert_eq!(
         net.stats.packets_delivered,
         offered,

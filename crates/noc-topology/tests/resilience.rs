@@ -21,7 +21,9 @@ fn soak(topo: &dyn Topology, rate: f64, cycles: u64, seed: u64) -> noc_core::Net
     inj.drive(&mut net, cycles);
     let offered = net.stats.packets_offered;
     assert!(offered > 0, "{}: no traffic offered", topo.name());
-    assert!(net.drain(600_000), "{} deadlocked", topo.name());
+    if let Err(stall) = net.try_drain(600_000) {
+        panic!("{} failed to drain:\n{stall}", topo.name());
+    }
     assert_eq!(net.stats.packets_delivered, offered, "{}: lossless delivery", topo.name());
     net.check_invariants();
     net
@@ -83,7 +85,9 @@ fn faulted_run(seed: u64) -> noc_core::NetStats {
     });
     let mut inj = BernoulliInjector::new(0.05, 3, TrafficPattern::Uniform, seed);
     inj.drive(&mut net, 2_500);
-    assert!(net.drain(600_000), "faulted run must still drain");
+    if let Err(stall) = net.try_drain(600_000) {
+        panic!("faulted run must still drain:\n{stall}");
+    }
     net.check_invariants();
     net.stats
 }

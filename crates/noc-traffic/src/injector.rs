@@ -26,6 +26,11 @@ pub struct BernoulliInjector {
     rng: ChaCha8Rng,
     /// Per-cycle injection probability (`rate / packet_len`).
     p_inject: f64,
+    /// Number of [`BernoulliInjector::offer`] calls so far. The injection
+    /// process is a pure function of `(seed, offers)`, so a checkpoint
+    /// stores this count and [`BernoulliInjector::skip_cycles`] replays it
+    /// instead of serializing RNG internals.
+    offers: u64,
 }
 
 impl BernoulliInjector {
@@ -41,12 +46,37 @@ impl BernoulliInjector {
             pattern,
             rng: ChaCha8Rng::seed_from_u64(seed),
             p_inject,
+            offers: 0,
         }
+    }
+
+    /// Number of cycles offered so far (one [`BernoulliInjector::offer`]
+    /// call per cycle) — the injector's checkpoint state.
+    pub fn offers(&self) -> u64 {
+        self.offers
+    }
+
+    /// Fast-forward a freshly seeded injector past `cycles` offer calls
+    /// without a network, drawing exactly the randomness those calls would
+    /// have drawn for `n_cores` cores. Restoring a checkpoint taken at
+    /// cycle `c` means calling this with `cycles = c` on an injector built
+    /// with the original seed; subsequent [`BernoulliInjector::offer`]
+    /// calls then produce the same packet stream as the uninterrupted run.
+    pub fn skip_cycles(&mut self, cycles: u64, n_cores: u32) {
+        for _ in 0..cycles {
+            for src in 0..n_cores {
+                if self.rng.gen_bool(self.p_inject) {
+                    let _ = self.pattern.dest(src, n_cores, &mut self.rng);
+                }
+            }
+        }
+        self.offers += cycles;
     }
 
     /// Offer this cycle's packets to the network's source queues.
     pub fn offer(&mut self, net: &mut Network) {
         let n = net.num_cores() as u32;
+        self.offers += 1;
         for src in 0..n {
             if self.rng.gen_bool(self.p_inject) {
                 let dst = self.pattern.dest(src, n, &mut self.rng);
@@ -115,6 +145,32 @@ mod tests {
             (a.stats.packets_offered, a.stats.flits_ejected),
             (b.stats.packets_offered, b.stats.flits_ejected)
         );
+    }
+
+    #[test]
+    fn skip_cycles_matches_offering() {
+        // An injector fast-forwarded past `k` cycles must produce the same
+        // subsequent packet stream as one that actually offered `k` cycles.
+        let mut a = tiny_net();
+        let mut ia = BernoulliInjector::new(0.5, 2, TrafficPattern::Uniform, 7);
+        for _ in 0..300 {
+            ia.offer(&mut a); // discard the prefix traffic
+        }
+        let offered_prefix = a.stats.packets_offered;
+        assert_eq!(ia.offers(), 300);
+
+        let mut ib = BernoulliInjector::new(0.5, 2, TrafficPattern::Uniform, 7);
+        ib.skip_cycles(300, a.num_cores() as u32);
+        assert_eq!(ib.offers(), 300);
+
+        // Both injectors now drive fresh nets identically.
+        let (mut na, mut nb) = (tiny_net(), tiny_net());
+        ia.drive(&mut na, 200);
+        ib.drive(&mut nb, 200);
+        assert!(offered_prefix > 0, "prefix must have drawn randomness");
+        assert_eq!(na.stats.packets_offered, nb.stats.packets_offered);
+        assert_eq!(na.stats.flits_ejected, nb.stats.flits_ejected);
+        assert_eq!(na.stats.per_core_ejected, nb.stats.per_core_ejected);
     }
 
     #[test]
