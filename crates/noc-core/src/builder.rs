@@ -178,6 +178,7 @@ impl NetworkBuilder {
                     self.config.vcs,
                     self.config.buf_depth,
                     self.config.src_queue_cap,
+                    self.config.throttle,
                 )
             })
             .collect();

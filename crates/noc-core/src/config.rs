@@ -1,5 +1,31 @@
 //! Router microarchitecture configuration.
 
+/// NIC admission-control watermarks (source-queue backlog, in packets).
+///
+/// When a NIC's backlog reaches `high` the throttle latches on and the NIC
+/// starts *shedding* offers (counted in `NetStats::offers_shed`); once
+/// latched, offers arriving while the backlog sits between the watermarks
+/// are *deferred* (counted in `NetStats::offers_deferred`) — the classic
+/// hysteresis band that keeps admission from oscillating at the boundary.
+/// The latch clears when the backlog drains to `low` or below. Every
+/// non-admitted offer is counted, so overload never drops traffic silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottlePolicy {
+    /// Backlog at or above which offers are shed (and the latch sets).
+    pub high: u32,
+    /// Backlog at or below which the latch clears and admission resumes.
+    pub low: u32,
+}
+
+impl ThrottlePolicy {
+    /// A policy shedding at `high` and re-admitting at `low` (`low < high`).
+    pub fn new(high: u32, low: u32) -> Self {
+        assert!(high >= 1, "throttle high watermark must be >= 1");
+        assert!(low < high, "throttle low watermark must be below high ({low} >= {high})");
+        ThrottlePolicy { high, low }
+    }
+}
+
 /// Parameters of the virtual-channel router microarchitecture.
 ///
 /// The defaults mirror the methodology of the paper (§V-A): 4 virtual
@@ -23,11 +49,20 @@ pub struct RouterConfig {
     /// full queue are rejected and counted as backpressure drops in
     /// `NetStats::offers_rejected`.
     pub src_queue_cap: Option<u32>,
+    /// NIC admission control (`None` = admit everything, the default).
+    /// See [`ThrottlePolicy`].
+    pub throttle: Option<ThrottlePolicy>,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { vcs: 4, buf_depth: 4, speculative: false, src_queue_cap: None }
+        RouterConfig {
+            vcs: 4,
+            buf_depth: 4,
+            speculative: false,
+            src_queue_cap: None,
+            throttle: None,
+        }
     }
 }
 
@@ -36,7 +71,7 @@ impl RouterConfig {
     pub fn new(vcs: u8, buf_depth: u32) -> Self {
         assert!(vcs >= 1, "at least one virtual channel is required");
         assert!(buf_depth >= 1, "buffers must hold at least one flit");
-        RouterConfig { vcs, buf_depth, speculative: false, src_queue_cap: None }
+        RouterConfig { vcs, buf_depth, speculative: false, src_queue_cap: None, throttle: None }
     }
 
     /// Enable speculative VC allocation.
@@ -49,6 +84,12 @@ impl RouterConfig {
     pub fn with_src_queue_cap(mut self, cap: u32) -> Self {
         assert!(cap >= 1, "source queue capacity must be >= 1");
         self.src_queue_cap = Some(cap);
+        self
+    }
+
+    /// Enable NIC admission control with the given watermarks.
+    pub fn with_throttle(mut self, high: u32, low: u32) -> Self {
+        self.throttle = Some(ThrottlePolicy::new(high, low));
         self
     }
 }
@@ -64,8 +105,25 @@ mod tests {
         assert_eq!(c.buf_depth, 4);
         assert!(!c.speculative);
         assert!(c.src_queue_cap.is_none(), "source queues are unbounded by default");
+        assert!(c.throttle.is_none(), "admission control is off by default");
         assert!(RouterConfig::default().with_speculation().speculative);
         assert_eq!(RouterConfig::default().with_src_queue_cap(8).src_queue_cap, Some(8));
+        assert_eq!(
+            RouterConfig::default().with_throttle(16, 4).throttle,
+            Some(ThrottlePolicy { high: 16, low: 4 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark must be below high")]
+    fn throttle_low_must_be_below_high() {
+        let _ = ThrottlePolicy::new(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "high watermark must be >= 1")]
+    fn throttle_high_must_be_positive() {
+        let _ = ThrottlePolicy::new(0, 0);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod nic;
 pub mod obs;
 pub mod router;
 pub mod routing;
+pub mod sensors;
 pub mod snapshot;
 pub mod stats;
 pub mod token;
@@ -65,13 +66,14 @@ pub mod watchdog;
 
 pub use builder::NetworkBuilder;
 pub use channel::{Bus, BusKind, Channel, DistanceClass, LinkClass};
-pub use config::RouterConfig;
+pub use config::{RouterConfig, ThrottlePolicy};
 pub use fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
 pub use network::Network;
 pub use obs::{CountingObserver, EventKind, NocEvent, NullObserver, Observer};
-pub use routing::{RouteDecision, RoutingAlg};
+pub use routing::{RouteDecision, RoutingAlg, SteerAction};
+pub use sensors::{LinkSensors, UTIL_SCALE};
 pub use snapshot::{NetworkSnapshot, SnapshotError};
 pub use stats::NetStats;
 pub use watchdog::{StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL};

@@ -20,10 +20,11 @@ use crate::channel::{Bus, Channel};
 use crate::fault::{FaultConfig, FaultCtx, FaultTarget};
 use crate::flit::Packet;
 use crate::ids::{BusId, ChannelId, CoreId, Cycle};
-use crate::nic::Nic;
+use crate::nic::{Admission, Nic};
 use crate::obs::{NocEvent, Observer};
 use crate::router::{OutTarget, Router, Upstream, VcState};
 use crate::routing::RoutingAlg;
+use crate::sensors::LinkSensors;
 use crate::stats::NetStats;
 
 /// A complete network instance plus its simulation state.
@@ -53,6 +54,10 @@ pub struct Network {
     /// cycles at the end of [`Network::step`] (in-run auditing; see
     /// [`Network::set_audit_interval`]).
     audit_every: u64,
+    /// Link utilization sensors, enabled when the routing algorithm asks
+    /// for them ([`RoutingAlg::sensor_window`]). `None` (the default) keeps
+    /// the engine on its sensor-free fast path.
+    pub(crate) sensors: Option<Box<LinkSensors>>,
 }
 
 impl Network {
@@ -64,6 +69,9 @@ impl Network {
         routing: Box<dyn RoutingAlg>,
     ) -> Self {
         let stats = NetStats::new(routers.len(), channels.len(), buses.len(), nics.len());
+        let sensors = routing
+            .sensor_window()
+            .map(|w| Box::new(LinkSensors::new(w, channels.len(), buses.len())));
         Network {
             now: 0,
             routers,
@@ -77,6 +85,7 @@ impl Network {
             observer: None,
             fault: None,
             audit_every: 0,
+            sensors,
         }
     }
 
@@ -133,6 +142,17 @@ impl Network {
         self.observer.is_some()
     }
 
+    /// The link utilization sensors, when the routing algorithm enabled
+    /// them (see [`RoutingAlg::sensor_window`]).
+    pub fn sensors(&self) -> Option<&LinkSensors> {
+        self.sensors.as_deref()
+    }
+
+    /// Access a NIC (e.g. to inspect its admission-control latch).
+    pub fn nic(&self, core: CoreId) -> &Nic {
+        &self.nics[core as usize]
+    }
+
     /// Number of cores (NICs).
     pub fn num_cores(&self) -> usize {
         self.nics.len()
@@ -177,12 +197,37 @@ impl Network {
         assert!(len >= 1);
         let id = self.next_packet_id;
         self.next_packet_id += 1;
+        // Admission control runs before the capacity check: a throttled NIC
+        // turns the offer away deliberately (counted as shed/deferred), a
+        // full bounded queue rejects it as backpressure.
+        let nic = &mut self.nics[src as usize];
+        let throttled = nic.throttle.is_some();
+        match nic.admission() {
+            Admission::Admit => {}
+            Admission::Shed => {
+                self.stats.offers_shed += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::OfferShed { at: self.now, core: src });
+                }
+                return None;
+            }
+            Admission::Defer => {
+                self.stats.offers_deferred += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event(&NocEvent::OfferDeferred { at: self.now, core: src });
+                }
+                return None;
+            }
+        }
         let p = Packet { id, src, dst, len, created_at: self.now };
         if !self.nics[src as usize].offer(p) {
             self.stats.offers_rejected += 1;
             return None;
         }
         self.stats.packets_offered += 1;
+        if throttled {
+            self.stats.offers_admitted += 1;
+        }
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_event(&NocEvent::PacketOffered { at: self.now, packet: id, src, dst, len });
         }
@@ -216,7 +261,7 @@ impl Network {
         self.rc();
         self.inject();
         let now = self.now;
-        if self.observer.is_none() {
+        if self.observer.is_none() && self.sensors.is_none() {
             match self.fault.as_deref() {
                 None => {
                     for b in &mut self.buses {
@@ -234,7 +279,14 @@ impl Network {
                 let frozen = self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now));
                 let b = &mut self.buses[bi];
                 let handoff = b.end_cycle_frozen(now, frozen);
+                if let (Some(s), Some(h)) = (self.sensors.as_deref_mut(), handoff) {
+                    s.add_bus_wait(bi, h.waited);
+                }
+                if self.observer.is_none() {
+                    continue;
+                }
                 // Busy/idle edge detection (wireless channel occupancy).
+                let b = &mut self.buses[bi];
                 let busy = b.is_busy(now);
                 let edge = (b.obs_busy != busy).then_some(if busy {
                     NocEvent::BusBusy { at: now, bus: bi as BusId, until: b.busy_until }
@@ -255,6 +307,9 @@ impl Network {
                     obs.on_event(&ev);
                 }
             }
+        }
+        if self.sensors.is_some() {
+            self.sensor_tick(now);
         }
         self.stats.cycles = self.now;
         if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
@@ -277,6 +332,28 @@ impl Network {
     /// the rest of the budget).
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         self.try_drain(max_cycles).is_ok()
+    }
+
+    /// End-of-cycle sensor fold plus controller tick: the sensors sample
+    /// on their window boundary, then the routing algorithm sees the fresh
+    /// utilization readings and may steer spare resources. Steering
+    /// actions are surfaced as [`NocEvent::SpareSteered`] events.
+    fn sensor_tick(&mut self, now: Cycle) {
+        let Network { sensors, routing, .. } = self;
+        let s = sensors.as_deref_mut().expect("sensor_tick requires sensors");
+        s.maybe_sample(now);
+        let actions = routing.util_tick(now, Some(s.chan_util()));
+        for a in actions {
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_event(&NocEvent::SpareSteered {
+                    at: now,
+                    band: a.band,
+                    channel: a.channel,
+                    active: a.active,
+                    protect: a.protect,
+                });
+            }
+        }
     }
 
     // ---- phase 0: fault schedule -------------------------------------
@@ -559,10 +636,14 @@ impl Network {
             OutTarget::Channel(ch) => {
                 flit.hops += 1;
                 op.vcs[out_vc as usize].credits -= 1;
-                op.busy_until = now + u64::from(self.channels[ch as usize].ser_cycles);
+                let ser = self.channels[ch as usize].ser_cycles;
+                op.busy_until = now + u64::from(ser);
                 let arrives = now + u64::from(self.channels[ch as usize].latency);
                 self.channels[ch as usize].send(now, flit);
                 self.stats.channel_flits[ch as usize] += 1;
+                if let Some(s) = self.sensors.as_deref_mut() {
+                    s.add_chan_busy(ch as usize, ser);
+                }
                 if let Some(obs) = self.observer.as_deref_mut() {
                     obs.on_event(&NocEvent::FlitChannel {
                         at: now,
@@ -582,6 +663,10 @@ impl Network {
                     b.vc_owner[reader as usize][out_vc as usize] = None;
                 }
                 let busy_until = b.busy_until;
+                let ser = b.ser_cycles;
+                if let Some(s) = self.sensors.as_deref_mut() {
+                    s.add_bus_busy(bus as usize, ser);
+                }
                 if let Some(obs) = self.observer.as_deref_mut() {
                     obs.on_event(&NocEvent::FlitBus {
                         at: now,

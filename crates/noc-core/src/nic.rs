@@ -12,8 +12,21 @@
 use std::collections::VecDeque;
 
 use crate::arbiter::RoundRobin;
+use crate::config::ThrottlePolicy;
 use crate::flit::{Flit, Packet};
 use crate::ids::{CoreId, PortId, RouterId};
+
+/// Outcome of the NIC admission check for one offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Below the watermarks (or no policy): accept the offer.
+    Admit,
+    /// Backlog at or above the high watermark: drop the offer outright.
+    Shed,
+    /// Latched on but inside the hysteresis band: turn the offer away
+    /// without dropping the latch (the source may retry later).
+    Defer,
+}
 
 /// Per-core network interface (injection side; ejection is counters only).
 #[derive(Debug)]
@@ -34,6 +47,11 @@ pub struct Nic {
     pub(crate) streaming: Option<(Packet, u16, u8, u64)>,
     /// Round-robin over VCs for new packets.
     pub(crate) vc_arb: RoundRobin,
+    /// Admission-control watermarks (`None` = admit everything).
+    pub(crate) throttle: Option<ThrottlePolicy>,
+    /// Hysteresis latch: set once the backlog reaches the high watermark,
+    /// cleared once it drains to the low watermark.
+    pub(crate) throttled: bool,
     /// Flits of packets in progress at the ejection side, per packet id —
     /// kept tiny: ejection only needs tail detection, which the flit carries,
     /// so no state is actually required; retained counter for validation.
@@ -48,6 +66,7 @@ impl Nic {
         vcs: u8,
         buf_depth: u32,
         capacity: Option<u32>,
+        throttle: Option<ThrottlePolicy>,
     ) -> Self {
         Nic {
             core,
@@ -58,6 +77,8 @@ impl Nic {
             credits: vec![buf_depth; vcs as usize],
             streaming: None,
             vc_arb: RoundRobin::new(vcs as usize),
+            throttle,
+            throttled: false,
             eject_flits: 0,
         }
     }
@@ -76,6 +97,31 @@ impl Nic {
     /// Packets waiting (including the one being streamed).
     pub fn backlog(&self) -> usize {
         self.queue.len() + usize::from(self.streaming.is_some())
+    }
+
+    /// Whether the admission-control latch is currently set.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Admission-control decision for one incoming offer, updating the
+    /// hysteresis latch from the current backlog. Without a policy every
+    /// offer is admitted.
+    pub(crate) fn admission(&mut self) -> Admission {
+        let Some(policy) = self.throttle else { return Admission::Admit };
+        let backlog = self.backlog() as u32;
+        if backlog >= policy.high {
+            self.throttled = true;
+        } else if backlog <= policy.low {
+            self.throttled = false;
+        }
+        if !self.throttled {
+            Admission::Admit
+        } else if backlog >= policy.high {
+            Admission::Shed
+        } else {
+            Admission::Defer
+        }
     }
 
     /// Produce the next flit to inject this cycle, if any (≤1 per cycle).
@@ -115,7 +161,7 @@ mod tests {
     use super::*;
 
     fn nic() -> Nic {
-        Nic::new(0, 0, 0, 2, 2, None)
+        Nic::new(0, 0, 0, 2, 2, None, None)
     }
 
     #[test]
@@ -170,7 +216,7 @@ mod tests {
 
     #[test]
     fn bounded_queue_rejects_when_full() {
-        let mut n = Nic::new(0, 0, 0, 2, 2, Some(2));
+        let mut n = Nic::new(0, 0, 0, 2, 2, Some(2), None);
         let p = |id| Packet { id, src: 0, dst: 1, len: 2, created_at: 0 };
         assert!(n.offer(p(1)));
         assert!(n.offer(p(2)));
@@ -189,6 +235,43 @@ mod tests {
             assert!(n.offer(Packet { id, src: 0, dst: 1, len: 1, created_at: 0 }));
         }
         assert_eq!(n.backlog(), 1000);
+    }
+
+    #[test]
+    fn throttle_latch_follows_watermarks_with_hysteresis() {
+        let mut n = Nic::new(0, 0, 0, 2, 8, None, Some(ThrottlePolicy::new(3, 1)));
+        let p = |id| Packet { id, src: 0, dst: 1, len: 1, created_at: 0 };
+        // Below high: admitted.
+        assert_eq!(n.admission(), Admission::Admit);
+        n.offer(p(1));
+        n.offer(p(2));
+        assert_eq!(n.admission(), Admission::Admit);
+        n.offer(p(3));
+        // Backlog 3 = high: latch sets, offer shed.
+        assert_eq!(n.admission(), Admission::Shed);
+        assert!(n.is_throttled());
+        // Drain one packet: backlog 2 sits in the hysteresis band — the
+        // latch stays set and offers are deferred, not shed.
+        let f = n.next_flit(0).unwrap();
+        assert_eq!(f.seq, 0);
+        assert_eq!(n.backlog(), 2);
+        assert_eq!(n.admission(), Admission::Defer);
+        assert!(n.is_throttled());
+        // Drain to the low watermark: latch clears, admission resumes.
+        let _ = n.next_flit(1).unwrap();
+        assert_eq!(n.backlog(), 1);
+        assert_eq!(n.admission(), Admission::Admit);
+        assert!(!n.is_throttled());
+    }
+
+    #[test]
+    fn no_throttle_always_admits() {
+        let mut n = nic();
+        for id in 0..100 {
+            assert_eq!(n.admission(), Admission::Admit);
+            n.offer(Packet { id, src: 0, dst: 1, len: 1, created_at: 0 });
+        }
+        assert!(!n.is_throttled());
     }
 
     #[test]

@@ -78,6 +78,17 @@ pub enum NocEvent {
     /// engaging the spare (false = target went down) from reverting to the
     /// primary after recovery (true).
     FailoverActivated { at: Cycle, target: FaultTarget, up: bool },
+    /// NIC admission control shed an offer at `core` (backlog at or above
+    /// the high watermark; see `crate::ThrottlePolicy`).
+    OfferShed { at: Cycle, core: CoreId },
+    /// NIC admission control deferred an offer at `core` (latch set,
+    /// backlog inside the hysteresis band).
+    OfferDeferred { at: Cycle, core: CoreId },
+    /// A runtime reconfiguration controller steered spare wireless band
+    /// `band` (riding channel id `channel`): `active == true` means the
+    /// spare now carries traffic, `false` that it went dark. `protect`
+    /// distinguishes fault protection from bandwidth reinforcement.
+    SpareSteered { at: Cycle, band: u8, channel: ChannelId, active: bool, protect: bool },
 }
 
 /// Discriminant of a [`NocEvent`], for counting and filtering.
@@ -97,11 +108,14 @@ pub enum EventKind {
     LinkFailed,
     LinkRecovered,
     FailoverActivated,
+    OfferShed,
+    OfferDeferred,
+    SpareSteered,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (indexable by `as usize`).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::PacketOffered,
         EventKind::PacketInjected,
         EventKind::FlitChannel,
@@ -116,6 +130,9 @@ impl EventKind {
         EventKind::LinkFailed,
         EventKind::LinkRecovered,
         EventKind::FailoverActivated,
+        EventKind::OfferShed,
+        EventKind::OfferDeferred,
+        EventKind::SpareSteered,
     ];
 
     /// Stable display name (also the JSONL `kind` tag).
@@ -135,6 +152,9 @@ impl EventKind {
             EventKind::LinkFailed => "link_failed",
             EventKind::LinkRecovered => "link_recovered",
             EventKind::FailoverActivated => "failover_activated",
+            EventKind::OfferShed => "offer_shed",
+            EventKind::OfferDeferred => "offer_deferred",
+            EventKind::SpareSteered => "spare_steered",
         }
     }
 }
@@ -157,6 +177,9 @@ impl NocEvent {
             NocEvent::LinkFailed { .. } => EventKind::LinkFailed,
             NocEvent::LinkRecovered { .. } => EventKind::LinkRecovered,
             NocEvent::FailoverActivated { .. } => EventKind::FailoverActivated,
+            NocEvent::OfferShed { .. } => EventKind::OfferShed,
+            NocEvent::OfferDeferred { .. } => EventKind::OfferDeferred,
+            NocEvent::SpareSteered { .. } => EventKind::SpareSteered,
         }
     }
 
@@ -176,7 +199,10 @@ impl NocEvent {
             | NocEvent::RetransmitScheduled { at, .. }
             | NocEvent::LinkFailed { at, .. }
             | NocEvent::LinkRecovered { at, .. }
-            | NocEvent::FailoverActivated { at, .. } => at,
+            | NocEvent::FailoverActivated { at, .. }
+            | NocEvent::OfferShed { at, .. }
+            | NocEvent::OfferDeferred { at, .. }
+            | NocEvent::SpareSteered { at, .. } => at,
         }
     }
 }

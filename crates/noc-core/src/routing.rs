@@ -8,7 +8,7 @@
 //! hops; OWN-1024 dedicates one VC per inter-group direction class, §V-A).
 
 use crate::fault::FaultTarget;
-use crate::ids::{CoreId, PortId, RouterId};
+use crate::ids::{ChannelId, CoreId, Cycle, PortId, RouterId};
 
 /// The outcome of route computation at one router for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,22 @@ impl RouteDecision {
         self.bus_reader = reader;
         self
     }
+}
+
+/// One spare-resource steering decision taken by a reconfiguration
+/// controller inside [`RoutingAlg::util_tick`], reported back to the engine
+/// so it can surface the change as a
+/// [`crate::NocEvent::SpareSteered`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteerAction {
+    /// Spare wireless band label (Table III numbering, 13–16 for OWN).
+    pub band: u8,
+    /// Channel id the spare band rides in the built network.
+    pub channel: ChannelId,
+    /// `true` when the spare starts carrying traffic, `false` when parked.
+    pub active: bool,
+    /// `true` when engaged for fault protection rather than bandwidth.
+    pub protect: bool,
 }
 
 /// Deterministic routing function.
@@ -79,6 +95,26 @@ pub trait RoutingAlg: Send + Sync {
     /// Restore state captured by [`RoutingAlg::save_state`].
     fn load_state(&mut self, state: &[u64]) {
         let _ = state;
+    }
+
+    /// Sampling window (in cycles) this algorithm wants for the engine's
+    /// per-channel utilization sensors (see `crate::sensors`). `None` (the
+    /// default) leaves the sensors off; a `Some` window makes the engine
+    /// maintain them and pass fresh EWMA readings to
+    /// [`RoutingAlg::util_tick`] every cycle.
+    fn sensor_window(&self) -> Option<u32> {
+        None
+    }
+
+    /// Per-cycle controller hook. `chan_util` carries the sensors' current
+    /// per-channel utilization EWMAs (scaled by
+    /// `crate::sensors::UTIL_SCALE`) when sensors are enabled, else `None`.
+    /// Returned [`SteerAction`]s describe spare-resource reassignments the
+    /// controller performed this cycle; the engine re-emits them as
+    /// [`crate::NocEvent::SpareSteered`] events. The default does nothing.
+    fn util_tick(&mut self, now: Cycle, chan_util: Option<&[u32]>) -> Vec<SteerAction> {
+        let _ = (now, chan_util);
+        Vec::new()
     }
 }
 

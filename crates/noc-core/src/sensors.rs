@@ -1,0 +1,225 @@
+//! Link utilization sensors: per-channel and per-bus occupancy EWMAs.
+//!
+//! The overload-protection loop (NIC admission control plus utilization-
+//! driven spare-band reconfiguration, see `noc-topology`'s adaptive
+//! reconfig policy) needs a congestion signal that is cheap to maintain,
+//! deterministic, and checkpointable. [`LinkSensors`] provides it:
+//!
+//! * every channel traversal adds its serialization cycles to a per-channel
+//!   busy accumulator; every bus transmission does the same per bus, and
+//!   every token handoff adds the grantee's accumulated wait;
+//! * every `window` cycles the accumulators fold into exponentially
+//!   weighted moving averages (`ewma = (3*ewma + sample) / 4`) and reset.
+//!
+//! All state is integer-valued (utilization is scaled by [`UTIL_SCALE`]),
+//! so sensor readings are exactly reproducible across runs and across
+//! checkpoint/restore — the EWMAs are part of `Network::snapshot()`.
+//! Sensors are enabled by the routing algorithm
+//! (`RoutingAlg::sensor_window`); without one the engine skips all
+//! accumulation and stays on its fast path.
+
+use crate::ids::Cycle;
+
+/// Fixed-point scale of utilization readings: a channel busy for its whole
+/// sampling window reads `UTIL_SCALE`.
+pub const UTIL_SCALE: u32 = 1024;
+
+/// Per-link occupancy sensors with windowed EWMA smoothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSensors {
+    /// Sampling window in cycles (accumulators fold every `window` cycles).
+    window: u32,
+    /// Busy cycles accumulated per channel in the current window.
+    chan_busy: Vec<u32>,
+    /// Busy cycles accumulated per bus in the current window.
+    bus_busy: Vec<u32>,
+    /// Token-wait cycles accumulated per bus in the current window.
+    bus_wait: Vec<u64>,
+    /// Per-channel utilization EWMA, scaled by [`UTIL_SCALE`].
+    chan_util: Vec<u32>,
+    /// Per-bus utilization EWMA, scaled by [`UTIL_SCALE`].
+    bus_util: Vec<u32>,
+    /// Per-bus token-wait EWMA (raw cycle sums per window).
+    bus_wait_ewma: Vec<u64>,
+}
+
+impl LinkSensors {
+    /// Sensors over `n_channels` channels and `n_buses` buses, folding
+    /// every `window` cycles.
+    pub fn new(window: u32, n_channels: usize, n_buses: usize) -> Self {
+        assert!(window >= 1, "sensor window must be >= 1 cycle");
+        LinkSensors {
+            window,
+            chan_busy: vec![0; n_channels],
+            bus_busy: vec![0; n_buses],
+            bus_wait: vec![0; n_buses],
+            chan_util: vec![0; n_channels],
+            bus_util: vec![0; n_buses],
+            bus_wait_ewma: vec![0; n_buses],
+        }
+    }
+
+    /// Rebuild sensors from checkpointed parts (see the accessors below
+    /// for the field meanings). Vector shapes must pair up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        window: u32,
+        chan_busy: Vec<u32>,
+        bus_busy: Vec<u32>,
+        bus_wait: Vec<u64>,
+        chan_util: Vec<u32>,
+        bus_util: Vec<u32>,
+        bus_wait_ewma: Vec<u64>,
+    ) -> Self {
+        assert!(window >= 1, "sensor window must be >= 1 cycle");
+        assert_eq!(chan_busy.len(), chan_util.len(), "channel sensor shape mismatch");
+        assert!(
+            bus_busy.len() == bus_util.len()
+                && bus_wait.len() == bus_util.len()
+                && bus_wait_ewma.len() == bus_util.len(),
+            "bus sensor shape mismatch"
+        );
+        LinkSensors { window, chan_busy, bus_busy, bus_wait, chan_util, bus_util, bus_wait_ewma }
+    }
+
+    /// The configured sampling window in cycles.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Account `ser_cycles` of transmitter occupancy on channel `ch`.
+    #[inline]
+    pub(crate) fn add_chan_busy(&mut self, ch: usize, ser_cycles: u32) {
+        self.chan_busy[ch] = self.chan_busy[ch].saturating_add(ser_cycles);
+    }
+
+    /// Account `ser_cycles` of medium occupancy on bus `bus`.
+    #[inline]
+    pub(crate) fn add_bus_busy(&mut self, bus: usize, ser_cycles: u32) {
+        self.bus_busy[bus] = self.bus_busy[bus].saturating_add(ser_cycles);
+    }
+
+    /// Account a granted writer's token wait on bus `bus`.
+    #[inline]
+    pub(crate) fn add_bus_wait(&mut self, bus: usize, waited: Cycle) {
+        self.bus_wait[bus] = self.bus_wait[bus].saturating_add(waited);
+    }
+
+    /// Fold the window accumulators into the EWMAs when `now` lands on a
+    /// window boundary (integer arithmetic only, so readings replay
+    /// bit-identically).
+    pub(crate) fn maybe_sample(&mut self, now: Cycle) {
+        if !now.is_multiple_of(u64::from(self.window)) {
+            return;
+        }
+        let w = self.window;
+        for (busy, util) in self.chan_busy.iter_mut().zip(&mut self.chan_util) {
+            let sample = (*busy).saturating_mul(UTIL_SCALE) / w;
+            *util = (3 * *util + sample.min(UTIL_SCALE)) / 4;
+            *busy = 0;
+        }
+        for (busy, util) in self.bus_busy.iter_mut().zip(&mut self.bus_util) {
+            let sample = (*busy).saturating_mul(UTIL_SCALE) / w;
+            *util = (3 * *util + sample.min(UTIL_SCALE)) / 4;
+            *busy = 0;
+        }
+        for (wait, ewma) in self.bus_wait.iter_mut().zip(&mut self.bus_wait_ewma) {
+            *ewma = (3 * *ewma + *wait) / 4;
+            *wait = 0;
+        }
+    }
+
+    /// Per-channel utilization EWMAs, scaled by [`UTIL_SCALE`].
+    pub fn chan_util(&self) -> &[u32] {
+        &self.chan_util
+    }
+
+    /// Per-bus utilization EWMAs, scaled by [`UTIL_SCALE`].
+    pub fn bus_util(&self) -> &[u32] {
+        &self.bus_util
+    }
+
+    /// Per-bus token-wait EWMAs (cycle sums per window).
+    pub fn bus_wait_ewma(&self) -> &[u64] {
+        &self.bus_wait_ewma
+    }
+
+    /// Current-window per-channel busy accumulators (checkpoint codecs).
+    pub fn chan_busy(&self) -> &[u32] {
+        &self.chan_busy
+    }
+
+    /// Current-window per-bus busy accumulators (checkpoint codecs).
+    pub fn bus_busy(&self) -> &[u32] {
+        &self.bus_busy
+    }
+
+    /// Current-window per-bus token-wait accumulators (checkpoint codecs).
+    pub fn bus_wait(&self) -> &[u64] {
+        &self.bus_wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_steady_occupancy() {
+        let mut s = LinkSensors::new(64, 2, 1);
+        // Channel 0 fully busy, channel 1 half busy, for many windows.
+        for k in 1..=32u64 {
+            for _ in 0..64 {
+                s.add_chan_busy(0, 1);
+            }
+            for _ in 0..32 {
+                s.add_chan_busy(1, 1);
+            }
+            s.maybe_sample(k * 64);
+        }
+        assert!(s.chan_util()[0] > UTIL_SCALE - 16, "full: {}", s.chan_util()[0]);
+        let half = s.chan_util()[1];
+        assert!(
+            (UTIL_SCALE / 2 - 16..=UTIL_SCALE / 2).contains(&half),
+            "half-busy channel reads {half}"
+        );
+    }
+
+    #[test]
+    fn off_boundary_cycles_do_not_sample() {
+        let mut s = LinkSensors::new(64, 1, 0);
+        s.add_chan_busy(0, 64);
+        s.maybe_sample(63);
+        assert_eq!(s.chan_util()[0], 0, "no fold before the boundary");
+        s.maybe_sample(64);
+        assert_eq!(s.chan_util()[0], UTIL_SCALE / 4, "first fold: (3*0 + 1024)/4");
+    }
+
+    #[test]
+    fn sample_is_capped_at_scale() {
+        let mut s = LinkSensors::new(4, 1, 0);
+        // Over-accumulate (serialization longer than the window).
+        s.add_chan_busy(0, 400);
+        for k in 1..=64u64 {
+            s.maybe_sample(k * 4);
+            s.add_chan_busy(0, 400);
+        }
+        assert!(s.chan_util()[0] <= UTIL_SCALE);
+    }
+
+    #[test]
+    fn bus_wait_ewma_tracks_waits() {
+        let mut s = LinkSensors::new(8, 0, 1);
+        s.add_bus_wait(0, 40);
+        s.maybe_sample(8);
+        assert_eq!(s.bus_wait_ewma()[0], 10, "(3*0 + 40)/4");
+        s.maybe_sample(16);
+        assert_eq!(s.bus_wait_ewma()[0], 7, "decays without new waits");
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor window")]
+    fn zero_window_rejected() {
+        let _ = LinkSensors::new(0, 1, 1);
+    }
+}

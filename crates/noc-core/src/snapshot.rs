@@ -43,6 +43,7 @@ use crate::flit::{Flit, Packet};
 use crate::ids::{Cycle, PortId};
 use crate::network::Network;
 use crate::router::VcState;
+use crate::sensors::LinkSensors;
 use crate::stats::NetStats;
 
 /// Pipeline state of one input VC, in snapshot (all-public) form.
@@ -154,6 +155,8 @@ pub struct NicSnap {
     pub streaming: Option<(Packet, u16, u8, u64)>,
     pub vc_cursor: usize,
     pub eject_flits: u64,
+    /// Admission-control hysteresis latch (see `crate::nic`).
+    pub throttled: bool,
 }
 
 /// Fault-injection state: schedule position, down-windows, pending
@@ -190,6 +193,9 @@ pub struct NetworkSnapshot {
     pub fault: Option<FaultSnap>,
     /// Opaque routing state ([`crate::routing::RoutingAlg::save_state`]).
     pub routing: Vec<u64>,
+    /// Utilization sensor state, present when the routing algorithm
+    /// enables sensors ([`crate::routing::RoutingAlg::sensor_window`]).
+    pub sensors: Option<LinkSensors>,
     pub stats: NetStats,
 }
 
@@ -290,6 +296,7 @@ impl Network {
                 streaming: n.streaming,
                 vc_cursor: n.vc_arb.cursor(),
                 eject_flits: n.eject_flits,
+                throttled: n.throttled,
             })
             .collect();
         let fault = self.fault.as_deref().map(|ctx| {
@@ -318,6 +325,7 @@ impl Network {
             nics,
             fault,
             routing: self.routing.save_state(),
+            sensors: self.sensors.as_deref().cloned(),
             stats: self.stats.clone(),
         }
     }
@@ -375,6 +383,10 @@ impl Network {
             n.streaming = ns.streaming;
             n.vc_arb.set_cursor(ns.vc_cursor);
             n.eject_flits = ns.eject_flits;
+            n.throttled = ns.throttled;
+        }
+        if let Some(ss) = &snap.sensors {
+            *self.sensors.as_deref_mut().expect("validated above") = ss.clone();
         }
         if let Some(fs) = &snap.fault {
             let ctx = self.fault.as_deref_mut().expect("validated above");
@@ -502,6 +514,32 @@ impl Network {
             (None, Some(_)) => {
                 return Err(SnapshotError(
                     "network has a FaultConfig but the snapshot has no fault state".into(),
+                ));
+            }
+        }
+        match (&snap.sensors, self.sensors.as_deref()) {
+            (None, None) => {}
+            (Some(ss), Some(s)) => {
+                ensure!(
+                    ss.window() == s.window(),
+                    "sensor window {} != {}",
+                    ss.window(),
+                    s.window()
+                );
+                ensure!(
+                    ss.chan_util().len() == self.channels.len()
+                        && ss.bus_util().len() == self.buses.len(),
+                    "sensor state sized for a different topology"
+                );
+            }
+            (Some(_), None) => {
+                return Err(SnapshotError(
+                    "snapshot has sensor state but the routing algorithm enables no sensors".into(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError(
+                    "routing algorithm enables sensors but the snapshot has no sensor state".into(),
                 ));
             }
         }

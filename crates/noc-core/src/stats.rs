@@ -119,6 +119,15 @@ pub struct NetStats {
     /// Packets rejected at a bounded source NIC queue (backpressure drops;
     /// 0 when the queue is unbounded).
     pub offers_rejected: u64,
+    /// Offers shed by NIC admission control (backlog at/above the high
+    /// watermark; see `crate::ThrottlePolicy`). 0 without a throttle.
+    pub offers_shed: u64,
+    /// Offers deferred by NIC admission control (latch set, backlog inside
+    /// the hysteresis band). 0 without a throttle.
+    pub offers_deferred: u64,
+    /// Offers admitted *while a throttle policy was active* (the accepted
+    /// complement of shed + deferred; 0 without a throttle).
+    pub offers_admitted: u64,
     /// Failover (and failback) route changes performed by the routing
     /// algorithm in response to fault notifications.
     pub failovers: u64,
@@ -157,6 +166,9 @@ impl NetStats {
             flit_retransmits: 0,
             packets_dropped_corrupt: 0,
             offers_rejected: 0,
+            offers_shed: 0,
+            offers_deferred: 0,
+            offers_admitted: 0,
             failovers: 0,
             first_fault_at: None,
             first_failover_at: None,
@@ -186,10 +198,17 @@ impl NetStats {
     }
 
     /// Fraction of terminally-resolved packets that were delivered intact:
-    /// `delivered / (delivered + dropped_corrupt + offers_rejected)`.
-    /// 1.0 on a healthy network (or before anything resolves).
+    /// `delivered / (delivered + dropped_corrupt + offers_rejected +
+    /// offers_shed + offers_deferred)`. 1.0 on a healthy, unthrottled
+    /// network (or before anything resolves). Deferred offers count as
+    /// unresolved-against-the-network because the engine never retries
+    /// them — from the traffic source's view they were turned away.
     pub fn delivered_fraction(&self) -> f64 {
-        let resolved = self.packets_delivered + self.packets_dropped_corrupt + self.offers_rejected;
+        let resolved = self.packets_delivered
+            + self.packets_dropped_corrupt
+            + self.offers_rejected
+            + self.offers_shed
+            + self.offers_deferred;
         if resolved == 0 {
             1.0
         } else {

@@ -31,6 +31,20 @@
 //!   per distance class from the noc-phy link budget).
 //! * `--retry-limit <n>` — link-level retransmission budget per flit hop.
 //!
+//! Overload flags (consumed by `overload` and `overload-smoke`):
+//!
+//! * `--throttle <high>:<low>` — NIC admission watermarks in queued
+//!   packets; offers shed above `high`, the latch releases below `low`
+//!   (`low < high`, both validated up front).
+//! * `--reconfig adaptive:<epoch>:<hysteresis>` — adaptive spare-band
+//!   controller timing in cycles (`epoch >= 1`; only the `adaptive:` form
+//!   is accepted here — the protection postures compared by the sweep are
+//!   fixed).
+//!
+//! `overload-smoke` runs one short fully-observed adaptive hotspot run and
+//! exits 3 on a watchdog stall or 4 when a spare band was re-steered twice
+//! within one hysteresis window (flapping).
+//!
 //! Run-durability flags (consumed by `own256`/`own1024` and `--trace`):
 //!
 //! * `--checkpoint-every <n>` — write a checkpoint every `n` cycles
@@ -53,6 +67,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use noc_power::Scenario;
+use noc_sim::experiments::overload::{self, OverloadOpts};
 use noc_sim::experiments::resilience::{self, ResilienceOpts};
 use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
 use noc_sim::obs::{
@@ -96,6 +111,8 @@ const KNOWN: &[&str] = &[
     "nodes",
     "thermal",
     "resilience",
+    "overload",
+    "overload-smoke",
     "own256",
     "own1024",
 ];
@@ -114,6 +131,7 @@ fn main() {
     let mut trace_file: Option<String> = None;
     let mut sample_interval: u64 = 0;
     let mut resilience_opts = ResilienceOpts::default();
+    let mut overload_opts = OverloadOpts::default();
     let mut durability = DurabilityOpts::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
@@ -179,6 +197,50 @@ fn main() {
                     eprintln!("--retry-limit: not a count: {s}");
                     std::process::exit(2);
                 }));
+            }
+            "--throttle" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--throttle requires <high>:<low> watermarks");
+                    std::process::exit(2);
+                };
+                let parts: Vec<&str> = s.split(':').collect();
+                let watermarks = match parts.as_slice() {
+                    [high, low] => high.parse::<u32>().ok().zip(low.parse::<u32>().ok()),
+                    _ => None,
+                };
+                let Some((high, low)) = watermarks else {
+                    eprintln!("--throttle: expected <high>:<low> (packet counts), got {s}");
+                    std::process::exit(2);
+                };
+                if high < 1 || low >= high {
+                    eprintln!("--throttle: need high >= 1 and low < high, got {high}:{low}");
+                    std::process::exit(2);
+                }
+                overload_opts.throttle = Some((high, low));
+            }
+            "--reconfig" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--reconfig requires adaptive:<epoch>:<hysteresis>");
+                    std::process::exit(2);
+                };
+                let parts: Vec<&str> = s.split(':').collect();
+                let timing = match parts.as_slice() {
+                    ["adaptive", epoch, hyst] => {
+                        epoch.parse::<u64>().ok().zip(hyst.parse::<u64>().ok())
+                    }
+                    _ => None,
+                };
+                let Some((epoch, hysteresis)) = timing else {
+                    eprintln!(
+                        "--reconfig: expected adaptive:<epoch>:<hysteresis> (cycles), got {s}"
+                    );
+                    std::process::exit(2);
+                };
+                if epoch == 0 {
+                    eprintln!("--reconfig: epoch must be >= 1 cycle");
+                    std::process::exit(2);
+                }
+                overload_opts.reconfig = (epoch, hysteresis);
             }
             "--checkpoint-every" => {
                 let Some(s) = args_iter.next() else {
@@ -367,6 +429,8 @@ fn main() {
                 emit(&resilience::resilience(budget, &resilience_opts));
                 emit(&resilience::resilience_sweep(budget, &resilience_opts));
             }
+            "overload" => emit(&overload::overload(budget, &overload_opts)),
+            "overload-smoke" => run_overload_smoke(budget, &overload_opts),
             "own256" => run_own(256, budget, sample_interval, &durability),
             "own1024" => run_own(1024, budget, sample_interval, &durability),
             other => unreachable!("validated above: {other}"),
@@ -382,12 +446,17 @@ fn usage() {
         "usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--progress] \
          [--trace out.json] [--sample-interval n] [--spec file.json]... \
          [--faults spec] [--ber rate] [--retry-limit n] \
+         [--throttle high:low] [--reconfig adaptive:epoch:hysteresis] \
          [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] <experiment|all>..."
     );
     eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
     eprintln!(
         "extensions:  area loss sdm reconfig bursty breakdown placement nodes thermal \
          resilience (or: extras)"
+    );
+    eprintln!(
+        "overload:    overload overload-smoke (honor --throttle/--reconfig; smoke exits 3 \
+         on stall, 4 on flapping)"
     );
     eprintln!("long runs:   own256 own1024 (honor checkpoint/resume/audit flags)");
 }
@@ -430,6 +499,32 @@ fn exit_on_stall(result: &SimResult) {
     eprintln!("{stall}");
     eprintln!("{}", stall_report_json(stall));
     std::process::exit(3);
+}
+
+/// CI smoke run: one short adaptive-reconfig hotspot simulation with full
+/// event recording. Exits 3 on a watchdog stall, 4 when a spare band was
+/// re-steered for bandwidth twice within one hysteresis window (flapping —
+/// structurally prevented by the controller's dwell rule, so any hit is a
+/// regression).
+fn run_overload_smoke(budget: Budget, opts: &OverloadOpts) {
+    let (result, events, violations) = overload::smoke(budget, opts);
+    exit_on_stall(&result);
+    println!(
+        "{}: {} cycles, {} steering events, shed {}, deferred {}, throughput {:.4}",
+        result.name,
+        result.cycles,
+        events.len(),
+        result.offers_shed,
+        result.offers_deferred,
+        result.throughput,
+    );
+    if !violations.is_empty() {
+        eprintln!("[overload-smoke] spare-band flapping detected:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(4);
+    }
 }
 
 /// Run one long OWN simulation (the checkpoint/resume workhorse) and

@@ -34,7 +34,7 @@ use noc_core::snapshot::{
     BusSnap, ChannelSnap, FaultSnap, InPortSnap, InVcSnap, NetworkSnapshot, NicSnap, OutPortSnap,
     OutVcSnap, RouterSnap, VcStateSnap,
 };
-use noc_core::{FaultTarget, Flit, FlitKind, NetStats, Packet};
+use noc_core::{FaultTarget, Flit, FlitKind, LinkSensors, NetStats, Packet};
 use serde_json::{Map, Value};
 
 use noc_core::stats::LatencyHist;
@@ -43,8 +43,10 @@ use noc_core::stats::LatencyHist;
 pub const CHECKPOINT_MAGIC: &str = "noc-sim-checkpoint";
 
 /// Current file-format version. Bump on any incompatible layout change;
-/// readers reject versions they do not know.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// readers reject versions they do not know. Version 2 added the overload
+/// counters (shed/deferred/admitted offers), the NIC throttle latch, and
+/// the utilization-sensor block.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// A simulation checkpoint: engine snapshot plus driver state.
 #[derive(Debug, Clone)]
@@ -261,6 +263,9 @@ fn encode_stats(s: &NetStats) -> Value {
     m.insert("flit_retransmits".into(), uint(s.flit_retransmits));
     m.insert("packets_dropped_corrupt".into(), uint(s.packets_dropped_corrupt));
     m.insert("offers_rejected".into(), uint(s.offers_rejected));
+    m.insert("offers_shed".into(), uint(s.offers_shed));
+    m.insert("offers_deferred".into(), uint(s.offers_deferred));
+    m.insert("offers_admitted".into(), uint(s.offers_admitted));
     m.insert("failovers".into(), uint(s.failovers));
     m.insert("first_fault_at".into(), opt_uint(s.first_fault_at));
     m.insert("first_failover_at".into(), opt_uint(s.first_failover_at));
@@ -430,6 +435,19 @@ fn encode_nic(n: &NicSnap) -> Value {
     );
     m.insert("vc_cursor".into(), uint(n.vc_cursor as u64));
     m.insert("eject_flits".into(), uint(n.eject_flits));
+    m.insert("throttled".into(), uint(u64::from(n.throttled)));
+    Value::Object(m)
+}
+
+fn encode_sensors(s: &LinkSensors) -> Value {
+    let mut m = Map::new();
+    m.insert("window".into(), uint(u64::from(s.window())));
+    m.insert("chan_busy".into(), joined(s.chan_busy().iter().copied()));
+    m.insert("bus_busy".into(), joined(s.bus_busy().iter().copied()));
+    m.insert("bus_wait".into(), joined(s.bus_wait().iter().copied()));
+    m.insert("chan_util".into(), joined(s.chan_util().iter().copied()));
+    m.insert("bus_util".into(), joined(s.bus_util().iter().copied()));
+    m.insert("bus_wait_ewma".into(), joined(s.bus_wait_ewma().iter().copied()));
     Value::Object(m)
 }
 
@@ -483,6 +501,13 @@ fn encode_snapshot(s: &NetworkSnapshot) -> Value {
         },
     );
     m.insert("routing".into(), joined(s.routing.iter().copied()));
+    m.insert(
+        "sensors".into(),
+        match &s.sensors {
+            Some(ss) => encode_sensors(ss),
+            None => Value::Null,
+        },
+    );
     m.insert("stats".into(), encode_stats(&s.stats));
     Value::Object(m)
 }
@@ -654,6 +679,9 @@ fn decode_stats(v: &Value) -> Result<NetStats, String> {
         flit_retransmits: get_u64(m, "flit_retransmits")?,
         packets_dropped_corrupt: get_u64(m, "packets_dropped_corrupt")?,
         offers_rejected: get_u64(m, "offers_rejected")?,
+        offers_shed: get_u64(m, "offers_shed")?,
+        offers_deferred: get_u64(m, "offers_deferred")?,
+        offers_admitted: get_u64(m, "offers_admitted")?,
         failovers: get_u64(m, "failovers")?,
         first_fault_at: get_opt_u64(m, "first_fault_at")?,
         first_failover_at: get_opt_u64(m, "first_failover_at")?,
@@ -824,7 +852,23 @@ fn decode_nic(v: &Value) -> Result<NicSnap, String> {
         streaming,
         vc_cursor: get_usize(m, "vc_cursor")?,
         eject_flits: get_u64(m, "eject_flits")?,
+        throttled: get_u64(m, "throttled")? != 0,
     })
+}
+
+fn decode_sensors(v: &Value) -> Result<LinkSensors, String> {
+    let m = as_obj(v, "sensors")?;
+    let window = get_u64(m, "window")?;
+    let window = u32::try_from(window).map_err(|_| format!("sensor window {window} too large"))?;
+    Ok(LinkSensors::from_parts(
+        window,
+        split_ints(get_str(m, "chan_busy")?, "chan_busy")?,
+        split_ints(get_str(m, "bus_busy")?, "bus_busy")?,
+        split_ints(get_str(m, "bus_wait")?, "bus_wait")?,
+        split_ints(get_str(m, "chan_util")?, "chan_util")?,
+        split_ints(get_str(m, "bus_util")?, "bus_util")?,
+        split_ints(get_str(m, "bus_wait_ewma")?, "bus_wait_ewma")?,
+    ))
 }
 
 fn decode_fault(v: &Value) -> Result<FaultSnap, String> {
@@ -873,6 +917,10 @@ fn decode_snapshot(v: &Value) -> Result<NetworkSnapshot, String> {
         Value::Null => None,
         v => Some(decode_fault(v)?),
     };
+    let sensors = match get(m, "sensors")? {
+        Value::Null => None,
+        v => Some(decode_sensors(v)?),
+    };
     Ok(NetworkSnapshot {
         now: get_u64(m, "now")?,
         next_packet_id: get_u64(m, "next_packet_id")?,
@@ -882,6 +930,7 @@ fn decode_snapshot(v: &Value) -> Result<NetworkSnapshot, String> {
         nics,
         fault,
         routing: get_u64s(m, "routing")?,
+        sensors,
         stats: decode_stats(get(m, "stats")?)?,
     })
 }

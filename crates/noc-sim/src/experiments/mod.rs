@@ -26,6 +26,7 @@
 //! and full regeneration runs.
 
 pub mod extensions;
+pub mod overload;
 pub mod perf;
 pub mod phy;
 pub mod power;

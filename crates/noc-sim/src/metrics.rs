@@ -74,6 +74,12 @@ pub struct SimResult {
     pub packets_dropped_corrupt: u64,
     /// Packets rejected at full bounded source queues.
     pub offers_rejected: u64,
+    /// Offers shed by NIC admission control (counted, non-silent drops).
+    pub offers_shed: u64,
+    /// Offers deferred by NIC admission control (retried by the injector).
+    pub offers_deferred: u64,
+    /// Offers admitted while the NIC's throttle latch was engaged.
+    pub offers_admitted: u64,
     /// Routing reconfigurations triggered by fault detection.
     pub failovers: u64,
     /// Cycles from the first fault firing to the first routing failover
@@ -120,6 +126,9 @@ impl SimResult {
             flit_retransmits: s.flit_retransmits,
             packets_dropped_corrupt: s.packets_dropped_corrupt,
             offers_rejected: s.offers_rejected,
+            offers_shed: s.offers_shed,
+            offers_deferred: s.offers_deferred,
+            offers_admitted: s.offers_admitted,
             failovers: s.failovers,
             time_to_failover,
             avg_post_fault_latency: s.post_fault_latency.mean(),

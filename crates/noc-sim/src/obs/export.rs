@@ -10,11 +10,11 @@
 //!
 //! | pid | rows (`tid`) | content |
 //! |---|---|---|
-//! | 1 | source core | packet offered/injected/ejected/delivered (instants) |
+//! | 1 | source core | packet offered/injected/ejected/delivered and admission shed/defer (instants) |
 //! | 2 | channel id | flit flight spans (send → arrival) |
 //! | 3 | bus id | flit serialization spans on the shared medium |
 //! | 4 | bus id | token-wait spans, grant instants, busy/idle edges |
-//! | 5 | faulted medium id | outage spans, corruption/retransmit/failover |
+//! | 5 | faulted medium id / spare band | outage spans, corruption/retransmit/failover, spare-band steering |
 //! | 6 | router id | watchdog stall diagnostics (only when a stall fired) |
 
 use std::fmt::Write as _;
@@ -270,6 +270,29 @@ fn chrome_event(out: &mut String, ev: &NocEvent) {
                  \"args\":{{\"medium\":\"{tk}\",\"up\":{up}}}}}"
             );
         }
+        NocEvent::OfferShed { at, core } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"shed\",\"cat\":\"throttle\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{core},\"args\":{{}}}}"
+            );
+        }
+        NocEvent::OfferDeferred { at, core } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"defer\",\"cat\":\"throttle\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{core},\"args\":{{}}}}"
+            );
+        }
+        NocEvent::SpareSteered { at, band, channel, active, protect } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"steer\",\"cat\":\"reconfig\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{band},\
+                 \"args\":{{\"channel\":{channel},\"active\":{active},\
+                 \"protect\":{protect}}}}}"
+            );
+        }
     }
 }
 
@@ -468,6 +491,19 @@ fn jsonl_event(out: &mut String, ev: &NocEvent) {
                 "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\"up\":{up}}}"
             );
         }
+        NocEvent::OfferShed { at, core } => {
+            let _ = write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"core\":{core}}}");
+        }
+        NocEvent::OfferDeferred { at, core } => {
+            let _ = write!(out, "{{\"kind\":\"{kind}\",\"at\":{at},\"core\":{core}}}");
+        }
+        NocEvent::SpareSteered { at, band, channel, active, protect } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"band\":{band},\"channel\":{channel},\
+                 \"active\":{active},\"protect\":{protect}}}"
+            );
+        }
     }
 }
 
@@ -539,6 +575,9 @@ mod tests {
             },
             NocEvent::FailoverActivated { at: 20, target: FaultTarget::Channel(3), up: false },
             NocEvent::LinkRecovered { at: 40, target: FaultTarget::Channel(3) },
+            NocEvent::OfferShed { at: 41, core: 1 },
+            NocEvent::OfferDeferred { at: 42, core: 1 },
+            NocEvent::SpareSteered { at: 44, band: 13, channel: 9, active: true, protect: false },
         ]
     }
 
@@ -547,8 +586,8 @@ mod tests {
         let s = chrome_trace(&sample_events());
         let v: serde_json::Value = s.parse().expect("chrome trace must parse as JSON");
         let evs = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
-        // 5 process metadata records + 14 events.
-        assert_eq!(evs.len(), 19);
+        // 5 process metadata records + 17 events.
+        assert_eq!(evs.len(), 22);
         let token_wait = evs
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("token-wait"))
@@ -567,13 +606,22 @@ mod tests {
             .expect("outage span present");
         assert_eq!(outage.get("dur").and_then(|t| t.as_u64()), Some(26));
         assert_eq!(outage.get("pid").and_then(|t| t.as_u64()), Some(PID_FAULTS as u64));
+        // Spare-band steering renders in the faults process, row = band.
+        let steer = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("steer"))
+            .expect("steer instant present");
+        assert_eq!(steer.get("cat").and_then(|c| c.as_str()), Some("reconfig"));
+        assert_eq!(steer.get("tid").and_then(|t| t.as_u64()), Some(13));
+        assert_eq!(steer["args"]["active"].as_bool(), Some(true));
+        assert!(evs.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("shed")));
     }
 
     #[test]
     fn jsonl_lines_parse_and_tag_kind() {
         let s = jsonl(&sample_events());
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 14);
+        assert_eq!(lines.len(), 17);
         for line in &lines {
             let v: serde_json::Value = line.parse().expect("each JSONL line parses");
             assert!(v.get("kind").and_then(|k| k.as_str()).is_some());
@@ -582,6 +630,9 @@ mod tests {
         assert!(lines[4].contains("\"kind\":\"token_granted\""));
         assert!(lines[10].contains("\"kind\":\"flit_corrupted\""));
         assert!(lines[12].contains("\"kind\":\"failover_activated\""));
+        assert!(lines[14].contains("\"kind\":\"offer_shed\""));
+        assert!(lines[15].contains("\"kind\":\"offer_deferred\""));
+        assert!(lines[16].contains("\"kind\":\"spare_steered\""));
     }
 
     #[test]
@@ -676,8 +727,8 @@ mod tests {
         let r = sample_stall();
         let s = jsonl_with_stall(&events, Some(&r));
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 15, "14 events + 1 stall line");
-        assert!(lines[14].starts_with("{\"kind\":\"stall\""));
+        assert_eq!(lines.len(), 18, "17 events + 1 stall line");
+        assert!(lines[17].starts_with("{\"kind\":\"stall\""));
         // Without a stall, byte-identical to plain jsonl.
         assert_eq!(jsonl_with_stall(&events, None), jsonl(&events));
     }
@@ -689,8 +740,8 @@ mod tests {
         let s = chrome_trace_with_stall(&events, Some(&r));
         let v: serde_json::Value = s.parse().expect("trace with stall parses");
         let evs = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
-        // 6 metadata + 14 events + 1 stall + 1 stalled VC + 1 token.
-        assert_eq!(evs.len(), 23);
+        // 6 metadata + 17 events + 1 stall + 1 stalled VC + 1 token.
+        assert_eq!(evs.len(), 26);
         let stall = evs
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall"))

@@ -139,8 +139,23 @@ impl SimSpec {
             "neighbor" | "nbr" => Ok(TrafficPattern::Neighbor),
             "bitcomplement" | "bc" => Ok(TrafficPattern::BitComplement),
             "hotspot" if parts.len() == 3 => {
-                let target = parts[1].parse().map_err(|_| "bad hotspot core".to_string())?;
-                let fraction = parts[2].parse().map_err(|_| "bad hotspot fraction".to_string())?;
+                let target: u32 = parts[1].parse().map_err(|_| "bad hotspot core".to_string())?;
+                let fraction: f64 =
+                    parts[2].parse().map_err(|_| "bad hotspot fraction".to_string())?;
+                // Reject here rather than panicking later in the injector's
+                // `gen_bool` (fraction) or addressing a nonexistent core.
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(format!("hotspot fraction {fraction} must be within [0, 1]"));
+                }
+                if let Ok(topo) = self.topology() {
+                    if target >= topo.num_cores() {
+                        return Err(format!(
+                            "hotspot core {target} out of range for {} ({} cores)",
+                            topo.name(),
+                            topo.num_cores()
+                        ));
+                    }
+                }
                 Ok(TrafficPattern::Hotspot { target, fraction })
             }
             "permutation" if parts.len() == 2 => {
@@ -251,6 +266,12 @@ mod tests {
         assert_eq!(mk("permutation:99").unwrap(), TrafficPattern::Permutation { seed: 99 });
         assert!(mk("nope").is_err());
         assert!(mk("hotspot:bad").is_err());
+        // Out-of-range parameters are rejected at parse time, not at the
+        // first injection.
+        assert!(mk("hotspot:7:1.5").unwrap_err().contains("within [0, 1]"));
+        assert!(mk("hotspot:7:-0.1").unwrap_err().contains("within [0, 1]"));
+        assert!(mk("hotspot:64:0.5").unwrap_err().contains("out of range"));
+        assert!(mk("hotspot:63:0.5").is_ok(), "last core is a valid target");
     }
 
     #[test]

@@ -119,6 +119,29 @@ fn own256_resume_with_active_fault_schedule_is_bit_identical() {
 }
 
 #[test]
+fn own256_adaptive_reconfig_resume_is_bit_identical() {
+    // The overload-protection stack in full: hotspot traffic saturating
+    // one core, NIC admission control latched, utilization sensors
+    // folding, and the adaptive controller steering spare bands. The
+    // checkpoint must carry the sensor EWMAs, the throttle latch, and the
+    // controller's slot/dwell state for the resumed run to replay
+    // bit-identically.
+    let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 128, hysteresis: 512 });
+    let cfg = SimConfig {
+        rate: 0.03,
+        pattern: TrafficPattern::Hotspot { target: 0, fraction: 0.2 },
+        warmup: 200,
+        measure: 1_000,
+        drain: 3_000,
+        router: RouterConfig::default().with_throttle(12, 4),
+        ..Default::default()
+    };
+    let dir = scratch("own256-adaptive");
+    let stats = roundtrip(&topo, cfg, 700, 700, None, dir);
+    assert!(stats.offers_shed > 0, "admission control must be active across the resume");
+}
+
+#[test]
 fn own1024_resume_is_bit_identical() {
     let topo = noc_topology::own(1024);
     let cfg = SimConfig {

@@ -23,6 +23,14 @@
 //! * [`profile_hot_pairs`] — measure per-pair wireless traffic of a
 //!   finished simulation and return the four busiest ordered pairs, closing
 //!   the adaptive loop the paper sketches: profile → reassign → rerun.
+//! * [`ReconfigPolicy::Adaptive`] — close that loop **online**: every
+//!   ordered cluster pair gets a dark spare channel on the D corners, and a
+//!   controller re-ranks pairs by primary-channel utilization (the engine's
+//!   [`noc_core::LinkSensors`] EWMAs) every `epoch` cycles, steering the
+//!   four spare transceiver slots onto the hottest pairs. A slot dwells at
+//!   least `hysteresis` cycles before it can be re-aimed (no flapping), and
+//!   an active fault on a pair's primary preempts bandwidth use of a slot —
+//!   protection always wins the arbitration for a spare transceiver.
 //!
 //! The spare channel of a reinforced pair rides the otherwise-idle **D
 //! corner transceivers** (unused at 256 cores, §III-A), so reinforced
@@ -31,9 +39,10 @@
 //! egress at the destination — not merely a second frequency on the same
 //! funnel.
 
+use noc_core::ids::Cycle;
 use noc_core::{
     ChannelId, CoreId, FaultTarget, LinkClass, Network, NetworkBuilder, PortId, RouteDecision,
-    RouterConfig, RouterId, RoutingAlg,
+    RouterConfig, RouterId, RoutingAlg, SteerAction,
 };
 
 use crate::channels::ChannelAllocation;
@@ -62,13 +71,29 @@ pub enum ReconfigPolicy {
     /// fault fires), switches to the spare band, and switches back when the
     /// primary's recovery is detected. Up to four pairs can be protected.
     Protect(Vec<(u32, u32)>),
+    /// Closed-loop utilization-driven steering. Every ordered cluster pair
+    /// gets a dark spare channel riding the D corners; every `epoch` cycles
+    /// a controller ranks pairs by their primary channel's utilization EWMA
+    /// and points the four spare transceiver slots at the hottest ones.
+    /// A slot must dwell `hysteresis` cycles before it can be re-aimed,
+    /// and a detected fault on a pair's primary preempts bandwidth use of
+    /// a slot (protection wins the spare, as under `Protect`).
+    Adaptive {
+        /// Re-ranking period in cycles (must be >= 1).
+        epoch: u64,
+        /// Minimum dwell of a bandwidth slot assignment, in cycles.
+        hysteresis: u64,
+    },
 }
 
 impl ReconfigPolicy {
-    /// The ordered cluster pairs that receive a spare channel.
+    /// The ordered cluster pairs that receive a statically wired spare
+    /// channel. Empty for [`ReconfigPolicy::Adaptive`], which wires a dark
+    /// spare to *every* ordered pair and assigns the four transceiver
+    /// slots at runtime instead.
     pub fn reinforced_pairs(&self) -> Vec<(u32, u32)> {
         match self {
-            ReconfigPolicy::None => Vec::new(),
+            ReconfigPolicy::None | ReconfigPolicy::Adaptive { .. } => Vec::new(),
             ReconfigPolicy::Diagonal => vec![(3, 1), (1, 3), (0, 2), (2, 0)],
             ReconfigPolicy::Pairs(ps)
             | ReconfigPolicy::Failover(ps)
@@ -76,6 +101,14 @@ impl ReconfigPolicy {
                 assert!(ps.len() <= 4, "only four spare bands exist");
                 ps.clone()
             }
+        }
+    }
+
+    /// `(epoch, hysteresis)` of an adaptive policy, `None` otherwise.
+    pub fn adaptive_params(&self) -> Option<(u64, u64)> {
+        match *self {
+            ReconfigPolicy::Adaptive { epoch, hysteresis } => Some((epoch, hysteresis)),
+            _ => None,
         }
     }
 
@@ -100,12 +133,61 @@ pub struct Own256Reconfig {
 impl Own256Reconfig {
     /// OWN-256 with the given spare-band policy.
     pub fn new(policy: ReconfigPolicy) -> Self {
+        if let ReconfigPolicy::Adaptive { epoch, .. } = policy {
+            assert!(epoch >= 1, "adaptive reconfig epoch must be >= 1 cycle");
+        }
         Own256Reconfig { alloc: ChannelAllocation::table_i(), policy }
     }
 
     /// The active policy.
     pub fn policy(&self) -> &ReconfigPolicy {
         &self.policy
+    }
+}
+
+/// Runtime state of the adaptive spare-band controller.
+///
+/// Four *slots* model the four physical spare transceiver pairs (bands
+/// 13–16 — slot `i` transmits on band `13 + i`). A slot either reinforces
+/// a hot pair for bandwidth (`protect == false`, traffic split by parity
+/// with the primary) or covers a failed primary (`protect == true`, all of
+/// the pair's traffic). Only integer state is kept so the controller
+/// checkpoints bit-identically through `save_state`/`load_state`.
+struct AdaptiveCtl {
+    /// Re-ranking period in cycles.
+    epoch: u64,
+    /// Minimum dwell of a bandwidth slot assignment, in cycles.
+    hysteresis: u64,
+    /// Every ordered cluster pair `(s, d)`, in enumeration order.
+    pairs: Vec<(u32, u32)>,
+    /// Primary wireless channel of each pair (the utilization signal).
+    primary_cid: Vec<ChannelId>,
+    /// Dark spare channel of each pair, on the D corners.
+    spare_cid: Vec<ChannelId>,
+    /// D-corner out port feeding each pair's spare channel.
+    spare_port: Vec<PortId>,
+    /// Slot assignments: `(pair index, protect)`.
+    slots: [Option<(usize, bool)>; 4],
+    /// Cycle each slot's current bandwidth assignment was made.
+    assigned_at: [Cycle; 4],
+    /// Total slot reassignments performed (flap diagnostics).
+    reassignments: u64,
+    /// Steer actions awaiting pickup by the next `util_tick`.
+    pending: Vec<SteerAction>,
+}
+
+impl AdaptiveCtl {
+    fn pair_index(&self, s: u32, d: u32) -> usize {
+        self.pairs.iter().position(|&p| p == (s, d)).expect("unknown cluster pair")
+    }
+
+    fn push_steer(&mut self, slot: usize, pair: usize, active: bool, protect: bool) {
+        self.pending.push(SteerAction {
+            band: 13 + slot as u8,
+            channel: self.spare_cid[pair],
+            active,
+            protect,
+        });
     }
 }
 
@@ -124,6 +206,65 @@ struct ReconfigRouting {
     primaries: Vec<(ChannelId, u32, u32)>,
     /// `failed[c][d]` — the pair's primary is currently known-dead.
     failed: Vec<[bool; CLUSTERS as usize]>,
+    /// Utilization-driven slot controller ([`ReconfigPolicy::Adaptive`]).
+    adaptive: Option<AdaptiveCtl>,
+}
+
+impl ReconfigRouting {
+    /// Recompute the `spare` routing table from the adaptive slots.
+    fn rebuild_spare_table(&mut self) {
+        let ctl = self.adaptive.as_ref().expect("adaptive controller");
+        for row in &mut self.spare {
+            *row = [None; CLUSTERS as usize];
+        }
+        for o in &ctl.slots {
+            if let Some((p, _)) = *o {
+                let (s, d) = ctl.pairs[p];
+                self.spare[s as usize][d as usize] = Some(ctl.spare_port[p]);
+            }
+        }
+    }
+
+    /// Adaptive fault arbitration: an active fault on a pair's primary
+    /// preempts bandwidth use of a spare slot; recovery frees it again.
+    fn adaptive_fault(&mut self, s: u32, d: u32, failed: bool) {
+        let ctl = self.adaptive.as_mut().expect("adaptive controller");
+        let p = ctl.pair_index(s, d);
+        if failed {
+            if let Some(i) = ctl.slots.iter().position(|o| matches!(o, Some((q, _)) if *q == p)) {
+                // The pair already holds a slot: escalate it to protection.
+                ctl.slots[i] = Some((p, true));
+                ctl.push_steer(i, p, true, true);
+            } else {
+                // Take a free slot, else preempt the stalest bandwidth
+                // slot. If all four slots protect other faults, the pair
+                // keeps its dead primary (drops are counted, not silent).
+                let victim = ctl.slots.iter().position(|o| o.is_none()).or_else(|| {
+                    (0..ctl.slots.len())
+                        .filter(|&i| matches!(ctl.slots[i], Some((_, false))))
+                        .min_by_key(|&i| (ctl.assigned_at[i], i))
+                });
+                if let Some(i) = victim {
+                    if let Some((q, false)) = ctl.slots[i] {
+                        ctl.push_steer(i, q, false, false);
+                    }
+                    ctl.slots[i] = Some((p, true));
+                    ctl.assigned_at[i] = 0;
+                    ctl.reassignments += 1;
+                    ctl.push_steer(i, p, true, true);
+                }
+            }
+        } else if let Some(i) =
+            ctl.slots.iter().position(|o| matches!(o, Some((q, true)) if *q == p))
+        {
+            // Recovery detected: release the protection slot; the next
+            // epoch may re-earn it for bandwidth.
+            ctl.slots[i] = None;
+            ctl.assigned_at[i] = 0;
+            ctl.push_steer(i, p, false, true);
+        }
+        self.rebuild_spare_table();
+    }
 }
 
 /// Tile-local index of the D corner.
@@ -138,14 +279,16 @@ impl RoutingAlg for ReconfigRouting {
         let cd = (dr / TILES) % CLUSTERS;
         if dr != router && c != cd {
             if let Some(spare_port) = self.spare[c as usize][cd as usize] {
-                // Load-balance mode: split by destination-tile parity.
                 // Failover mode: the primary is dead — everything takes
-                // the spare path via the D corner. Protect mode: spare
-                // only once the primary's failure has been detected.
-                let take_spare = if self.failover {
+                // the spare path via the D corner. A detected fault
+                // (Protect standby or an adaptive protection slot) does
+                // the same. Protect pairs otherwise stay on the primary;
+                // load-balance assignments split by destination-tile
+                // parity.
+                let take_spare = if self.failover || self.failed[c as usize][cd as usize] {
                     true
                 } else if self.protect {
-                    self.failed[c as usize][cd as usize]
+                    false
                 } else {
                     (dr % TILES) % 2 == 1
                 };
@@ -164,7 +307,7 @@ impl RoutingAlg for ReconfigRouting {
     }
 
     fn fault_notice(&mut self, target: FaultTarget, up: bool) -> bool {
-        if !self.protect {
+        if !self.protect && self.adaptive.is_none() {
             return false;
         }
         let FaultTarget::Channel(ch) = target else { return false };
@@ -177,7 +320,125 @@ impl RoutingAlg for ReconfigRouting {
             return false;
         }
         *slot = want;
+        if self.adaptive.is_some() {
+            self.adaptive_fault(s, d, want);
+        }
         true
+    }
+
+    fn sensor_window(&self) -> Option<u32> {
+        self.adaptive.as_ref().map(|ctl| {
+            let w = (ctl.epoch / 4).max(64);
+            w.min(u64::from(u32::MAX)) as u32
+        })
+    }
+
+    fn util_tick(&mut self, now: Cycle, chan_util: Option<&[u32]>) -> Vec<SteerAction> {
+        // Destructured so the closure over `failed` does not conflict with
+        // the mutable borrow of the controller.
+        let ReconfigRouting { adaptive, failed, .. } = self;
+        let Some(ctl) = adaptive.as_mut() else { return Vec::new() };
+        let mut out = std::mem::take(&mut ctl.pending);
+        let Some(util) = chan_util else { return out };
+        if now == 0 || !now.is_multiple_of(ctl.epoch) {
+            return out;
+        }
+        // Rank live pairs by primary-channel utilization, hottest first
+        // (pair index breaks ties). Idle pairs never earn a slot; failed
+        // pairs are covered by protection slots, not ranked here.
+        let mut ranked: Vec<usize> = (0..ctl.pairs.len())
+            .filter(|&p| {
+                let (s, d) = ctl.pairs[p];
+                !failed[s as usize][d as usize] && util[ctl.primary_cid[p] as usize] > 0
+            })
+            .collect();
+        ranked.sort_by_key(|&p| (std::cmp::Reverse(util[ctl.primary_cid[p] as usize]), p));
+        // The pairs that deserve the slots not pinned by protection.
+        let capacity = ctl.slots.iter().filter(|o| !matches!(o, Some((_, true)))).count();
+        let desired: Vec<usize> = ranked.iter().copied().take(capacity).collect();
+        let mut changed = false;
+        // Release bandwidth slots that fell out of the ranking, but only
+        // after they have dwelled a full hysteresis interval — a slot is
+        // never re-aimed twice within one window.
+        for i in 0..ctl.slots.len() {
+            if let Some((p, false)) = ctl.slots[i] {
+                if !desired.contains(&p) && now - ctl.assigned_at[i] >= ctl.hysteresis {
+                    ctl.slots[i] = None;
+                    ctl.push_steer(i, p, false, false);
+                    changed = true;
+                }
+            }
+        }
+        // Aim free slots at the hottest pairs not already served.
+        let in_slot: Vec<usize> = ctl.slots.iter().flatten().map(|&(p, _)| p).collect();
+        let mut queue = desired.iter().copied().filter(|p| !in_slot.contains(p));
+        for i in 0..ctl.slots.len() {
+            if ctl.slots[i].is_none() {
+                if let Some(p) = queue.next() {
+                    ctl.slots[i] = Some((p, false));
+                    ctl.assigned_at[i] = now;
+                    ctl.reassignments += 1;
+                    ctl.push_steer(i, p, true, false);
+                    changed = true;
+                }
+            }
+        }
+        out.append(&mut std::mem::take(&mut ctl.pending));
+        if changed {
+            self.rebuild_spare_table();
+        }
+        out
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        let mut w = Vec::new();
+        for row in &self.failed {
+            for &f in row {
+                w.push(u64::from(f));
+            }
+        }
+        if let Some(ctl) = &self.adaptive {
+            debug_assert!(ctl.pending.is_empty(), "steer actions must drain every cycle");
+            for o in &ctl.slots {
+                w.push(match *o {
+                    None => u64::MAX,
+                    Some((p, protect)) => p as u64 | (u64::from(protect) << 32),
+                });
+            }
+            w.extend(ctl.assigned_at);
+            w.push(ctl.reassignments);
+        }
+        w
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        let n = CLUSTERS as usize;
+        let expect = n * n + if self.adaptive.is_some() { 9 } else { 0 };
+        assert_eq!(state.len(), expect, "reconfig routing state has the wrong shape");
+        let mut it = state.iter().copied();
+        for row in &mut self.failed {
+            for f in row.iter_mut() {
+                *f = it.next().unwrap() != 0;
+            }
+        }
+        if let Some(ctl) = self.adaptive.as_mut() {
+            for o in ctl.slots.iter_mut() {
+                let word = it.next().unwrap();
+                *o = if word == u64::MAX {
+                    None
+                } else {
+                    let p = (word & 0xffff_ffff) as usize;
+                    assert!(p < ctl.pairs.len(), "slot pair index out of range");
+                    Some((p, (word >> 32) != 0))
+                };
+            }
+            for a in ctl.assigned_at.iter_mut() {
+                *a = it.next().unwrap();
+            }
+            ctl.reassignments = it.next().unwrap();
+            ctl.pending.clear();
+            self.rebuild_spare_table();
+        }
     }
 }
 
@@ -189,6 +450,11 @@ impl Topology for Own256Reconfig {
             ReconfigPolicy::Pairs(_) => "OWN-256+profiled-spares".to_string(),
             ReconfigPolicy::Failover(_) => "OWN-256+failover".to_string(),
             ReconfigPolicy::Protect(_) => "OWN-256+protect".to_string(),
+            // Parameters are part of the name so checkpoint validation
+            // refuses to resume under a different controller setting.
+            ReconfigPolicy::Adaptive { epoch, hysteresis } => {
+                format!("OWN-256+adaptive:{epoch}:{hysteresis}")
+            }
         }
     }
 
@@ -201,8 +467,9 @@ impl Topology for Own256Reconfig {
     }
 
     fn bisection_flits_per_cycle(&self) -> f64 {
-        // Dark standby spares add no steady-state capacity.
-        if self.policy.runtime_protect() {
+        // Dark standby spares add no steady-state capacity; adaptive
+        // assignments are transient, so the static figure stays baseline.
+        if self.policy.runtime_protect() || self.policy.adaptive_params().is_some() {
             return 8.0;
         }
         // Spares on diagonal pairs add up to 4 crossing channels.
@@ -254,16 +521,64 @@ impl Topology for Own256Reconfig {
                 b.add_channel(tx_router, rx_router, latency::WIRELESS, ser::OWN_WIRELESS, class);
             spare[s as usize][d as usize] = Some(op);
         }
+        // Adaptive: a dark spare channel for *every* ordered pair; the
+        // controller aims the four physical slots at runtime. The static
+        // band label cycles 13-16 per transceiver site; the label reported
+        // in steer events is the slot's (13 + slot index).
+        let adaptive = self.policy.adaptive_params().map(|(epoch, hysteresis)| {
+            let mut pairs = Vec::new();
+            let mut p_cid = Vec::new();
+            let mut spare_cid = Vec::new();
+            let mut spare_port = Vec::new();
+            for s in 0..CLUSTERS {
+                for d in 0..CLUSTERS {
+                    if s == d {
+                        continue;
+                    }
+                    let l = self.alloc.link(s, d);
+                    let class = LinkClass::Wireless {
+                        channel: 13 + (pairs.len() % 4) as u8,
+                        distance: l.distance,
+                    };
+                    let (cid, op, _) = b.add_channel(
+                        s * TILES + D_TILE,
+                        d * TILES + D_TILE,
+                        latency::WIRELESS,
+                        ser::OWN_WIRELESS,
+                        class,
+                    );
+                    pairs.push((s, d));
+                    p_cid.push(primary_cid[s as usize][d as usize]);
+                    spare_cid.push(cid);
+                    spare_port.push(op);
+                }
+            }
+            AdaptiveCtl {
+                epoch,
+                hysteresis,
+                pairs,
+                primary_cid: p_cid,
+                spare_cid,
+                spare_port,
+                slots: [None; 4],
+                assigned_at: [0; 4],
+                reassignments: 0,
+                pending: Vec::new(),
+            }
+        });
         for r in 0..routers as u32 {
             let is_corner = corner_index(r % TILES).is_some();
             b.set_power_radix(r, if is_corner { 20 } else { 19 });
         }
-        let primaries = self
-            .policy
-            .reinforced_pairs()
-            .iter()
-            .map(|&(s, d)| (primary_cid[s as usize][d as usize], s, d))
-            .collect();
+        let primaries = if let Some(ctl) = &adaptive {
+            ctl.pairs.iter().zip(&ctl.primary_cid).map(|(&(s, d), &c)| (c, s, d)).collect()
+        } else {
+            self.policy
+                .reinforced_pairs()
+                .iter()
+                .map(|&(s, d)| (primary_cid[s as usize][d as usize], s, d))
+                .collect()
+        };
         b.build(Box::new(ReconfigRouting {
             base: Own256Routing {
                 vcs: cfg.vcs,
@@ -277,6 +592,7 @@ impl Topology for Own256Reconfig {
             protect: self.policy.runtime_protect(),
             primaries,
             failed: vec![[false; CLUSTERS as usize]; CLUSTERS as usize],
+            adaptive,
         }))
     }
 }
@@ -539,6 +855,7 @@ mod tests {
             ReconfigPolicy::Pairs(vec![(0, 1), (2, 3)]),
             ReconfigPolicy::Failover(vec![(3, 1)]),
             ReconfigPolicy::Protect(vec![(0, 2), (2, 0)]),
+            ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 512 },
         ] {
             let topo = Own256Reconfig::new(policy);
             let mut net = topo.build(RouterConfig::default());
@@ -547,5 +864,175 @@ mod tests {
             assert!(net.drain(200_000), "{} stuck", topo.name());
             assert_eq!(net.stats.packets_offered, net.stats.packets_delivered);
         }
+    }
+
+    /// Steady cluster-to-cluster stream: one `s -> d` packet every
+    /// `period` cycles for `cycles` cycles, cycling destination tiles.
+    fn stream(net: &mut noc_core::Network, s: u32, d: u32, period: u64, cycles: u64) -> u64 {
+        let mut sent = 0u64;
+        for cycle in 0..cycles {
+            if cycle.is_multiple_of(period) {
+                let t = (sent % 16) as u32;
+                net.inject_packet(s * 64 + t * 4, d * 64 + t * 4 + 1, 2);
+                sent += 1;
+            }
+            net.step();
+        }
+        sent
+    }
+
+    #[test]
+    fn adaptive_wires_a_dark_spare_to_every_pair() {
+        let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 512 });
+        let net = topo.build(RouterConfig::default());
+        let spares = net
+            .channels()
+            .iter()
+            .filter(|c| matches!(c.class, LinkClass::Wireless { channel, .. } if channel >= 13))
+            .count();
+        assert_eq!(spares, 12, "one spare per ordered cluster pair");
+        assert!(net.sensors().is_some(), "adaptive routing enables utilization sensors");
+    }
+
+    #[test]
+    fn adaptive_steers_a_slot_onto_the_hot_pair() {
+        let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 512 });
+        let mut net = topo.build(RouterConfig::default());
+        // Hammer 0 -> 2: after the first epoch the controller must aim a
+        // slot at the pair, after which traffic parity-splits between the
+        // primary (band 3) and the pair's spare.
+        stream(&mut net, 0, 2, 4, 4_000);
+        assert!(net.drain(50_000));
+        let by_band = flits_by_band(&net);
+        let spare: u64 = (13..=16).filter_map(|b| by_band.get(&b)).sum();
+        let primary = by_band.get(&3).copied().unwrap_or(0);
+        assert!(spare > 0, "spare must carry traffic after steering: {by_band:?}");
+        assert!(primary > 0, "primary keeps its parity share: {by_band:?}");
+    }
+
+    #[test]
+    fn adaptive_slot_dwells_through_hysteresis() {
+        // Two hot phases: 0 -> 2 then 1 -> 3. With a hysteresis longer
+        // than the run, the (0,2) slot must survive its traffic dying off,
+        // and (1,3) takes a *free* slot — exactly two assignments total.
+        let topo =
+            Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 128, hysteresis: 100_000 });
+        let mut net = topo.build(RouterConfig::default());
+        stream(&mut net, 0, 2, 4, 2_000);
+        stream(&mut net, 1, 3, 4, 2_000);
+        assert!(net.drain(50_000));
+        let words = net.snapshot().routing;
+        // Layout: 16 failed flags, 4 slot words, 4 assigned_at, reassignments.
+        let slots = &words[16..20];
+        let reassignments = words[24];
+        assert_eq!(reassignments, 2, "one assignment per hot pair, no flapping");
+        // Pair (0,2) is index 1, pair (1,3) is index 5 in enumeration order.
+        assert!(slots.contains(&1), "hot pair (0,2) still holds its slot: {slots:?}");
+        assert!(slots.contains(&5), "hot pair (1,3) got a free slot: {slots:?}");
+    }
+
+    #[test]
+    fn adaptive_fault_preempts_spare_for_protection() {
+        use noc_core::{FaultConfig, FaultEvent, FaultSchedule};
+        let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 512 });
+        let mut net = topo.build(RouterConfig::default());
+        // Kill the 0 -> 2 primary permanently at cycle 1000 (after the
+        // controller has already aimed a bandwidth slot at the hot pair).
+        let primary = band_channel(&net, 3);
+        net.attach_faults(FaultConfig {
+            schedule: FaultSchedule::new()
+                .with(FaultEvent::permanent(1_000, FaultTarget::Channel(primary))),
+            detect_delay: 50,
+            ..Default::default()
+        });
+        let sent = stream(&mut net, 0, 2, 25, 3_000);
+        assert!(net.drain(50_000));
+        assert_eq!(net.stats.failovers, 1, "fault detection escalates the slot");
+        let words = net.snapshot().routing;
+        // Pair (0,2) = index 1, protect bit set (bit 32).
+        assert!(
+            words[16..20].contains(&(1 | (1 << 32))),
+            "slot holds (0,2) in protect mode: {:?}",
+            &words[16..20]
+        );
+        assert_eq!(
+            net.stats.packets_delivered + net.stats.packets_dropped_corrupt,
+            sent,
+            "every packet accounted for"
+        );
+        assert!(
+            net.stats.packets_delivered > net.stats.packets_dropped_corrupt,
+            "post-detection traffic survives on the spare"
+        );
+    }
+
+    #[test]
+    fn protect_failover_state_survives_snapshot() {
+        use noc_core::{FaultConfig, FaultEvent, FaultSchedule};
+        // Regression: Protect's failed-pair table was not part of
+        // save_state, so a checkpoint taken after a failover restored to a
+        // network that routed onto the dead primary.
+        let topo = Own256Reconfig::new(ReconfigPolicy::Protect(vec![(0, 2)]));
+        let cfg = |net: &noc_core::Network| FaultConfig {
+            schedule: FaultSchedule::new()
+                .with(FaultEvent::permanent(200, FaultTarget::Channel(band_channel(net, 3)))),
+            detect_delay: 50,
+            ..Default::default()
+        };
+        let build = || {
+            let mut net = topo.build(RouterConfig::default());
+            let fc = cfg(&net);
+            net.attach_faults(fc);
+            net
+        };
+        let mut reference = build();
+        let sent = stream(&mut reference, 0, 2, 25, 2_000);
+        assert!(reference.drain(50_000));
+        assert_eq!(reference.stats.failovers, 1);
+
+        let mut first = build();
+        stream(&mut first, 0, 2, 25, 600); // past the failover at 250
+        let snap = first.snapshot();
+        let mut resumed = build();
+        resumed.restore(&snap).unwrap();
+        // Continue the identical injection tail.
+        let mut sent_r = 24; // packets already sent in the first 600 cycles
+        for cycle in 600..2_000u64 {
+            if cycle.is_multiple_of(25) {
+                let t = (sent_r % 16) as u32;
+                resumed.inject_packet(t * 4, 2 * 64 + t * 4 + 1, 2);
+                sent_r += 1;
+            }
+            resumed.step();
+        }
+        assert_eq!(sent_r, sent);
+        assert!(resumed.drain(50_000));
+        assert_eq!(resumed.stats, reference.stats, "restored run must be bit-identical");
+    }
+
+    #[test]
+    fn adaptive_state_survives_snapshot() {
+        let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 512 });
+        let mut reference = topo.build(RouterConfig::default());
+        stream(&mut reference, 0, 2, 4, 4_000);
+        assert!(reference.drain(50_000));
+
+        let mut first = topo.build(RouterConfig::default());
+        stream(&mut first, 0, 2, 4, 1_500); // slot assigned at cycle 256
+        let snap = first.snapshot();
+        assert!(snap.sensors.is_some(), "sensor EWMAs ride the snapshot");
+        let mut resumed = topo.build(RouterConfig::default());
+        resumed.restore(&snap).unwrap();
+        let mut sent = 375; // ceil(1500 / 4) packets already injected
+        for cycle in 1_500..4_000u64 {
+            if cycle.is_multiple_of(4) {
+                let t = (sent % 16) as u32;
+                resumed.inject_packet(t * 4, 2 * 64 + t * 4 + 1, 2);
+                sent += 1;
+            }
+            resumed.step();
+        }
+        assert!(resumed.drain(50_000));
+        assert_eq!(resumed.stats, reference.stats, "adaptive run must resume bit-identically");
     }
 }

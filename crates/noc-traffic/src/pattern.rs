@@ -26,10 +26,18 @@ pub enum TrafficPattern {
     /// wrapping within the row.
     Neighbor,
     /// A fraction of traffic targets one hot core; the rest is uniform.
+    ///
+    /// When the drawing source *is* the hot core, the packet is redirected
+    /// to a uniformly random other destination (self-addressed packets
+    /// never enter the network) — so the target core itself contributes
+    /// only uniform background, and the effective hot fraction is
+    /// `fraction * (n - 1) / n` across all sources.
     Hotspot {
         /// The hot destination.
         target: u32,
         /// Fraction of packets addressed to `target`, in `[0, 1]`.
+        /// Out-of-range values panic in the RNG draw; validate upstream
+        /// (see `noc-sim`'s spec parser).
         fraction: f64,
     },
     /// Seeded random permutation: core `i` always sends to `perm[i]` where
@@ -253,8 +261,13 @@ mod tests {
     fn hotspot_concentrates_traffic() {
         let mut r = rng();
         let p = TrafficPattern::Hotspot { target: 3, fraction: 0.8 };
+        // From a non-target source the hot fraction applies directly; the
+        // redirect count pins down that no draw was silently self-addressed
+        // (a target-sourced draw would redirect and sink the hit rate).
         let hits = (0..1000).filter(|_| p.dest(7, 64, &mut r) == 3).count();
         assert!(hits > 700, "expected ~800 hotspot hits, got {hits}");
+        let redirects = (0..1000).filter(|_| p.dest(3, 64, &mut r) != 3).count();
+        assert_eq!(redirects, 1000, "the hot core redirects every own draw");
     }
 
     #[test]
