@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use noc_core::{Network, RouterConfig};
-use noc_topology::{paper_suite, Topology};
+use noc_topology::{own, paper_suite, Topology};
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
 fn loaded_network(topo: &dyn Topology, cycles: u64) -> (Network, BernoulliInjector) {
@@ -25,6 +25,49 @@ fn bench_cycle_throughput(c: &mut Criterion) {
             let (mut net, mut inj) = loaded_network(topo.as_ref(), 500);
             b.iter(|| {
                 inj.drive(&mut net, steps);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The active-set fast path: at low offered load almost every router,
+/// channel, bus, and NIC is idle each cycle, so `step()` should cost
+/// O(active components), not O(network size). Tracks the OWN-256/OWN-1024
+/// low-load workloads the `own-experiments bench` gate pins.
+fn bench_idle_heavy_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/idle_heavy");
+    g.sample_size(10);
+    for cores in [256u32, 1024] {
+        let steps: u64 = 500;
+        g.throughput(Throughput::Elements(steps));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("own{cores}")), &cores, |b, &n| {
+            let topo = own(n);
+            let mut net = topo.build(RouterConfig::default());
+            let mut inj = BernoulliInjector::new(0.005, 4, TrafficPattern::Uniform, 42);
+            inj.drive(&mut net, 500);
+            b.iter(|| {
+                inj.drive(&mut net, steps);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A fully quiescent network: every work list is empty, so a step is the
+/// engine's floor cost. Regressions here mean per-cycle overhead crept
+/// back into the idle path.
+fn bench_quiescent_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/quiescent");
+    g.sample_size(10);
+    for cores in [256u32, 1024] {
+        let steps: u64 = 5_000;
+        g.throughput(Throughput::Elements(steps));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("own{cores}")), &cores, |b, &n| {
+            let topo = own(n);
+            let mut net = topo.build(RouterConfig::default());
+            b.iter(|| {
+                net.run(steps);
             });
         });
     }
@@ -59,5 +102,12 @@ fn bench_patterns(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cycle_throughput, bench_network_construction, bench_patterns);
+criterion_group!(
+    benches,
+    bench_cycle_throughput,
+    bench_idle_heavy_stepping,
+    bench_quiescent_stepping,
+    bench_network_construction,
+    bench_patterns
+);
 criterion_main!(benches);

@@ -139,4 +139,27 @@ mod tests {
         let mut a = RoundRobin::new(4);
         assert_eq!(a.grant_among(&[]), None);
     }
+
+    /// The SA stage-2 caller skips a port gracefully on `None` instead of
+    /// unwrapping; that is only fair if an empty request round leaves the
+    /// priority cursor untouched (no requester may lose its turn to a
+    /// no-op round).
+    #[test]
+    fn grant_among_empty_preserves_priority() {
+        let mut a = RoundRobin::new(4);
+        assert_eq!(a.grant_among(&[1]), Some(1)); // priority now at 2
+        assert_eq!(a.grant_among(&[]), None);
+        assert_eq!(a.grant_among(&[]), None);
+        // Priority unchanged by the empty rounds: 2 beats 3 and 0.
+        assert_eq!(a.grant_among(&[0, 2, 3]), Some(2));
+    }
+
+    /// Degenerate arbiter over zero requesters: must not divide by zero or
+    /// grant anything, whatever the request list claims.
+    #[test]
+    fn grant_among_zero_width_arbiter_is_none() {
+        let mut a = RoundRobin::new(0);
+        assert_eq!(a.grant_among(&[]), None);
+        assert_eq!(a.grant(|_| true), None);
+    }
 }

@@ -276,6 +276,11 @@ impl Bus {
     /// Returns the token handoff performed this cycle, if any, with the
     /// grantee's accumulated wait — consumed by the observability layer.
     /// Token movement itself is unaffected by whether anyone listens.
+    ///
+    /// The engine's hot path calls [`Bus::end_cycle_frozen`] directly (it
+    /// threads the fault-schedule freeze flag through); this convenience
+    /// wrapper remains for unit tests.
+    #[cfg(test)]
     pub(crate) fn end_cycle(&mut self, now: Cycle) -> Option<TokenHandoff> {
         self.end_cycle_frozen(now, false)
     }

@@ -20,6 +20,12 @@
 //!    cycle the tail flit enters the bus, so no claim may outlive its
 //!    transmission).
 //! 5. **Buffer bounds** — no input VC buffer exceeds the configured depth.
+//! 6. **Active-set consistency** — the incrementally maintained work
+//!    lists (routers with buffered flits, media with traffic in flight,
+//!    NICs with queued packets, buses owing end-of-cycle processing) and
+//!    the O(1) backlog counter agree with a from-scratch recomputation:
+//!    nothing with pending work is ever skipped, and membership flags
+//!    match list membership exactly.
 
 use crate::network::Network;
 use crate::router::{OutTarget, Upstream, VcState};
@@ -35,6 +41,71 @@ impl Network {
         self.check_bus_credit_conservation();
         self.check_holder_symmetry();
         self.check_bus_ownership_symmetry();
+        self.check_active_sets();
+    }
+
+    /// Invariant 6: every component with pending work is on its phase's
+    /// work list, every flag mirrors list membership, and the O(1)
+    /// counters match recomputation. (Lists may transiently hold entries
+    /// whose work completed mid-phase — those are compacted on the next
+    /// visit — but at a cycle boundary every rule below is exact.)
+    fn check_active_sets(&self) {
+        let flag_matches_list = |name: &str, flags: &[bool], list: &[usize]| {
+            let mut sorted = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), list.len(), "{name} list has duplicate entries: {list:?}");
+            for (i, &f) in flags.iter().enumerate() {
+                assert_eq!(
+                    f,
+                    sorted.binary_search(&i).is_ok(),
+                    "{name} {i}: active flag {f} disagrees with list membership"
+                );
+            }
+        };
+        assert_eq!(
+            self.total_backlog,
+            self.source_backlog() as u64,
+            "O(1) backlog counter diverged from per-NIC recomputation"
+        );
+        for (ri, r) in self.routers.iter().enumerate() {
+            let actual = r.buffered_flits() as u32;
+            assert_eq!(
+                self.router_flits[ri], actual,
+                "router {ri}: tracked flit count {} != buffered {actual}",
+                self.router_flits[ri]
+            );
+            assert_eq!(
+                self.router_active[ri],
+                actual > 0,
+                "router {ri}: active flag wrong for {actual} buffered flits"
+            );
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let busy = !ch.in_flight.is_empty() || !ch.credits_back.is_empty();
+            assert_eq!(self.chan_active[ci], busy, "channel {ci}: delivery work list wrong");
+        }
+        let has_obs = self.has_observer();
+        for (bi, b) in self.buses.iter().enumerate() {
+            let busy = !b.in_flight.is_empty() || !b.credits_back.is_empty();
+            assert_eq!(self.bus_active[bi], busy, "bus {bi}: delivery work list wrong");
+            let ec = b.want_since.iter().any(Option::is_some)
+                || (has_obs && (b.obs_busy || b.is_busy(self.now)));
+            assert_eq!(self.bus_ec_active[bi], ec, "bus {bi}: end-of-cycle work list wrong");
+        }
+        for (ni, n) in self.nics.iter().enumerate() {
+            assert_eq!(
+                self.nic_active[ni],
+                n.backlog() > 0,
+                "nic {ni}: inject work list wrong for backlog {}",
+                n.backlog()
+            );
+        }
+        flag_matches_list("router", &self.router_active, &self.router_list);
+        flag_matches_list("channel", &self.chan_active, &self.chan_list);
+        flag_matches_list("bus", &self.bus_active, &self.bus_list);
+        flag_matches_list("bus-ec", &self.bus_ec_active, &self.bus_ec_list);
+        flag_matches_list("nic", &self.nic_active, &self.nic_list);
     }
 
     fn check_buffer_bounds(&self) {

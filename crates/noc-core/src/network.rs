@@ -41,6 +41,37 @@ pub struct Network {
     pub(crate) next_packet_id: u64,
     /// Scratch: SA candidates `(in_port, in_vc, out_port)` per router.
     scratch_cand: Vec<(usize, usize, usize)>,
+    /// Scratch: SA stage-2 requester in-ports for one output port.
+    scratch_req: Vec<usize>,
+    /// Scratch: per-output-port "granted this pass" stamps, compared
+    /// against `sa_stamp` so the buffer never needs clearing.
+    scratch_op_stamp: Vec<u64>,
+    /// Monotone stamp distinguishing SA stage-2 passes in
+    /// `scratch_op_stamp`. Never reset; not part of any snapshot.
+    sa_stamp: u64,
+    /// Buffered flits per router, maintained at every buffer push/pop. A
+    /// router with zero buffered flits has nothing to do in SA/VCA/RC
+    /// (`Routed`/grantable VCs always hold a flit) and is skipped.
+    pub(crate) router_flits: Vec<u32>,
+    pub(crate) router_active: Vec<bool>,
+    pub(crate) router_list: Vec<usize>,
+    /// Channels with flits or credits in flight (delivery work list).
+    pub(crate) chan_active: Vec<bool>,
+    pub(crate) chan_list: Vec<usize>,
+    /// Buses with flits or credits in flight (delivery work list).
+    pub(crate) bus_active: Vec<bool>,
+    pub(crate) bus_list: Vec<usize>,
+    /// Buses needing end-of-cycle token/streak/observer processing: a
+    /// writer requested the token this cycle, a request streak is still
+    /// recorded, or an attached observer is tracking a busy window.
+    pub(crate) bus_ec_active: Vec<bool>,
+    pub(crate) bus_ec_list: Vec<usize>,
+    /// NICs with a queued or partially streamed packet (inject work list).
+    pub(crate) nic_active: Vec<bool>,
+    pub(crate) nic_list: Vec<usize>,
+    /// Packets offered but not yet fully injected, summed over all NICs:
+    /// always equals [`Network::source_backlog`], maintained in O(1).
+    pub(crate) total_backlog: u64,
     /// Attached event observer, if any. Event emission sites check this
     /// `Option` once and otherwise cost nothing; presence or absence of an
     /// observer never changes simulation behaviour or statistics.
@@ -72,6 +103,7 @@ impl Network {
         let sensors = routing
             .sensor_window()
             .map(|w| Box::new(LinkSensors::new(w, channels.len(), buses.len())));
+        let (nr, nc, nb, nn) = (routers.len(), channels.len(), buses.len(), nics.len());
         Network {
             now: 0,
             routers,
@@ -82,10 +114,76 @@ impl Network {
             routing,
             next_packet_id: 0,
             scratch_cand: Vec::new(),
+            scratch_req: Vec::new(),
+            scratch_op_stamp: Vec::new(),
+            sa_stamp: 0,
+            router_flits: vec![0; nr],
+            router_active: vec![false; nr],
+            router_list: Vec::new(),
+            chan_active: vec![false; nc],
+            chan_list: Vec::new(),
+            bus_active: vec![false; nb],
+            bus_list: Vec::new(),
+            bus_ec_active: vec![false; nb],
+            bus_ec_list: Vec::new(),
+            nic_active: vec![false; nn],
+            nic_list: Vec::new(),
+            total_backlog: 0,
             observer: None,
             fault: None,
             audit_every: 0,
             sensors,
+        }
+    }
+
+    /// Recompute every active-set work list and derived counter from the
+    /// authoritative component state. Called after [`Network::restore`]
+    /// (active sets are reconstructed, never trusted from the wire) — and
+    /// usable from audits to cross-check the incrementally maintained
+    /// state.
+    pub(crate) fn rebuild_active_sets(&mut self) {
+        let now = self.now;
+        let has_obs = self.observer.is_some();
+        self.total_backlog = self.nics.iter().map(|n| n.backlog() as u64).sum();
+        self.router_list.clear();
+        for (ri, r) in self.routers.iter().enumerate() {
+            let flits = r.buffered_flits() as u32;
+            self.router_flits[ri] = flits;
+            self.router_active[ri] = flits > 0;
+            if flits > 0 {
+                self.router_list.push(ri);
+            }
+        }
+        self.chan_list.clear();
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let active = !ch.in_flight.is_empty() || !ch.credits_back.is_empty();
+            self.chan_active[ci] = active;
+            if active {
+                self.chan_list.push(ci);
+            }
+        }
+        self.bus_list.clear();
+        self.bus_ec_list.clear();
+        for (bi, b) in self.buses.iter().enumerate() {
+            let active = !b.in_flight.is_empty() || !b.credits_back.is_empty();
+            self.bus_active[bi] = active;
+            if active {
+                self.bus_list.push(bi);
+            }
+            let ec = b.want_since.iter().any(Option::is_some)
+                || (has_obs && (b.obs_busy || b.is_busy(now)));
+            self.bus_ec_active[bi] = ec;
+            if ec {
+                self.bus_ec_list.push(bi);
+            }
+        }
+        self.nic_list.clear();
+        for (ni, n) in self.nics.iter().enumerate() {
+            let active = n.backlog() > 0;
+            self.nic_active[ni] = active;
+            if active {
+                self.nic_list.push(ni);
+            }
         }
     }
 
@@ -124,10 +222,15 @@ impl Network {
     pub fn set_observer(&mut self, obs: Box<dyn Observer>) {
         self.observer = Some(obs);
         // Seed busy-edge detection from the current medium state so the
-        // first reported transition is a real one.
+        // first reported transition is a real one. A bus caught mid-busy
+        // joins the end-of-cycle work list so its idle edge is reported.
         let now = self.now;
-        for b in &mut self.buses {
+        for (bi, b) in self.buses.iter_mut().enumerate() {
             b.obs_busy = b.is_busy(now);
+            if b.obs_busy && !self.bus_ec_active[bi] {
+                self.bus_ec_active[bi] = true;
+                self.bus_ec_list.push(bi);
+            }
         }
     }
 
@@ -225,6 +328,12 @@ impl Network {
             return None;
         }
         self.stats.packets_offered += 1;
+        self.total_backlog += 1;
+        let ni = src as usize;
+        if !self.nic_active[ni] {
+            self.nic_active[ni] = true;
+            self.nic_list.push(ni);
+        }
         if throttled {
             self.stats.offers_admitted += 1;
         }
@@ -244,9 +353,11 @@ impl Network {
         self.nics.iter().map(|n| n.backlog()).max().unwrap_or(0)
     }
 
-    /// True when no flit exists anywhere in the system.
+    /// True when no flit exists anywhere in the system. O(1): the source
+    /// backlog is tracked incrementally (audited against
+    /// [`Network::source_backlog`] by [`Network::check_invariants`]).
     pub fn quiescent(&self) -> bool {
-        self.source_backlog() == 0 && self.stats.flits_in_network() == 0
+        self.total_backlog == 0 && self.stats.flits_in_network() == 0
     }
 
     /// Advance one cycle.
@@ -260,31 +371,38 @@ impl Network {
         self.vca();
         self.rc();
         self.inject();
+        self.end_cycle_buses();
+        if self.sensors.is_some() {
+            self.sensor_tick(self.now);
+        }
+        self.stats.cycles = self.now;
+        if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
+            self.check_invariants();
+        }
+    }
+
+    /// End-of-cycle bus processing (token streaks/handoffs, sensor waits,
+    /// observer busy/idle edges), restricted to the buses on the work
+    /// list. For every other bus this phase is a proven no-op: with no
+    /// request this cycle, no recorded streak, and no observed busy
+    /// window, `end_cycle_frozen` mutates nothing and the token stays put.
+    fn end_cycle_buses(&mut self) {
+        if self.bus_ec_list.is_empty() {
+            return;
+        }
         let now = self.now;
-        if self.observer.is_none() && self.sensors.is_none() {
-            match self.fault.as_deref() {
-                None => {
-                    for b in &mut self.buses {
-                        b.end_cycle(now);
-                    }
-                }
-                Some(ctx) => {
-                    for (bi, b) in self.buses.iter_mut().enumerate() {
-                        b.end_cycle_frozen(now, ctx.token_frozen(bi, now));
-                    }
-                }
+        // Ascending bus order, as the dense loop visited them.
+        self.bus_ec_list.sort_unstable();
+        let has_obs = self.observer.is_some();
+        let mut list = std::mem::take(&mut self.bus_ec_list);
+        list.retain(|&bi| {
+            let frozen = self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now));
+            let b = &mut self.buses[bi];
+            let handoff = b.end_cycle_frozen(now, frozen);
+            if let (Some(s), Some(h)) = (self.sensors.as_deref_mut(), handoff) {
+                s.add_bus_wait(bi, h.waited);
             }
-        } else {
-            for bi in 0..self.buses.len() {
-                let frozen = self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now));
-                let b = &mut self.buses[bi];
-                let handoff = b.end_cycle_frozen(now, frozen);
-                if let (Some(s), Some(h)) = (self.sensors.as_deref_mut(), handoff) {
-                    s.add_bus_wait(bi, h.waited);
-                }
-                if self.observer.is_none() {
-                    continue;
-                }
+            if has_obs {
                 // Busy/idle edge detection (wireless channel occupancy).
                 let b = &mut self.buses[bi];
                 let busy = b.is_busy(now);
@@ -307,14 +425,15 @@ impl Network {
                     obs.on_event(&ev);
                 }
             }
-        }
-        if self.sensors.is_some() {
-            self.sensor_tick(now);
-        }
-        self.stats.cycles = self.now;
-        if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
-            self.check_invariants();
-        }
+            let b = &self.buses[bi];
+            let keep = b.want_since.iter().any(Option::is_some)
+                || (has_obs && (b.obs_busy || b.is_busy(now)));
+            if !keep {
+                self.bus_ec_active[bi] = false;
+            }
+            keep
+        });
+        self.bus_ec_list = list;
     }
 
     /// Run `n` cycles.
@@ -462,143 +581,242 @@ impl Network {
 
     fn deliver(&mut self) {
         let now = self.now;
-        let Network { routers, channels, buses, stats, fault, observer, .. } = self;
-        for (ci, ch) in channels.iter_mut().enumerate() {
-            while ch.in_flight.front().is_some_and(|&(t, _)| t <= now) {
-                if let Some(ctx) = fault.as_deref_mut() {
-                    let rtt = 2 * u64::from(ch.latency) + u64::from(ch.ser_cycles);
-                    let front = ch.in_flight.front_mut().unwrap();
-                    let (arrival, flit) = (&mut front.0, &mut front.1);
-                    let target = FaultTarget::Channel(ci as ChannelId);
-                    if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now) {
-                        break;
+        // Only media with flits or credits in flight can deliver anything;
+        // both work lists drain to empty queues. Ascending id order is
+        // load-bearing: the shared fault RNG draws in medium order, and
+        // observer events must appear in the dense loop's order.
+        if !self.chan_list.is_empty() {
+            self.chan_list.sort_unstable();
+            let mut list = std::mem::take(&mut self.chan_list);
+            list.retain(|&ci| {
+                let Network {
+                    routers,
+                    channels,
+                    stats,
+                    fault,
+                    observer,
+                    router_flits,
+                    router_active,
+                    router_list,
+                    chan_active,
+                    ..
+                } = &mut *self;
+                let ch = &mut channels[ci];
+                while ch.in_flight.front().is_some_and(|&(t, _)| t <= now) {
+                    if let Some(ctx) = fault.as_deref_mut() {
+                        let rtt = 2 * u64::from(ch.latency) + u64::from(ch.ser_cycles);
+                        let front = ch.in_flight.front_mut().unwrap();
+                        let (arrival, flit) = (&mut front.0, &mut front.1);
+                        let target = FaultTarget::Channel(ci as ChannelId);
+                        if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now)
+                        {
+                            break;
+                        }
+                    }
+                    let (_, flit) = ch.in_flight.pop_front().unwrap();
+                    let (r, p) = ch.dst;
+                    let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+                    vc.buf.push_back((now, flit));
+                    debug_assert!(
+                        vc.buf.len() <= routers[r as usize].buf_depth as usize,
+                        "input buffer overflow at router {r} port {p} — credit protocol violated"
+                    );
+                    stats.buffer_writes[r as usize] += 1;
+                    router_flits[r as usize] += 1;
+                    if !router_active[r as usize] {
+                        router_active[r as usize] = true;
+                        router_list.push(r as usize);
                     }
                 }
-                let (_, flit) = ch.in_flight.pop_front().unwrap();
-                let (r, p) = ch.dst;
-                let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
-                vc.buf.push_back((now, flit));
-                debug_assert!(
-                    vc.buf.len() <= routers[r as usize].buf_depth as usize,
-                    "input buffer overflow at router {r} port {p} — credit protocol violated"
-                );
-                stats.buffer_writes[r as usize] += 1;
-            }
-            while ch.credits_back.front().is_some_and(|&(t, _)| t <= now) {
-                let (_, vc) = ch.credits_back.pop_front().unwrap();
-                let (r, p) = ch.src;
-                routers[r as usize].out_ports[p as usize].vcs[vc as usize].credits += 1;
-            }
+                while ch.credits_back.front().is_some_and(|&(t, _)| t <= now) {
+                    let (_, vc) = ch.credits_back.pop_front().unwrap();
+                    let (r, p) = ch.src;
+                    routers[r as usize].out_ports[p as usize].vcs[vc as usize].credits += 1;
+                }
+                let keep = !ch.in_flight.is_empty() || !ch.credits_back.is_empty();
+                if !keep {
+                    chan_active[ci] = false;
+                }
+                keep
+            });
+            self.chan_list = list;
         }
-        for (bi, bus) in buses.iter_mut().enumerate() {
-            while bus.in_flight.front().is_some_and(|&(t, _, _)| t <= now) {
-                if let Some(ctx) = fault.as_deref_mut() {
-                    let rtt = 2 * u64::from(bus.latency) + u64::from(bus.ser_cycles);
-                    let front = bus.in_flight.front_mut().unwrap();
-                    let (arrival, flit) = (&mut front.0, &mut front.2);
-                    let target = FaultTarget::Bus(bi as BusId);
-                    if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now) {
-                        break;
+        if !self.bus_list.is_empty() {
+            self.bus_list.sort_unstable();
+            let mut list = std::mem::take(&mut self.bus_list);
+            list.retain(|&bi| {
+                let Network {
+                    routers,
+                    buses,
+                    stats,
+                    fault,
+                    observer,
+                    router_flits,
+                    router_active,
+                    router_list,
+                    bus_active,
+                    ..
+                } = &mut *self;
+                let bus = &mut buses[bi];
+                while bus.in_flight.front().is_some_and(|&(t, _, _)| t <= now) {
+                    if let Some(ctx) = fault.as_deref_mut() {
+                        let rtt = 2 * u64::from(bus.latency) + u64::from(bus.ser_cycles);
+                        let front = bus.in_flight.front_mut().unwrap();
+                        let (arrival, flit) = (&mut front.0, &mut front.2);
+                        let target = FaultTarget::Bus(bi as BusId);
+                        if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now)
+                        {
+                            break;
+                        }
+                    }
+                    let (_, reader, flit) = bus.in_flight.pop_front().unwrap();
+                    let (r, p) = bus.readers[reader as usize];
+                    let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+                    vc.buf.push_back((now, flit));
+                    debug_assert!(vc.buf.len() <= routers[r as usize].buf_depth as usize);
+                    stats.buffer_writes[r as usize] += 1;
+                    router_flits[r as usize] += 1;
+                    if !router_active[r as usize] {
+                        router_active[r as usize] = true;
+                        router_list.push(r as usize);
                     }
                 }
-                let (_, reader, flit) = bus.in_flight.pop_front().unwrap();
-                let (r, p) = bus.readers[reader as usize];
-                let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
-                vc.buf.push_back((now, flit));
-                debug_assert!(vc.buf.len() <= routers[r as usize].buf_depth as usize);
-                stats.buffer_writes[r as usize] += 1;
-            }
-            while bus.credits_back.front().is_some_and(|&(t, _, _)| t <= now) {
-                let (_, reader, vc) = bus.credits_back.pop_front().unwrap();
-                bus.credits[reader as usize][vc as usize] += 1;
-            }
+                while bus.credits_back.front().is_some_and(|&(t, _, _)| t <= now) {
+                    let (_, reader, vc) = bus.credits_back.pop_front().unwrap();
+                    bus.credits[reader as usize][vc as usize] += 1;
+                }
+                let keep = !bus.in_flight.is_empty() || !bus.credits_back.is_empty();
+                if !keep {
+                    bus_active[bi] = false;
+                }
+                keep
+            });
+            self.bus_list = list;
         }
     }
 
     // ---- phase 2: switch allocation + traversal ----------------------
 
     fn sa_st(&mut self) {
+        if self.router_list.is_empty() {
+            return;
+        }
+        // Ascending router order is load-bearing: routers compete for bus
+        // credits/tokens during traversal, and observer events must appear
+        // in the dense loop's order. The list is compacted here (the only
+        // phase that pops flits), so VCA/RC reuse it as-is afterwards.
+        self.router_list.sort_unstable();
+        let mut list = std::mem::take(&mut self.router_list);
+        list.retain(|&ri| {
+            self.sa_st_router(ri);
+            let keep = self.router_flits[ri] > 0;
+            if !keep {
+                self.router_active[ri] = false;
+            }
+            keep
+        });
+        self.router_list = list;
+    }
+
+    /// Switch allocation + traversal for one router.
+    fn sa_st_router(&mut self, ri: usize) {
         let now = self.now;
         let mut cand = std::mem::take(&mut self.scratch_cand);
-        for ri in 0..self.routers.len() {
-            cand.clear();
-            // SA stage 1: each input port nominates one eligible VC.
-            {
-                let (routers, buses) = (&mut self.routers, &mut self.buses);
-                let router = &mut routers[ri];
-                // Split so the closure can borrow out_ports immutably while
-                // the arbiter (inside in_ports) is used mutably.
-                let (in_ports, out_ports) = (&mut router.in_ports, &router.out_ports);
-                for (pi, ip) in in_ports.iter_mut().enumerate() {
-                    let crate::router::InPort { vcs, sa_vc_arb, .. } = ip;
-                    let nominee = sa_vc_arb.grant(|vi| {
-                        let vc = &vcs[vi];
-                        let VcState::Active { out_port, out_vc, reader } = vc.state else {
-                            return false;
-                        };
-                        if vc.stage_cycle >= now {
-                            return false;
+        cand.clear();
+        // SA stage 1: each input port nominates one eligible VC.
+        {
+            let Network { routers, buses, bus_ec_active, bus_ec_list, .. } = &mut *self;
+            let router = &mut routers[ri];
+            // Split so the closure can borrow out_ports immutably while
+            // the arbiter (inside in_ports) is used mutably.
+            let (in_ports, out_ports) = (&mut router.in_ports, &router.out_ports);
+            for (pi, ip) in in_ports.iter_mut().enumerate() {
+                let crate::router::InPort { vcs, sa_vc_arb, .. } = ip;
+                let nominee = sa_vc_arb.grant(|vi| {
+                    let vc = &vcs[vi];
+                    let VcState::Active { out_port, out_vc, reader } = vc.state else {
+                        return false;
+                    };
+                    if vc.stage_cycle >= now {
+                        return false;
+                    }
+                    let Some(&(arrived, _)) = vc.buf.front() else { return false };
+                    if arrived >= now {
+                        return false;
+                    }
+                    let op = &out_ports[out_port as usize];
+                    match op.target {
+                        OutTarget::Channel(_) => {
+                            op.busy_until <= now && op.vcs[out_vc as usize].credits > 0
                         }
-                        let Some(&(arrived, _)) = vc.buf.front() else { return false };
-                        if arrived >= now {
-                            return false;
-                        }
-                        let op = &out_ports[out_port as usize];
-                        match op.target {
-                            OutTarget::Channel(_) => {
-                                op.busy_until <= now && op.vcs[out_vc as usize].credits > 0
-                            }
-                            OutTarget::Eject(_) => op.busy_until <= now,
-                            OutTarget::Bus { bus, writer } => {
-                                let b = &mut buses[bus as usize];
-                                // Only a writer that could actually make
-                                // progress (has downstream credits) requests
-                                // the token; a credit-blocked holder must
-                                // release it, otherwise the classic
-                                // token-credit cycle deadlocks the bus: the
-                                // blocked holder fills the reader, whose
-                                // drain waits on a packet whose flits sit at
-                                // another writer waiting for the token.
-                                let has_credit = b.credit(reader, out_vc) > 0;
-                                if has_credit {
-                                    b.wants[writer as usize] = true;
+                        OutTarget::Eject(_) => op.busy_until <= now,
+                        OutTarget::Bus { bus, writer } => {
+                            let b = &mut buses[bus as usize];
+                            // Only a writer that could actually make
+                            // progress (has downstream credits) requests
+                            // the token; a credit-blocked holder must
+                            // release it, otherwise the classic
+                            // token-credit cycle deadlocks the bus: the
+                            // blocked holder fills the reader, whose
+                            // drain waits on a packet whose flits sit at
+                            // another writer waiting for the token.
+                            let has_credit = b.credit(reader, out_vc) > 0;
+                            if has_credit {
+                                b.wants[writer as usize] = true;
+                                // A token request obliges end-of-cycle
+                                // processing (streak bookkeeping, token
+                                // movement) for this bus.
+                                if !bus_ec_active[bus as usize] {
+                                    bus_ec_active[bus as usize] = true;
+                                    bus_ec_list.push(bus as usize);
                                 }
-                                has_credit && b.can_transmit(writer as usize, now)
                             }
+                            has_credit && b.can_transmit(writer as usize, now)
                         }
-                    });
-                    if let Some(vi) = nominee {
-                        let VcState::Active { out_port, .. } = vcs[vi].state else {
-                            unreachable!()
-                        };
-                        cand.push((pi, vi, out_port as usize));
                     }
+                });
+                if let Some(vi) = nominee {
+                    let VcState::Active { out_port, .. } = vcs[vi].state else { unreachable!() };
+                    cand.push((pi, vi, out_port as usize));
                 }
-            }
-            // SA stage 2: each output port grants one nominee; ST for winners.
-            let mut i = 0;
-            while i < cand.len() {
-                let op_idx = cand[i].2;
-                // Collect nominees for this output port (cand is small).
-                let mut requesters: Vec<usize> = Vec::new();
-                for &(pi, _, op) in cand.iter() {
-                    if op == op_idx {
-                        requesters.push(pi);
-                    }
-                }
-                let winner_port = {
-                    let arb = &mut self.routers[ri].out_ports[op_idx].sa_arb;
-                    arb.grant_among(&requesters).unwrap()
-                };
-                let (_, vi, _) =
-                    *cand.iter().find(|&&(pi, _, op)| pi == winner_port && op == op_idx).unwrap();
-                self.traverse(ri, winner_port, vi);
-                // Remove all candidates for this output port.
-                cand.retain(|&(_, _, op)| op != op_idx);
-                // Restart scan (indices shifted).
-                i = 0;
             }
         }
+        // SA stage 2: each output port grants one nominee; ST for winners.
+        // Single pass over the candidates in first-occurrence output-port
+        // order (the order the old retain-and-restart scan produced):
+        // per-pass stamps skip ports already granted, and the requester
+        // list reuses a persistent scratch buffer — no allocation, no
+        // quadratic rescans.
+        let mut req = std::mem::take(&mut self.scratch_req);
+        self.sa_stamp += 1;
+        let stamp = self.sa_stamp;
+        let n_op = self.routers[ri].out_ports.len();
+        if self.scratch_op_stamp.len() < n_op {
+            self.scratch_op_stamp.resize(n_op, 0);
+        }
+        for i in 0..cand.len() {
+            let op_idx = cand[i].2;
+            if self.scratch_op_stamp[op_idx] == stamp {
+                continue;
+            }
+            self.scratch_op_stamp[op_idx] = stamp;
+            // All nominees for this port sit at or after `i` (each in-port
+            // nominates at most once, and `i` is the first occurrence).
+            req.clear();
+            req.extend(cand[i..].iter().filter(|&&(_, _, op)| op == op_idx).map(|&(pi, _, _)| pi));
+            // An empty or unmatched grant skips the port instead of
+            // panicking (`req` always holds at least `cand[i]` here, but
+            // the arbiter contract allows None).
+            let arb = &mut self.routers[ri].out_ports[op_idx].sa_arb;
+            let Some(winner_port) = arb.grant_among(&req) else { continue };
+            let Some(&(_, vi, _)) =
+                cand[i..].iter().find(|&&(pi, _, op)| pi == winner_port && op == op_idx)
+            else {
+                continue;
+            };
+            self.traverse(ri, winner_port, vi);
+        }
+        self.scratch_req = req;
         self.scratch_cand = cand;
     }
 
@@ -616,12 +834,25 @@ impl Network {
             ivc.state = VcState::Idle;
         }
         self.stats.router_traversals[ri] += 1;
+        self.router_flits[ri] -= 1;
 
         // Return the freed buffer slot upstream.
         match router.in_ports[pi].upstream {
-            Upstream::Channel(ch) => self.channels[ch as usize].send_credit(now, vi as u8),
+            Upstream::Channel(ch) => {
+                self.channels[ch as usize].send_credit(now, vi as u8);
+                let ci = ch as usize;
+                if !self.chan_active[ci] {
+                    self.chan_active[ci] = true;
+                    self.chan_list.push(ci);
+                }
+            }
             Upstream::Bus { bus, reader } => {
-                self.buses[bus as usize].send_credit(now, reader, vi as u8)
+                self.buses[bus as usize].send_credit(now, reader, vi as u8);
+                let bi = bus as usize;
+                if !self.bus_active[bi] {
+                    self.bus_active[bi] = true;
+                    self.bus_list.push(bi);
+                }
             }
             Upstream::Inject(core) => {
                 self.nics[core as usize].credits[vi] += 1;
@@ -641,6 +872,10 @@ impl Network {
                 let arrives = now + u64::from(self.channels[ch as usize].latency);
                 self.channels[ch as usize].send(now, flit);
                 self.stats.channel_flits[ch as usize] += 1;
+                if !self.chan_active[ch as usize] {
+                    self.chan_active[ch as usize] = true;
+                    self.chan_list.push(ch as usize);
+                }
                 if let Some(s) = self.sensors.as_deref_mut() {
                     s.add_chan_busy(ch as usize, ser);
                 }
@@ -659,6 +894,10 @@ impl Network {
                 let b = &mut self.buses[bus as usize];
                 b.send(now, writer as usize, reader, flit);
                 self.stats.bus_flits[bus as usize] += 1;
+                if !self.bus_active[bus as usize] {
+                    self.bus_active[bus as usize] = true;
+                    self.bus_list.push(bus as usize);
+                }
                 if is_tail {
                     b.vc_owner[reader as usize][out_vc as usize] = None;
                 }
@@ -735,14 +974,19 @@ impl Network {
 
     fn vca(&mut self) {
         let now = self.now;
-        let (routers, buses) = (&mut self.routers, &mut self.buses);
-        for router in routers.iter_mut() {
-            router.vca_offset = router.vca_offset.wrapping_add(1);
+        // Only routers holding flits can have a `Routed` VC (routes are
+        // computed on buffered heads, and the flits stay put until SA).
+        let Network { routers, buses, router_list, .. } = &mut *self;
+        for &ri in router_list.iter() {
+            let router = &mut routers[ri];
             let np = router.in_ports.len();
             if np == 0 {
                 continue;
             }
-            let start = router.vca_offset % np;
+            // The rotating offset always equalled `now` (incremented once
+            // per cycle from 0), so derive it instead of storing it — a
+            // skipped router then stays in lockstep for free.
+            let start = (now as usize) % np;
             for k in 0..np {
                 let pi = (start + k) % np;
                 for vi in 0..router.in_ports[pi].vcs.len() {
@@ -756,8 +1000,12 @@ impl Network {
 
     fn rc(&mut self) {
         let now = self.now;
-        let (routers, buses, routing) = (&mut self.routers, &mut self.buses, &self.routing);
-        for router in routers.iter_mut() {
+        // Idle VCs with a buffered head exist only at routers on the work
+        // list (a route needs a flit to route).
+        let Network { routers, buses, routing, router_list, .. } = &mut *self;
+        let routing = &*routing;
+        for &ri in router_list.iter() {
+            let router = &mut routers[ri];
             let rid = router.id;
             let speculative = router.speculative;
             for pi in 0..router.in_ports.len() {
@@ -803,26 +1051,51 @@ impl Network {
     // ---- phase 5: injection -------------------------------------------
 
     fn inject(&mut self) {
+        if self.nic_list.is_empty() {
+            return;
+        }
         let now = self.now;
-        for nic in &mut self.nics {
+        // Ascending core order (observer event order); a NIC leaves the
+        // list once its queue and streaming slot are both empty — an empty
+        // NIC's `next_flit` is a no-op, so skipping it changes nothing.
+        self.nic_list.sort_unstable();
+        let mut list = std::mem::take(&mut self.nic_list);
+        list.retain(|&ni| {
+            let nic = &mut self.nics[ni];
+            let (rid, in_port, core) = (nic.router as usize, nic.in_port as usize, nic.core);
             if let Some(flit) = nic.next_flit(now) {
-                let r = &mut self.routers[nic.router as usize];
-                let ivc = &mut r.in_ports[nic.in_port as usize].vcs[flit.vc as usize];
+                if flit.kind.is_tail() {
+                    self.total_backlog -= 1;
+                }
+                let r = &mut self.routers[rid];
+                let ivc = &mut r.in_ports[in_port].vcs[flit.vc as usize];
                 ivc.buf.push_back((now, flit));
                 debug_assert!(ivc.buf.len() <= r.buf_depth as usize);
                 self.stats.flits_injected += 1;
-                self.stats.buffer_writes[nic.router as usize] += 1;
+                self.stats.buffer_writes[rid] += 1;
+                self.router_flits[rid] += 1;
+                if !self.router_active[rid] {
+                    self.router_active[rid] = true;
+                    self.router_list.push(rid);
+                }
                 if flit.kind.is_head() {
                     if let Some(obs) = self.observer.as_deref_mut() {
                         obs.on_event(&NocEvent::PacketInjected {
                             at: now,
                             packet: flit.packet_id,
-                            src: nic.core,
+                            src: core,
                         });
                     }
                 }
             }
-        }
+            let nic = &self.nics[ni];
+            let keep = !nic.queue.is_empty() || nic.streaming.is_some();
+            if !keep {
+                self.nic_active[ni] = false;
+            }
+            keep
+        });
+        self.nic_list = list;
     }
 }
 

@@ -108,8 +108,6 @@ pub struct Router {
     pub(crate) buf_depth: u32,
     /// Speculative RC+VCA (see [`crate::RouterConfig::speculative`]).
     pub(crate) speculative: bool,
-    /// Rotating offset for VCA input scan fairness.
-    pub(crate) vca_offset: usize,
     /// Radix override for power accounting. Topologies that model one
     /// physical port as several logical engine ports (e.g. wavelength
     /// groups on one waveguide) set this to the physical port count.
@@ -125,7 +123,6 @@ impl Router {
             vcs,
             buf_depth,
             speculative,
-            vca_offset: 0,
             power_radix: None,
         }
     }

@@ -121,6 +121,11 @@ pub struct OutPortSnap {
 pub struct RouterSnap {
     pub in_ports: Vec<InPortSnap>,
     pub out_ports: Vec<OutPortSnap>,
+    /// Historical field, kept for checkpoint-format compatibility. The VCA
+    /// scan offset was a per-router counter incremented once per cycle
+    /// from 0, so it always equalled the cycle number; the engine now
+    /// derives it from `now` directly. Written as `now`, ignored on
+    /// restore.
     pub vca_offset: usize,
 }
 
@@ -222,6 +227,7 @@ macro_rules! ensure {
 impl Network {
     /// Capture the complete dynamic state at the current cycle boundary.
     pub fn snapshot(&self) -> NetworkSnapshot {
+        let vca_offset = self.now as usize;
         let routers = self
             .routers
             .iter()
@@ -255,7 +261,7 @@ impl Network {
                         sa_cursor: op.sa_arb.cursor(),
                     })
                     .collect(),
-                vca_offset: r.vca_offset,
+                vca_offset,
             })
             .collect();
         let channels = self
@@ -342,7 +348,6 @@ impl Network {
         self.routing.load_state(&snap.routing);
 
         for (r, rs) in self.routers.iter_mut().zip(&snap.routers) {
-            r.vca_offset = rs.vca_offset;
             for (ip, ips) in r.in_ports.iter_mut().zip(&rs.in_ports) {
                 ip.sa_vc_arb.set_cursor(ips.sa_vc_cursor);
                 for (vc, vcs) in ip.vcs.iter_mut().zip(&ips.vcs) {
@@ -407,6 +412,9 @@ impl Network {
                 b.obs_busy = b.is_busy(now);
             }
         }
+        // Active-set work lists are derived state: reconstruct them from
+        // the restored buffers/queues rather than trusting the wire.
+        self.rebuild_active_sets();
         Ok(())
     }
 

@@ -1,0 +1,372 @@
+//! Engine benchmark gate: canonical workloads with a pinned perf trajectory.
+//!
+//! The paper's evaluation is simulation-bound: every additional sweep point
+//! (load × pattern × posture × seed) costs one full engine run, so the
+//! cycles-per-second of [`noc_core::Network::step`] bounds how much of the
+//! design space a session can cover. This module pins that number.
+//!
+//! [`run_suite`] executes the canonical OWN-256/OWN-1024 workloads — uniform
+//! low-load, uniform near-saturation, and hotspot with the overload stack
+//! engaged — each for a **fixed cycle budget** with a pinned seed, and
+//! reports wall-clock, cycles/sec and (on Linux) peak RSS. The `bench`
+//! subcommand of `own-experiments` writes the result as JSON; the repository
+//! commits a `BENCH_<pr>.json` baseline and CI re-runs a tiny-budget suite
+//! against it, failing on a large regression (see
+//! [`compare_to_baseline`]).
+//!
+//! Workload construction is deterministic (fixed topology, seed, rate), so
+//! two runs of the same binary simulate *identical* work; only the wall
+//! clock varies. Timing covers stepping only — topology construction is
+//! excluded, keeping tiny CI budgets comparable to full local budgets.
+
+use std::time::Instant;
+
+use serde_json::Value;
+
+use noc_core::RouterConfig;
+use noc_topology::{own, Own256Reconfig, ReconfigPolicy, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+/// Schema identifier written into (and required from) bench JSON files.
+pub const SCHEMA: &str = "own-noc-bench/v1";
+
+/// Default cycle budget for a local bench run.
+pub const DEFAULT_CYCLES: u64 = 20_000;
+
+/// Traffic seed for all bench workloads (same default as `SimConfig`).
+const SEED: u64 = 0x0517_2018;
+
+/// Offered load for the "low" workloads: most of the chip idles each cycle.
+const LOW_RATE: f64 = 0.005;
+
+/// Offered load for the near-saturation and hotspot workloads.
+const SAT_RATE: f64 = 0.04;
+
+/// One canonical workload: how to build it and how to drive it.
+struct Workload {
+    name: &'static str,
+    cores: u32,
+    rate: f64,
+    pattern: TrafficPattern,
+    /// Human-readable pattern/posture label for the JSON.
+    label: &'static str,
+    /// Overload stack: adaptive spare-band reconfig (OWN-256 only).
+    adaptive: bool,
+    /// NIC admission-control watermarks.
+    throttle: Option<(u32, u32)>,
+}
+
+/// The canonical suite: three workloads per scale. The OWN-1024 hotspot
+/// runs with admission control but without the adaptive controller (the
+/// spare-band reconfig topology exists at 256 cores).
+fn suite() -> Vec<Workload> {
+    let hotspot = TrafficPattern::Hotspot { target: 0, fraction: 0.2 };
+    vec![
+        Workload {
+            name: "own256-uniform-low",
+            cores: 256,
+            rate: LOW_RATE,
+            pattern: TrafficPattern::Uniform,
+            label: "uniform",
+            adaptive: false,
+            throttle: None,
+        },
+        Workload {
+            name: "own256-uniform-sat",
+            cores: 256,
+            rate: SAT_RATE,
+            pattern: TrafficPattern::Uniform,
+            label: "uniform",
+            adaptive: false,
+            throttle: None,
+        },
+        Workload {
+            name: "own256-hotspot-adaptive",
+            cores: 256,
+            rate: SAT_RATE,
+            pattern: hotspot,
+            label: "hotspot+adaptive+throttle",
+            adaptive: true,
+            throttle: Some((16, 4)),
+        },
+        Workload {
+            name: "own1024-uniform-low",
+            cores: 1024,
+            rate: LOW_RATE,
+            pattern: TrafficPattern::Uniform,
+            label: "uniform",
+            adaptive: false,
+            throttle: None,
+        },
+        Workload {
+            name: "own1024-uniform-sat",
+            cores: 1024,
+            rate: SAT_RATE,
+            pattern: TrafficPattern::Uniform,
+            label: "uniform",
+            adaptive: false,
+            throttle: None,
+        },
+        Workload {
+            name: "own1024-hotspot-throttle",
+            cores: 1024,
+            rate: SAT_RATE,
+            pattern: hotspot,
+            label: "hotspot+throttle",
+            adaptive: false,
+            throttle: Some((16, 4)),
+        },
+    ]
+}
+
+/// Measured outcome of one workload.
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    pub name: String,
+    pub cores: u32,
+    pub rate: f64,
+    pub label: String,
+    pub cycles: u64,
+    pub wall_ms: f64,
+    pub cycles_per_sec: f64,
+    /// Flits delivered during the run — a cheap cross-check that two
+    /// binaries benchmarked the same work, not just the same wall clock.
+    pub flits_ejected: u64,
+}
+
+/// Run one workload for `cycles` cycles and time the stepping loop.
+fn run_one(w: &Workload, cycles: u64) -> BenchOutcome {
+    let mut router = RouterConfig::default();
+    if let Some((high, low)) = w.throttle {
+        router = router.with_throttle(high, low);
+    }
+    let mut net = if w.adaptive {
+        Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 }).build(router)
+    } else {
+        own(w.cores).build(router)
+    };
+    let mut inj = BernoulliInjector::new(w.rate, 4, w.pattern, SEED);
+    let t0 = Instant::now();
+    inj.drive(&mut net, cycles);
+    let wall = t0.elapsed().as_secs_f64();
+    BenchOutcome {
+        name: w.name.to_string(),
+        cores: w.cores,
+        rate: w.rate,
+        label: w.label.to_string(),
+        cycles,
+        wall_ms: wall * 1e3,
+        cycles_per_sec: if wall > 0.0 { cycles as f64 / wall } else { 0.0 },
+        flits_ejected: net.stats.flits_ejected,
+    }
+}
+
+/// Run the canonical suite, `cycles` engine cycles per workload.
+/// `progress` prints one stderr line per finished workload.
+pub fn run_suite(cycles: u64, progress: bool) -> Vec<BenchOutcome> {
+    suite()
+        .iter()
+        .map(|w| {
+            let r = run_one(w, cycles);
+            if progress {
+                eprintln!(
+                    "[bench] {}: {:.1} ms, {:.0} kcycles/s",
+                    r.name,
+                    r.wall_ms,
+                    r.cycles_per_sec / 1e3
+                );
+            }
+            r
+        })
+        .collect()
+}
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`), if cheap
+/// to obtain on this platform.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Serialize a suite run to the bench JSON format. `baseline` (a previous
+/// run's parsed file) adds `before_cycles_per_sec`/`speedup` per workload.
+pub fn to_json(results: &[BenchOutcome], baseline: Option<&BaselineFile>) -> String {
+    let workloads: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            let mut m = serde_json::Map::new();
+            m.insert("name".into(), Value::String(r.name.clone()));
+            m.insert("cores".into(), Value::Number(r.cores as f64));
+            m.insert("rate".into(), Value::Number(r.rate));
+            m.insert("workload".into(), Value::String(r.label.clone()));
+            m.insert("cycles".into(), Value::Number(r.cycles as f64));
+            m.insert("wall_ms".into(), Value::Number(r.wall_ms));
+            m.insert("cycles_per_sec".into(), Value::Number(r.cycles_per_sec));
+            m.insert("flits_ejected".into(), Value::Number(r.flits_ejected as f64));
+            if let Some(before) = baseline.and_then(|b| b.cycles_per_sec(&r.name)) {
+                m.insert("before_cycles_per_sec".into(), Value::Number(before));
+                m.insert("speedup".into(), Value::Number(r.cycles_per_sec / before));
+            }
+            Value::Object(m)
+        })
+        .collect();
+    let mut doc = serde_json::Map::new();
+    doc.insert("schema".into(), Value::String(SCHEMA.into()));
+    doc.insert(
+        "budget_cycles".into(),
+        Value::Number(results.first().map_or(0, |r| r.cycles) as f64),
+    );
+    doc.insert(
+        "peak_rss_kb".into(),
+        peak_rss_kb().map_or(Value::Null, |kb| Value::Number(kb as f64)),
+    );
+    doc.insert("workloads".into(), Value::Array(workloads));
+    serde_json::to_string_pretty(&Value::Object(doc)).expect("bench JSON serialization")
+}
+
+/// A parsed bench baseline file (e.g. the committed `BENCH_5.json`).
+#[derive(Debug)]
+pub struct BaselineFile {
+    entries: Vec<(String, f64)>,
+}
+
+impl BaselineFile {
+    /// Parse and schema-check a bench JSON document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+        let schema = v.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+        }
+        let workloads = v
+            .get("workloads")
+            .and_then(|w| w.as_array())
+            .ok_or("missing workloads array".to_string())?;
+        let mut entries = Vec::new();
+        for w in workloads {
+            let name = w
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or("workload without a name".to_string())?;
+            let cps = w
+                .get("cycles_per_sec")
+                .and_then(|c| c.as_f64())
+                .ok_or_else(|| format!("workload {name} lacks cycles_per_sec"))?;
+            if !(cps.is_finite() && cps > 0.0) {
+                return Err(format!("workload {name}: cycles_per_sec {cps} not positive"));
+            }
+            entries.push((name.to_string(), cps));
+        }
+        if entries.is_empty() {
+            return Err("workloads array is empty".into());
+        }
+        Ok(BaselineFile { entries })
+    }
+
+    /// Baseline cycles/sec for a workload name, if present.
+    pub fn cycles_per_sec(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+    }
+}
+
+/// Compare a fresh suite run against a committed baseline. Returns the
+/// workloads slower than `baseline / max_slowdown` (the regressions) as
+/// human-readable lines; an empty vector means the gate passes. Workloads
+/// missing from the baseline are ignored (new workloads are not
+/// regressions).
+pub fn compare_to_baseline(
+    results: &[BenchOutcome],
+    baseline: &BaselineFile,
+    max_slowdown: f64,
+) -> Vec<String> {
+    assert!(max_slowdown >= 1.0, "max_slowdown is a factor >= 1");
+    let mut regressions = Vec::new();
+    for r in results {
+        let Some(before) = baseline.cycles_per_sec(&r.name) else { continue };
+        if r.cycles_per_sec < before / max_slowdown {
+            regressions.push(format!(
+                "{}: {:.0} cycles/s is {:.2}x slower than baseline {:.0}",
+                r.name,
+                r.cycles_per_sec,
+                before / r.cycles_per_sec,
+                before,
+            ));
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, cps: f64) -> BenchOutcome {
+        BenchOutcome {
+            name: name.into(),
+            cores: 256,
+            rate: 0.005,
+            label: "uniform".into(),
+            cycles: 100,
+            wall_ms: 1.0,
+            cycles_per_sec: cps,
+            flits_ejected: 42,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_baseline_parser() {
+        let results = vec![outcome("own256-uniform-low", 1e6), outcome("other", 5e5)];
+        let text = to_json(&results, None);
+        let base = BaselineFile::parse(&text).expect("own output must parse");
+        assert_eq!(base.cycles_per_sec("own256-uniform-low"), Some(1e6));
+        assert_eq!(base.cycles_per_sec("missing"), None);
+    }
+
+    #[test]
+    fn baseline_annotations_compute_speedup() {
+        let before = to_json(&[outcome("w", 1e6)], None);
+        let base = BaselineFile::parse(&before).unwrap();
+        let after = to_json(&[outcome("w", 2e6)], Some(&base));
+        let v: Value = serde_json::from_str(&after).unwrap();
+        let w = &v["workloads"][0];
+        assert_eq!(w["before_cycles_per_sec"].as_f64(), Some(1e6));
+        assert_eq!(w["speedup"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(BaselineFile::parse("not json").is_err());
+        assert!(BaselineFile::parse(r#"{"schema":"wrong","workloads":[]}"#).is_err());
+        let no_cps = format!(r#"{{"schema":"{SCHEMA}","workloads":[{{"name":"x"}}]}}"#);
+        assert!(BaselineFile::parse(&no_cps).is_err());
+        let empty = format!(r#"{{"schema":"{SCHEMA}","workloads":[]}}"#);
+        assert!(BaselineFile::parse(&empty).is_err());
+    }
+
+    #[test]
+    fn gate_flags_only_real_regressions() {
+        let base = BaselineFile::parse(&to_json(&[outcome("w", 1e6)], None)).unwrap();
+        // 1.5x slower than baseline: inside the 2x budget.
+        assert!(compare_to_baseline(&[outcome("w", 6.6e5)], &base, 2.0).is_empty());
+        // 2.5x slower: flagged.
+        let regs = compare_to_baseline(&[outcome("w", 4e5)], &base, 2.0);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains('w'), "{regs:?}");
+        // Workloads absent from the baseline never regress.
+        assert!(compare_to_baseline(&[outcome("new", 1.0)], &base, 2.0).is_empty());
+    }
+
+    #[test]
+    fn smoke_suite_runs_a_tiny_budget() {
+        // One real engine run per workload keeps the gate honest; 60
+        // cycles is enough to exercise construction + stepping.
+        let results = run_suite(60, false);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert_eq!(r.cycles, 60);
+            assert!(r.cycles_per_sec > 0.0, "{}: no throughput", r.name);
+        }
+    }
+}

@@ -59,6 +59,19 @@
 //! livelock/deadlock prints the structured stall report on stderr and
 //! exits with status 3 so CI can fail the job.
 //!
+//! Benchmark flags (consumed by the `bench` experiment):
+//!
+//! * `--bench-cycles <n>` — engine cycles per bench workload (default
+//!   20000; CI smoke runs use a tiny budget).
+//! * `--bench-out <file>` — write the bench JSON there instead of stdout.
+//! * `--bench-baseline <file>` — compare against a previous bench JSON
+//!   (e.g. the committed `BENCH_5.json`); annotates each workload with
+//!   `before_cycles_per_sec`/`speedup` and exits 5 when any workload runs
+//!   more than 2x slower than its baseline.
+//!
+//! `--threads <n>` caps the global rayon pool (sweeps and bench runs) so
+//! results are reproducible on shared machines.
+//!
 //! Unknown experiment names and unreadable `--spec` files are diagnosed
 //! before anything runs, and exit with status 2.
 
@@ -115,6 +128,7 @@ const KNOWN: &[&str] = &[
     "overload-smoke",
     "own256",
     "own1024",
+    "bench",
 ];
 
 fn main() {
@@ -133,6 +147,10 @@ fn main() {
     let mut resilience_opts = ResilienceOpts::default();
     let mut overload_opts = OverloadOpts::default();
     let mut durability = DurabilityOpts::default();
+    let mut threads: Option<usize> = None;
+    let mut bench_cycles: u64 = noc_sim::bench::DEFAULT_CYCLES;
+    let mut bench_out: Option<String> = None;
+    let mut bench_baseline: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
@@ -274,6 +292,49 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--threads requires a thread count");
+                    std::process::exit(2);
+                };
+                let n: usize = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: not a thread count: {s}");
+                    std::process::exit(2);
+                });
+                if n < 1 {
+                    eprintln!("--threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads = Some(n);
+            }
+            "--bench-cycles" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--bench-cycles requires a cycle count");
+                    std::process::exit(2);
+                };
+                bench_cycles = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--bench-cycles: not a cycle count: {s}");
+                    std::process::exit(2);
+                });
+                if bench_cycles == 0 {
+                    eprintln!("--bench-cycles must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--bench-out" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("--bench-out requires an output file path");
+                    std::process::exit(2);
+                };
+                bench_out = Some(f.clone());
+            }
+            "--bench-baseline" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("--bench-baseline requires a bench JSON file");
+                    std::process::exit(2);
+                };
+                bench_baseline = Some(f.clone());
+            }
             "--quick" => budget = Budget::quick(),
             "--full" => budget = Budget::full(),
             "--csv" => csv = true,
@@ -290,6 +351,11 @@ fn main() {
     }
     budget.sample_every = sample_interval;
     noc_sim::sweep::set_progress(progress);
+    if let Some(n) = threads {
+        // rayon sizes its global pool from RAYON_NUM_THREADS on first use;
+        // nothing has touched the pool yet this early in main.
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
 
     if wanted.iter().any(|w| w == "all") {
         wanted = [
@@ -343,6 +409,18 @@ fn main() {
         eprintln!("--checkpoint-every/--resume require --checkpoint-dir");
         std::process::exit(2);
     }
+    // Read and schema-check the bench baseline before any workload runs,
+    // so a bad path fails fast instead of after minutes of benchmarking.
+    let baseline: Option<noc_sim::BaselineFile> = bench_baseline.as_ref().map(|f| {
+        let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+            eprintln!("--bench-baseline: cannot read {f}: {e}");
+            std::process::exit(2);
+        });
+        noc_sim::BaselineFile::parse(&text).unwrap_or_else(|e| {
+            eprintln!("--bench-baseline: {f}: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let emit = |r: &Report| {
         if json {
@@ -433,6 +511,7 @@ fn main() {
             "overload-smoke" => run_overload_smoke(budget, &overload_opts),
             "own256" => run_own(256, budget, sample_interval, &durability),
             "own1024" => run_own(1024, budget, sample_interval, &durability),
+            "bench" => run_bench(bench_cycles, bench_out.as_deref(), baseline.as_ref(), progress),
             other => unreachable!("validated above: {other}"),
         }
         if progress {
@@ -447,7 +526,8 @@ fn usage() {
          [--trace out.json] [--sample-interval n] [--spec file.json]... \
          [--faults spec] [--ber rate] [--retry-limit n] \
          [--throttle high:low] [--reconfig adaptive:epoch:hysteresis] \
-         [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] <experiment|all>..."
+         [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] [--threads n] \
+         [--bench-cycles n] [--bench-out file] [--bench-baseline file] <experiment|all>..."
     );
     eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
     eprintln!(
@@ -459,6 +539,43 @@ fn usage() {
          on stall, 4 on flapping)"
     );
     eprintln!("long runs:   own256 own1024 (honor checkpoint/resume/audit flags)");
+    eprintln!(
+        "benchmark:   bench (honors --bench-cycles/--bench-out/--bench-baseline/--threads; \
+         exits 5 on >2x regression vs the baseline)"
+    );
+}
+
+/// Run the canonical engine benchmark suite and emit the bench JSON.
+/// With a baseline, each workload gains `before_cycles_per_sec`/`speedup`
+/// and any workload more than 2x slower than its baseline exits 5.
+fn run_bench(
+    cycles: u64,
+    out: Option<&str>,
+    baseline: Option<&noc_sim::BaselineFile>,
+    progress: bool,
+) {
+    let results = noc_sim::run_bench_suite(cycles, progress);
+    let doc = noc_sim::bench::to_json(&results, baseline);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("--bench-out: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[bench] wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+    if let Some(base) = baseline {
+        let regressions = noc_sim::compare_to_baseline(&results, base, 2.0);
+        if !regressions.is_empty() {
+            eprintln!("[bench] perf regression vs baseline:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(5);
+        }
+    }
 }
 
 /// Build a simulation honoring the durability flags: resume from the

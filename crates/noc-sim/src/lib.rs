@@ -18,6 +18,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bench;
 pub mod chart;
 pub mod checkpoint;
 pub mod experiments;
@@ -28,6 +29,7 @@ pub mod sim;
 pub mod spec;
 pub mod sweep;
 
+pub use bench::{compare_to_baseline, run_suite as run_bench_suite, BaselineFile, BenchOutcome};
 pub use checkpoint::{latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint};
 pub use metrics::{EngineProfile, SimResult};
 pub use obs::{RingRecorder, Sample, SampleSeries};

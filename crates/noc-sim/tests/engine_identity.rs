@@ -1,0 +1,268 @@
+//! Engine bit-identity goldens: the hot-path optimizations (allocation-free
+//! switch allocation, active-set stepping) must not change a single
+//! observable result. These tests pin same-seed `NetStats` fingerprints with
+//! the **full** observability/resilience/overload stack active — observer,
+//! utilization sensors, fault schedule + bit-error process, NIC admission
+//! control, adaptive spare-band reconfiguration, periodic invariant audit —
+//! so every engine code path that the optimizations touch participates in
+//! the fingerprint. A changed value here is a changed simulation result and
+//! must be a conscious decision, never a silent side effect of a speedup.
+//!
+//! The checkpoint contract is covered by the same stack: resuming from a
+//! mid-run snapshot must land on the identical fingerprint (active-set
+//! state is reconstructed on `restore()`, not trusted from the wire).
+
+use noc_core::fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};
+use noc_core::{CountingObserver, NetStats, Network, RouterConfig};
+use noc_topology::{own, Own256Reconfig, ReconfigPolicy, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+use proptest::prelude::*;
+
+/// Traffic seed (the `SimConfig` default).
+const SEED: u64 = 0x0517_2018;
+
+/// Cycles driven by the OWN-256 golden runs.
+const RUN_256: u64 = 3_000;
+
+/// Cycles driven by the OWN-1024 smoke golden.
+const RUN_1024: u64 = 1_200;
+
+// ---- fingerprinting ----------------------------------------------------
+
+fn mix(h: &mut u64, x: u64) {
+    *h ^= x;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+fn mix_slice(h: &mut u64, xs: &[u64]) {
+    mix(h, xs.len() as u64);
+    for &x in xs {
+        mix(h, x);
+    }
+}
+
+fn mix_hist(h: &mut u64, hist: &noc_core::stats::LatencyHist) {
+    mix(h, hist.bucket_width);
+    mix_slice(h, &hist.buckets);
+    mix(h, hist.count);
+    mix(h, hist.sum);
+    mix(h, hist.max);
+}
+
+/// FNV-1a over every field of [`NetStats`], in declaration order. Any
+/// engine change that alters any counter, histogram bucket, or per-link
+/// tally for a pinned seed changes this value.
+fn fingerprint(s: &NetStats) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    mix(&mut h, s.cycles);
+    mix(&mut h, s.packets_offered);
+    mix(&mut h, s.flits_injected);
+    mix(&mut h, s.flits_ejected);
+    mix(&mut h, s.packets_delivered);
+    mix_slice(&mut h, &s.channel_flits);
+    mix_slice(&mut h, &s.bus_flits);
+    mix_slice(&mut h, &s.router_traversals);
+    mix_slice(&mut h, &s.buffer_writes);
+    mix_hist(&mut h, &s.latency);
+    mix_hist(&mut h, &s.queue_delay);
+    mix_hist(&mut h, &s.network_latency);
+    mix(&mut h, s.measured_flits_ejected);
+    mix(&mut h, s.measure_from);
+    mix(&mut h, s.measure_until);
+    mix_slice(&mut h, &s.per_core_ejected);
+    mix_slice(&mut h, &s.per_core_packets);
+    mix(&mut h, s.flits_corrupted);
+    mix(&mut h, s.flit_retransmits);
+    mix(&mut h, s.packets_dropped_corrupt);
+    mix(&mut h, s.offers_rejected);
+    mix(&mut h, s.offers_shed);
+    mix(&mut h, s.offers_deferred);
+    mix(&mut h, s.offers_admitted);
+    mix(&mut h, s.failovers);
+    mix(&mut h, s.first_fault_at.map_or(u64::MAX, |c| c));
+    mix(&mut h, s.first_failover_at.map_or(u64::MAX, |c| c));
+    mix_hist(&mut h, &s.post_fault_latency);
+    h
+}
+
+// ---- full-stack network builders ---------------------------------------
+
+/// A fault posture that exercises every resilience path: a transient bus
+/// blackout, a frozen token ring, and a background bit-error process on
+/// every channel and bus (corruption → NACK/retransmit → occasional
+/// poisoned drops).
+fn fault_posture(n_channels: usize, n_buses: usize) -> FaultConfig {
+    FaultConfig {
+        schedule: FaultSchedule::new()
+            .with(FaultEvent::transient(600, FaultTarget::Bus(0), 400))
+            .with(FaultEvent::transient(900, FaultTarget::TokenRing(1), 200)),
+        channel_ber: vec![1e-5; n_channels],
+        bus_ber: vec![5e-6; n_buses],
+        ..Default::default()
+    }
+}
+
+/// OWN-256 with the complete PR 1–4 stack: adaptive spare-band reconfig
+/// (which enables the link sensors), NIC admission control, faults + BER,
+/// an attached observer, and the periodic invariant audit.
+fn full_stack_256() -> Network {
+    let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 });
+    let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+    let faults = fault_posture(net.channels().len(), net.buses().len());
+    net.attach_faults(faults);
+    net.set_observer(Box::new(CountingObserver::new()));
+    net.set_audit_interval(512);
+    net
+}
+
+/// OWN-1024 smoke posture: admission control, faults + BER, observer,
+/// audit (no adaptive controller exists at this scale).
+fn full_stack_1024() -> Network {
+    let topo = own(1024);
+    let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+    let faults = fault_posture(net.channels().len(), net.buses().len());
+    net.attach_faults(faults);
+    net.set_observer(Box::new(CountingObserver::new()));
+    net.set_audit_interval(1024);
+    net
+}
+
+fn hotspot() -> TrafficPattern {
+    TrafficPattern::Hotspot { target: 0, fraction: 0.2 }
+}
+
+// ---- pinned goldens ----------------------------------------------------
+//
+// Captured from the pre-optimization engine (PR 4 head) at the pinned seed.
+// The optimized engine must reproduce them bit for bit.
+
+const GOLDEN_256_FP: u64 = 0x5fed_4b7d_8cd3_3cc0;
+const GOLDEN_256_INJECTED: u64 = 21_985;
+const GOLDEN_256_EJECTED: u64 = 19_480;
+const GOLDEN_256_DELIVERED: u64 = 4_866;
+const GOLDEN_256_SHED: u64 = 454;
+const GOLDEN_256_RETRANSMITS: u64 = 74;
+
+const GOLDEN_1024_FP: u64 = 0xd12f_0409_bfa1_02c0;
+const GOLDEN_1024_INJECTED: u64 = 12_338;
+const GOLDEN_1024_EJECTED: u64 = 12_148;
+const GOLDEN_1024_DELIVERED: u64 = 3_028;
+const GOLDEN_1024_RETRANSMITS: u64 = 44;
+
+/// Prints the current engine's golden values (run with `--ignored
+/// --nocapture` to re-capture after an *intentional* semantic change).
+#[test]
+#[ignore = "golden capture helper, not a check"]
+fn capture_goldens() {
+    let mut net = full_stack_256();
+    let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj.drive(&mut net, RUN_256);
+    let s = &net.stats;
+    println!(
+        "256: fp={:#018x} injected={} ejected={} delivered={} shed={} retrans={}",
+        fingerprint(s),
+        s.flits_injected,
+        s.flits_ejected,
+        s.packets_delivered,
+        s.offers_shed,
+        s.flit_retransmits
+    );
+    let mut net = full_stack_1024();
+    let mut inj = BernoulliInjector::new(0.01, 4, TrafficPattern::Uniform, SEED);
+    inj.drive(&mut net, RUN_1024);
+    let s = &net.stats;
+    println!(
+        "1024: fp={:#018x} injected={} ejected={} delivered={} retrans={}",
+        fingerprint(s),
+        s.flits_injected,
+        s.flits_ejected,
+        s.packets_delivered,
+        s.flit_retransmits
+    );
+}
+
+#[test]
+fn own256_full_stack_golden() {
+    let mut net = full_stack_256();
+    let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj.drive(&mut net, RUN_256);
+    let s = &net.stats;
+    assert_eq!(s.flits_injected, GOLDEN_256_INJECTED, "flits_injected");
+    assert_eq!(s.flits_ejected, GOLDEN_256_EJECTED, "flits_ejected");
+    assert_eq!(s.packets_delivered, GOLDEN_256_DELIVERED, "packets_delivered");
+    assert_eq!(s.offers_shed, GOLDEN_256_SHED, "offers_shed");
+    assert_eq!(s.flit_retransmits, GOLDEN_256_RETRANSMITS, "flit_retransmits");
+    assert_eq!(fingerprint(s), GOLDEN_256_FP, "full NetStats fingerprint");
+}
+
+#[test]
+fn own1024_full_stack_smoke_golden() {
+    let mut net = full_stack_1024();
+    let mut inj = BernoulliInjector::new(0.01, 4, TrafficPattern::Uniform, SEED);
+    inj.drive(&mut net, RUN_1024);
+    let s = &net.stats;
+    assert_eq!(s.flits_injected, GOLDEN_1024_INJECTED, "flits_injected");
+    assert_eq!(s.flits_ejected, GOLDEN_1024_EJECTED, "flits_ejected");
+    assert_eq!(s.packets_delivered, GOLDEN_1024_DELIVERED, "packets_delivered");
+    assert_eq!(s.flit_retransmits, GOLDEN_1024_RETRANSMITS, "flit_retransmits");
+    assert_eq!(fingerprint(s), GOLDEN_1024_FP, "full NetStats fingerprint");
+}
+
+/// Two identical full-stack runs agree on the whole `NetStats` struct —
+/// the engine is deterministic even with every subsystem active.
+#[test]
+fn own256_full_stack_is_deterministic() {
+    let run = || {
+        let mut net = full_stack_256();
+        let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+        inj.drive(&mut net, RUN_256);
+        net.stats
+    };
+    assert_eq!(run(), run());
+}
+
+// ---- checkpoint resume -------------------------------------------------
+
+/// Snapshot a full-stack OWN-256 run at `cut`, restore into a freshly
+/// built network, continue both to `RUN_256`, and require identical
+/// `NetStats`. Exercises active-set reconstruction on `restore()`.
+fn resume_matches_uninterrupted(cut: u64) {
+    // Uninterrupted run, snapshotting at the cut point.
+    let mut a = full_stack_256();
+    let mut inj_a = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj_a.drive(&mut a, cut);
+    let snap = a.snapshot();
+    inj_a.drive(&mut a, RUN_256 - cut);
+
+    // Resumed run: fresh network + injector fast-forwarded to the cut.
+    let mut b = full_stack_256();
+    b.restore(&snap).expect("restore into an identically built network");
+    let mut inj_b = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj_b.skip_cycles(cut, b.num_cores() as u32);
+    inj_b.drive(&mut b, RUN_256 - cut);
+
+    assert_eq!(a.now, b.now, "cycle counter after resume (cut {cut})");
+    assert_eq!(a.stats, b.stats, "NetStats after resume (cut {cut})");
+    assert_eq!(
+        fingerprint(&a.stats),
+        GOLDEN_256_FP,
+        "resumed trajectory left the golden fingerprint (cut {cut})"
+    );
+}
+
+#[test]
+fn checkpoint_resume_full_stack_bit_identity() {
+    resume_matches_uninterrupted(1_500);
+}
+
+// Resume identity must hold wherever the snapshot lands relative to the
+// fault schedule, the adaptive controller's epochs, and the audit
+// interval — including mid-blackout (600–1000) and mid-token-freeze
+// (900–1100).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn checkpoint_resume_identity_any_cut(cut in 100u64..2_900) {
+        resume_matches_uninterrupted(cut);
+    }
+}
