@@ -61,6 +61,7 @@ pub mod routing;
 pub mod sensors;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod token;
 pub mod watchdog;
 
@@ -76,4 +77,8 @@ pub use routing::{RouteDecision, RoutingAlg, SteerAction};
 pub use sensors::{LinkSensors, UTIL_SCALE};
 pub use snapshot::{NetworkSnapshot, SnapshotError};
 pub use stats::NetStats;
+pub use telemetry::{
+    ClusterMap, MetricsFrame, MetricsRegistry, MetricsState, Stage, StageBreakdown, StageProfiler,
+    StageSeriesPoint, STAGE_COUNT, STAGE_NAMES,
+};
 pub use watchdog::{StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL};

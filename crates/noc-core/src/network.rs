@@ -19,13 +19,14 @@
 use crate::channel::{Bus, Channel};
 use crate::fault::{FaultConfig, FaultCtx, FaultTarget};
 use crate::flit::Packet;
-use crate::ids::{BusId, ChannelId, CoreId, Cycle};
+use crate::ids::{BusId, ChannelId, CoreId, Cycle, RouterId};
 use crate::nic::{Admission, Nic};
 use crate::obs::{NocEvent, Observer};
 use crate::router::{OutTarget, Router, Upstream, VcState};
 use crate::routing::RoutingAlg;
 use crate::sensors::LinkSensors;
 use crate::stats::NetStats;
+use crate::telemetry::{MetricsFrame, MetricsRegistry, Stage, StageProfiler};
 
 /// A complete network instance plus its simulation state.
 pub struct Network {
@@ -89,6 +90,16 @@ pub struct Network {
     /// for them ([`RoutingAlg::sensor_window`]). `None` (the default) keeps
     /// the engine on its sensor-free fast path.
     pub(crate) sensors: Option<Box<LinkSensors>>,
+    /// Per-stage wall-clock profiler, if attached. `None` (the default)
+    /// keeps [`Network::step`] on the unprofiled path — literally the same
+    /// phase sequence with no clock reads; attaching the profiler never
+    /// changes simulation behaviour or statistics.
+    profiler: Option<Box<StageProfiler>>,
+    /// Spatial metrics registry, if attached. Purely observational:
+    /// offered packets are counted into a cluster×cluster matrix and
+    /// periodic frames snapshot engine counters; statistics are
+    /// bit-identical with or without it.
+    metrics: Option<Box<MetricsRegistry>>,
 }
 
 impl Network {
@@ -133,6 +144,8 @@ impl Network {
             fault: None,
             audit_every: 0,
             sensors,
+            profiler: None,
+            metrics: None,
         }
     }
 
@@ -251,6 +264,58 @@ impl Network {
         self.sensors.as_deref()
     }
 
+    /// Attach a per-stage profiler (replacing any previous one). Profiling
+    /// starts from the next [`Network::step`].
+    pub fn set_profiler(&mut self, p: StageProfiler) {
+        self.profiler = Some(Box::new(p));
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&StageProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Detach and return the profiler.
+    pub fn take_profiler(&mut self) -> Option<StageProfiler> {
+        self.profiler.take().map(|b| *b)
+    }
+
+    /// Attach a spatial metrics registry (replacing any previous one).
+    /// Offer counting and frame capture start immediately.
+    pub fn attach_metrics(&mut self, reg: MetricsRegistry) {
+        assert_eq!(
+            reg.cluster_map().cluster_of_core.len(),
+            self.nics.len(),
+            "ClusterMap core count does not match the network"
+        );
+        assert_eq!(
+            reg.cluster_map().cluster_of_router.len(),
+            self.routers.len(),
+            "ClusterMap router count does not match the network"
+        );
+        self.metrics = Some(Box::new(reg));
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    /// Mutable registry access for snapshot restore.
+    pub(crate) fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_deref_mut()
+    }
+
+    /// Detach and return the metrics registry.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take().map(|b| *b)
+    }
+
+    /// The router a core's NIC injects into (spatial attribution helper).
+    pub fn core_router(&self, core: CoreId) -> RouterId {
+        self.nics[core as usize].router
+    }
+
     /// Access a NIC (e.g. to inspect its admission-control latch).
     pub fn nic(&self, core: CoreId) -> &Nic {
         &self.nics[core as usize]
@@ -337,6 +402,9 @@ impl Network {
         if throttled {
             self.stats.offers_admitted += 1;
         }
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.count_offer(src, dst);
+        }
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_event(&NocEvent::PacketOffered { at: self.now, packet: id, src, dst, len });
         }
@@ -362,6 +430,18 @@ impl Network {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        if self.profiler.is_some() {
+            self.step_profiled();
+        } else {
+            self.step_plain();
+        }
+        if self.metrics.is_some() {
+            self.metrics_tick();
+        }
+    }
+
+    /// The unprofiled cycle: the engine's hot path, with no clock reads.
+    fn step_plain(&mut self) {
         self.now += 1;
         if self.fault.is_some() {
             self.fault_tick();
@@ -378,6 +458,98 @@ impl Network {
         self.stats.cycles = self.now;
         if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
             self.check_invariants();
+        }
+    }
+
+    /// The profiled cycle: the same phase sequence as [`Network::step_plain`]
+    /// with a wall-clock lap after each phase on timed (sampled) cycles.
+    /// Timing is pure observation — control flow and state updates are
+    /// identical, so a profiled run stays bit-identical to an unprofiled
+    /// one.
+    fn step_profiled(&mut self) {
+        let mut prof = self.profiler.take().expect("step_profiled requires a profiler");
+        let timed = prof.begin_cycle(
+            self.router_list.len(),
+            self.chan_list.len(),
+            self.bus_list.len(),
+            self.nic_list.len(),
+        );
+        if timed {
+            self.now += 1;
+            let mut mark = std::time::Instant::now();
+            if self.fault.is_some() {
+                self.fault_tick();
+            }
+            prof.lap(Stage::Fault, &mut mark);
+            self.deliver();
+            prof.lap(Stage::Deliver, &mut mark);
+            self.sa_st();
+            prof.lap(Stage::SaSt, &mut mark);
+            self.vca();
+            prof.lap(Stage::Vca, &mut mark);
+            self.rc();
+            prof.lap(Stage::Rc, &mut mark);
+            self.inject();
+            prof.lap(Stage::Inject, &mut mark);
+            self.end_cycle_buses();
+            prof.lap(Stage::EndCycle, &mut mark);
+            if self.sensors.is_some() {
+                self.sensor_tick(self.now);
+            }
+            prof.lap(Stage::Sensors, &mut mark);
+            self.stats.cycles = self.now;
+            if self.audit_every != 0 && self.now.is_multiple_of(self.audit_every) {
+                self.check_invariants();
+            }
+        } else {
+            self.step_plain();
+        }
+        prof.end_cycle(self.now);
+        self.profiler = Some(prof);
+    }
+
+    /// Capture a metrics frame when one is due this cycle.
+    fn metrics_tick(&mut self) {
+        let mut reg = self.metrics.take().expect("metrics_tick requires a registry");
+        if reg.frame_due(self.now) {
+            reg.push_frame(self.capture_frame(reg.cluster_map()));
+        }
+        self.metrics = Some(reg);
+    }
+
+    /// Snapshot the spatial gauges and counters into one frame. Read-only.
+    fn capture_frame(&self, map: &crate::telemetry::ClusterMap) -> MetricsFrame {
+        let nc = map.n_clusters;
+        let mut cluster_buffered = vec![0u64; nc];
+        for (ri, &flits) in self.router_flits.iter().enumerate() {
+            cluster_buffered[map.cluster_of_router[ri] as usize] += u64::from(flits);
+        }
+        let mut cluster_backlog = vec![0u64; nc];
+        for (ni, nic) in self.nics.iter().enumerate() {
+            cluster_backlog[map.cluster_of_core[ni] as usize] += nic.backlog() as u64;
+        }
+        let mut cluster_delivered = vec![0u64; nc];
+        for (ci, &pkts) in self.stats.per_core_packets.iter().enumerate() {
+            cluster_delivered[map.cluster_of_core[ci] as usize] += pkts;
+        }
+        let bus_util = match self.sensors.as_deref() {
+            Some(s) => s.bus_util().to_vec(),
+            None => vec![0; self.buses.len()],
+        };
+        MetricsFrame {
+            cycle: self.now,
+            cluster_buffered,
+            cluster_backlog,
+            cluster_delivered,
+            bus_flits: self.stats.bus_flits.clone(),
+            bus_token_wait: self.stats.bus_token_wait.clone(),
+            bus_util,
+            offers_shed: self.stats.offers_shed,
+            offers_deferred: self.stats.offers_deferred,
+            flit_retransmits: self.stats.flit_retransmits,
+            p50: self.stats.latency.quantile(0.5),
+            p95: self.stats.latency.quantile(0.95),
+            p99: self.stats.latency.quantile(0.99),
         }
     }
 
@@ -399,8 +571,11 @@ impl Network {
             let frozen = self.fault.as_deref().is_some_and(|c| c.token_frozen(bi, now));
             let b = &mut self.buses[bi];
             let handoff = b.end_cycle_frozen(now, frozen);
-            if let (Some(s), Some(h)) = (self.sensors.as_deref_mut(), handoff) {
-                s.add_bus_wait(bi, h.waited);
+            if let Some(h) = handoff {
+                self.stats.bus_token_wait[bi] += h.waited;
+                if let Some(s) = self.sensors.as_deref_mut() {
+                    s.add_bus_wait(bi, h.waited);
+                }
             }
             if has_obs {
                 // Busy/idle edge detection (wireless channel occupancy).

@@ -45,6 +45,7 @@ use crate::network::Network;
 use crate::router::VcState;
 use crate::sensors::LinkSensors;
 use crate::stats::NetStats;
+use crate::telemetry::MetricsState;
 
 /// Pipeline state of one input VC, in snapshot (all-public) form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +202,11 @@ pub struct NetworkSnapshot {
     /// Utilization sensor state, present when the routing algorithm
     /// enables sensors ([`crate::routing::RoutingAlg::sensor_window`]).
     pub sensors: Option<LinkSensors>,
+    /// Durable telemetry-registry state (the cluster×cluster offer
+    /// matrix), present when a [`crate::MetricsRegistry`] is attached.
+    /// Frames are ephemeral and deliberately not captured — they
+    /// regenerate from the restore point onward.
+    pub metrics: Option<MetricsState>,
     pub stats: NetStats,
 }
 
@@ -332,6 +338,10 @@ impl Network {
             fault,
             routing: self.routing.save_state(),
             sensors: self.sensors.as_deref().cloned(),
+            metrics: self.metrics().map(|r| MetricsState {
+                matrix: r.matrix().to_vec(),
+                n_clusters: r.cluster_map().n_clusters,
+            }),
             stats: self.stats.clone(),
         }
     }
@@ -392,6 +402,15 @@ impl Network {
         }
         if let Some(ss) = &snap.sensors {
             *self.sensors.as_deref_mut().expect("validated above") = ss.clone();
+        }
+        if let Some(reg) = self.metrics_mut() {
+            // A snapshot without metrics state restores onto an attached
+            // registry with fresh counts (telemetry enabled mid-run);
+            // frames always restart from the restore point.
+            match &snap.metrics {
+                Some(ms) => reg.restore_matrix(ms.matrix.clone()),
+                None => reg.reset_matrix(),
+            }
         }
         if let Some(fs) = &snap.fault {
             let ctx = self.fault.as_deref_mut().expect("validated above");
@@ -550,6 +569,25 @@ impl Network {
                     "routing algorithm enables sensors but the snapshot has no sensor state".into(),
                 ));
             }
+        }
+        match (&snap.metrics, self.metrics()) {
+            (Some(ms), Some(reg)) => {
+                ensure!(
+                    ms.n_clusters == reg.cluster_map().n_clusters
+                        && ms.matrix.len() == reg.matrix().len(),
+                    "metrics matrix sized for {} clusters, registry has {}",
+                    ms.n_clusters,
+                    reg.cluster_map().n_clusters
+                );
+            }
+            (Some(_), None) => {
+                return Err(SnapshotError(
+                    "snapshot has metrics state but no MetricsRegistry is attached".into(),
+                ));
+            }
+            // No metrics state with a registry attached is fine: counting
+            // starts fresh at the restore point (see `restore`).
+            (None, _) => {}
         }
         Ok(())
     }

@@ -83,6 +83,11 @@ pub struct NetStats {
     pub channel_flits: Vec<u64>,
     /// Per-bus flit traversals (indexed by `BusId`).
     pub bus_flits: Vec<u64>,
+    /// Per-bus cumulative token wait: cycles writers spent requesting the
+    /// bus token before each grant, summed over all grants (indexed by
+    /// `BusId`). Maintained unconditionally — a congestion signal for the
+    /// telemetry plane that, unlike the sensor EWMAs, needs no window.
+    pub bus_token_wait: Vec<u64>,
     /// Per-router: flits that traversed the crossbar (== buffer reads).
     pub router_traversals: Vec<u64>,
     /// Per-router: buffer writes (flit arrivals).
@@ -152,6 +157,7 @@ impl NetStats {
             packets_delivered: 0,
             channel_flits: vec![0; n_channels],
             bus_flits: vec![0; n_buses],
+            bus_token_wait: vec![0; n_buses],
             router_traversals: vec![0; n_routers],
             buffer_writes: vec![0; n_routers],
             latency: LatencyHist::new(8, 512),

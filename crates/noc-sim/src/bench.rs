@@ -23,12 +23,14 @@ use std::time::Instant;
 
 use serde_json::Value;
 
-use noc_core::RouterConfig;
+use noc_core::{RouterConfig, StageProfiler, STAGE_COUNT, STAGE_NAMES};
 use noc_topology::{own, Own256Reconfig, ReconfigPolicy, Topology};
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
-/// Schema identifier written into (and required from) bench JSON files.
-pub const SCHEMA: &str = "own-noc-bench/v1";
+/// Schema identifier written into bench JSON files. v1.1 adds per-workload
+/// `peak_rss_kb` and `stage_shares`; [`BaselineFile::parse`] accepts any
+/// `own-noc-bench/v1*` document, so v1 baselines keep working.
+pub const SCHEMA: &str = "own-noc-bench/v1.1";
 
 /// Default cycle budget for a local bench run.
 pub const DEFAULT_CYCLES: u64 = 20_000;
@@ -132,6 +134,14 @@ pub struct BenchOutcome {
     /// Flits delivered during the run — a cheap cross-check that two
     /// binaries benchmarked the same work, not just the same wall clock.
     pub flits_ejected: u64,
+    /// Process peak RSS (Linux `VmHWM`, kB) sampled right after this
+    /// workload. The kernel counter is a high-water mark, so the value is
+    /// the max over all workloads run so far — still useful: the first
+    /// workload to raise it is the one that owns the peak.
+    pub peak_rss_kb: Option<u64>,
+    /// Fraction of engine wall time per stage (sums to ~1), from a sparse
+    /// stage profiler riding along the timed run.
+    pub stage_shares: Option<[f64; STAGE_COUNT]>,
 }
 
 /// Run one workload for `cycles` cycles and time the stepping loop.
@@ -146,9 +156,13 @@ fn run_one(w: &Workload, cycles: u64) -> BenchOutcome {
         own(w.cores).build(router)
     };
     let mut inj = BernoulliInjector::new(w.rate, 4, w.pattern, SEED);
+    // Sparse stage profiling (1 in 16 cycles) rides along the timed loop;
+    // its clock reads are a sub-percent tax, well inside the 2x gate slack.
+    net.set_profiler(StageProfiler::new(16));
     let t0 = Instant::now();
     inj.drive(&mut net, cycles);
     let wall = t0.elapsed().as_secs_f64();
+    let stage_shares = net.take_profiler().map(|p| p.breakdown().shares());
     BenchOutcome {
         name: w.name.to_string(),
         cores: w.cores,
@@ -158,6 +172,8 @@ fn run_one(w: &Workload, cycles: u64) -> BenchOutcome {
         wall_ms: wall * 1e3,
         cycles_per_sec: if wall > 0.0 { cycles as f64 / wall } else { 0.0 },
         flits_ejected: net.stats.flits_ejected,
+        peak_rss_kb: peak_rss_kb(),
+        stage_shares,
     }
 }
 
@@ -204,6 +220,17 @@ pub fn to_json(results: &[BenchOutcome], baseline: Option<&BaselineFile>) -> Str
             m.insert("wall_ms".into(), Value::Number(r.wall_ms));
             m.insert("cycles_per_sec".into(), Value::Number(r.cycles_per_sec));
             m.insert("flits_ejected".into(), Value::Number(r.flits_ejected as f64));
+            m.insert(
+                "peak_rss_kb".into(),
+                r.peak_rss_kb.map_or(Value::Null, |kb| Value::Number(kb as f64)),
+            );
+            if let Some(shares) = &r.stage_shares {
+                let mut sm = serde_json::Map::new();
+                for (name, share) in STAGE_NAMES.iter().zip(shares.iter()) {
+                    sm.insert((*name).to_string(), Value::Number(*share));
+                }
+                m.insert("stage_shares".into(), Value::Object(sm));
+            }
             if let Some(before) = baseline.and_then(|b| b.cycles_per_sec(&r.name)) {
                 m.insert("before_cycles_per_sec".into(), Value::Number(before));
                 m.insert("speedup".into(), Value::Number(r.cycles_per_sec / before));
@@ -237,8 +264,9 @@ impl BaselineFile {
         let v: serde_json::Value =
             serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
         let schema = v.get("schema").and_then(|s| s.as_str()).unwrap_or("");
-        if schema != SCHEMA {
-            return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+        // Any v1 minor revision parses: v1.1 only added fields.
+        if !schema.starts_with("own-noc-bench/v1") {
+            return Err(format!("schema {schema:?} is not an own-noc-bench/v1 document"));
         }
         let workloads = v
             .get("workloads")
@@ -312,6 +340,8 @@ mod tests {
             wall_ms: 1.0,
             cycles_per_sec: cps,
             flits_ejected: 42,
+            peak_rss_kb: Some(1024),
+            stage_shares: None,
         }
     }
 
@@ -333,6 +363,24 @@ mod tests {
         let w = &v["workloads"][0];
         assert_eq!(w["before_cycles_per_sec"].as_f64(), Some(1e6));
         assert_eq!(w["speedup"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn parser_accepts_v1_baselines() {
+        // BENCH_5.json and earlier are schema v1 without the per-workload
+        // rss/stage fields; they must keep parsing as baselines.
+        let v1 = r#"{"schema":"own-noc-bench/v1","workloads":
+            [{"name":"w","cycles_per_sec":1000.0}]}"#;
+        let base = BaselineFile::parse(v1).expect("v1 must parse");
+        assert_eq!(base.cycles_per_sec("w"), Some(1000.0));
+    }
+
+    #[test]
+    fn suite_outcomes_carry_stage_shares() {
+        let r = run_one(&suite()[0], 64);
+        let shares = r.stage_shares.expect("profiler rode along");
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0, "shares sum {sum}");
     }
 
     #[test]

@@ -59,6 +59,20 @@
 //! livelock/deadlock prints the structured stall report on stderr and
 //! exits with status 3 so CI can fail the job.
 //!
+//! Telemetry flags (consumed by `own256`/`own1024`):
+//!
+//! * `--metrics-out <file>` — attach the stage profiler and the spatial
+//!   metrics registry to the run and write the telemetry artifact set:
+//!   `<file>` (`own-noc-metrics/v1` JSONL), `<file>.heatmap.csv`
+//!   (cluster×cluster traffic matrix), `<file>.bands.csv` (per-band
+//!   utilization over time) and `<file>.prom` (Prometheus textfile).
+//! * `--metrics-interval <n>` — cycles between metrics frames (default
+//!   1000).
+//!
+//! The `metrics <file>` subcommand summarizes a previously written JSONL
+//! stream: hot bands, stage-time pie, hottest cluster pairs, and the
+//! shard-imbalance index.
+//!
 //! Benchmark flags (consumed by the `bench` experiment):
 //!
 //! * `--bench-cycles <n>` — engine cycles per bench workload (default
@@ -151,11 +165,42 @@ fn main() {
     let mut bench_cycles: u64 = noc_sim::bench::DEFAULT_CYCLES;
     let mut bench_out: Option<String> = None;
     let mut bench_baseline: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_interval: u64 = 1000;
+    let mut summarize_files: Vec<String> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
+            "metrics" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("metrics requires a JSONL file written by --metrics-out");
+                    std::process::exit(2);
+                };
+                summarize_files.push(f.clone());
+            }
+            "--metrics-out" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("--metrics-out requires an output file path");
+                    std::process::exit(2);
+                };
+                metrics_out = Some(f.clone());
+            }
+            "--metrics-interval" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--metrics-interval requires a cycle count");
+                    std::process::exit(2);
+                };
+                metrics_interval = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--metrics-interval: not a cycle count: {s}");
+                    std::process::exit(2);
+                });
+                if metrics_interval == 0 {
+                    eprintln!("--metrics-interval must be >= 1");
+                    std::process::exit(2);
+                }
+            }
             "--spec" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--spec requires a file path");
@@ -394,9 +439,38 @@ fn main() {
         eprintln!("known experiments: {}", KNOWN.join(" "));
         std::process::exit(2);
     }
-    if wanted.is_empty() && spec_files.is_empty() && trace_file.is_none() {
+    if wanted.is_empty()
+        && spec_files.is_empty()
+        && trace_file.is_none()
+        && summarize_files.is_empty()
+    {
         usage();
         std::process::exit(2);
+    }
+    // Observability flags that cannot take effect are diagnosed, not
+    // silently ignored — a long run with no telemetry is expensive.
+    let has_own_run = wanted.iter().any(|w| w == "own256" || w == "own1024");
+    if metrics_out.is_some() && !has_own_run {
+        eprintln!(
+            "warning: --metrics-out only applies to the own256/own1024 experiments; \
+             no telemetry will be written"
+        );
+    }
+    if sample_interval > 0 && wanted.is_empty() && trace_file.is_none() && spec_files.is_empty() {
+        eprintln!("warning: --sample-interval has no experiment to sample; flag is a no-op");
+    }
+    if metrics_interval != 1000 && metrics_out.is_none() {
+        eprintln!("warning: --metrics-interval without --metrics-out is a no-op");
+    }
+
+    for f in &summarize_files {
+        match noc_sim::summarize_metrics(Path::new(f)) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("metrics: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(spec) = &resilience_opts.faults {
         if let Err(e) = resilience::validate_fault_spec(spec) {
@@ -509,8 +583,22 @@ fn main() {
             }
             "overload" => emit(&overload::overload(budget, &overload_opts)),
             "overload-smoke" => run_overload_smoke(budget, &overload_opts),
-            "own256" => run_own(256, budget, sample_interval, &durability),
-            "own1024" => run_own(1024, budget, sample_interval, &durability),
+            "own256" => run_own(
+                256,
+                budget,
+                sample_interval,
+                &durability,
+                metrics_out.as_deref(),
+                metrics_interval,
+            ),
+            "own1024" => run_own(
+                1024,
+                budget,
+                sample_interval,
+                &durability,
+                metrics_out.as_deref(),
+                metrics_interval,
+            ),
             "bench" => run_bench(bench_cycles, bench_out.as_deref(), baseline.as_ref(), progress),
             other => unreachable!("validated above: {other}"),
         }
@@ -527,6 +615,7 @@ fn usage() {
          [--faults spec] [--ber rate] [--retry-limit n] \
          [--throttle high:low] [--reconfig adaptive:epoch:hysteresis] \
          [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] [--threads n] \
+         [--metrics-out file] [--metrics-interval n] \
          [--bench-cycles n] [--bench-out file] [--bench-baseline file] <experiment|all>..."
     );
     eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig8a fig8b");
@@ -538,7 +627,11 @@ fn usage() {
         "overload:    overload overload-smoke (honor --throttle/--reconfig; smoke exits 3 \
          on stall, 4 on flapping)"
     );
-    eprintln!("long runs:   own256 own1024 (honor checkpoint/resume/audit flags)");
+    eprintln!(
+        "long runs:   own256 own1024 (honor checkpoint/resume/audit flags and \
+         --metrics-out/--metrics-interval)"
+    );
+    eprintln!("telemetry:   metrics <file> (summarize a --metrics-out JSONL stream)");
     eprintln!(
         "benchmark:   bench (honors --bench-cycles/--bench-out/--bench-baseline/--threads; \
          exits 5 on >2x regression vs the baseline)"
@@ -645,8 +738,17 @@ fn run_overload_smoke(budget: Budget, opts: &OverloadOpts) {
 }
 
 /// Run one long OWN simulation (the checkpoint/resume workhorse) and
-/// print a one-line summary; exits 3 on a watchdog stall.
-fn run_own(cores: u32, budget: Budget, sample_interval: u64, opts: &DurabilityOpts) {
+/// print a one-line summary; exits 3 on a watchdog stall. With
+/// `metrics_out`, the stage profiler and the spatial metrics registry ride
+/// along and the telemetry artifact set is written after the run.
+fn run_own(
+    cores: u32,
+    budget: Budget,
+    sample_interval: u64,
+    opts: &DurabilityOpts,
+    metrics_out: Option<&str>,
+    metrics_interval: u64,
+) {
     let topo = noc_topology::own(cores);
     let cfg = SimConfig {
         rate: 0.04,
@@ -657,20 +759,64 @@ fn run_own(cores: u32, budget: Budget, sample_interval: u64, opts: &DurabilityOp
         sample_every: sample_interval,
         ..Default::default()
     };
-    let result = build_sim(topo.as_ref(), cfg, opts).run();
+    let mut sim = build_sim(topo.as_ref(), cfg, opts);
+    if metrics_out.is_some() {
+        // Sample 1-in-8 cycles: the stage breakdown stays representative
+        // while the two clock reads per stage stay off 7/8 of cycles.
+        sim.profile_stages(8, metrics_interval);
+        sim.enable_metrics(topo.as_ref(), metrics_interval);
+    }
+    let result = sim.run();
     exit_on_stall(&result);
     let resumed =
         result.resumed_from.map_or(String::new(), |c| format!(" (resumed from cycle {c})"));
     println!(
-        "{}: {} cycles{resumed}, avg latency {:.1}, throughput {:.4} flits/core/cycle, \
-         delivered {:.3}, {:.0} kcycles/s",
+        "{}: {} cycles{resumed}, avg latency {:.1}, p50/p95/p99 {}/{}/{}, \
+         throughput {:.4} flits/core/cycle, delivered {:.3}, {:.0} kcycles/s",
         result.name,
         result.cycles,
         result.avg_latency,
+        result.p50_latency,
+        result.p95_latency,
+        result.p99_latency,
         result.throughput,
         result.delivered_fraction,
         result.profile.cycles_per_sec / 1e3,
     );
+    if let Some(path) = metrics_out {
+        match noc_sim::export_metrics(&result, Path::new(path)) {
+            Ok(arts) => {
+                eprintln!(
+                    "[metrics] wrote {} (+ {}, {}, {})",
+                    arts.jsonl.display(),
+                    arts.heatmap.display(),
+                    arts.bands.display(),
+                    arts.prom.display(),
+                );
+                if let Some(b) = &result.profile.stages {
+                    let shares = b.shares();
+                    let mut named: Vec<(&str, f64)> =
+                        noc_core::STAGE_NAMES.iter().copied().zip(shares).collect();
+                    named.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    let top: Vec<String> = named
+                        .iter()
+                        .take(3)
+                        .filter(|(_, s)| *s > 0.0)
+                        .map(|(n, s)| format!("{n} {:.0}%", s * 100.0))
+                        .collect();
+                    eprintln!(
+                        "[metrics] stage profile over {} timed cycles: {}",
+                        b.timed_cycles,
+                        top.join(", "),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("--metrics-out: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// Run one fully-observed OWN-256 simulation and export its event trace:

@@ -34,7 +34,7 @@ use noc_core::snapshot::{
     BusSnap, ChannelSnap, FaultSnap, InPortSnap, InVcSnap, NetworkSnapshot, NicSnap, OutPortSnap,
     OutVcSnap, RouterSnap, VcStateSnap,
 };
-use noc_core::{FaultTarget, Flit, FlitKind, LinkSensors, NetStats, Packet};
+use noc_core::{FaultTarget, Flit, FlitKind, LinkSensors, MetricsState, NetStats, Packet};
 use serde_json::{Map, Value};
 
 use noc_core::stats::LatencyHist;
@@ -248,6 +248,7 @@ fn encode_stats(s: &NetStats) -> Value {
     m.insert("packets_delivered".into(), uint(s.packets_delivered));
     m.insert("channel_flits".into(), joined(s.channel_flits.iter().copied()));
     m.insert("bus_flits".into(), joined(s.bus_flits.iter().copied()));
+    m.insert("bus_token_wait".into(), joined(s.bus_token_wait.iter().copied()));
     m.insert("router_traversals".into(), joined(s.router_traversals.iter().copied()));
     m.insert("buffer_writes".into(), joined(s.buffer_writes.iter().copied()));
     m.insert("latency".into(), encode_hist(&s.latency));
@@ -509,6 +510,18 @@ fn encode_snapshot(s: &NetworkSnapshot) -> Value {
         },
     );
     m.insert("stats".into(), encode_stats(&s.stats));
+    m.insert(
+        "metrics".into(),
+        match &s.metrics {
+            Some(ms) => {
+                let mut mm = Map::new();
+                mm.insert("n_clusters".into(), uint(ms.n_clusters as u64));
+                mm.insert("matrix".into(), joined(ms.matrix.iter().copied()));
+                Value::Object(mm)
+            }
+            None => Value::Null,
+        },
+    );
     Value::Object(m)
 }
 
@@ -656,6 +669,14 @@ fn decode_hist(v: &Value) -> Result<LatencyHist, String> {
 
 fn decode_stats(v: &Value) -> Result<NetStats, String> {
     let m = as_obj(v, "stats")?;
+    let bus_flits = get_u64s(m, "bus_flits")?;
+    // Tolerant decode: checkpoints written before the telemetry plane
+    // don't carry per-bus token-wait counters; start them at zero.
+    let bus_token_wait = if m.contains_key("bus_token_wait") {
+        get_u64s(m, "bus_token_wait")?
+    } else {
+        vec![0; bus_flits.len()]
+    };
     Ok(NetStats {
         cycles: get_u64(m, "cycles")?,
         packets_offered: get_u64(m, "packets_offered")?,
@@ -663,7 +684,8 @@ fn decode_stats(v: &Value) -> Result<NetStats, String> {
         flits_ejected: get_u64(m, "flits_ejected")?,
         packets_delivered: get_u64(m, "packets_delivered")?,
         channel_flits: get_u64s(m, "channel_flits")?,
-        bus_flits: get_u64s(m, "bus_flits")?,
+        bus_flits,
+        bus_token_wait,
         router_traversals: get_u64s(m, "router_traversals")?,
         buffer_writes: get_u64s(m, "buffer_writes")?,
         latency: decode_hist(get(m, "latency")?)?,
@@ -921,6 +943,17 @@ fn decode_snapshot(v: &Value) -> Result<NetworkSnapshot, String> {
         Value::Null => None,
         v => Some(decode_sensors(v)?),
     };
+    // Tolerant: pre-telemetry checkpoints have no "metrics" key at all.
+    let metrics = match m.get("metrics") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let mm = as_obj(v, "metrics")?;
+            Some(MetricsState {
+                n_clusters: get_usize(mm, "n_clusters")?,
+                matrix: get_u64s(mm, "matrix")?,
+            })
+        }
+    };
     Ok(NetworkSnapshot {
         now: get_u64(m, "now")?,
         next_packet_id: get_u64(m, "next_packet_id")?,
@@ -932,6 +965,7 @@ fn decode_snapshot(v: &Value) -> Result<NetworkSnapshot, String> {
         routing: get_u64s(m, "routing")?,
         sensors,
         stats: decode_stats(get(m, "stats")?)?,
+        metrics,
     })
 }
 

@@ -28,6 +28,7 @@ pub mod report;
 pub mod sim;
 pub mod spec;
 pub mod sweep;
+pub mod telemetry;
 
 pub use bench::{compare_to_baseline, run_suite as run_bench_suite, BaselineFile, BenchOutcome};
 pub use checkpoint::{latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint};
@@ -37,3 +38,6 @@ pub use report::Report;
 pub use sim::{SimConfig, Simulation};
 pub use spec::SimSpec;
 pub use sweep::{latency_vs_load, replicate, saturation_throughput, LoadPoint, Replicated};
+pub use telemetry::{
+    cluster_map_for, export_metrics, summarize_metrics, MetricsArtifacts, METRICS_SCHEMA,
+};

@@ -1,6 +1,6 @@
 //! Metrics extracted from a finished simulation.
 
-use noc_core::{Network, StallReport};
+use noc_core::{Network, StageBreakdown, StallReport};
 
 use crate::analysis::{distribution, LoadDistribution};
 use crate::obs::SampleSeries;
@@ -26,6 +26,9 @@ pub struct EngineProfile {
     /// Engine events (buffer writes + crossbar traversals) per wall-clock
     /// second — the engine's useful-work rate, load-independent-ish.
     pub events_per_sec: f64,
+    /// Per-stage time breakdown, when a `noc_core::StageProfiler` was
+    /// attached for the run (see `Simulation::profile_stages`).
+    pub stages: Option<StageBreakdown>,
 }
 
 /// The result of one simulation run, including the network itself so the
@@ -37,6 +40,8 @@ pub struct SimResult {
     pub avg_latency: f64,
     /// Approximate median latency.
     pub p50_latency: u64,
+    /// Approximate 95th-percentile latency.
+    pub p95_latency: u64,
     /// Approximate 99th-percentile latency.
     pub p99_latency: u64,
     /// Maximum observed latency.
@@ -113,6 +118,7 @@ impl SimResult {
             name,
             avg_latency: lat.mean(),
             p50_latency: lat.quantile(0.5),
+            p95_latency: lat.quantile(0.95),
             p99_latency: lat.quantile(0.99),
             max_latency: lat.max,
             avg_queue_delay: net.stats.queue_delay.mean(),
@@ -183,7 +189,8 @@ mod tests {
             ..Default::default()
         };
         let r = Simulation::new(&CMesh::new(64), cfg).run();
-        assert!(r.p50_latency as f64 <= r.p99_latency as f64 + f64::EPSILON);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.p99_latency);
         assert!(r.p99_latency <= r.max_latency + r.net.stats.latency.bucket_width);
         assert!(r.avg_latency >= 1.0);
     }

@@ -29,7 +29,9 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use noc_core::obs::Observer;
-use noc_core::{FaultConfig, Network, RouterConfig, StallReport, Watchdog};
+use noc_core::{
+    FaultConfig, MetricsRegistry, Network, RouterConfig, StageProfiler, StallReport, Watchdog,
+};
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
@@ -216,6 +218,36 @@ impl Simulation {
         self
     }
 
+    /// Attach a per-stage wall-clock profiler: stage times are sampled
+    /// every `sample_every` cycles and a cumulative series point recorded
+    /// every `series_every` cycles (0 = no series). Pure observation — a
+    /// profiled run is bit-identical to an unprofiled one; the breakdown
+    /// lands in [`EngineProfile::stages`].
+    pub fn profile_stages(&mut self, sample_every: u64, series_every: u64) {
+        self.net.set_profiler(StageProfiler::new(sample_every).with_series(series_every));
+    }
+
+    /// Builder-style [`Simulation::profile_stages`].
+    pub fn with_stage_profiler(mut self, sample_every: u64, series_every: u64) -> Self {
+        self.profile_stages(sample_every, series_every);
+        self
+    }
+
+    /// Attach a spatial metrics registry aggregating by `topo`'s cluster
+    /// structure, capturing a frame every `interval` cycles. Pure
+    /// observation; retrieve the registry from `SimResult::net` via
+    /// `Network::take_metrics` after the run.
+    pub fn enable_metrics(&mut self, topo: &dyn Topology, interval: u64) {
+        let map = crate::telemetry::cluster_map_for(topo, &self.net);
+        self.net.attach_metrics(MetricsRegistry::new(map, interval));
+    }
+
+    /// Builder-style [`Simulation::enable_metrics`].
+    pub fn with_metrics(mut self, topo: &dyn Topology, interval: u64) -> Self {
+        self.enable_metrics(topo, interval);
+        self
+    }
+
     /// Attach a fault model (scheduled failures + link error process); see
     /// `noc_core::fault`. With an empty schedule and zero BER the model is
     /// inert and results are bit-identical to a run without it.
@@ -323,6 +355,7 @@ impl Simulation {
             cycles_run,
             cycles_per_sec: if total_secs > 0.0 { cycles_run as f64 / total_secs } else { 0.0 },
             events_per_sec: if total_secs > 0.0 { events as f64 / total_secs } else { 0.0 },
+            stages: self.net.profiler().map(|p| p.breakdown()),
         };
         let mut result = SimResult::collect(self.name, self.net, cfg, throughput, profile, series);
         result.stall = stall;

@@ -1,0 +1,226 @@
+//! Telemetry-plane contracts:
+//!
+//! 1. **Off means off**: attaching the stage profiler and the metrics
+//!    registry never changes a single simulation statistic.
+//! 2. **Deterministic export**: the RNG-free golden workload (injection
+//!    probability 1.0 × Transpose — `gen_bool(1.0)` short-circuits and the
+//!    destination is arithmetic, so no random numbers are drawn) pins a
+//!    byte-level fingerprint of the deterministic JSONL lines.
+//! 3. **Durability**: a snapshot/restore cycle carries the registry's
+//!    traffic matrix, and the resumed run's stats and matrix are
+//!    bit-identical to the uninterrupted run's.
+//! 4. **Counter balances** (property-based): every offer lands in exactly
+//!    one of offered/rejected/shed/deferred, and the cluster matrix counts
+//!    exactly the offered packets.
+
+use noc_core::{Network, RouterConfig};
+use noc_sim::telemetry::{cluster_map_for, deterministic_lines};
+use noc_sim::{SimConfig, Simulation};
+use noc_topology::{own, Own256, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+use proptest::prelude::*;
+
+/// Traffic seed (the `SimConfig` default).
+const SEED: u64 = 0x0517_2018;
+
+/// FNV-1a over the deterministic JSONL lines (newline-joined).
+fn fnv_lines(lines: &[String]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The golden workload: OWN-256 fully loaded (rate = packet_len, so the
+/// per-cycle injection probability is exactly 1.0 and `gen_bool(1.0)`
+/// short-circuits) with Transpose traffic (arithmetic destinations) and no
+/// fault model. Consumes zero RNG, so the exported bytes are identical
+/// under any `rand` implementation.
+fn golden_run() -> noc_sim::SimResult {
+    let topo = Own256::default();
+    let cfg = SimConfig {
+        rate: 4.0,
+        pattern: TrafficPattern::Transpose,
+        warmup: 200,
+        measure: 600,
+        drain: 0,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(&topo, cfg);
+    sim.enable_metrics(&topo, 200);
+    sim.run()
+}
+
+// Captured via `capture_metrics_golden` (below); the deterministic JSONL
+// lines of the golden workload must reproduce byte for byte.
+const GOLDEN_JSONL_FP: u64 = 0x31a8_206f_7078_8986;
+
+/// Prints the current fingerprint (run with `--ignored --nocapture` after
+/// an *intentional* telemetry format or engine change).
+#[test]
+#[ignore = "golden capture helper, not a check"]
+fn capture_metrics_golden() {
+    let r = golden_run();
+    let reg = r.net.metrics().expect("registry attached");
+    let lines = deterministic_lines(&r.name, r.net.buses().len(), reg);
+    println!("metrics jsonl: lines={} fp={:#018x}", lines.len(), fnv_lines(&lines));
+}
+
+#[test]
+fn metrics_jsonl_golden_fingerprint() {
+    let r = golden_run();
+    let reg = r.net.metrics().expect("registry attached");
+    let lines = deterministic_lines(&r.name, r.net.buses().len(), reg);
+    // Header + one frame per 200 cycles + the matrix line.
+    assert!(lines.len() >= 4, "suspiciously few lines: {}", lines.len());
+    assert!(lines[0].contains("\"schema\":\"own-noc-metrics/v1\""));
+    assert_eq!(fnv_lines(&lines), GOLDEN_JSONL_FP, "deterministic JSONL fingerprint");
+}
+
+/// Attaching the full telemetry plane (profiler + registry, tightest
+/// sampling) must not change any simulation statistic: telemetry reads
+/// counters the engine maintains anyway.
+#[test]
+fn telemetry_attachment_is_bit_identical() {
+    let topo = Own256::default();
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: 300,
+        measure: 700,
+        drain: 1_000,
+        ..Default::default()
+    };
+    let plain = Simulation::new(&topo, cfg).run();
+    let mut observed = Simulation::new(&topo, cfg);
+    observed.profile_stages(1, 100);
+    observed.enable_metrics(&topo, 50);
+    let observed = observed.run();
+    assert_eq!(plain.net.stats, observed.net.stats, "telemetry changed engine results");
+    assert_eq!(plain.avg_latency, observed.avg_latency);
+    assert_eq!(plain.throughput, observed.throughput);
+    // And the telemetry actually ran.
+    let prof = observed.profile.stages.expect("stage breakdown collected");
+    assert!(prof.timed_cycles > 0);
+    let reg = observed.net.metrics().expect("registry attached");
+    assert!(!reg.frames().is_empty(), "no metrics frames captured");
+    assert_eq!(reg.matrix_total(), observed.net.stats.packets_offered);
+}
+
+// ---- durability: the registry matrix survives snapshot/restore ---------
+
+fn own256_with_metrics() -> Network {
+    let topo = Own256::default();
+    let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+    let map = cluster_map_for(&topo, &net);
+    net.attach_metrics(noc_core::MetricsRegistry::new(map, 100));
+    net
+}
+
+#[test]
+fn registry_matrix_survives_resume() {
+    const CUT: u64 = 700;
+    const RUN: u64 = 1_500;
+    let pattern = TrafficPattern::Hotspot { target: 0, fraction: 0.2 };
+
+    let mut a = own256_with_metrics();
+    let mut inj_a = BernoulliInjector::new(0.04, 4, pattern, SEED);
+    inj_a.drive(&mut a, CUT);
+    let snap = a.snapshot();
+    assert!(snap.metrics.is_some(), "snapshot must carry the registry matrix");
+    inj_a.drive(&mut a, RUN - CUT);
+
+    let mut b = own256_with_metrics();
+    b.restore(&snap).expect("restore with registry attached");
+    let mut inj_b = BernoulliInjector::new(0.04, 4, pattern, SEED);
+    inj_b.skip_cycles(CUT, b.num_cores() as u32);
+    inj_b.drive(&mut b, RUN - CUT);
+
+    assert_eq!(a.stats, b.stats, "NetStats after resume");
+    let (ra, rb) = (a.metrics().unwrap(), b.metrics().unwrap());
+    assert_eq!(ra.matrix(), rb.matrix(), "traffic matrix after resume");
+    assert_eq!(ra.matrix_total(), a.stats.packets_offered, "matrix balances offers");
+}
+
+#[test]
+fn restore_without_metrics_state_resets_matrix() {
+    // A pre-telemetry snapshot (no metrics section) restored into a network
+    // WITH a registry: the matrix restarts from zero, stats still restore.
+    let mut plain = Own256::default().build(RouterConfig::default());
+    let mut inj = BernoulliInjector::new(0.04, 4, TrafficPattern::Uniform, SEED);
+    inj.drive(&mut plain, 300);
+    let snap = plain.snapshot();
+    assert!(snap.metrics.is_none());
+
+    let mut with_reg = own256_with_metrics();
+    // Throttle config differs but shape matches; restore only checks shape.
+    with_reg.restore(&snap).expect("older snapshot restores into a telemetry network");
+    assert_eq!(with_reg.metrics().unwrap().matrix_total(), 0, "matrix restarted");
+    assert_eq!(with_reg.stats.packets_offered, plain.stats.packets_offered);
+}
+
+// ---- property: counters balance under arbitrary offer streams ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn offers_balance_and_matrix_counts_offered(
+        seed in 0u64..1_000,
+        rate in 0.01f64..0.9,
+        cycles in 200u64..600,
+    ) {
+        let topo = own(256);
+        let mut net = topo.build(RouterConfig::default().with_throttle(4, 1));
+        let map = cluster_map_for(topo.as_ref(), &net);
+        net.attach_metrics(noc_core::MetricsRegistry::new(map, 64));
+        let pattern = TrafficPattern::Hotspot { target: 3, fraction: 0.3 };
+        let mut inj = BernoulliInjector::new(rate, 4, pattern, seed);
+        inj.drive(&mut net, cycles);
+
+        let s = &net.stats;
+        let reg = net.metrics().unwrap();
+        // Every admitted offer is counted in the matrix, nothing else is.
+        prop_assert_eq!(reg.matrix_total(), s.packets_offered);
+        // Delivered/ejected tallies decompose over cores.
+        prop_assert_eq!(s.per_core_ejected.iter().sum::<u64>(), s.flits_ejected);
+        prop_assert_eq!(s.per_core_packets.iter().sum::<u64>(), s.packets_delivered);
+        // The per-bus token-wait counter only grows where buses exist.
+        prop_assert_eq!(s.bus_token_wait.len(), net.buses().len());
+    }
+}
+
+/// Direct `try_inject_packet` accounting: each attempt lands in exactly
+/// one bucket and the matrix tracks the admitted ones.
+#[test]
+fn inject_accounting_balances() {
+    let topo = Own256::default();
+    let mut net = topo.build(RouterConfig::default().with_throttle(2, 1));
+    let map = cluster_map_for(&topo, &net);
+    net.attach_metrics(noc_core::MetricsRegistry::new(map, 1_000));
+    let mut attempts = 0u64;
+    for round in 0..50u64 {
+        for src in 0..16u32 {
+            let dst = (src + 17 + (round as u32 % 3)) % 256;
+            if dst == src {
+                continue;
+            }
+            net.try_inject_packet(src, dst, 4);
+            attempts += 1;
+        }
+        net.step();
+    }
+    let s = &net.stats;
+    assert_eq!(
+        attempts,
+        s.packets_offered + s.offers_rejected + s.offers_shed + s.offers_deferred,
+        "every attempt in exactly one bucket"
+    );
+    assert!(s.offers_shed + s.offers_deferred > 0, "throttle never engaged — weak test");
+    assert_eq!(net.metrics().unwrap().matrix_total(), s.packets_offered);
+}

@@ -146,6 +146,22 @@ impl Topology for Own1024 {
         8.0 / f64::from(ser::OWN_WIRELESS)
     }
 
+    fn num_clusters(&self) -> usize {
+        (GROUPS * CLUSTERS) as usize
+    }
+
+    fn cluster_of(&self, router: u32) -> usize {
+        (router / TILES) as usize
+    }
+
+    fn num_groups(&self) -> usize {
+        GROUPS as usize
+    }
+
+    fn group_of_cluster(&self, cluster: usize) -> usize {
+        cluster / CLUSTERS as usize
+    }
+
     fn build(&self, cfg: RouterConfig) -> Network {
         assert!(cfg.vcs >= 4, "OWN needs 4 VCs");
         let mut b = NetworkBuilder::new(ROUTERS as usize, 1024, cfg);

@@ -241,6 +241,14 @@ impl Topology for Own256 {
         8.0 / f64::from(ser::OWN_WIRELESS)
     }
 
+    fn num_clusters(&self) -> usize {
+        CLUSTERS as usize
+    }
+
+    fn cluster_of(&self, router: u32) -> usize {
+        (router / TILES) as usize
+    }
+
     fn build(&self, cfg: RouterConfig) -> Network {
         assert!(cfg.vcs >= 4, "OWN needs 4 VCs (2 photonic + 2 wireless)");
         let routers = (CLUSTERS * TILES) as usize;

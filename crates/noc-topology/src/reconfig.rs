@@ -486,6 +486,14 @@ impl Topology for Own256Reconfig {
         8.0 + extra as f64
     }
 
+    fn num_clusters(&self) -> usize {
+        CLUSTERS as usize
+    }
+
+    fn cluster_of(&self, router: u32) -> usize {
+        (router / TILES) as usize
+    }
+
     fn build(&self, cfg: RouterConfig) -> Network {
         assert!(cfg.vcs >= 4);
         let routers = (CLUSTERS * TILES) as usize;

@@ -40,6 +40,29 @@ pub trait Topology: Send + Sync {
     /// [`crate::normalize`]); every topology in a comparison should report
     /// (approximately) the same value.
     fn bisection_flits_per_cycle(&self) -> f64;
+
+    /// Number of spatial clusters for telemetry aggregation (the paper's
+    /// cluster = one concentrated subnet sharing a wireless hub). Flat
+    /// topologies report a single cluster.
+    fn num_clusters(&self) -> usize {
+        1
+    }
+
+    /// Cluster owning router `router` (must be `< num_clusters()`).
+    fn cluster_of(&self, _router: u32) -> usize {
+        0
+    }
+
+    /// Number of cluster groups (the 1024-core OWN stacks 4 clusters per
+    /// group; everything else has one group).
+    fn num_groups(&self) -> usize {
+        1
+    }
+
+    /// Group owning cluster `cluster` (must be `< num_groups()`).
+    fn group_of_cluster(&self, _cluster: usize) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]
