@@ -43,7 +43,13 @@
 use rand_chacha::rand_core::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::ids::{BusId, ChannelId, Cycle};
+use crate::ids::{BusId, ChannelId, CoreId, Cycle};
+
+/// Seed-stream separator for the silent-corruption RNG: the corruption
+/// process draws from `seed ^ CORRUPTION_STREAM` so that enabling it never
+/// perturbs the link-error process draw sequence (bit-identity of existing
+/// runs with the integrity stack detached).
+const CORRUPTION_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The entity a fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +161,19 @@ pub struct FaultConfig {
     pub detect_delay: u64,
     /// Seed of the error process (independent of the traffic seed).
     pub seed: u64,
+    /// Probability that a delivered flit suffers a *silent* corruption —
+    /// a flipped payload or destination bit that aliases past the
+    /// link-level check (distinct from the BER process above, which is
+    /// always detected at the reader). Drawn from a separate seeded RNG
+    /// stream, so `0.0` (the default) draws nothing and leaves every
+    /// existing run bit-identical.
+    pub corruption_rate: f64,
+    /// End-to-end payload-CRC checking (see `crate::integrity`). When on,
+    /// each hop reader reverifies the flit CRC, so silent corruptions are
+    /// caught and fed into the NACK/retransmit machinery — delivered
+    /// payloads are then provably clean. When off, corrupted flits flow to
+    /// the sink (`corrupted_delivered` / `misroutes` count the damage).
+    pub e2e_crc: bool,
 }
 
 impl Default for FaultConfig {
@@ -168,6 +187,8 @@ impl Default for FaultConfig {
             backoff_cap: 4,
             detect_delay: 100,
             seed: 0xFA_017,
+            corruption_rate: 0.0,
+            e2e_crc: true,
         }
     }
 }
@@ -207,6 +228,12 @@ pub(crate) struct FaultCtx {
     pub(crate) recoveries: Vec<(Cycle, FaultTarget)>,
     /// Packet ids poisoned by exhausted retries, discarded at ejection.
     pub poisoned: std::collections::HashSet<u64>,
+    /// Packet ids carrying a silently corrupted payload (end-to-end CRC
+    /// off): the tail's ejection counts them in `corrupted_delivered`.
+    pub corrupt: std::collections::HashSet<u64>,
+    /// Packets whose head `dst` was silently corrupted, mapped to their
+    /// *original* destination: the tail's ejection counts a misroute.
+    pub misrouted: std::collections::HashMap<u64, CoreId>,
     /// First cycle at which any fault became active (anchor for the
     /// post-fault latency histogram).
     pub first_fault_at: Option<Cycle>,
@@ -216,6 +243,11 @@ pub(crate) struct FaultCtx {
     /// generator internals.
     pub(crate) rng_draws: u64,
     rng: ChaCha8Rng,
+    /// Draws taken from the silent-corruption stream (`crng`), replayed on
+    /// restore exactly like `rng_draws`. Only advances when
+    /// `cfg.corruption_rate > 0`.
+    pub(crate) crng_draws: u64,
+    crng: ChaCha8Rng,
 }
 
 impl FaultCtx {
@@ -227,7 +259,13 @@ impl FaultCtx {
         };
         let channel_fer = fer(&cfg.channel_ber, n_channels);
         let bus_fer = fer(&cfg.bus_ber, n_buses);
+        assert!(
+            (0.0..=1.0).contains(&cfg.corruption_rate),
+            "corruption_rate must be a probability, got {}",
+            cfg.corruption_rate
+        );
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let crng = ChaCha8Rng::seed_from_u64(cfg.seed ^ CORRUPTION_STREAM);
         FaultCtx {
             sorted,
             next_event: 0,
@@ -239,9 +277,13 @@ impl FaultCtx {
             notices: Vec::new(),
             recoveries: Vec::new(),
             poisoned: std::collections::HashSet::new(),
+            corrupt: std::collections::HashSet::new(),
+            misrouted: std::collections::HashMap::new(),
             first_fault_at: None,
             rng_draws: 0,
             rng,
+            crng_draws: 0,
+            crng,
             cfg,
         }
     }
@@ -256,6 +298,15 @@ impl FaultCtx {
             self.rng.next_u64();
         }
         self.rng_draws = draws;
+    }
+
+    /// [`FaultCtx::replay_rng`] for the silent-corruption stream.
+    pub(crate) fn replay_crng(&mut self, draws: u64) {
+        self.crng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ CORRUPTION_STREAM);
+        for _ in 0..draws {
+            self.crng.next_u64();
+        }
+        self.crng_draws = draws;
     }
 
     /// Activate faults due at `now` and clear nothing (clearing is implicit
@@ -391,6 +442,34 @@ impl FaultCtx {
     pub fn retry_delay(&self, rtt: u64, retry: u8) -> u64 {
         let shift = retry.saturating_sub(1).min(self.cfg.backoff_cap);
         rtt << shift
+    }
+
+    /// Whether the end-to-end CRC audits flits at the ejection sink (only
+    /// meaningful while the corruption process is enabled — an untouched
+    /// payload cannot fail its CRC).
+    #[inline]
+    pub fn verifies_sink(&self) -> bool {
+        self.cfg.e2e_crc && self.cfg.corruption_rate > 0.0
+    }
+
+    /// Draw the silent-corruption process for one delivery attempt:
+    /// `None` = clean, `Some(r)` = corrupted, where `r` is an action word
+    /// from which the caller derives the flipped bit (and, for heads, a
+    /// possible destination rewrite). Draws randomness — from the
+    /// dedicated corruption stream — only when the rate is nonzero.
+    #[inline]
+    pub fn silent_corruption(&mut self) -> Option<u64> {
+        let p = self.cfg.corruption_rate;
+        if p <= 0.0 {
+            return None;
+        }
+        self.crng_draws += 1;
+        let u = (self.crng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= p {
+            return None;
+        }
+        self.crng_draws += 1;
+        Some(self.crng.next_u64())
     }
 }
 

@@ -81,6 +81,13 @@ pub struct Flit {
     /// keeps flowing (preserving flow control) but the destination discards
     /// its packet instead of counting a delivery.
     pub poisoned: bool,
+    /// Payload word, stamped at segmentation as a pure function of
+    /// `(packet_id, seq)` (see [`crate::integrity::payload_for`]). The
+    /// silent-corruption fault mode may flip a bit of it in flight.
+    pub payload: u64,
+    /// CRC-16 over the integrity-covered fields (payload, dst, identity),
+    /// stamped at segmentation (see [`crate::integrity`]).
+    pub crc: u16,
 }
 
 /// A packet: the injection/delivery unit.
@@ -99,10 +106,11 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Produce the `seq`-th flit of this packet.
+    /// Produce the `seq`-th flit of this packet, stamped with its clean
+    /// payload and integrity CRC (see [`crate::integrity`]).
     #[inline]
     pub fn flit(&self, seq: u16) -> Flit {
-        Flit {
+        let mut f = Flit {
             packet_id: self.id,
             seq,
             packet_len: self.len,
@@ -115,7 +123,11 @@ impl Packet {
             hops: 0,
             retries: 0,
             poisoned: false,
-        }
+            payload: 0,
+            crc: 0,
+        };
+        crate::integrity::stamp(&mut f);
+        f
     }
 }
 

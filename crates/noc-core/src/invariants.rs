@@ -26,9 +26,71 @@
 //!    the O(1) backlog counter agree with a from-scratch recomputation:
 //!    nothing with pending work is ever skipped, and membership flags
 //!    match list membership exactly.
+//! 7. **Packet conservation** — every packet the sources ever offered is
+//!    accounted for exactly once: delivered, dropped corrupt, misrouted,
+//!    recovered (deadlock escape), still queued at a source NIC, or in
+//!    flight (its tail flit somewhere in a buffer or on a medium). No
+//!    packet is double-counted and none leaks.
+
+use std::collections::HashSet;
 
 use crate::network::Network;
 use crate::router::{OutTarget, Upstream, VcState};
+
+/// Packet-level conservation ledger (invariant 7). Produced by
+/// [`Network::accounting`]; `balanced()` is the law the chaos harness
+/// asserts at every checkpoint cut:
+/// `offered == delivered + dropped_corrupt + misroutes + recoveries +
+///  source_backlog + tails_in_network`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accounting {
+    /// Packets admitted by source NICs (`packets_offered`).
+    pub offered: u64,
+    /// Packets whose tail ejected clean at the right core.
+    pub delivered: u64,
+    /// Packets discarded at the sink after retry exhaustion (poisoned).
+    pub dropped_corrupt: u64,
+    /// Packets ejected at the wrong core (silently flipped destination).
+    pub misroutes: u64,
+    /// Packets flushed by watchdog-triggered deadlock recovery.
+    pub recoveries: u64,
+    /// Packets queued or streaming at source NICs (`total_backlog`).
+    pub source_backlog: u64,
+    /// Distinct packets whose tail flit is in a VC buffer or in flight
+    /// on a channel or bus (fully injected, not yet ejected).
+    pub tails_in_network: u64,
+}
+
+impl Accounting {
+    /// The conservation law: every offered packet is in exactly one bin.
+    pub fn balanced(&self) -> bool {
+        self.offered
+            == self.delivered
+                + self.dropped_corrupt
+                + self.misroutes
+                + self.recoveries
+                + self.source_backlog
+                + self.tails_in_network
+    }
+}
+
+impl std::fmt::Display for Accounting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "offered {} = delivered {} + dropped {} + misrouted {} + recovered {} \
+             + backlog {} + in-flight {}{}",
+            self.offered,
+            self.delivered,
+            self.dropped_corrupt,
+            self.misroutes,
+            self.recoveries,
+            self.source_backlog,
+            self.tails_in_network,
+            if self.balanced() { "" } else { "  [UNBALANCED]" }
+        )
+    }
+}
 
 impl Network {
     /// Audit global invariants; panics with a description on violation.
@@ -42,6 +104,53 @@ impl Network {
         self.check_holder_symmetry();
         self.check_bus_ownership_symmetry();
         self.check_active_sets();
+        self.check_conservation();
+    }
+
+    /// Build the packet-conservation ledger (invariant 7) by walking every
+    /// VC buffer and medium for tail flits. `O(flits in network)`.
+    pub fn accounting(&self) -> Accounting {
+        let mut tails: HashSet<u64> = HashSet::new();
+        for r in &self.routers {
+            for ip in &r.in_ports {
+                for vc in &ip.vcs {
+                    for (_, f) in &vc.buf {
+                        if f.kind.is_tail() {
+                            tails.insert(f.packet_id);
+                        }
+                    }
+                }
+            }
+        }
+        for ch in &self.channels {
+            for (_, f) in &ch.in_flight {
+                if f.kind.is_tail() {
+                    tails.insert(f.packet_id);
+                }
+            }
+        }
+        for bus in &self.buses {
+            for (_, _, f) in &bus.in_flight {
+                if f.kind.is_tail() {
+                    tails.insert(f.packet_id);
+                }
+            }
+        }
+        Accounting {
+            offered: self.stats.packets_offered,
+            delivered: self.stats.packets_delivered,
+            dropped_corrupt: self.stats.packets_dropped_corrupt,
+            misroutes: self.stats.misroutes,
+            recoveries: self.stats.recoveries,
+            source_backlog: self.total_backlog,
+            tails_in_network: tails.len() as u64,
+        }
+    }
+
+    /// Invariant 7: the packet-conservation ledger balances.
+    fn check_conservation(&self) {
+        let acct = self.accounting();
+        assert!(acct.balanced(), "packet conservation violated: {acct}");
     }
 
     /// Invariant 6: every component with pending work is on its phase's
@@ -213,7 +322,7 @@ impl Network {
                     };
                     let ivc = &self.routers[wr as usize].in_ports[pi as usize].vcs[vi as usize];
                     match ivc.state {
-                        VcState::Active { out_port, out_vc, reader } => assert!(
+                        VcState::Active { out_port, out_vc, reader, .. } => assert!(
                             out_port == wp && out_vc as usize == vc && reader as usize == ri,
                             "bus {bi} reader {ri} vc {vc}: claim by writer {w} backed by \
                              in ({pi},{vi}) which is Active on out ({out_port},{out_vc}) \
@@ -258,7 +367,7 @@ impl Network {
             // Active input VCs are registered as holders.
             for (pi, ip) in r.in_ports.iter().enumerate() {
                 for (vi, ivc) in ip.vcs.iter().enumerate() {
-                    if let VcState::Active { out_port, out_vc, reader } = ivc.state {
+                    if let VcState::Active { out_port, out_vc, reader, .. } = ivc.state {
                         let op = &r.out_ports[out_port as usize];
                         assert_eq!(
                             op.vcs[out_vc as usize].holder,

@@ -52,6 +52,7 @@ pub mod config;
 pub mod fault;
 pub mod flit;
 pub mod ids;
+pub mod integrity;
 pub mod invariants;
 pub mod network;
 pub mod nic;
@@ -71,6 +72,7 @@ pub use config::{RouterConfig, ThrottlePolicy};
 pub use fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
+pub use invariants::Accounting;
 pub use network::Network;
 pub use obs::{CountingObserver, EventKind, NocEvent, NullObserver, Observer};
 pub use routing::{RouteDecision, RoutingAlg, SteerAction};
@@ -81,4 +83,6 @@ pub use telemetry::{
     ClusterMap, MetricsFrame, MetricsRegistry, MetricsState, Stage, StageBreakdown, StageProfiler,
     StageSeriesPoint, STAGE_COUNT, STAGE_NAMES,
 };
-pub use watchdog::{StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL};
+pub use watchdog::{
+    RecoveredPacket, RecoveryReport, StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL,
+};

@@ -76,7 +76,7 @@ pub struct Network {
     /// Attached event observer, if any. Event emission sites check this
     /// `Option` once and otherwise cost nothing; presence or absence of an
     /// observer never changes simulation behaviour or statistics.
-    observer: Option<Box<dyn Observer>>,
+    pub(crate) observer: Option<Box<dyn Observer>>,
     /// Fault-injection state, if a [`FaultConfig`] is attached. `None` (the
     /// default) costs one branch per phase; an attached-but-inert config
     /// (empty schedule, zero BER) draws no randomness and perturbs nothing,
@@ -754,8 +754,99 @@ impl Network {
         true
     }
 
+    /// Silent-corruption check at the reader of a medium, run after
+    /// [`Network::fault_check`] passes a delivery. Models a bit flip that
+    /// aliases past the link-level check: with the end-to-end CRC on the
+    /// hop reader still catches it (the payload is never damaged) and the
+    /// flit takes the same NACK/retransmit path as a link corruption; with
+    /// it off the flit is mutated in place — a payload bit flips, or (for
+    /// heads, occasionally) the destination field, misrouting the whole
+    /// packet. Returns `true` when delivery from this medium must stop.
+    #[allow(clippy::too_many_arguments)] // sibling of fault_check, same splat
+    fn corruption_check(
+        ctx: &mut FaultCtx,
+        stats: &mut NetStats,
+        observer: &mut Option<Box<dyn Observer>>,
+        target: FaultTarget,
+        arrival: &mut Cycle,
+        flit: &mut crate::flit::Flit,
+        rtt: u64,
+        now: Cycle,
+        num_cores: usize,
+    ) -> bool {
+        if flit.poisoned {
+            return false;
+        }
+        let Some(r) = ctx.silent_corruption() else { return false };
+        if ctx.cfg.e2e_crc {
+            // Caught by the end-to-end payload CRC at this hop's reader:
+            // NACK into the existing retransmit machinery, exactly like a
+            // link-level corruption. The clean payload is retransmitted,
+            // so delivered payloads stay provably clean.
+            stats.corrupted_detected += 1;
+            flit.retries = flit.retries.saturating_add(1);
+            let retry = flit.retries;
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_event(&NocEvent::CorruptionDetected {
+                    at: now,
+                    target,
+                    packet: flit.packet_id,
+                    seq: flit.seq,
+                    retry,
+                });
+            }
+            if retry > ctx.cfg.retry_limit {
+                flit.poisoned = true;
+                ctx.poisoned.insert(flit.packet_id);
+                return false;
+            }
+            let resend_at = now + ctx.retry_delay(rtt, retry);
+            *arrival = resend_at;
+            stats.flit_retransmits += 1;
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_event(&NocEvent::RetransmitScheduled {
+                    at: now,
+                    target,
+                    packet: flit.packet_id,
+                    seq: flit.seq,
+                    resend_at,
+                });
+            }
+            return true;
+        }
+        // End-to-end check off: the damage flows. A head flit occasionally
+        // takes the flip in its destination field — downstream route
+        // computation then steers the whole packet to the wrong core.
+        let misroute = flit.kind.is_head()
+            && (r & 0xF) == 0
+            && num_cores > 1
+            && !ctx.misrouted.contains_key(&flit.packet_id);
+        if misroute {
+            let mut new_dst = ((r >> 4) % num_cores as u64) as CoreId;
+            if new_dst == flit.dst {
+                new_dst = (new_dst + 1) % num_cores as CoreId;
+            }
+            ctx.misrouted.insert(flit.packet_id, flit.dst);
+            flit.dst = new_dst;
+        } else {
+            flit.payload ^= 1 << (r % 64);
+            ctx.corrupt.insert(flit.packet_id);
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_event(&NocEvent::FlitSilentlyCorrupted {
+                at: now,
+                target,
+                packet: flit.packet_id,
+                seq: flit.seq,
+                misroute,
+            });
+        }
+        false
+    }
+
     fn deliver(&mut self) {
         let now = self.now;
+        let num_cores = self.nics.len();
         // Only media with flits or credits in flight can deliver anything;
         // both work lists drain to empty queues. Ascending id order is
         // load-bearing: the shared fault RNG draws in medium order, and
@@ -785,6 +876,11 @@ impl Network {
                         let target = FaultTarget::Channel(ci as ChannelId);
                         if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now)
                         {
+                            break;
+                        }
+                        if Self::corruption_check(
+                            ctx, stats, observer, target, arrival, flit, rtt, now, num_cores,
+                        ) {
                             break;
                         }
                     }
@@ -841,6 +937,11 @@ impl Network {
                         let target = FaultTarget::Bus(bi as BusId);
                         if Self::fault_check(ctx, stats, observer, target, arrival, flit, rtt, now)
                         {
+                            break;
+                        }
+                        if Self::corruption_check(
+                            ctx, stats, observer, target, arrival, flit, rtt, now, num_cores,
+                        ) {
                             break;
                         }
                     }
@@ -909,7 +1010,7 @@ impl Network {
                 let crate::router::InPort { vcs, sa_vc_arb, .. } = ip;
                 let nominee = sa_vc_arb.grant(|vi| {
                     let vc = &vcs[vi];
-                    let VcState::Active { out_port, out_vc, reader } = vc.state else {
+                    let VcState::Active { out_port, out_vc, reader, .. } = vc.state else {
                         return false;
                     };
                     if vc.stage_cycle >= now {
@@ -1001,7 +1102,7 @@ impl Network {
         let now = self.now;
         let router = &mut self.routers[ri];
         let ivc = &mut router.in_ports[pi].vcs[vi];
-        let VcState::Active { out_port, out_vc, reader } = ivc.state else { unreachable!() };
+        let VcState::Active { out_port, out_vc, reader, .. } = ivc.state else { unreachable!() };
         let (_, mut flit) = ivc.buf.pop_front().expect("SA granted an empty VC");
         ivc.stage_cycle = now;
         let is_tail = flit.kind.is_tail();
@@ -1101,19 +1202,47 @@ impl Network {
                 if flit.created_at >= self.stats.measure_from {
                     self.stats.measured_flits_ejected += 1;
                 }
-                debug_assert_eq!(flit.dst, core, "flit ejected at wrong core");
-                // A packet any of whose flits was poisoned (exhausted link
-                // retries) fails the destination CRC: discarded, not
-                // delivered.
-                let dropped = is_tail
-                    && self
-                        .fault
-                        .as_deref_mut()
-                        .is_some_and(|ctx| ctx.poisoned.remove(&flit.packet_id));
-                if dropped {
+                debug_assert!(
+                    flit.dst == core
+                        || self
+                            .fault
+                            .as_deref()
+                            .is_some_and(|c| c.misrouted.contains_key(&flit.packet_id)),
+                    "flit ejected at wrong core"
+                );
+                // Sink-side bookkeeping. A packet whose head's destination
+                // was silently flipped ejects at the wrong core (misroute);
+                // one any of whose flits was poisoned (exhausted retries)
+                // fails the destination CRC and is discarded; one carrying
+                // a silent payload flip is delivered but counted corrupt.
+                let mut misrouted = false;
+                let mut dropped = false;
+                let mut was_corrupt = false;
+                if let Some(ctx) = self.fault.as_deref_mut() {
+                    // End-to-end audit: with corruption and the CRC both
+                    // on, any flit whose stamp fails here slipped past the
+                    // hop readers — surface it as a corrupted delivery
+                    // rather than pretending the payload is clean.
+                    if ctx.verifies_sink() && !crate::integrity::verify(&flit) {
+                        ctx.corrupt.insert(flit.packet_id);
+                    }
+                    if is_tail {
+                        misrouted = ctx.misrouted.remove(&flit.packet_id).is_some();
+                        let poisoned = ctx.poisoned.remove(&flit.packet_id);
+                        was_corrupt = ctx.corrupt.remove(&flit.packet_id);
+                        dropped = poisoned && !misrouted;
+                    }
+                }
+                if misrouted {
+                    self.stats.misroutes += 1;
+                } else if dropped {
                     self.stats.packets_dropped_corrupt += 1;
                 }
-                if is_tail && !dropped {
+                let delivered = is_tail && !dropped && !misrouted;
+                if delivered {
+                    if was_corrupt {
+                        self.stats.corrupted_delivered += 1;
+                    }
                     // +1 for the ejection link traversal.
                     self.stats.packet_delivered_full(
                         core,
@@ -1129,7 +1258,7 @@ impl Network {
                         packet: flit.packet_id,
                         seq: flit.seq,
                     });
-                    if is_tail && !dropped {
+                    if delivered {
                         obs.on_event(&NocEvent::PacketDelivered {
                             at: now + 1,
                             packet: flit.packet_id,
@@ -1321,7 +1450,12 @@ fn try_vc_alloc(
         buses[bus as usize].vc_owner[reader as usize][ovc as usize] = Some(writer);
     }
     let ivc = &mut router.in_ports[pi].vcs[vi];
-    ivc.state = VcState::Active { out_port, out_vc: ovc, reader };
+    // A Routed VC always buffers the head VCA is granting for (RC routes
+    // only buffered heads, and flits leave only from Active VCs) — its
+    // packet id identifies the allocation holder for deadlock recovery.
+    let owner = ivc.buf.front().map_or(u64::MAX, |&(_, f)| f.packet_id);
+    debug_assert_ne!(owner, u64::MAX, "VCA granted a VC with no buffered head");
+    ivc.state = VcState::Active { out_port, out_vc: ovc, reader, owner };
     ivc.stage_cycle = now;
     true
 }

@@ -89,6 +89,19 @@ pub enum NocEvent {
     /// spare now carries traffic, `false` that it went dark. `protect`
     /// distinguishes fault protection from bandwidth reinforcement.
     SpareSteered { at: Cycle, band: u8, channel: ChannelId, active: bool, protect: bool },
+    /// The end-to-end payload CRC caught a silent corruption at a hop
+    /// reader; the flit was NACKed into the retransmit path (`retry` is
+    /// its retransmission count on this link, as for `FlitCorrupted`).
+    CorruptionDetected { at: Cycle, target: FaultTarget, packet: u64, seq: u16, retry: u8 },
+    /// A flit was silently corrupted in flight with the end-to-end check
+    /// off: it keeps flowing damaged. `misroute` distinguishes a flipped
+    /// head destination (the packet will land at the wrong core) from a
+    /// flipped payload bit.
+    FlitSilentlyCorrupted { at: Cycle, target: FaultTarget, packet: u64, seq: u16, misroute: bool },
+    /// Watchdog-triggered deadlock recovery flushed packet `packet`
+    /// (`flits` of it removed from buffers and media) to break a stall;
+    /// the source is expected to retransmit end-to-end.
+    PacketRecovered { at: Cycle, packet: u64, src: CoreId, dst: CoreId, flits: u64 },
 }
 
 /// Discriminant of a [`NocEvent`], for counting and filtering.
@@ -111,11 +124,14 @@ pub enum EventKind {
     OfferShed,
     OfferDeferred,
     SpareSteered,
+    CorruptionDetected,
+    FlitSilentlyCorrupted,
+    PacketRecovered,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (indexable by `as usize`).
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::PacketOffered,
         EventKind::PacketInjected,
         EventKind::FlitChannel,
@@ -133,6 +149,9 @@ impl EventKind {
         EventKind::OfferShed,
         EventKind::OfferDeferred,
         EventKind::SpareSteered,
+        EventKind::CorruptionDetected,
+        EventKind::FlitSilentlyCorrupted,
+        EventKind::PacketRecovered,
     ];
 
     /// Stable display name (also the JSONL `kind` tag).
@@ -155,6 +174,9 @@ impl EventKind {
             EventKind::OfferShed => "offer_shed",
             EventKind::OfferDeferred => "offer_deferred",
             EventKind::SpareSteered => "spare_steered",
+            EventKind::CorruptionDetected => "corruption_detected",
+            EventKind::FlitSilentlyCorrupted => "flit_silently_corrupted",
+            EventKind::PacketRecovered => "packet_recovered",
         }
     }
 }
@@ -180,6 +202,9 @@ impl NocEvent {
             NocEvent::OfferShed { .. } => EventKind::OfferShed,
             NocEvent::OfferDeferred { .. } => EventKind::OfferDeferred,
             NocEvent::SpareSteered { .. } => EventKind::SpareSteered,
+            NocEvent::CorruptionDetected { .. } => EventKind::CorruptionDetected,
+            NocEvent::FlitSilentlyCorrupted { .. } => EventKind::FlitSilentlyCorrupted,
+            NocEvent::PacketRecovered { .. } => EventKind::PacketRecovered,
         }
     }
 
@@ -202,7 +227,10 @@ impl NocEvent {
             | NocEvent::FailoverActivated { at, .. }
             | NocEvent::OfferShed { at, .. }
             | NocEvent::OfferDeferred { at, .. }
-            | NocEvent::SpareSteered { at, .. } => at,
+            | NocEvent::SpareSteered { at, .. }
+            | NocEvent::CorruptionDetected { at, .. }
+            | NocEvent::FlitSilentlyCorrupted { at, .. }
+            | NocEvent::PacketRecovered { at, .. } => at,
         }
     }
 }

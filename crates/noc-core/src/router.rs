@@ -25,8 +25,11 @@ pub(crate) enum VcState {
     Idle,
     /// Route computed; waiting for an output VC.
     Routed { out_port: PortId, vc_lo: u8, vc_hi: u8, reader: u16 },
-    /// Output VC allocated; flits compete in switch allocation.
-    Active { out_port: PortId, out_vc: u8, reader: u16 },
+    /// Output VC allocated; flits compete in switch allocation. `owner` is
+    /// the id of the packet holding the allocation (the head at the buffer
+    /// front when VCA granted) — deadlock recovery uses it to identify and
+    /// release the claim holder (see `Network::recover`).
+    Active { out_port: PortId, out_vc: u8, reader: u16, owner: u64 },
 }
 
 /// An input virtual channel: FIFO of `(arrival_cycle, flit)` plus state.

@@ -54,8 +54,10 @@ pub enum VcStateSnap {
     Idle,
     /// Route computed; waiting for an output VC.
     Routed { out_port: PortId, vc_lo: u8, vc_hi: u8, reader: u16 },
-    /// Output VC allocated.
-    Active { out_port: PortId, out_vc: u8, reader: u16 },
+    /// Output VC allocated. `owner` is the packet holding the allocation
+    /// (`u64::MAX` when restored from a pre-owner checkpoint with an
+    /// empty buffer — recovery then falls back to the buffered head).
+    Active { out_port: PortId, out_vc: u8, reader: u16, owner: u64 },
 }
 
 impl From<VcState> for VcStateSnap {
@@ -65,8 +67,8 @@ impl From<VcState> for VcStateSnap {
             VcState::Routed { out_port, vc_lo, vc_hi, reader } => {
                 VcStateSnap::Routed { out_port, vc_lo, vc_hi, reader }
             }
-            VcState::Active { out_port, out_vc, reader } => {
-                VcStateSnap::Active { out_port, out_vc, reader }
+            VcState::Active { out_port, out_vc, reader, owner } => {
+                VcStateSnap::Active { out_port, out_vc, reader, owner }
             }
         }
     }
@@ -79,8 +81,8 @@ impl From<VcStateSnap> for VcState {
             VcStateSnap::Routed { out_port, vc_lo, vc_hi, reader } => {
                 VcState::Routed { out_port, vc_lo, vc_hi, reader }
             }
-            VcStateSnap::Active { out_port, out_vc, reader } => {
-                VcState::Active { out_port, out_vc, reader }
+            VcStateSnap::Active { out_port, out_vc, reader, owner } => {
+                VcState::Active { out_port, out_vc, reader, owner }
             }
         }
     }
@@ -178,9 +180,15 @@ pub struct FaultSnap {
     pub recoveries: Vec<(Cycle, FaultTarget)>,
     /// Poisoned packet ids, sorted for deterministic encoding.
     pub poisoned: Vec<u64>,
+    /// Silently corrupted (payload-flipped) packet ids, sorted.
+    pub corrupt: Vec<u64>,
+    /// Misrouted packet ids with their *original* destinations, sorted.
+    pub misrouted: Vec<(u64, crate::ids::CoreId)>,
     pub first_fault_at: Option<Cycle>,
     /// Error-process draws taken so far; restore replays this many.
     pub rng_draws: u64,
+    /// Silent-corruption-process draws taken so far (separate stream).
+    pub crng_draws: u64,
     /// Validation fingerprint: the attached config must have the same
     /// schedule length and seed.
     pub schedule_len: usize,
@@ -314,6 +322,11 @@ impl Network {
         let fault = self.fault.as_deref().map(|ctx| {
             let mut poisoned: Vec<u64> = ctx.poisoned.iter().copied().collect();
             poisoned.sort_unstable();
+            let mut corrupt: Vec<u64> = ctx.corrupt.iter().copied().collect();
+            corrupt.sort_unstable();
+            let mut misrouted: Vec<(u64, _)> =
+                ctx.misrouted.iter().map(|(&id, &dst)| (id, dst)).collect();
+            misrouted.sort_unstable();
             FaultSnap {
                 next_event: ctx.next_event,
                 channel_down_until: ctx.channel_down_until.clone(),
@@ -322,8 +335,11 @@ impl Network {
                 notices: ctx.notices.clone(),
                 recoveries: ctx.recoveries.clone(),
                 poisoned,
+                corrupt,
+                misrouted,
                 first_fault_at: ctx.first_fault_at,
                 rng_draws: ctx.rng_draws,
+                crng_draws: ctx.crng_draws,
                 schedule_len: ctx.schedule_len(),
                 seed: ctx.cfg.seed,
             }
@@ -421,8 +437,11 @@ impl Network {
             ctx.notices = fs.notices.clone();
             ctx.recoveries = fs.recoveries.clone();
             ctx.poisoned = fs.poisoned.iter().copied().collect();
+            ctx.corrupt = fs.corrupt.iter().copied().collect();
+            ctx.misrouted = fs.misrouted.iter().copied().collect();
             ctx.first_fault_at = fs.first_fault_at;
             ctx.replay_rng(fs.rng_draws);
+            ctx.replay_crng(fs.crng_draws);
         }
         // Reseed observer edge detection from the restored medium state.
         if self.has_observer() {

@@ -116,6 +116,25 @@ pub struct NetStats {
     pub per_core_packets: Vec<u64>,
     /// Flit deliveries that arrived corrupted (CRC mismatch at the reader).
     pub flits_corrupted: u64,
+    /// Silent (link-CRC-aliasing) corruptions caught by the end-to-end
+    /// payload CRC at a hop reader and fed into the NACK/retransmit path
+    /// (see `crate::integrity`). 0 when the end-to-end check is off.
+    pub corrupted_detected: u64,
+    /// Packets delivered to their destination with a corrupted payload —
+    /// silent corruption that no enabled check caught. Provably 0 when the
+    /// end-to-end CRC is on.
+    pub corrupted_delivered: u64,
+    /// Packets delivered to the *wrong* destination after a silent
+    /// corruption of the head flit's `dst` field (counted at the tail's
+    /// ejection; such packets are not counted in `packets_delivered`).
+    pub misroutes: u64,
+    /// Packets forcibly flushed from the network by watchdog-triggered
+    /// deadlock recovery (see `Network::recover`).
+    pub recoveries: u64,
+    /// Flits removed from buffers and media by deadlock recovery —
+    /// injected but never ejected, accounted here so
+    /// [`NetStats::flits_in_network`] stays exact.
+    pub flits_flushed: u64,
     /// Link-level retransmissions scheduled (NACK + writer resend).
     pub flit_retransmits: u64,
     /// Packets discarded at the destination because a flit exhausted its
@@ -169,6 +188,11 @@ impl NetStats {
             per_core_ejected: vec![0; n_cores],
             per_core_packets: vec![0; n_cores],
             flits_corrupted: 0,
+            corrupted_detected: 0,
+            corrupted_delivered: 0,
+            misroutes: 0,
+            recoveries: 0,
+            flits_flushed: 0,
             flit_retransmits: 0,
             packets_dropped_corrupt: 0,
             offers_rejected: 0,
@@ -222,9 +246,10 @@ impl NetStats {
         }
     }
 
-    /// Flits in flight (injected but not yet ejected).
+    /// Flits in flight (injected but not yet ejected or flushed by
+    /// deadlock recovery).
     pub fn flits_in_network(&self) -> u64 {
-        self.flits_injected - self.flits_ejected
+        self.flits_injected - self.flits_ejected - self.flits_flushed
     }
 
     /// Accepted throughput in flits/core/cycle over `(from, to]` given a

@@ -29,9 +29,10 @@
 
 use std::fmt;
 
-use crate::ids::{BusId, Cycle, PortId, RouterId};
+use crate::ids::{BusId, CoreId, Cycle, PortId, RouterId};
 use crate::network::Network;
-use crate::router::{OutTarget, VcState};
+use crate::obs::NocEvent;
+use crate::router::{OutTarget, Upstream, VcState};
 
 /// Default progress-check interval in cycles.
 pub const DEFAULT_WATCHDOG_INTERVAL: u64 = 4096;
@@ -102,6 +103,17 @@ impl Watchdog {
         }
         self.stalled_intervals >= HYSTERESIS
     }
+
+    /// Re-arm after a recovery action: baseline the counter at `progress`,
+    /// clear the hysteresis count, and schedule the next check a full
+    /// interval out — the escape path needs a quiet window to drain the
+    /// freed resources before the watchdog may fire again.
+    pub fn reset(&mut self, now: Cycle, progress: u64) {
+        self.next_check = now + self.interval;
+        self.last_progress = progress;
+        self.progressed_at = now;
+        self.stalled_intervals = 0;
+    }
 }
 
 /// One occupied input virtual channel at the moment of a stall.
@@ -114,6 +126,9 @@ pub struct StalledVc {
     pub buffered: usize,
     /// Packet id of the flit at the buffer head, if any.
     pub head_packet: Option<u64>,
+    /// Packet holding the VC's output allocation (Active only) — the
+    /// recovery escape path's primary victim candidate.
+    pub owner: Option<u64>,
     /// Pipeline state name: `"idle"`, `"routed"`, or `"active"`.
     pub state: &'static str,
     /// Output port the packet holds or requests (Routed/Active).
@@ -278,11 +293,18 @@ impl Network {
                     if ivc.buf.is_empty() && ivc.state == VcState::Idle {
                         continue;
                     }
-                    let (state, out_port, out_vc) = match ivc.state {
-                        VcState::Idle => ("idle", None, None),
-                        VcState::Routed { out_port, .. } => ("routed", Some(out_port), None),
-                        VcState::Active { out_port, out_vc, .. } => {
-                            ("active", Some(out_port), Some(out_vc))
+                    let (state, out_port, out_vc, owner) = match ivc.state {
+                        VcState::Idle => ("idle", None, None, None),
+                        VcState::Routed { out_port, .. } => ("routed", Some(out_port), None, None),
+                        VcState::Active { out_port, out_vc, owner, .. } => {
+                            // u64::MAX is the "unknown" sentinel used when
+                            // restoring pre-owner checkpoints.
+                            (
+                                "active",
+                                Some(out_port),
+                                Some(out_vc),
+                                (owner != u64::MAX).then_some(owner),
+                            )
                         }
                     };
                     let out_credits = match (out_port, out_vc) {
@@ -307,6 +329,7 @@ impl Network {
                         vc: vi as u8,
                         buffered: ivc.buf.len(),
                         head_packet: ivc.buf.front().map(|&(_, f)| f.packet_id),
+                        owner,
                         state,
                         out_port,
                         out_vc,
@@ -400,6 +423,271 @@ impl Network {
         } else {
             Err(self.stall_report(dog.progressed_at(), true))
         }
+    }
+}
+
+// ---- deadlock recovery ------------------------------------------------
+
+/// One packet flushed by the recovery escape path.
+#[derive(Debug, Clone)]
+pub struct RecoveredPacket {
+    pub packet: u64,
+    pub src: CoreId,
+    /// Intended destination (the original one, if the packet had been
+    /// silently misrouted).
+    pub dst: CoreId,
+    /// Flits removed from buffers and media.
+    pub flits: u64,
+}
+
+/// Outcome of one watchdog-triggered recovery pass ([`Network::recover`]).
+///
+/// Plain data for the `noc-sim` exporters, `Display` for log lines. An
+/// empty `recovered` list means the escape path found nothing to flush —
+/// the stall is not resolvable this way and the caller should fall back
+/// to the hard-stop path.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Cycle the recovery ran.
+    pub at: Cycle,
+    /// Victim budget the caller allowed.
+    pub budget: usize,
+    /// Packets actually flushed, in victim order.
+    pub recovered: Vec<RecoveredPacket>,
+}
+
+impl RecoveryReport {
+    /// Whether the pass freed anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.recovered.is_empty()
+    }
+
+    /// Total flits removed across all victims.
+    pub fn flits_flushed(&self) -> u64 {
+        self.recovered.iter().map(|r| r.flits).sum()
+    }
+
+    /// One-line summary for log output.
+    pub fn summary(&self) -> String {
+        format!(
+            "recovery at cycle {}: flushed {} packet(s), {} flit(s) (budget {})",
+            self.at,
+            self.recovered.len(),
+            self.flits_flushed(),
+            self.budget,
+        )
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for r in &self.recovered {
+            writeln!(
+                f,
+                "    pkt {} ({} -> {}): {} flit(s) flushed",
+                r.packet, r.src, r.dst, r.flits
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`Network::flush_packet`] found and removed.
+struct FlushedPacket {
+    flits: u64,
+    src: CoreId,
+    dst: CoreId,
+}
+
+impl Network {
+    /// Deadlock **recovery**: instead of giving up on a [`StallReport`],
+    /// flush up to `budget` of the packets blocking the stalled VCs
+    /// (poison-and-retransmit at a higher layer — the engine's contract is
+    /// only that the flush is leak-free). For every victim the escape path
+    /// removes all its flits from VC buffers and media, returns the freed
+    /// buffer credits upstream, releases its output-VC allocations and bus
+    /// claims, cancels any in-progress source streaming, and counts the
+    /// packet in `NetStats::recoveries` — so packet conservation
+    /// (invariant 7) keeps holding and the wormhole machinery is left in a
+    /// state the remaining traffic can drain from.
+    ///
+    /// Victims are chosen in report order: the packet *holding* each
+    /// stalled VC's output allocation first (breaking the hold releases
+    /// the cycle), falling back to the buffered head. The caller re-arms
+    /// its [`Watchdog`] with [`Watchdog::reset`] afterwards; an empty
+    /// report means nothing could be freed and the stall is terminal.
+    pub fn recover(&mut self, report: &StallReport, budget: usize) -> Box<RecoveryReport> {
+        let mut victims: Vec<u64> = Vec::new();
+        for vc in &report.stalled_vcs {
+            if let Some(id) = vc.owner.or(vc.head_packet) {
+                if !victims.contains(&id) {
+                    victims.push(id);
+                }
+            }
+        }
+        victims.truncate(budget);
+        let now = self.now;
+        let mut recovered = Vec::new();
+        for id in victims {
+            let Some(fp) = self.flush_packet(id) else { continue };
+            self.stats.recoveries += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_event(&NocEvent::PacketRecovered {
+                    at: now,
+                    packet: id,
+                    src: fp.src,
+                    dst: fp.dst,
+                    flits: fp.flits,
+                });
+            }
+            recovered.push(RecoveredPacket {
+                packet: id,
+                src: fp.src,
+                dst: fp.dst,
+                flits: fp.flits,
+            });
+        }
+        // The sweep bypassed the incremental work-list maintenance; the
+        // recompute also refreshes `total_backlog` after any cancelled
+        // source streams.
+        self.rebuild_active_sets();
+        Box::new(RecoveryReport { at: now, budget, recovered })
+    }
+
+    /// Remove every trace of packet `id` from the network, leak-free:
+    /// flits in VC buffers (credits returned upstream), flits in flight on
+    /// channels and buses (credits returned to the sender side), output-VC
+    /// allocations it holds (holder and bus `vc_owner` claims released),
+    /// an in-progress NIC streaming slot, and its fault-tracking entries.
+    /// Returns `None` when the packet left no trace (already drained).
+    fn flush_packet(&mut self, id: u64) -> Option<FlushedPacket> {
+        let now = self.now;
+        let mut flits = 0u64;
+        let mut meta: Option<(CoreId, CoreId)> = None;
+        let mut touched = false;
+
+        // Flits in flight on point-to-point channels.
+        for ch in &mut self.channels {
+            let mut removed_vcs: Vec<u8> = Vec::new();
+            ch.in_flight.retain(|(_, f)| {
+                if f.packet_id == id {
+                    removed_vcs.push(f.vc);
+                    meta.get_or_insert((f.src, f.dst));
+                    false
+                } else {
+                    true
+                }
+            });
+            flits += removed_vcs.len() as u64;
+            for vc in removed_vcs {
+                ch.send_credit(now, vc);
+            }
+        }
+
+        // Flits in flight on buses.
+        for bus in &mut self.buses {
+            let mut removed: Vec<(u16, u8)> = Vec::new();
+            bus.in_flight.retain(|(_, reader, f)| {
+                if f.packet_id == id {
+                    removed.push((*reader, f.vc));
+                    meta.get_or_insert((f.src, f.dst));
+                    false
+                } else {
+                    true
+                }
+            });
+            flits += removed.len() as u64;
+            for (reader, vc) in removed {
+                bus.send_credit(now, reader, vc);
+            }
+        }
+
+        // Flits in VC buffers, plus the allocations the packet holds.
+        for ri in 0..self.routers.len() {
+            for pi in 0..self.routers[ri].in_ports.len() {
+                let upstream = self.routers[ri].in_ports[pi].upstream;
+                for vi in 0..self.routers[ri].in_ports[pi].vcs.len() {
+                    let ivc = &mut self.routers[ri].in_ports[pi].vcs[vi];
+                    let front_was_victim = ivc.buf.front().is_some_and(|&(_, f)| f.packet_id == id);
+                    let before = ivc.buf.len();
+                    ivc.buf.retain(|(_, f)| {
+                        if f.packet_id == id {
+                            meta.get_or_insert((f.src, f.dst));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let removed = before - ivc.buf.len();
+                    // Release the allocation the victim holds; a Routed
+                    // state computed for the victim's (removed) head is
+                    // stale, so drop it back to Idle for recomputation.
+                    match ivc.state {
+                        VcState::Active { out_port, out_vc, reader, owner } if owner == id => {
+                            ivc.state = VcState::Idle;
+                            let op = &mut self.routers[ri].out_ports[out_port as usize];
+                            op.vcs[out_vc as usize].holder = None;
+                            if let OutTarget::Bus { bus, .. } = op.target {
+                                self.buses[bus as usize].vc_owner[reader as usize]
+                                    [out_vc as usize] = None;
+                            }
+                        }
+                        VcState::Routed { .. } if front_was_victim => {
+                            self.routers[ri].in_ports[pi].vcs[vi].state = VcState::Idle;
+                        }
+                        _ => {}
+                    }
+                    if removed > 0 {
+                        flits += removed as u64;
+                        match upstream {
+                            Upstream::Channel(ch) => {
+                                for _ in 0..removed {
+                                    self.channels[ch as usize].send_credit(now, vi as u8);
+                                }
+                            }
+                            Upstream::Bus { bus, reader } => {
+                                for _ in 0..removed {
+                                    self.buses[bus as usize].send_credit(now, reader, vi as u8);
+                                }
+                            }
+                            Upstream::Inject(core) => {
+                                self.nics[core as usize].credits[vi] += removed as u32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cancel an in-progress source stream (remaining flits are simply
+        // never injected; the ones already out were swept above).
+        for nic in &mut self.nics {
+            if nic.streaming.as_ref().is_some_and(|(p, ..)| p.id == id) {
+                let (p, ..) = nic.streaming.take().unwrap();
+                meta.get_or_insert((p.src, p.dst));
+                touched = true;
+            }
+        }
+
+        // Purge fault-tracking state; a misrouted victim reports its
+        // original destination.
+        if let Some(ctx) = self.fault.as_deref_mut() {
+            ctx.poisoned.remove(&id);
+            ctx.corrupt.remove(&id);
+            if let Some(orig) = ctx.misrouted.remove(&id) {
+                if let Some(m) = meta.as_mut() {
+                    m.1 = orig;
+                }
+            }
+        }
+
+        if flits == 0 && !touched {
+            return None;
+        }
+        self.stats.flits_flushed += flits;
+        let (src, dst) = meta.unwrap_or((0, 0));
+        Some(FlushedPacket { flits, src, dst })
     }
 }
 

@@ -18,6 +18,9 @@
 //!   10 dB gain around 90 GHz).
 //! * [`transceiver`] — the assembled OOK link: DC power and energy per bit,
 //!   cross-checked against the Table III projections in `noc-power`.
+//! * [`coding`] — SECDED/Hamming forward error correction: post-FEC BER
+//!   from the raw link BER, rate overhead, and net coding gain on the OOK
+//!   curve, so coded and uncoded links can be compared per band.
 //!
 //! ```
 //! use noc_phy::{ClassAbPa, LinkBudget};
@@ -30,6 +33,7 @@
 //! assert!(ClassAbPa::default().can_drive_dbm(p));
 //! ```
 
+pub mod coding;
 pub mod geometry;
 pub mod interference;
 pub mod linkbudget;
@@ -38,6 +42,7 @@ pub mod oscillator;
 pub mod pa;
 pub mod transceiver;
 
+pub use coding::{LinkCoding, SecdedCode};
 pub use geometry::{Floorplan, Point};
 pub use interference::{sir, validate_own_reuse, SdmLink, SirReport};
 pub use linkbudget::LinkBudget;

@@ -36,6 +36,18 @@ pub fn ook_ber_from_snr_db(snr_db: f64) -> f64 {
     (0.5 * (-snr / 4.0).exp()).min(0.5)
 }
 
+/// Inverse of [`ook_ber_from_snr_db`]: the SNR (dB) at which OOK envelope
+/// detection reaches `ber`. Used by the coding layer to price coded vs
+/// uncoded links at a common target error rate.
+///
+/// # Panics
+///
+/// When `ber` is outside `(0, 0.5)` — the curve only attains those values.
+pub fn ook_snr_db_for_ber(ber: f64) -> f64 {
+    assert!(ber > 0.0 && ber < 0.5, "OOK BER must be in (0, 0.5), got {ber}");
+    10.0 * (4.0 * (0.5 / ber).ln()).log10()
+}
+
 /// Link-budget model for an on-chip mm-wave OOK link.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkBudget {
@@ -240,6 +252,18 @@ mod tests {
             assert!(ber < last, "BER must fall with SNR");
             last = ber;
         }
+    }
+
+    #[test]
+    fn ook_snr_inverse_round_trips() {
+        for ber in [1e-12, 1e-9, 1e-6, 1e-3, 0.1] {
+            let snr = ook_snr_db_for_ber(ber);
+            let back = ook_ber_from_snr_db(snr);
+            assert!((back / ber - 1.0).abs() < 1e-9, "{ber:e} -> {snr} dB -> {back:e}");
+        }
+        // The usual design point: ~1e-3 needs ~14 dB on this curve.
+        let snr = ook_snr_db_for_ber(1e-3);
+        assert!((13.0..15.0).contains(&snr), "got {snr}");
     }
 
     #[test]

@@ -94,11 +94,13 @@ use std::path::Path;
 use std::time::Instant;
 
 use noc_power::Scenario;
+use noc_sim::experiments::chaos::{self, ChaosOpts};
 use noc_sim::experiments::overload::{self, OverloadOpts};
-use noc_sim::experiments::resilience::{self, ResilienceOpts};
+use noc_sim::experiments::resilience::{self, CodingSelect, ResilienceOpts};
 use noc_sim::experiments::{extensions, perf, phy, power, tables, Budget};
 use noc_sim::obs::{
-    stall_report_json, write_chrome_trace_with_stall, write_jsonl_with_stall, RingRecorder,
+    recovery_report_json, stall_report_json, write_chrome_trace_with_stall, write_jsonl_with_stall,
+    RingRecorder,
 };
 use noc_sim::{Report, SimConfig, SimResult, SimSpec, Simulation};
 use noc_topology::{Own256, Topology};
@@ -140,6 +142,7 @@ const KNOWN: &[&str] = &[
     "resilience",
     "overload",
     "overload-smoke",
+    "chaos",
     "own256",
     "own1024",
     "bench",
@@ -160,6 +163,8 @@ fn main() {
     let mut sample_interval: u64 = 0;
     let mut resilience_opts = ResilienceOpts::default();
     let mut overload_opts = OverloadOpts::default();
+    let mut chaos_opts = ChaosOpts::default();
+    let mut recover: Option<(usize, u32)> = None;
     let mut durability = DurabilityOpts::default();
     let mut threads: Option<usize> = None;
     let mut bench_cycles: u64 = noc_sim::bench::DEFAULT_CYCLES;
@@ -253,13 +258,97 @@ fn main() {
             }
             "--retry-limit" => {
                 let Some(s) = args_iter.next() else {
-                    eprintln!("--retry-limit requires a count");
+                    eprintln!(
+                        "--retry-limit requires a count in 0..=255 \
+                         (0 = drop on first corrupt delivery, 255 = retry forever)"
+                    );
                     std::process::exit(2);
                 };
                 resilience_opts.retry_limit = Some(s.parse().unwrap_or_else(|_| {
-                    eprintln!("--retry-limit: not a count: {s}");
+                    eprintln!(
+                        "--retry-limit: expected a count in 0..=255 \
+                         (0 = drop on first corrupt delivery, 255 = retry forever), got {s}"
+                    );
                     std::process::exit(2);
                 }));
+            }
+            "--coding" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--coding requires off|secded|secded:<band>,<band>,...");
+                    std::process::exit(2);
+                };
+                resilience_opts.coding = CodingSelect::parse(s).unwrap_or_else(|e| {
+                    eprintln!("--coding: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--corruption-rate" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--corruption-rate requires a per-flit-hop probability");
+                    std::process::exit(2);
+                };
+                let rate: f64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--corruption-rate: not a rate: {s}");
+                    std::process::exit(2);
+                });
+                if !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--corruption-rate must be a probability in [0, 1], got {rate}");
+                    std::process::exit(2);
+                }
+                resilience_opts.corruption_rate = rate;
+            }
+            "--recover" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--recover requires <budget>[:<attempts>] (packets per escape)");
+                    std::process::exit(2);
+                };
+                let (b, a) = match s.split_once(':') {
+                    Some((b, a)) => (b.parse::<usize>().ok(), a.parse::<u32>().ok()),
+                    None => (s.parse::<usize>().ok(), Some(32)),
+                };
+                let (Some(b), Some(a)) = (b, a) else {
+                    eprintln!("--recover: expected <budget>[:<attempts>], got {s}");
+                    std::process::exit(2);
+                };
+                if b == 0 || a == 0 {
+                    eprintln!("--recover: budget and attempts must be >= 1");
+                    std::process::exit(2);
+                }
+                recover = Some((b, a));
+            }
+            "--chaos-seed" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--chaos-seed requires a seed");
+                    std::process::exit(2);
+                };
+                chaos_opts.seed = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--chaos-seed: not a seed: {s}");
+                    std::process::exit(2);
+                });
+            }
+            "--chaos-cycles" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--chaos-cycles requires a cycle count");
+                    std::process::exit(2);
+                };
+                chaos_opts.cycles = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--chaos-cycles: not a cycle count: {s}");
+                    std::process::exit(2);
+                });
+                if chaos_opts.cycles == 0 {
+                    eprintln!("--chaos-cycles must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--chaos-cuts" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--chaos-cuts requires a count");
+                    std::process::exit(2);
+                };
+                chaos_opts.cuts = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--chaos-cuts: not a count: {s}");
+                    std::process::exit(2);
+                });
             }
             "--throttle" => {
                 let Some(s) = args_iter.next() else {
@@ -583,11 +672,19 @@ fn main() {
             }
             "overload" => emit(&overload::overload(budget, &overload_opts)),
             "overload-smoke" => run_overload_smoke(budget, &overload_opts),
+            "chaos" => {
+                let mut opts = chaos_opts;
+                if durability.audit_every > 0 {
+                    opts.audit_every = durability.audit_every;
+                }
+                run_chaos(&opts);
+            }
             "own256" => run_own(
                 256,
                 budget,
                 sample_interval,
                 &durability,
+                recover,
                 metrics_out.as_deref(),
                 metrics_interval,
             ),
@@ -596,6 +693,7 @@ fn main() {
                 budget,
                 sample_interval,
                 &durability,
+                recover,
                 metrics_out.as_deref(),
                 metrics_interval,
             ),
@@ -612,9 +710,11 @@ fn usage() {
     eprintln!(
         "usage: own-experiments [--quick|--full] [--csv|--json] [--chart] [--progress] \
          [--trace out.json] [--sample-interval n] [--spec file.json]... \
-         [--faults spec] [--ber rate] [--retry-limit n] \
+         [--faults spec] [--ber rate] [--retry-limit n] [--coding spec] \
+         [--corruption-rate p] [--recover budget[:attempts]] \
          [--throttle high:low] [--reconfig adaptive:epoch:hysteresis] \
          [--checkpoint-every n --checkpoint-dir d] [--resume] [--audit n] [--threads n] \
+         [--chaos-seed n] [--chaos-cycles n] [--chaos-cuts n] \
          [--metrics-out file] [--metrics-interval n] \
          [--bench-cycles n] [--bench-out file] [--bench-baseline file] <experiment|all>..."
     );
@@ -628,8 +728,19 @@ fn usage() {
          on stall, 4 on flapping)"
     );
     eprintln!(
-        "long runs:   own256 own1024 (honor checkpoint/resume/audit flags and \
-         --metrics-out/--metrics-interval)"
+        "long runs:   own256 own1024 (honor checkpoint/resume/audit/--recover flags and \
+         --metrics-out/--metrics-interval; exit 3 on stall, 6 when recovery is exhausted)"
+    );
+    eprintln!(
+        "chaos:       chaos (seed-derived fault fuzz with invariant audits and \
+         checkpoint cuts; honors --chaos-seed/--chaos-cycles/--chaos-cuts/--audit; \
+         exits 6 when recovery is exhausted)"
+    );
+    eprintln!(
+        "integrity:   --retry-limit n bounds NACK retransmits per flit (0 = drop on \
+         first corrupt delivery, 255 = retry forever); --coding off|secded|secded:3,4 \
+         selects per-band SECDED FEC; --corruption-rate p injects silent bit flips \
+         caught by the end-to-end CRC"
     );
     eprintln!("telemetry:   metrics <file> (summarize a --metrics-out JSONL stream)");
     eprintln!(
@@ -703,12 +814,55 @@ fn build_sim(topo: &dyn Topology, cfg: SimConfig, opts: &DurabilityOpts) -> Simu
 
 /// When the watchdog declared a stall, print the structured report —
 /// human form and one JSONL line — and exit 3 so CI fails the job.
+/// When deadlock recovery was armed (`--recover`) and still could not
+/// free anything, exit 6 instead: the escape path itself is exhausted.
 fn exit_on_stall(result: &SimResult) {
+    for rec in &result.recoveries {
+        eprintln!("[watchdog] {}: {}", result.name, rec.summary());
+        eprintln!("{}", recovery_report_json(rec));
+    }
     let Some(stall) = &result.stall else { return };
     eprintln!("[watchdog] {} made no progress — stall report:", result.name);
     eprintln!("{stall}");
     eprintln!("{}", stall_report_json(stall));
+    if result.recovery_exhausted {
+        eprintln!("[watchdog] deadlock recovery exhausted — nothing left to drain");
+        std::process::exit(6);
+    }
     std::process::exit(3);
+}
+
+/// Run one chaos soak and print its summary; exits 6 when the fuzzed
+/// scenario wedged the network beyond what the escape path could drain.
+/// Invariant violations and corrupted deliveries panic inside the soak
+/// (non-zero exit), so a zero exit here certifies a clean run.
+fn run_chaos(opts: &ChaosOpts) {
+    eprintln!(
+        "[chaos] seed {} over {} cycles, {} cuts, audits every {}",
+        opts.seed, opts.cycles, opts.cuts, opts.audit_every,
+    );
+    let out = chaos::chaos(opts);
+    eprintln!("[chaos] plan: {}", out.plan);
+    for rec in &out.recoveries {
+        eprintln!("[chaos] {}", rec.summary());
+        eprintln!("{}", recovery_report_json(rec));
+    }
+    if let Some(stall) = &out.exhausted {
+        eprintln!("[chaos] recovery exhausted — stall report:");
+        eprintln!("{stall}");
+        eprintln!("{}", stall_report_json(stall));
+        std::process::exit(6);
+    }
+    println!(
+        "chaos seed {}: {} cycles, {} checkpoint cuts, {} recoveries, \
+         {} CRC catches, 0 corrupt deliveries, accounting balanced ({})",
+        opts.seed,
+        out.cycles,
+        out.cuts,
+        out.recoveries.len(),
+        out.crc_detected,
+        out.accounting,
+    );
 }
 
 /// CI smoke run: one short adaptive-reconfig hotspot simulation with full
@@ -738,7 +892,9 @@ fn run_overload_smoke(budget: Budget, opts: &OverloadOpts) {
 }
 
 /// Run one long OWN simulation (the checkpoint/resume workhorse) and
-/// print a one-line summary; exits 3 on a watchdog stall. With
+/// print a one-line summary; exits 3 on a watchdog stall, or 6 when
+/// `--recover` armed the escape path and it still could not drain the
+/// network. With
 /// `metrics_out`, the stage profiler and the spatial metrics registry ride
 /// along and the telemetry artifact set is written after the run.
 fn run_own(
@@ -746,6 +902,7 @@ fn run_own(
     budget: Budget,
     sample_interval: u64,
     opts: &DurabilityOpts,
+    recover: Option<(usize, u32)>,
     metrics_out: Option<&str>,
     metrics_interval: u64,
 ) {
@@ -760,6 +917,9 @@ fn run_own(
         ..Default::default()
     };
     let mut sim = build_sim(topo.as_ref(), cfg, opts);
+    if let Some((budget, attempts)) = recover {
+        sim.set_recovery(budget, attempts);
+    }
     if metrics_out.is_some() {
         // Sample 1-in-8 cycles: the stage breakdown stays representative
         // while the two clock reads per stage stay off 7/8 of cycles.

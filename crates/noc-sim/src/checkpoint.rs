@@ -45,8 +45,18 @@ pub const CHECKPOINT_MAGIC: &str = "noc-sim-checkpoint";
 /// Current file-format version. Bump on any incompatible layout change;
 /// readers reject versions they do not know. Version 2 added the overload
 /// counters (shed/deferred/admitted offers), the NIC throttle latch, and
-/// the utilization-sensor block.
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// the utilization-sensor block. Version 3 added the integrity plane:
+/// flit payload/CRC words, the Active-state owner word, the silent
+/// corruption/misroute tracking sets with their RNG replay count, and the
+/// five integrity counters.
+pub const CHECKPOINT_VERSION: u64 = 3;
+
+/// Oldest version this build still reads. Version-2 checkpoints decode
+/// tolerantly: flit payloads are re-stamped (exact — the corruption
+/// process did not exist in v2, so every payload is the deterministic
+/// stamp), Active-state owners fall back to the buffered head, and the
+/// integrity counters start at zero.
+pub const CHECKPOINT_MIN_VERSION: u64 = 2;
 
 /// A simulation checkpoint: engine snapshot plus driver state.
 #[derive(Debug, Clone)]
@@ -94,9 +104,10 @@ impl Checkpoint {
             return Err(format!("bad magic {magic:?} (expected {CHECKPOINT_MAGIC:?})"));
         }
         let version = get_u64(m, "version")?;
-        if version != CHECKPOINT_VERSION {
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {version} (this build reads \
+                 {CHECKPOINT_MIN_VERSION}..={CHECKPOINT_VERSION})"
             ));
         }
         let snapshot = decode_snapshot(get(m, "snapshot")?)?;
@@ -156,6 +167,35 @@ pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<PathBuf>> {
     Ok(best.map(|(_, p)| p))
 }
 
+/// Like [`latest_checkpoint`], but *validated*: candidates are tried
+/// newest-first and the first one that parses is returned together with
+/// its decoded contents. A truncated or corrupt file — a crash mid-write
+/// on a filesystem without atomic rename, a bad disk — is skipped with a
+/// warning on stderr and the next-newest checkpoint is used, so one bad
+/// file cannot make an otherwise resumable run unresumable.
+pub fn latest_valid_checkpoint(dir: &Path) -> io::Result<Option<(PathBuf, Checkpoint)>> {
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix("checkpoint-").and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(cycle) = stem.parse::<u64>() else { continue };
+        candidates.push((cycle, entry.path()));
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, path) in candidates {
+        match read_checkpoint(&path) {
+            Ok(ckpt) => return Ok(Some((path, ckpt))),
+            Err(e) => eprintln!("[checkpoint] skipping unreadable {}: {e}", path.display()),
+        }
+    }
+    Ok(None)
+}
+
 /// Read and parse one checkpoint file. Format errors surface as
 /// `io::ErrorKind::InvalidData` with the offending path in the message.
 pub fn read_checkpoint(path: &Path) -> io::Result<Checkpoint> {
@@ -195,12 +235,14 @@ fn flit_kind_char(k: FlitKind) -> &'static str {
     }
 }
 
-/// One flit as twelve space-separated words (appended to `out`).
+/// One flit as fourteen space-separated words (appended to `out`). The
+/// last two (payload, CRC) are a v3 addition; the decoder regenerates
+/// them when reading a v2 record.
 fn push_flit(out: &mut String, f: &Flit) {
     use std::fmt::Write;
     write!(
         out,
-        "{} {} {} {} {} {} {} {} {} {} {} {}",
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         f.packet_id,
         f.seq,
         f.packet_len,
@@ -213,6 +255,8 @@ fn push_flit(out: &mut String, f: &Flit) {
         f.hops,
         f.retries,
         u8::from(f.poisoned),
+        f.payload,
+        f.crc,
     )
     .expect("writing to a String cannot fail");
 }
@@ -261,6 +305,11 @@ fn encode_stats(s: &NetStats) -> Value {
     m.insert("per_core_ejected".into(), joined(s.per_core_ejected.iter().copied()));
     m.insert("per_core_packets".into(), joined(s.per_core_packets.iter().copied()));
     m.insert("flits_corrupted".into(), uint(s.flits_corrupted));
+    m.insert("corrupted_detected".into(), uint(s.corrupted_detected));
+    m.insert("corrupted_delivered".into(), uint(s.corrupted_delivered));
+    m.insert("misroutes".into(), uint(s.misroutes));
+    m.insert("recoveries".into(), uint(s.recoveries));
+    m.insert("flits_flushed".into(), uint(s.flits_flushed));
     m.insert("flit_retransmits".into(), uint(s.flit_retransmits));
     m.insert("packets_dropped_corrupt".into(), uint(s.packets_dropped_corrupt));
     m.insert("offers_rejected".into(), uint(s.offers_rejected));
@@ -288,8 +337,8 @@ fn encode_router(r: &RouterSnap) -> Value {
                         VcStateSnap::Routed { out_port, vc_lo, vc_hi, reader } => {
                             format!("R {out_port} {vc_lo} {vc_hi} {reader}")
                         }
-                        VcStateSnap::Active { out_port, out_vc, reader } => {
-                            format!("A {out_port} {out_vc} {reader}")
+                        VcStateSnap::Active { out_port, out_vc, reader, owner } => {
+                            format!("A {out_port} {out_vc} {reader} {owner}")
                         }
                     };
                     m.insert("state".into(), Value::String(state));
@@ -479,8 +528,16 @@ fn encode_fault(f: &FaultSnap) -> Value {
         ),
     );
     m.insert("poisoned".into(), joined(f.poisoned.iter().copied()));
+    m.insert("corrupt".into(), joined(f.corrupt.iter().copied()));
+    m.insert(
+        "misrouted".into(),
+        Value::Array(
+            f.misrouted.iter().map(|(id, dst)| Value::String(format!("{id} {dst}"))).collect(),
+        ),
+    );
     m.insert("first_fault_at".into(), opt_uint(f.first_fault_at));
     m.insert("rng_draws".into(), uint(f.rng_draws));
+    m.insert("crng_draws".into(), uint(f.crng_draws));
     m.insert("schedule_len".into(), uint(f.schedule_len as u64));
     m.insert("seed".into(), uint(f.seed));
     Value::Object(m)
@@ -548,6 +605,16 @@ fn get_u64(m: &Map, key: &str) -> Result<u64, String> {
 
 fn get_usize(m: &Map, key: &str) -> Result<usize, String> {
     Ok(get_u64(m, key)? as usize)
+}
+
+/// Tolerant counter decode: a key absent from an older-version checkpoint
+/// reads as zero (the counter did not exist when the file was written).
+fn get_u64_or_zero(m: &Map, key: &str) -> Result<u64, String> {
+    if m.contains_key(key) {
+        get_u64(m, key)
+    } else {
+        Ok(0)
+    }
 }
 
 fn get_opt_u64(m: &Map, key: &str) -> Result<Option<u64>, String> {
@@ -623,7 +690,7 @@ fn parse_flit(w: &mut Words) -> Result<Flit, String> {
         "X" => FlitKind::HeadTail,
         other => return Err(format!("{}: bad flit kind {other:?}", w.what)),
     };
-    Ok(Flit {
+    let mut f = Flit {
         packet_id,
         seq,
         packet_len,
@@ -636,7 +703,21 @@ fn parse_flit(w: &mut Words) -> Result<Flit, String> {
         hops: w.int()?,
         retries: w.int()?,
         poisoned: w.int::<u8>()? != 0,
-    })
+        payload: 0,
+        crc: 0,
+    };
+    // v3 appends "payload crc"; a v2 record ends here. Re-stamping is
+    // exact for v2: the silent-corruption process did not exist then, so
+    // every payload was the deterministic stamp.
+    match w.it.next() {
+        Some(word) => {
+            f.payload =
+                word.parse().map_err(|_| format!("{}: not an integer: {word:?}", w.what))?;
+            f.crc = w.int()?;
+        }
+        None => noc_core::integrity::stamp(&mut f),
+    }
+    Ok(f)
 }
 
 fn parse_packet(w: &mut Words) -> Result<Packet, String> {
@@ -698,6 +779,11 @@ fn decode_stats(v: &Value) -> Result<NetStats, String> {
         per_core_ejected: get_u64s(m, "per_core_ejected")?,
         per_core_packets: get_u64s(m, "per_core_packets")?,
         flits_corrupted: get_u64(m, "flits_corrupted")?,
+        corrupted_detected: get_u64_or_zero(m, "corrupted_detected")?,
+        corrupted_delivered: get_u64_or_zero(m, "corrupted_delivered")?,
+        misroutes: get_u64_or_zero(m, "misroutes")?,
+        recoveries: get_u64_or_zero(m, "recoveries")?,
+        flits_flushed: get_u64_or_zero(m, "flits_flushed")?,
         flit_retransmits: get_u64(m, "flit_retransmits")?,
         packets_dropped_corrupt: get_u64(m, "packets_dropped_corrupt")?,
         offers_rejected: get_u64(m, "offers_rejected")?,
@@ -718,6 +804,16 @@ fn decode_router(v: &Value) -> Result<RouterSnap, String> {
         let mut vcs = Vec::new();
         for vcv in get_arr(ipm, "vcs")? {
             let vcm = as_obj(vcv, "in-vc")?;
+            // Buffer first: a v2 Active state has no owner word, and the
+            // fallback owner is the packet at the buffer front.
+            let mut buf = Vec::new();
+            for fv in get_arr(vcm, "buf")? {
+                let mut w = str_item(fv, "buffered flit")?;
+                let cycle = w.int()?;
+                let flit = parse_flit(&mut w)?;
+                w.finish()?;
+                buf.push((cycle, flit));
+            }
             let mut w = Words::new(get_str(vcm, "state")?, "vc state");
             let state = match w.next()? {
                 "I" => VcStateSnap::Idle,
@@ -728,19 +824,21 @@ fn decode_router(v: &Value) -> Result<RouterSnap, String> {
                     reader: w.int()?,
                 },
                 "A" => {
-                    VcStateSnap::Active { out_port: w.int()?, out_vc: w.int()?, reader: w.int()? }
+                    let (out_port, out_vc, reader) = (w.int()?, w.int()?, w.int()?);
+                    // v3 appends the owner; v2 derives it from the buffer
+                    // front (u64::MAX = unknown, recovery then falls back
+                    // to the head packet).
+                    let owner = match w.it.next() {
+                        Some(word) => word
+                            .parse()
+                            .map_err(|_| format!("vc state: not an integer: {word:?}"))?,
+                        None => buf.first().map_or(u64::MAX, |&(_, f)| f.packet_id),
+                    };
+                    VcStateSnap::Active { out_port, out_vc, reader, owner }
                 }
                 other => return Err(format!("bad vc state tag {other:?}")),
             };
             w.finish()?;
-            let mut buf = Vec::new();
-            for fv in get_arr(vcm, "buf")? {
-                let mut w = str_item(fv, "buffered flit")?;
-                let cycle = w.int()?;
-                let flit = parse_flit(&mut w)?;
-                w.finish()?;
-                buf.push((cycle, flit));
-            }
             vcs.push(InVcSnap { buf, state, stage_cycle: get_u64(vcm, "stage")? });
         }
         in_ports.push(InPortSnap { vcs, sa_vc_cursor: get_usize(ipm, "cursor")? });
@@ -912,6 +1010,17 @@ fn decode_fault(v: &Value) -> Result<FaultSnap, String> {
         w.finish()?;
         recoveries.push((cycle, target));
     }
+    // Tolerant decode: v2 checkpoints predate the silent-corruption
+    // process, so its tracking sets are empty and its stream undrawn.
+    let corrupt = if m.contains_key("corrupt") { get_u64s(m, "corrupt")? } else { Vec::new() };
+    let mut misrouted = Vec::new();
+    if m.contains_key("misrouted") {
+        for mv in get_arr(m, "misrouted")? {
+            let mut w = str_item(mv, "misrouted packet")?;
+            misrouted.push((w.int()?, w.int()?));
+            w.finish()?;
+        }
+    }
     Ok(FaultSnap {
         next_event: get_usize(m, "next_event")?,
         channel_down_until: get_u64s(m, "channel_down_until")?,
@@ -920,8 +1029,11 @@ fn decode_fault(v: &Value) -> Result<FaultSnap, String> {
         notices,
         recoveries,
         poisoned: get_u64s(m, "poisoned")?,
+        corrupt,
+        misrouted,
         first_fault_at: get_opt_u64(m, "first_fault_at")?,
         rng_draws: get_u64(m, "rng_draws")?,
+        crng_draws: get_u64_or_zero(m, "crng_draws")?,
         schedule_len: get_usize(m, "schedule_len")?,
         seed: get_u64(m, "seed")?,
     })
@@ -1035,6 +1147,118 @@ mod tests {
 
         let (mut resumed_net, mut resumed_inj) = build();
         resumed_net.restore(&decoded.snapshot).unwrap();
+        resumed_inj.skip_cycles(decoded.injector_offers, resumed_net.num_cores() as u32);
+        resumed_inj.drive(&mut resumed_net, 350);
+
+        assert_eq!(resumed_net.stats, ref_net.stats);
+        assert_eq!(resumed_net.now, ref_net.now);
+    }
+
+    /// Rebuild a v3 document as its v2 ancestor: version word downgraded,
+    /// flit records without the trailing payload/CRC words, Active VC
+    /// states without the trailing owner word, and none of the integrity
+    /// keys in the fault and stats blocks. This is exactly what a file
+    /// written by the previous release looks like.
+    fn downgrade_to_v2(v: &Value) -> Value {
+        fn strip_last_words(s: &str, n: usize) -> String {
+            let words: Vec<&str> = s.split_whitespace().collect();
+            words[..words.len() - n].join(" ")
+        }
+        // `ctx` is the key this value sits under — the integrity keys must
+        // only vanish from their own blocks ("recoveries", for one, also
+        // names the v2-era spare-band event list in the fault block).
+        fn walk(v: &Value, ctx: &str) -> Value {
+            match v {
+                Value::Object(m) => {
+                    let mut out = Map::new();
+                    for (k, val) in m.iter() {
+                        match (ctx, k.as_str()) {
+                            // Integrity state that did not exist in v2.
+                            (
+                                "stats",
+                                "corrupted_detected"
+                                | "corrupted_delivered"
+                                | "misroutes"
+                                | "recoveries"
+                                | "flits_flushed",
+                            )
+                            | ("fault", "corrupt" | "misrouted" | "crng_draws") => continue,
+                            ("", "version") => out.insert(k.clone(), Value::String("2".into())),
+                            // Flit lists: every record loses "payload crc".
+                            (_, "buf" | "in_flight") => {
+                                let stripped = val
+                                    .as_array()
+                                    .expect("flit lists are arrays")
+                                    .iter()
+                                    .map(|it| {
+                                        let s = it.as_str().expect("flit records are strings");
+                                        Value::String(strip_last_words(s, 2))
+                                    })
+                                    .collect();
+                                out.insert(k.clone(), Value::Array(stripped))
+                            }
+                            // VC states: an Active state loses its owner word.
+                            (_, "state") => {
+                                let s = val.as_str().expect("vc states are strings");
+                                let v2 = if s.starts_with("A ") {
+                                    strip_last_words(s, 1)
+                                } else {
+                                    s.to_string()
+                                };
+                                out.insert(k.clone(), Value::String(v2))
+                            }
+                            _ => out.insert(k.clone(), walk(val, k)),
+                        };
+                    }
+                    Value::Object(out)
+                }
+                Value::Array(a) => Value::Array(a.iter().map(|it| walk(it, ctx)).collect()),
+                other => other.clone(),
+            }
+        }
+        walk(v, "")
+    }
+
+    #[test]
+    fn v2_checkpoint_decodes_tolerantly_and_resumes_bit_identically() {
+        // Uninterrupted reference.
+        let (mut ref_net, mut ref_inj) = build();
+        ref_inj.drive(&mut ref_net, 500);
+
+        // The same prefix, checkpointed at cycle 150 and round-tripped
+        // through a synthesized *v2* document.
+        let (mut net, mut inj) = build();
+        inj.drive(&mut net, 150);
+        let ckpt = Checkpoint {
+            topology: topo().name(),
+            seed: 42,
+            cycle: net.now,
+            injector_offers: inj.offers(),
+            ejected_window_start: None,
+            ejected_window_end: None,
+            snapshot: net.snapshot(),
+        };
+        let v3_text = ckpt.to_json();
+        let v3_value: Value = v3_text.parse().unwrap();
+        let v2_text = serde_json::to_string(&downgrade_to_v2(&v3_value)).unwrap();
+        assert!(v2_text.contains("\"version\":\"2\""), "downgrade left the version at 3");
+        assert!(
+            v2_text.len() < v3_text.len(),
+            "downgrade removed nothing — the fixture is not exercising v2 paths"
+        );
+
+        let decoded = Checkpoint::from_json(&v2_text)
+            .expect("a v2 checkpoint must still decode on the tolerant paths");
+        assert_eq!(decoded.cycle, 150);
+        // Counters born in v3 start at zero on a v2 read.
+        assert_eq!(decoded.snapshot.stats.corrupted_detected, 0);
+        assert_eq!(decoded.snapshot.stats.recoveries, 0);
+
+        // Re-stamped payloads and derived owners must behave identically:
+        // resuming from the v2 document replays the reference run exactly.
+        let (mut resumed_net, mut resumed_inj) = build();
+        resumed_net.restore(&decoded.snapshot).unwrap();
+        resumed_net.check_invariants();
         resumed_inj.skip_cycles(decoded.injector_offers, resumed_net.num_cores() as u32);
         resumed_inj.drive(&mut resumed_net, 350);
 

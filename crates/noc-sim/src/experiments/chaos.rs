@@ -1,0 +1,362 @@
+//! Chaos-soak harness: randomized fault injection against the full
+//! integrity stack, with invariant audits and checkpoint/resume cuts.
+//!
+//! One chaos run derives everything from a single seed — fault schedule,
+//! silent-corruption rate, link BER, NIC throttle watermarks, spare-band
+//! reconfiguration policy, traffic pattern — then soaks an OWN-256 engine
+//! for a configured cycle budget while:
+//!
+//! * running the engine's full invariant sweep (including the packet
+//!   conservation law `offered == delivered + dropped + misrouted +
+//!   recovered + backlogged + in-flight`) every audit epoch;
+//! * letting the progress watchdog fire and the escape path drain stalled
+//!   packets (a declared stall with no recoverable packet is the one
+//!   terminal failure, reported so the CLI can exit 6);
+//! * cutting the run at checkpoint boundaries: the engine is serialized
+//!   through the **v3 JSON codec**, decoded into a freshly built network,
+//!   and the run continues from the restored state — so every cut also
+//!   proves the codec round-trips the integrity state (CRC payloads,
+//!   corruption sets, dual RNG streams) bit-exactly.
+//!
+//! The soak fails loudly (panic → non-zero exit) on any invariant
+//! violation, any silently corrupted delivery while the end-to-end CRC is
+//! on, or any codec round-trip divergence. A clean run prints a summary.
+
+use noc_core::{
+    FaultConfig, FaultEvent, FaultSchedule, FaultTarget, LinkClass, Network, RecoveryReport,
+    RouterConfig, StallReport, Watchdog, DEFAULT_WATCHDOG_INTERVAL,
+};
+use noc_topology::{Own256Reconfig, ReconfigPolicy, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+
+use crate::checkpoint::Checkpoint;
+
+/// Chaos-run parameters from the CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOpts {
+    /// Seed deriving the whole fuzz plan (and the traffic stream).
+    pub seed: u64,
+    /// Total engine cycles to soak.
+    pub cycles: u64,
+    /// Mid-run checkpoint/resume cuts (the run is split into `cuts + 1`
+    /// segments; state crosses each boundary through the JSON codec).
+    pub cuts: u32,
+    /// Invariant-audit interval in cycles.
+    pub audit_every: u64,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts { seed: 1, cycles: 100_000, cuts: 3, audit_every: 1024 }
+    }
+}
+
+/// What one chaos soak did, for the summary line and CI artifacts.
+pub struct ChaosOutcome {
+    /// Human description of the derived fuzz plan.
+    pub plan: String,
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// Checkpoint/resume cuts survived.
+    pub cuts: u32,
+    /// Watchdog-triggered escape drains performed.
+    pub recoveries: Vec<RecoveryReport>,
+    /// Set when the watchdog fired and the escape path could not free
+    /// anything — the run is dead and the CLI should exit 6.
+    pub exhausted: Option<Box<StallReport>>,
+    /// Final packet-conservation accounting (balanced or the run would
+    /// have panicked).
+    pub accounting: noc_core::Accounting,
+    /// End-to-end CRC detections (corrupted flits caught at the sink and
+    /// retransmitted).
+    pub crc_detected: u64,
+    /// Corrupted payloads delivered to a sink — MUST be zero with the CRC
+    /// on; asserted before this struct is built.
+    pub corrupted_delivered: u64,
+}
+
+/// Deterministic fuzz RNG: splitmix64, independent of the engine streams.
+struct FuzzRng(u64);
+
+impl FuzzRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// The seed-derived plan for one soak.
+struct Plan {
+    policy: ReconfigPolicy,
+    router: RouterConfig,
+    pattern: TrafficPattern,
+    rate: f64,
+    fault: FaultConfig,
+    description: String,
+}
+
+/// Derive the whole fuzz plan from the seed. Needs a throwaway network to
+/// resolve wireless channel and bus ids for the fault schedule.
+fn derive_plan(opts: &ChaosOpts) -> Plan {
+    let mut rng = FuzzRng(opts.seed);
+    let probe = Own256Reconfig::new(ReconfigPolicy::None).build(RouterConfig::default());
+
+    let policy = match rng.below(3) {
+        0 => ReconfigPolicy::None,
+        1 => ReconfigPolicy::Diagonal,
+        _ => {
+            let epoch = 128 << rng.below(3); // 128 | 256 | 512
+            ReconfigPolicy::Adaptive { epoch, hysteresis: epoch * 4 }
+        }
+    };
+
+    let mut router = RouterConfig::default();
+    let throttle = rng.chance(0.5).then(|| {
+        let high = 8 + rng.below(24) as u32;
+        let low = 1 + rng.below(u64::from(high) / 2) as u32;
+        router = router.with_throttle(high, low);
+        (high, low)
+    });
+
+    let pattern = if rng.chance(0.5) {
+        TrafficPattern::Uniform
+    } else {
+        TrafficPattern::Hotspot { target: 0, fraction: 0.2 }
+    };
+    let rate = 0.02 + rng.unit() * 0.03;
+
+    // Silent corruption: off a quarter of the time, else log-uniform in
+    // [1e-6, 1e-4] per flit-hop.
+    let corruption_rate = if rng.chance(0.25) { 0.0 } else { 10f64.powf(-6.0 + 2.0 * rng.unit()) };
+    // Detected corruption (NACK/retransmit path): uniform wireless BER,
+    // off half the time.
+    let ber = if rng.chance(0.5) { 0.0 } else { 10f64.powf(-7.0 + 2.0 * rng.unit()) };
+    let channel_ber: Vec<f64> = probe
+        .channels()
+        .iter()
+        .map(|c| if matches!(c.class, LinkClass::Wireless { .. }) { ber } else { 0.0 })
+        .collect();
+
+    // Fault schedule: up to four events. Wireless channels may die
+    // permanently (failover territory); shared media and token rings only
+    // suffer transients so one unlucky draw cannot starve a cluster for
+    // the whole soak.
+    let wireless: Vec<u32> = probe
+        .channels()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.class, LinkClass::Wireless { .. }))
+        .map(|(i, _)| i as u32)
+        .collect();
+    let n_buses = probe.buses().len() as u64;
+    let mut schedule = FaultSchedule::new();
+    let n_events = rng.below(5);
+    let mut described = Vec::new();
+    for _ in 0..n_events {
+        let at = opts.cycles / 10 + rng.below(opts.cycles / 2);
+        let dur = 500 + rng.below(4_500);
+        match rng.below(4) {
+            0 => {
+                let ch = wireless[rng.below(wireless.len() as u64) as usize];
+                schedule.push(FaultEvent::permanent(at, FaultTarget::Channel(ch)));
+                described.push(format!("ch:{ch}@{at}"));
+            }
+            1 => {
+                let ch = wireless[rng.below(wireless.len() as u64) as usize];
+                schedule.push(FaultEvent::transient(at, FaultTarget::Channel(ch), dur));
+                described.push(format!("ch:{ch}@{at}+{dur}"));
+            }
+            2 => {
+                let bus = rng.below(n_buses) as u32;
+                schedule.push(FaultEvent::transient(at, FaultTarget::Bus(bus), dur));
+                described.push(format!("bus:{bus}@{at}+{dur}"));
+            }
+            _ => {
+                let bus = rng.below(n_buses) as u32;
+                schedule.push(FaultEvent::transient(at, FaultTarget::TokenRing(bus), dur));
+                described.push(format!("token:{bus}@{at}+{dur}"));
+            }
+        }
+    }
+
+    let description = format!(
+        "policy={policy:?} throttle={throttle:?} pattern={} rate={rate:.3} \
+         ber={ber:.1e} corruption={corruption_rate:.1e} faults=[{}]",
+        match pattern {
+            TrafficPattern::Uniform => "uniform",
+            _ => "hotspot",
+        },
+        described.join(", "),
+    );
+
+    Plan {
+        policy,
+        router,
+        pattern,
+        rate,
+        fault: FaultConfig {
+            schedule,
+            channel_ber,
+            corruption_rate,
+            e2e_crc: true,
+            ..Default::default()
+        },
+        description,
+    }
+}
+
+/// Build a fresh network for the plan, faults attached and audits armed.
+fn build(plan: &Plan, topo: &Own256Reconfig, audit_every: u64) -> Network {
+    let mut net = topo.build(plan.router);
+    net.attach_faults(plan.fault.clone());
+    net.set_audit_interval(audit_every);
+    net
+}
+
+/// Packets drained per watchdog-triggered escape.
+const RECOVERY_BUDGET: usize = 8;
+
+/// Run one chaos soak. Panics on invariant violations, silent corrupted
+/// deliveries, or codec round-trip divergence; an unrecoverable stall is
+/// returned in [`ChaosOutcome::exhausted`] instead (exit-code territory,
+/// not a bug in the engine — the fuzzed scenario genuinely wedged it).
+pub fn chaos(opts: &ChaosOpts) -> ChaosOutcome {
+    let plan = derive_plan(opts);
+    let topo = Own256Reconfig::new(plan.policy.clone());
+    let mut net = build(&plan, &topo, opts.audit_every);
+    let cores = net.num_cores() as u32;
+    let mut injector = BernoulliInjector::new(plan.rate, 4, plan.pattern, opts.seed);
+
+    let mut dog = Watchdog::new(DEFAULT_WATCHDOG_INTERVAL, net.now, net.progress_counter());
+    let mut recoveries: Vec<RecoveryReport> = Vec::new();
+    let mut exhausted: Option<Box<StallReport>> = None;
+    let mut cuts_done = 0u32;
+
+    let segments = u64::from(opts.cuts) + 1;
+    let seg_len = (opts.cycles / segments).max(1);
+    'soak: for seg in 0..segments {
+        let until = if seg + 1 == segments { opts.cycles } else { (seg + 1) * seg_len };
+        while net.now < until {
+            injector.offer(&mut net);
+            net.step();
+            if dog.due(net.now) && dog.poll(net.now, net.progress_counter()) && !net.quiescent() {
+                let report = net.stall_report(dog.progressed_at(), false);
+                let rec = net.recover(&report, RECOVERY_BUDGET);
+                if rec.is_empty() {
+                    exhausted = Some(report);
+                    break 'soak;
+                }
+                recoveries.push(*rec);
+                dog.reset(net.now, net.progress_counter());
+            }
+        }
+        if seg + 1 == segments {
+            break;
+        }
+        // --- checkpoint/resume cut -------------------------------------
+        net.check_invariants();
+        let acct = net.accounting();
+        assert!(acct.balanced(), "conservation broken at cut {seg}: {acct}");
+        let ckpt = Checkpoint {
+            topology: topo.name(),
+            seed: opts.seed,
+            cycle: net.now,
+            injector_offers: injector.offers(),
+            ejected_window_start: None,
+            ejected_window_end: None,
+            snapshot: net.snapshot(),
+        };
+        let text = ckpt.to_json();
+        let decoded = Checkpoint::from_json(&text)
+            .unwrap_or_else(|e| panic!("cut {seg}: checkpoint does not re-parse: {e}"));
+        assert_eq!(
+            decoded.to_json(),
+            text,
+            "cut {seg}: checkpoint JSON does not round-trip bit-exactly"
+        );
+        let mut fresh = build(&plan, &topo, opts.audit_every);
+        fresh
+            .restore(&decoded.snapshot)
+            .unwrap_or_else(|e| panic!("cut {seg}: restore failed: {e}"));
+        let mut fresh_injector = BernoulliInjector::new(plan.rate, 4, plan.pattern, opts.seed);
+        fresh_injector.skip_cycles(decoded.injector_offers, cores);
+        net = fresh;
+        injector = fresh_injector;
+        dog.reset(net.now, net.progress_counter());
+        cuts_done += 1;
+    }
+
+    net.check_invariants();
+    let accounting = net.accounting();
+    assert!(accounting.balanced(), "conservation broken at end of soak: {accounting}");
+    assert_eq!(
+        net.stats.corrupted_delivered, 0,
+        "silently corrupted payload delivered with the end-to-end CRC on"
+    );
+    ChaosOutcome {
+        plan: plan.description,
+        cycles: net.now,
+        cuts: cuts_done,
+        crc_detected: net.stats.corrupted_detected,
+        corrupted_delivered: net.stats.corrupted_delivered,
+        recoveries,
+        exhausted,
+        accounting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_soak_survives_cuts_and_stays_balanced() {
+        let opts = ChaosOpts { seed: 7, cycles: 12_000, cuts: 2, audit_every: 512 };
+        let out = chaos(&opts);
+        assert_eq!(out.cycles, 12_000);
+        assert_eq!(out.cuts, 2);
+        assert!(out.exhausted.is_none(), "seed 7 must not wedge: {}", out.plan);
+        assert_eq!(out.corrupted_delivered, 0);
+        assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        let opts = ChaosOpts { seed: 42, ..Default::default() };
+        assert_eq!(derive_plan(&opts).description, derive_plan(&opts).description);
+        let other = ChaosOpts { seed: 43, ..Default::default() };
+        assert_ne!(derive_plan(&opts).description, derive_plan(&other).description);
+    }
+
+    #[test]
+    fn corruption_heavy_seed_detects_and_delivers_clean() {
+        // Force a corruption-heavy plan by scanning a few seeds for one
+        // with a nonzero corruption rate, then soak it.
+        let seed = (1..64)
+            .find(|&s| {
+                derive_plan(&ChaosOpts { seed: s, ..Default::default() }).fault.corruption_rate
+                    > 1e-5
+            })
+            .expect("some seed under 64 draws a high corruption rate");
+        let out = chaos(&ChaosOpts { seed, cycles: 20_000, cuts: 1, audit_every: 1024 });
+        assert_eq!(out.corrupted_delivered, 0);
+        assert!(out.crc_detected > 0, "20k cycles at >1e-5/hop must catch flips: {}", out.plan);
+    }
+}

@@ -20,11 +20,14 @@
 //! declared future work (reconfiguration bands, bursty traffic), and
 //! [`resilience`] exercises the fault model: scheduled link/bus/token
 //! failures, link-budget-derived bit error rates, and runtime spare-band
-//! failover.
+//! failover. [`chaos`] soak-tests the whole stack: a seed-derived fuzz of
+//! faults, corruption, throttling, and reconfiguration, audited every epoch
+//! and cut by checkpoint/resume round trips.
 //!
 //! Every runner takes a [`Budget`] so the same code serves quick CI checks
 //! and full regeneration runs.
 
+pub mod chaos;
 pub mod extensions;
 pub mod overload;
 pub mod perf;

@@ -21,7 +21,7 @@
 use noc_core::{
     DistanceClass, FaultConfig, FaultEvent, FaultSchedule, FaultTarget, LinkClass, Network,
 };
-use noc_phy::LinkBudget;
+use noc_phy::{LinkBudget, LinkCoding, SecdedCode};
 use noc_topology::{Own256Reconfig, ReconfigPolicy};
 use noc_traffic::TrafficPattern;
 
@@ -48,6 +48,62 @@ pub struct ResilienceOpts {
     pub ber: Option<f64>,
     /// Retry budget override per link-level transfer.
     pub retry_limit: Option<u8>,
+    /// Per-band SECDED selection (see [`CodingSelect`]); bands it covers
+    /// replace their raw BER with the Hamming(72,64) post-FEC rate.
+    pub coding: CodingSelect,
+    /// Silent corruption rate per flit-hop (bit flips that pass the link
+    /// undetected; caught by the end-to-end CRC at the sink).
+    pub corruption_rate: f64,
+}
+
+/// Which wireless bands run SECDED-coded, for coded-vs-uncoded shootouts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum CodingSelect {
+    /// All links uncoded — the paper's baseline.
+    #[default]
+    Off,
+    /// Every wireless band coded.
+    All,
+    /// Only the listed Table III band numbers coded.
+    Bands(Vec<u8>),
+}
+
+impl CodingSelect {
+    /// The coding applied to the given wireless band.
+    pub fn for_band(&self, band: u8) -> LinkCoding {
+        let coded = match self {
+            CodingSelect::Off => false,
+            CodingSelect::All => true,
+            CodingSelect::Bands(bands) => bands.contains(&band),
+        };
+        if coded {
+            LinkCoding::Secded(SecdedCode::hamming_72_64())
+        } else {
+            LinkCoding::Uncoded
+        }
+    }
+
+    /// Parse a `--coding` CLI value: `off`, `secded`, or
+    /// `secded:<band>,<band>,…` (Table III numbering).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "off" | "none" => Ok(CodingSelect::Off),
+            "secded" | "all" => Ok(CodingSelect::All),
+            other => {
+                let bands_s = other
+                    .strip_prefix("secded:")
+                    .ok_or_else(|| format!("bad coding spec {other:?} (off|secded|secded:3,4)"))?;
+                let bands = bands_s
+                    .split(',')
+                    .map(|b| b.trim().parse::<u8>().map_err(|_| format!("bad band number {b:?}")))
+                    .collect::<Result<Vec<u8>, String>>()?;
+                if bands.is_empty() {
+                    return Err("empty band list in coding spec".to_string());
+                }
+                Ok(CodingSelect::Bands(bands))
+            }
+        }
+    }
 }
 
 /// Resolve a Table III wireless band to its channel id in `net`.
@@ -138,8 +194,9 @@ pub fn validate_fault_spec(spec: &str) -> Result<(), String> {
 }
 
 /// Per-channel BERs: wireless links get the link-budget-derived (or
-/// overridden) rate; wired links are assumed clean.
-fn channel_bers(net: &Network, ber_override: Option<f64>) -> Vec<f64> {
+/// overridden) rate, put through the band's FEC when one is selected;
+/// wired links are assumed clean.
+fn channel_bers_coded(net: &Network, ber_override: Option<f64>, coding: &CodingSelect) -> Vec<f64> {
     let lb = LinkBudget::default();
     let class_ber = |d: DistanceClass| {
         ber_override.unwrap_or_else(|| lb.ber_for_class(d, ANTENNA_DBI, TX_MARGIN_DB))
@@ -147,7 +204,9 @@ fn channel_bers(net: &Network, ber_override: Option<f64>) -> Vec<f64> {
     net.channels()
         .iter()
         .map(|c| match c.class {
-            LinkClass::Wireless { distance, .. } => class_ber(distance),
+            LinkClass::Wireless { distance, channel } => {
+                coding.for_band(channel).effective_ber(class_ber(distance))
+            }
             _ => 0.0,
         })
         .collect()
@@ -165,12 +224,17 @@ fn run(
     cfg.rate = 0.04;
     cfg.pattern = TrafficPattern::Uniform;
     let mut sim = Simulation::new(&Own256Reconfig::new(policy), cfg);
-    if with_ber || schedule.is_some() {
+    if with_ber || schedule.is_some() || opts.corruption_rate > 0.0 {
         let net = sim.network();
         let fault = FaultConfig {
             schedule: schedule.map(|f| f(net)).unwrap_or_default(),
-            channel_ber: if with_ber { channel_bers(net, opts.ber) } else { Vec::new() },
+            channel_ber: if with_ber {
+                channel_bers_coded(net, opts.ber, &opts.coding)
+            } else {
+                Vec::new()
+            },
             retry_limit: opts.retry_limit.unwrap_or(FaultConfig::default().retry_limit),
+            corruption_rate: opts.corruption_rate,
             ..Default::default()
         };
         sim.attach_faults(fault);
@@ -373,7 +437,7 @@ mod tests {
     #[test]
     fn derived_bers_follow_distance_classes() {
         let net = own256();
-        let bers = channel_bers(&net, None);
+        let bers = channel_bers_coded(&net, None, &CodingSelect::Off);
         let lb = LinkBudget::default();
         let mut seen_wireless = 0;
         for (ch, &ber) in net.channels().iter().zip(&bers) {
@@ -387,8 +451,45 @@ mod tests {
             }
         }
         assert!(seen_wireless >= 13, "12 primaries + the spare");
-        let overridden = channel_bers(&net, Some(1e-7));
+        let overridden = channel_bers_coded(&net, Some(1e-7), &CodingSelect::Off);
         assert!(overridden.iter().all(|&b| b == 0.0 || b == 1e-7));
+    }
+
+    #[test]
+    fn coding_select_parses() {
+        assert_eq!(CodingSelect::parse("off").unwrap(), CodingSelect::Off);
+        assert_eq!(CodingSelect::parse("none").unwrap(), CodingSelect::Off);
+        assert_eq!(CodingSelect::parse("secded").unwrap(), CodingSelect::All);
+        assert_eq!(CodingSelect::parse("all").unwrap(), CodingSelect::All);
+        assert_eq!(CodingSelect::parse("secded:3,4").unwrap(), CodingSelect::Bands(vec![3, 4]));
+        assert!(CodingSelect::parse("hamming").is_err());
+        assert!(CodingSelect::parse("secded:x").is_err());
+        assert!(CodingSelect::parse("secded:").is_err());
+        assert_eq!(CodingSelect::default(), CodingSelect::Off);
+    }
+
+    #[test]
+    fn coded_bands_get_post_fec_ber() {
+        let net = own256();
+        let raw = channel_bers_coded(&net, Some(1e-5), &CodingSelect::Off);
+        let all = channel_bers_coded(&net, Some(1e-5), &CodingSelect::All);
+        let some = channel_bers_coded(&net, Some(1e-5), &CodingSelect::Bands(vec![3]));
+        let expect = SecdedCode::hamming_72_64().post_fec_ber(1e-5);
+        for (i, ch) in net.channels().iter().enumerate() {
+            match ch.class {
+                LinkClass::Wireless { channel, .. } => {
+                    assert_eq!(raw[i], 1e-5);
+                    assert_eq!(all[i], expect, "band {channel} coded under All");
+                    assert!(all[i] < raw[i] / 100.0, "coding buys >2 decades");
+                    if channel == 3 {
+                        assert_eq!(some[i], expect, "band 3 coded under Bands([3])");
+                    } else {
+                        assert_eq!(some[i], 1e-5, "band {channel} stays raw");
+                    }
+                }
+                _ => assert_eq!(all[i], 0.0),
+            }
+        }
     }
 
     #[test]
@@ -415,6 +516,7 @@ mod tests {
             faults: Some("band:3@400".to_string()),
             ber: Some(0.0),
             retry_limit: Some(2),
+            ..Default::default()
         };
         let r = resilience(budget, &opts);
         assert_eq!(r.rows.len(), 4);

@@ -31,7 +31,9 @@ pub mod sweep;
 pub mod telemetry;
 
 pub use bench::{compare_to_baseline, run_suite as run_bench_suite, BaselineFile, BenchOutcome};
-pub use checkpoint::{latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint};
+pub use checkpoint::{
+    latest_checkpoint, latest_valid_checkpoint, read_checkpoint, write_checkpoint, Checkpoint,
+};
 pub use metrics::{EngineProfile, SimResult};
 pub use obs::{RingRecorder, Sample, SampleSeries};
 pub use report::Report;

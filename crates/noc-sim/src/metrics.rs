@@ -1,6 +1,6 @@
 //! Metrics extracted from a finished simulation.
 
-use noc_core::{Network, StageBreakdown, StallReport};
+use noc_core::{Network, RecoveryReport, StageBreakdown, StallReport};
 
 use crate::analysis::{distribution, LoadDistribution};
 use crate::obs::SampleSeries;
@@ -95,6 +95,13 @@ pub struct SimResult {
     /// Structured diagnostic captured when the progress watchdog declared
     /// a livelock/deadlock; `None` for a run that completed normally.
     pub stall: Option<Box<StallReport>>,
+    /// Watchdog-triggered escape-path drains performed during the run
+    /// (see `Simulation::set_recovery`); empty when the watchdog never
+    /// fired or recovery was off.
+    pub recoveries: Vec<RecoveryReport>,
+    /// Recovery was enabled, but the run still ended in a stall: the
+    /// escape path drained nothing, or the attempt cap was hit.
+    pub recovery_exhausted: bool,
     /// Cycle this run was resumed from (checkpoint restore), if it was.
     pub resumed_from: Option<u64>,
 }
@@ -139,6 +146,8 @@ impl SimResult {
             time_to_failover,
             avg_post_fault_latency: s.post_fault_latency.mean(),
             stall: None,
+            recoveries: Vec::new(),
+            recovery_exhausted: false,
             resumed_from: None,
             net,
             cfg,

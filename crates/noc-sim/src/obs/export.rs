@@ -22,7 +22,7 @@ use std::io;
 use std::path::Path;
 
 use noc_core::obs::NocEvent;
-use noc_core::{FaultTarget, StallReport};
+use noc_core::{FaultTarget, RecoveryReport, StallReport};
 
 const PID_PACKETS: u32 = 1;
 const PID_CHANNELS: u32 = 2;
@@ -293,6 +293,34 @@ fn chrome_event(out: &mut String, ev: &NocEvent) {
                  \"protect\":{protect}}}}}"
             );
         }
+        NocEvent::CorruptionDetected { at, target, packet, seq, retry } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"name\":\"e2e-corrupt\",\"cat\":\"integrity\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\",\"packet\":{packet},\
+                 \"seq\":{seq},\"retry\":{retry}}}}}"
+            );
+        }
+        NocEvent::FlitSilentlyCorrupted { at, target, packet, seq, misroute } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"name\":\"silent-corrupt\",\"cat\":\"integrity\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_FAULTS},\"tid\":{tid},\
+                 \"args\":{{\"medium\":\"{tk}\",\"packet\":{packet},\
+                 \"seq\":{seq},\"misroute\":{misroute}}}}}"
+            );
+        }
+        NocEvent::PacketRecovered { at, packet, src, dst, flits } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"recovered\",\"cat\":\"integrity\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{at},\"pid\":{PID_PACKETS},\"tid\":{src},\
+                 \"args\":{{\"packet\":{packet},\"dst\":{dst},\"flits\":{flits}}}}}"
+            );
+        }
     }
 }
 
@@ -372,6 +400,33 @@ pub fn stall_report_json(r: &StallReport) -> String {
             out,
             "{{\"bus\":{},\"reader\":{},\"vc\":{},\"writer\":{}}}",
             o.bus, o.reader, o.vc, o.writer,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One [`RecoveryReport`] as a single-line JSON object (`"kind":"recovery"`):
+/// the watchdog fired, and instead of aborting, these packets were drained
+/// from the stalled virtual channels (poisoned, their buffer credits
+/// returned) so the rest of the traffic could make progress again.
+pub fn recovery_report_json(r: &RecoveryReport) -> String {
+    let mut out = String::with_capacity(96 + r.recovered.len() * 64);
+    let _ = write!(
+        out,
+        "{{\"kind\":\"recovery\",\"at\":{},\"budget\":{},\"flits_flushed\":{},\"recovered\":[",
+        r.at,
+        r.budget,
+        r.flits_flushed(),
+    );
+    for (i, p) in r.recovered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"packet\":{},\"src\":{},\"dst\":{},\"flits\":{}}}",
+            p.packet, p.src, p.dst, p.flits,
         );
     }
     out.push_str("]}");
@@ -504,6 +559,29 @@ fn jsonl_event(out: &mut String, ev: &NocEvent) {
                  \"active\":{active},\"protect\":{protect}}}"
             );
         }
+        NocEvent::CorruptionDetected { at, target, packet, seq, retry } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                 \"packet\":{packet},\"seq\":{seq},\"retry\":{retry}}}"
+            );
+        }
+        NocEvent::FlitSilentlyCorrupted { at, target, packet, seq, misroute } => {
+            let (tk, tid) = target_parts(target);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"medium\":\"{tk}\",\"id\":{tid},\
+                 \"packet\":{packet},\"seq\":{seq},\"misroute\":{misroute}}}"
+            );
+        }
+        NocEvent::PacketRecovered { at, packet, src, dst, flits } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"packet\":{packet},\
+                 \"src\":{src},\"dst\":{dst},\"flits\":{flits}}}"
+            );
+        }
     }
 }
 
@@ -578,6 +656,21 @@ mod tests {
             NocEvent::OfferShed { at: 41, core: 1 },
             NocEvent::OfferDeferred { at: 42, core: 1 },
             NocEvent::SpareSteered { at: 44, band: 13, channel: 9, active: true, protect: false },
+            NocEvent::CorruptionDetected {
+                at: 45,
+                target: FaultTarget::Channel(3),
+                packet: 9,
+                seq: 1,
+                retry: 1,
+            },
+            NocEvent::FlitSilentlyCorrupted {
+                at: 46,
+                target: FaultTarget::Bus(0),
+                packet: 10,
+                seq: 0,
+                misroute: true,
+            },
+            NocEvent::PacketRecovered { at: 47, packet: 11, src: 1, dst: 2, flits: 4 },
         ]
     }
 
@@ -586,8 +679,8 @@ mod tests {
         let s = chrome_trace(&sample_events());
         let v: serde_json::Value = s.parse().expect("chrome trace must parse as JSON");
         let evs = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
-        // 5 process metadata records + 17 events.
-        assert_eq!(evs.len(), 22);
+        // 5 process metadata records + 20 events.
+        assert_eq!(evs.len(), 25);
         let token_wait = evs
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("token-wait"))
@@ -615,13 +708,27 @@ mod tests {
         assert_eq!(steer.get("tid").and_then(|t| t.as_u64()), Some(13));
         assert_eq!(steer["args"]["active"].as_bool(), Some(true));
         assert!(evs.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("shed")));
+        // Integrity events render in the fault (detected/silent) and packet
+        // (recovered) processes.
+        let silent = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("silent-corrupt"))
+            .expect("silent-corrupt instant present");
+        assert_eq!(silent.get("cat").and_then(|c| c.as_str()), Some("integrity"));
+        assert_eq!(silent["args"]["misroute"].as_bool(), Some(true));
+        let rec = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("recovered"))
+            .expect("recovered instant present");
+        assert_eq!(rec.get("pid").and_then(|p| p.as_u64()), Some(PID_PACKETS as u64));
+        assert_eq!(rec["args"]["flits"].as_u64(), Some(4));
     }
 
     #[test]
     fn jsonl_lines_parse_and_tag_kind() {
         let s = jsonl(&sample_events());
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 17);
+        assert_eq!(lines.len(), 20);
         for line in &lines {
             let v: serde_json::Value = line.parse().expect("each JSONL line parses");
             assert!(v.get("kind").and_then(|k| k.as_str()).is_some());
@@ -633,6 +740,9 @@ mod tests {
         assert!(lines[14].contains("\"kind\":\"offer_shed\""));
         assert!(lines[15].contains("\"kind\":\"offer_deferred\""));
         assert!(lines[16].contains("\"kind\":\"spare_steered\""));
+        assert!(lines[17].contains("\"kind\":\"corruption_detected\""));
+        assert!(lines[18].contains("\"kind\":\"flit_silently_corrupted\""));
+        assert!(lines[19].contains("\"kind\":\"packet_recovered\""));
     }
 
     #[test]
@@ -651,6 +761,28 @@ mod tests {
         let l = jsonl(&evs);
         assert!(l.contains("\"permanent\":true"), "{l}");
         assert!(!l.contains("18446744073709551615"), "no u64::MAX leaking into JSON");
+    }
+
+    #[test]
+    fn recovery_report_json_is_one_complete_line() {
+        use noc_core::RecoveredPacket;
+        let r = RecoveryReport {
+            at: 12288,
+            budget: 4,
+            recovered: vec![
+                RecoveredPacket { packet: 77, src: 1, dst: 9, flits: 4 },
+                RecoveredPacket { packet: 78, src: 2, dst: 3, flits: 1 },
+            ],
+        };
+        let line = recovery_report_json(&r);
+        assert!(!line.contains('\n'));
+        let v: serde_json::Value = line.parse().expect("recovery line parses");
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("recovery"));
+        assert_eq!(v.get("at").and_then(|a| a.as_u64()), Some(12288));
+        assert_eq!(v.get("flits_flushed").and_then(|f| f.as_u64()), Some(5));
+        let recs = v.get("recovered").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get("packet").and_then(|p| p.as_u64()), Some(77));
     }
 
     #[test]
@@ -682,6 +814,7 @@ mod tests {
                 out_vc: Some(0),
                 out_credits: Some(0),
                 last_moved: 4090,
+                owner: Some(77),
             }],
             tokens: vec![TokenState { bus: 0, holder: 3, available_at: 4100, frozen: true }],
             bus_owners: vec![BusOwner { bus: 0, reader: 1, vc: 0, writer: 3 }],
@@ -727,8 +860,8 @@ mod tests {
         let r = sample_stall();
         let s = jsonl_with_stall(&events, Some(&r));
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 18, "17 events + 1 stall line");
-        assert!(lines[17].starts_with("{\"kind\":\"stall\""));
+        assert_eq!(lines.len(), 21, "20 events + 1 stall line");
+        assert!(lines[20].starts_with("{\"kind\":\"stall\""));
         // Without a stall, byte-identical to plain jsonl.
         assert_eq!(jsonl_with_stall(&events, None), jsonl(&events));
     }
@@ -740,8 +873,8 @@ mod tests {
         let s = chrome_trace_with_stall(&events, Some(&r));
         let v: serde_json::Value = s.parse().expect("trace with stall parses");
         let evs = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
-        // 6 metadata + 17 events + 1 stall + 1 stalled VC + 1 token.
-        assert_eq!(evs.len(), 26);
+        // 6 metadata + 20 events + 1 stall + 1 stalled VC + 1 token.
+        assert_eq!(evs.len(), 29);
         let stall = evs
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall"))

@@ -30,7 +30,8 @@ use std::time::Instant;
 
 use noc_core::obs::Observer;
 use noc_core::{
-    FaultConfig, MetricsRegistry, Network, RouterConfig, StageProfiler, StallReport, Watchdog,
+    FaultConfig, MetricsRegistry, Network, RecoveryReport, RouterConfig, StageProfiler,
+    StallReport, Watchdog,
 };
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
@@ -93,6 +94,15 @@ pub struct Simulation {
     checkpoint_dir: Option<PathBuf>,
     /// Watchdog check interval in cycles (0 = watchdog off).
     watchdog_interval: u64,
+    /// Packets drained per watchdog-triggered recovery (0 = recovery off:
+    /// a stall aborts the run with a [`StallReport`], the pre-recovery
+    /// behaviour).
+    recovery_budget: usize,
+    /// Recovery attempts remaining before the watchdog gives up and the
+    /// run ends in a stall after all.
+    recovery_attempts: u32,
+    /// Recoveries performed so far this run.
+    recoveries: Vec<RecoveryReport>,
     /// A checkpoint read by [`Simulation::resume`], applied at the start
     /// of [`Simulation::run`] — *after* the caller has attached the same
     /// fault model the checkpointed run had.
@@ -114,6 +124,9 @@ impl Simulation {
             checkpoint_every: 0,
             checkpoint_dir: None,
             watchdog_interval: noc_core::DEFAULT_WATCHDOG_INTERVAL,
+            recovery_budget: 0,
+            recovery_attempts: 0,
+            recoveries: Vec::new(),
             pending_resume: None,
         }
     }
@@ -126,13 +139,13 @@ impl Simulation {
     /// itself happens at the start of `run` and verifies the fault
     /// fingerprint (schedule length and seed).
     pub fn resume(topo: &dyn Topology, cfg: SimConfig, dir: &Path) -> io::Result<Self> {
-        let Some(path) = checkpoint::latest_checkpoint(dir)? else {
+        let Some((_, ckpt)) = checkpoint::latest_valid_checkpoint(dir)? else {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
-                format!("no checkpoint found in {}", dir.display()),
+                format!("no usable checkpoint found in {}", dir.display()),
             ));
         };
-        Self::resume_from_checkpoint(topo, cfg, checkpoint::read_checkpoint(&path)?)
+        Self::resume_from_checkpoint(topo, cfg, ckpt)
     }
 
     /// [`Simulation::resume`] from an explicit, already-read checkpoint
@@ -190,6 +203,24 @@ impl Simulation {
     /// Builder-style [`Simulation::set_watchdog_interval`].
     pub fn with_watchdog_interval(mut self, interval: u64) -> Self {
         self.set_watchdog_interval(interval);
+        self
+    }
+
+    /// Enable watchdog-triggered deadlock **recovery**: when the watchdog
+    /// declares a stall, instead of aborting, the engine drains the oldest
+    /// blocked packet from up to `budget` stalled virtual channels
+    /// (poisoning it and returning its buffer credits) and the run
+    /// continues, up to `attempts` times. Each escape produces a
+    /// [`RecoveryReport`] in [`SimResult::recoveries`]. With `budget = 0`
+    /// (the default) a stall aborts the run as before.
+    pub fn set_recovery(&mut self, budget: usize, attempts: u32) {
+        self.recovery_budget = budget;
+        self.recovery_attempts = attempts;
+    }
+
+    /// Builder-style [`Simulation::set_recovery`].
+    pub fn with_recovery(mut self, budget: usize, attempts: u32) -> Self {
+        self.set_recovery(budget, attempts);
         self
     }
 
@@ -357,8 +388,12 @@ impl Simulation {
             events_per_sec: if total_secs > 0.0 { events as f64 / total_secs } else { 0.0 },
             stages: self.net.profiler().map(|p| p.breakdown()),
         };
+        let recovery_enabled = self.recovery_budget > 0;
+        let recoveries = std::mem::take(&mut self.recoveries);
         let mut result = SimResult::collect(self.name, self.net, cfg, throughput, profile, series);
+        result.recovery_exhausted = recovery_enabled && stall.is_some();
         result.stall = stall;
+        result.recoveries = recoveries;
         result.resumed_from = resumed_from;
         result
     }
@@ -455,7 +490,17 @@ impl Simulation {
                 && d.poll(self.net.now, self.net.progress_counter())
                 && !self.net.quiescent()
             {
-                *stall = Some(self.net.stall_report(d.progressed_at(), false));
+                let report = self.net.stall_report(d.progressed_at(), false);
+                if self.recovery_budget > 0 && self.recovery_attempts > 0 {
+                    let rec = self.net.recover(&report, self.recovery_budget);
+                    if !rec.is_empty() {
+                        self.recovery_attempts -= 1;
+                        self.recoveries.push(*rec);
+                        d.reset(self.net.now, self.net.progress_counter());
+                        return false;
+                    }
+                }
+                *stall = Some(report);
                 return true;
             }
         }

@@ -239,3 +239,132 @@ fn simulation_stall_flows_into_exporters() {
     let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
     assert!(events.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall")));
 }
+
+/// Freezing every token ring wedges the whole photonic fabric. With
+/// injection stopped, each watchdog-triggered escape drains another slice
+/// of the wedge — and as the freed credits pull source backlog into the
+/// network, the next pass drains that too — until the network reaches
+/// genuine quiescence with the accounting still balanced. Recovery turns
+/// a terminal deadlock into a drained (if lossy) network.
+#[test]
+fn watchdog_recovery_drains_a_wedged_fabric_to_quiescence() {
+    let topo = noc_topology::own(256);
+    let mut net = topo.build(RouterConfig::default());
+    let n_buses = net.buses().len();
+    let schedule = (0..n_buses).fold(FaultSchedule::new(), |s, b| {
+        s.with(FaultEvent::permanent(50, FaultTarget::TokenRing(b as noc_core::BusId)))
+    });
+    net.attach_faults(FaultConfig { schedule, ..Default::default() });
+    let mut inj = BernoulliInjector::new(0.04, 3, TrafficPattern::Uniform, 0xBEEF);
+    inj.drive(&mut net, 150);
+    assert!(net.stats.packets_offered > 0, "traffic must be in flight at the freeze");
+
+    let mut recoveries = 0u32;
+    let mut flushed = 0u64;
+    loop {
+        match net.try_drain_with(600_000, 512) {
+            Ok(_) => break,
+            Err(stall) => {
+                let rec = net.recover(&stall, 64);
+                assert!(
+                    !rec.is_empty(),
+                    "recovery found nothing on a frozen fabric: {}",
+                    stall.summary()
+                );
+                recoveries += 1;
+                flushed += rec.flits_flushed();
+                assert!(recoveries < 200, "recovery loop did not converge");
+            }
+        }
+    }
+    assert!(recoveries >= 1, "the watchdog must have fired at least once");
+    assert!(flushed > 0, "recovery reports must carry the drained flits");
+    assert!(net.quiescent(), "recovery must reach real quiescence");
+    net.check_invariants();
+    assert!(net.stats.recoveries > 0, "the recovery counter must track drained packets");
+    let acct = net.accounting();
+    assert!(acct.balanced(), "recovered packets must stay inside the conservation law: {acct}");
+}
+
+/// Every ring frozen: the escape path frees packets each time the
+/// watchdog fires, but new wedges form faster than the attempt budget
+/// refills — the run must end in a stall flagged `recovery_exhausted`
+/// (the CLI's exit-6 path), with every earlier recovery still reported.
+#[test]
+fn recovery_exhaustion_is_flagged_after_real_recoveries() {
+    let topo = noc_topology::own(256);
+    let mut sim = Simulation::new(
+        topo.as_ref(),
+        SimConfig {
+            rate: 0.04,
+            pattern: TrafficPattern::Uniform,
+            warmup: 100,
+            measure: 200,
+            drain: 200_000,
+            ..Default::default()
+        },
+    );
+    let n_buses = sim.network().buses().len();
+    let schedule = (0..n_buses).fold(FaultSchedule::new(), |s, b| {
+        s.with(FaultEvent::permanent(50, FaultTarget::TokenRing(b as noc_core::BusId)))
+    });
+    sim.attach_faults(FaultConfig { schedule, ..Default::default() });
+    sim.set_watchdog_interval(256);
+    sim.set_recovery(4, 2);
+
+    let result = sim.run();
+    assert!(result.stall.is_some(), "fully frozen rings must eventually wedge the run");
+    assert!(result.recovery_exhausted, "armed recovery + terminal stall must set the flag");
+    assert_eq!(result.recoveries.len(), 2, "both attempts must have drained something");
+    assert!(
+        result.net.accounting().balanced(),
+        "accounting must stay balanced through recovery and the final stall: {}",
+        result.net.accounting()
+    );
+}
+
+/// Satellite: a truncated newest checkpoint must not kill a resume — the
+/// loader warns on stderr and falls back to the next-newest valid file.
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_valid_one() {
+    let topo = noc_topology::own(256);
+    let cfg = SimConfig {
+        rate: 0.04,
+        pattern: TrafficPattern::Uniform,
+        warmup: 200,
+        measure: 1_000,
+        drain: 3_000,
+        ..Default::default()
+    };
+    let dir = scratch("corrupt-fallback");
+    let mut sim = Simulation::new(topo.as_ref(), cfg);
+    sim.set_checkpointing(700, &dir);
+    let reference = sim.run();
+
+    let good = noc_sim::latest_valid_checkpoint(&dir)
+        .expect("scan works")
+        .expect("run long enough to checkpoint");
+    let good_cycle = good.1.cycle;
+
+    // Plant two poisoned files that sort newer than every real one: a
+    // truncated JSON document and an empty file.
+    let truncated = std::fs::read_to_string(&good.0).unwrap();
+    std::fs::write(
+        dir.join(checkpoint_file_name(good_cycle + 1_000)),
+        &truncated[..truncated.len() / 2],
+    )
+    .unwrap();
+    std::fs::write(dir.join(checkpoint_file_name(good_cycle + 2_000)), "").unwrap();
+
+    let (path, ckpt) =
+        noc_sim::latest_valid_checkpoint(&dir).expect("scan works").expect("fallback found");
+    assert_eq!(ckpt.cycle, good_cycle, "must fall back to the newest *valid* checkpoint");
+    assert!(path.ends_with(checkpoint_file_name(good_cycle)));
+
+    // And the fallback is actually resumable, reproducing the reference.
+    let resumed = Simulation::resume(topo.as_ref(), cfg, &dir).expect("resume via fallback").run();
+    assert_eq!(resumed.resumed_from, Some(good_cycle));
+    assert_eq!(resumed.net.stats, reference.net.stats);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
