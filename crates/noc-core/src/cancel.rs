@@ -1,0 +1,140 @@
+//! Cooperative cancellation of step loops.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a step
+//! loop (the engine's [`Network::try_drain`](crate::Network::try_drain)
+//! driver, or an external driver like `noc-sim`'s `Simulation`) and a
+//! supervisor that wants the loop to stop: either explicitly
+//! ([`CancelToken::cancel`]) or when a wall-clock deadline passes
+//! ([`CancelToken::with_timeout`]).
+//!
+//! Cancellation is *cooperative*: the engine never unwinds mid-cycle.
+//! Drivers poll [`CancelToken::expired_at`] once per cycle, which is one
+//! relaxed atomic load; the wall clock is only read every
+//! [`DEADLINE_CHECK_MASK`]` + 1` cycles, so a polled token costs nothing
+//! measurable on the hot path. Once the deadline is observed to have
+//! passed, the token latches cancelled — later polls are pure atomic
+//! loads and every clone of the token agrees.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cycle mask gating wall-clock reads in [`CancelToken::expired_at`]: the
+/// deadline is checked when `cycle & DEADLINE_CHECK_MASK == 0`, i.e.
+/// every 256 cycles. At typical engine speeds (≥100 kcycles/s) that
+/// bounds the cancellation latency well under wall-clock noise while
+/// keeping `Instant::now()` off 255 of every 256 cycles.
+pub const DEADLINE_CHECK_MASK: u64 = 255;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute wall-clock deadline, fixed at construction. `None` for a
+    /// purely explicit token.
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional wall-clock deadline. Clones
+/// share state: cancelling any clone cancels them all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that additionally expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (or a passed deadline has
+    /// already been observed by some poll). Never reads the clock.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Per-cycle poll for step loops: true once the token is cancelled.
+    /// The deadline (if any) is checked only on cycles where
+    /// `cycle & `[`DEADLINE_CHECK_MASK`]` == 0`, and latches the flag so
+    /// the answer is stable on every later cycle.
+    pub fn expired_at(&self, cycle: u64) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if cycle & DEADLINE_CHECK_MASK == 0 {
+            return self.expired_now();
+        }
+        false
+    }
+
+    /// Unconditional poll (always reads the clock when a deadline is
+    /// set); latches. For loops not indexed by engine cycles.
+    pub fn expired_now(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_latches_and_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.expired_at(1));
+        assert!(!t.expired_at(0), "no deadline: the check-cycle is still false");
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.expired_at(7), "cancellation visible on every cycle");
+    }
+
+    #[test]
+    fn deadline_expires_and_latches() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        // Off-mask cycles never read the clock, so the flag is still unset.
+        assert!(!t.expired_at(3));
+        assert!(!t.is_cancelled());
+        // A mask-aligned cycle observes the passed deadline and latches.
+        assert!(t.expired_at(DEADLINE_CHECK_MASK + 1));
+        assert!(t.is_cancelled());
+        assert!(t.expired_at(3), "latched: off-mask cycles now see it too");
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.expired_at(0));
+        assert!(!t.expired_now());
+    }
+}

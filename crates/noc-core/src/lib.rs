@@ -47,6 +47,7 @@
 
 pub mod arbiter;
 pub mod builder;
+pub mod cancel;
 pub mod channel;
 pub mod config;
 pub mod fault;
@@ -67,6 +68,7 @@ pub mod token;
 pub mod watchdog;
 
 pub use builder::NetworkBuilder;
+pub use cancel::CancelToken;
 pub use channel::{Bus, BusKind, Channel, DistanceClass, LinkClass};
 pub use config::{RouterConfig, ThrottlePolicy};
 pub use fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};

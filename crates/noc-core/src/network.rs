@@ -100,6 +100,12 @@ pub struct Network {
     /// periodic frames snapshot engine counters; statistics are
     /// bit-identical with or without it.
     metrics: Option<Box<MetricsRegistry>>,
+    /// Cooperative cancellation token, if a supervisor armed one. Step
+    /// loop drivers ([`Network::try_drain`], `noc-sim`'s `Simulation`)
+    /// poll it once per cycle and stop between cycles when it fires; the
+    /// engine itself never aborts mid-cycle, so cancelled state is always
+    /// a consistent cycle boundary. `None` (the default) costs nothing.
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Network {
@@ -146,7 +152,24 @@ impl Network {
             sensors,
             profiler: None,
             metrics: None,
+            cancel: None,
         }
+    }
+
+    /// Arm a cooperative cancellation token (see [`crate::cancel`]).
+    /// Runtime-only supervision state: tokens are never part of a
+    /// snapshot, and a restored network starts with whatever token its
+    /// driver armed.
+    pub fn set_cancel_token(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the armed cancellation token (if any) has fired. Polled by
+    /// step-loop drivers once per cycle: one relaxed atomic load, with
+    /// the wall clock consulted every
+    /// [`crate::cancel::DEADLINE_CHECK_MASK`]` + 1` cycles.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.expired_at(self.now))
     }
 
     /// Recompute every active-set work list and derived counter from the

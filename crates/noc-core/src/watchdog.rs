@@ -176,6 +176,10 @@ pub struct StallReport {
     /// `true` when the drain budget ran out rather than the watchdog
     /// firing — the network may still be making (slow) progress.
     pub budget_exhausted: bool,
+    /// `true` when the loop stopped because an armed [`crate::CancelToken`]
+    /// fired (explicit cancel or wall-clock timeout) — the network state
+    /// is a consistent cycle boundary, not a wedge.
+    pub cancelled: bool,
     /// Packets offered but not yet delivered or dropped.
     pub undelivered_packets: u64,
     /// Flits injected but not ejected.
@@ -199,7 +203,13 @@ impl StallReport {
         format!(
             "{} at cycle {} ({} undelivered packets, {} flits in network, \
              {} backlogged, {} stalled VCs, last progress at cycle {})",
-            if self.budget_exhausted { "drain budget exhausted" } else { "stall" },
+            if self.cancelled {
+                "cancelled"
+            } else if self.budget_exhausted {
+                "drain budget exhausted"
+            } else {
+                "stall"
+            },
             self.at,
             self.undelivered_packets,
             self.flits_in_network,
@@ -374,6 +384,7 @@ impl Network {
             at: now,
             progressed_at,
             budget_exhausted,
+            cancelled: false,
             undelivered_packets: s
                 .packets_offered
                 .saturating_sub(s.packets_delivered + s.packets_dropped_corrupt),
@@ -411,6 +422,11 @@ impl Network {
         for _ in 0..max_cycles {
             if self.quiescent() {
                 return Ok(self.now - start);
+            }
+            if self.cancel_requested() {
+                let mut report = self.stall_report(dog.progressed_at(), false);
+                report.cancelled = true;
+                return Err(report);
             }
             self.step();
             if dog.due(self.now) && dog.poll(self.now, self.progress_counter()) && !self.quiescent()

@@ -94,6 +94,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use noc_power::Scenario;
+use noc_sim::exit;
 use noc_sim::experiments::chaos::{self, ChaosOpts};
 use noc_sim::experiments::overload::{self, OverloadOpts};
 use noc_sim::experiments::resilience::{self, CodingSelect, ResilienceOpts};
@@ -102,6 +103,7 @@ use noc_sim::obs::{
     recovery_report_json, stall_report_json, write_chrome_trace_with_stall, write_jsonl_with_stall,
     RingRecorder,
 };
+use noc_sim::supervisor::{self, SimRunner, SupervisorConfig, SweepSpec};
 use noc_sim::{Report, SimConfig, SimResult, SimSpec, Simulation};
 use noc_topology::{Own256, Topology};
 use noc_traffic::TrafficPattern;
@@ -152,7 +154,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let mut budget = Budget::quick();
     let mut csv = false;
@@ -175,84 +177,174 @@ fn main() {
     let mut summarize_files: Vec<String> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
+    let mut sweep_spec_file: Option<String> = None;
+    let mut sweep_status_dirs: Vec<String> = Vec::new();
+    let mut run_dir: Option<String> = None;
+    let mut sup_cfg = SupervisorConfig::default();
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
             "metrics" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("metrics requires a JSONL file written by --metrics-out");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 summarize_files.push(f.clone());
+            }
+            "sweep" => {
+                let Some(f) = args_iter.next() else {
+                    eprintln!("sweep requires a sweep spec JSON file (see EXPERIMENTS.md)");
+                    std::process::exit(exit::USAGE);
+                };
+                sweep_spec_file = Some(f.clone());
+            }
+            "sweep-status" => {
+                let Some(d) = args_iter.next() else {
+                    eprintln!("sweep-status requires a run directory");
+                    std::process::exit(exit::USAGE);
+                };
+                sweep_status_dirs.push(d.clone());
+            }
+            "--run-dir" => {
+                let Some(d) = args_iter.next() else {
+                    eprintln!("--run-dir requires a directory path");
+                    std::process::exit(exit::USAGE);
+                };
+                run_dir = Some(d.clone());
+            }
+            "--point-timeout" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--point-timeout requires seconds per point");
+                    std::process::exit(exit::USAGE);
+                };
+                let secs: f64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--point-timeout: not a duration in seconds: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("--point-timeout must be a positive number of seconds");
+                    std::process::exit(exit::USAGE);
+                }
+                sup_cfg.point_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--point-retries" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--point-retries requires a count (reruns after the first attempt)");
+                    std::process::exit(exit::USAGE);
+                };
+                sup_cfg.point_retries = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--point-retries: not a count: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+            }
+            "--max-failures" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--max-failures requires a count of gave-up points");
+                    std::process::exit(exit::USAGE);
+                };
+                let n: usize = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-failures: not a count: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+                if n == 0 {
+                    eprintln!("--max-failures must be >= 1");
+                    std::process::exit(exit::USAGE);
+                }
+                sup_cfg.max_failures = Some(n);
+            }
+            "--point-checkpoint" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--point-checkpoint requires a cycle count");
+                    std::process::exit(exit::USAGE);
+                };
+                sup_cfg.checkpoint_every = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--point-checkpoint: not a cycle count: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+                if sup_cfg.checkpoint_every == 0 {
+                    eprintln!("--point-checkpoint must be >= 1");
+                    std::process::exit(exit::USAGE);
+                }
+            }
+            "--point-backoff-ms" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--point-backoff-ms requires a duration in milliseconds");
+                    std::process::exit(exit::USAGE);
+                };
+                let ms: u64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--point-backoff-ms: not a duration: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+                sup_cfg.backoff_base = std::time::Duration::from_millis(ms);
             }
             "--metrics-out" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--metrics-out requires an output file path");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 metrics_out = Some(f.clone());
             }
             "--metrics-interval" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--metrics-interval requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 metrics_interval = s.parse().unwrap_or_else(|_| {
                     eprintln!("--metrics-interval: not a cycle count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if metrics_interval == 0 {
                     eprintln!("--metrics-interval must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
             "--spec" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--spec requires a file path");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 spec_files.push(f.clone());
             }
             "--trace" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--trace requires an output file path");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 trace_file = Some(f.clone());
             }
             "--sample-interval" => {
                 let Some(n) = args_iter.next() else {
                     eprintln!("--sample-interval requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 sample_interval = n.parse().unwrap_or_else(|_| {
                     eprintln!("--sample-interval: not a cycle count: {n}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if sample_interval == 0 {
                     eprintln!("--sample-interval must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
             "--faults" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--faults requires a schedule spec (e.g. band:3@5000)");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 resilience_opts.faults = Some(s.clone());
             }
             "--ber" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--ber requires a bit error rate");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let rate: f64 = s.parse().unwrap_or_else(|_| {
                     eprintln!("--ber: not a rate: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if !(0.0..=1.0).contains(&rate) {
                     eprintln!("--ber must be a probability in [0, 1], got {rate}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 resilience_opts.ber = Some(rate);
             }
@@ -262,45 +354,45 @@ fn main() {
                         "--retry-limit requires a count in 0..=255 \
                          (0 = drop on first corrupt delivery, 255 = retry forever)"
                     );
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 resilience_opts.retry_limit = Some(s.parse().unwrap_or_else(|_| {
                     eprintln!(
                         "--retry-limit: expected a count in 0..=255 \
                          (0 = drop on first corrupt delivery, 255 = retry forever), got {s}"
                     );
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }));
             }
             "--coding" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--coding requires off|secded|secded:<band>,<band>,...");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 resilience_opts.coding = CodingSelect::parse(s).unwrap_or_else(|e| {
                     eprintln!("--coding: {e}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
             }
             "--corruption-rate" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--corruption-rate requires a per-flit-hop probability");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let rate: f64 = s.parse().unwrap_or_else(|_| {
                     eprintln!("--corruption-rate: not a rate: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if !(0.0..=1.0).contains(&rate) {
                     eprintln!("--corruption-rate must be a probability in [0, 1], got {rate}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 resilience_opts.corruption_rate = rate;
             }
             "--recover" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--recover requires <budget>[:<attempts>] (packets per escape)");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let (b, a) = match s.split_once(':') {
                     Some((b, a)) => (b.parse::<usize>().ok(), a.parse::<u32>().ok()),
@@ -308,52 +400,52 @@ fn main() {
                 };
                 let (Some(b), Some(a)) = (b, a) else {
                     eprintln!("--recover: expected <budget>[:<attempts>], got {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 if b == 0 || a == 0 {
                     eprintln!("--recover: budget and attempts must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 recover = Some((b, a));
             }
             "--chaos-seed" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--chaos-seed requires a seed");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 chaos_opts.seed = s.parse().unwrap_or_else(|_| {
                     eprintln!("--chaos-seed: not a seed: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
             }
             "--chaos-cycles" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--chaos-cycles requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 chaos_opts.cycles = s.parse().unwrap_or_else(|_| {
                     eprintln!("--chaos-cycles: not a cycle count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if chaos_opts.cycles == 0 {
                     eprintln!("--chaos-cycles must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
             "--chaos-cuts" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--chaos-cuts requires a count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 chaos_opts.cuts = s.parse().unwrap_or_else(|_| {
                     eprintln!("--chaos-cuts: not a count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
             }
             "--throttle" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--throttle requires <high>:<low> watermarks");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let parts: Vec<&str> = s.split(':').collect();
                 let watermarks = match parts.as_slice() {
@@ -362,18 +454,18 @@ fn main() {
                 };
                 let Some((high, low)) = watermarks else {
                     eprintln!("--throttle: expected <high>:<low> (packet counts), got {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 if high < 1 || low >= high {
                     eprintln!("--throttle: need high >= 1 and low < high, got {high}:{low}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 overload_opts.throttle = Some((high, low));
             }
             "--reconfig" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--reconfig requires adaptive:<epoch>:<hysteresis>");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let parts: Vec<&str> = s.split(':').collect();
                 let timing = match parts.as_slice() {
@@ -386,32 +478,32 @@ fn main() {
                     eprintln!(
                         "--reconfig: expected adaptive:<epoch>:<hysteresis> (cycles), got {s}"
                     );
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 if epoch == 0 {
                     eprintln!("--reconfig: epoch must be >= 1 cycle");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 overload_opts.reconfig = (epoch, hysteresis);
             }
             "--checkpoint-every" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--checkpoint-every requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 durability.checkpoint_every = s.parse().unwrap_or_else(|_| {
                     eprintln!("--checkpoint-every: not a cycle count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if durability.checkpoint_every == 0 {
                     eprintln!("--checkpoint-every must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
             "--checkpoint-dir" => {
                 let Some(d) = args_iter.next() else {
                     eprintln!("--checkpoint-dir requires a directory path");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 durability.checkpoint_dir = Some(d.clone());
             }
@@ -419,53 +511,55 @@ fn main() {
             "--audit" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--audit requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 durability.audit_every = s.parse().unwrap_or_else(|_| {
                     eprintln!("--audit: not a cycle count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
             }
             "--threads" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--threads requires a thread count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 let n: usize = s.parse().unwrap_or_else(|_| {
                     eprintln!("--threads: not a thread count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
-                if n < 1 {
-                    eprintln!("--threads must be >= 1");
-                    std::process::exit(2);
+                // Zero (an empty pool) and wild oversubscription are both
+                // diagnosed before anything touches the rayon pool.
+                if let Err(e) = exit::validate_threads(n) {
+                    eprintln!("{e}");
+                    std::process::exit(exit::USAGE);
                 }
                 threads = Some(n);
             }
             "--bench-cycles" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--bench-cycles requires a cycle count");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 bench_cycles = s.parse().unwrap_or_else(|_| {
                     eprintln!("--bench-cycles: not a cycle count: {s}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
                 if bench_cycles == 0 {
                     eprintln!("--bench-cycles must be >= 1");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
             "--bench-out" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--bench-out requires an output file path");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 bench_out = Some(f.clone());
             }
             "--bench-baseline" => {
                 let Some(f) = args_iter.next() else {
                     eprintln!("--bench-baseline requires a bench JSON file");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 };
                 bench_baseline = Some(f.clone());
             }
@@ -478,7 +572,7 @@ fn main() {
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 usage();
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             other => wanted.push(other.to_string()),
         }
@@ -526,15 +620,21 @@ fn main() {
             eprintln!("unknown experiment: {w}");
         }
         eprintln!("known experiments: {}", KNOWN.join(" "));
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     if wanted.is_empty()
         && spec_files.is_empty()
         && trace_file.is_none()
         && summarize_files.is_empty()
+        && sweep_spec_file.is_none()
+        && sweep_status_dirs.is_empty()
     {
         usage();
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
+    }
+    if sweep_spec_file.is_some() && run_dir.is_none() {
+        eprintln!("sweep requires --run-dir (the journaled run directory)");
+        std::process::exit(exit::USAGE);
     }
     // Observability flags that cannot take effect are diagnosed, not
     // silently ignored — a long run with no telemetry is expensive.
@@ -557,31 +657,43 @@ fn main() {
             Ok(text) => print!("{text}"),
             Err(e) => {
                 eprintln!("metrics: {e}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
+    }
+    for d in &sweep_status_dirs {
+        match supervisor::status(Path::new(d)) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("sweep-status: {d}: {e}");
+                std::process::exit(exit::USAGE);
+            }
+        }
+    }
+    if let Some(f) = &sweep_spec_file {
+        run_supervised_sweep(f, run_dir.as_deref().expect("validated above"), &sup_cfg);
     }
     if let Some(spec) = &resilience_opts.faults {
         if let Err(e) = resilience::validate_fault_spec(spec) {
             eprintln!("--faults: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     }
     if (durability.checkpoint_every > 0 || durability.resume) && durability.checkpoint_dir.is_none()
     {
         eprintln!("--checkpoint-every/--resume require --checkpoint-dir");
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     // Read and schema-check the bench baseline before any workload runs,
     // so a bad path fails fast instead of after minutes of benchmarking.
     let baseline: Option<noc_sim::BaselineFile> = bench_baseline.as_ref().map(|f| {
         let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
             eprintln!("--bench-baseline: cannot read {f}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         });
         noc_sim::BaselineFile::parse(&text).unwrap_or_else(|e| {
             eprintln!("--bench-baseline: {f}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         })
     });
 
@@ -603,17 +715,17 @@ fn main() {
     for f in &spec_files {
         let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
             eprintln!("cannot read {f}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         });
         let spec = SimSpec::from_json(&text).unwrap_or_else(|e| {
             eprintln!("{f}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         });
         match spec.run() {
             Ok(r) => emit(&r),
             Err(e) => {
                 eprintln!("{f}: {e}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
     }
@@ -744,9 +856,47 @@ fn usage() {
     );
     eprintln!("telemetry:   metrics <file> (summarize a --metrics-out JSONL stream)");
     eprintln!(
+        "sweeps:      sweep <spec.json> --run-dir d (crash-safe supervised batch; honors \
+         --point-timeout secs / --point-retries n / --max-failures n / \
+         --point-checkpoint cycles / --point-backoff-ms n; journals every point to \
+         <run-dir>/ledger.jsonl, resumes after a kill, exits 7 when points exhaust \
+         their retry budget); sweep-status <run-dir> (summarize a run ledger)"
+    );
+    eprintln!(
         "benchmark:   bench (honors --bench-cycles/--bench-out/--bench-baseline/--threads; \
          exits 5 on >2x regression vs the baseline)"
     );
+}
+
+/// Run (or resume) a supervised sweep from a spec file. Never returns on
+/// failure; on an incomplete sweep exits with [`exit::SWEEP_INCOMPLETE`] so
+/// callers can distinguish "some points gave up" from a crashed process.
+fn run_supervised_sweep(spec_file: &str, run_dir: &str, cfg: &SupervisorConfig) {
+    let text = std::fs::read_to_string(spec_file).unwrap_or_else(|e| {
+        eprintln!("sweep: {spec_file}: {e}");
+        std::process::exit(exit::USAGE);
+    });
+    let spec = SweepSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("sweep: {spec_file}: {e}");
+        std::process::exit(exit::USAGE);
+    });
+    let outcome =
+        noc_sim::run_sweep(Path::new(run_dir), &spec, &SimRunner, cfg).unwrap_or_else(|e| {
+            eprintln!("sweep: {e}");
+            std::process::exit(exit::USAGE);
+        });
+    eprintln!(
+        "[sweep] {} points: {} done ({} reused from ledger), {} gave up, {} not run",
+        outcome.total, outcome.done, outcome.skipped, outcome.gave_up, outcome.not_run
+    );
+    if outcome.complete() {
+        if let Some(p) = &outcome.results_path {
+            eprintln!("[sweep] results: {}", p.display());
+        }
+    } else {
+        eprintln!("[sweep] incomplete; inspect with: own-experiments sweep-status {run_dir}");
+        std::process::exit(outcome.exit_code());
+    }
 }
 
 /// Run the canonical engine benchmark suite and emit the bench JSON.
@@ -764,7 +914,7 @@ fn run_bench(
         Some(path) => {
             if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
                 eprintln!("--bench-out: cannot write {path}: {e}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             eprintln!("[bench] wrote {path}");
         }
@@ -777,7 +927,7 @@ fn run_bench(
             for r in &regressions {
                 eprintln!("  {r}");
             }
-            std::process::exit(5);
+            std::process::exit(exit::BENCH_REGRESSION);
         }
     }
 }
@@ -796,7 +946,7 @@ fn build_sim(topo: &dyn Topology, cfg: SimConfig, opts: &DurabilityOpts) -> Simu
             }
             Err(e) => {
                 eprintln!("--resume: {e}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
     } else {
@@ -827,9 +977,9 @@ fn exit_on_stall(result: &SimResult) {
     eprintln!("{}", stall_report_json(stall));
     if result.recovery_exhausted {
         eprintln!("[watchdog] deadlock recovery exhausted — nothing left to drain");
-        std::process::exit(6);
+        std::process::exit(exit::RECOVERY_EXHAUSTED);
     }
-    std::process::exit(3);
+    std::process::exit(exit::STALL);
 }
 
 /// Run one chaos soak and print its summary; exits 6 when the fuzzed
@@ -851,7 +1001,7 @@ fn run_chaos(opts: &ChaosOpts) {
         eprintln!("[chaos] recovery exhausted — stall report:");
         eprintln!("{stall}");
         eprintln!("{}", stall_report_json(stall));
-        std::process::exit(6);
+        std::process::exit(exit::RECOVERY_EXHAUSTED);
     }
     println!(
         "chaos seed {}: {} cycles, {} checkpoint cuts, {} recoveries, \
@@ -887,7 +1037,7 @@ fn run_overload_smoke(budget: Budget, opts: &OverloadOpts) {
         for v in &violations {
             eprintln!("  {v}");
         }
-        std::process::exit(4);
+        std::process::exit(exit::FLAPPING);
     }
 }
 
@@ -973,7 +1123,7 @@ fn run_own(
             }
             Err(e) => {
                 eprintln!("--metrics-out: cannot write {path}: {e}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
     }
@@ -1005,12 +1155,12 @@ fn run_traced(path: &str, budget: Budget, sample_interval: u64, opts: &Durabilit
     let stall = result.stall.as_deref();
     if let Err(e) = write_chrome_trace_with_stall(std::path::Path::new(path), &events, stall) {
         eprintln!("--trace: cannot write {path}: {e}");
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let jsonl_path = format!("{path}.jsonl");
     if let Err(e) = write_jsonl_with_stall(std::path::Path::new(&jsonl_path), &events, stall) {
         eprintln!("--trace: cannot write {jsonl_path}: {e}");
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let fairness = result.delivery_fairness();
     eprintln!(

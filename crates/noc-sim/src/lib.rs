@@ -21,12 +21,14 @@ pub mod analysis;
 pub mod bench;
 pub mod chart;
 pub mod checkpoint;
+pub mod exit;
 pub mod experiments;
 pub mod metrics;
 pub mod obs;
 pub mod report;
 pub mod sim;
 pub mod spec;
+pub mod supervisor;
 pub mod sweep;
 pub mod telemetry;
 
@@ -39,6 +41,10 @@ pub use obs::{RingRecorder, Sample, SampleSeries};
 pub use report::Report;
 pub use sim::{SimConfig, Simulation};
 pub use spec::SimSpec;
+pub use supervisor::{
+    run_sweep, PointCtx, PointFailure, PointMetrics, PointRunner, PointSpec, PointState, SimRunner,
+    SupervisorConfig, SweepOutcome, SweepSpec,
+};
 pub use sweep::{latency_vs_load, replicate, saturation_throughput, LoadPoint, Replicated};
 pub use telemetry::{
     cluster_map_for, export_metrics, summarize_metrics, MetricsArtifacts, METRICS_SCHEMA,

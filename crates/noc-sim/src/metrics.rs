@@ -104,6 +104,10 @@ pub struct SimResult {
     pub recovery_exhausted: bool,
     /// Cycle this run was resumed from (checkpoint restore), if it was.
     pub resumed_from: Option<u64>,
+    /// The run was stopped early by an armed [`noc_core::CancelToken`]
+    /// (supervisor timeout or explicit cancel); metrics cover only the
+    /// cycles executed before the token fired.
+    pub cancelled: bool,
 }
 
 impl SimResult {
@@ -149,6 +153,7 @@ impl SimResult {
             recoveries: Vec::new(),
             recovery_exhausted: false,
             resumed_from: None,
+            cancelled: false,
             net,
             cfg,
             profile,

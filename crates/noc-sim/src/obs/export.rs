@@ -352,11 +352,13 @@ pub fn stall_report_json(r: &StallReport) -> String {
     let _ = write!(
         out,
         "{{\"kind\":\"stall\",\"at\":{},\"progressed_at\":{},\"budget_exhausted\":{},\
+         \"cancelled\":{},\
          \"undelivered_packets\":{},\"flits_in_network\":{},\"source_backlog\":{},\
          \"flit_retransmits\":{},\"stalled_vcs\":[",
         r.at,
         r.progressed_at,
         r.budget_exhausted,
+        r.cancelled,
         r.undelivered_packets,
         r.flits_in_network,
         r.source_backlog,
@@ -799,6 +801,7 @@ mod tests {
             at: 8192,
             progressed_at: 4096,
             budget_exhausted: false,
+            cancelled: false,
             undelivered_packets: 3,
             flits_in_network: 9,
             source_backlog: 2,

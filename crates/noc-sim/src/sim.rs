@@ -30,8 +30,8 @@ use std::time::Instant;
 
 use noc_core::obs::Observer;
 use noc_core::{
-    FaultConfig, MetricsRegistry, Network, RecoveryReport, RouterConfig, StageProfiler,
-    StallReport, Watchdog,
+    CancelToken, FaultConfig, MetricsRegistry, Network, RecoveryReport, RouterConfig,
+    StageProfiler, StallReport, Watchdog,
 };
 use noc_topology::Topology;
 use noc_traffic::{BernoulliInjector, TrafficPattern};
@@ -107,6 +107,9 @@ pub struct Simulation {
     /// of [`Simulation::run`] — *after* the caller has attached the same
     /// fault model the checkpointed run had.
     pending_resume: Option<Checkpoint>,
+    /// Set by the per-cycle cancel poll: the armed [`CancelToken`] fired
+    /// and the run stopped at a cycle boundary.
+    cancelled: bool,
 }
 
 impl Simulation {
@@ -128,6 +131,7 @@ impl Simulation {
             recovery_attempts: 0,
             recoveries: Vec::new(),
             pending_resume: None,
+            cancelled: false,
         }
     }
 
@@ -233,6 +237,23 @@ impl Simulation {
     /// Builder-style [`Simulation::set_audit_interval`].
     pub fn with_audit_interval(mut self, every: u64) -> Self {
         self.set_audit_interval(every);
+        self
+    }
+
+    /// Arm a cooperative cancellation token (see `noc_core::cancel`):
+    /// the run stops at the next cycle boundary after the token fires —
+    /// explicit [`CancelToken::cancel`] or a wall-clock timeout — and the
+    /// result comes back with [`SimResult::cancelled`] set. Cancellation
+    /// never corrupts state: checkpoints written before the stop stay
+    /// valid, so a timed-out point can resume from its newest checkpoint
+    /// on retry.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.net.set_cancel_token(token);
+    }
+
+    /// Builder-style [`Simulation::set_cancel`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.set_cancel(token);
         self
     }
 
@@ -344,7 +365,7 @@ impl Simulation {
         let warmup_secs = t0.elapsed().as_secs_f64();
         // Open the measurement window exactly at the warm-up boundary. A
         // resume past the boundary already carries `window_start`.
-        if stall.is_none() && window_start.is_none() {
+        if stall.is_none() && !self.cancelled && window_start.is_none() {
             debug_assert_eq!(self.net.now, w_end);
             self.net.stats.measure_from = w_end;
             self.net.stats.measure_until = m_end;
@@ -355,7 +376,7 @@ impl Simulation {
         let t1 = Instant::now();
         self.run_phase(m_end, &mut series, &mut dog, &mut stall, (window_start, window_end));
         let measure_secs = t1.elapsed().as_secs_f64();
-        if stall.is_none() && window_end.is_none() {
+        if stall.is_none() && !self.cancelled && window_end.is_none() {
             window_end = Some(self.net.stats.flits_ejected);
         }
 
@@ -390,11 +411,13 @@ impl Simulation {
         };
         let recovery_enabled = self.recovery_budget > 0;
         let recoveries = std::mem::take(&mut self.recoveries);
+        let cancelled = self.cancelled;
         let mut result = SimResult::collect(self.name, self.net, cfg, throughput, profile, series);
         result.recovery_exhausted = recovery_enabled && stall.is_some();
         result.stall = stall;
         result.recoveries = recoveries;
         result.resumed_from = resumed_from;
+        result.cancelled = cancelled;
         result
     }
 
@@ -411,7 +434,7 @@ impl Simulation {
         stall: &mut Option<Box<StallReport>>,
         window: (Option<u64>, Option<u64>),
     ) {
-        if stall.is_some() {
+        if stall.is_some() || self.cancelled {
             return;
         }
         while self.net.now < until {
@@ -438,7 +461,7 @@ impl Simulation {
         stall: &mut Option<Box<StallReport>>,
         window: (Option<u64>, Option<u64>),
     ) {
-        if stall.is_some() {
+        if stall.is_some() || self.cancelled {
             return;
         }
         while self.net.now < until && self.window_packets_outstanding() {
@@ -463,7 +486,15 @@ impl Simulation {
         stall: &mut Option<Box<StallReport>>,
         window: (Option<u64>, Option<u64>),
     ) -> bool {
-        if self.checkpoint_every > 0 && self.net.now.is_multiple_of(self.checkpoint_every) {
+        // Cooperative cancellation: stop at this cycle boundary. When
+        // checkpointing is on, force a write at the cancel cycle so a
+        // supervised resume re-executes as little as possible.
+        if self.net.cancel_requested() {
+            self.cancelled = true;
+        }
+        if self.checkpoint_every > 0
+            && (self.cancelled || self.net.now.is_multiple_of(self.checkpoint_every))
+        {
             if let Some(dir) = &self.checkpoint_dir {
                 let ckpt = Checkpoint {
                     topology: self.name.clone(),
@@ -484,6 +515,9 @@ impl Simulation {
                     );
                 }
             }
+        }
+        if self.cancelled {
+            return true;
         }
         if let Some(d) = dog.as_mut() {
             if d.due(self.net.now)
@@ -573,6 +607,36 @@ mod tests {
         // Accepted throughput must be well below the offered 1.0.
         assert!(r.throughput < 0.8, "throughput {}", r.throughput);
         assert!(r.throughput > 0.05);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_run_early() {
+        let cfg = SimConfig {
+            rate: 0.03,
+            warmup: 500,
+            measure: 2_000,
+            drain: 5_000,
+            ..Default::default()
+        };
+        let token = noc_core::CancelToken::new();
+        token.cancel();
+        let r = Simulation::new(&CMesh::new(64), cfg).with_cancel(token).run();
+        assert!(r.cancelled);
+        // The token is polled at the first cycle boundary, so essentially no
+        // simulated time elapses and no measurement window opens.
+        assert!(r.cycles <= 1, "ran {} cycles", r.cycles);
+        assert_eq!(r.packets_measured, 0);
+    }
+
+    #[test]
+    fn uncancelled_token_is_inert() {
+        let cfg =
+            SimConfig { rate: 0.03, warmup: 100, measure: 500, drain: 2_000, ..Default::default() };
+        let plain = Simulation::new(&CMesh::new(64), cfg).run();
+        let armed =
+            Simulation::new(&CMesh::new(64), cfg).with_cancel(noc_core::CancelToken::new()).run();
+        assert!(!armed.cancelled);
+        assert_eq!(plain.net.stats, armed.net.stats);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Sweep specifications and deterministic point fingerprints.
+//!
+//! A [`SweepSpec`] is the cross-product description of a batch: lists of
+//! topologies, patterns, offered loads and seeds, plus the shared window
+//! and router parameters. [`SweepSpec::expand`] flattens it into ordered
+//! [`PointSpec`]s, one per (topology, pattern, rate, seed) combination.
+//!
+//! Every point has a *stable fingerprint* — an FNV-1a 64 hash over a fixed
+//! field order with normalized casing and bit-exact float encoding — that
+//! keys the run ledger. The fingerprint deliberately excludes the point's
+//! position (`idx`) so reordering the spec's lists never invalidates
+//! completed work, and it is pinned by a regression test: changing the
+//! hash silently would orphan every existing ledger.
+//!
+//! Like the checkpoint codec, the JSON here is hand-rolled over
+//! `serde_json::Value` (integers as decimal strings, floats via Rust's
+//! shortest round-trip formatting) so files survive f64-backed parsers.
+
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+use crate::spec::SimSpec;
+
+/// A batch sweep: the cross product of the four list fields, sharing the
+/// scalar parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Topology names (see [`crate::spec`] module docs), outermost axis.
+    pub topologies: Vec<String>,
+    /// Traffic pattern names.
+    pub patterns: Vec<String>,
+    /// Offered loads, flits/core/cycle.
+    pub rates: Vec<f64>,
+    /// Traffic seeds, innermost axis.
+    pub seeds: Vec<u64>,
+    /// Flits per packet.
+    pub packet_len: u16,
+    /// Warm-up window, cycles.
+    pub warmup: u64,
+    /// Measurement window, cycles.
+    pub measure: u64,
+    /// Drain budget, cycles.
+    pub drain: u64,
+    /// Virtual channels per port.
+    pub vcs: u8,
+    /// Buffer depth per VC.
+    pub buf_depth: u32,
+}
+
+/// One fully-resolved sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Position in the expanded batch (stable output order; not hashed).
+    pub idx: usize,
+    pub topology: String,
+    pub pattern: String,
+    pub rate: f64,
+    pub seed: u64,
+    pub packet_len: u16,
+    pub warmup: u64,
+    pub measure: u64,
+    pub drain: u64,
+    pub vcs: u8,
+    pub buf_depth: u32,
+}
+
+impl SweepSpec {
+    /// Parse the JSON sweep format. The four list fields are required and
+    /// non-empty; scalars default to the `SimSpec` defaults.
+    pub fn from_json(text: &str) -> Result<SweepSpec, String> {
+        let v: Value = text.parse().map_err(|e| format!("not valid JSON: {e:?}"))?;
+        let m = v.as_object().ok_or("sweep spec: expected an object")?;
+        for key in m.keys() {
+            const KNOWN: &[&str] = &[
+                "topologies",
+                "patterns",
+                "rates",
+                "seeds",
+                "packet_len",
+                "warmup",
+                "measure",
+                "drain",
+                "vcs",
+                "buf_depth",
+            ];
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!("sweep spec: unknown field {key:?}"));
+            }
+        }
+        let strings = |key: &str| -> Result<Vec<String>, String> {
+            let arr = m
+                .get(key)
+                .ok_or_else(|| format!("sweep spec: missing field {key:?}"))?
+                .as_array()
+                .ok_or_else(|| format!("sweep spec: field {key:?} must be an array"))?;
+            if arr.is_empty() {
+                return Err(format!("sweep spec: field {key:?} must not be empty"));
+            }
+            arr.iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("sweep spec: {key:?} entries must be strings"))
+                })
+                .collect()
+        };
+        let f64s = |key: &str| -> Result<Vec<f64>, String> {
+            let arr = m
+                .get(key)
+                .ok_or_else(|| format!("sweep spec: missing field {key:?}"))?
+                .as_array()
+                .ok_or_else(|| format!("sweep spec: field {key:?} must be an array"))?;
+            if arr.is_empty() {
+                return Err(format!("sweep spec: field {key:?} must not be empty"));
+            }
+            arr.iter()
+                .map(|v| number(v).ok_or_else(|| format!("sweep spec: bad number in {key:?}")))
+                .collect()
+        };
+        let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+            match m.get(key) {
+                None => Ok(default),
+                Some(v) => integer(v).ok_or_else(|| format!("sweep spec: bad integer {key:?}")),
+            }
+        };
+        let rates = f64s("rates")?;
+        if let Some(bad) = rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+            return Err(format!("sweep spec: rate {bad} outside [0, 1]"));
+        }
+        let seeds_arr = m
+            .get("seeds")
+            .ok_or("sweep spec: missing field \"seeds\"")?
+            .as_array()
+            .ok_or("sweep spec: field \"seeds\" must be an array")?;
+        if seeds_arr.is_empty() {
+            return Err("sweep spec: field \"seeds\" must not be empty".into());
+        }
+        let seeds = seeds_arr
+            .iter()
+            .map(|v| integer(v).ok_or_else(|| "sweep spec: seeds must be integers".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        Ok(SweepSpec {
+            topologies: strings("topologies")?,
+            patterns: strings("patterns")?,
+            rates,
+            seeds,
+            packet_len: u16::try_from(u64_field("packet_len", 4)?)
+                .map_err(|_| "sweep spec: packet_len too large".to_string())?,
+            warmup: u64_field("warmup", 2_000)?,
+            measure: u64_field("measure", 10_000)?,
+            drain: u64_field("drain", 30_000)?,
+            vcs: u8::try_from(u64_field("vcs", 4)?)
+                .map_err(|_| "sweep spec: vcs too large".to_string())?,
+            buf_depth: u32::try_from(u64_field("buf_depth", 4)?)
+                .map_err(|_| "sweep spec: buf_depth too large".to_string())?,
+        })
+    }
+
+    /// Serialize to the canonical JSON sweep format (fixed field order, so
+    /// equal specs produce byte-equal files).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let quoted: Vec<String> = self.topologies.iter().map(|t| format!("{t:?}")).collect();
+        write!(s, "\"topologies\":[{}]", quoted.join(",")).unwrap();
+        let quoted: Vec<String> = self.patterns.iter().map(|p| format!("{p:?}")).collect();
+        write!(s, ",\"patterns\":[{}]", quoted.join(",")).unwrap();
+        let rates: Vec<String> = self.rates.iter().map(|r| format!("{r:?}")).collect();
+        write!(s, ",\"rates\":[{}]", rates.join(",")).unwrap();
+        let seeds: Vec<String> = self.seeds.iter().map(|x| x.to_string()).collect();
+        write!(s, ",\"seeds\":[{}]", seeds.join(",")).unwrap();
+        write!(
+            s,
+            ",\"packet_len\":{},\"warmup\":{},\"measure\":{},\"drain\":{},\"vcs\":{},\"buf_depth\":{}}}",
+            self.packet_len, self.warmup, self.measure, self.drain, self.vcs, self.buf_depth
+        )
+        .unwrap();
+        s
+    }
+
+    /// Flatten into ordered points: topology-major, then pattern, rate,
+    /// seed. Every (topology, pattern) pair is validated against the
+    /// resolvers in [`crate::spec`], and duplicate fingerprints (repeated
+    /// list entries) are rejected — they would alias in the ledger.
+    pub fn expand(&self) -> Result<Vec<PointSpec>, String> {
+        let mut points = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for topology in &self.topologies {
+            for pattern in &self.patterns {
+                // Resolve once per pair; errors name the offending entry.
+                let probe = SimSpec {
+                    topology: topology.clone(),
+                    pattern: pattern.clone(),
+                    rate: self.rates[0],
+                    packet_len: self.packet_len,
+                    warmup: self.warmup,
+                    measure: self.measure,
+                    drain: self.drain,
+                    seeds: vec![0],
+                    vcs: self.vcs,
+                    buf_depth: self.buf_depth,
+                    speculative: false,
+                };
+                probe.topology()?;
+                probe.traffic()?;
+                for &rate in &self.rates {
+                    for &seed in &self.seeds {
+                        let p = PointSpec {
+                            idx: points.len(),
+                            topology: topology.clone(),
+                            pattern: pattern.clone(),
+                            rate,
+                            seed,
+                            packet_len: self.packet_len,
+                            warmup: self.warmup,
+                            measure: self.measure,
+                            drain: self.drain,
+                            vcs: self.vcs,
+                            buf_depth: self.buf_depth,
+                        };
+                        if !seen.insert(p.fingerprint()) {
+                            return Err(format!(
+                                "sweep spec: duplicate point {} (repeated list entry?)",
+                                p.label()
+                            ));
+                        }
+                        points.push(p);
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+
+    /// Fingerprint of the whole sweep: FNV-1a over every point
+    /// fingerprint in expansion order. Two specs that expand to the same
+    /// batch are interchangeable for resume purposes.
+    pub fn fingerprint(&self) -> Result<u64, String> {
+        let mut h = Fnv::new();
+        for p in self.expand()? {
+            h.u64_le(p.fingerprint());
+        }
+        Ok(h.finish())
+    }
+}
+
+impl PointSpec {
+    /// Stable identity of this point in the run ledger. Hashes the
+    /// simulation-relevant fields in a fixed tagged order — never `idx`,
+    /// never map iteration order — with topology/pattern case-normalized
+    /// and the rate hashed bit-exactly via `f64::to_bits`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.tag("topology", self.topology.to_ascii_lowercase().as_bytes());
+        h.tag("pattern", self.pattern.to_ascii_lowercase().as_bytes());
+        h.tag("rate", &self.rate.to_bits().to_le_bytes());
+        h.tag("seed", &self.seed.to_le_bytes());
+        h.tag("packet_len", &u64::from(self.packet_len).to_le_bytes());
+        h.tag("warmup", &self.warmup.to_le_bytes());
+        h.tag("measure", &self.measure.to_le_bytes());
+        h.tag("drain", &self.drain.to_le_bytes());
+        h.tag("vcs", &u64::from(self.vcs).to_le_bytes());
+        h.tag("buf_depth", &u64::from(self.buf_depth).to_le_bytes());
+        h.finish()
+    }
+
+    /// The fingerprint as the 16-hex-digit ledger key.
+    pub fn fp_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Human-readable point name for logs and errors.
+    pub fn label(&self) -> String {
+        format!("{}/{}@{:?}#{}", self.topology, self.pattern, self.rate, self.seed)
+    }
+
+    /// The equivalent single-point [`SimSpec`] (resolver reuse).
+    pub fn sim_spec(&self) -> SimSpec {
+        SimSpec {
+            topology: self.topology.clone(),
+            pattern: self.pattern.clone(),
+            rate: self.rate,
+            packet_len: self.packet_len,
+            warmup: self.warmup,
+            measure: self.measure,
+            drain: self.drain,
+            seeds: vec![self.seed],
+            vcs: self.vcs,
+            buf_depth: self.buf_depth,
+            speculative: false,
+        }
+    }
+}
+
+/// A JSON number or its decimal-string spelling (the house integer
+/// encoding), as f64.
+fn number(v: &Value) -> Option<f64> {
+    v.as_f64().or_else(|| v.as_str().and_then(|s| s.parse().ok()))
+}
+
+/// A JSON integer or its decimal-string spelling, as u64.
+fn integer(v: &Value) -> Option<u64> {
+    if let Some(u) = v.as_u64() {
+        return Some(u);
+    }
+    v.as_str().and_then(|s| s.parse().ok())
+}
+
+/// FNV-1a 64: tiny, dependency-free, and — unlike `DefaultHasher` — its
+/// output is stable across Rust releases, which the on-disk ledger needs.
+pub struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// A tagged field: `name`, a NUL separator, the value, another NUL.
+    /// The separators keep adjacent fields from aliasing.
+    fn tag(&mut self, name: &str, value: &[u8]) {
+        self.bytes(name.as_bytes());
+        self.bytes(&[0]);
+        self.bytes(value);
+        self.bytes(&[0]);
+    }
+
+    fn u64_le(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::from_json(
+            r#"{"topologies": ["cmesh-64", "wcmesh-64"], "patterns": ["uniform", "bitrev"],
+                "rates": [0.01, 0.02], "seeds": [1, 2],
+                "warmup": 100, "measure": 400, "drain": 1000}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_and_expands_cross_product() {
+        let spec = small_spec();
+        assert_eq!(spec.packet_len, 4, "scalar default");
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 16);
+        // Topology-major, seed-innermost, sequential idx.
+        assert_eq!(points[0].label(), "cmesh-64/uniform@0.01#1");
+        assert_eq!(points[1].label(), "cmesh-64/uniform@0.01#2");
+        assert_eq!(points[2].label(), "cmesh-64/uniform@0.02#1");
+        assert_eq!(points[15].label(), "wcmesh-64/bitrev@0.02#2");
+        assert!(points.iter().enumerate().all(|(i, p)| p.idx == i));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let err = |j: &str| SweepSpec::from_json(j).unwrap_err();
+        assert!(err("[]").contains("expected an object"));
+        assert!(err(r#"{"patterns": ["un"], "rates": [0.1], "seeds": [1]}"#)
+            .contains("missing field \"topologies\""));
+        assert!(err(r#"{"topologies": [], "patterns": ["un"], "rates": [0.1], "seeds": [1]}"#)
+            .contains("must not be empty"));
+        assert!(err(
+            r#"{"topologies": ["cmesh-64"], "patterns": ["un"], "rates": [1.5], "seeds": [1]}"#
+        )
+        .contains("outside [0, 1]"));
+        assert!(err(
+            r#"{"topologies": ["cmesh-64"], "patterns": ["un"], "rates": [0.1], "seeds": [1],
+                "typo_field": 3}"#
+        )
+        .contains("unknown field"));
+        // Unknown topology / pattern and duplicate entries fail at expand.
+        let bad = SweepSpec { topologies: vec!["hypercube-9".into()], ..small_spec() };
+        assert!(bad.expand().unwrap_err().contains("unknown topology"));
+        let dup = SweepSpec { seeds: vec![1, 1], ..small_spec() };
+        assert!(dup.expand().unwrap_err().contains("duplicate point"));
+    }
+
+    #[test]
+    fn json_round_trips_canonically() {
+        let spec = small_spec();
+        let text = spec.to_json();
+        let back = SweepSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn fingerprint_ignores_idx_and_case_but_not_parameters() {
+        let points = small_spec().expand().unwrap();
+        let p = &points[0];
+        let mut renumbered = p.clone();
+        renumbered.idx = 99;
+        assert_eq!(renumbered.fingerprint(), p.fingerprint(), "idx must not be hashed");
+        let mut upper = p.clone();
+        upper.topology = p.topology.to_ascii_uppercase();
+        assert_eq!(upper.fingerprint(), p.fingerprint(), "topology case-normalizes");
+        for (i, a) in points.iter().enumerate() {
+            for b in points.iter().skip(i + 1) {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "{} vs {}", a.label(), b.label());
+            }
+        }
+        let mut deeper = p.clone();
+        deeper.buf_depth += 1;
+        assert_ne!(deeper.fingerprint(), p.fingerprint());
+    }
+
+    /// The on-disk ledger key. If this value changes, every existing
+    /// run-dir silently orphans: do not "fix" the expectation without a
+    /// ledger-format version bump.
+    #[test]
+    fn fingerprint_is_pinned() {
+        let p = PointSpec {
+            idx: 0,
+            topology: "own-256".into(),
+            pattern: "uniform".into(),
+            rate: 0.03,
+            seed: 0x0517_2018,
+            packet_len: 4,
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 30_000,
+            vcs: 4,
+            buf_depth: 4,
+        };
+        assert_eq!(p.fp_hex(), "bfe09fdd77f08a0f", "pinned ledger fingerprint drifted");
+    }
+}

@@ -1,0 +1,366 @@
+//! Crash-safety integration tests for the sweep supervisor: the
+//! acceptance batch (panicking / wedged / transiently-failing points all
+//! journaled, healthy points unaffected), in-process resume without
+//! recomputation, a SIGKILL-then-resume round trip through the real
+//! binary, and a proptest that ledger replay tolerates any torn prefix.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use noc_sim::supervisor::ledger::replay_text;
+use noc_sim::supervisor::{replay, LEDGER_FILE, RESULTS_FILE};
+use noc_sim::{
+    run_sweep, PointCtx, PointFailure, PointMetrics, PointRunner, PointSpec, PointState,
+    SupervisorConfig, SweepSpec,
+};
+use proptest::prelude::*;
+
+/// Fresh scratch directory for one test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc-supervisor-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny sweep: one topology, one pattern, one rate, `seeds`.
+fn spec_with_seeds(seeds: &[u64]) -> SweepSpec {
+    let list = seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+    SweepSpec::from_json(&format!(
+        r#"{{"topologies":["own-256"],"patterns":["uniform"],"rates":[0.03],
+            "seeds":[{list}],"warmup":50,"measure":100,"drain":400}}"#
+    ))
+    .expect("sweep spec parses")
+}
+
+/// Deterministic synthetic metrics so two different runners (or two
+/// invocations) produce byte-identical results for the same point.
+fn metrics_for(fp: u64) -> PointMetrics {
+    PointMetrics {
+        avg_latency: (fp % 97) as f64 + 0.25,
+        p50_latency: fp % 31,
+        p95_latency: fp % 63,
+        p99_latency: fp % 127,
+        throughput: (fp % 11) as f64 / 100.0,
+        delivered_fraction: 1.0,
+        packets_measured: fp % 1009,
+        cycles: 550,
+    }
+}
+
+fn fast_cfg() -> SupervisorConfig {
+    SupervisorConfig { backoff_base: Duration::from_millis(1), ..SupervisorConfig::default() }
+}
+
+/// Scripted runner: behavior keyed on the point's seed, every invocation
+/// counted per fingerprint.
+struct ChaosRunner {
+    calls: Mutex<HashMap<u64, u32>>,
+}
+
+impl ChaosRunner {
+    fn new() -> Self {
+        ChaosRunner { calls: Mutex::new(HashMap::new()) }
+    }
+
+    fn calls(&self, fp: u64) -> u32 {
+        *self.calls.lock().unwrap().get(&fp).unwrap_or(&0)
+    }
+}
+
+const SEED_OK: u64 = 11;
+const SEED_PANICS: u64 = 12;
+const SEED_WEDGES: u64 = 13;
+const SEED_TRANSIENT: u64 = 14;
+
+impl PointRunner for ChaosRunner {
+    fn run_point(&self, point: &PointSpec, ctx: &PointCtx) -> Result<PointMetrics, PointFailure> {
+        *self.calls.lock().unwrap().entry(point.fingerprint()).or_insert(0) += 1;
+        match point.seed {
+            SEED_PANICS => panic!("injected panic"),
+            SEED_WEDGES => loop {
+                // A wedged simulation: makes no progress until the
+                // supervisor's deadline token fires.
+                if ctx.cancel.expired_now() {
+                    return Err(PointFailure::TimedOut);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            },
+            SEED_TRANSIENT if ctx.attempt == 0 => {
+                Err(PointFailure::Failed("transient flake".into()))
+            }
+            _ => Ok(metrics_for(point.fingerprint())),
+        }
+    }
+}
+
+/// The acceptance batch: a panicking point, a wedged point, and a
+/// transient flake share a sweep with a healthy point. The batch must
+/// finish, journal all three failure shapes, and still complete the
+/// healthy work.
+#[test]
+fn batch_with_panicking_wedged_and_transient_points_completes() {
+    let dir = scratch("acceptance");
+    let sweep = spec_with_seeds(&[SEED_OK, SEED_PANICS, SEED_WEDGES, SEED_TRANSIENT]);
+    let points = sweep.expand().unwrap();
+    let fp_of = |seed: u64| points.iter().find(|p| p.seed == seed).unwrap().fingerprint();
+
+    let runner = ChaosRunner::new();
+    let cfg = SupervisorConfig {
+        point_timeout: Some(Duration::from_millis(100)),
+        point_retries: 2,
+        ..fast_cfg()
+    };
+    let outcome = run_sweep(&dir, &sweep, &runner, &cfg).expect("supervisor survives the batch");
+
+    assert_eq!(outcome.total, 4);
+    assert_eq!(outcome.done, 2, "healthy + transient points must finish");
+    assert_eq!(outcome.gave_up, 2, "panicking + wedged points must exhaust retries");
+    assert_eq!(outcome.not_run, 0);
+    assert!(!outcome.complete());
+    assert_eq!(outcome.exit_code(), noc_sim::exit::SWEEP_INCOMPLETE);
+    assert!(outcome.results_path.is_none(), "no results.json for an incomplete sweep");
+
+    // Each failure shape appears in the journal with its own state word.
+    let replayed = replay(&dir).expect("ledger replays");
+    assert!(matches!(replayed.points[&fp_of(SEED_OK)].state, PointState::Done(_)));
+    let transient = &replayed.points[&fp_of(SEED_TRANSIENT)];
+    assert!(matches!(transient.state, PointState::Done(_)));
+    assert_eq!(transient.attempt, 1, "transient point must have needed a retry");
+    assert!(matches!(replayed.points[&fp_of(SEED_PANICS)].state, PointState::GaveUp { .. }));
+    assert!(matches!(replayed.points[&fp_of(SEED_WEDGES)].state, PointState::GaveUp { .. }));
+
+    let text = std::fs::read_to_string(dir.join(LEDGER_FILE)).unwrap();
+    assert!(text.contains("injected panic"), "panic payload must be journaled");
+    assert!(text.contains(r#""state":"timed-out""#), "wedge must journal timed-out attempts");
+    assert!(text.contains(r#""state":"failed""#), "flake must journal failed attempts");
+
+    // Retry budget: 1 + point_retries invocations for the persistent
+    // failures, one retry for the flake, one run for the healthy point.
+    assert_eq!(runner.calls(fp_of(SEED_PANICS)), 3);
+    assert_eq!(runner.calls(fp_of(SEED_WEDGES)), 3);
+    assert_eq!(runner.calls(fp_of(SEED_TRANSIENT)), 2);
+    assert_eq!(runner.calls(fp_of(SEED_OK)), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runner that always fails for a fixed set of seeds.
+struct FailSeeds {
+    bad: Vec<u64>,
+    calls: Mutex<HashMap<u64, u32>>,
+}
+
+impl PointRunner for FailSeeds {
+    fn run_point(&self, point: &PointSpec, _ctx: &PointCtx) -> Result<PointMetrics, PointFailure> {
+        *self.calls.lock().unwrap().entry(point.fingerprint()).or_insert(0) += 1;
+        if self.bad.contains(&point.seed) {
+            Err(PointFailure::Failed("still broken".into()))
+        } else {
+            Ok(metrics_for(point.fingerprint()))
+        }
+    }
+}
+
+/// Resuming an interrupted sweep re-runs only the unfinished points, and
+/// the merged results.json is byte-identical to an uninterrupted run.
+#[test]
+fn resume_skips_done_points_and_results_are_byte_identical() {
+    let sweep = spec_with_seeds(&[1, 2, 3, 4]);
+    let cfg = SupervisorConfig { point_retries: 0, ..fast_cfg() };
+
+    // Reference: uninterrupted run in its own directory.
+    let ref_dir = scratch("resume-ref");
+    let healthy = FailSeeds { bad: vec![], calls: Mutex::new(HashMap::new()) };
+    let reference = run_sweep(&ref_dir, &sweep, &healthy, &cfg).unwrap();
+    assert!(reference.complete());
+
+    // First invocation: seeds 3 and 4 give up.
+    let dir = scratch("resume");
+    let flaky = FailSeeds { bad: vec![3, 4], calls: Mutex::new(HashMap::new()) };
+    let first = run_sweep(&dir, &sweep, &flaky, &cfg).unwrap();
+    assert_eq!(first.done, 2);
+    assert_eq!(first.gave_up, 2);
+    assert!(!first.complete());
+
+    // Second invocation with the fault gone: only the two gave-up points
+    // run again; the two done points are reused from the ledger.
+    let healed = FailSeeds { bad: vec![], calls: Mutex::new(HashMap::new()) };
+    let second = run_sweep(&dir, &sweep, &healed, &cfg).unwrap();
+    assert!(second.complete());
+    assert_eq!(second.skipped, 2, "done points come from the ledger, not recomputation");
+    for p in sweep.expand().unwrap() {
+        let expected = u32::from(matches!(p.seed, 3 | 4));
+        assert_eq!(*healed.calls.lock().unwrap().get(&p.fingerprint()).unwrap_or(&0), expected);
+    }
+
+    let a = std::fs::read(ref_dir.join(RESULTS_FILE)).unwrap();
+    let b = std::fs::read(dir.join(RESULTS_FILE)).unwrap();
+    assert_eq!(a, b, "interrupted+resumed results must be byte-identical to uninterrupted");
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reusing a run-dir with a different sweep spec must be refused — the
+/// ledger's fingerprints would silently mean something else.
+#[test]
+fn run_dir_is_pinned_to_one_spec() {
+    let dir = scratch("pinned");
+    let healthy = FailSeeds { bad: vec![], calls: Mutex::new(HashMap::new()) };
+    run_sweep(&dir, &spec_with_seeds(&[1]), &healthy, &fast_cfg()).unwrap();
+    let err = run_sweep(&dir, &spec_with_seeds(&[2]), &healthy, &fast_cfg())
+        .expect_err("mismatched spec must be rejected");
+    assert!(err.to_string().contains("different sweep"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-resume through the real binary: SIGKILL the supervisor
+/// mid-batch, rerun it, and require (a) no completed point is recomputed
+/// and (b) the merged results.json is byte-identical to a never-killed
+/// run of the same spec.
+#[test]
+fn sigkill_then_resume_completes_without_recomputing_done_points() {
+    let bin = env!("CARGO_BIN_EXE_own-experiments");
+    let dir = scratch("sigkill");
+    let ref_dir = scratch("sigkill-ref");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("sweep-spec.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"topologies":["own-256"],"patterns":["uniform"],"rates":[0.02,0.03],
+            "seeds":[1,2,3],"warmup":50,"measure":100,"drain":400}"#,
+    )
+    .unwrap();
+    let sweep_args = |rd: &Path| {
+        vec![
+            "sweep".to_string(),
+            spec_path.display().to_string(),
+            "--run-dir".to_string(),
+            rd.display().to_string(),
+            "--point-backoff-ms".to_string(),
+            "1".to_string(),
+        ]
+    };
+
+    // Reference run, never interrupted.
+    let status = std::process::Command::new(bin).args(sweep_args(&ref_dir)).status().unwrap();
+    assert!(status.success(), "reference sweep failed: {status}");
+
+    // Victim: kill as soon as at least two points are journaled done.
+    // (If the batch outruns the poll, the resume below simply reuses
+    // everything — the assertions still hold.)
+    let mut child = std::process::Command::new(bin).args(sweep_args(&dir)).spawn().unwrap();
+    let ledger_path = dir.join(LEDGER_FILE);
+    for _ in 0..3000 {
+        let done = std::fs::read_to_string(&ledger_path)
+            .map(|t| replay_text(&t).count("done"))
+            .unwrap_or(0);
+        if done >= 2 || child.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill(); // SIGKILL on unix: no destructors, no final flush
+    let _ = child.wait();
+
+    let pre = std::fs::read_to_string(&ledger_path).unwrap_or_default();
+    let done_before_kill: Vec<String> = replay_text(&pre)
+        .points
+        .iter()
+        .filter(|(_, p)| matches!(p.state, PointState::Done(_)))
+        .map(|(fp, _)| format!("{fp:016x}"))
+        .collect();
+
+    // Resume: must finish everything and exit 0.
+    let status = std::process::Command::new(bin).args(sweep_args(&dir)).status().unwrap();
+    assert!(status.success(), "resumed sweep failed: {status}");
+
+    let full = std::fs::read_to_string(&ledger_path).unwrap();
+    let replayed = replay_text(&full);
+    assert_eq!(replayed.count("done"), 6, "all points must end done");
+    assert!(replayed.run_starts >= 2, "resume must journal its own run-start");
+
+    // No record for a pre-kill done point may appear after the final
+    // run-start — done work is never re-entered.
+    let resumed_part = full.rsplit(r#""kind":"run-start""#).next().unwrap();
+    for fp in &done_before_kill {
+        assert!(
+            !resumed_part.contains(fp),
+            "point {fp} was done before the kill but touched after resume"
+        );
+    }
+
+    let a = std::fs::read(ref_dir.join(RESULTS_FILE)).unwrap();
+    let b = std::fs::read(dir.join(RESULTS_FILE)).unwrap();
+    assert_eq!(a, b, "killed+resumed results must be byte-identical to the reference");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A ledger exercising every record shape, for the torn-prefix proptest.
+fn synthetic_ledger() -> String {
+    use noc_sim::supervisor::Ledger;
+    let dir = scratch("torn-source");
+    {
+        let mut led = Ledger::open(&dir).unwrap();
+        led.run_start(0xfeed_beef_dead_cafe, 5).unwrap();
+        for (i, fp) in [0xaaaa_u64, 0xbbbb, 0xcccc, 0xdddd, 0xeeee].iter().enumerate() {
+            led.point(*fp, i, 0, &PointState::Running).unwrap();
+        }
+        led.point(0xaaaa, 0, 0, &PointState::Done(metrics_for(0xaaaa))).unwrap();
+        led.point(0xbbbb, 1, 0, &PointState::Failed { reason: "boom \"quoted\"".into() }).unwrap();
+        led.point(0xcccc, 2, 0, &PointState::TimedOut).unwrap();
+        led.point(0xbbbb, 1, 1, &PointState::Running).unwrap();
+        led.point(0xbbbb, 1, 1, &PointState::GaveUp { reason: "boom".into() }).unwrap();
+        led.run_start(0xfeed_beef_dead_cafe, 5).unwrap();
+        led.point(0xdddd, 3, 1, &PointState::Running).unwrap();
+        led.point(0xdddd, 3, 1, &PointState::Done(metrics_for(0xdddd))).unwrap();
+    }
+    let text = std::fs::read_to_string(dir.join(LEDGER_FILE)).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(text.is_ascii(), "ledger must be ASCII so any byte cut is a char boundary");
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replay of ANY prefix of a ledger (the file a SIGKILL leaves
+    /// behind) reaches a consistent state: exactly the state of the
+    /// whole lines in the prefix, with the torn tail flagged and
+    /// ignored rather than fatal.
+    #[test]
+    fn ledger_replay_tolerates_any_torn_prefix(cut_scaled in 0u64..=10_000) {
+        let text = synthetic_ledger();
+        let cut = (text.len() as u64 * cut_scaled / 10_000) as usize;
+        let prefix = &text[..cut.min(text.len())];
+
+        let pre = replay_text(prefix);
+
+        let clean_len = prefix.rfind('\n').map_or(0, |i| i + 1);
+        let tail = &prefix[clean_len..];
+        if pre.torn {
+            // A torn tail contributes nothing: replaying the prefix is
+            // replaying its whole lines.
+            let clean = replay_text(&prefix[..clean_len]);
+            prop_assert_eq!(&pre.points, &clean.points);
+            prop_assert_eq!(pre.run_starts, clean.run_starts);
+            prop_assert!(!tail.is_empty());
+        } else if !tail.is_empty() {
+            // The only unterminated tail that is NOT torn is a
+            // byte-complete record that lost just its newline — i.e. the
+            // cut landed exactly before the '\n'. No strict prefix of a
+            // record parses.
+            prop_assert_eq!(text.as_bytes()[cut], b'\n');
+        }
+
+        // Replay state only grows along the ledger.
+        let full = replay_text(&text);
+        prop_assert!(pre.points.len() <= full.points.len());
+        prop_assert!(pre.count("done") <= full.count("done"));
+        prop_assert!(pre.run_starts <= full.run_starts);
+    }
+}
