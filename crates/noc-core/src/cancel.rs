@@ -32,6 +32,10 @@ struct Inner {
     /// Absolute wall-clock deadline, fixed at construction. `None` for a
     /// purely explicit token.
     deadline: Option<Instant>,
+    /// Parent token this one is linked to: once the parent cancels, this
+    /// token observes it on its next poll and latches its own flag. One
+    /// extra relaxed load per poll — still free on the hot path.
+    parent: Option<Arc<Inner>>,
 }
 
 /// Shared cancellation flag with an optional wall-clock deadline. Clones
@@ -44,7 +48,13 @@ pub struct CancelToken {
 impl CancelToken {
     /// A token that only cancels explicitly via [`CancelToken::cancel`].
     pub fn new() -> Self {
-        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
     }
 
     /// A token that additionally expires `timeout` from now.
@@ -53,6 +63,35 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(Instant::now() + timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token linked to `parent`: it cancels when the parent does
+    /// (observed on the child's next poll) or when its own
+    /// [`CancelToken::cancel`] is called. Cancelling the child never
+    /// affects the parent, so one root token can fan out to many
+    /// independent workers — the shutdown-broadcast shape.
+    pub fn linked(parent: &CancelToken) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&parent.inner)),
+            }),
+        }
+    }
+
+    /// A child token linked to `parent` that additionally expires
+    /// `timeout` from now — the per-attempt shape: a wall-clock budget
+    /// under a batch-wide cancel.
+    pub fn linked_with_timeout(parent: &CancelToken, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: Some(Arc::clone(&parent.inner)),
             }),
         }
     }
@@ -62,10 +101,28 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been requested (or a passed deadline has
-    /// already been observed by some poll). Never reads the clock.
+    /// Whether cancellation has been requested on this token or an
+    /// ancestor (or a passed deadline has already been observed by some
+    /// poll). Never reads the clock.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Relaxed)
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.parent_cancelled()
+    }
+
+    /// Walk the parent chain; latch our own flag the first time an
+    /// ancestor is seen cancelled so later polls are a single load.
+    fn parent_cancelled(&self) -> bool {
+        let mut up = &self.inner.parent;
+        while let Some(p) = up {
+            if p.cancelled.load(Ordering::Relaxed) {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+            up = &p.parent;
+        }
+        false
     }
 
     /// Per-cycle poll for step loops: true once the token is cancelled.
@@ -73,7 +130,7 @@ impl CancelToken {
     /// `cycle & `[`DEADLINE_CHECK_MASK`]` == 0`, and latches the flag so
     /// the answer is stable on every later cycle.
     pub fn expired_at(&self, cycle: u64) -> bool {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
+        if self.inner.cancelled.load(Ordering::Relaxed) || self.parent_cancelled() {
             return true;
         }
         if cycle & DEADLINE_CHECK_MASK == 0 {
@@ -85,7 +142,7 @@ impl CancelToken {
     /// Unconditional poll (always reads the clock when a deadline is
     /// set); latches. For loops not indexed by engine cycles.
     pub fn expired_now(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
+        if self.inner.cancelled.load(Ordering::Relaxed) || self.parent_cancelled() {
             return true;
         }
         match self.inner.deadline {
@@ -136,5 +193,89 @@ mod tests {
         let t = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!t.expired_at(0));
         assert!(!t.expired_now());
+    }
+
+    /// Cancellation from another thread is observed by a polling loop —
+    /// the supervisor-cancels-a-worker shape.
+    #[test]
+    fn cancel_from_another_thread_is_observed() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        let poller = std::thread::spawn(move || {
+            let mut cycles = 0u64;
+            while !u.expired_at(cycles) {
+                cycles += 1;
+                std::thread::sleep(Duration::from_micros(50));
+                assert!(cycles < 2_000_000, "cancel never observed");
+            }
+            cycles
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        t.cancel();
+        let cycles = poller.join().expect("poller panicked");
+        assert!(t.is_cancelled());
+        assert!(cycles > 0, "poller must have run before the cancel landed");
+    }
+
+    /// A root token fanned out to many linked children cancels them all,
+    /// each observing it from its own thread.
+    #[test]
+    fn linked_children_observe_root_cancel_across_threads() {
+        let root = CancelToken::new();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let child = CancelToken::linked(&root);
+                std::thread::spawn(move || {
+                    let mut spins = 0u64;
+                    while !child.expired_now() {
+                        spins += 1;
+                        std::thread::sleep(Duration::from_micros(50));
+                        assert!(spins < 2_000_000, "root cancel never reached the child");
+                    }
+                    child.is_cancelled()
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(2));
+        root.cancel();
+        for w in workers {
+            assert!(w.join().expect("worker panicked"), "child must latch cancelled");
+        }
+    }
+
+    /// Cancelling a linked child is local: the parent and its other
+    /// children keep running.
+    #[test]
+    fn child_cancel_does_not_propagate_up_or_sideways() {
+        let root = CancelToken::new();
+        let a = CancelToken::linked(&root);
+        let b = CancelToken::linked(&root);
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!root.is_cancelled(), "cancel must not travel upward");
+        assert!(!b.is_cancelled(), "cancel must not travel sideways");
+        assert!(!b.expired_at(0));
+    }
+
+    /// A linked child with its own deadline fires on whichever comes
+    /// first — here the deadline, with the parent never cancelled.
+    #[test]
+    fn linked_child_own_deadline_still_fires() {
+        let root = CancelToken::new();
+        let child = CancelToken::linked_with_timeout(&root, Duration::from_millis(0));
+        assert!(child.expired_now());
+        assert!(child.is_cancelled());
+        assert!(!root.is_cancelled());
+    }
+
+    /// Grandchildren see a root cancel through the chain.
+    #[test]
+    fn cancel_crosses_two_links() {
+        let root = CancelToken::new();
+        let mid = CancelToken::linked(&root);
+        let leaf = CancelToken::linked(&mid);
+        root.cancel();
+        assert!(leaf.is_cancelled());
+        assert!(mid.is_cancelled());
     }
 }

@@ -266,6 +266,17 @@ fn main() {
                     std::process::exit(exit::USAGE);
                 }
             }
+            "--max-points" => {
+                let Some(s) = args_iter.next() else {
+                    eprintln!("--max-points requires a point count cap (0 = unlimited)");
+                    std::process::exit(exit::USAGE);
+                };
+                let n: usize = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-points: not a count: {s}");
+                    std::process::exit(exit::USAGE);
+                });
+                sup_cfg.point_cap = (n > 0).then_some(n);
+            }
             "--point-backoff-ms" => {
                 let Some(s) = args_iter.next() else {
                     eprintln!("--point-backoff-ms requires a duration in milliseconds");
@@ -858,9 +869,10 @@ fn usage() {
     eprintln!(
         "sweeps:      sweep <spec.json> --run-dir d (crash-safe supervised batch; honors \
          --point-timeout secs / --point-retries n / --max-failures n / \
-         --point-checkpoint cycles / --point-backoff-ms n; journals every point to \
-         <run-dir>/ledger.jsonl, resumes after a kill, exits 7 when points exhaust \
-         their retry budget); sweep-status <run-dir> (summarize a run ledger)"
+         --point-checkpoint cycles / --point-backoff-ms n / --max-points n; journals \
+         every point to <run-dir>/ledger.jsonl, resumes after a kill, exits 7 when \
+         points exhaust their retry budget, exits 8 when another live process holds \
+         the run-dir lock); sweep-status <run-dir> (summarize a run ledger)"
     );
     eprintln!(
         "benchmark:   bench (honors --bench-cycles/--bench-out/--bench-baseline/--threads; \
@@ -883,6 +895,11 @@ fn run_supervised_sweep(spec_file: &str, run_dir: &str, cfg: &SupervisorConfig) 
     let outcome =
         noc_sim::run_sweep(Path::new(run_dir), &spec, &SimRunner, cfg).unwrap_or_else(|e| {
             eprintln!("sweep: {e}");
+            // A held run-dir lock is an operational conflict, not a
+            // usage error: callers retry it, they do not fix a flag.
+            if e.kind() == std::io::ErrorKind::WouldBlock {
+                std::process::exit(exit::LOCKED);
+            }
             std::process::exit(exit::USAGE);
         });
     eprintln!(

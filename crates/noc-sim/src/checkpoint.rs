@@ -137,14 +137,58 @@ pub fn checkpoint_file_name(cycle: u64) -> String {
 
 /// Atomically write `ckpt` into `dir` (created if missing): the JSON goes
 /// to a `.tmp` sibling first and is renamed into place, so readers never
-/// observe a partial file. Returns the final path.
+/// observe a partial file. Durable via [`atomic_write`]. Returns the
+/// final path.
 pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let final_path = dir.join(checkpoint_file_name(ckpt.cycle));
-    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(ckpt.cycle)));
-    std::fs::write(&tmp_path, ckpt.to_json())?;
-    std::fs::rename(&tmp_path, &final_path)?;
+    atomic_write(&final_path, ckpt.to_json().as_bytes())?;
     Ok(final_path)
+}
+
+/// Crash-durable atomic file replacement: write to a `.tmp` sibling,
+/// fsync the file, rename into place, then fsync the parent directory.
+/// The rename makes the swap atomic against concurrent readers; the
+/// *directory* fsync is what makes it atomic against power loss — without
+/// it the rename lives only in the page cache and a crash can roll the
+/// directory back to no file (or the old file) even though the data
+/// blocks were flushed.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let tmp = match path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => path.with_file_name(format!("{name}.tmp")),
+        None => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("atomic_write: {} has no file name", path.display()),
+            ))
+        }
+    };
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsync a directory so renames/creates inside it survive power loss.
+/// On non-unix targets (no O_RDONLY directory handles) this is a no-op —
+/// the rename is still atomic against crashes of *this process*.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let d = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        std::fs::File::open(d)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
 }
 
 /// The highest-cycle `checkpoint-*.json` in `dir`, if any. In-progress

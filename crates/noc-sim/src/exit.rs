@@ -18,6 +18,8 @@ pub const BENCH_REGRESSION: i32 = 5;
 pub const RECOVERY_EXHAUSTED: i32 = 6;
 /// A supervised sweep completed with points that exhausted their retries.
 pub const SWEEP_INCOMPLETE: i32 = 7;
+/// Another live process holds the run-dir (or service data-dir) lock.
+pub const LOCKED: i32 = 8;
 
 /// Every exit code with the exact wording of its README table row.
 pub const TABLE: &[(i32, &str)] = &[
@@ -43,6 +45,12 @@ pub const TABLE: &[(i32, &str)] = &[
         SWEEP_INCOMPLETE,
         "sweep incomplete — a supervised `sweep` finished but some points exhausted their \
          retry budget; per-point outcomes are in the run-dir ledger",
+    ),
+    (
+        LOCKED,
+        "locked — another live process holds the `supervisor.lock` of this `--run-dir` or \
+         service `--data-dir`; rerun after it exits (stale locks of dead processes are \
+         taken over automatically)",
     ),
 ];
 

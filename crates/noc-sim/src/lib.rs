@@ -34,7 +34,8 @@ pub mod telemetry;
 
 pub use bench::{compare_to_baseline, run_suite as run_bench_suite, BaselineFile, BenchOutcome};
 pub use checkpoint::{
-    latest_checkpoint, latest_valid_checkpoint, read_checkpoint, write_checkpoint, Checkpoint,
+    atomic_write, fsync_dir, latest_checkpoint, latest_valid_checkpoint, read_checkpoint,
+    write_checkpoint, Checkpoint,
 };
 pub use metrics::{EngineProfile, SimResult};
 pub use obs::{RingRecorder, Sample, SampleSeries};
@@ -42,8 +43,9 @@ pub use report::Report;
 pub use sim::{SimConfig, Simulation};
 pub use spec::SimSpec;
 pub use supervisor::{
-    run_sweep, PointCtx, PointFailure, PointMetrics, PointRunner, PointSpec, PointState, SimRunner,
-    SupervisorConfig, SweepOutcome, SweepSpec,
+    check_point_cap, render_results, run_sweep, PointCtx, PointFailure, PointMetrics, PointOutcome,
+    PointRunner, PointScheduler, PointSpec, PointState, RunLock, SimRunner, SupervisorConfig,
+    SweepOutcome, SweepSpec,
 };
 pub use sweep::{latency_vs_load, replicate, saturation_throughput, LoadPoint, Replicated};
 pub use telemetry::{

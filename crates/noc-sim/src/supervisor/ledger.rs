@@ -138,6 +138,16 @@ impl Ledger {
         self.line(&s)
     }
 
+    /// Journal a marker record with a custom `kind` (e.g. the sweep
+    /// service's `svc-start` boot boundary). Replay skips kinds it does
+    /// not know, so markers never affect state reconstruction — they
+    /// exist for external tooling (the CI kill-resume smoke test counts
+    /// point records after the last boot marker to prove zero
+    /// recomputation).
+    pub fn marker(&mut self, kind: &str) -> io::Result<()> {
+        self.line(&format!("{{\"kind\":{}}}", json_string(kind)))
+    }
+
     fn line(&mut self, s: &str) -> io::Result<()> {
         let mut buf = Vec::with_capacity(s.len() + 1);
         buf.extend_from_slice(s.as_bytes());
@@ -383,6 +393,20 @@ mod tests {
         );
         assert!(!rep.torn);
         assert_eq!(rep.count("running"), 1);
+    }
+
+    #[test]
+    fn markers_are_invisible_to_replay() {
+        let dir = test_dir("marker");
+        let mut led = Ledger::open(&dir).unwrap();
+        led.run_start(1, 1).unwrap();
+        led.marker("svc-start").unwrap();
+        led.point(1, 0, 0, &PointState::Running).unwrap();
+        let rep = replay(&dir).unwrap();
+        assert!(!rep.torn, "markers must parse as JSON");
+        assert_eq!(rep.count("running"), 1);
+        assert_eq!(rep.run_starts, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //!   run's because it is always regenerated from the replayed ledger.
 
 pub mod ledger;
+pub mod lock;
 pub mod spec;
 
 use std::io;
@@ -44,6 +45,7 @@ use noc_core::{CancelToken, RouterConfig};
 use rayon::prelude::*;
 
 pub use ledger::{replay, Ledger, PointMetrics, PointState, Replay, LEDGER_FILE, LEDGER_SCHEMA};
+pub use lock::{RunLock, LOCK_FILE};
 pub use spec::{PointSpec, SweepSpec};
 
 use crate::checkpoint;
@@ -59,6 +61,12 @@ pub const SPEC_FILE: &str = "spec.json";
 
 /// Schema tag of the merged results file.
 pub const RESULTS_SCHEMA: &str = "own-noc-results/v1";
+
+/// Default admission cap on a sweep's cross-product size. Large enough
+/// for any deliberate design-space exploration in this repo, small
+/// enough that a fat-fingered spec (`"seeds": [0..10^9]`-style) is
+/// refused before expansion allocates anything.
+pub const DEFAULT_POINT_CAP: usize = 100_000;
 
 /// Supervisor policy knobs.
 #[derive(Debug, Clone)]
@@ -76,6 +84,10 @@ pub struct SupervisorConfig {
     /// Per-point checkpoint cadence in cycles (0 = no checkpoints; then
     /// interrupted points restart from cycle 0 on resume).
     pub checkpoint_every: u64,
+    /// Refuse specs whose cross product exceeds this many points
+    /// (`None` = unlimited). Checked *before* expansion, so an
+    /// adversarial or fat-fingered spec cannot balloon memory first.
+    pub point_cap: Option<usize>,
 }
 
 impl Default for SupervisorConfig {
@@ -86,6 +98,7 @@ impl Default for SupervisorConfig {
             max_failures: None,
             backoff_base: Duration::from_millis(100),
             checkpoint_every: 0,
+            point_cap: Some(DEFAULT_POINT_CAP),
         }
     }
 }
@@ -224,9 +237,13 @@ pub fn run_sweep(
     cfg: &SupervisorConfig,
 ) -> io::Result<SweepOutcome> {
     let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+    check_point_cap(sweep, cfg.point_cap).map_err(invalid)?;
     let points = sweep.expand().map_err(invalid)?;
     let spec_fp = sweep.fingerprint().map_err(invalid)?;
-    std::fs::create_dir_all(run_dir)?;
+
+    // One writer per run-dir: interleaved appends from two supervisors
+    // would scramble the ledger. Held for the whole invocation.
+    let _lock = RunLock::acquire(run_dir)?;
 
     // Pin the spec to the run-dir: first invocation writes it, later
     // ones must match (a different spec would corrupt the ledger's
@@ -246,9 +263,7 @@ pub fn run_sweep(
             }
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            let tmp = run_dir.join(format!("{SPEC_FILE}.tmp"));
-            std::fs::write(&tmp, sweep.to_json())?;
-            std::fs::rename(&tmp, &spec_path)?;
+            checkpoint::atomic_write(&spec_path, sweep.to_json().as_bytes())?;
         }
         Err(e) => return Err(e),
     }
@@ -274,8 +289,22 @@ pub fn run_sweep(
     let gave_up = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
 
+    let sched = PointScheduler {
+        runner,
+        cfg,
+        ckpt_root: run_dir.join("ckpt"),
+        led: &led,
+        batch_cancel: None,
+    };
     work.par_iter().for_each(|(point, first_attempt)| {
-        run_one(point, *first_attempt, runner, cfg, run_dir, &led, &gave_up, &abort);
+        let give_up_now = || abort.load(Ordering::Relaxed);
+        if let PointOutcome::GaveUp { .. } = sched.run_point(point, *first_attempt, &give_up_now) {
+            let n = gave_up.fetch_add(1, Ordering::Relaxed) + 1;
+            if cfg.max_failures.is_some_and(|max| n >= max) && !abort.swap(true, Ordering::Relaxed)
+            {
+                eprintln!("[sweep] aborting batch: {n} points gave up (--max-failures)");
+            }
+        }
     });
 
     // Always rebuild the outcome (and results.json) from the replayed
@@ -299,75 +328,152 @@ pub fn run_sweep(
     Ok(outcome)
 }
 
-/// One point's attempt loop: journal `running`, run under
-/// `catch_unwind`, journal the outcome, back off and retry until the
-/// budget is spent, then journal `gave-up`.
-#[allow(clippy::too_many_arguments)]
-fn run_one(
-    point: &PointSpec,
-    first_attempt: u32,
-    runner: &dyn PointRunner,
-    cfg: &SupervisorConfig,
-    run_dir: &Path,
-    led: &Mutex<Ledger>,
-    gave_up: &AtomicUsize,
-    abort: &AtomicBool,
-) {
-    let fp = point.fingerprint();
-    let journal = |attempt: u32, state: &PointState| {
-        let mut led = led.lock().expect("ledger mutex poisoned");
-        if let Err(e) = led.point(fp, point.idx, attempt, state) {
-            // A dead ledger degrades durability, not correctness: the
-            // batch keeps running, a later resume just redoes more work.
-            eprintln!("[sweep] ledger append failed for {}: {e}", point.label());
-        }
-    };
-    let mut attempt = first_attempt;
-    let mut last_reason = String::new();
-    for try_no in 0..=cfg.point_retries {
-        if abort.load(Ordering::Relaxed) {
-            return; // left pending; a rerun picks it up
-        }
-        journal(attempt, &PointState::Running);
-        let cancel = match cfg.point_timeout {
-            Some(t) => CancelToken::with_timeout(t),
-            None => CancelToken::new(),
-        };
-        let ctx = PointCtx {
-            cancel,
-            checkpoint_dir: (cfg.checkpoint_every > 0)
-                .then(|| run_dir.join("ckpt").join(format!("{fp:016x}"))),
-            checkpoint_every: cfg.checkpoint_every,
-            attempt,
-        };
-        let verdict = catch_unwind(AssertUnwindSafe(|| runner.run_point(point, &ctx)));
-        let state = match verdict {
-            Ok(Ok(metrics)) => {
-                journal(attempt, &PointState::Done(metrics));
-                return;
-            }
-            Ok(Err(PointFailure::Failed(reason))) => PointState::Failed { reason },
-            Ok(Err(PointFailure::TimedOut)) => PointState::TimedOut,
-            Err(payload) => {
-                PointState::Failed { reason: format!("panic: {}", panic_str(&*payload)) }
-            }
-        };
-        last_reason = match &state {
-            PointState::Failed { reason } => reason.clone(),
-            PointState::TimedOut => "timed out".into(),
-            _ => unreachable!("attempt outcomes are failed or timed-out"),
-        };
-        journal(attempt, &state);
-        eprintln!("[sweep] {} attempt {attempt}: {} ({last_reason})", point.label(), state.word());
-        if try_no < cfg.point_retries {
-            std::thread::sleep(backoff_delay(cfg.backoff_base, try_no, fp));
-            attempt += 1;
-        }
+/// Refuse a spec whose cross product exceeds `cap` — *before* expansion,
+/// so rejection costs O(1) regardless of how big the spec claims to be.
+pub fn check_point_cap(sweep: &SweepSpec, cap: Option<usize>) -> Result<(), String> {
+    let Some(cap) = cap else { return Ok(()) };
+    let n = sweep.cross_product();
+    if n > cap as u128 {
+        return Err(format!(
+            "sweep spec: cross product is {n} points, over the cap of {cap} \
+             (split the sweep, or raise the cap if this is deliberate)"
+        ));
     }
-    journal(attempt, &PointState::GaveUp { reason: last_reason });
-    let n = gave_up.fetch_add(1, Ordering::Relaxed) + 1;
-    if cfg.max_failures.is_some_and(|max| n >= max) && !abort.swap(true, Ordering::Relaxed) {
-        eprintln!("[sweep] aborting batch: {n} points gave up (--max-failures)");
+    Ok(())
+}
+
+/// How one scheduled point ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// An attempt produced metrics (journaled `done`).
+    Done(PointMetrics),
+    /// The retry budget is spent (journaled `gave-up`).
+    GaveUp { reason: String },
+    /// The batch cancel (or abort predicate) fired before the point
+    /// finished. Deliberately NOT journaled as a failure: the ledger's
+    /// last state stays `running` (or never-attempted), which is exactly
+    /// the resumable shape kill-resume expects.
+    Interrupted,
+}
+
+/// The attempt loop PR 8's batch supervisor and the `noc-svc` worker pool
+/// share: journal `running`, run under `catch_unwind` with a per-attempt
+/// [`CancelToken`], journal the outcome, back off and retry until the
+/// budget is spent. Construct one per batch (it is `Sync`; threads share
+/// it by reference) and call [`PointScheduler::run_point`] per point.
+pub struct PointScheduler<'a> {
+    pub runner: &'a dyn PointRunner,
+    pub cfg: &'a SupervisorConfig,
+    /// Per-point checkpoint directories live at `ckpt_root/<fp>/`.
+    pub ckpt_root: PathBuf,
+    pub led: &'a Mutex<Ledger>,
+    /// Batch-wide shutdown signal. Each attempt's token is linked under
+    /// it, so a shutdown cancels in-flight simulations at their next
+    /// cycle-boundary poll (forcing a final checkpoint) and the attempt
+    /// comes back [`PointOutcome::Interrupted`] instead of `timed-out`.
+    pub batch_cancel: Option<CancelToken>,
+}
+
+impl PointScheduler<'_> {
+    /// Run one point to a terminal outcome. `give_up_now` is polled
+    /// between attempts (the `--max-failures` abort, or the service's
+    /// queue-drain signal); when it fires the point is left pending.
+    pub fn run_point(
+        &self,
+        point: &PointSpec,
+        first_attempt: u32,
+        give_up_now: &(dyn Fn() -> bool + Sync),
+    ) -> PointOutcome {
+        let cfg = self.cfg;
+        let fp = point.fingerprint();
+        let journal = |attempt: u32, state: &PointState| {
+            let mut led = self.led.lock().expect("ledger mutex poisoned");
+            if let Err(e) = led.point(fp, point.idx, attempt, state) {
+                // A dead ledger degrades durability, not correctness: the
+                // batch keeps running, a later resume just redoes more work.
+                eprintln!("[sweep] ledger append failed for {}: {e}", point.label());
+            }
+        };
+        let shutting_down = || self.batch_cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+        let mut attempt = first_attempt;
+        let mut last_reason = String::new();
+        for try_no in 0..=cfg.point_retries {
+            if give_up_now() || shutting_down() {
+                return PointOutcome::Interrupted; // left pending; a rerun picks it up
+            }
+            journal(attempt, &PointState::Running);
+            let cancel = match (&self.batch_cancel, cfg.point_timeout) {
+                (Some(root), Some(t)) => CancelToken::linked_with_timeout(root, t),
+                (Some(root), None) => CancelToken::linked(root),
+                (None, Some(t)) => CancelToken::with_timeout(t),
+                (None, None) => CancelToken::new(),
+            };
+            let ctx = PointCtx {
+                cancel,
+                checkpoint_dir: (cfg.checkpoint_every > 0)
+                    .then(|| self.ckpt_root.join(format!("{fp:016x}"))),
+                checkpoint_every: cfg.checkpoint_every,
+                attempt,
+            };
+            let verdict = catch_unwind(AssertUnwindSafe(|| self.runner.run_point(point, &ctx)));
+            let state = match verdict {
+                Ok(Ok(metrics)) => {
+                    journal(attempt, &PointState::Done(metrics.clone()));
+                    return PointOutcome::Done(metrics);
+                }
+                // A "timeout" observed while the batch cancel is down is
+                // really the shutdown broadcast arriving through the
+                // linked token: leave the ledger at `running` so the
+                // point resumes from its final checkpoint.
+                Ok(Err(PointFailure::TimedOut)) if shutting_down() => {
+                    return PointOutcome::Interrupted;
+                }
+                Ok(Err(PointFailure::Failed(reason))) => PointState::Failed { reason },
+                Ok(Err(PointFailure::TimedOut)) => PointState::TimedOut,
+                Err(payload) => {
+                    PointState::Failed { reason: format!("panic: {}", panic_str(&*payload)) }
+                }
+            };
+            last_reason = match &state {
+                PointState::Failed { reason } => reason.clone(),
+                PointState::TimedOut => "timed out".into(),
+                _ => unreachable!("attempt outcomes are failed or timed-out"),
+            };
+            journal(attempt, &state);
+            eprintln!(
+                "[sweep] {} attempt {attempt}: {} ({last_reason})",
+                point.label(),
+                state.word()
+            );
+            if try_no < cfg.point_retries {
+                if !self.backoff_sleep(backoff_delay(cfg.backoff_base, try_no, fp)) {
+                    return PointOutcome::Interrupted;
+                }
+                attempt += 1;
+            }
+        }
+        journal(attempt, &PointState::GaveUp { reason: last_reason.clone() });
+        PointOutcome::GaveUp { reason: last_reason }
+    }
+
+    /// Sleep `total` in short slices so a shutdown does not have to wait
+    /// out a multi-second backoff. Returns `false` if interrupted.
+    fn backoff_sleep(&self, total: Duration) -> bool {
+        let Some(root) = &self.batch_cancel else {
+            std::thread::sleep(total);
+            return true;
+        };
+        let slice = Duration::from_millis(25);
+        let mut left = total;
+        while left > Duration::ZERO {
+            if root.is_cancelled() {
+                return false;
+            }
+            let step = left.min(slice);
+            std::thread::sleep(step);
+            left -= step;
+        }
+        !root.is_cancelled()
     }
 }
 
@@ -399,15 +505,12 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Write the merged, idx-ordered results file atomically. Only called
-/// when every point is `done`; always regenerated from the ledger so the
-/// bytes do not depend on which invocation finished which point.
-fn write_results(
-    run_dir: &Path,
-    spec_fp: u64,
-    points: &[PointSpec],
-    rep: &Replay,
-) -> io::Result<PathBuf> {
+/// Render the merged, idx-ordered `own-noc-results/v1` document. Always
+/// regenerated from a ledger replay so the bytes do not depend on which
+/// invocation finished which point — that replay-determinism is what
+/// makes interrupted and uninterrupted runs byte-identical. Errors if
+/// any point lacks a `done` record.
+pub fn render_results(spec_fp: u64, points: &[PointSpec], rep: &Replay) -> io::Result<String> {
     use std::fmt::Write as _;
     let mut s = format!("{{\"schema\":\"{RESULTS_SCHEMA}\",\"spec_fp\":\"{spec_fp:016x}\",");
     s.push_str("\"points\":[\n");
@@ -440,10 +543,19 @@ fn write_results(
         s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
     s.push_str("]}\n");
+    Ok(s)
+}
+
+/// Write the rendered results file atomically into `run_dir`.
+fn write_results(
+    run_dir: &Path,
+    spec_fp: u64,
+    points: &[PointSpec],
+    rep: &Replay,
+) -> io::Result<PathBuf> {
+    let s = render_results(spec_fp, points, rep)?;
     let final_path = run_dir.join(RESULTS_FILE);
-    let tmp = run_dir.join(format!("{RESULTS_FILE}.tmp"));
-    std::fs::write(&tmp, &s)?;
-    std::fs::rename(&tmp, &final_path)?;
+    checkpoint::atomic_write(&final_path, s.as_bytes())?;
     Ok(final_path)
 }
 

@@ -232,6 +232,17 @@ impl SweepSpec {
         Ok(points)
     }
 
+    /// Size of the cross product *without expanding it* — the admission
+    /// check against adversarial or fat-fingered specs must not allocate
+    /// one `PointSpec` per point first. u128 so the product of four
+    /// usize-sized lists cannot itself overflow.
+    pub fn cross_product(&self) -> u128 {
+        (self.topologies.len() as u128)
+            * (self.patterns.len() as u128)
+            * (self.rates.len() as u128)
+            * (self.seeds.len() as u128)
+    }
+
     /// Fingerprint of the whole sweep: FNV-1a over every point
     /// fingerprint in expansion order. Two specs that expand to the same
     /// batch are interchangeable for resume purposes.
@@ -365,6 +376,7 @@ mod tests {
         assert_eq!(spec.packet_len, 4, "scalar default");
         let points = spec.expand().unwrap();
         assert_eq!(points.len(), 16);
+        assert_eq!(spec.cross_product(), 16, "cross_product matches expansion");
         // Topology-major, seed-innermost, sequential idx.
         assert_eq!(points[0].label(), "cmesh-64/uniform@0.01#1");
         assert_eq!(points[1].label(), "cmesh-64/uniform@0.01#2");

@@ -364,3 +364,25 @@ proptest! {
         prop_assert!(pre.run_starts <= full.run_starts);
     }
 }
+
+/// An over-cap spec is refused up front — before the run dir, lock or
+/// ledger exist — and the same spec passes once the cap allows it.
+#[test]
+fn over_cap_spec_is_refused_before_touching_the_run_dir() {
+    let dir = scratch("point-cap");
+    let spec = spec_with_seeds(&[1, 2, 3, 4, 5]);
+    let runner = ChaosRunner::new();
+
+    let cfg = SupervisorConfig { point_cap: Some(4), ..fast_cfg() };
+    let err = run_sweep(&dir, &spec, &runner, &cfg).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("over the cap"), "got: {err}");
+    assert!(!dir.exists(), "a refused spec must not create the run dir");
+    assert!(runner.calls.lock().unwrap().is_empty(), "nothing may run");
+
+    // Exactly at the cap: admitted and completes.
+    let cfg = SupervisorConfig { point_cap: Some(5), ..fast_cfg() };
+    let outcome = run_sweep(&dir, &spec, &runner, &cfg).expect("at-cap spec runs");
+    assert!(outcome.complete());
+    let _ = std::fs::remove_dir_all(&dir);
+}

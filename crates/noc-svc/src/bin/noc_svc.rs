@@ -1,0 +1,139 @@
+//! `noc-svc` — the sweep service CLI.
+//!
+//! ```text
+//! noc-svc serve --data-dir d [--addr host:port] [--workers n] [--queue-cap n]
+//!               [--max-points n] [--point-timeout secs] [--point-retries n]
+//!               [--point-checkpoint cycles] [--point-backoff-ms n]
+//! ```
+//!
+//! Exit codes route through `noc_sim::exit`: 0 on a clean signal-driven
+//! drain, 2 for usage errors, 8 when another live process holds the
+//! data-dir lock.
+
+use std::io;
+
+use noc_sim::exit;
+use noc_svc::config::SvcConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("serve") => {}
+        Some("--help" | "-h" | "help") | None => {
+            usage();
+            std::process::exit(if args.is_empty() { exit::USAGE } else { exit::OK });
+        }
+        Some(other) => {
+            eprintln!("noc-svc: unknown subcommand {other:?}");
+            usage();
+            std::process::exit(exit::USAGE);
+        }
+    }
+
+    let mut cfg = SvcConfig::default();
+    let mut data_dir_set = false;
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("noc-svc: {flag} requires {what}");
+                std::process::exit(exit::USAGE);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("a host:port bind address").clone(),
+            "--data-dir" => {
+                cfg.data_dir = value("a directory path").into();
+                data_dir_set = true;
+            }
+            "--workers" => {
+                cfg.workers = parse(flag, value("a thread count"));
+                if let Err(e) = exit::validate_threads(cfg.workers) {
+                    eprintln!("noc-svc: {}", e.replace("--threads", "--workers"));
+                    std::process::exit(exit::USAGE);
+                }
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = parse(flag, value("a queued-point cap"));
+                if cfg.queue_cap == 0 {
+                    eprintln!("noc-svc: --queue-cap must be >= 1 (0 would admit nothing)");
+                    std::process::exit(exit::USAGE);
+                }
+            }
+            "--max-points" => {
+                let n: usize = parse(flag, value("a cross-product cap (0 = unlimited)"));
+                cfg.sup.point_cap = (n > 0).then_some(n);
+            }
+            "--point-timeout" => {
+                let secs: f64 = parse(flag, value("seconds per point"));
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("noc-svc: --point-timeout must be a positive number of seconds");
+                    std::process::exit(exit::USAGE);
+                }
+                cfg.sup.point_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--point-retries" => cfg.sup.point_retries = parse(flag, value("a retry count")),
+            "--point-checkpoint" => {
+                cfg.sup.checkpoint_every = parse(flag, value("a cycle count (0 = off)"));
+            }
+            "--point-backoff-ms" => {
+                let ms: u64 = parse(flag, value("a duration in milliseconds"));
+                cfg.sup.backoff_base = std::time::Duration::from_millis(ms);
+            }
+            other => {
+                eprintln!("noc-svc: unknown flag {other:?}");
+                usage();
+                std::process::exit(exit::USAGE);
+            }
+        }
+    }
+    if !data_dir_set {
+        eprintln!(
+            "noc-svc: serve requires --data-dir (ledger, checkpoints and results live there)"
+        );
+        std::process::exit(exit::USAGE);
+    }
+
+    match noc_svc::serve(cfg) {
+        Ok(()) => std::process::exit(exit::OK),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            // Another live service owns the data dir; starting a second
+            // writer would corrupt the ledger.
+            eprintln!("noc-svc: {e}");
+            std::process::exit(exit::LOCKED);
+        }
+        Err(e) => {
+            eprintln!("noc-svc: {e}");
+            std::process::exit(exit::USAGE);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("noc-svc: {flag}: bad value {s:?}");
+        std::process::exit(exit::USAGE);
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "noc-svc — crash-safe sweep service (see the \"Sweep service\" section of EXPERIMENTS.md)
+
+usage: noc-svc serve --data-dir <dir> [flags]
+
+flags:
+  --addr host:port        bind address (default 127.0.0.1:7070; port 0 = pick a free port)
+  --data-dir dir          ledger, checkpoints, specs and results (required)
+  --workers n             simulation worker threads (default: min(4, cores))
+  --queue-cap n           bound on queued points before 429 (default 1024)
+  --max-points n          per-spec cross-product cap, 0 = unlimited (default 100000)
+  --point-timeout secs    wall-clock budget per attempt
+  --point-retries n       reruns after the first attempt (default 2)
+  --point-checkpoint n    checkpoint cadence in cycles, 0 = off (default 2000)
+  --point-backoff-ms n    first retry backoff (default 100)
+
+routes: POST /sweeps  GET /sweeps/:id  GET /sweeps/:id/results
+        GET /sweeps/:id/events (SSE)  GET /healthz  GET /readyz"
+    );
+}

@@ -1,0 +1,68 @@
+//! Service configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use noc_sim::SupervisorConfig;
+
+/// Everything `Service::start` needs. The supervisor knobs nest the
+/// PR 8 [`SupervisorConfig`] unchanged, with service-appropriate
+/// defaults layered on top (see [`SvcConfig::default_supervisor`]).
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Bind address; port 0 asks the OS for a free port (the bound
+    /// address is reported by `ServiceHandle::addr`).
+    pub addr: String,
+    /// Ledger, checkpoints, persisted specs and results all live here.
+    pub data_dir: PathBuf,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bound on *queued* points across all admitted sweeps; a submission
+    /// that would push past it is shed with 429.
+    pub queue_cap: usize,
+    /// Request body cap in bytes (a sweep spec is tiny; anything big is
+    /// either a mistake or an attack) — over it is 413.
+    pub max_body: usize,
+    /// Simultaneous connections; over it is a fast 503.
+    pub max_connections: usize,
+    /// Per-point supervisor policy (timeout, retries, backoff,
+    /// checkpoint cadence, cross-product cap).
+    pub sup: SupervisorConfig,
+}
+
+impl SvcConfig {
+    /// Supervisor defaults for service mode. The one deliberate change
+    /// from the CLI default: checkpointing is ON (every 2000 cycles), so
+    /// a SIGKILLed service resumes mid-point instead of redoing it.
+    pub fn default_supervisor() -> SupervisorConfig {
+        SupervisorConfig { checkpoint_every: 2_000, ..SupervisorConfig::default() }
+    }
+
+    /// A config rooted at `data_dir` with every other knob defaulted.
+    pub fn at(data_dir: impl Into<PathBuf>) -> SvcConfig {
+        SvcConfig { data_dir: data_dir.into(), ..SvcConfig::default() }
+    }
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        let workers =
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1).clamp(1, 4);
+        SvcConfig {
+            addr: "127.0.0.1:7070".into(),
+            data_dir: PathBuf::from("svc-data"),
+            workers,
+            queue_cap: 1_024,
+            max_body: 1 << 20,
+            max_connections: 64,
+            sup: Self::default_supervisor(),
+        }
+    }
+}
+
+/// How long shed clients are told to back off (`Retry-After`, seconds).
+pub const RETRY_AFTER_SECS: u64 = 5;
+
+/// Socket read/write timeout — a stalled or byte-dribbling client holds
+/// its connection thread at most this long.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);

@@ -1,0 +1,232 @@
+//! A deliberately small HTTP/1.1 layer over blocking `std::net`.
+//!
+//! Just enough of RFC 9112 for the sweep service's JSON API and for
+//! `curl` to be a first-class client: request-line + header parsing,
+//! `Content-Length` bodies, `Expect: 100-continue` (curl sends it for
+//! non-trivial POST bodies and waits up to a second if ignored), bounded
+//! header/body sizes, and `Connection: close` semantics — every exchange
+//! is one request, one response, one connection. No chunked encoding, no
+//! keep-alive, no TLS: sweep submissions are rare and heavy, so
+//! connection reuse buys nothing and statelessness keeps the attack
+//! surface small.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Header-section cap. 16 KiB is far beyond anything curl or a sane
+/// client sends; past it we assume garbage or malice.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path only — the query string (if any) is split off into `query`.
+    pub path: String,
+    pub query: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be served at the HTTP layer; maps directly to
+/// a status line.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error or timeout mid-exchange; nothing to send back.
+    Io(io::Error),
+    /// Unparsable request — 400.
+    Malformed(&'static str),
+    /// Body over the configured cap — 413.
+    BodyTooLarge,
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read and parse one request. Handles `Expect: 100-continue` inline
+/// (the interim response is written before the body is read).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Byte-at-a-time until CRLFCRLF: simple, obviously correct, and the
+    // head is tiny; the body below is read in bulk.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(HttpError::Malformed("header section too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-headers")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    if method.is_empty()
+        || target.is_empty()
+        || !parts.next().unwrap_or_default().starts_with("HTTP/")
+    {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // We never advertise chunked support; refuse rather than
+            // misparse a framed body as garbage.
+            return Err(HttpError::Malformed("Transfer-Encoding not supported"));
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    if expect_continue && content_length > 0 {
+        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request { method, path, query, body })
+}
+
+/// Write a complete response and close the exchange.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Start a Server-Sent Events response: headers only, no length — the
+/// caller streams `data:` frames and closes the connection to finish.
+pub fn start_sse(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Write one SSE `data:` frame (the payload must be a single line —
+/// our status JSON is).
+pub fn sse_data(stream: &mut TcpStream, payload: &str) -> io::Result<()> {
+    stream.write_all(b"data: ")?;
+    stream.write_all(payload.as_bytes())?;
+    stream.write_all(b"\n\n")?;
+    stream.flush()
+}
+
+/// The reason phrases for the statuses this service actually emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a raw request through a real socket pair.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
+        read_request(&mut server_side, max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(
+            b"POST /sweeps?wait=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweeps");
+        assert_eq!(req.query, "wait=1");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_body_without_reading_it() {
+        let e =
+            parse(b"POST /sweeps HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(e, HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        let e = parse(b"NOT-HTTP\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(e, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn expect_100_continue_is_acknowledged() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(
+                b"POST /sweeps HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n",
+            )
+            .unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
+        let handle = std::thread::spawn(move || read_request(&mut server_side, 1024));
+        // The interim response must arrive before we send the body.
+        let mut interim = [0u8; 25];
+        client.read_exact(&mut interim).unwrap();
+        assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        client.write_all(b"ok").unwrap();
+        let req = handle.join().unwrap().unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+}

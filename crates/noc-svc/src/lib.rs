@@ -1,0 +1,50 @@
+//! # noc-svc — the crash-safe sweep service
+//!
+//! Lifts PR 8's batch supervisor into a long-running
+//! simulation-as-a-service: many concurrent clients POST sweep specs,
+//! the service expands them through `noc_sim::supervisor::spec`'s cross
+//! product and schedules points on a bounded worker pool that reuses the
+//! supervisor machinery verbatim — per-point `catch_unwind` panic
+//! isolation, `CancelToken` wall-clock timeouts, jittered-backoff
+//! retries, and the `own-noc-ledger/v1` write-ahead log.
+//!
+//! Robustness properties, end to end:
+//!
+//! * **Idempotent submission.** Points are keyed by their deterministic
+//!   content fingerprints; duplicate or overlapping specs from
+//!   concurrent clients compute each fingerprint exactly once and every
+//!   later submission hits the warm cache.
+//! * **Backpressure.** The job queue is bounded; a submission that would
+//!   overflow it is shed with `429` + `Retry-After` instead of growing
+//!   the queue without bound, and a cross-product cap rejects
+//!   adversarial specs before expansion can balloon memory.
+//! * **Graceful shutdown.** SIGTERM/SIGINT stop admission, cancel
+//!   in-flight points at a clean cycle boundary (forcing a final
+//!   checkpoint), flush the ledger, and exit 0. Interrupted attempts are
+//!   *not* journaled as failures — the ledger's last word stays
+//!   `running`, the resumable shape.
+//! * **Crash consistency.** On restart the service replays its ledger,
+//!   re-admits persisted sweeps, resumes interrupted points from their
+//!   `ckpt/<fp>/` checkpoints, and serves completed results from cache
+//!   with zero recomputation — byte-identical to an uninterrupted run.
+//!
+//! Surface (HTTP/1.1 over `std::net`, one thread per connection):
+//! `POST /sweeps`, `GET /sweeps/:id`, `GET /sweeps/:id/results`,
+//! `GET /sweeps/:id/events` (SSE progress), `GET /healthz`,
+//! `GET /readyz`. The `noc-svc serve` subcommand wires it up; exit codes
+//! route through `noc_sim::exit` (notably `8` when another live service
+//! holds the data-dir lock).
+//!
+//! No async runtime: the workspace builds offline, so the server is
+//! plain blocking `std::net` with a `Mutex`+`Condvar` job queue — which
+//! a sweep service is actually well matched to, since the unit of work
+//! is seconds of CPU-bound simulation, not microseconds of IO.
+
+pub mod config;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use config::SvcConfig;
+pub use server::{serve, ServiceHandle};
+pub use state::{Service, SubmitError, SubmitReply};
