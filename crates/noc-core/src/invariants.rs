@@ -105,6 +105,16 @@ impl Network {
         self.check_bus_ownership_symmetry();
         self.check_active_sets();
         self.check_conservation();
+        // 8. Shard-plan consistency — while the parallel engine is armed,
+        //    the plan's component partition must still describe the
+        //    network exactly (id bounds, media locality, NIC attachment);
+        //    a stale plan would let shards race on shared state.
+        if let Some(par) = self.par.as_deref() {
+            assert!(
+                par.plan.validate(self),
+                "armed shard plan inconsistent with the network topology"
+            );
+        }
     }
 
     /// Build the packet-conservation ledger (invariant 7) by walking every

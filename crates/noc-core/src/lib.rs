@@ -58,6 +58,7 @@ pub mod invariants;
 pub mod network;
 pub mod nic;
 pub mod obs;
+pub mod par;
 pub mod router;
 pub mod routing;
 pub mod sensors;
@@ -77,6 +78,7 @@ pub use ids::{BusId, ChannelId, CoreId, PortId, RouterId, Vc};
 pub use invariants::Accounting;
 pub use network::Network;
 pub use obs::{CountingObserver, EventKind, NocEvent, NullObserver, Observer};
+pub use par::ShardPlan;
 pub use routing::{RouteDecision, RoutingAlg, SteerAction};
 pub use sensors::{LinkSensors, UTIL_SCALE};
 pub use snapshot::{NetworkSnapshot, SnapshotError};

@@ -22,6 +22,7 @@ use crate::flit::Packet;
 use crate::ids::{BusId, ChannelId, CoreId, Cycle, RouterId};
 use crate::nic::{Admission, Nic};
 use crate::obs::{NocEvent, Observer};
+use crate::par::{self, BoundaryOp, ParState, SensorSlices, ShardCtx, ShardPlan, ShardView};
 use crate::router::{OutTarget, Router, Upstream, VcState};
 use crate::routing::RoutingAlg;
 use crate::sensors::LinkSensors;
@@ -106,6 +107,12 @@ pub struct Network {
     /// engine itself never aborts mid-cycle, so cancelled state is always
     /// a consistent cycle boundary. `None` (the default) costs nothing.
     cancel: Option<crate::cancel::CancelToken>,
+    /// Cluster-sharded parallel stepping engine, when armed via
+    /// [`Network::set_parallel`]. Runtime-only (never snapshotted); the
+    /// serial path runs while a fault config or observer is attached —
+    /// both demand the exact global event/RNG order — and results are
+    /// bit-identical either way (see [`crate::par`]).
+    pub(crate) par: Option<Box<ParState>>,
 }
 
 impl Network {
@@ -153,7 +160,51 @@ impl Network {
             profiler: None,
             metrics: None,
             cancel: None,
+            par: None,
         }
+    }
+
+    /// Arm the cluster-sharded parallel engine: `threads` worker threads
+    /// stepping per-cluster shards derived from `cluster_of_router` (the
+    /// topology's cluster id per router, e.g.
+    /// `noc-topology`'s `cluster_of`). Returns whether it armed.
+    ///
+    /// Arming fails — leaving the serial engine, never wrong results —
+    /// when `threads <= 1`, when the layout cannot be sharded (see
+    /// [`ShardPlan::derive`]), or when the thread pool cannot be built.
+    /// Results are bit-identical to the serial engine at every thread
+    /// count; see [`crate::par`] for the contract and its proof sketch.
+    pub fn set_parallel(&mut self, threads: usize, cluster_of_router: &[u16]) -> bool {
+        self.par = None;
+        if threads <= 1 {
+            return false;
+        }
+        let Some(plan) = ShardPlan::derive(self, cluster_of_router) else {
+            return false;
+        };
+        let pool = par::ShardPool::new(threads);
+        let shards = (0..plan.n_shards).map(|_| ShardCtx::default()).collect();
+        self.par = Some(Box::new(ParState {
+            plan,
+            threads,
+            shards,
+            pool,
+            bnd_work: Vec::new(),
+            kept_bnd_chans: Vec::new(),
+            kept_bnd_buses: Vec::new(),
+            ec_bnd: Vec::new(),
+        }));
+        true
+    }
+
+    /// The armed parallel engine's `(shards, threads)`, if any.
+    pub fn parallel_engine(&self) -> Option<(usize, usize)> {
+        self.par.as_deref().map(|p| (p.plan.n_shards, p.threads))
+    }
+
+    /// The armed shard plan, if any (tests, audits).
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.par.as_deref().map(|p| &p.plan)
     }
 
     /// Arm a cooperative cancellation token (see [`crate::cancel`]).
@@ -452,9 +503,18 @@ impl Network {
     }
 
     /// Advance one cycle.
+    ///
+    /// With a profiler attached the profiled serial path runs; otherwise,
+    /// when the parallel engine is armed and neither a fault config nor an
+    /// observer is attached (both serialize — the fault RNG draws in
+    /// global medium order and observers demand the global event order),
+    /// the cluster-sharded path runs; else the plain serial path. All
+    /// three produce bit-identical state and statistics.
     pub fn step(&mut self) {
         if self.profiler.is_some() {
             self.step_profiled();
+        } else if self.par.is_some() && self.fault.is_none() && self.observer.is_none() {
+            self.step_par();
         } else {
             self.step_plain();
         }
@@ -529,6 +589,408 @@ impl Network {
         }
         prof.end_cycle(self.now);
         self.profiler = Some(prof);
+    }
+
+    /// The cluster-sharded parallel cycle. Same phase semantics as
+    /// [`Network::step_plain`], decomposed as: serial boundary-media
+    /// delivery → parallel per-shard full cycles (local work only,
+    /// boundary mutations deferred) → serial ordered replay of the
+    /// deferred boundary work → serial boundary token movement → stat
+    /// merge → sensors/audit. Bit-identical to the serial engine by the
+    /// argument in [`crate::par`].
+    fn step_par(&mut self) {
+        let mut par = self.par.take().expect("step_par requires an armed engine");
+        self.now += 1;
+        let now = self.now;
+        let nlc = par.plan.n_local_chans;
+        let nlb = par.plan.n_local_buses;
+
+        // Boundary pre-pass: land inter-cluster flits and credits before
+        // the fork so every shard's SA sees them (delivery commutes
+        // across media). Ascending id order, as the serial loop visits.
+        par.kept_bnd_chans.clear();
+        if !self.chan_list.is_empty() {
+            self.chan_list.sort_unstable();
+            let cut = self.chan_list.partition_point(|&ci| ci < nlc);
+            par.bnd_work.clear();
+            par.bnd_work.extend_from_slice(&self.chan_list[cut..]);
+            self.chan_list.truncate(cut);
+            for i in 0..par.bnd_work.len() {
+                let ci = par.bnd_work[i];
+                self.deliver_channel_nofault(ci, &mut par.kept_bnd_chans);
+            }
+        }
+        par.kept_bnd_buses.clear();
+        if !self.bus_list.is_empty() {
+            self.bus_list.sort_unstable();
+            let cut = self.bus_list.partition_point(|&bi| bi < nlb);
+            par.bnd_work.clear();
+            par.bnd_work.extend_from_slice(&self.bus_list[cut..]);
+            self.bus_list.truncate(cut);
+            for i in 0..par.bnd_work.len() {
+                let bi = par.bnd_work[i];
+                self.deliver_bus_nofault(bi, &mut par.kept_bnd_buses);
+            }
+        }
+
+        // Sort the remaining global work lists and carve per-shard
+        // segments at the shard id bounds. Every consuming phase sorts
+        // its list first in the serial engine too, so pre-sorting here
+        // changes nothing.
+        self.router_list.sort_unstable();
+        self.nic_list.sort_unstable();
+        self.bus_ec_list.sort_unstable();
+        let mut ec_bnd = std::mem::take(&mut par.ec_bnd);
+        ec_bnd.clear();
+        {
+            let cut = self.bus_ec_list.partition_point(|&bi| bi < nlb);
+            ec_bnd.extend_from_slice(&self.bus_ec_list[cut..]);
+            self.bus_ec_list.truncate(cut);
+        }
+
+        {
+            let ParState { plan, shards, pool, .. } = &mut *par;
+            let Network {
+                routers,
+                channels,
+                buses,
+                nics,
+                stats,
+                routing,
+                router_flits,
+                router_active,
+                router_list,
+                chan_active,
+                chan_list,
+                bus_active,
+                bus_list,
+                bus_ec_active,
+                bus_ec_list,
+                nic_active,
+                nic_list,
+                sensors,
+                ..
+            } = &mut *self;
+            let routing: &dyn RoutingAlg = &**routing;
+            let measure_from = stats.measure_from;
+            let (local_chans, bnd_chans) = channels.split_at_mut(nlc);
+            let bnd_chans: &[Channel] = bnd_chans;
+            let (local_buses, bnd_buses) = buses.split_at_mut(nlb);
+            let bnd_buses: &[Bus] = bnd_buses;
+
+            // Mutable cursors: each shard takes its exclusive slice.
+            let mut routers_cur = &mut routers[..];
+            let mut chans_cur = local_chans;
+            let mut buses_cur = local_buses;
+            let mut nics_cur = &mut nics[..];
+            let mut rf_cur = &mut router_flits[..];
+            let mut ra_cur = &mut router_active[..];
+            let mut ca_cur = &mut chan_active[..];
+            let mut ba_cur = &mut bus_active[..];
+            let mut be_cur = &mut bus_ec_active[..];
+            let mut na_cur = &mut nic_active[..];
+            let mut bw_cur = &mut stats.buffer_writes[..];
+            let mut rt_cur = &mut stats.router_traversals[..];
+            let mut cf_cur = &mut stats.channel_flits[..nlc];
+            let mut bf_cur = &mut stats.bus_flits[..nlb];
+            let mut btw_cur = &mut stats.bus_token_wait[..nlb];
+            let mut pce_cur = &mut stats.per_core_ejected[..];
+            let (mut scb_cur, mut sbb_cur, mut sbw_cur) =
+                match sensors.as_deref_mut().map(|s| s.accum_slices()) {
+                    Some((cb, bb, bw)) => {
+                        let (cbl, _) = cb.split_at_mut(nlc);
+                        let (bbl, _) = bb.split_at_mut(nlb);
+                        let (bwl, _) = bw.split_at_mut(nlb);
+                        (Some(cbl), Some(bbl), Some(bwl))
+                    }
+                    None => (None, None, None),
+                };
+            let mut seg_r: &[usize] = router_list;
+            let mut seg_c: &[usize] = chan_list;
+            let mut seg_b: &[usize] = bus_list;
+            let mut seg_n: &[usize] = nic_list;
+            let mut seg_e: &[usize] = bus_ec_list;
+
+            let mut views: Vec<ShardView<'_>> = Vec::with_capacity(plan.n_shards);
+            for (s, ctx) in shards.iter_mut().enumerate() {
+                let (rb, re) = (plan.router_start[s], plan.router_start[s + 1]);
+                let (cb, ce) = (plan.chan_start[s], plan.chan_start[s + 1]);
+                let (bb, be) = (plan.bus_start[s], plan.bus_start[s + 1]);
+                let (nb, ne) = (plan.nic_start[s], plan.nic_start[s + 1]);
+                views.push(ShardView {
+                    now,
+                    router_base: rb,
+                    chan_base: cb,
+                    bus_base: bb,
+                    nic_base: nb,
+                    n_local_chans: nlc,
+                    n_local_buses: nlb,
+                    routers: par::take_mut(&mut routers_cur, re - rb),
+                    channels: par::take_mut(&mut chans_cur, ce - cb),
+                    buses: par::take_mut(&mut buses_cur, be - bb),
+                    nics: par::take_mut(&mut nics_cur, ne - nb),
+                    router_flits: par::take_mut(&mut rf_cur, re - rb),
+                    router_active: par::take_mut(&mut ra_cur, re - rb),
+                    chan_active: par::take_mut(&mut ca_cur, ce - cb),
+                    bus_active: par::take_mut(&mut ba_cur, be - bb),
+                    bus_ec_active: par::take_mut(&mut be_cur, be - bb),
+                    nic_active: par::take_mut(&mut na_cur, ne - nb),
+                    buffer_writes: par::take_mut(&mut bw_cur, re - rb),
+                    router_traversals: par::take_mut(&mut rt_cur, re - rb),
+                    channel_flits: par::take_mut(&mut cf_cur, ce - cb),
+                    bus_flits: par::take_mut(&mut bf_cur, be - bb),
+                    bus_token_wait: par::take_mut(&mut btw_cur, be - bb),
+                    per_core_ejected: par::take_mut(&mut pce_cur, ne - nb),
+                    sensors: match (&mut scb_cur, &mut sbb_cur, &mut sbw_cur) {
+                        (Some(scb), Some(sbb), Some(sbw)) => Some(SensorSlices {
+                            chan_busy: par::take_mut(scb, ce - cb),
+                            bus_busy: par::take_mut(sbb, be - bb),
+                            bus_wait: par::take_mut(sbw, be - bb),
+                        }),
+                        _ => None,
+                    },
+                    bnd_chans,
+                    bnd_buses,
+                    routing,
+                    measure_from,
+                    seg_routers: par::take_list(&mut seg_r, re),
+                    seg_chans: par::take_list(&mut seg_c, ce),
+                    seg_buses: par::take_list(&mut seg_b, be),
+                    seg_nics: par::take_list(&mut seg_n, ne),
+                    seg_ec: par::take_list(&mut seg_e, be),
+                    ctx,
+                });
+            }
+
+            pool.run(&mut views);
+            drop(views);
+
+            // Merge: the next cycle's work lists are the concatenation of
+            // per-shard keeps (disjoint id ranges) plus the boundary
+            // keeps; consuming phases re-sort, so order is free.
+            router_list.clear();
+            chan_list.clear();
+            bus_list.clear();
+            nic_list.clear();
+            bus_ec_list.clear();
+            for ctx in shards.iter_mut() {
+                router_list.append(&mut ctx.kept_routers);
+                chan_list.append(&mut ctx.kept_chans);
+                bus_list.append(&mut ctx.kept_buses);
+                nic_list.append(&mut ctx.kept_nics);
+                bus_ec_list.append(&mut ctx.kept_ec);
+            }
+        }
+        self.chan_list.append(&mut par.kept_bnd_chans);
+        self.bus_list.append(&mut par.kept_bnd_buses);
+
+        // Ordered replay of deferred boundary work, shard-by-shard: shard
+        // order is ascending router order, i.e. the serial engine's order.
+        // All SA/ST-era ops replay before any VC allocation (the serial
+        // phase barrier), then VCA intents, then speculative RC intents.
+        for ctx in par.shards.iter_mut() {
+            for op in ctx.ops.drain(..) {
+                match op {
+                    BoundaryOp::BusWant { bus, writer, reader, vc } => {
+                        // Re-check credits against replay-time (= serial
+                        // cycle-time) state; the frozen parallel read may
+                        // only overestimate them.
+                        let b = &mut self.buses[bus];
+                        if b.credit(reader, vc) > 0 {
+                            b.wants[writer as usize] = true;
+                            if !self.bus_ec_active[bus] {
+                                self.bus_ec_active[bus] = true;
+                                ec_bnd.push(bus);
+                            }
+                        }
+                    }
+                    BoundaryOp::BusSend { bus, writer, reader, flit } => {
+                        let vc = flit.vc;
+                        let is_tail = flit.kind.is_tail();
+                        let b = &mut self.buses[bus];
+                        b.send(now, writer as usize, reader, flit);
+                        self.stats.bus_flits[bus] += 1;
+                        if !self.bus_active[bus] {
+                            self.bus_active[bus] = true;
+                            self.bus_list.push(bus);
+                        }
+                        if is_tail {
+                            self.buses[bus].vc_owner[reader as usize][vc as usize] = None;
+                        }
+                        let ser = self.buses[bus].ser_cycles;
+                        if let Some(s) = self.sensors.as_deref_mut() {
+                            s.add_bus_busy(bus, ser);
+                        }
+                    }
+                    BoundaryOp::BusCredit { bus, reader, vc } => {
+                        self.buses[bus].send_credit(now, reader, vc);
+                        if !self.bus_active[bus] {
+                            self.bus_active[bus] = true;
+                            self.bus_list.push(bus);
+                        }
+                    }
+                    BoundaryOp::ChanSend { ch, flit } => {
+                        let ser = self.channels[ch].ser_cycles;
+                        self.channels[ch].send(now, flit);
+                        self.stats.channel_flits[ch] += 1;
+                        if !self.chan_active[ch] {
+                            self.chan_active[ch] = true;
+                            self.chan_list.push(ch);
+                        }
+                        if let Some(s) = self.sensors.as_deref_mut() {
+                            s.add_chan_busy(ch, ser);
+                        }
+                    }
+                    BoundaryOp::ChanCredit { ch, vc } => {
+                        self.channels[ch].send_credit(now, vc);
+                        if !self.chan_active[ch] {
+                            self.chan_active[ch] = true;
+                            self.chan_list.push(ch);
+                        }
+                    }
+                }
+            }
+        }
+        for ctx in par.shards.iter_mut() {
+            for (gri, pi, vi) in ctx.vca_intents.drain(..) {
+                let _ = try_vc_alloc(&mut self.routers[gri], &mut self.buses, now, pi, vi, false);
+            }
+        }
+        for ctx in par.shards.iter_mut() {
+            for (gri, pi, vi) in ctx.rc_intents.drain(..) {
+                let _ = try_vc_alloc(&mut self.routers[gri], &mut self.buses, now, pi, vi, true);
+            }
+        }
+
+        // Boundary end-of-cycle: token movement on inter-cluster buses.
+        // Per-bus state is independent, so locals (in shards) and the
+        // boundary tail (here) compose to the serial ascending sweep.
+        ec_bnd.sort_unstable();
+        for &bi in &ec_bnd {
+            let b = &mut self.buses[bi];
+            let handoff = b.end_cycle_frozen(now, false);
+            if let Some(h) = handoff {
+                self.stats.bus_token_wait[bi] += h.waited;
+                if let Some(s) = self.sensors.as_deref_mut() {
+                    s.add_bus_wait(bi, h.waited);
+                }
+            }
+            if self.buses[bi].want_since.iter().any(Option::is_some) {
+                self.bus_ec_list.push(bi);
+            } else {
+                self.bus_ec_active[bi] = false;
+            }
+        }
+        ec_bnd.clear();
+        par.ec_bnd = ec_bnd;
+
+        // Delivery records (latency histograms) and scalar deltas, in
+        // shard order; all-commutative adds on top of the shard slices.
+        for ctx in par.shards.iter_mut() {
+            for (core, created, injected) in ctx.delivered.drain(..) {
+                self.stats.packet_delivered_full(core, created, injected, now + 1);
+            }
+            self.stats.flits_injected += ctx.d_flits_injected;
+            self.stats.flits_ejected += ctx.d_flits_ejected;
+            self.stats.measured_flits_ejected += ctx.d_measured;
+            self.total_backlog -= ctx.d_backlog;
+            ctx.d_flits_injected = 0;
+            ctx.d_flits_ejected = 0;
+            ctx.d_measured = 0;
+            ctx.d_backlog = 0;
+        }
+
+        if self.sensors.is_some() {
+            self.sensor_tick(now);
+        }
+        self.stats.cycles = now;
+        self.par = Some(par);
+        if self.audit_every != 0 && now.is_multiple_of(self.audit_every) {
+            self.check_invariants();
+        }
+    }
+
+    /// Boundary-channel delivery (serial pre-pass of [`Network::step_par`]):
+    /// the fault- and observer-free mirror of the channel arm of
+    /// [`Network::deliver`] for one channel; keepers go to `kept`.
+    fn deliver_channel_nofault(&mut self, ci: usize, kept: &mut Vec<usize>) {
+        let now = self.now;
+        let Network {
+            routers,
+            channels,
+            stats,
+            router_flits,
+            router_active,
+            router_list,
+            chan_active,
+            ..
+        } = &mut *self;
+        let ch = &mut channels[ci];
+        while ch.in_flight.front().is_some_and(|&(t, _)| t <= now) {
+            let (_, flit) = ch.in_flight.pop_front().unwrap();
+            let (r, p) = ch.dst;
+            let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+            vc.buf.push_back((now, flit));
+            debug_assert!(
+                vc.buf.len() <= routers[r as usize].buf_depth as usize,
+                "input buffer overflow at router {r} port {p} — credit protocol violated"
+            );
+            stats.buffer_writes[r as usize] += 1;
+            router_flits[r as usize] += 1;
+            if !router_active[r as usize] {
+                router_active[r as usize] = true;
+                router_list.push(r as usize);
+            }
+        }
+        while ch.credits_back.front().is_some_and(|&(t, _)| t <= now) {
+            let (_, vc) = ch.credits_back.pop_front().unwrap();
+            let (r, p) = ch.src;
+            routers[r as usize].out_ports[p as usize].vcs[vc as usize].credits += 1;
+        }
+        if !ch.in_flight.is_empty() || !ch.credits_back.is_empty() {
+            kept.push(ci);
+        } else {
+            chan_active[ci] = false;
+        }
+    }
+
+    /// Boundary-bus delivery (serial pre-pass): the fault- and
+    /// observer-free mirror of the bus arm of [`Network::deliver`].
+    fn deliver_bus_nofault(&mut self, bi: usize, kept: &mut Vec<usize>) {
+        let now = self.now;
+        let Network {
+            routers,
+            buses,
+            stats,
+            router_flits,
+            router_active,
+            router_list,
+            bus_active,
+            ..
+        } = &mut *self;
+        let bus = &mut buses[bi];
+        while bus.in_flight.front().is_some_and(|&(t, _, _)| t <= now) {
+            let (_, reader, flit) = bus.in_flight.pop_front().unwrap();
+            let (r, p) = bus.readers[reader as usize];
+            let vc = &mut routers[r as usize].in_ports[p as usize].vcs[flit.vc as usize];
+            vc.buf.push_back((now, flit));
+            debug_assert!(vc.buf.len() <= routers[r as usize].buf_depth as usize);
+            stats.buffer_writes[r as usize] += 1;
+            router_flits[r as usize] += 1;
+            if !router_active[r as usize] {
+                router_active[r as usize] = true;
+                router_list.push(r as usize);
+            }
+        }
+        while bus.credits_back.front().is_some_and(|&(t, _, _)| t <= now) {
+            let (_, reader, vc) = bus.credits_back.pop_front().unwrap();
+            bus.credits[reader as usize][vc as usize] += 1;
+        }
+        if !bus.in_flight.is_empty() || !bus.credits_back.is_empty() {
+            kept.push(bi);
+        } else {
+            bus_active[bi] = false;
+        }
     }
 
     /// Capture a metrics frame when one is due this cycle.

@@ -144,6 +144,14 @@ impl LinkSensors {
         &self.bus_wait_ewma
     }
 
+    /// Mutable views of the three window accumulators (channel busy, bus
+    /// busy, bus token-wait), in that order. The parallel engine splits
+    /// these per shard so each shard accounts its own links; the EWMAs are
+    /// only ever folded serially (`maybe_sample`).
+    pub(crate) fn accum_slices(&mut self) -> (&mut [u32], &mut [u32], &mut [u64]) {
+        (&mut self.chan_busy, &mut self.bus_busy, &mut self.bus_wait)
+    }
+
     /// Current-window per-channel busy accumulators (checkpoint codecs).
     pub fn chan_busy(&self) -> &[u32] {
         &self.chan_busy

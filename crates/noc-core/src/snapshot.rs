@@ -35,6 +35,13 @@
 //! Snapshots must be taken at a cycle boundary (between [`Network::step`]
 //! calls); per-cycle scratch state (bus request flags, SA candidates) is
 //! empty there and therefore not part of the snapshot.
+//!
+//! The parallel engine (`crate::par`) is runtime configuration, like
+//! observers and the audit interval: its shard plan, worker pool and
+//! per-shard scratch are **never** snapshotted. Because the sharded step is
+//! bit-identical to the serial step, a snapshot taken under `--threads N`
+//! restores into a serial network (and vice versa) and continues to
+//! identical statistics — checkpoints are engine-agnostic.
 
 use std::collections::VecDeque;
 

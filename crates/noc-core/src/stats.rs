@@ -3,8 +3,13 @@
 //! The engine counts *events* (flit traversals, buffer accesses, packet
 //! deliveries); the power models in `noc-power` turn event counts into
 //! energy, and `noc-sim` turns deliveries into latency/throughput metrics.
-//! Counters are plain `u64`s — the simulator is single-threaded per network
-//! instance; parallelism happens across simulations (one per sweep point).
+//! Counters are plain `u64`s — no atomics. Stats are only ever mutated by
+//! the thread driving `Network::step`: the serial engine writes them
+//! directly, and the cluster-sharded parallel engine (`crate::par`)
+//! accumulates per-shard deltas (each shard owns disjoint slice ranges of
+//! the per-entity counters) and merges scalars in fixed shard order during
+//! the single-threaded boundary phase. Parallelism across simulations (one
+//! per sweep point) keeps working as before — one `NetStats` per network.
 
 use crate::ids::{ChannelId, CoreId, Cycle};
 

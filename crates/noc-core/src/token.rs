@@ -12,6 +12,14 @@
 //! becomes available at the next requesting writer (cyclic order) after
 //! `pass_latency` cycles. This reproduces the paper's observation that
 //! "token transfer consumes a few extra cycles" on OptXB.
+//!
+//! Parallel-engine note: token state only changes in `Bus::send` and the
+//! end-of-cycle handoff. For *boundary* buses the sharded engine
+//! (`crate::par`) defers both behind per-shard op queues, so during the
+//! parallel section every token ring is frozen — shards read `holds`
+//! concurrently but never mutate. Since at most one writer holds the token,
+//! at most one send per bus reaches the replay phase each cycle, which is
+//! what makes the frozen reads serial-equivalent.
 
 use crate::ids::Cycle;
 

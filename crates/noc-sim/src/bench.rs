@@ -27,13 +27,20 @@ use noc_core::{RouterConfig, StageProfiler, STAGE_COUNT, STAGE_NAMES};
 use noc_topology::{own, Own256Reconfig, ReconfigPolicy, Topology};
 use noc_traffic::{BernoulliInjector, TrafficPattern};
 
-/// Schema identifier written into bench JSON files. v1.1 adds per-workload
-/// `peak_rss_kb` and `stage_shares`; [`BaselineFile::parse`] accepts any
-/// `own-noc-bench/v1*` document, so v1 baselines keep working.
-pub const SCHEMA: &str = "own-noc-bench/v1.1";
+/// Schema identifier written into bench JSON files. v1.1 added per-workload
+/// `peak_rss_kb` and `stage_shares`; v1.2 adds `threads` (workload names of
+/// parallel-engine runs carry an `@t<n>` suffix so baselines compare
+/// like-for-like). [`BaselineFile::parse`] accepts any `own-noc-bench/v1*`
+/// document, so older baselines keep working.
+pub const SCHEMA: &str = "own-noc-bench/v1.2";
 
 /// Default cycle budget for a local bench run.
 pub const DEFAULT_CYCLES: u64 = 20_000;
+
+/// Cycle budget of the separate, untimed profiling run that captures
+/// `stage_shares` (see [`run_one`] — profiling no longer rides along the
+/// timed loop).
+const PROFILE_CYCLES: u64 = 2_000;
 
 /// Traffic seed for all bench workloads (same default as `SimConfig`).
 const SEED: u64 = 0x0517_2018;
@@ -129,6 +136,8 @@ pub struct BenchOutcome {
     pub rate: f64,
     pub label: String,
     pub cycles: u64,
+    /// Total threads the engine stepped with (1 = serial engine).
+    pub threads: usize,
     pub wall_ms: f64,
     pub cycles_per_sec: f64,
     /// Flits delivered during the run — a cheap cross-check that two
@@ -144,31 +153,57 @@ pub struct BenchOutcome {
     pub stage_shares: Option<[f64; STAGE_COUNT]>,
 }
 
-/// Run one workload for `cycles` cycles and time the stepping loop.
-fn run_one(w: &Workload, cycles: u64) -> BenchOutcome {
+/// Build a workload's topology and network.
+fn build_net(w: &Workload) -> (Box<dyn Topology>, noc_core::Network) {
     let mut router = RouterConfig::default();
     if let Some((high, low)) = w.throttle {
         router = router.with_throttle(high, low);
     }
-    let mut net = if w.adaptive {
-        Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 }).build(router)
+    let topo: Box<dyn Topology> = if w.adaptive {
+        Box::new(Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 }))
     } else {
-        own(w.cores).build(router)
+        own(w.cores)
     };
+    let net = topo.build(router);
+    (topo, net)
+}
+
+/// Run one workload for `cycles` cycles and time the stepping loop.
+/// `threads > 1` arms the cluster-sharded parallel engine (bit-identical
+/// results, see `noc_core::par`) and suffixes the workload name `@t<n>`.
+fn run_one(w: &Workload, cycles: u64, threads: usize) -> BenchOutcome {
+    let (topo, mut net) = build_net(w);
+    if threads > 1 {
+        let map = crate::telemetry::cluster_map_for(&*topo, &net);
+        assert!(
+            net.set_parallel(threads, &map.cluster_of_router),
+            "{}: parallel engine did not arm",
+            w.name
+        );
+    }
     let mut inj = BernoulliInjector::new(w.rate, 4, w.pattern, SEED);
-    // Sparse stage profiling (1 in 16 cycles) rides along the timed loop;
-    // its clock reads are a sub-percent tax, well inside the 2x gate slack.
-    net.set_profiler(StageProfiler::new(16));
+    // The timed loop runs the engine and nothing else. (The stage profiler
+    // used to ride along here; its clock reads were a measurable tax on the
+    // low-load workloads — own256-uniform-low lost ~2x — so stage shares
+    // now come from the separate, untimed run below.)
     let t0 = Instant::now();
     inj.drive(&mut net, cycles);
     let wall = t0.elapsed().as_secs_f64();
-    let stage_shares = net.take_profiler().map(|p| p.breakdown().shares());
+    // Untimed profiled re-run on the serial engine for the stage shares
+    // (per-stage wall clock is only meaningful single-threaded).
+    let (_topo, mut pnet) = build_net(w);
+    pnet.set_profiler(StageProfiler::new(16));
+    let mut pinj = BernoulliInjector::new(w.rate, 4, w.pattern, SEED);
+    pinj.drive(&mut pnet, cycles.min(PROFILE_CYCLES));
+    let stage_shares = pnet.take_profiler().map(|p| p.breakdown().shares());
+    let name = if threads > 1 { format!("{}@t{threads}", w.name) } else { w.name.to_string() };
     BenchOutcome {
-        name: w.name.to_string(),
+        name,
         cores: w.cores,
         rate: w.rate,
         label: w.label.to_string(),
         cycles,
+        threads,
         wall_ms: wall * 1e3,
         cycles_per_sec: if wall > 0.0 { cycles as f64 / wall } else { 0.0 },
         flits_ejected: net.stats.flits_ejected,
@@ -177,13 +212,14 @@ fn run_one(w: &Workload, cycles: u64) -> BenchOutcome {
     }
 }
 
-/// Run the canonical suite, `cycles` engine cycles per workload.
-/// `progress` prints one stderr line per finished workload.
-pub fn run_suite(cycles: u64, progress: bool) -> Vec<BenchOutcome> {
+/// Run the canonical suite, `cycles` engine cycles per workload, stepping
+/// with `threads` total threads (1 = serial engine). `progress` prints one
+/// stderr line per finished workload.
+pub fn run_suite(cycles: u64, progress: bool, threads: usize) -> Vec<BenchOutcome> {
     suite()
         .iter()
         .map(|w| {
-            let r = run_one(w, cycles);
+            let r = run_one(w, cycles, threads);
             if progress {
                 eprintln!(
                     "[bench] {}: {:.1} ms, {:.0} kcycles/s",
@@ -217,6 +253,7 @@ pub fn to_json(results: &[BenchOutcome], baseline: Option<&BaselineFile>) -> Str
             m.insert("rate".into(), Value::Number(r.rate));
             m.insert("workload".into(), Value::String(r.label.clone()));
             m.insert("cycles".into(), Value::Number(r.cycles as f64));
+            m.insert("threads".into(), Value::Number(r.threads as f64));
             m.insert("wall_ms".into(), Value::Number(r.wall_ms));
             m.insert("cycles_per_sec".into(), Value::Number(r.cycles_per_sec));
             m.insert("flits_ejected".into(), Value::Number(r.flits_ejected as f64));
@@ -337,6 +374,7 @@ mod tests {
             rate: 0.005,
             label: "uniform".into(),
             cycles: 100,
+            threads: 1,
             wall_ms: 1.0,
             cycles_per_sec: cps,
             flits_ejected: 42,
@@ -377,10 +415,23 @@ mod tests {
 
     #[test]
     fn suite_outcomes_carry_stage_shares() {
-        let r = run_one(&suite()[0], 64);
-        let shares = r.stage_shares.expect("profiler rode along");
+        let r = run_one(&suite()[0], 64, 1);
+        let shares = r.stage_shares.expect("profiled side run captured shares");
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0, "shares sum {sum}");
+    }
+
+    #[test]
+    fn parallel_run_simulates_identical_work() {
+        // The flits_ejected cross-check is the bench-level face of the
+        // engine's bit-identity contract: same workload, any thread count,
+        // same simulation.
+        let serial = run_one(&suite()[1], 120, 1);
+        let par = run_one(&suite()[1], 120, 2);
+        assert_eq!(serial.name, "own256-uniform-sat");
+        assert_eq!(par.name, "own256-uniform-sat@t2");
+        assert_eq!(par.threads, 2);
+        assert_eq!(serial.flits_ejected, par.flits_ejected, "parallel engine changed the work");
     }
 
     #[test]
@@ -410,10 +461,11 @@ mod tests {
     fn smoke_suite_runs_a_tiny_budget() {
         // One real engine run per workload keeps the gate honest; 60
         // cycles is enough to exercise construction + stepping.
-        let results = run_suite(60, false);
+        let results = run_suite(60, false, 1);
         assert_eq!(results.len(), 6);
         for r in &results {
             assert_eq!(r.cycles, 60);
+            assert_eq!(r.threads, 1);
             assert!(r.cycles_per_sec > 0.0, "{}: no throughput", r.name);
         }
     }

@@ -83,8 +83,12 @@
 //!   `before_cycles_per_sec`/`speedup` and exits 5 when any workload runs
 //!   more than 2x slower than its baseline.
 //!
-//! `--threads <n>` caps the global rayon pool (sweeps and bench runs) so
-//! results are reproducible on shared machines.
+//! `--threads <n>` has two effects, both deterministic: it caps the global
+//! rayon pool (parallelism *across* sweep points), and for the `bench` /
+//! `own256` / `own1024` runs it arms the cluster-sharded parallel engine
+//! (parallelism *within* one simulation, `noc_core::par`) — which is
+//! bit-identical to the serial engine at every thread count, so results
+//! are reproducible on shared machines regardless of the value.
 //!
 //! Unknown experiment names and unreadable `--spec` files are diagnosed
 //! before anything runs, and exit with status 2.
@@ -539,8 +543,8 @@ fn main() {
                     std::process::exit(exit::USAGE);
                 });
                 // Zero (an empty pool) and wild oversubscription are both
-                // diagnosed before anything touches the rayon pool.
-                if let Err(e) = exit::validate_threads(n) {
+                // diagnosed before anything touches a worker pool.
+                if let Err(e) = exit::validate_threads(n, "--threads") {
                     eprintln!("{e}");
                     std::process::exit(exit::USAGE);
                 }
@@ -810,6 +814,7 @@ fn main() {
                 recover,
                 metrics_out.as_deref(),
                 metrics_interval,
+                threads.unwrap_or(1),
             ),
             "own1024" => run_own(
                 1024,
@@ -819,8 +824,15 @@ fn main() {
                 recover,
                 metrics_out.as_deref(),
                 metrics_interval,
+                threads.unwrap_or(1),
             ),
-            "bench" => run_bench(bench_cycles, bench_out.as_deref(), baseline.as_ref(), progress),
+            "bench" => run_bench(
+                bench_cycles,
+                bench_out.as_deref(),
+                baseline.as_ref(),
+                progress,
+                threads.unwrap_or(1),
+            ),
             other => unreachable!("validated above: {other}"),
         }
         if progress {
@@ -924,8 +936,9 @@ fn run_bench(
     out: Option<&str>,
     baseline: Option<&noc_sim::BaselineFile>,
     progress: bool,
+    threads: usize,
 ) {
-    let results = noc_sim::run_bench_suite(cycles, progress);
+    let results = noc_sim::run_bench_suite(cycles, progress, threads);
     let doc = noc_sim::bench::to_json(&results, baseline);
     match out {
         Some(path) => {
@@ -1064,6 +1077,7 @@ fn run_overload_smoke(budget: Budget, opts: &OverloadOpts) {
 /// network. With
 /// `metrics_out`, the stage profiler and the spatial metrics registry ride
 /// along and the telemetry artifact set is written after the run.
+#[allow(clippy::too_many_arguments)]
 fn run_own(
     cores: u32,
     budget: Budget,
@@ -1072,6 +1086,7 @@ fn run_own(
     recover: Option<(usize, u32)>,
     metrics_out: Option<&str>,
     metrics_interval: u64,
+    threads: usize,
 ) {
     let topo = noc_topology::own(cores);
     let cfg = SimConfig {
@@ -1084,6 +1099,12 @@ fn run_own(
         ..Default::default()
     };
     let mut sim = build_sim(topo.as_ref(), cfg, opts);
+    if threads > 1 {
+        // Bit-identical at every thread count; the stage profiler (armed
+        // below with --metrics-out) serializes stepping, so a profiled
+        // run measures the serial engine regardless.
+        sim.set_threads(threads, topo.as_ref());
+    }
     if let Some((budget, attempts)) = recover {
         sim.set_recovery(budget, attempts);
     }

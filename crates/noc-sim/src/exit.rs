@@ -63,18 +63,20 @@ pub fn readme_rows() -> String {
     out
 }
 
-/// Validate a `--threads` request before any pool is built: zero is always
-/// an error, and asking for more than 4× the machine's available
-/// parallelism is almost certainly a typo'd oversubscription.
-pub fn validate_threads(n: usize) -> Result<(), String> {
+/// Validate a thread/worker-count request before any pool is built: zero
+/// is always an error, and asking for more than 4× the machine's
+/// available parallelism is almost certainly a typo'd oversubscription.
+/// `flag` is the CLI flag being validated (`--threads`, `--workers`) so
+/// the diagnostic names the flag the user actually typed.
+pub fn validate_threads(n: usize, flag: &str) -> Result<(), String> {
     if n == 0 {
-        return Err("--threads must be >= 1 (0 would mean an empty worker pool)".into());
+        return Err(format!("{flag} must be >= 1 (0 would mean an empty worker pool)"));
     }
     let avail = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let cap = avail.saturating_mul(4);
     if n > cap {
         return Err(format!(
-            "--threads {n} oversubscribes this machine: {avail} hardware threads \
+            "{flag} {n} oversubscribes this machine: {avail} hardware threads \
              available (cap {cap} = 4x); pick a value <= {cap}"
         ));
     }
@@ -129,11 +131,15 @@ mod tests {
 
     #[test]
     fn thread_validation() {
-        assert!(validate_threads(0).is_err());
-        assert!(validate_threads(1).is_ok());
+        assert!(validate_threads(0, "--threads").is_err());
+        assert!(validate_threads(1, "--threads").is_ok());
         let avail = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        assert!(validate_threads(avail).is_ok());
-        let err = validate_threads(avail * 4 + 1).unwrap_err();
+        assert!(validate_threads(avail, "--threads").is_ok());
+        let err = validate_threads(avail * 4 + 1, "--threads").unwrap_err();
         assert!(err.contains("oversubscribes"), "got: {err}");
+        assert!(err.starts_with("--threads "), "got: {err}");
+        // The diagnostic names whichever flag the caller is validating.
+        let err = validate_threads(0, "--workers").unwrap_err();
+        assert!(err.starts_with("--workers "), "got: {err}");
     }
 }

@@ -300,6 +300,24 @@ impl Simulation {
         self
     }
 
+    /// Arm the cluster-sharded parallel engine (see `noc_core::par`) with
+    /// `threads` total threads, sharding by `topo`'s cluster structure.
+    /// Returns whether the engine actually armed: `threads <= 1`, a
+    /// single-cluster topology, or cluster-interleaved media fall back to
+    /// the serial engine. Results are **bit-identical** either way — the
+    /// engine's determinism contract guarantees the same statistics,
+    /// checkpoints and event streams at every thread count.
+    pub fn set_threads(&mut self, threads: usize, topo: &dyn Topology) -> bool {
+        let map = crate::telemetry::cluster_map_for(topo, &self.net);
+        self.net.set_parallel(threads, &map.cluster_of_router)
+    }
+
+    /// Builder-style [`Simulation::set_threads`].
+    pub fn with_threads(mut self, threads: usize, topo: &dyn Topology) -> Self {
+        self.set_threads(threads, topo);
+        self
+    }
+
     /// Attach a fault model (scheduled failures + link error process); see
     /// `noc_core::fault`. With an empty schedule and zero BER the model is
     /// inert and results are bit-identical to a run without it.

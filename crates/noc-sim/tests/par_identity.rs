@@ -1,0 +1,292 @@
+//! Parallel-engine bit-identity: the cluster-sharded engine
+//! (`noc_core::par`) must produce the **same simulation** as the serial
+//! engine — not statistically similar, identical to the bit. These tests
+//! pin `--threads 1` against `--threads 4` on the OWN topologies with the
+//! full overload/telemetry stack active (admission control, adaptive
+//! spare-band reconfiguration with its link sensors, spatial metrics,
+//! periodic invariant audit) and require:
+//!
+//! * equal `NetStats` structs and equal FNV fingerprints over every field,
+//! * **byte-identical** v3 checkpoints at arbitrary mid-run cut points,
+//! * cross-engine resume: a snapshot taken under `--threads N` restored
+//!   into a serial network (and vice versa) continues to the same final
+//!   statistics.
+//!
+//! Faulted/observed runs take the serial path by design (the engine falls
+//! back when a fault model or observer is attached); the golden test at
+//! the bottom pins that the fallback itself leaves results untouched.
+
+use noc_core::fault::{FaultConfig, FaultEvent, FaultSchedule, FaultTarget};
+use noc_core::{CountingObserver, MetricsRegistry, NetStats, Network, RouterConfig};
+use noc_sim::telemetry::cluster_map_for;
+use noc_sim::Checkpoint;
+use noc_topology::{own, Own256Reconfig, ReconfigPolicy, Topology};
+use noc_traffic::{BernoulliInjector, TrafficPattern};
+use proptest::prelude::*;
+
+/// Traffic seed (the `SimConfig` default).
+const SEED: u64 = 0x0517_2018;
+
+/// Cycles driven by the OWN-256 identity runs.
+const RUN_256: u64 = 3_000;
+
+/// Cycles driven by the OWN-1024 saturated identity run.
+const RUN_1024: u64 = 1_200;
+
+/// The parallel thread count under test (the CI matrix value).
+const THREADS: usize = 4;
+
+// ---- fingerprinting (same scheme as tests/engine_identity.rs) ----------
+
+fn mix(h: &mut u64, x: u64) {
+    *h ^= x;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+fn mix_slice(h: &mut u64, xs: &[u64]) {
+    mix(h, xs.len() as u64);
+    for &x in xs {
+        mix(h, x);
+    }
+}
+
+fn mix_hist(h: &mut u64, hist: &noc_core::stats::LatencyHist) {
+    mix(h, hist.bucket_width);
+    mix_slice(h, &hist.buckets);
+    mix(h, hist.count);
+    mix(h, hist.sum);
+    mix(h, hist.max);
+}
+
+/// FNV-1a over every field of [`NetStats`], in declaration order.
+fn fingerprint(s: &NetStats) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    mix(&mut h, s.cycles);
+    mix(&mut h, s.packets_offered);
+    mix(&mut h, s.flits_injected);
+    mix(&mut h, s.flits_ejected);
+    mix(&mut h, s.packets_delivered);
+    mix_slice(&mut h, &s.channel_flits);
+    mix_slice(&mut h, &s.bus_flits);
+    mix_slice(&mut h, &s.router_traversals);
+    mix_slice(&mut h, &s.buffer_writes);
+    mix_hist(&mut h, &s.latency);
+    mix_hist(&mut h, &s.queue_delay);
+    mix_hist(&mut h, &s.network_latency);
+    mix(&mut h, s.measured_flits_ejected);
+    mix(&mut h, s.measure_from);
+    mix(&mut h, s.measure_until);
+    mix_slice(&mut h, &s.per_core_ejected);
+    mix_slice(&mut h, &s.per_core_packets);
+    mix(&mut h, s.flits_corrupted);
+    mix(&mut h, s.flit_retransmits);
+    mix(&mut h, s.packets_dropped_corrupt);
+    mix(&mut h, s.offers_rejected);
+    mix(&mut h, s.offers_shed);
+    mix(&mut h, s.offers_deferred);
+    mix(&mut h, s.offers_admitted);
+    mix(&mut h, s.failovers);
+    mix(&mut h, s.first_fault_at.map_or(u64::MAX, |c| c));
+    mix(&mut h, s.first_failover_at.map_or(u64::MAX, |c| c));
+    mix_hist(&mut h, &s.post_fault_latency);
+    h
+}
+
+// ---- network builders ---------------------------------------------------
+
+/// OWN-256 with every parallel-compatible subsystem active: adaptive
+/// spare-band reconfig (enables the link sensors), NIC admission control,
+/// spatial metrics, periodic invariant audit. No faults and no observer —
+/// those serialize the engine, and the point here is the *parallel* path.
+fn own256_net(threads: usize) -> Network {
+    let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 });
+    let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+    let map = cluster_map_for(&topo, &net);
+    net.attach_metrics(MetricsRegistry::new(map.clone(), 250));
+    net.set_audit_interval(512);
+    if threads > 1 {
+        assert!(
+            net.set_parallel(threads, &map.cluster_of_router),
+            "OWN-256 must shard cleanly (clusters are id-contiguous)"
+        );
+        let (shards, t) = net.parallel_engine().expect("engine armed");
+        assert_eq!(shards, 4, "OWN-256 has 4 clusters");
+        assert_eq!(t, threads);
+    }
+    net
+}
+
+/// OWN-1024: admission control + audit; sharded into the 16 clusters
+/// whose inter-cluster traffic rides the boundary SWMR wireless buses.
+fn own1024_net(threads: usize) -> Network {
+    let topo = own(1024);
+    let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+    net.set_audit_interval(1024);
+    if threads > 1 {
+        let map = cluster_map_for(&*topo, &net);
+        assert!(net.set_parallel(threads, &map.cluster_of_router), "OWN-1024 must shard cleanly");
+        let (shards, _) = net.parallel_engine().expect("engine armed");
+        assert_eq!(shards, 16, "OWN-1024 has 16 clusters");
+    }
+    net
+}
+
+fn hotspot() -> TrafficPattern {
+    TrafficPattern::Hotspot { target: 0, fraction: 0.2 }
+}
+
+/// Canonical checkpoint bytes of a network's current state (fixed driver
+/// metadata, so the comparison is purely over the engine snapshot).
+fn checkpoint_bytes(net: &Network, cycle: u64) -> String {
+    Checkpoint {
+        topology: "PAR-IDENTITY".into(),
+        seed: SEED,
+        cycle,
+        injector_offers: cycle,
+        ejected_window_start: None,
+        ejected_window_end: None,
+        snapshot: net.snapshot(),
+    }
+    .to_json()
+}
+
+// ---- the contract -------------------------------------------------------
+
+/// Drive serial and parallel OWN-256 to `cut`, require byte-identical
+/// checkpoints there, then continue both to `RUN_256` and require equal
+/// `NetStats`.
+fn own256_identity_at_cut(cut: u64) {
+    let mut serial = own256_net(1);
+    let mut par = own256_net(THREADS);
+    let mut inj_s = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    let mut inj_p = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+
+    inj_s.drive(&mut serial, cut);
+    inj_p.drive(&mut par, cut);
+    assert_eq!(
+        checkpoint_bytes(&serial, cut),
+        checkpoint_bytes(&par, cut),
+        "checkpoints diverge at cut {cut}"
+    );
+
+    inj_s.drive(&mut serial, RUN_256 - cut);
+    inj_p.drive(&mut par, RUN_256 - cut);
+    assert_eq!(serial.stats, par.stats, "NetStats diverge after cut {cut}");
+    assert_eq!(fingerprint(&serial.stats), fingerprint(&par.stats));
+}
+
+#[test]
+fn own256_parallel_matches_serial_bit_for_bit() {
+    own256_identity_at_cut(1_500);
+}
+
+#[test]
+fn own256_parallel_matches_serial_at_every_thread_count() {
+    let run = |threads: usize| {
+        let mut net = own256_net(threads);
+        let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+        inj.drive(&mut net, RUN_256);
+        net.stats
+    };
+    let serial = run(1);
+    for threads in [2, 3, 4] {
+        let par = run(threads);
+        assert_eq!(serial, par, "NetStats diverge at --threads {threads}");
+    }
+}
+
+/// Saturated OWN-1024: heavy contention on the boundary wireless buses —
+/// the frozen-bus / deferred-op machinery is under maximum pressure.
+#[test]
+fn own1024_saturated_parallel_matches_serial() {
+    let run = |threads: usize| {
+        let mut net = own1024_net(threads);
+        let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+        inj.drive(&mut net, RUN_1024);
+        let bytes = checkpoint_bytes(&net, RUN_1024);
+        (net.stats, bytes)
+    };
+    let (serial, serial_bytes) = run(1);
+    let (par, par_bytes) = run(THREADS);
+    assert_eq!(serial, par, "NetStats diverge on saturated OWN-1024");
+    assert_eq!(serial_bytes, par_bytes, "checkpoints diverge on saturated OWN-1024");
+    // The run must actually have exercised the shared media.
+    assert!(serial.bus_flits.iter().sum::<u64>() > 0, "no bus traffic — test is vacuous");
+}
+
+/// Cross-engine resume: a mid-run snapshot taken under the parallel
+/// engine restores into a serial network (and vice versa) and both
+/// trajectories land on identical final statistics.
+#[test]
+fn cross_engine_resume_identity() {
+    let cut = 1_100u64;
+
+    // Parallel run to the cut, snapshot.
+    let mut par = own256_net(THREADS);
+    let mut inj_p = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj_p.drive(&mut par, cut);
+    let snap = par.snapshot();
+    inj_p.drive(&mut par, RUN_256 - cut);
+
+    // Serial network resumes from the parallel snapshot.
+    let mut serial = own256_net(1);
+    serial.restore(&snap).expect("restore parallel snapshot into serial engine");
+    let mut inj_s = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj_s.skip_cycles(cut, serial.num_cores() as u32);
+    inj_s.drive(&mut serial, RUN_256 - cut);
+    assert_eq!(par.stats, serial.stats, "parallel→serial resume diverges");
+
+    // And the other direction: parallel network resumes the same snapshot.
+    let mut par2 = own256_net(THREADS);
+    par2.restore(&snap).expect("restore snapshot into parallel engine");
+    let mut inj_p2 = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+    inj_p2.skip_cycles(cut, par2.num_cores() as u32);
+    inj_p2.drive(&mut par2, RUN_256 - cut);
+    assert_eq!(par.stats, par2.stats, "serial→parallel resume diverges");
+}
+
+// Identity must hold wherever the cut lands relative to the adaptive
+// controller's epochs, the metrics frames, and the audit interval.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn own256_parallel_identity_any_cut(cut in 100u64..2_900) {
+        own256_identity_at_cut(cut);
+    }
+}
+
+// ---- serial fallback under faults/observers -----------------------------
+
+/// The full engine_identity.rs stack (faults + BER + observer) with the
+/// parallel engine *armed*: a fault model and an observer are attached,
+/// so every step takes the serial fallback — and the results must be
+/// exactly the unarmed serial run's, fingerprint included.
+#[test]
+fn faulted_run_with_engine_armed_matches_unarmed_serial() {
+    let run = |threads: usize| {
+        let topo = Own256Reconfig::new(ReconfigPolicy::Adaptive { epoch: 256, hysteresis: 1024 });
+        let mut net = topo.build(RouterConfig::default().with_throttle(16, 4));
+        let faults = FaultConfig {
+            schedule: FaultSchedule::new()
+                .with(FaultEvent::transient(600, FaultTarget::Bus(0), 400))
+                .with(FaultEvent::transient(900, FaultTarget::TokenRing(1), 200)),
+            channel_ber: vec![1e-5; net.channels().len()],
+            bus_ber: vec![5e-6; net.buses().len()],
+            ..Default::default()
+        };
+        net.attach_faults(faults);
+        net.set_observer(Box::new(CountingObserver::new()));
+        net.set_audit_interval(512);
+        if threads > 1 {
+            let map = cluster_map_for(&topo, &net);
+            assert!(net.set_parallel(threads, &map.cluster_of_router));
+        }
+        let mut inj = BernoulliInjector::new(0.04, 4, hotspot(), SEED);
+        inj.drive(&mut net, RUN_256);
+        net.stats
+    };
+    let serial = run(1);
+    let armed = run(THREADS);
+    assert_eq!(serial, armed, "serial fallback changed results");
+    assert_eq!(fingerprint(&serial), fingerprint(&armed));
+}

@@ -48,8 +48,8 @@ fn main() {
             }
             "--workers" => {
                 cfg.workers = parse(flag, value("a thread count"));
-                if let Err(e) = exit::validate_threads(cfg.workers) {
-                    eprintln!("noc-svc: {}", e.replace("--threads", "--workers"));
+                if let Err(e) = exit::validate_threads(cfg.workers, "--workers") {
+                    eprintln!("noc-svc: {e}");
                     std::process::exit(exit::USAGE);
                 }
             }
