@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delivery-6160c063baf9e404.d: crates/noc-topology/tests/delivery.rs
+
+/root/repo/target/debug/deps/delivery-6160c063baf9e404: crates/noc-topology/tests/delivery.rs
+
+crates/noc-topology/tests/delivery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-7be0801fb55d4010.d: crates/noc-sim/tests/durability.rs
+
+/root/repo/target/debug/deps/durability-7be0801fb55d4010: crates/noc-sim/tests/durability.rs
+
+crates/noc-sim/tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8aad46e56107e50d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8aad46e56107e50d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-67b10bbe44d3cb58.d: crates/noc-core/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-67b10bbe44d3cb58: crates/noc-core/tests/engine.rs
+
+crates/noc-core/tests/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_identity-20eeae99716c5d5e.d: crates/noc-sim/tests/engine_identity.rs
+
+/root/repo/target/debug/deps/engine_identity-20eeae99716c5d5e: crates/noc-sim/tests/engine_identity.rs
+
+crates/noc-sim/tests/engine_identity.rs:

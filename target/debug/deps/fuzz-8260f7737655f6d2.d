@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-8260f7737655f6d2.d: crates/noc-core/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-8260f7737655f6d2: crates/noc-core/tests/fuzz.rs
+
+crates/noc-core/tests/fuzz.rs:

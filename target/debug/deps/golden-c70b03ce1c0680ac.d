@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-c70b03ce1c0680ac.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-c70b03ce1c0680ac: tests/golden.rs
+
+tests/golden.rs:

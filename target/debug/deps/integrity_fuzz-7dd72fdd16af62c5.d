@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integrity_fuzz-7dd72fdd16af62c5.d: crates/noc-sim/tests/integrity_fuzz.rs
+
+/root/repo/target/debug/deps/integrity_fuzz-7dd72fdd16af62c5: crates/noc-sim/tests/integrity_fuzz.rs
+
+crates/noc-sim/tests/integrity_fuzz.rs:

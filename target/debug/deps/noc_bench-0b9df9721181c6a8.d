@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/noc_bench-0b9df9721181c6a8.d: crates/noc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnoc_bench-0b9df9721181c6a8.rlib: crates/noc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnoc_bench-0b9df9721181c6a8.rmeta: crates/noc-bench/src/lib.rs
+
+crates/noc-bench/src/lib.rs:

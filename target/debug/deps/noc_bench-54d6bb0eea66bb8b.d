@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_bench-54d6bb0eea66bb8b.d: crates/noc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/noc_bench-54d6bb0eea66bb8b: crates/noc-bench/src/lib.rs
+
+crates/noc-bench/src/lib.rs:

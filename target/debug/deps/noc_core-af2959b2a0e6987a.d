@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/noc_core-af2959b2a0e6987a.d: crates/noc-core/src/lib.rs crates/noc-core/src/arbiter.rs crates/noc-core/src/builder.rs crates/noc-core/src/cancel.rs crates/noc-core/src/channel.rs crates/noc-core/src/config.rs crates/noc-core/src/fault.rs crates/noc-core/src/flit.rs crates/noc-core/src/ids.rs crates/noc-core/src/integrity.rs crates/noc-core/src/invariants.rs crates/noc-core/src/network.rs crates/noc-core/src/nic.rs crates/noc-core/src/obs.rs crates/noc-core/src/par.rs crates/noc-core/src/router.rs crates/noc-core/src/routing.rs crates/noc-core/src/sensors.rs crates/noc-core/src/snapshot.rs crates/noc-core/src/stats.rs crates/noc-core/src/telemetry.rs crates/noc-core/src/token.rs crates/noc-core/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_core-af2959b2a0e6987a.rmeta: crates/noc-core/src/lib.rs crates/noc-core/src/arbiter.rs crates/noc-core/src/builder.rs crates/noc-core/src/cancel.rs crates/noc-core/src/channel.rs crates/noc-core/src/config.rs crates/noc-core/src/fault.rs crates/noc-core/src/flit.rs crates/noc-core/src/ids.rs crates/noc-core/src/integrity.rs crates/noc-core/src/invariants.rs crates/noc-core/src/network.rs crates/noc-core/src/nic.rs crates/noc-core/src/obs.rs crates/noc-core/src/par.rs crates/noc-core/src/router.rs crates/noc-core/src/routing.rs crates/noc-core/src/sensors.rs crates/noc-core/src/snapshot.rs crates/noc-core/src/stats.rs crates/noc-core/src/telemetry.rs crates/noc-core/src/token.rs crates/noc-core/src/watchdog.rs Cargo.toml
+
+crates/noc-core/src/lib.rs:
+crates/noc-core/src/arbiter.rs:
+crates/noc-core/src/builder.rs:
+crates/noc-core/src/cancel.rs:
+crates/noc-core/src/channel.rs:
+crates/noc-core/src/config.rs:
+crates/noc-core/src/fault.rs:
+crates/noc-core/src/flit.rs:
+crates/noc-core/src/ids.rs:
+crates/noc-core/src/integrity.rs:
+crates/noc-core/src/invariants.rs:
+crates/noc-core/src/network.rs:
+crates/noc-core/src/nic.rs:
+crates/noc-core/src/obs.rs:
+crates/noc-core/src/par.rs:
+crates/noc-core/src/router.rs:
+crates/noc-core/src/routing.rs:
+crates/noc-core/src/sensors.rs:
+crates/noc-core/src/snapshot.rs:
+crates/noc-core/src/stats.rs:
+crates/noc-core/src/telemetry.rs:
+crates/noc-core/src/token.rs:
+crates/noc-core/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/noc_phy-36f4c049c3d21df7.d: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_phy-36f4c049c3d21df7.rmeta: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs Cargo.toml
+
+crates/noc-phy/src/lib.rs:
+crates/noc-phy/src/coding.rs:
+crates/noc-phy/src/geometry.rs:
+crates/noc-phy/src/interference.rs:
+crates/noc-phy/src/linkbudget.rs:
+crates/noc-phy/src/lna.rs:
+crates/noc-phy/src/oscillator.rs:
+crates/noc-phy/src/pa.rs:
+crates/noc-phy/src/transceiver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/noc_phy-4dc6507a32d5f1ab.d: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+/root/repo/target/debug/deps/libnoc_phy-4dc6507a32d5f1ab.rlib: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+/root/repo/target/debug/deps/libnoc_phy-4dc6507a32d5f1ab.rmeta: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+crates/noc-phy/src/lib.rs:
+crates/noc-phy/src/coding.rs:
+crates/noc-phy/src/geometry.rs:
+crates/noc-phy/src/interference.rs:
+crates/noc-phy/src/linkbudget.rs:
+crates/noc-phy/src/lna.rs:
+crates/noc-phy/src/oscillator.rs:
+crates/noc-phy/src/pa.rs:
+crates/noc-phy/src/transceiver.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_phy-5fe867b68532d268.d: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+/root/repo/target/debug/deps/noc_phy-5fe867b68532d268: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+crates/noc-phy/src/lib.rs:
+crates/noc-phy/src/coding.rs:
+crates/noc-phy/src/geometry.rs:
+crates/noc-phy/src/interference.rs:
+crates/noc-phy/src/linkbudget.rs:
+crates/noc-phy/src/lna.rs:
+crates/noc-phy/src/oscillator.rs:
+crates/noc-phy/src/pa.rs:
+crates/noc-phy/src/transceiver.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/noc_power-c28f3760c677b379.d: crates/noc-power/src/lib.rs crates/noc-power/src/area.rs crates/noc-power/src/budget.rs crates/noc-power/src/configs.rs crates/noc-power/src/dsent/mod.rs crates/noc-power/src/dsent/components.rs crates/noc-power/src/dsent/router.rs crates/noc-power/src/dsent/tech.rs crates/noc-power/src/electrical.rs crates/noc-power/src/photonic.rs crates/noc-power/src/photonic_loss.rs crates/noc-power/src/thermal.rs crates/noc-power/src/wireless.rs
+
+/root/repo/target/debug/deps/libnoc_power-c28f3760c677b379.rlib: crates/noc-power/src/lib.rs crates/noc-power/src/area.rs crates/noc-power/src/budget.rs crates/noc-power/src/configs.rs crates/noc-power/src/dsent/mod.rs crates/noc-power/src/dsent/components.rs crates/noc-power/src/dsent/router.rs crates/noc-power/src/dsent/tech.rs crates/noc-power/src/electrical.rs crates/noc-power/src/photonic.rs crates/noc-power/src/photonic_loss.rs crates/noc-power/src/thermal.rs crates/noc-power/src/wireless.rs
+
+/root/repo/target/debug/deps/libnoc_power-c28f3760c677b379.rmeta: crates/noc-power/src/lib.rs crates/noc-power/src/area.rs crates/noc-power/src/budget.rs crates/noc-power/src/configs.rs crates/noc-power/src/dsent/mod.rs crates/noc-power/src/dsent/components.rs crates/noc-power/src/dsent/router.rs crates/noc-power/src/dsent/tech.rs crates/noc-power/src/electrical.rs crates/noc-power/src/photonic.rs crates/noc-power/src/photonic_loss.rs crates/noc-power/src/thermal.rs crates/noc-power/src/wireless.rs
+
+crates/noc-power/src/lib.rs:
+crates/noc-power/src/area.rs:
+crates/noc-power/src/budget.rs:
+crates/noc-power/src/configs.rs:
+crates/noc-power/src/dsent/mod.rs:
+crates/noc-power/src/dsent/components.rs:
+crates/noc-power/src/dsent/router.rs:
+crates/noc-power/src/dsent/tech.rs:
+crates/noc-power/src/electrical.rs:
+crates/noc-power/src/photonic.rs:
+crates/noc-power/src/photonic_loss.rs:
+crates/noc-power/src/thermal.rs:
+crates/noc-power/src/wireless.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/noc_power-e71ae5aacf78b287.d: crates/noc-power/src/lib.rs crates/noc-power/src/area.rs crates/noc-power/src/budget.rs crates/noc-power/src/configs.rs crates/noc-power/src/dsent/mod.rs crates/noc-power/src/dsent/components.rs crates/noc-power/src/dsent/router.rs crates/noc-power/src/dsent/tech.rs crates/noc-power/src/electrical.rs crates/noc-power/src/photonic.rs crates/noc-power/src/photonic_loss.rs crates/noc-power/src/thermal.rs crates/noc-power/src/wireless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_power-e71ae5aacf78b287.rmeta: crates/noc-power/src/lib.rs crates/noc-power/src/area.rs crates/noc-power/src/budget.rs crates/noc-power/src/configs.rs crates/noc-power/src/dsent/mod.rs crates/noc-power/src/dsent/components.rs crates/noc-power/src/dsent/router.rs crates/noc-power/src/dsent/tech.rs crates/noc-power/src/electrical.rs crates/noc-power/src/photonic.rs crates/noc-power/src/photonic_loss.rs crates/noc-power/src/thermal.rs crates/noc-power/src/wireless.rs Cargo.toml
+
+crates/noc-power/src/lib.rs:
+crates/noc-power/src/area.rs:
+crates/noc-power/src/budget.rs:
+crates/noc-power/src/configs.rs:
+crates/noc-power/src/dsent/mod.rs:
+crates/noc-power/src/dsent/components.rs:
+crates/noc-power/src/dsent/router.rs:
+crates/noc-power/src/dsent/tech.rs:
+crates/noc-power/src/electrical.rs:
+crates/noc-power/src/photonic.rs:
+crates/noc-power/src/photonic_loss.rs:
+crates/noc-power/src/thermal.rs:
+crates/noc-power/src/wireless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,37 @@
+/root/repo/target/debug/deps/noc_sim-d1c016ad876c4c69.d: crates/noc-sim/src/lib.rs crates/noc-sim/src/analysis.rs crates/noc-sim/src/bench.rs crates/noc-sim/src/chart.rs crates/noc-sim/src/checkpoint.rs crates/noc-sim/src/exit.rs crates/noc-sim/src/experiments/mod.rs crates/noc-sim/src/experiments/chaos.rs crates/noc-sim/src/experiments/extensions.rs crates/noc-sim/src/experiments/overload.rs crates/noc-sim/src/experiments/perf.rs crates/noc-sim/src/experiments/phy.rs crates/noc-sim/src/experiments/power.rs crates/noc-sim/src/experiments/resilience.rs crates/noc-sim/src/experiments/tables.rs crates/noc-sim/src/metrics.rs crates/noc-sim/src/obs/mod.rs crates/noc-sim/src/obs/export.rs crates/noc-sim/src/obs/recorder.rs crates/noc-sim/src/obs/sampler.rs crates/noc-sim/src/report.rs crates/noc-sim/src/sim.rs crates/noc-sim/src/spec.rs crates/noc-sim/src/supervisor/mod.rs crates/noc-sim/src/supervisor/ledger.rs crates/noc-sim/src/supervisor/lock.rs crates/noc-sim/src/supervisor/spec.rs crates/noc-sim/src/sweep.rs crates/noc-sim/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_sim-d1c016ad876c4c69.rmeta: crates/noc-sim/src/lib.rs crates/noc-sim/src/analysis.rs crates/noc-sim/src/bench.rs crates/noc-sim/src/chart.rs crates/noc-sim/src/checkpoint.rs crates/noc-sim/src/exit.rs crates/noc-sim/src/experiments/mod.rs crates/noc-sim/src/experiments/chaos.rs crates/noc-sim/src/experiments/extensions.rs crates/noc-sim/src/experiments/overload.rs crates/noc-sim/src/experiments/perf.rs crates/noc-sim/src/experiments/phy.rs crates/noc-sim/src/experiments/power.rs crates/noc-sim/src/experiments/resilience.rs crates/noc-sim/src/experiments/tables.rs crates/noc-sim/src/metrics.rs crates/noc-sim/src/obs/mod.rs crates/noc-sim/src/obs/export.rs crates/noc-sim/src/obs/recorder.rs crates/noc-sim/src/obs/sampler.rs crates/noc-sim/src/report.rs crates/noc-sim/src/sim.rs crates/noc-sim/src/spec.rs crates/noc-sim/src/supervisor/mod.rs crates/noc-sim/src/supervisor/ledger.rs crates/noc-sim/src/supervisor/lock.rs crates/noc-sim/src/supervisor/spec.rs crates/noc-sim/src/sweep.rs crates/noc-sim/src/telemetry.rs Cargo.toml
+
+crates/noc-sim/src/lib.rs:
+crates/noc-sim/src/analysis.rs:
+crates/noc-sim/src/bench.rs:
+crates/noc-sim/src/chart.rs:
+crates/noc-sim/src/checkpoint.rs:
+crates/noc-sim/src/exit.rs:
+crates/noc-sim/src/experiments/mod.rs:
+crates/noc-sim/src/experiments/chaos.rs:
+crates/noc-sim/src/experiments/extensions.rs:
+crates/noc-sim/src/experiments/overload.rs:
+crates/noc-sim/src/experiments/perf.rs:
+crates/noc-sim/src/experiments/phy.rs:
+crates/noc-sim/src/experiments/power.rs:
+crates/noc-sim/src/experiments/resilience.rs:
+crates/noc-sim/src/experiments/tables.rs:
+crates/noc-sim/src/metrics.rs:
+crates/noc-sim/src/obs/mod.rs:
+crates/noc-sim/src/obs/export.rs:
+crates/noc-sim/src/obs/recorder.rs:
+crates/noc-sim/src/obs/sampler.rs:
+crates/noc-sim/src/report.rs:
+crates/noc-sim/src/sim.rs:
+crates/noc-sim/src/spec.rs:
+crates/noc-sim/src/supervisor/mod.rs:
+crates/noc-sim/src/supervisor/ledger.rs:
+crates/noc-sim/src/supervisor/lock.rs:
+crates/noc-sim/src/supervisor/spec.rs:
+crates/noc-sim/src/sweep.rs:
+crates/noc-sim/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,36 @@
+/root/repo/target/debug/deps/noc_sim-f7cabfc37d5212e9.d: crates/noc-sim/src/lib.rs crates/noc-sim/src/analysis.rs crates/noc-sim/src/bench.rs crates/noc-sim/src/chart.rs crates/noc-sim/src/checkpoint.rs crates/noc-sim/src/exit.rs crates/noc-sim/src/experiments/mod.rs crates/noc-sim/src/experiments/chaos.rs crates/noc-sim/src/experiments/extensions.rs crates/noc-sim/src/experiments/overload.rs crates/noc-sim/src/experiments/perf.rs crates/noc-sim/src/experiments/phy.rs crates/noc-sim/src/experiments/power.rs crates/noc-sim/src/experiments/resilience.rs crates/noc-sim/src/experiments/tables.rs crates/noc-sim/src/metrics.rs crates/noc-sim/src/obs/mod.rs crates/noc-sim/src/obs/export.rs crates/noc-sim/src/obs/recorder.rs crates/noc-sim/src/obs/sampler.rs crates/noc-sim/src/report.rs crates/noc-sim/src/sim.rs crates/noc-sim/src/spec.rs crates/noc-sim/src/supervisor/mod.rs crates/noc-sim/src/supervisor/ledger.rs crates/noc-sim/src/supervisor/lock.rs crates/noc-sim/src/supervisor/spec.rs crates/noc-sim/src/sweep.rs crates/noc-sim/src/telemetry.rs /root/repo/crates/noc-sim/../../README.md
+
+/root/repo/target/debug/deps/noc_sim-f7cabfc37d5212e9: crates/noc-sim/src/lib.rs crates/noc-sim/src/analysis.rs crates/noc-sim/src/bench.rs crates/noc-sim/src/chart.rs crates/noc-sim/src/checkpoint.rs crates/noc-sim/src/exit.rs crates/noc-sim/src/experiments/mod.rs crates/noc-sim/src/experiments/chaos.rs crates/noc-sim/src/experiments/extensions.rs crates/noc-sim/src/experiments/overload.rs crates/noc-sim/src/experiments/perf.rs crates/noc-sim/src/experiments/phy.rs crates/noc-sim/src/experiments/power.rs crates/noc-sim/src/experiments/resilience.rs crates/noc-sim/src/experiments/tables.rs crates/noc-sim/src/metrics.rs crates/noc-sim/src/obs/mod.rs crates/noc-sim/src/obs/export.rs crates/noc-sim/src/obs/recorder.rs crates/noc-sim/src/obs/sampler.rs crates/noc-sim/src/report.rs crates/noc-sim/src/sim.rs crates/noc-sim/src/spec.rs crates/noc-sim/src/supervisor/mod.rs crates/noc-sim/src/supervisor/ledger.rs crates/noc-sim/src/supervisor/lock.rs crates/noc-sim/src/supervisor/spec.rs crates/noc-sim/src/sweep.rs crates/noc-sim/src/telemetry.rs /root/repo/crates/noc-sim/../../README.md
+
+crates/noc-sim/src/lib.rs:
+crates/noc-sim/src/analysis.rs:
+crates/noc-sim/src/bench.rs:
+crates/noc-sim/src/chart.rs:
+crates/noc-sim/src/checkpoint.rs:
+crates/noc-sim/src/exit.rs:
+crates/noc-sim/src/experiments/mod.rs:
+crates/noc-sim/src/experiments/chaos.rs:
+crates/noc-sim/src/experiments/extensions.rs:
+crates/noc-sim/src/experiments/overload.rs:
+crates/noc-sim/src/experiments/perf.rs:
+crates/noc-sim/src/experiments/phy.rs:
+crates/noc-sim/src/experiments/power.rs:
+crates/noc-sim/src/experiments/resilience.rs:
+crates/noc-sim/src/experiments/tables.rs:
+crates/noc-sim/src/metrics.rs:
+crates/noc-sim/src/obs/mod.rs:
+crates/noc-sim/src/obs/export.rs:
+crates/noc-sim/src/obs/recorder.rs:
+crates/noc-sim/src/obs/sampler.rs:
+crates/noc-sim/src/report.rs:
+crates/noc-sim/src/sim.rs:
+crates/noc-sim/src/spec.rs:
+crates/noc-sim/src/supervisor/mod.rs:
+crates/noc-sim/src/supervisor/ledger.rs:
+crates/noc-sim/src/supervisor/lock.rs:
+crates/noc-sim/src/supervisor/spec.rs:
+crates/noc-sim/src/sweep.rs:
+crates/noc-sim/src/telemetry.rs:
+/root/repo/crates/noc-sim/../../README.md:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/noc-sim

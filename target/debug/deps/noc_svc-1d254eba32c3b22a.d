@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_svc-1d254eba32c3b22a.d: crates/noc-svc/src/bin/noc_svc.rs
+
+/root/repo/target/debug/deps/noc_svc-1d254eba32c3b22a: crates/noc-svc/src/bin/noc_svc.rs
+
+crates/noc-svc/src/bin/noc_svc.rs:

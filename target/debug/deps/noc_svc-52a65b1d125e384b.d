@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_svc-52a65b1d125e384b.d: crates/noc-svc/src/lib.rs crates/noc-svc/src/config.rs crates/noc-svc/src/http.rs crates/noc-svc/src/server.rs crates/noc-svc/src/state.rs
+
+/root/repo/target/debug/deps/libnoc_svc-52a65b1d125e384b.rlib: crates/noc-svc/src/lib.rs crates/noc-svc/src/config.rs crates/noc-svc/src/http.rs crates/noc-svc/src/server.rs crates/noc-svc/src/state.rs
+
+/root/repo/target/debug/deps/libnoc_svc-52a65b1d125e384b.rmeta: crates/noc-svc/src/lib.rs crates/noc-svc/src/config.rs crates/noc-svc/src/http.rs crates/noc-svc/src/server.rs crates/noc-svc/src/state.rs
+
+crates/noc-svc/src/lib.rs:
+crates/noc-svc/src/config.rs:
+crates/noc-svc/src/http.rs:
+crates/noc-svc/src/server.rs:
+crates/noc-svc/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_svc-74465cef80413dff.d: crates/noc-svc/src/bin/noc_svc.rs
+
+/root/repo/target/debug/deps/noc_svc-74465cef80413dff: crates/noc-svc/src/bin/noc_svc.rs
+
+crates/noc-svc/src/bin/noc_svc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_svc-b5d90848cd5d9300.d: crates/noc-svc/src/lib.rs crates/noc-svc/src/config.rs crates/noc-svc/src/http.rs crates/noc-svc/src/server.rs crates/noc-svc/src/state.rs
+
+/root/repo/target/debug/deps/noc_svc-b5d90848cd5d9300: crates/noc-svc/src/lib.rs crates/noc-svc/src/config.rs crates/noc-svc/src/http.rs crates/noc-svc/src/server.rs crates/noc-svc/src/state.rs
+
+crates/noc-svc/src/lib.rs:
+crates/noc-svc/src/config.rs:
+crates/noc-svc/src/http.rs:
+crates/noc-svc/src/server.rs:
+crates/noc-svc/src/state.rs:

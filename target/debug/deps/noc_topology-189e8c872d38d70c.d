@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/noc_topology-189e8c872d38d70c.d: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+/root/repo/target/debug/deps/noc_topology-189e8c872d38d70c: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+crates/noc-topology/src/lib.rs:
+crates/noc-topology/src/channels.rs:
+crates/noc-topology/src/cmesh.rs:
+crates/noc-topology/src/normalize.rs:
+crates/noc-topology/src/optxb.rs:
+crates/noc-topology/src/own1024.rs:
+crates/noc-topology/src/own256.rs:
+crates/noc-topology/src/pclos.rs:
+crates/noc-topology/src/reconfig.rs:
+crates/noc-topology/src/topology.rs:
+crates/noc-topology/src/wcmesh.rs:

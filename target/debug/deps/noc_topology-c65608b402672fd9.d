@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/noc_topology-c65608b402672fd9.d: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_topology-c65608b402672fd9.rmeta: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs Cargo.toml
+
+crates/noc-topology/src/lib.rs:
+crates/noc-topology/src/channels.rs:
+crates/noc-topology/src/cmesh.rs:
+crates/noc-topology/src/normalize.rs:
+crates/noc-topology/src/optxb.rs:
+crates/noc-topology/src/own1024.rs:
+crates/noc-topology/src/own256.rs:
+crates/noc-topology/src/pclos.rs:
+crates/noc-topology/src/reconfig.rs:
+crates/noc-topology/src/topology.rs:
+crates/noc-topology/src/wcmesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

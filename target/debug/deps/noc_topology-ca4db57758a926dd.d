@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/noc_topology-ca4db57758a926dd.d: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+/root/repo/target/debug/deps/libnoc_topology-ca4db57758a926dd.rlib: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+/root/repo/target/debug/deps/libnoc_topology-ca4db57758a926dd.rmeta: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+crates/noc-topology/src/lib.rs:
+crates/noc-topology/src/channels.rs:
+crates/noc-topology/src/cmesh.rs:
+crates/noc-topology/src/normalize.rs:
+crates/noc-topology/src/optxb.rs:
+crates/noc-topology/src/own1024.rs:
+crates/noc-topology/src/own256.rs:
+crates/noc-topology/src/pclos.rs:
+crates/noc-topology/src/reconfig.rs:
+crates/noc-topology/src/topology.rs:
+crates/noc-topology/src/wcmesh.rs:

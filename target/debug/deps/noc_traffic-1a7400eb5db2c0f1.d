@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noc_traffic-1a7400eb5db2c0f1.d: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+/root/repo/target/debug/deps/noc_traffic-1a7400eb5db2c0f1: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+crates/noc-traffic/src/lib.rs:
+crates/noc-traffic/src/injector.rs:
+crates/noc-traffic/src/pattern.rs:
+crates/noc-traffic/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_traffic-88649e00b3eb0a8c.d: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-88649e00b3eb0a8c.rlib: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-88649e00b3eb0a8c.rmeta: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+crates/noc-traffic/src/lib.rs:
+crates/noc-traffic/src/injector.rs:
+crates/noc-traffic/src/pattern.rs:
+crates/noc-traffic/src/trace.rs:

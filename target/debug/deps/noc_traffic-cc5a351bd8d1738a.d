@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_traffic-cc5a351bd8d1738a.d: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_traffic-cc5a351bd8d1738a.rmeta: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs Cargo.toml
+
+crates/noc-traffic/src/lib.rs:
+crates/noc-traffic/src/injector.rs:
+crates/noc-traffic/src/pattern.rs:
+crates/noc-traffic/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-f432cefe2f285324.d: crates/noc-sim/tests/obs.rs
+
+/root/repo/target/debug/deps/obs-f432cefe2f285324: crates/noc-sim/tests/obs.rs
+
+crates/noc-sim/tests/obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overload-bd6f2417c7cc5d36.d: crates/noc-sim/tests/overload.rs
+
+/root/repo/target/debug/deps/overload-bd6f2417c7cc5d36: crates/noc-sim/tests/overload.rs
+
+crates/noc-sim/tests/overload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/own_experiments-0464b7382489b946.d: crates/noc-sim/src/bin/own_experiments.rs
+
+/root/repo/target/debug/deps/own_experiments-0464b7382489b946: crates/noc-sim/src/bin/own_experiments.rs
+
+crates/noc-sim/src/bin/own_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/own_experiments-90336ac07bc81b10.d: crates/noc-sim/src/bin/own_experiments.rs
+
+/root/repo/target/debug/deps/own_experiments-90336ac07bc81b10: crates/noc-sim/src/bin/own_experiments.rs
+
+crates/noc-sim/src/bin/own_experiments.rs:

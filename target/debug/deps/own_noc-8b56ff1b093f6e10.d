@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/own_noc-8b56ff1b093f6e10.d: src/lib.rs
+
+/root/repo/target/debug/deps/own_noc-8b56ff1b093f6e10: src/lib.rs
+
+src/lib.rs:

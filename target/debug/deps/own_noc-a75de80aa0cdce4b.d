@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/own_noc-a75de80aa0cdce4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libown_noc-a75de80aa0cdce4b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libown_noc-a75de80aa0cdce4b.rmeta: src/lib.rs
+
+src/lib.rs:

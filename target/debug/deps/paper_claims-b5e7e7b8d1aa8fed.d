@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b5e7e7b8d1aa8fed.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b5e7e7b8d1aa8fed: tests/paper_claims.rs
+
+tests/paper_claims.rs:

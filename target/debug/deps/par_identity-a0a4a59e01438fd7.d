@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_identity-a0a4a59e01438fd7.d: crates/noc-sim/tests/par_identity.rs
+
+/root/repo/target/debug/deps/par_identity-a0a4a59e01438fd7: crates/noc-sim/tests/par_identity.rs
+
+crates/noc-sim/tests/par_identity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c69b0c0a7e4456d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1c69b0c0a7e4456d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-21a442168c3061a8.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-21a442168c3061a8.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-21a442168c3061a8.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

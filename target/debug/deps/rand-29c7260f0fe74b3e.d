@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-29c7260f0fe74b3e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-29c7260f0fe74b3e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-333ec8a9c4a0263f.d: /tmp/stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-333ec8a9c4a0263f.rmeta: /tmp/stubs/rand_chacha/src/lib.rs
+
+/tmp/stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-567309de0e1e30a0.d: /tmp/stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-567309de0e1e30a0.rlib: /tmp/stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-567309de0e1e30a0.rmeta: /tmp/stubs/rand_chacha/src/lib.rs
+
+/tmp/stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_core-8c057051f5d95715.d: /tmp/stubs/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/librand_core-8c057051f5d95715.rmeta: /tmp/stubs/rand_core/src/lib.rs
+
+/tmp/stubs/rand_core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_core-bdd3da171b8f87cf.d: /tmp/stubs/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/librand_core-bdd3da171b8f87cf.rlib: /tmp/stubs/rand_core/src/lib.rs
+
+/root/repo/target/debug/deps/librand_core-bdd3da171b8f87cf.rmeta: /tmp/stubs/rand_core/src/lib.rs
+
+/tmp/stubs/rand_core/src/lib.rs:

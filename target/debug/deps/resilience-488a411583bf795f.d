@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-488a411583bf795f.d: crates/noc-topology/tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-488a411583bf795f: crates/noc-topology/tests/resilience.rs
+
+crates/noc-topology/tests/resilience.rs:

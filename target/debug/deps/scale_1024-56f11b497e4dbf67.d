@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_1024-56f11b497e4dbf67.d: tests/scale_1024.rs
+
+/root/repo/target/debug/deps/scale_1024-56f11b497e4dbf67: tests/scale_1024.rs
+
+tests/scale_1024.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1fa91ff35d157087.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1fa91ff35d157087.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f44454865b2aca06.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f44454865b2aca06.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f44454865b2aca06.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

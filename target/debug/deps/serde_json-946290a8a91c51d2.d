@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-946290a8a91c51d2.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-946290a8a91c51d2.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a10adbd867f3ff52.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a10adbd867f3ff52.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a10adbd867f3ff52.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/service-1847424cc482e5f9.d: crates/noc-svc/tests/service.rs
+
+/root/repo/target/debug/deps/service-1847424cc482e5f9: crates/noc-svc/tests/service.rs
+
+crates/noc-svc/tests/service.rs:
+
+# env-dep:CARGO_BIN_EXE_noc-svc=/root/repo/target/debug/noc-svc

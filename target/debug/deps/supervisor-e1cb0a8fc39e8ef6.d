@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/supervisor-e1cb0a8fc39e8ef6.d: crates/noc-sim/tests/supervisor.rs
+
+/root/repo/target/debug/deps/supervisor-e1cb0a8fc39e8ef6: crates/noc-sim/tests/supervisor.rs
+
+crates/noc-sim/tests/supervisor.rs:
+
+# env-dep:CARGO_BIN_EXE_own-experiments=/root/repo/target/debug/own-experiments

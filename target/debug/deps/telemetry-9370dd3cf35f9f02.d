@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-9370dd3cf35f9f02.d: crates/noc-sim/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-9370dd3cf35f9f02: crates/noc-sim/tests/telemetry.rs
+
+crates/noc-sim/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_topology-62e8df168e1ac818.d: examples/custom_topology.rs
+
+/root/repo/target/debug/examples/custom_topology-62e8df168e1ac818: examples/custom_topology.rs
+
+examples/custom_topology.rs:

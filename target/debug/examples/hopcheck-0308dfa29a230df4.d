@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hopcheck-0308dfa29a230df4.d: crates/noc-sim/examples/hopcheck.rs
+
+/root/repo/target/debug/examples/hopcheck-0308dfa29a230df4: crates/noc-sim/examples/hopcheck.rs
+
+crates/noc-sim/examples/hopcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kilocore_scaling-8f9ffe189edbc70c.d: examples/kilocore_scaling.rs
+
+/root/repo/target/debug/examples/kilocore_scaling-8f9ffe189edbc70c: examples/kilocore_scaling.rs
+
+examples/kilocore_scaling.rs:

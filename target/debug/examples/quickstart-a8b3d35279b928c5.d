@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a8b3d35279b928c5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a8b3d35279b928c5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_shootout-fd5f496825e0b183.d: examples/topology_shootout.rs
+
+/root/repo/target/debug/examples/topology_shootout-fd5f496825e0b183: examples/topology_shootout.rs
+
+examples/topology_shootout.rs:

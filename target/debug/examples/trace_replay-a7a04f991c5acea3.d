@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-a7a04f991c5acea3.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-a7a04f991c5acea3: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_designer-a98a05174532d654.d: examples/wireless_designer.rs
+
+/root/repo/target/debug/examples/wireless_designer-a98a05174532d654: examples/wireless_designer.rs
+
+examples/wireless_designer.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/noc_core-1b73697c4d4b8173.d: crates/noc-core/src/lib.rs crates/noc-core/src/arbiter.rs crates/noc-core/src/builder.rs crates/noc-core/src/cancel.rs crates/noc-core/src/channel.rs crates/noc-core/src/config.rs crates/noc-core/src/fault.rs crates/noc-core/src/flit.rs crates/noc-core/src/ids.rs crates/noc-core/src/integrity.rs crates/noc-core/src/invariants.rs crates/noc-core/src/network.rs crates/noc-core/src/nic.rs crates/noc-core/src/obs.rs crates/noc-core/src/par.rs crates/noc-core/src/router.rs crates/noc-core/src/routing.rs crates/noc-core/src/sensors.rs crates/noc-core/src/snapshot.rs crates/noc-core/src/stats.rs crates/noc-core/src/telemetry.rs crates/noc-core/src/token.rs crates/noc-core/src/watchdog.rs
+
+/root/repo/target/release/deps/libnoc_core-1b73697c4d4b8173.rlib: crates/noc-core/src/lib.rs crates/noc-core/src/arbiter.rs crates/noc-core/src/builder.rs crates/noc-core/src/cancel.rs crates/noc-core/src/channel.rs crates/noc-core/src/config.rs crates/noc-core/src/fault.rs crates/noc-core/src/flit.rs crates/noc-core/src/ids.rs crates/noc-core/src/integrity.rs crates/noc-core/src/invariants.rs crates/noc-core/src/network.rs crates/noc-core/src/nic.rs crates/noc-core/src/obs.rs crates/noc-core/src/par.rs crates/noc-core/src/router.rs crates/noc-core/src/routing.rs crates/noc-core/src/sensors.rs crates/noc-core/src/snapshot.rs crates/noc-core/src/stats.rs crates/noc-core/src/telemetry.rs crates/noc-core/src/token.rs crates/noc-core/src/watchdog.rs
+
+/root/repo/target/release/deps/libnoc_core-1b73697c4d4b8173.rmeta: crates/noc-core/src/lib.rs crates/noc-core/src/arbiter.rs crates/noc-core/src/builder.rs crates/noc-core/src/cancel.rs crates/noc-core/src/channel.rs crates/noc-core/src/config.rs crates/noc-core/src/fault.rs crates/noc-core/src/flit.rs crates/noc-core/src/ids.rs crates/noc-core/src/integrity.rs crates/noc-core/src/invariants.rs crates/noc-core/src/network.rs crates/noc-core/src/nic.rs crates/noc-core/src/obs.rs crates/noc-core/src/par.rs crates/noc-core/src/router.rs crates/noc-core/src/routing.rs crates/noc-core/src/sensors.rs crates/noc-core/src/snapshot.rs crates/noc-core/src/stats.rs crates/noc-core/src/telemetry.rs crates/noc-core/src/token.rs crates/noc-core/src/watchdog.rs
+
+crates/noc-core/src/lib.rs:
+crates/noc-core/src/arbiter.rs:
+crates/noc-core/src/builder.rs:
+crates/noc-core/src/cancel.rs:
+crates/noc-core/src/channel.rs:
+crates/noc-core/src/config.rs:
+crates/noc-core/src/fault.rs:
+crates/noc-core/src/flit.rs:
+crates/noc-core/src/ids.rs:
+crates/noc-core/src/integrity.rs:
+crates/noc-core/src/invariants.rs:
+crates/noc-core/src/network.rs:
+crates/noc-core/src/nic.rs:
+crates/noc-core/src/obs.rs:
+crates/noc-core/src/par.rs:
+crates/noc-core/src/router.rs:
+crates/noc-core/src/routing.rs:
+crates/noc-core/src/sensors.rs:
+crates/noc-core/src/snapshot.rs:
+crates/noc-core/src/stats.rs:
+crates/noc-core/src/telemetry.rs:
+crates/noc-core/src/token.rs:
+crates/noc-core/src/watchdog.rs:

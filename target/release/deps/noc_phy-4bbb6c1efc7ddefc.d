@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/noc_phy-4bbb6c1efc7ddefc.d: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+/root/repo/target/release/deps/libnoc_phy-4bbb6c1efc7ddefc.rlib: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+/root/repo/target/release/deps/libnoc_phy-4bbb6c1efc7ddefc.rmeta: crates/noc-phy/src/lib.rs crates/noc-phy/src/coding.rs crates/noc-phy/src/geometry.rs crates/noc-phy/src/interference.rs crates/noc-phy/src/linkbudget.rs crates/noc-phy/src/lna.rs crates/noc-phy/src/oscillator.rs crates/noc-phy/src/pa.rs crates/noc-phy/src/transceiver.rs
+
+crates/noc-phy/src/lib.rs:
+crates/noc-phy/src/coding.rs:
+crates/noc-phy/src/geometry.rs:
+crates/noc-phy/src/interference.rs:
+crates/noc-phy/src/linkbudget.rs:
+crates/noc-phy/src/lna.rs:
+crates/noc-phy/src/oscillator.rs:
+crates/noc-phy/src/pa.rs:
+crates/noc-phy/src/transceiver.rs:

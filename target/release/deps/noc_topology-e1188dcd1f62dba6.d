@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/noc_topology-e1188dcd1f62dba6.d: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+/root/repo/target/release/deps/libnoc_topology-e1188dcd1f62dba6.rlib: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+/root/repo/target/release/deps/libnoc_topology-e1188dcd1f62dba6.rmeta: crates/noc-topology/src/lib.rs crates/noc-topology/src/channels.rs crates/noc-topology/src/cmesh.rs crates/noc-topology/src/normalize.rs crates/noc-topology/src/optxb.rs crates/noc-topology/src/own1024.rs crates/noc-topology/src/own256.rs crates/noc-topology/src/pclos.rs crates/noc-topology/src/reconfig.rs crates/noc-topology/src/topology.rs crates/noc-topology/src/wcmesh.rs
+
+crates/noc-topology/src/lib.rs:
+crates/noc-topology/src/channels.rs:
+crates/noc-topology/src/cmesh.rs:
+crates/noc-topology/src/normalize.rs:
+crates/noc-topology/src/optxb.rs:
+crates/noc-topology/src/own1024.rs:
+crates/noc-topology/src/own256.rs:
+crates/noc-topology/src/pclos.rs:
+crates/noc-topology/src/reconfig.rs:
+crates/noc-topology/src/topology.rs:
+crates/noc-topology/src/wcmesh.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/noc_traffic-6d9f1adf14f866ce.d: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+/root/repo/target/release/deps/libnoc_traffic-6d9f1adf14f866ce.rlib: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+/root/repo/target/release/deps/libnoc_traffic-6d9f1adf14f866ce.rmeta: crates/noc-traffic/src/lib.rs crates/noc-traffic/src/injector.rs crates/noc-traffic/src/pattern.rs crates/noc-traffic/src/trace.rs
+
+crates/noc-traffic/src/lib.rs:
+crates/noc-traffic/src/injector.rs:
+crates/noc-traffic/src/pattern.rs:
+crates/noc-traffic/src/trace.rs:

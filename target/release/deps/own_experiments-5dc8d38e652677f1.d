@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/own_experiments-5dc8d38e652677f1.d: crates/noc-sim/src/bin/own_experiments.rs
+
+/root/repo/target/release/deps/own_experiments-5dc8d38e652677f1: crates/noc-sim/src/bin/own_experiments.rs
+
+crates/noc-sim/src/bin/own_experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-403d4583a21593df.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-403d4583a21593df.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-403d4583a21593df.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-65afccf83321ec4a.d: /tmp/stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-65afccf83321ec4a.rlib: /tmp/stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-65afccf83321ec4a.rmeta: /tmp/stubs/rand_chacha/src/lib.rs
+
+/tmp/stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_core-eac96f7672afe9cd.d: /tmp/stubs/rand_core/src/lib.rs
+
+/root/repo/target/release/deps/librand_core-eac96f7672afe9cd.rlib: /tmp/stubs/rand_core/src/lib.rs
+
+/root/repo/target/release/deps/librand_core-eac96f7672afe9cd.rmeta: /tmp/stubs/rand_core/src/lib.rs
+
+/tmp/stubs/rand_core/src/lib.rs:

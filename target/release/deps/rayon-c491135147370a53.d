@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-c491135147370a53.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-c491135147370a53.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-c491135147370a53.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-91f34024cb84af12.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-91f34024cb84af12.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-91f34024cb84af12.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-00f8d40f66156400.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-00f8d40f66156400.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

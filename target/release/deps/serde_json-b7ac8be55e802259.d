@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-b7ac8be55e802259.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b7ac8be55e802259.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b7ac8be55e802259.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
